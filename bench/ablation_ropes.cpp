@@ -1,0 +1,83 @@
+// Ablation: statically-installed ropes (prior work, section 3 / Figure 2)
+// vs the paper's autoropes, on the two unguided benchmarks (PC, BH).
+//
+// The trade the paper describes:
+//   + ropes traverse with no stack at all (no stack traffic, fewer cycles)
+//   - they need a preprocessing pass over the tree (install time reported)
+//   - they only exist for unguided traversals, and any stack-carried
+//     argument must be recomputable from the node (BH needs node depths).
+#include <iostream>
+
+#include "bench_algos/bh/barnes_hut.h"
+#include "bench_algos/pc/point_correlation.h"
+#include "bench_common.h"
+#include "core/gpu_executors.h"
+#include "core/ropes_executor.h"
+#include "data/generators.h"
+#include "data/sorting.h"
+#include "spatial/kdtree.h"
+#include "spatial/octree.h"
+#include "util/csv.h"
+
+using namespace tt;
+
+namespace {
+
+template <RopeCompatibleKernel K>
+void compare(Table& table, const std::string& bench, bool sorted, const K& k,
+             GpuAddressSpace& space, const LinearTree& topo) {
+  DeviceConfig cfg;
+  StaticRopes ropes = install_ropes(topo);
+  for (bool lockstep : {true, false}) {
+    auto ar = run_gpu_sim(k, space, cfg, GpuMode{true, lockstep});
+    auto rp = run_gpu_ropes_sim(k, space, cfg, lockstep, ropes);
+    table.add_row({bench, sorted ? "sorted" : "unsorted",
+                   lockstep ? "L" : "N", "autoropes",
+                   fmt_fixed(ar.time.total_ms, 3),
+                   std::to_string(ar.stats.dram_transactions), "0"});
+    table.add_row({bench, sorted ? "sorted" : "unsorted",
+                   lockstep ? "L" : "N", "static-ropes",
+                   fmt_fixed(rp.time.total_ms, 3),
+                   std::to_string(rp.stats.dram_transactions),
+                   fmt_fixed(rp.install_ms, 3)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("ablation_ropes: prior-work static ropes vs autoropes (section 3)");
+  benchx::add_common_flags(cli);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    Table table({"Benchmark", "Order", "Type", "Technique", "Time(ms)",
+                 "DRAM txn", "Install(ms)"});
+    const auto n = static_cast<std::size_t>(cli.get_int("points"));
+    for (bool sorted : {true, false}) {
+      {
+        PointSet pts = gen_covtype_like(n, 7, 21);
+        pts.permute(sorted ? tree_order(pts, 8) : shuffled_order(n, 21));
+        KdTree tree = build_kdtree(pts, 8);
+        float r = pc_pick_radius(pts, cli.get_double("pc-neighbors"), 21);
+        GpuAddressSpace space;
+        PointCorrelationKernel k(tree, pts, r, space);
+        compare(table, "PointCorrelation", sorted, k, space, tree.topo);
+      }
+      {
+        BodySet b = gen_plummer(n, 22);
+        if (sorted) b.pos.permute(morton_order(b.pos));
+        Octree tree = build_octree(b.pos, b.mass);
+        GpuAddressSpace space;
+        BarnesHutKernel k(tree, b.pos,
+                          static_cast<float>(cli.get_double("theta")), 1e-4f,
+                          space);
+        compare(table, "Barnes-Hut", sorted, k, space, tree.topo);
+      }
+    }
+    benchx::emit(table, cli.get_flag("csv"));
+  } catch (const std::exception& e) {
+    std::cerr << "ablation_ropes: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

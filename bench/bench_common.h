@@ -1,0 +1,85 @@
+// Shared plumbing for the paper-experiment binaries: CLI -> BenchConfig,
+// algorithm-list parsing, and cell-size defaults per benchmark.
+#pragma once
+
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_algos/harness.h"
+#include "util/cli.h"
+#include "util/csv.h"
+
+namespace tt::benchx {
+
+inline std::vector<Algo> parse_algos(const std::string& spec) {
+  if (spec == "all")
+    return {Algo::kBH, Algo::kPC, Algo::kKNN, Algo::kNN, Algo::kVP};
+  std::vector<Algo> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    std::string tok = spec.substr(pos, comma == std::string::npos
+                                           ? std::string::npos
+                                           : comma - pos);
+    if (tok == "bh")
+      out.push_back(Algo::kBH);
+    else if (tok == "pc")
+      out.push_back(Algo::kPC);
+    else if (tok == "knn")
+      out.push_back(Algo::kKNN);
+    else if (tok == "nn")
+      out.push_back(Algo::kNN);
+    else if (tok == "vp")
+      out.push_back(Algo::kVP);
+    else
+      throw std::invalid_argument("unknown benchmark: " + tok);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+inline void add_common_flags(Cli& cli) {
+  cli.add_string("benchmarks", "all",
+                 "comma-separated subset of bh,pc,knn,nn,vp");
+  cli.add_int("points", 8192, "points per tree-benchmark input");
+  cli.add_int("bodies", 16384, "bodies for Barnes-Hut");
+  cli.add_int("seed", 42, "master RNG seed");
+  cli.add_int("k", 8, "k for k-nearest-neighbor");
+  cli.add_double("pc-neighbors", 32.0,
+                 "target mean matches per query for the PC radius");
+  cli.add_double("theta", 0.5, "Barnes-Hut opening angle");
+  cli.add_int("bh-steps", 1,
+              "Barnes-Hut timesteps (the paper integrates 5)");
+  cli.add_flag("verify", false,
+               "cross-check all variants' results agree (slower)");
+  cli.add_flag("csv", false, "emit CSV instead of an aligned table");
+}
+
+inline BenchConfig config_from(const Cli& cli, Algo a, InputKind in,
+                               bool sorted) {
+  BenchConfig c;
+  c.algo = a;
+  c.input = in;
+  c.n = static_cast<std::size_t>(a == Algo::kBH ? cli.get_int("bodies")
+                                                : cli.get_int("points"));
+  c.sorted = sorted;
+  c.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  c.k = static_cast<int>(cli.get_int("k"));
+  c.pc_target_neighbors = cli.get_double("pc-neighbors");
+  c.bh_theta = static_cast<float>(cli.get_double("theta"));
+  c.bh_timesteps = static_cast<int>(cli.get_int("bh-steps"));
+  c.verify = cli.get_flag("verify");
+  return c;
+}
+
+inline void emit(const Table& table, bool csv) {
+  if (csv)
+    table.write_csv(std::cout);
+  else
+    table.write_aligned(std::cout);
+}
+
+}  // namespace tt::benchx

@@ -1,0 +1,64 @@
+// Figures 10 and 11 reproduction: CPU performance relative to the GPU
+// (GPU == 1.0) as the CPU thread count sweeps 1..32, for the lockstep and
+// non-lockstep variants of every benchmark/input pair.
+//
+// Figure 10 is the sorted sweep, Figure 11 the unsorted one; select with
+// --sorted / --no-sorted (default runs both). The CPU curve is anchored on
+// the real measured single-thread time and extended with the documented
+// near-linear scaling model (src/cpu/scaling_model.h); values > 1 mean the
+// CPU outperforms the simulated GPU at that thread count.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+
+using namespace tt;
+
+namespace {
+
+const std::vector<int> kThreads{1, 2, 4, 8, 12, 16, 20, 24, 32};
+
+void sweep_rows(Table& table, const BenchRow& row) {
+  for (bool lockstep : {true, false}) {
+    auto sweep = cpu_sweep(row, lockstep, kThreads);
+    std::vector<std::string> cells{
+        algo_name(row.config.algo), input_name(row.config.input),
+        row.config.sorted ? "sorted" : "unsorted", lockstep ? "L" : "N"};
+    for (const CpuSweepPoint& p : sweep)
+      cells.push_back(fmt_fixed(p.ratio_vs_gpu, 3));
+    table.add_row(std::move(cells));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(
+      "fig10_cpu_scaling: paper Figures 10 (sorted) and 11 (unsorted) -- "
+      "CPU-vs-GPU performance ratio per CPU thread count");
+  benchx::add_common_flags(cli);
+  cli.add_flag("sorted", true, "run the sorted sweep (Figure 10)");
+  cli.add_flag("unsorted", true, "run the unsorted sweep (Figure 11)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    std::vector<std::string> header{"Benchmark", "Input", "Order", "Type"};
+    for (int t : kThreads) header.push_back("T" + std::to_string(t));
+    Table table(header);
+    for (Algo a : benchx::parse_algos(cli.get_string("benchmarks")))
+      for (InputKind in : inputs_for(a))
+        for (bool sorted : {true, false}) {
+          if (sorted && !cli.get_flag("sorted")) continue;
+          if (!sorted && !cli.get_flag("unsorted")) continue;
+          BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
+          sweep_rows(table, row);
+          std::cerr << "# done " << algo_name(a) << "/" << input_name(in)
+                    << (sorted ? " sorted" : " unsorted") << "\n";
+        }
+    benchx::emit(table, cli.get_flag("csv"));
+    std::cerr << "# ratio > 1: CPU faster than GPU at that thread count\n";
+  } catch (const std::exception& e) {
+    std::cerr << "fig10_cpu_scaling: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks of the substrate hot paths: the
+// coalescing model, the L2 simulator, warp-memory commit, tree builds and
+// the CPU-side traversal executors. These guard the *simulator's own*
+// performance (host seconds per simulated event), which bounds how large
+// an input the experiment binaries can afford.
+#include <benchmark/benchmark.h>
+
+#include "bench_algos/pc/point_correlation.h"
+#include "core/cpu_executors.h"
+#include "data/generators.h"
+#include "simt/coalescing.h"
+#include "simt/l2cache.h"
+#include "simt/warp_memory.h"
+#include "spatial/kdtree.h"
+#include "spatial/octree.h"
+#include "spatial/vptree.h"
+#include "util/rng.h"
+
+namespace tt {
+namespace {
+
+void BM_CoalescingCoalesced(benchmark::State& state) {
+  std::vector<LaneAccess> acc;
+  for (int l = 0; l < 32; ++l)
+    acc.push_back({static_cast<std::uint64_t>(l) * 4, 4});
+  std::vector<std::uint64_t> segs;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(segments_touched(acc, 128, segs));
+}
+BENCHMARK(BM_CoalescingCoalesced);
+
+void BM_CoalescingScattered(benchmark::State& state) {
+  std::vector<LaneAccess> acc;
+  Pcg32 rng(1);
+  for (int l = 0; l < 32; ++l) acc.push_back({rng.next_u64() % (1 << 26), 20});
+  std::vector<std::uint64_t> segs;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(segments_touched(acc, 128, segs));
+}
+BENCHMARK(BM_CoalescingScattered);
+
+void BM_L2Access(benchmark::State& state) {
+  L2Cache l2(16 * 1024, 128, 16);
+  Pcg32 rng(2);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += l2.access(rng.next_u64() % (1 << 22));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_L2Access);
+
+void BM_WarpMemoryCommit(benchmark::State& state) {
+  GpuAddressSpace space;
+  DeviceConfig cfg;
+  cfg.model_l2 = false;
+  KernelStats stats;
+  BufferId buf = space.register_buffer("b", 8, 1 << 20);
+  WarpMemory mem(space, cfg, nullptr, stats);
+  Pcg32 rng(3);
+  for (auto _ : state) {
+    for (int l = 0; l < 32; ++l) mem.lane_load(l, buf, rng.next_below(1 << 20));
+    mem.commit();
+  }
+}
+BENCHMARK(BM_WarpMemoryCommit);
+
+void BM_BuildKdTree(benchmark::State& state) {
+  PointSet pts = gen_covtype_like(static_cast<std::size_t>(state.range(0)), 7, 4);
+  for (auto _ : state) {
+    KdTree t = build_kdtree(pts, 8);
+    benchmark::DoNotOptimize(t.topo.n_nodes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildKdTree)->Arg(1024)->Arg(8192);
+
+void BM_BuildOctree(benchmark::State& state) {
+  BodySet b = gen_plummer(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    Octree t = build_octree(b.pos, b.mass);
+    benchmark::DoNotOptimize(t.topo.n_nodes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildOctree)->Arg(1024)->Arg(8192);
+
+void BM_BuildVpTree(benchmark::State& state) {
+  PointSet pts = gen_uniform(static_cast<std::size_t>(state.range(0)), 7, 6);
+  for (auto _ : state) {
+    VpTree t = build_vptree(pts, 6);
+    benchmark::DoNotOptimize(t.topo.n_nodes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildVpTree)->Arg(1024)->Arg(8192);
+
+void BM_CpuTraversal(benchmark::State& state) {
+  // Real CPU traversal throughput (visits/second), recursive vs autoropes.
+  static PointSet pts = gen_covtype_like(4096, 7, 7);
+  static KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  float r = pc_pick_radius(pts, 32, 7);
+  PointCorrelationKernel k(tree, pts, r, space);
+  auto variant =
+      state.range(0) == 0 ? CpuVariant::kRecursive : CpuVariant::kAutoropes;
+  std::uint64_t visits = 0;
+  for (auto _ : state) {
+    auto run = run_cpu(k, variant, 1);
+    visits += run.total_visits;
+    benchmark::DoNotOptimize(run.results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(visits));
+  state.SetLabel(state.range(0) == 0 ? "recursive" : "autoropes");
+}
+BENCHMARK(BM_CpuTraversal)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace tt

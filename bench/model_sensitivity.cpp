@@ -1,0 +1,114 @@
+// Robustness check for the simulator substitution (DESIGN.md section 6):
+// the paper's qualitative conclusions should not hinge on the cost-model
+// constants. This sweeps memory bandwidth, per-transaction compute cost
+// proxies and the recursion overhead across 0.5x..2x and reports, for a
+// representative cell (PC covtype), whether each headline ordering holds:
+//
+//   O1  sorted lockstep beats sorted non-lockstep
+//   O2  autoropes-L beats recursive-L (positive "improvement vs recurse")
+//   O3  sorted lockstep beats unsorted lockstep
+//   O4  static ropes have fewer DRAM transactions than autoropes-N
+#include <iostream>
+
+#include "bench_algos/pc/point_correlation.h"
+#include "bench_common.h"
+#include "core/gpu_executors.h"
+#include "core/ropes_executor.h"
+#include "core/static_ropes.h"
+#include "data/generators.h"
+#include "data/sorting.h"
+#include "spatial/kdtree.h"
+#include "util/csv.h"
+
+using namespace tt;
+
+namespace {
+
+struct Probe {
+  double al_sorted, an_sorted, rl_sorted, al_unsorted;
+  std::uint64_t ropes_dram, auto_dram;
+};
+
+Probe probe(std::size_t n, const DeviceConfig& cfg) {
+  Probe p{};
+  for (bool sorted : {true, false}) {
+    PointSet pts = gen_covtype_like(n, 7, 42);
+    pts.permute(sorted ? tree_order(pts, 8) : shuffled_order(n, 42));
+    KdTree tree = build_kdtree(pts, 8);
+    float r = pc_pick_radius(pts, 24, 42);
+    GpuAddressSpace space;
+    PointCorrelationKernel k(tree, pts, r, space);
+    auto al = run_gpu_sim(k, space, cfg, GpuMode{true, true});
+    if (sorted) {
+      auto an = run_gpu_sim(k, space, cfg, GpuMode{true, false});
+      auto rl = run_gpu_sim(k, space, cfg, GpuMode{false, true});
+      StaticRopes ropes = install_ropes(tree.topo);
+      auto rp = run_gpu_ropes_sim(k, space, cfg, false, ropes);
+      p.al_sorted = al.time.total_ms;
+      p.an_sorted = an.time.total_ms;
+      p.rl_sorted = rl.time.total_ms;
+      p.ropes_dram = rp.stats.dram_transactions;
+      p.auto_dram = an.stats.dram_transactions;
+    } else {
+      p.al_unsorted = al.time.total_ms;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("model_sensitivity: do the headline orderings survive 0.5x..2x "
+          "perturbations of the cost-model constants?");
+  benchx::add_common_flags(cli);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto n = static_cast<std::size_t>(cli.get_int("points"));
+    Table table({"Perturbation", "Scale", "O1 L<N", "O2 auto<rec",
+                 "O3 sorted<unsorted", "O4 ropes<auto"});
+    int violations = 0;
+
+    auto emit = [&](const char* name, double scale, const DeviceConfig& cfg) {
+      Probe p = probe(n, cfg);
+      bool o1 = p.al_sorted < p.an_sorted;
+      bool o2 = p.al_sorted < p.rl_sorted;
+      bool o3 = p.al_sorted < p.al_unsorted;
+      bool o4 = p.ropes_dram < p.auto_dram;
+      violations += !o1 + !o2 + !o3 + !o4;
+      auto yn = [](bool b) { return std::string(b ? "yes" : "NO"); };
+      table.add_row({name, fmt_fixed(scale, 2), yn(o1), yn(o2), yn(o3),
+                     yn(o4)});
+    };
+
+    emit("baseline", 1.0, DeviceConfig{});
+    for (double s : {0.5, 2.0}) {
+      DeviceConfig cfg;
+      cfg.mem_bandwidth_gbps *= s;
+      emit("mem_bandwidth", s, cfg);
+    }
+    for (double s : {0.5, 2.0}) {
+      DeviceConfig cfg;
+      cfg.c_visit *= s;
+      cfg.c_step *= s;
+      emit("compute_costs", s, cfg);
+    }
+    for (double s : {0.5, 2.0}) {
+      DeviceConfig cfg;
+      cfg.c_call *= s;
+      cfg.frame_bytes = static_cast<int>(cfg.frame_bytes * s);
+      emit("recursion_overhead", s, cfg);
+    }
+    for (double s : {0.5, 2.0}) {
+      DeviceConfig cfg;
+      cfg.l2_bytes = static_cast<std::size_t>(cfg.l2_bytes * s);
+      emit("l2_capacity", s, cfg);
+    }
+    benchx::emit(table, cli.get_flag("csv"));
+    std::cerr << "# ordering violations: " << violations << "\n";
+    return violations == 0 ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "model_sensitivity: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,76 @@
+// Table 1 reproduction: performance summary of the transformed traversals.
+//
+// For every benchmark x input x {sorted, unsorted} x {lockstep (L),
+// non-lockstep (N)} this prints: modelled GPU traversal time, average
+// nodes visited per point (per warp for L), speedup vs the 1-thread and
+// modelled 32-thread CPU runs, and the improvement of the autoropes GPU
+// variant over the equivalent naive recursive GPU variant -- the same
+// columns as the paper's Table 1.
+//
+// Absolute times come from the SIMT machine's cost model (DESIGN.md
+// section 2), so only ratios and orderings are comparable to the paper.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+
+using namespace tt;
+
+namespace {
+
+void add_rows(Table& table, const BenchRow& row) {
+  auto variant_row = [&](bool lockstep) {
+    const VariantResult& v =
+        lockstep ? row.auto_lockstep : row.auto_nolockstep;
+    table.add_row({
+        algo_name(row.config.algo),
+        input_name(row.config.input),
+        row.config.sorted ? "sorted" : "unsorted",
+        lockstep ? "L" : "N",
+        fmt_fixed(v.time_ms, 3),
+        fmt_fixed(v.avg_nodes, 0),
+        fmt_fixed(row.speedup_vs_1(v), 2),
+        fmt_fixed(row.speedup_vs_32(v), 2),
+        fmt_percent(row.improvement_vs_recursive(lockstep)),
+        fmt_fixed(row.transfer_ms(), 3),
+    });
+  };
+  variant_row(true);
+  variant_row(false);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(
+      "table1: paper Table 1 -- per-variant traversal time, avg nodes, "
+      "speedups vs CPU, improvement vs recursive GPU");
+  benchx::add_common_flags(cli);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    Table table({"Benchmark", "Input", "Order", "Type", "Time(ms)",
+                 "AvgNodes", "vs1T", "vs32T", "vsRecurse", "Xfer(ms)"});
+    for (Algo a : benchx::parse_algos(cli.get_string("benchmarks"))) {
+      auto report = analysis_for(a);
+      std::cerr << "# " << algo_name(a) << ": "
+                << report.call_sets.size() << " call set(s), "
+                << (report.cls == ir::TraversalClass::kUnguided ? "unguided"
+                                                                : "guided")
+                << "\n";
+      for (InputKind in : inputs_for(a))
+        for (bool sorted : {true, false}) {
+          BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
+          add_rows(table, row);
+          std::cerr << "# done " << algo_name(a) << "/" << input_name(in)
+                    << (sorted ? " sorted" : " unsorted")
+                    << " (cpu t1 " << fmt_fixed(row.cpu_t1_ms, 1)
+                    << " ms)\n";
+        }
+    }
+    benchx::emit(table, cli.get_flag("csv"));
+  } catch (const std::exception& e) {
+    std::cerr << "table1: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

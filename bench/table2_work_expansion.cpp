@@ -1,0 +1,41 @@
+// Table 2 reproduction: average work expansion per warp of lockstep
+// traversals -- (nodes visited by the lockstep warp) / (longest individual
+// traversal in the warp) -- mean and standard deviation, for sorted and
+// unsorted inputs.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/csv.h"
+
+using namespace tt;
+
+int main(int argc, char** argv) {
+  Cli cli(
+      "table2_work_expansion: paper Table 2 -- per-warp lockstep work "
+      "expansion, mean (stddev), sorted vs unsorted");
+  benchx::add_common_flags(cli);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    Table table({"Benchmark", "Input", "Sorted", "Unsorted"});
+    for (Algo a : benchx::parse_algos(cli.get_string("benchmarks"))) {
+      for (InputKind in : inputs_for(a)) {
+        std::string cells[2];
+        for (bool sorted : {true, false}) {
+          BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
+          cells[sorted ? 0 : 1] = fmt_fixed(row.work_expansion.mean, 2) +
+                                  " (" +
+                                  fmt_fixed(row.work_expansion.stddev, 2) +
+                                  ")";
+        }
+        table.add_row({algo_name(a), input_name(in), cells[0], cells[1]});
+        std::cerr << "# done " << algo_name(a) << "/" << input_name(in)
+                  << "\n";
+      }
+    }
+    benchx::emit(table, cli.get_flag("csv"));
+  } catch (const std::exception& e) {
+    std::cerr << "table2_work_expansion: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "bench_algos/bh/barnes_hut.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rope_stack.h"
+
+namespace tt {
+
+BarnesHutKernel::BarnesHutKernel(const Octree& tree, const PointSet& bodies,
+                                 float theta, float eps2,
+                                 GpuAddressSpace& space)
+    : tree_(&tree), bodies_(&bodies), eps2_(eps2) {
+  if (bodies.dim() != 3)
+    throw std::invalid_argument("BarnesHutKernel: bodies must be 3-d");
+  if (theta <= 0) throw std::invalid_argument("BarnesHutKernel: theta <= 0");
+  float w = tree.root_width;
+  root_dsq_ = (w * w) / (theta * theta);
+  stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 8);
+  // Usage-split node records (section 5.2): nodes0 = the truncation-test
+  // fields (center of mass, mass, type: 20 bytes), nodes1 = child indices.
+  nodes0_ = space.register_buffer("bh_nodes0", 20,
+                                  static_cast<std::uint64_t>(tree.topo.n_nodes));
+  nodes1_ = space.register_buffer("bh_nodes1", 32,
+                                  static_cast<std::uint64_t>(tree.topo.n_nodes));
+  queries_ = space.register_buffer("bh_bodies", 4, 3 * bodies.size());
+}
+
+std::vector<BhForce> bh_brute_force(const PointSet& pos,
+                                    std::span<const float> masses,
+                                    float eps2) {
+  const std::size_t n = pos.size();
+  std::vector<BhForce> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double ax = 0, ay = 0, az = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      double dx = pos.at(j, 0) - pos.at(i, 0);
+      double dy = pos.at(j, 1) - pos.at(i, 1);
+      double dz = pos.at(j, 2) - pos.at(i, 2);
+      double dr2 = dx * dx + dy * dy + dz * dz + eps2;
+      double f = masses[j] / (dr2 * std::sqrt(dr2));
+      ax += dx * f;
+      ay += dy * f;
+      az += dz * f;
+    }
+    out[i] = {static_cast<float>(ax), static_cast<float>(ay),
+              static_cast<float>(az)};
+  }
+  return out;
+}
+
+void bh_integrate(PointSet& pos, std::vector<float>& vel,
+                  std::span<const BhForce> acc, float dt) {
+  const std::size_t n = pos.size();
+  if (acc.size() != n || vel.size() != 3 * n)
+    throw std::invalid_argument("bh_integrate: size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a[3] = {acc[i].ax, acc[i].ay, acc[i].az};
+    for (int d = 0; d < 3; ++d) {
+      float& v = vel[static_cast<std::size_t>(d) * n + i];
+      v += a[d] * dt;
+      pos.set(i, d, pos.at(i, d) + v * dt);
+    }
+  }
+}
+
+ir::TraversalFunc bh_ir() {
+  // Figure 9a:
+  //   if (!far_enough(root,p) && root.type != LEAF)  -> block 1 (8 calls)
+  //   else                                           -> block 2 (update)
+  ir::TraversalFunc f;
+  f.name = "barnes_hut";
+  f.blocks.resize(3);
+  f.blocks[0].term = ir::Block::Term::kBranch;
+  f.blocks[0].cond = 0;  // "!far_enough && !leaf"
+  f.blocks[0].cond_point_dependent = true;  // truncation depends on the body
+  f.blocks[0].succ_true = 1;
+  f.blocks[0].succ_false = 2;
+  for (int o = 0; o < 8; ++o) {
+    ir::Stmt call;
+    call.kind = ir::Stmt::Kind::kCall;
+    call.id = o;
+    call.child_slot = o;  // fixed octant order: point-independent
+    call.child_point_dependent = false;
+    call.arg_expr = 0;  // dsq' = dsq * 0.25
+    f.blocks[1].stmts.push_back(call);
+  }
+  f.blocks[1].term = ir::Block::Term::kReturn;
+  ir::Stmt upd;
+  upd.kind = ir::Stmt::Kind::kUpdate;
+  upd.id = 0;
+  f.blocks[2].stmts.push_back(upd);
+  f.blocks[2].term = ir::Block::Term::kReturn;
+  return f;
+}
+
+}  // namespace tt

@@ -1,0 +1,330 @@
+#include "bench_algos/harness.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "bench_algos/bh/barnes_hut.h"
+#include "bench_algos/knn/knn.h"
+#include "bench_algos/nn/nearest_neighbor.h"
+#include "bench_algos/pc/point_correlation.h"
+#include "bench_algos/vp/vantage_point.h"
+#include "core/cpu_executors.h"
+#include "core/gpu_executors.h"
+#include "cpu/parallel.h"
+#include "data/generators.h"
+#include "data/sorting.h"
+#include "spatial/kdtree.h"
+#include "spatial/octree.h"
+#include "spatial/vptree.h"
+
+namespace tt {
+
+std::string algo_name(Algo a) {
+  switch (a) {
+    case Algo::kBH: return "Barnes-Hut";
+    case Algo::kPC: return "PointCorrelation";
+    case Algo::kKNN: return "kNearestNeighbor";
+    case Algo::kNN: return "NearestNeighbor";
+    case Algo::kVP: return "VantagePoint";
+  }
+  return "?";
+}
+
+std::string input_name(InputKind i) {
+  switch (i) {
+    case InputKind::kPlummer: return "Plummer";
+    case InputKind::kRandomBodies: return "Random";
+    case InputKind::kCovtype: return "Covtype";
+    case InputKind::kMnist: return "Mnist";
+    case InputKind::kUniform: return "Random";
+    case InputKind::kGeocity: return "Geocity";
+  }
+  return "?";
+}
+
+std::vector<InputKind> inputs_for(Algo a) {
+  if (a == Algo::kBH)
+    return {InputKind::kPlummer, InputKind::kRandomBodies};
+  return {InputKind::kCovtype, InputKind::kMnist, InputKind::kUniform,
+          InputKind::kGeocity};
+}
+
+ir::AnalysisReport analysis_for(Algo a) {
+  switch (a) {
+    case Algo::kBH: return ir::analyze(bh_ir());
+    case Algo::kPC: return ir::analyze(pc_ir());
+    case Algo::kKNN: return ir::analyze(knn_ir());
+    case Algo::kNN: return ir::analyze(nn_ir());
+    case Algo::kVP: return ir::analyze(vp_ir());
+  }
+  throw std::logic_error("analysis_for: bad algo");
+}
+
+namespace {
+
+VariantResult to_variant(const KernelStats& stats, const TimeBreakdown& time,
+                         double avg_nodes, double sim_wall_ms) {
+  VariantResult v;
+  v.stats = stats;
+  v.time_ms = time.total_ms;
+  v.avg_nodes = avg_nodes;
+  v.sim_wall_ms = sim_wall_ms;
+  return v;
+}
+
+// Per-warp work expansion (Table 2): lockstep union size over the longest
+// individual traversal in the warp (the non-lockstep completion bound).
+Summary work_expansion(const std::vector<std::uint32_t>& per_point_visits,
+                       const std::vector<std::uint32_t>& per_warp_pops,
+                       int warp_size) {
+  RunningStats rs;
+  for (std::size_t w = 0; w < per_warp_pops.size(); ++w) {
+    std::uint32_t longest = 0;
+    std::size_t begin = w * static_cast<std::size_t>(warp_size);
+    std::size_t end = std::min(per_point_visits.size(),
+                               begin + static_cast<std::size_t>(warp_size));
+    for (std::size_t i = begin; i < end; ++i)
+      longest = std::max(longest, per_point_visits[i]);
+    if (longest == 0) continue;
+    rs.add(static_cast<double>(per_warp_pops[w]) / longest);
+  }
+  return rs.summary();
+}
+
+// Runs the CPU baselines and all four GPU variants for one kernel, filling
+// the variant columns of `row`. `equal` compares two Result values.
+template <TraversalKernel K, class Eq>
+void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
+             GpuAddressSpace& space, Eq&& equal) {
+  // Copy-in/copy-out accounting (section 5.2): everything registered so
+  // far is kernel input (tree + points); the stack arenas the executors
+  // add below are device-internal and never cross the bus.
+  row.upload_bytes = space.footprint_bytes();
+  row.download_bytes =
+      static_cast<std::uint64_t>(sizeof(typename K::Result)) * k.num_points();
+
+  // CPU: the original recursive implementation, measured for real.
+  auto cpu1 = run_cpu(k, CpuVariant::kRecursive, 1);
+  int tmax = cfg.cpu_threads > 0 ? cfg.cpu_threads : hardware_threads();
+  auto cpuN = run_cpu(k, CpuVariant::kRecursive, tmax);
+  row.cpu_t1_ms = cpu1.wall_ms;
+  row.cpu_tmax_ms = cpuN.wall_ms;
+  row.cpu_threads_measured = tmax;
+  row.cpu_visits = cpu1.total_visits;
+
+  auto gaN = run_gpu_sim(k, space, cfg.device, GpuMode{true, false});
+  auto gaL = run_gpu_sim(k, space, cfg.device, GpuMode{true, true});
+  auto grN = run_gpu_sim(k, space, cfg.device, GpuMode{false, false});
+  auto grL = run_gpu_sim(k, space, cfg.device, GpuMode{false, true});
+
+  row.auto_nolockstep =
+      to_variant(gaN.stats, gaN.time, gaN.avg_nodes(), gaN.sim_wall_ms);
+  row.auto_lockstep =
+      to_variant(gaL.stats, gaL.time, gaL.avg_nodes(), gaL.sim_wall_ms);
+  row.rec_nolockstep =
+      to_variant(grN.stats, grN.time, grN.avg_nodes(), grN.sim_wall_ms);
+  row.rec_lockstep =
+      to_variant(grL.stats, grL.time, grL.avg_nodes(), grL.sim_wall_ms);
+
+  row.work_expansion = work_expansion(gaN.per_point_visits, gaL.per_warp_pops,
+                                      cfg.device.warp_size);
+
+  if (cfg.verify) {
+    auto cpu_auto = run_cpu(k, CpuVariant::kAutoropes, 1);
+    auto check = [&](const std::vector<typename K::Result>& got,
+                     const char* what) {
+      for (std::size_t i = 0; i < got.size(); ++i)
+        if (!equal(cpu1.results[i], got[i]))
+          throw std::runtime_error(std::string("variant mismatch (") + what +
+                                   ") at point " + std::to_string(i));
+    };
+    check(cpu_auto.results, "cpu autoropes");
+    check(gaN.results, "gpu autoropes non-lockstep");
+    check(gaL.results, "gpu autoropes lockstep");
+    check(grN.results, "gpu recursive non-lockstep");
+    check(grL.results, "gpu recursive lockstep");
+  }
+}
+
+// Fold another timestep's measurements into the running row: times and
+// visit counters add; per-point averages stay averages of the whole run;
+// work expansion becomes the running mean over steps.
+void accumulate(BenchRow& row, const BenchRow& step, int steps_so_far) {
+  double w = 1.0 / steps_so_far;
+  auto add_variant = [w](VariantResult& a, const VariantResult& b) {
+    a.time_ms += b.time_ms;  // total traversal time, like the paper
+    a.avg_nodes = a.avg_nodes * (1.0 - w) + b.avg_nodes * w;  // per step
+    a.stats.merge(b.stats);
+    a.sim_wall_ms += b.sim_wall_ms;
+  };
+  add_variant(row.auto_lockstep, step.auto_lockstep);
+  add_variant(row.auto_nolockstep, step.auto_nolockstep);
+  add_variant(row.rec_lockstep, step.rec_lockstep);
+  add_variant(row.rec_nolockstep, step.rec_nolockstep);
+  row.cpu_t1_ms += step.cpu_t1_ms;
+  row.cpu_tmax_ms += step.cpu_tmax_ms;
+  row.cpu_visits += step.cpu_visits;
+  row.upload_bytes += step.upload_bytes;  // tree re-uploaded per step
+  row.download_bytes += step.download_bytes;
+  row.work_expansion.mean =
+      row.work_expansion.mean * (1.0 - w) + step.work_expansion.mean * w;
+  row.work_expansion.stddev =
+      row.work_expansion.stddev * (1.0 - w) + step.work_expansion.stddev * w;
+}
+
+PointSet make_tree_input(const BenchConfig& cfg) {
+  switch (cfg.input) {
+    case InputKind::kCovtype:
+      return gen_covtype_like(cfg.n, cfg.dim, cfg.seed);
+    case InputKind::kMnist:
+      return gen_mnist_like(cfg.n, cfg.dim, cfg.seed);
+    case InputKind::kUniform:
+      return gen_uniform(cfg.n, cfg.dim, cfg.seed);
+    case InputKind::kGeocity:
+      return gen_geocity_like(cfg.n, cfg.seed);
+    default:
+      throw std::invalid_argument("make_tree_input: body input for tree algo");
+  }
+}
+
+void apply_order(PointSet& pts, const BenchConfig& cfg) {
+  if (cfg.sorted) {
+    // Spatial sort (section 4.4): Morton order in low dimensions, kd-tree
+    // leaf order otherwise.
+    auto perm = pts.dim() <= 3 ? morton_order(pts)
+                               : tree_order(pts, cfg.leaf_size);
+    pts.permute(perm);
+  } else {
+    auto perm = shuffled_order(pts.size(), cfg.seed ^ 0x5bd1e995);
+    pts.permute(perm);
+  }
+}
+
+bool nearly_equal(float a, float b, float tol) {
+  if (a == b) return true;
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  float scale = std::max({1.0f, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+}  // namespace
+
+BenchRow run_bench(const BenchConfig& cfg) {
+  BenchRow row;
+  row.config = cfg;
+  GpuAddressSpace space;
+
+  switch (cfg.algo) {
+    case Algo::kBH: {
+      BodySet bodies = cfg.input == InputKind::kPlummer
+                           ? gen_plummer(cfg.n, cfg.seed)
+                           : gen_random_bodies(cfg.n, cfg.seed);
+      if (cfg.input != InputKind::kPlummer &&
+          cfg.input != InputKind::kRandomBodies)
+        throw std::invalid_argument("run_bench: BH needs a body input");
+      auto perm = cfg.sorted ? morton_order(bodies.pos)
+                             : shuffled_order(cfg.n, cfg.seed ^ 0x5bd1e995);
+      bodies.pos.permute(perm);
+      {  // masses/velocities follow the position permutation
+        std::vector<float> m(cfg.n), v(3 * cfg.n);
+        for (std::size_t j = 0; j < cfg.n; ++j) {
+          m[j] = bodies.mass[perm[j]];
+          for (int d = 0; d < 3; ++d)
+            v[static_cast<std::size_t>(d) * cfg.n + j] =
+                bodies.vel[static_cast<std::size_t>(d) * cfg.n + perm[j]];
+        }
+        bodies.mass = std::move(m);
+        bodies.vel = std::move(v);
+      }
+      // The paper integrates several timesteps, rebuilding the octree each
+      // step; traversal metrics accumulate across steps.
+      int steps = std::max(1, cfg.bh_timesteps);
+      for (int step = 0; step < steps; ++step) {
+        GpuAddressSpace step_space;
+        Octree tree = build_octree(bodies.pos, bodies.mass);
+        BarnesHutKernel k(tree, bodies.pos, cfg.bh_theta, cfg.bh_eps2,
+                          step == 0 ? space : step_space);
+        BenchRow step_row;
+        step_row.config = cfg;
+        run_all(step_row, cfg, k, step == 0 ? space : step_space,
+                [](const BhForce& a, const BhForce& b) {
+                  return nearly_equal(a.ax, b.ax, 1e-4f) &&
+                         nearly_equal(a.ay, b.ay, 1e-4f) &&
+                         nearly_equal(a.az, b.az, 1e-4f);
+                });
+        if (step == 0) {
+          row = step_row;
+          row.config = cfg;
+        } else {
+          accumulate(row, step_row, step + 1);
+        }
+        if (step + 1 < steps) {
+          // Advance with the verified CPU result (identical across
+          // variants) so later steps traverse an evolved tree.
+          auto cpu = run_cpu(k, CpuVariant::kAutoropes, 2);
+          bh_integrate(bodies.pos, bodies.vel, cpu.results, cfg.bh_dt);
+        }
+      }
+      break;
+    }
+    case Algo::kPC: {
+      PointSet pts = make_tree_input(cfg);
+      apply_order(pts, cfg);
+      KdTree tree = build_kdtree(pts, cfg.leaf_size);
+      float r = pc_pick_radius(pts, cfg.pc_target_neighbors, cfg.seed);
+      PointCorrelationKernel k(tree, pts, r, space);
+      run_all(row, cfg, k, space,
+              [](std::uint32_t a, std::uint32_t b) { return a == b; });
+      break;
+    }
+    case Algo::kKNN: {
+      PointSet pts = make_tree_input(cfg);
+      apply_order(pts, cfg);
+      KdTree tree = build_kdtree(pts, cfg.leaf_size);
+      KnnKernel k(tree, pts, cfg.k, space);
+      run_all(row, cfg, k, space, [](const KnnResult& a, const KnnResult& b) {
+        return nearly_equal(a.kth_d2, b.kth_d2, 1e-4f) &&
+               nearly_equal(a.sum_d2, b.sum_d2, 1e-3f);
+      });
+      break;
+    }
+    case Algo::kNN: {
+      PointSet pts = make_tree_input(cfg);
+      apply_order(pts, cfg);
+      KdTreeNN tree = build_kdtree_nn(pts);
+      NnKernel k(tree, pts, space);
+      run_all(row, cfg, k, space, [](const NnResult& a, const NnResult& b) {
+        return nearly_equal(a.best_d2, b.best_d2, 1e-4f);
+      });
+      break;
+    }
+    case Algo::kVP: {
+      PointSet pts = make_tree_input(cfg);
+      apply_order(pts, cfg);
+      VpTree tree = build_vptree(pts, cfg.seed ^ 0x7b1fa2);
+      VpKernel k(tree, pts, space);
+      run_all(row, cfg, k, space, [](const VpResult& a, const VpResult& b) {
+        return nearly_equal(a.best_d, b.best_d, 1e-4f);
+      });
+      break;
+    }
+  }
+  return row;
+}
+
+std::vector<CpuSweepPoint> cpu_sweep(const BenchRow& row, bool lockstep,
+                                     const std::vector<int>& thread_counts) {
+  const VariantResult& v = lockstep ? row.auto_lockstep : row.auto_nolockstep;
+  std::vector<CpuSweepPoint> out;
+  out.reserve(thread_counts.size());
+  for (int t : thread_counts) {
+    CpuSweepPoint p;
+    p.threads = t;
+    p.cpu_ms = row.cpu_model.time_ms(row.cpu_t1_ms, t);
+    p.ratio_vs_gpu = v.time_ms / p.cpu_ms;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace tt

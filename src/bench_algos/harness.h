@@ -1,0 +1,121 @@
+// Shared experiment harness: builds a benchmark/input pair exactly the way
+// the paper's evaluation does (generate -> order (sorted/unsorted) -> build
+// tree -> run every variant), and returns the measurements behind Table 1,
+// Table 2 and Figures 10/11.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ir/callset_analysis.h"
+#include "cpu/scaling_model.h"
+#include "simt/device_config.h"
+#include "simt/kernel_stats.h"
+#include "simt/transfer_model.h"
+#include "util/stats.h"
+
+namespace tt {
+
+enum class Algo { kBH, kPC, kKNN, kNN, kVP };
+enum class InputKind {
+  kPlummer,       // BH only
+  kRandomBodies,  // BH only
+  kCovtype,
+  kMnist,
+  kUniform,
+  kGeocity,
+};
+
+std::string algo_name(Algo a);
+std::string input_name(InputKind i);
+// The paper's benchmark/input grid (BH x {plummer, random-bodies}; others x
+// {covtype, mnist, uniform(=the paper's Random), geocity}).
+std::vector<InputKind> inputs_for(Algo a);
+// Static call-set analysis of the algorithm's IR description.
+ir::AnalysisReport analysis_for(Algo a);
+
+struct BenchConfig {
+  Algo algo = Algo::kPC;
+  InputKind input = InputKind::kUniform;
+  std::size_t n = 8192;  // points (or bodies)
+  bool sorted = true;
+  std::uint64_t seed = 42;
+
+  int dim = 7;                       // projected dimensionality
+  int k = 8;                         // kNN
+  double pc_target_neighbors = 32;   // sets the PC radius on scaled inputs
+  float bh_theta = 0.5f;
+  float bh_eps2 = 1e-4f;
+  int bh_timesteps = 1;  // the paper integrates 5 steps; 1 keeps runs short
+  float bh_dt = 0.0125f;
+  int leaf_size = 8;                 // bucket kd-tree leaves
+
+  int cpu_threads = 0;   // 0 => hardware_threads() for the measured run
+  bool verify = true;    // cross-check all variants' results agree
+  DeviceConfig device;
+};
+
+struct VariantResult {
+  double time_ms = 0;       // modelled GPU time
+  double avg_nodes = 0;     // the paper's "Avg. # Nodes" column
+  KernelStats stats;
+  double sim_wall_ms = 0;
+};
+
+struct BenchRow {
+  BenchConfig config;
+  // GPU variants.
+  VariantResult auto_lockstep, auto_nolockstep;
+  VariantResult rec_lockstep, rec_nolockstep;
+  // CPU measurements (real) and scaling model.
+  double cpu_t1_ms = 0;            // measured, 1 thread
+  double cpu_tmax_ms = 0;          // measured, cpu_threads threads
+  int cpu_threads_measured = 1;
+  std::uint64_t cpu_visits = 0;
+  CpuScalingModel cpu_model;
+
+  // Table 2: per-warp work expansion of the lockstep traversal.
+  Summary work_expansion;
+
+  // Section 5.2's copy-in/copy-out: bytes shipped to/from the device and
+  // the modelled PCIe time (not part of the paper's traversal-time
+  // columns, reported alongside for end-to-end judgement).
+  std::uint64_t upload_bytes = 0;
+  std::uint64_t download_bytes = 0;
+  TransferModel transfer;
+  [[nodiscard]] double transfer_ms() const {
+    return transfer.round_trip_ms(upload_bytes, download_bytes);
+  }
+
+  // Derived columns (Table 1).
+  double speedup_vs_1(const VariantResult& v) const {
+    return cpu_t1_ms / v.time_ms;
+  }
+  double speedup_vs_32(const VariantResult& v) const {
+    return cpu_model.time_ms(cpu_t1_ms, 32) / v.time_ms;
+  }
+  // "Improv. vs Recurse": like-for-like autoropes vs recursive GPU.
+  double improvement_vs_recursive(bool lockstep) const {
+    const VariantResult& a = lockstep ? auto_lockstep : auto_nolockstep;
+    const VariantResult& r = lockstep ? rec_lockstep : rec_nolockstep;
+    return r.time_ms / a.time_ms - 1.0;
+  }
+};
+
+// Run all variants for one benchmark/input/order cell. Throws on variant
+// result divergence when config.verify is set.
+BenchRow run_bench(const BenchConfig& config);
+
+// Figure 10/11 series: CPU-performance-vs-GPU ratio for each thread count,
+// normalized so GPU == 1 (values above 1 mean the CPU is faster).
+struct CpuSweepPoint {
+  int threads;
+  double cpu_ms;         // modelled from measured t1
+  double ratio_vs_gpu;   // gpu_ms / cpu_ms
+};
+std::vector<CpuSweepPoint> cpu_sweep(const BenchRow& row, bool lockstep,
+                                     const std::vector<int>& thread_counts);
+
+}  // namespace tt

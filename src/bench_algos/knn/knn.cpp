@@ -1,0 +1,101 @@
+#include "bench_algos/knn/knn.h"
+
+#include <stdexcept>
+
+#include "core/rope_stack.h"
+
+namespace tt {
+
+KnnKernel::KnnKernel(const KdTree& tree, const PointSet& queries, int k,
+                     GpuAddressSpace& space)
+    : tree_(&tree),
+      queries_(&queries),
+      data_(&queries),
+      dim_(tree.dim),
+      k_(k) {
+  if (queries.dim() != tree.dim)
+    throw std::invalid_argument("KnnKernel: dim mismatch");
+  if (k < 1 || k > kMaxK)
+    throw std::invalid_argument("KnnKernel: k out of [1, kMaxK]");
+  if (static_cast<std::size_t>(k) >= queries.size())
+    throw std::invalid_argument("KnnKernel: k >= number of points");
+  stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 2);
+  // nodes0 carries the truncation-test fields (bbox) plus the split plane
+  // used by the call-set choice.
+  nodes0_ = space.register_buffer(
+      "knn_nodes0", static_cast<std::uint64_t>(2 * dim_) * 4 + 8,
+      static_cast<std::uint64_t>(tree.topo.n_nodes));
+  nodes1_ = space.register_buffer(
+      "knn_nodes1", 16, static_cast<std::uint64_t>(tree.topo.n_nodes));
+  leafpts_ = space.register_buffer(
+      "knn_leaf_points", static_cast<std::uint64_t>(dim_) * 4,
+      tree.data_perm.size());
+  queries_buf_ = space.register_buffer(
+      "knn_queries", 4, static_cast<std::uint64_t>(dim_) * queries.size());
+}
+
+std::vector<KnnResult> knn_brute_force(const PointSet& data,
+                                       const PointSet& queries, int k) {
+  std::vector<KnnResult> out(queries.size());
+  float q[kMaxDim];
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    KnnHeap heap;
+    heap.k = k;
+    queries.gather(i, q);
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      if (j == i) continue;
+      heap.push(static_cast<float>(data.sq_dist(j, q)),
+                static_cast<std::int32_t>(j));
+    }
+    out[i].kth_d2 = heap.worst();
+    out[i].found = heap.size;
+    for (int h = 0; h < heap.size; ++h) {
+      out[i].sum_d2 += heap.d2[h];
+      out[i].ids[h] = heap.id[h];
+    }
+  }
+  return out;
+}
+
+ir::TraversalFunc knn_ir() {
+  // Figure 5: guard, leaf update, then either (near, far) or (far, near).
+  ir::TraversalFunc f;
+  f.name = "knn";
+  f.blocks.resize(7);
+  f.blocks[0].term = ir::Block::Term::kBranch;  // if (!can_correlate) return
+  f.blocks[0].cond = 0;
+  f.blocks[0].cond_point_dependent = true;
+  f.blocks[0].succ_true = 6;
+  f.blocks[0].succ_false = 1;
+  f.blocks[1].term = ir::Block::Term::kBranch;  // if (is_leaf) {update;return}
+  f.blocks[1].cond = 1;
+  f.blocks[1].cond_point_dependent = false;
+  f.blocks[1].succ_true = 5;
+  f.blocks[1].succ_false = 2;
+  f.blocks[2].term = ir::Block::Term::kBranch;  // if (closer_to_left)
+  f.blocks[2].cond = 2;
+  f.blocks[2].cond_point_dependent = true;  // the guided choice
+  f.blocks[2].succ_true = 3;
+  f.blocks[2].succ_false = 4;
+  auto call = [](int id, int slot) {
+    ir::Stmt s;
+    s.kind = ir::Stmt::Kind::kCall;
+    s.id = id;
+    s.child_slot = slot;
+    s.child_point_dependent = false;
+    return s;
+  };
+  f.blocks[3].stmts = {call(0, 0), call(1, 1)};  // left then right
+  f.blocks[3].term = ir::Block::Term::kReturn;
+  f.blocks[4].stmts = {call(2, 1), call(3, 0)};  // right then left
+  f.blocks[4].term = ir::Block::Term::kReturn;
+  ir::Stmt upd;
+  upd.kind = ir::Stmt::Kind::kUpdate;
+  upd.id = 0;
+  f.blocks[5].stmts.push_back(upd);
+  f.blocks[5].term = ir::Block::Term::kReturn;
+  f.blocks[6].term = ir::Block::Term::kReturn;
+  return f;
+}
+
+}  // namespace tt

@@ -1,0 +1,185 @@
+// k-Nearest-Neighbor search over a bucket kd-tree (paper section 6.1.2).
+// Guided traversal with two call sets (near-child-first vs far-child-first,
+// the two recursive-call orders of Figure 5); the call sets are
+// semantically equivalent (annotation kCallSetsEquivalent), enabling the
+// section-4.3 majority-vote lockstep variant.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/ir/traversal_ir.h"
+#include "core/traversal_kernel.h"
+#include "simt/address_space.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+
+// Fixed-capacity max-heap over squared distances: the per-point register
+// state of the kNN traversal. Capacity bounds k at compile time.
+inline constexpr int kMaxK = 16;
+
+struct KnnHeap {
+  float d2[kMaxK] = {};
+  std::int32_t id[kMaxK] = {};
+  int size = 0;
+  int k = 1;
+
+  [[nodiscard]] float worst() const {
+    return size == static_cast<int>(k) ? d2[0]
+                                       : std::numeric_limits<float>::infinity();
+  }
+  void push(float v) { push(v, -1); }
+  void push(float v, std::int32_t who) {
+    if (size < k) {
+      d2[size] = v;
+      id[size] = who;
+      ++size;
+      // sift up
+      int i = size - 1;
+      while (i > 0) {
+        int p = (i - 1) / 2;
+        if (d2[p] >= d2[i]) break;
+        swap_at(p, i);
+        i = p;
+      }
+    } else if (v < d2[0]) {
+      d2[0] = v;
+      id[0] = who;
+      // sift down
+      int i = 0;
+      for (;;) {
+        int l = 2 * i + 1, r = 2 * i + 2, m = i;
+        if (l < size && d2[l] > d2[m]) m = l;
+        if (r < size && d2[r] > d2[m]) m = r;
+        if (m == i) break;
+        swap_at(m, i);
+        i = m;
+      }
+    }
+  }
+
+ private:
+  void swap_at(int a, int b) {
+    float td = d2[a];
+    d2[a] = d2[b];
+    d2[b] = td;
+    std::int32_t ti = id[a];
+    id[a] = id[b];
+    id[b] = ti;
+  }
+};
+
+struct KnnResult {
+  float kth_d2 = 0;  // squared distance of the k-th neighbor
+  float sum_d2 = 0;  // order-independent checksum of the k distances
+  int found = 0;     // neighbors actually found (== k unless n is tiny)
+  std::int32_t ids[kMaxK] = {};  // the neighbors (heap order)
+  friend bool operator==(const KnnResult&, const KnnResult&) = default;
+};
+
+class KnnKernel {
+ public:
+  struct State {
+    float q[kMaxDim];
+    KnnHeap heap;
+    std::uint32_t self = 0;
+  };
+  using Result = KnnResult;
+  using UArg = Empty;
+  using LArg = Empty;
+  static constexpr int kFanout = 2;
+  static constexpr int kNumCallSets = 2;
+  static constexpr bool kCallSetsEquivalent = true;
+
+  KnnKernel(const KdTree& tree, const PointSet& queries, int k,
+            GpuAddressSpace& space);
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] std::size_t num_points() const { return queries_->size(); }
+  [[nodiscard]] UArg root_uarg() const { return {}; }
+  [[nodiscard]] LArg root_larg() const { return {}; }
+  [[nodiscard]] int stack_bound() const { return stack_bound_; }
+  [[nodiscard]] int k() const { return k_; }
+
+  template <class Mem>
+  State init(std::uint32_t pid, Mem& mem, int lane) const {
+    const std::size_t n = queries_->size();
+    State s;
+    for (int d = 0; d < dim_; ++d) {
+      mem.lane_load(lane, queries_buf_,
+                    static_cast<std::uint64_t>(d) * n + pid);
+      s.q[d] = queries_->at(pid, d);
+    }
+    s.heap.k = k_;
+    s.self = pid;
+    return s;
+  }
+
+  template <class Mem>
+  bool visit(NodeId n, const UArg&, const LArg&, State& st, Mem& mem,
+             int lane) const {
+    mem.lane_load(lane, nodes0_, static_cast<std::uint64_t>(n));
+    if (tree_->box_sq_dist(n, st.q) > st.heap.worst()) return false;
+    if (!tree_->topo.is_leaf(n)) return true;
+    for (std::int32_t i = tree_->leaf_begin[n]; i < tree_->leaf_end[n]; ++i) {
+      mem.lane_load(lane, leafpts_, static_cast<std::uint64_t>(i));
+      std::uint32_t p = tree_->data_perm[static_cast<std::size_t>(i)];
+      if (p == st.self) continue;  // a point is not its own neighbor
+      st.heap.push(static_cast<float>(data_->sq_dist(p, st.q)),
+                   static_cast<std::int32_t>(p));
+    }
+    return false;
+  }
+
+  // Call set 0: the child whose half-space contains q first (Figure 5's
+  // closer_to_left); call set 1: the other order.
+  [[nodiscard]] int choose_callset(NodeId n, const State& st) const {
+    int sd = tree_->split_dim[n];
+    if (sd < 0) return 0;
+    return st.q[sd] <= tree_->split_val[n] ? 0 : 1;
+  }
+
+  template <class Mem>
+  int children(NodeId n, const UArg&, int callset, const State&,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    mem.lane_load(lane, nodes1_, static_cast<std::uint64_t>(n));
+    NodeId l = tree_->topo.child(n, 0);
+    NodeId r = tree_->topo.child(n, 1);
+    NodeId first = callset == 0 ? l : r;
+    NodeId second = callset == 0 ? r : l;
+    int cnt = 0;
+    if (first != kNullNode) out[cnt++].node = first;
+    if (second != kNullNode) out[cnt++].node = second;
+    return cnt;
+  }
+
+  [[nodiscard]] Result finish(const State& st) const {
+    KnnResult r;
+    r.kth_d2 = st.heap.worst();
+    r.found = st.heap.size;
+    for (int i = 0; i < st.heap.size; ++i) {
+      r.sum_d2 += st.heap.d2[i];
+      r.ids[i] = st.heap.id[i];
+    }
+    return r;
+  }
+
+ private:
+  const KdTree* tree_;
+  const PointSet* queries_;
+  const PointSet* data_;
+  int dim_, k_;
+  int stack_bound_;
+  BufferId nodes0_, nodes1_, leafpts_, queries_buf_;
+};
+
+// Brute-force reference (returns the same checksums as KnnKernel).
+std::vector<KnnResult> knn_brute_force(const PointSet& data,
+                                       const PointSet& queries, int k);
+
+// IR description (Figure 5): two call sets {near,far} / {far,near}.
+ir::TraversalFunc knn_ir();
+
+}  // namespace tt

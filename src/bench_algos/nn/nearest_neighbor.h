@@ -1,0 +1,145 @@
+// Nearest-Neighbor over the point-node kd-tree (the paper's NN benchmark:
+// "a variation of nearest neighbor search with a different implementation
+// of the kd-tree structure", section 6.1.2).
+//
+// Guided, two call sets. Unlike the bucket tree, every node stores a data
+// point, so updates happen at every visit; the truncation bound for a far
+// subtree is the splitting-plane distance computed at the parent, which is
+// point-specific -- the canonical *per-lane* rope-stack argument (LArg).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/ir/traversal_ir.h"
+#include "core/traversal_kernel.h"
+#include "simt/address_space.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+
+struct NnResult {
+  float best_d2 = std::numeric_limits<float>::infinity();
+  friend bool operator==(const NnResult&, const NnResult&) = default;
+};
+
+class NnKernel {
+ public:
+  struct State {
+    float q[kMaxDim];
+    float best_d2 = std::numeric_limits<float>::infinity();
+    std::uint32_t self = 0;
+  };
+  using Result = NnResult;
+  using UArg = Empty;
+  struct LArg {
+    // Squared lower bound on the distance from q to any point in this
+    // subtree (0 for the near child, plane distance^2 for the far child).
+    float min_d2 = 0;
+  };
+  static constexpr int kFanout = 2;
+  static constexpr int kNumCallSets = 2;
+  static constexpr bool kCallSetsEquivalent = true;
+
+  NnKernel(const KdTreeNN& tree, const PointSet& queries,
+           GpuAddressSpace& space);
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] std::size_t num_points() const { return queries_->size(); }
+  [[nodiscard]] UArg root_uarg() const { return {}; }
+  [[nodiscard]] LArg root_larg() const { return {}; }
+  [[nodiscard]] int stack_bound() const { return stack_bound_; }
+
+  template <class Mem>
+  State init(std::uint32_t pid, Mem& mem, int lane) const {
+    const std::size_t n = queries_->size();
+    State s;
+    for (int d = 0; d < dim_; ++d) {
+      mem.lane_load(lane, queries_buf_,
+                    static_cast<std::uint64_t>(d) * n + pid);
+      s.q[d] = queries_->at(pid, d);
+    }
+    s.self = pid;
+    return s;
+  }
+
+  template <class Mem>
+  bool visit(NodeId n, const UArg&, const LArg& la, State& st, Mem& mem,
+             int lane) const {
+    if (la.min_d2 > st.best_d2) return false;  // subtree cannot improve
+    mem.lane_load(lane, nodes0_, static_cast<std::uint64_t>(n));
+    if (static_cast<std::uint32_t>(tree_->point_id[n]) != st.self) {
+      double d2 = 0;
+      const float* c = &tree_->coords[static_cast<std::size_t>(n) * dim_];
+      for (int d = 0; d < dim_; ++d) {
+        double delta = static_cast<double>(c[d]) - st.q[d];
+        d2 += delta * delta;
+      }
+      if (d2 < st.best_d2) st.best_d2 = static_cast<float>(d2);
+    }
+    return !tree_->topo.is_leaf(n);
+  }
+
+  [[nodiscard]] int choose_callset(NodeId n, const State& st) const {
+    int sd = tree_->split_dim[n];
+    float sv = tree_->coords[static_cast<std::size_t>(n) * dim_ + sd];
+    return st.q[sd] <= sv ? 0 : 1;  // 0: below-first
+  }
+
+  template <class Mem>
+  int children(NodeId n, const UArg&, int callset, const State& st,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    mem.lane_load(lane, nodes1_, static_cast<std::uint64_t>(n));
+    int sd = tree_->split_dim[n];
+    float sv = tree_->coords[static_cast<std::size_t>(n) * dim_ + sd];
+    float plane = st.q[sd] - sv;
+    float plane_d2 = plane * plane;
+    // The half-space containing q gets bound 0; the far side cannot hold
+    // anything closer than the splitting plane.
+    int near_slot = st.q[sd] <= sv ? KdTreeNN::kBelow : KdTreeNN::kAbove;
+    NodeId first, second;
+    float first_bound, second_bound;
+    if (callset == 0) {
+      first = tree_->topo.child(n, KdTreeNN::kBelow);
+      second = tree_->topo.child(n, KdTreeNN::kAbove);
+      first_bound = near_slot == KdTreeNN::kBelow ? 0.f : plane_d2;
+      second_bound = near_slot == KdTreeNN::kAbove ? 0.f : plane_d2;
+    } else {
+      first = tree_->topo.child(n, KdTreeNN::kAbove);
+      second = tree_->topo.child(n, KdTreeNN::kBelow);
+      first_bound = near_slot == KdTreeNN::kAbove ? 0.f : plane_d2;
+      second_bound = near_slot == KdTreeNN::kBelow ? 0.f : plane_d2;
+    }
+    int cnt = 0;
+    if (first != kNullNode) {
+      out[cnt].node = first;
+      out[cnt].larg = {first_bound};
+      ++cnt;
+    }
+    if (second != kNullNode) {
+      out[cnt].node = second;
+      out[cnt].larg = {second_bound};
+      ++cnt;
+    }
+    return cnt;
+  }
+
+  [[nodiscard]] Result finish(const State& st) const {
+    return {st.best_d2};
+  }
+
+ private:
+  const KdTreeNN* tree_;
+  const PointSet* queries_;
+  int dim_;
+  int stack_bound_;
+  BufferId nodes0_, nodes1_, queries_buf_;
+};
+
+std::vector<NnResult> nn_brute_force(const PointSet& data,
+                                     const PointSet& queries);
+
+ir::TraversalFunc nn_ir();
+
+}  // namespace tt

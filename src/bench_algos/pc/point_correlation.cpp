@@ -1,0 +1,125 @@
+#include "bench_algos/pc/point_correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rope_stack.h"
+#include "util/rng.h"
+
+namespace tt {
+
+PointCorrelationKernel::PointCorrelationKernel(const KdTree& tree,
+                                               const PointSet& queries,
+                                               float radius,
+                                               GpuAddressSpace& space)
+    : tree_(&tree),
+      queries_(&queries),
+      data_(nullptr),
+      dim_(tree.dim),
+      radius_(radius),
+      r2_(radius * radius) {
+  if (queries.dim() != tree.dim)
+    throw std::invalid_argument("PointCorrelationKernel: dim mismatch");
+  if (radius < 0)
+    throw std::invalid_argument("PointCorrelationKernel: negative radius");
+  // The tree's leaf buckets index into the set it was built over; for the
+  // paper's self-correlation workload that is the query set itself.
+  data_ = &queries;
+  stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 2);
+  // nodes0: bounding box (2 * dim floats); nodes1: children + leaf range.
+  nodes0_ = space.register_buffer(
+      "pc_nodes0", static_cast<std::uint64_t>(2 * dim_) * 4,
+      static_cast<std::uint64_t>(tree.topo.n_nodes));
+  nodes1_ = space.register_buffer(
+      "pc_nodes1", 16, static_cast<std::uint64_t>(tree.topo.n_nodes));
+  leafpts_ = space.register_buffer(
+      "pc_leaf_points", static_cast<std::uint64_t>(dim_) * 4,
+      tree.data_perm.size());
+  queries_buf_ = space.register_buffer("pc_queries", 4,
+                                       static_cast<std::uint64_t>(dim_) *
+                                           queries.size());
+}
+
+std::vector<std::uint32_t> pc_brute_force(const PointSet& data,
+                                          const PointSet& queries,
+                                          float radius) {
+  const double r2 = static_cast<double>(radius) * radius;
+  std::vector<std::uint32_t> out(queries.size(), 0);
+  float q[kMaxDim];
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries.gather(i, q);
+    std::uint32_t c = 0;
+    for (std::size_t j = 0; j < data.size(); ++j)
+      if (data.sq_dist(j, q) <= r2) ++c;
+    out[i] = c > 0 ? c - 1 : 0;
+  }
+  return out;
+}
+
+float pc_pick_radius(const PointSet& data, double target_mean_neighbors,
+                     std::uint64_t seed) {
+  if (data.size() < 2) return 0.f;
+  // Sample pairwise distances; pick the quantile whose expected match count
+  // equals the target: P(d <= r) ~= target / n.
+  Pcg32 rng(seed, 13);
+  constexpr std::size_t kSamples = 4096;
+  std::vector<double> d2s;
+  d2s.reserve(kSamples);
+  float q[kMaxDim];
+  for (std::size_t s = 0; s < kSamples; ++s) {
+    auto a = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint32_t>(data.size())));
+    auto b = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint32_t>(data.size())));
+    if (a == b) continue;
+    data.gather(a, q);
+    d2s.push_back(data.sq_dist(b, q));
+  }
+  std::sort(d2s.begin(), d2s.end());
+  double frac = std::min(
+      1.0, target_mean_neighbors / static_cast<double>(data.size()));
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(d2s.size()));
+  idx = std::min(idx, d2s.size() - 1);
+  return static_cast<float>(std::sqrt(d2s[idx]));
+}
+
+ir::TraversalFunc pc_ir() {
+  // Figure 4: truncation guard, leaf update, else recurse(left), recurse(right).
+  ir::TraversalFunc f;
+  f.name = "point_correlation";
+  f.blocks.resize(5);
+  // block 0: if (!can_correlate) return;  (block 4 is the bare return)
+  f.blocks[0].term = ir::Block::Term::kBranch;
+  f.blocks[0].cond = 0;  // "cannot correlate"
+  f.blocks[0].cond_point_dependent = true;
+  f.blocks[0].succ_true = 4;   // truncate: plain return
+  f.blocks[0].succ_false = 1;  // continue
+  // block 1: if (is_leaf) { update; return } else -> block 2
+  f.blocks[1].term = ir::Block::Term::kBranch;
+  f.blocks[1].cond = 1;  // "is leaf"
+  f.blocks[1].cond_point_dependent = false;
+  f.blocks[1].succ_true = 3;  // leaf: update then return
+  f.blocks[1].succ_false = 2;
+  // block 2: recurse(left); recurse(right)
+  for (int k = 0; k < 2; ++k) {
+    ir::Stmt call;
+    call.kind = ir::Stmt::Kind::kCall;
+    call.id = k;
+    call.child_slot = k;
+    call.child_point_dependent = false;
+    f.blocks[2].stmts.push_back(call);
+  }
+  f.blocks[2].term = ir::Block::Term::kReturn;
+  // block 3: leaf update; return. block 4: bare return.
+  ir::Stmt upd;
+  upd.kind = ir::Stmt::Kind::kUpdate;
+  upd.id = 0;
+  f.blocks[3].stmts.push_back(upd);
+  f.blocks[3].term = ir::Block::Term::kReturn;
+  f.blocks[4].term = ir::Block::Term::kReturn;
+  return f;
+}
+
+}  // namespace tt

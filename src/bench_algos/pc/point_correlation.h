@@ -1,0 +1,121 @@
+// Two-point correlation (paper section 6.1.2): for every point, count the
+// points within radius r by traversing a bucket kd-tree. Unguided, single
+// call set, fanout 2 -- the direct instantiation of Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ir/traversal_ir.h"
+#include "core/traversal_kernel.h"
+#include "simt/address_space.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+
+class PointCorrelationKernel {
+ public:
+  struct State {
+    float q[kMaxDim];
+    std::uint32_t count = 0;
+  };
+  using Result = std::uint32_t;  // neighbors within r (excluding self)
+  using UArg = Empty;
+  using LArg = Empty;
+  static constexpr int kFanout = 2;
+  static constexpr int kNumCallSets = 1;
+  static constexpr bool kCallSetsEquivalent = true;
+
+  PointCorrelationKernel(const KdTree& tree, const PointSet& queries,
+                         float radius, GpuAddressSpace& space);
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] std::size_t num_points() const { return queries_->size(); }
+  [[nodiscard]] UArg root_uarg() const { return {}; }
+  [[nodiscard]] LArg root_larg() const { return {}; }
+  [[nodiscard]] int stack_bound() const { return stack_bound_; }
+
+  template <class Mem>
+  State init(std::uint32_t pid, Mem& mem, int lane) const {
+    const std::size_t n = queries_->size();
+    State s;
+    for (int d = 0; d < dim_; ++d) {
+      mem.lane_load(lane, queries_buf_,
+                    static_cast<std::uint64_t>(d) * n + pid);
+      s.q[d] = queries_->at(pid, d);
+    }
+    return s;
+  }
+
+  template <class Mem>
+  bool visit(NodeId n, const UArg&, const LArg&, State& st, Mem& mem,
+             int lane) const {
+    mem.lane_load(lane, nodes0_, static_cast<std::uint64_t>(n));
+    if (tree_->box_sq_dist(n, st.q) > r2_) return false;  // can_correlate
+    if (!tree_->topo.is_leaf(n)) return true;
+    // Leaf: scan the bucket; each stored point is one more load of the
+    // permuted leaf-point array (contiguous per leaf).
+    for (std::int32_t i = tree_->leaf_begin[n]; i < tree_->leaf_end[n]; ++i) {
+      mem.lane_load(lane, leafpts_, static_cast<std::uint64_t>(i));
+      std::uint32_t p = tree_->data_perm[static_cast<std::size_t>(i)];
+      double d2 = 0;
+      for (int d = 0; d < dim_; ++d) {
+        double delta = static_cast<double>(data_->at(p, d)) - st.q[d];
+        d2 += delta * delta;
+      }
+      if (d2 <= r2_) ++st.count;
+    }
+    return false;
+  }
+
+  [[nodiscard]] int choose_callset(NodeId, const State&) const { return 0; }
+
+  template <class Mem>
+  int children(NodeId n, const UArg&, int /*callset*/, const State&,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    mem.lane_load(lane, nodes1_, static_cast<std::uint64_t>(n));
+    int cnt = 0;
+    for (int k = 0; k < 2; ++k) {
+      NodeId c = tree_->topo.child(n, k);
+      if (c == kNullNode) continue;
+      out[cnt].node = c;
+      ++cnt;
+    }
+    return cnt;
+  }
+
+  [[nodiscard]] Result finish(const State& st) const {
+    // The query point is a member of the data set and always matches
+    // itself; report "other points in radius" like the paper.
+    return st.count > 0 ? st.count - 1 : 0;
+  }
+
+  // Static-ropes baseline support: PC carries no traversal arguments.
+  [[nodiscard]] UArg uarg_at(NodeId) const { return {}; }
+
+  [[nodiscard]] float radius() const { return radius_; }
+
+ private:
+  const KdTree* tree_;
+  const PointSet* queries_;
+  const PointSet* data_;
+  int dim_;
+  float radius_, r2_;
+  int stack_bound_;
+  BufferId nodes0_, nodes1_, leafpts_, queries_buf_;
+};
+
+// Brute-force reference.
+std::vector<std::uint32_t> pc_brute_force(const PointSet& data,
+                                          const PointSet& queries,
+                                          float radius);
+
+// Pick a radius giving roughly `target_mean_neighbors` matches per query
+// (sampled estimate), so scaled-down inputs keep paper-like truncation.
+float pc_pick_radius(const PointSet& data, double target_mean_neighbors,
+                     std::uint64_t seed);
+
+// IR description (Figure 4): one call set {left, right}.
+ir::TraversalFunc pc_ir();
+
+}  // namespace tt

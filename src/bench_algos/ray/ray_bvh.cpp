@@ -1,0 +1,147 @@
+#include "bench_algos/ray/ray_bvh.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rope_stack.h"
+#include "util/rng.h"
+
+namespace tt {
+
+RayBvhKernel::RayBvhKernel(const Bvh& bvh, const TriangleMesh& mesh,
+                           const std::vector<Ray>& rays,
+                           GpuAddressSpace& space)
+    : bvh_(&bvh), mesh_(&mesh), rays_(&rays) {
+  stack_bound_ = rope_stack_bound(bvh.topo.max_depth(), 2);
+  // nodes0: the AABB (24 bytes); nodes1: children + leaf range.
+  nodes0_ = space.register_buffer(
+      "bvh_nodes0", 24, static_cast<std::uint64_t>(bvh.topo.n_nodes));
+  nodes1_ = space.register_buffer(
+      "bvh_nodes1", 16, static_cast<std::uint64_t>(bvh.topo.n_nodes));
+  tris_buf_ = space.register_buffer("bvh_tris", 36, mesh.tris.size());
+  rays_buf_ = space.register_buffer("rays", 24, rays.size());
+}
+
+std::vector<RayHit> ray_brute_force(const TriangleMesh& mesh,
+                                    const std::vector<Ray>& rays) {
+  std::vector<RayHit> out(rays.size());
+  for (std::size_t i = 0; i < rays.size(); ++i) {
+    RayHit h;
+    for (std::size_t t = 0; t < mesh.tris.size(); ++t) {
+      float d = ray_triangle(rays[i].origin, rays[i].dir, mesh.tris[t], h.t);
+      if (d < h.t) {
+        h.t = d;
+        h.tri = static_cast<std::int32_t>(t);
+      }
+    }
+    out[i] = h;
+  }
+  return out;
+}
+
+TriangleMesh gen_triangle_scene(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed, 41);
+  constexpr int kObjects = 24;
+  Vec3 center[kObjects];
+  float size[kObjects];
+  for (int o = 0; o < kObjects; ++o) {
+    center[o] = {rng.next_float(), rng.next_float(), rng.next_float()};
+    size[o] = 0.02f + 0.08f * rng.next_float();
+  }
+  TriangleMesh mesh;
+  mesh.tris.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int o = static_cast<int>(rng.next_below(kObjects));
+    Vec3 base = {center[o].x + static_cast<float>(rng.normal()) * size[o],
+                 center[o].y + static_cast<float>(rng.normal()) * size[o],
+                 center[o].z + static_cast<float>(rng.normal()) * size[o]};
+    auto jitter = [&] {
+      return Vec3{(rng.next_float() - 0.5f) * size[o],
+                  (rng.next_float() - 0.5f) * size[o],
+                  (rng.next_float() - 0.5f) * size[o]};
+    };
+    mesh.tris.push_back({base, base + jitter(), base + jitter()});
+  }
+  return mesh;
+}
+
+std::vector<Ray> gen_camera_rays(int width, int height, Vec3 eye,
+                                 Vec3 look_at) {
+  if (width <= 0 || height <= 0)
+    throw std::invalid_argument("gen_camera_rays: bad image size");
+  Vec3 fwd = look_at - eye;
+  float len = std::sqrt(dot(fwd, fwd));
+  fwd = fwd * (1.0f / (len > 0 ? len : 1.f));
+  Vec3 up{0, 1, 0};
+  Vec3 right = cross(fwd, up);
+  float rlen = std::sqrt(dot(right, right));
+  right = right * (1.0f / (rlen > 0 ? rlen : 1.f));
+  Vec3 cam_up = cross(right, fwd);
+
+  std::vector<Ray> rays;
+  rays.reserve(static_cast<std::size_t>(width) * height);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x) {
+      float u = (static_cast<float>(x) + 0.5f) / width - 0.5f;
+      float v = (static_cast<float>(y) + 0.5f) / height - 0.5f;
+      Vec3 dir = fwd + right * u + cam_up * v;
+      rays.push_back({eye, dir});
+    }
+  return rays;
+}
+
+std::vector<Ray> gen_random_rays(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed, 43);
+  std::vector<Ray> rays;
+  rays.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 o{rng.next_float(), rng.next_float(), rng.next_float()};
+    Vec3 d{static_cast<float>(rng.normal()), static_cast<float>(rng.normal()),
+           static_cast<float>(rng.normal())};
+    rays.push_back({o, d});
+  }
+  return rays;
+}
+
+ir::TraversalFunc ray_ir() {
+  // Same guided shape as kNN's Figure 5 (guard, leaf update, near-first or
+  // far-first descent).
+  ir::TraversalFunc f;
+  f.name = "ray_bvh";
+  f.blocks.resize(7);
+  f.blocks[0].term = ir::Block::Term::kBranch;  // if (box missed) return
+  f.blocks[0].cond = 0;
+  f.blocks[0].cond_point_dependent = true;
+  f.blocks[0].succ_true = 6;
+  f.blocks[0].succ_false = 1;
+  f.blocks[1].term = ir::Block::Term::kBranch;  // if (leaf) intersect;return
+  f.blocks[1].cond = 1;
+  f.blocks[1].cond_point_dependent = false;
+  f.blocks[1].succ_true = 5;
+  f.blocks[1].succ_false = 2;
+  f.blocks[2].term = ir::Block::Term::kBranch;  // if (enters left first)
+  f.blocks[2].cond = 2;
+  f.blocks[2].cond_point_dependent = true;
+  f.blocks[2].succ_true = 3;
+  f.blocks[2].succ_false = 4;
+  auto call = [](int id, int slot) {
+    ir::Stmt s;
+    s.kind = ir::Stmt::Kind::kCall;
+    s.id = id;
+    s.child_slot = slot;
+    return s;
+  };
+  f.blocks[3].stmts = {call(0, 0), call(1, 1)};
+  f.blocks[3].term = ir::Block::Term::kReturn;
+  f.blocks[4].stmts = {call(2, 1), call(3, 0)};
+  f.blocks[4].term = ir::Block::Term::kReturn;
+  ir::Stmt upd;
+  upd.kind = ir::Stmt::Kind::kUpdate;
+  upd.id = 0;
+  f.blocks[5].stmts.push_back(upd);
+  f.blocks[5].term = ir::Block::Term::kReturn;
+  f.blocks[6].term = ir::Block::Term::kReturn;
+  return f;
+}
+
+}  // namespace tt

@@ -1,0 +1,147 @@
+// Ray / BVH closest-hit traversal -- the graphics workload the paper's
+// introduction motivates ("rays traverse the tree to determine which
+// object(s) they intersect") and the domain of the prior-work rope papers
+// (Popov et al., Hapala et al.).
+//
+// Guided traversal with two call sets: each ray descends into the child
+// whose box it enters first. The call sets are semantically equivalent
+// (any order finds the same closest hit), so the section-4.3 vote enables
+// lockstep; ray packets (coherent camera rays) are the classic case where
+// lockstep/packet traversal pays off.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/ir/traversal_ir.h"
+#include "core/traversal_kernel.h"
+#include "simt/address_space.h"
+#include "spatial/bvh.h"
+
+namespace tt {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 dir;  // need not be normalized
+};
+
+struct RayHit {
+  float t = std::numeric_limits<float>::infinity();
+  std::int32_t tri = -1;
+  friend bool operator==(const RayHit&, const RayHit&) = default;
+};
+
+class RayBvhKernel {
+ public:
+  struct State {
+    Vec3 o, d, inv_d;
+    float t_best = std::numeric_limits<float>::infinity();
+    std::int32_t tri = -1;
+  };
+  using Result = RayHit;
+  using UArg = Empty;
+  using LArg = Empty;
+  static constexpr int kFanout = 2;
+  static constexpr int kNumCallSets = 2;
+  static constexpr bool kCallSetsEquivalent = true;
+
+  RayBvhKernel(const Bvh& bvh, const TriangleMesh& mesh,
+               const std::vector<Ray>& rays, GpuAddressSpace& space);
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] std::size_t num_points() const { return rays_->size(); }
+  [[nodiscard]] UArg root_uarg() const { return {}; }
+  [[nodiscard]] LArg root_larg() const { return {}; }
+  [[nodiscard]] int stack_bound() const { return stack_bound_; }
+
+  template <class Mem>
+  State init(std::uint32_t pid, Mem& mem, int lane) const {
+    mem.lane_load(lane, rays_buf_, pid);
+    const Ray& r = (*rays_)[pid];
+    State s;
+    s.o = r.origin;
+    s.d = r.dir;
+    auto safe_inv = [](float v) {
+      return 1.0f / (v == 0.f ? 1e-12f : v);
+    };
+    s.inv_d = {safe_inv(r.dir.x), safe_inv(r.dir.y), safe_inv(r.dir.z)};
+    return s;
+  }
+
+  template <class Mem>
+  bool visit(NodeId n, const UArg&, const LArg&, State& st, Mem& mem,
+             int lane) const {
+    mem.lane_load(lane, nodes0_, static_cast<std::uint64_t>(n));
+    if (bvh_->box_entry(n, st.o, st.inv_d, st.t_best) ==
+        std::numeric_limits<float>::infinity())
+      return false;
+    if (!bvh_->topo.is_leaf(n)) return true;
+    for (std::int32_t i = bvh_->leaf_begin[n]; i < bvh_->leaf_end[n]; ++i) {
+      mem.lane_load(lane, tris_buf_, static_cast<std::uint64_t>(i));
+      auto tri = bvh_->tri_perm[static_cast<std::size_t>(i)];
+      float t = ray_triangle(st.o, st.d, mesh_->tris[tri], st.t_best);
+      if (t < st.t_best) {
+        st.t_best = t;
+        st.tri = static_cast<std::int32_t>(tri);
+      }
+    }
+    return false;
+  }
+
+  // Call set 0: left child first. A ray prefers the child whose box it
+  // enters earlier.
+  [[nodiscard]] int choose_callset(NodeId n, const State& st) const {
+    NodeId l = bvh_->topo.child(n, 0);
+    NodeId r = bvh_->topo.child(n, 1);
+    if (l == kNullNode || r == kNullNode) return 0;
+    float tl = bvh_->box_entry(l, st.o, st.inv_d, st.t_best);
+    float tr = bvh_->box_entry(r, st.o, st.inv_d, st.t_best);
+    return tl <= tr ? 0 : 1;
+  }
+
+  template <class Mem>
+  int children(NodeId n, const UArg&, int callset, const State&,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    mem.lane_load(lane, nodes1_, static_cast<std::uint64_t>(n));
+    NodeId l = bvh_->topo.child(n, 0);
+    NodeId r = bvh_->topo.child(n, 1);
+    NodeId first = callset == 0 ? l : r;
+    NodeId second = callset == 0 ? r : l;
+    int cnt = 0;
+    if (first != kNullNode) out[cnt++].node = first;
+    if (second != kNullNode) out[cnt++].node = second;
+    return cnt;
+  }
+
+  [[nodiscard]] Result finish(const State& st) const {
+    return {st.t_best, st.tri};
+  }
+
+ private:
+  const Bvh* bvh_;
+  const TriangleMesh* mesh_;
+  const std::vector<Ray>* rays_;
+  int stack_bound_;
+  BufferId nodes0_, nodes1_, tris_buf_, rays_buf_;
+};
+
+// Brute-force closest hit over all triangles.
+std::vector<RayHit> ray_brute_force(const TriangleMesh& mesh,
+                                    const std::vector<Ray>& rays);
+
+// Procedural scene: `n` triangles clustered around random "objects" in the
+// unit cube (a synthetic stand-in for a real scene's spatial structure).
+TriangleMesh gen_triangle_scene(std::size_t n, std::uint64_t seed);
+
+// Coherent primary rays from a pinhole camera (one per pixel, row-major) --
+// the "sorted" input of graphics workloads.
+std::vector<Ray> gen_camera_rays(int width, int height, Vec3 eye,
+                                 Vec3 look_at);
+
+// Incoherent rays: random origins/directions (the "unsorted" input).
+std::vector<Ray> gen_random_rays(std::size_t n, std::uint64_t seed);
+
+ir::TraversalFunc ray_ir();
+
+}  // namespace tt

@@ -1,0 +1,82 @@
+#include "bench_algos/vp/vantage_point.h"
+
+#include <stdexcept>
+
+#include "core/rope_stack.h"
+
+namespace tt {
+
+VpKernel::VpKernel(const VpTree& tree, const PointSet& queries,
+                   GpuAddressSpace& space)
+    : tree_(&tree), queries_(&queries), dim_(tree.dim) {
+  if (queries.dim() != tree.dim)
+    throw std::invalid_argument("VpKernel: dim mismatch");
+  stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 2);
+  nodes0_ = space.register_buffer(
+      "vp_nodes0", static_cast<std::uint64_t>(dim_) * 4 + 4,
+      static_cast<std::uint64_t>(tree.topo.n_nodes));
+  nodes1_ = space.register_buffer(
+      "vp_nodes1", 8, static_cast<std::uint64_t>(tree.topo.n_nodes));
+  queries_buf_ = space.register_buffer(
+      "vp_queries", 4, static_cast<std::uint64_t>(dim_) * queries.size());
+}
+
+std::vector<VpResult> vp_brute_force(const PointSet& data,
+                                     const PointSet& queries) {
+  std::vector<VpResult> out(queries.size());
+  float q[kMaxDim];
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries.gather(i, q);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      if (j == i) continue;
+      best = std::min(best, data.sq_dist(j, q));
+    }
+    out[i].best_d = static_cast<float>(std::sqrt(best));
+  }
+  return out;
+}
+
+ir::TraversalFunc vp_ir() {
+  // Structurally identical to nn_ir (guard, update, guided two-way
+  // descent); the conditions and argument expressions differ, which the
+  // structural analyses do not inspect.
+  ir::TraversalFunc f;
+  f.name = "vantage_point";
+  f.blocks.resize(6);
+  f.blocks[0].term = ir::Block::Term::kBranch;
+  f.blocks[0].cond = 0;  // bound > tau
+  f.blocks[0].cond_point_dependent = true;
+  f.blocks[0].succ_true = 5;
+  f.blocks[0].succ_false = 1;
+  ir::Stmt upd;
+  upd.kind = ir::Stmt::Kind::kUpdate;
+  upd.id = 0;
+  f.blocks[1].stmts.push_back(upd);
+  f.blocks[1].term = ir::Block::Term::kBranch;
+  f.blocks[1].cond = 1;  // is_leaf
+  f.blocks[1].cond_point_dependent = false;
+  f.blocks[1].succ_true = 5;
+  f.blocks[1].succ_false = 2;
+  f.blocks[2].term = ir::Block::Term::kBranch;
+  f.blocks[2].cond = 2;  // d < mu
+  f.blocks[2].cond_point_dependent = true;
+  f.blocks[2].succ_true = 3;
+  f.blocks[2].succ_false = 4;
+  auto call = [](int id, int slot) {
+    ir::Stmt s;
+    s.kind = ir::Stmt::Kind::kCall;
+    s.id = id;
+    s.child_slot = slot;
+    s.arg_expr = 1;
+    return s;
+  };
+  f.blocks[3].stmts = {call(0, VpTree::kInside), call(1, VpTree::kOutside)};
+  f.blocks[3].term = ir::Block::Term::kReturn;
+  f.blocks[4].stmts = {call(2, VpTree::kOutside), call(3, VpTree::kInside)};
+  f.blocks[4].term = ir::Block::Term::kReturn;
+  f.blocks[5].term = ir::Block::Term::kReturn;
+  return f;
+}
+
+}  // namespace tt

@@ -1,0 +1,131 @@
+// Nearest-neighbor search over a vantage-point tree (Yianilos; the paper's
+// VP benchmark). Guided, two call sets (inside-first when the query falls
+// within the vantage radius, outside-first otherwise). The subtree
+// admissibility bound |d(q,vp) - mu| is computed at the parent from the
+// query's own vantage distance: a per-lane rope-stack argument.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/ir/traversal_ir.h"
+#include "core/traversal_kernel.h"
+#include "simt/address_space.h"
+#include "spatial/vptree.h"
+
+namespace tt {
+
+struct VpResult {
+  float best_d = std::numeric_limits<float>::infinity();
+  friend bool operator==(const VpResult&, const VpResult&) = default;
+};
+
+class VpKernel {
+ public:
+  struct State {
+    float q[kMaxDim];
+    float best_d = std::numeric_limits<float>::infinity();  // tau
+    float last_d = 0;  // d(q, vp) computed by the latest visit
+    std::uint32_t self = 0;
+  };
+  using Result = VpResult;
+  using UArg = Empty;
+  struct LArg {
+    float min_d = 0;  // lower bound on d(q, x) for x in this subtree
+  };
+  static constexpr int kFanout = 2;
+  static constexpr int kNumCallSets = 2;
+  static constexpr bool kCallSetsEquivalent = true;
+
+  VpKernel(const VpTree& tree, const PointSet& queries,
+           GpuAddressSpace& space);
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] std::size_t num_points() const { return queries_->size(); }
+  [[nodiscard]] UArg root_uarg() const { return {}; }
+  [[nodiscard]] LArg root_larg() const { return {}; }
+  [[nodiscard]] int stack_bound() const { return stack_bound_; }
+
+  template <class Mem>
+  State init(std::uint32_t pid, Mem& mem, int lane) const {
+    const std::size_t n = queries_->size();
+    State s;
+    for (int d = 0; d < dim_; ++d) {
+      mem.lane_load(lane, queries_buf_,
+                    static_cast<std::uint64_t>(d) * n + pid);
+      s.q[d] = queries_->at(pid, d);
+    }
+    s.self = pid;
+    return s;
+  }
+
+  template <class Mem>
+  bool visit(NodeId n, const UArg&, const LArg& la, State& st, Mem& mem,
+             int lane) const {
+    if (la.min_d > st.best_d) return false;
+    mem.lane_load(lane, nodes0_, static_cast<std::uint64_t>(n));
+    const float* c = &tree_->coords[static_cast<std::size_t>(n) * dim_];
+    double d2 = 0;
+    for (int d = 0; d < dim_; ++d) {
+      double delta = static_cast<double>(c[d]) - st.q[d];
+      d2 += delta * delta;
+    }
+    float dist = static_cast<float>(std::sqrt(d2));
+    st.last_d = dist;
+    if (static_cast<std::uint32_t>(tree_->point_id[n]) != st.self &&
+        dist < st.best_d)
+      st.best_d = dist;
+    return !tree_->topo.is_leaf(n);
+  }
+
+  [[nodiscard]] int choose_callset(NodeId n, const State& st) const {
+    return st.last_d < tree_->mu[n] ? 0 : 1;  // 0: inside-first
+  }
+
+  template <class Mem>
+  int children(NodeId n, const UArg&, int callset, const State& st,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    mem.lane_load(lane, nodes1_, static_cast<std::uint64_t>(n));
+    float mu = tree_->mu[n];
+    float inside_bound = st.last_d > mu ? st.last_d - mu : 0.f;
+    float outside_bound = mu > st.last_d ? mu - st.last_d : 0.f;
+    NodeId inside = tree_->topo.child(n, VpTree::kInside);
+    NodeId outside = tree_->topo.child(n, VpTree::kOutside);
+    NodeId first = callset == 0 ? inside : outside;
+    NodeId second = callset == 0 ? outside : inside;
+    float first_bound = callset == 0 ? inside_bound : outside_bound;
+    float second_bound = callset == 0 ? outside_bound : inside_bound;
+    int cnt = 0;
+    if (first != kNullNode) {
+      out[cnt].node = first;
+      out[cnt].larg = {first_bound};
+      ++cnt;
+    }
+    if (second != kNullNode) {
+      out[cnt].node = second;
+      out[cnt].larg = {second_bound};
+      ++cnt;
+    }
+    return cnt;
+  }
+
+  [[nodiscard]] Result finish(const State& st) const {
+    return {st.best_d};
+  }
+
+ private:
+  const VpTree* tree_;
+  const PointSet* queries_;
+  int dim_;
+  int stack_bound_;
+  BufferId nodes0_, nodes1_, queries_buf_;
+};
+
+std::vector<VpResult> vp_brute_force(const PointSet& data,
+                                     const PointSet& queries);
+
+ir::TraversalFunc vp_ir();
+
+}  // namespace tt

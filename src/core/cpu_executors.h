@@ -1,0 +1,108 @@
+// CPU executors: the original recursive traversal (the paper's input form)
+// and its autoropes (iterative, explicit rope-stack) counterpart, each
+// runnable single- or multi-threaded over the point loop.
+//
+// These are real measured implementations -- the CPU side of the paper's
+// evaluation -- and double as the semantic reference the GPU simulations
+// are tested against.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <omp.h>
+
+#include "core/traversal_kernel.h"
+#include "util/timer.h"
+
+namespace tt {
+
+template <class K>
+struct CpuRun {
+  std::vector<typename K::Result> results;
+  double wall_ms = 0;
+  std::uint64_t total_visits = 0;
+  std::vector<std::uint32_t> per_point_visits;
+};
+
+namespace detail {
+
+template <TraversalKernel K>
+void cpu_recurse(const K& k, NodeId n, typename K::UArg ua,
+                 typename K::LArg la, typename K::State& st,
+                 std::uint32_t& visits) {
+  NoopMem mem;
+  ++visits;
+  if (!k.visit(n, ua, la, st, mem, 0)) return;
+  Child<typename K::UArg, typename K::LArg> out[K::kFanout];
+  int cs = K::kNumCallSets > 1 ? k.choose_callset(n, st) : 0;
+  int cnt = k.children(n, ua, cs, st, out, mem, 0);
+  for (int i = 0; i < cnt; ++i)
+    cpu_recurse(k, out[i].node, out[i].uarg, out[i].larg, st, visits);
+}
+
+// The autoropes form of the same traversal (paper Figures 6/7): children
+// pushed in reverse call order, returns become `continue`.
+template <TraversalKernel K>
+void cpu_autoropes_one(const K& k, typename K::State& st,
+                       std::uint32_t& visits,
+                       std::vector<Child<typename K::UArg, typename K::LArg>>&
+                           stk) {
+  NoopMem mem;
+  stk.clear();
+  stk.push_back({k.root(), k.root_uarg(), k.root_larg()});
+  Child<typename K::UArg, typename K::LArg> out[K::kFanout];
+  while (!stk.empty()) {
+    auto top = stk.back();
+    stk.pop_back();
+    ++visits;
+    if (!k.visit(top.node, top.uarg, top.larg, st, mem, 0)) continue;
+    int cs = K::kNumCallSets > 1 ? k.choose_callset(top.node, st) : 0;
+    int cnt = k.children(top.node, top.uarg, cs, st, out, mem, 0);
+    for (int i = cnt - 1; i >= 0; --i) stk.push_back(out[i]);
+  }
+}
+
+}  // namespace detail
+
+enum class CpuVariant { kRecursive, kAutoropes };
+
+template <TraversalKernel K>
+CpuRun<K> run_cpu(const K& k, CpuVariant variant, int n_threads,
+                  bool keep_per_point = false) {
+  if (n_threads < 1) throw std::invalid_argument("run_cpu: n_threads < 1");
+  const std::size_t n = k.num_points();
+  CpuRun<K> run;
+  run.results.resize(n);
+  if (keep_per_point) run.per_point_visits.assign(n, 0);
+
+  std::uint64_t visits_total = 0;
+  WallTimer timer;
+#pragma omp parallel num_threads(n_threads) reduction(+ : visits_total)
+  {
+    std::vector<Child<typename K::UArg, typename K::LArg>> stk;
+    stk.reserve(static_cast<std::size_t>(k.stack_bound()));
+#pragma omp for schedule(dynamic, 256)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      NoopMem mem;
+      auto pid = static_cast<std::uint32_t>(i);
+      typename K::State st = k.init(pid, mem, 0);
+      std::uint32_t visits = 0;
+      if (variant == CpuVariant::kRecursive)
+        detail::cpu_recurse(k, k.root(), k.root_uarg(), k.root_larg(), st,
+                            visits);
+      else
+        detail::cpu_autoropes_one(k, st, visits, stk);
+      run.results[static_cast<std::size_t>(i)] = k.finish(st);
+      if (keep_per_point)
+        run.per_point_visits[static_cast<std::size_t>(i)] = visits;
+      visits_total += visits;
+    }
+  }
+  run.wall_ms = timer.elapsed_ms();
+  run.total_visits = visits_total;
+  return run;
+}
+
+}  // namespace tt

@@ -1,0 +1,678 @@
+// GPU-simulated executors: the four variants the paper evaluates.
+//
+//   autoropes, non-lockstep  -- Figure 6/7/9b: per-lane iterative traversal
+//     over an interleaved global rope stack. Control re-converges at the
+//     loop head every iteration, but once lanes' traversals diverge their
+//     node loads stop coalescing (section 4.1).
+//   autoropes, lockstep      -- Figure 8: one rope stack per warp (shared
+//     memory) carrying a lane mask; the warp traverses the union of its
+//     lanes' traversals, keeping node loads fully coalesced at the price of
+//     work expansion (section 4.2). Guided kernels annotated
+//     kCallSetsEquivalent use the per-node majority vote of section 4.3.
+//   recursive, non-lockstep  -- the naive CUDA port: per-lane recursion with
+//     call frames spilled to (thread-interleaved) local memory. Hardware
+//     reconverges only at call boundaries, modelled by the max-depth rule:
+//     each step, only the lanes at the current deepest call level execute.
+//   recursive, lockstep      -- recursion with the explicit masking of the
+//     paper's footnote 5: the warp recurses over the union traversal, still
+//     paying call/return overhead and frame traffic per level.
+//
+// All variants execute the *same kernel semantics*; only event counts (and
+// therefore modelled time) differ. Equivalence across variants is enforced
+// by integration tests.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rope_stack.h"
+#include "core/traversal_kernel.h"
+#include "simt/address_space.h"
+#include "simt/cost_model.h"
+#include "simt/device_config.h"
+#include "simt/executor.h"
+#include "simt/kernel_stats.h"
+#include "simt/warp_memory.h"
+#include "util/timer.h"
+
+namespace tt {
+
+struct GpuMode {
+  bool autoropes = true;
+  bool lockstep = false;
+
+  // Ablation knobs for the section-5.2 design choices (defaults are the
+  // paper's choices). `contiguous_stack` gives each lane a dense private
+  // block instead of interleaving, so same-level entries of adjacent lanes
+  // never share a 128-byte segment. `lockstep_stack_global` keeps the
+  // per-warp lockstep stack in global memory instead of shared memory.
+  bool contiguous_stack = false;
+  bool lockstep_stack_global = false;
+
+  // Figure 9b's strip-mined grid loop: a finite grid makes each physical
+  // warp process several 32-point chunks (pid += gridDim * blockDim),
+  // reusing its L2 slice across chunks. 0 = grid big enough for one chunk
+  // per warp (the default model); otherwise the physical warp count.
+  std::size_t grid_limit = 0;
+};
+
+template <class K>
+struct GpuRun {
+  std::vector<typename K::Result> results;
+  KernelStats stats;
+  TimeBreakdown time;
+  std::size_t n_warps = 0;
+  // Non-lockstep: per-point node visits. Lockstep: per-warp pop counts
+  // (every point of the warp shares the warp's union traversal). Table 2's
+  // work-expansion metric combines the two.
+  std::vector<std::uint32_t> per_point_visits;
+  std::vector<std::uint32_t> per_warp_pops;
+  double sim_wall_ms = 0;  // host cost of the simulation (diagnostic)
+
+  // The paper's "Avg. # Nodes" column.
+  [[nodiscard]] double avg_nodes() const {
+    if (!per_warp_pops.empty()) {
+      double s = 0;
+      for (auto v : per_warp_pops) s += v;
+      return s / static_cast<double>(per_warp_pops.size());
+    }
+    double s = 0;
+    for (auto v : per_point_visits) s += v;
+    return per_point_visits.empty() ? 0 : s / static_cast<double>(per_point_visits.size());
+  }
+};
+
+namespace detail {
+
+template <class K>
+using ChildOf = Child<typename K::UArg, typename K::LArg>;
+
+// Bytes of one interleaved global rope-stack entry (node id + arguments),
+// padded to 4-byte granularity like the generated CUDA code would.
+template <class K>
+constexpr std::uint32_t stack_entry_bytes(bool lockstep) {
+  std::uint32_t b = lockstep ? 0 : 4;  // node id (per warp under lockstep)
+  if constexpr (kernel_has_uniform_arg<K>)
+    if (!lockstep) b += static_cast<std::uint32_t>(sizeof(typename K::UArg));
+  if constexpr (kernel_has_lane_arg<K>)
+    b += static_cast<std::uint32_t>(sizeof(typename K::LArg));
+  return (b + 3u) & ~3u;
+}
+
+struct WarpRange {
+  std::uint32_t begin = 0, end = 0;  // point ids [begin, end)
+};
+
+// ---------------------------------------------------------------------
+// Autoropes, non-lockstep (per-lane stacks).
+// ---------------------------------------------------------------------
+template <TraversalKernel K>
+void warp_autoropes_nolockstep(const K& k, const DeviceConfig& cfg,
+                               GpuMode mode, WarpMemory& mem,
+                               KernelStats& stats, WarpRange range,
+                               std::uint64_t stack_base,
+                               std::uint32_t entry_bytes, int stack_bound,
+                               std::uint32_t* point_visits,
+                               typename K::Result* results,
+                               std::atomic<bool>& overflow) {
+  const int lanes = static_cast<int>(range.end - range.begin);
+  std::vector<std::vector<ChildOf<K>>> stk(lanes);
+  std::vector<typename K::State> state;
+  state.reserve(lanes);
+
+  for (int l = 0; l < lanes; ++l) {
+    state.push_back(k.init(range.begin + l, mem, l));
+    stk[l].push_back({k.root(), k.root_uarg(), k.root_larg()});
+  }
+  mem.commit();  // initial coalesced point loads
+
+  auto stack_addr = [&](int lane, std::size_t level) {
+    return stack_base +
+           (mode.contiguous_stack
+                ? contiguous_stack_offset(level, static_cast<std::uint32_t>(lane),
+                                          static_cast<std::uint32_t>(stack_bound + 4),
+                                          entry_bytes)
+                : interleaved_stack_offset(level,
+                                           static_cast<std::uint32_t>(lane),
+                                           static_cast<std::uint32_t>(cfg.warp_size),
+                                           entry_bytes));
+  };
+
+  std::vector<ChildOf<K>> current(lanes);
+  std::vector<std::int8_t> popped(lanes);
+  ChildOf<K> out[K::kFanout];
+
+  for (;;) {
+    int active = 0;
+    for (int l = 0; l < lanes; ++l) {
+      popped[l] = !stk[l].empty();
+      if (popped[l]) {
+        current[l] = stk[l].back();
+        stk[l].pop_back();
+        mem.lane_load_raw(l, stack_addr(l, stk[l].size()), entry_bytes);
+        ++active;
+      }
+    }
+    if (active == 0) break;
+    ++stats.warp_steps;
+    stats.active_lane_sum += static_cast<std::uint64_t>(active);
+    stats.instr_cycles += cfg.c_step;
+    mem.commit();  // stack pops
+
+    stats.instr_cycles += cfg.c_visit;
+    for (int l = 0; l < lanes; ++l) {
+      if (!popped[l]) continue;
+      ++stats.lane_visits;
+      ++point_visits[l];
+      bool descend = k.visit(current[l].node, current[l].uarg,
+                             current[l].larg, state[l], mem, l);
+      if (!descend) {
+        popped[l] = 0;
+        continue;
+      }
+    }
+    mem.commit();  // node loads (+ leaf payloads)
+
+    for (int l = 0; l < lanes; ++l) {
+      if (!popped[l]) continue;
+      int cs = K::kNumCallSets > 1 ? k.choose_callset(current[l].node, state[l])
+                                   : 0;
+      int cnt =
+          k.children(current[l].node, current[l].uarg, cs, state[l], out, mem, l);
+      for (int i = cnt - 1; i >= 0; --i) {
+        mem.lane_load_raw(l, stack_addr(l, stk[l].size()), entry_bytes);
+        stk[l].push_back(out[i]);
+        stats.instr_cycles += cfg.c_smem;
+      }
+      if (stk[l].size() > static_cast<std::size_t>(stack_bound))
+        overflow.store(true, std::memory_order_relaxed);
+      stats.peak_stack_entries =
+          std::max<std::uint64_t>(stats.peak_stack_entries, stk[l].size());
+    }
+    mem.commit();  // children loads + stack pushes
+  }
+
+  for (int l = 0; l < lanes; ++l) results[l] = k.finish(state[l]);
+}
+
+// ---------------------------------------------------------------------
+// Autoropes, lockstep (per-warp stack + mask, Figure 8).
+// ---------------------------------------------------------------------
+template <TraversalKernel K>
+void warp_autoropes_lockstep(const K& k, const DeviceConfig& cfg,
+                             GpuMode mode, WarpMemory& mem,
+                             KernelStats& stats, WarpRange range,
+                             std::uint64_t stack_base,
+                             std::uint32_t lane_entry_bytes, int stack_bound,
+                             std::uint32_t* warp_pops,
+                             typename K::Result* results,
+                             std::atomic<bool>& overflow) {
+  const int lanes = static_cast<int>(range.end - range.begin);
+  struct WEntry {
+    NodeId node;
+    typename K::UArg uarg;
+    std::uint32_t mask;
+  };
+  std::vector<WEntry> stk;
+  // Per-lane argument planes, parallel to the warp stack (interleaved in
+  // global memory when the kernel has LArgs).
+  std::vector<std::vector<typename K::LArg>> largs;
+
+  std::vector<typename K::State> state;
+  state.reserve(lanes);
+  for (int l = 0; l < lanes; ++l) state.push_back(k.init(range.begin + l, mem, l));
+  mem.commit();
+
+  const std::uint32_t full_mask =
+      lanes >= 32 ? 0xffffffffu : ((1u << lanes) - 1u);
+  stk.push_back({k.root(), k.root_uarg(), full_mask});
+  largs.push_back(std::vector<typename K::LArg>(lanes, k.root_larg()));
+
+  auto lane_stack_addr = [&](int lane, std::size_t level) {
+    return stack_base +
+           (level * static_cast<std::size_t>(cfg.warp_size) + lane) *
+               lane_entry_bytes;
+  };
+  // Ablation: per-warp stack entries in global memory instead of shared.
+  // The warp-shared part (node id + mask + uniform arg) is one 12-byte
+  // record per level, placed after the per-lane argument planes.
+  const std::uint64_t warp_entries_base =
+      stack_base + static_cast<std::uint64_t>(stack_bound + 4) *
+                       cfg.warp_size * lane_entry_bytes;
+  auto warp_stack_op = [&](std::size_t level) {
+    if (mode.lockstep_stack_global)
+      mem.lane_load_raw(0, warp_entries_base + level * 12, 12);
+    else
+      stats.instr_cycles += cfg.c_smem;
+  };
+
+  ChildOf<K> out[K::kFanout];
+  // lane_largs[l][i]: lane l's LArg for child i of the current node.
+  std::array<std::array<typename K::LArg, K::kFanout>, 32> lane_largs;
+  int callset_votes[8];
+
+  std::uint32_t pops_here = 0;  // this chunk only (stats accumulate chunks)
+  while (!stk.empty()) {
+    WEntry top = stk.back();
+    stk.pop_back();
+    std::vector<typename K::LArg> top_largs = std::move(largs.back());
+    largs.pop_back();
+    ++stats.warp_pops;
+    ++pops_here;
+    ++stats.warp_steps;
+    stats.instr_cycles += cfg.c_step;
+    warp_stack_op(stk.size());  // pop the warp-level entry
+    if constexpr (kernel_has_lane_arg<K>) {
+      // Per-lane argument planes live in the interleaved global stack; the
+      // pop re-reads the level that the matching push wrote.
+      for (int l = 0; l < lanes; ++l)
+        if (top.mask & (1u << l))
+          mem.lane_load_raw(l, lane_stack_addr(l, stk.size()),
+                            lane_entry_bytes);
+    }
+
+    int active = 0;
+    std::uint32_t new_mask = 0;
+    stats.instr_cycles += cfg.c_visit;
+    for (int l = 0; l < lanes; ++l) {
+      if (!(top.mask & (1u << l))) continue;
+      ++active;
+      ++stats.lane_visits;
+      if (k.visit(top.node, top.uarg, top_largs[l], state[l], mem, l))
+        new_mask |= 1u << l;
+    }
+    stats.active_lane_sum += static_cast<std::uint64_t>(active);
+    mem.commit();  // broadcast node load coalesces to one transaction
+
+    // Warp vote on whether anyone still descends (warp_and of Figure 8).
+    ++stats.votes;
+    stats.instr_cycles += cfg.c_vote;
+    if (new_mask == 0) continue;
+
+    int cs = 0;
+    if constexpr (K::kNumCallSets > 1) {
+      // Section 4.3: dynamic single-call-set reduction by majority vote.
+      static_assert(K::kCallSetsEquivalent,
+                    "lockstep requires semantically-equivalent call sets");
+      for (int c = 0; c < K::kNumCallSets; ++c) callset_votes[c] = 0;
+      for (int l = 0; l < lanes; ++l)
+        if (new_mask & (1u << l))
+          ++callset_votes[k.choose_callset(top.node, state[l])];
+      for (int c = 1; c < K::kNumCallSets; ++c)
+        if (callset_votes[c] > callset_votes[cs]) cs = c;
+      ++stats.votes;
+      stats.instr_cycles += cfg.c_vote;
+    }
+
+    // Child node ids and UArgs are warp-uniform (every lane passes the same
+    // voted call set); per-lane LArgs are each lane's own computation.
+    int cnt = 0;
+    bool have_leader = false;
+    for (int l = 0; l < lanes; ++l) {
+      if (!(new_mask & (1u << l))) continue;
+      if (!have_leader) {
+        have_leader = true;
+        cnt = k.children(top.node, top.uarg, cs, state[l], out, mem, l);
+        if constexpr (kernel_has_lane_arg<K>)
+          for (int i = 0; i < cnt; ++i) lane_largs[l][i] = out[i].larg;
+      } else if constexpr (kernel_has_lane_arg<K>) {
+        NoopMem noop;  // same nodes1 cacheline; the leader recorded the load
+        ChildOf<K> mine[K::kFanout];
+        k.children(top.node, top.uarg, cs, state[l], mine, noop, l);
+        for (int i = 0; i < cnt; ++i) lane_largs[l][i] = mine[i].larg;
+      }
+    }
+    mem.commit();
+
+    // Push in reverse so pops preserve the recursive order (section 3.3).
+    for (int i = cnt - 1; i >= 0; --i) {
+      warp_stack_op(stk.size());
+      std::vector<typename K::LArg> child_largs(lanes);
+      if constexpr (kernel_has_lane_arg<K>) {
+        for (int l = 0; l < lanes; ++l) {
+          if (!(new_mask & (1u << l))) continue;
+          child_largs[l] = lane_largs[l][i];
+          mem.lane_load_raw(l, lane_stack_addr(l, stk.size()),
+                            lane_entry_bytes);
+        }
+      }
+      stk.push_back({out[i].node, out[i].uarg, new_mask});
+      largs.push_back(std::move(child_largs));
+    }
+    mem.commit();  // interleaved per-lane argument stores (coalesced)
+    if (stk.size() > static_cast<std::size_t>(stack_bound))
+      overflow.store(true, std::memory_order_relaxed);
+    stats.peak_stack_entries =
+        std::max<std::uint64_t>(stats.peak_stack_entries, stk.size());
+  }
+
+  *warp_pops = pops_here;
+  for (int l = 0; l < lanes; ++l) results[l] = k.finish(state[l]);
+}
+
+// ---------------------------------------------------------------------
+// Recursive, non-lockstep: the naive CUDA port. Per-lane call stacks with
+// frames spilled to thread-interleaved local memory. Hardware reconverges
+// only at call boundaries, so each step executes one divergent call path:
+// among the lanes at the deepest live call level, only those sitting on
+// the leader's tree node run; lanes on other nodes (and all shallower
+// lanes) stall. Similar traversals (sorted inputs) keep the whole warp in
+// one group -- naive recursion is then surprisingly competitive, matching
+// the paper's negative sorted-N improvements -- while divergent traversals
+// serialize lane by lane.
+// ---------------------------------------------------------------------
+template <TraversalKernel K>
+void warp_recursive_nolockstep(const K& k, const DeviceConfig& cfg,
+                               WarpMemory& mem, KernelStats& stats,
+                               WarpRange range, std::uint64_t frame_base,
+                               std::uint32_t* point_visits,
+                               typename K::Result* results) {
+  const int lanes = static_cast<int>(range.end - range.begin);
+  struct Frame {
+    ChildOf<K> self;
+    ChildOf<K> kids[K::kFanout];
+    int cnt = 0;
+    int cursor = 0;
+    bool visited = false;
+  };
+  std::vector<std::vector<Frame>> stk(lanes);
+  std::vector<typename K::State> state;
+  state.reserve(lanes);
+  for (int l = 0; l < lanes; ++l) {
+    state.push_back(k.init(range.begin + l, mem, l));
+    Frame f;
+    f.self = {k.root(), k.root_uarg(), k.root_larg()};
+    stk[l].push_back(f);
+  }
+  mem.commit();
+
+  auto frame_addr = [&](int lane, std::size_t depth) {
+    return frame_base +
+           (depth * static_cast<std::size_t>(cfg.warp_size) + lane) *
+               static_cast<std::uint32_t>(cfg.frame_bytes);
+  };
+
+  for (;;) {
+    std::size_t max_depth = 0;
+    int alive = 0;
+    for (int l = 0; l < lanes; ++l) {
+      if (stk[l].empty()) continue;
+      ++alive;
+      max_depth = std::max(max_depth, stk[l].size());
+    }
+    if (alive == 0) break;
+
+    // The executable group: deepest lanes that share the leader's node.
+    NodeId leader_node = kNullNode;
+    for (int l = 0; l < lanes; ++l) {
+      if (stk[l].empty() || stk[l].size() != max_depth) continue;
+      leader_node = stk[l].back().self.node;
+      break;
+    }
+
+    ++stats.warp_steps;
+    stats.instr_cycles += cfg.c_step;
+    int active = 0;
+    bool any_visit = false, any_call = false;
+    for (int l = 0; l < lanes; ++l) {
+      if (stk[l].empty() || stk[l].size() != max_depth ||
+          stk[l].back().self.node != leader_node)
+        continue;
+      ++active;
+      Frame& f = stk[l].back();
+      if (!f.visited) {
+        f.visited = true;
+        ++stats.lane_visits;
+        ++point_visits[l];
+        any_visit = true;
+        bool descend =
+            k.visit(f.self.node, f.self.uarg, f.self.larg, state[l], mem, l);
+        if (descend) {
+          int cs =
+              K::kNumCallSets > 1 ? k.choose_callset(f.self.node, state[l]) : 0;
+          f.cnt = k.children(f.self.node, f.self.uarg, cs, state[l], f.kids,
+                             mem, l);
+        } else {
+          f.cnt = 0;
+        }
+      } else if (f.cursor < f.cnt) {
+        // Call: spill the live frame and descend into the next child.
+        any_call = true;
+        ++stats.calls;
+        Frame child;
+        child.self = f.kids[f.cursor++];
+        mem.lane_load_raw(l, frame_addr(l, stk[l].size() - 1),
+                          static_cast<std::uint32_t>(cfg.frame_bytes));
+        stk[l].push_back(child);
+      } else {
+        // Return: restore the caller's frame from local memory.
+        any_call = true;
+        mem.lane_load_raw(l, frame_addr(l, stk[l].size() >= 2
+                                               ? stk[l].size() - 2
+                                               : 0),
+                          static_cast<std::uint32_t>(cfg.frame_bytes));
+        stk[l].pop_back();
+      }
+      stats.peak_stack_entries =
+          std::max<std::uint64_t>(stats.peak_stack_entries, stk[l].size());
+    }
+    stats.active_lane_sum += static_cast<std::uint64_t>(active);
+    if (any_visit) stats.instr_cycles += cfg.c_visit;
+    if (any_call) stats.instr_cycles += cfg.c_call;
+    mem.commit();
+  }
+
+  for (int l = 0; l < lanes; ++l) results[l] = k.finish(state[l]);
+}
+
+// ---------------------------------------------------------------------
+// Recursive, lockstep: warp-level recursion over the union traversal with
+// explicit masking (footnote 5). Same visit set as lockstep autoropes, but
+// every level pays a call/return pair plus per-lane frame traffic.
+// ---------------------------------------------------------------------
+template <TraversalKernel K>
+struct RecLockstepCtx {
+  const K& k;
+  const DeviceConfig& cfg;
+  WarpMemory& mem;
+  KernelStats& stats;
+  std::vector<typename K::State>& state;
+  int lanes;
+  std::uint64_t frame_base;
+  int callset_votes[8];
+
+  std::uint64_t frame_addr(int lane, std::size_t depth) const {
+    return frame_base +
+           (depth * static_cast<std::size_t>(cfg.warp_size) + lane) *
+               static_cast<std::uint32_t>(cfg.frame_bytes);
+  }
+
+  void recurse(NodeId node, typename K::UArg ua,
+               const std::vector<typename K::LArg>& la, std::uint32_t mask,
+               std::size_t depth) {
+    ++stats.warp_pops;
+    ++stats.warp_steps;
+    stats.instr_cycles += cfg.c_step + cfg.c_visit;
+
+    int active = 0;
+    std::uint32_t new_mask = 0;
+    for (int l = 0; l < lanes; ++l) {
+      if (!(mask & (1u << l))) continue;
+      ++active;
+      ++stats.lane_visits;
+      if (k.visit(node, ua, la[l], state[l], mem, l)) new_mask |= 1u << l;
+    }
+    stats.active_lane_sum += static_cast<std::uint64_t>(active);
+    mem.commit();
+    ++stats.votes;
+    stats.instr_cycles += cfg.c_vote;
+    if (new_mask == 0) return;
+
+    int cs = 0;
+    if constexpr (K::kNumCallSets > 1) {
+      static_assert(K::kCallSetsEquivalent,
+                    "lockstep requires semantically-equivalent call sets");
+      for (int c = 0; c < K::kNumCallSets; ++c) callset_votes[c] = 0;
+      for (int l = 0; l < lanes; ++l)
+        if (new_mask & (1u << l))
+          ++callset_votes[k.choose_callset(node, state[l])];
+      for (int c = 1; c < K::kNumCallSets; ++c)
+        if (callset_votes[c] > callset_votes[cs]) cs = c;
+      ++stats.votes;
+      stats.instr_cycles += cfg.c_vote;
+    }
+
+    ChildOf<K> out[K::kFanout];
+    std::array<std::array<typename K::LArg, K::kFanout>, 32> lane_largs;
+    int cnt = 0;
+    bool have_leader = false;
+    for (int l = 0; l < lanes; ++l) {
+      if (!(new_mask & (1u << l))) continue;
+      if (!have_leader) {
+        have_leader = true;
+        cnt = k.children(node, ua, cs, state[l], out, mem, l);
+        if constexpr (kernel_has_lane_arg<K>)
+          for (int i = 0; i < cnt; ++i) lane_largs[l][i] = out[i].larg;
+      } else if constexpr (kernel_has_lane_arg<K>) {
+        NoopMem noop;
+        ChildOf<K> mine[K::kFanout];
+        k.children(node, ua, cs, state[l], mine, noop, l);
+        for (int i = 0; i < cnt; ++i) lane_largs[l][i] = mine[i].larg;
+      }
+    }
+    mem.commit();
+
+    std::vector<typename K::LArg> child_la(static_cast<std::size_t>(lanes));
+    for (int i = 0; i < cnt; ++i) {
+      // Call: every masked lane spills its frame to local memory.
+      ++stats.calls;
+      stats.instr_cycles += cfg.c_call;
+      for (int l = 0; l < lanes; ++l) {
+        if (!(new_mask & (1u << l))) continue;
+        mem.lane_load_raw(l, frame_addr(l, depth),
+                          static_cast<std::uint32_t>(cfg.frame_bytes));
+        if constexpr (kernel_has_lane_arg<K>) child_la[l] = lane_largs[l][i];
+      }
+      mem.commit();
+      recurse(out[i].node, out[i].uarg, child_la, new_mask, depth + 1);
+      // Return: restore the frame.
+      for (int l = 0; l < lanes; ++l)
+        if (new_mask & (1u << l))
+          mem.lane_load_raw(l, frame_addr(l, depth),
+                            static_cast<std::uint32_t>(cfg.frame_bytes));
+      mem.commit();
+    }
+  }
+};
+
+template <TraversalKernel K>
+void warp_recursive_lockstep(const K& k, const DeviceConfig& cfg,
+                             WarpMemory& mem, KernelStats& stats,
+                             WarpRange range, std::uint64_t frame_base,
+                             std::uint32_t* warp_pops,
+                             typename K::Result* results) {
+  const int lanes = static_cast<int>(range.end - range.begin);
+  std::vector<typename K::State> state;
+  state.reserve(lanes);
+  for (int l = 0; l < lanes; ++l) state.push_back(k.init(range.begin + l, mem, l));
+  mem.commit();
+
+  RecLockstepCtx<K> ctx{k, cfg, mem, stats, state, lanes, frame_base, {}};
+  const std::uint32_t full_mask =
+      lanes >= 32 ? 0xffffffffu : ((1u << lanes) - 1u);
+  std::vector<typename K::LArg> root_la(static_cast<std::size_t>(lanes),
+                                        k.root_larg());
+  std::uint64_t pops_before = stats.warp_pops;
+  ctx.recurse(k.root(), k.root_uarg(), root_la, full_mask, 0);
+
+  *warp_pops = static_cast<std::uint32_t>(stats.warp_pops - pops_before);
+  for (int l = 0; l < lanes; ++l) results[l] = k.finish(state[l]);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------
+// Entry point: simulate the kernel under one of the four GPU variants.
+// ---------------------------------------------------------------------
+template <TraversalKernel K>
+GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
+                      const DeviceConfig& cfg, GpuMode mode) {
+  const std::size_t n = k.num_points();
+  const std::size_t n_warps =
+      (n + static_cast<std::size_t>(cfg.warp_size) - 1) /
+      static_cast<std::size_t>(cfg.warp_size);
+  GpuRun<K> run;
+  run.n_warps = n_warps;
+  run.results.resize(n);
+  if (mode.lockstep)
+    run.per_warp_pops.assign(n_warps, 0);
+  else
+    run.per_point_visits.assign(n, 0);
+
+  const int stack_bound = k.stack_bound();
+  const std::uint32_t entry_bytes =
+      std::max<std::uint32_t>(4, detail::stack_entry_bytes<K>(mode.lockstep));
+  // One interleaved stack (or local-memory frame arena) region per warp,
+  // plus room for the warp-level entries of the global-lockstep ablation.
+  const std::uint64_t per_warp_span =
+      static_cast<std::uint64_t>(stack_bound + 4) *
+      (static_cast<std::uint64_t>(cfg.warp_size) *
+           std::max<std::uint32_t>(entry_bytes,
+                                   static_cast<std::uint32_t>(cfg.frame_bytes)) +
+       12);
+  BufferId stack_buf = space.ensure_buffer(
+      mode.autoropes ? "rope_stack" : "local_frames", 1,
+      per_warp_span * n_warps);
+  const std::uint64_t stack_base0 = space.addr(stack_buf, 0);
+
+  // Figure 9b's strip-mined grid loop: with a finite grid, physical warp p
+  // processes chunks p, p + grid, p + 2*grid, ... and keeps its L2 slice
+  // (and stack arena) across chunks.
+  const std::size_t grid =
+      mode.grid_limit > 0 ? std::min(mode.grid_limit, n_warps) : n_warps;
+
+  std::atomic<bool> overflow{false};
+  WallTimer timer;
+  std::vector<KernelStats> per_warp = run_warps(
+      grid, cfg, [&](std::size_t p, KernelStats& stats, L2Cache* l2) {
+        WarpMemory mem(space, cfg, l2, stats);
+        std::uint64_t base = stack_base0 + per_warp_span * p;
+        for (std::size_t w = p; w < n_warps; w += grid) {
+          detail::WarpRange range;
+          range.begin = static_cast<std::uint32_t>(w * cfg.warp_size);
+          range.end = static_cast<std::uint32_t>(
+              std::min<std::size_t>(n, (w + 1) * cfg.warp_size));
+          auto* results = run.results.data() + range.begin;
+          if (mode.autoropes && !mode.lockstep) {
+            detail::warp_autoropes_nolockstep(
+                k, cfg, mode, mem, stats, range, base, entry_bytes,
+                stack_bound, run.per_point_visits.data() + range.begin,
+                results, overflow);
+          } else if (mode.autoropes && mode.lockstep) {
+            detail::warp_autoropes_lockstep(
+                k, cfg, mode, mem, stats, range, base, entry_bytes,
+                stack_bound, &run.per_warp_pops[w], results, overflow);
+          } else if (!mode.autoropes && !mode.lockstep) {
+            detail::warp_recursive_nolockstep(
+                k, cfg, mem, stats, range, base,
+                run.per_point_visits.data() + range.begin, results);
+          } else {
+            detail::warp_recursive_lockstep(k, cfg, mem, stats, range, base,
+                                            &run.per_warp_pops[w], results);
+          }
+        }
+      });
+  run.sim_wall_ms = timer.elapsed_ms();
+  if (overflow.load())
+    throw std::runtime_error("run_gpu_sim: rope stack overflow (stack_bound " +
+                             std::to_string(stack_bound) + ")");
+  run.stats = merge_stats(per_warp);
+  run.time = estimate_time_balanced(instr_cycles_of(per_warp), run.stats, cfg);
+  return run;
+}
+
+}  // namespace tt

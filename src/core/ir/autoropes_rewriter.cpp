@@ -1,0 +1,47 @@
+#include "core/ir/autoropes_rewriter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/ir/callset_analysis.h"
+
+namespace tt::ir {
+
+TraversalFunc autoropes_rewrite(const TraversalFunc& f) {
+  f.validate();
+  if (!is_pseudo_tail_recursive(f))
+    throw std::invalid_argument(
+        "autoropes_rewrite: function is not pseudo-tail-recursive");
+
+  TraversalFunc out = f;
+  out.name = f.name + "_autoropes";
+  for (Block& b : out.blocks) {
+    // Locate the trailing run of calls.
+    std::size_t first_call = b.stmts.size();
+    for (std::size_t i = 0; i < b.stmts.size(); ++i) {
+      if (b.stmts[i].kind == Stmt::Kind::kCall) {
+        first_call = i;
+        break;
+      }
+    }
+    if (first_call == b.stmts.size()) continue;  // no calls in this block
+    for (std::size_t i = first_call; i < b.stmts.size(); ++i)
+      if (b.stmts[i].kind != Stmt::Kind::kCall)
+        throw std::invalid_argument(
+            "autoropes_rewrite: calls are not a trailing run in block");
+    if (b.term != Block::Term::kReturn)
+      throw std::invalid_argument(
+          "autoropes_rewrite: call block does not return");
+
+    // Replace the call run with pushes in reverse order (section 3.2.2:
+    // "the order in which nodes are pushed is the reverse of the original
+    // order of recursive calls").
+    std::reverse(b.stmts.begin() + static_cast<std::ptrdiff_t>(first_call),
+                 b.stmts.end());
+    for (std::size_t i = first_call; i < b.stmts.size(); ++i)
+      b.stmts[i].kind = Stmt::Kind::kPush;
+  }
+  return out;
+}
+
+}  // namespace tt::ir

@@ -1,0 +1,25 @@
+// The autoropes transformation (paper section 3.2.2) as an IR-to-IR
+// rewrite: recursive call statements become rope-stack pushes emitted in
+// reverse call order, and function returns become `continue`s of the
+// traversal loop (implicit: the rewritten body is executed once per popped
+// node by the iterative interpreter).
+#pragma once
+
+#include "core/ir/traversal_ir.h"
+
+namespace tt::ir {
+
+// Preconditions (throws std::invalid_argument when violated):
+//  * f is pseudo-tail-recursive, and
+//  * within every block, recursive calls form one trailing run of
+//    statements in a return-terminated block (true of every traversal in
+//    the paper -- Figures 4, 5 and 9a -- and of all five benchmarks; the
+//    general restructuring of arbitrary recursion into this form is the
+//    tech-report transformation, out of scope here).
+//
+// The result is the loop *body*: calls replaced by kPush statements in
+// reversed order. Interpretation semantics: interpreter.h pops an entry,
+// runs this body on it, and pushes whatever the body requests.
+TraversalFunc autoropes_rewrite(const TraversalFunc& f);
+
+}  // namespace tt::ir

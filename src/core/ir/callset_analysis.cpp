@@ -1,0 +1,86 @@
+#include "core/ir/callset_analysis.h"
+
+#include <algorithm>
+
+namespace tt::ir {
+namespace {
+
+// Depth-first path enumeration over the (validated, acyclic) CFG. The
+// reduced CFG of a traversal body is tiny -- a handful of blocks -- so
+// explicit path enumeration is exact and cheap.
+template <class PathFn>
+void for_each_path(const TraversalFunc& f, PathFn&& fn) {
+  std::vector<BlockId> path;
+  auto rec = [&](auto&& self, BlockId b) -> void {
+    path.push_back(b);
+    const Block& blk = f.blocks[static_cast<std::size_t>(b)];
+    switch (blk.term) {
+      case Block::Term::kReturn:
+        fn(path);
+        break;
+      case Block::Term::kJump:
+        self(self, blk.succ_true);
+        break;
+      case Block::Term::kBranch:
+        self(self, blk.succ_true);
+        self(self, blk.succ_false);
+        break;
+    }
+    path.pop_back();
+  };
+  rec(rec, 0);
+}
+
+}  // namespace
+
+std::vector<CallSet> enumerate_call_sets(const TraversalFunc& f) {
+  f.validate();
+  std::vector<CallSet> sets;
+  for_each_path(f, [&](const std::vector<BlockId>& path) {
+    CallSet cs;
+    for (BlockId b : path)
+      for (const Stmt& s : f.blocks[static_cast<std::size_t>(b)].stmts)
+        if (s.kind == Stmt::Kind::kCall) cs.push_back(s.id);
+    if (cs.empty()) return;  // paths without calls do not form call sets
+    if (std::find(sets.begin(), sets.end(), cs) == sets.end())
+      sets.push_back(std::move(cs));
+  });
+  return sets;
+}
+
+bool is_pseudo_tail_recursive(const TraversalFunc& f) {
+  f.validate();
+  bool ok = true;
+  for_each_path(f, [&](const std::vector<BlockId>& path) {
+    bool seen_call = false;
+    for (BlockId b : path)
+      for (const Stmt& s : f.blocks[static_cast<std::size_t>(b)].stmts) {
+        if (s.kind == Stmt::Kind::kCall)
+          seen_call = true;
+        else if (seen_call)
+          ok = false;  // non-call work after a recursive call
+      }
+  });
+  return ok;
+}
+
+TraversalClass classify(const TraversalFunc& f) {
+  std::vector<CallSet> sets = enumerate_call_sets(f);
+  if (sets.size() != 1) return TraversalClass::kGuided;
+  for (const Block& b : f.blocks)
+    for (const Stmt& s : b.stmts)
+      if (s.kind == Stmt::Kind::kCall && s.child_point_dependent)
+        return TraversalClass::kGuided;
+  return TraversalClass::kUnguided;
+}
+
+AnalysisReport analyze(const TraversalFunc& f) {
+  AnalysisReport r;
+  r.call_sets = enumerate_call_sets(f);
+  r.pseudo_tail_recursive = is_pseudo_tail_recursive(f);
+  r.cls = classify(f);
+  r.lockstep_eligible = r.cls == TraversalClass::kUnguided;
+  return r;
+}
+
+}  // namespace tt::ir

@@ -1,0 +1,39 @@
+// Static call-set analysis (paper section 3.2.1) and the structural
+// classifications built on it.
+#pragma once
+
+#include <vector>
+
+#include "core/ir/traversal_ir.h"
+
+namespace tt::ir {
+
+// All distinct call sets: call-site id sequences along every CFG path that
+// makes at least one recursive call. Deduplicated, in first-discovery
+// order (true-branch first, matching source order).
+std::vector<CallSet> enumerate_call_sets(const TraversalFunc& f);
+
+// Pseudo-tail-recursion (section 3.2): along every path from a recursive
+// call to an exit there are only recursive calls -- i.e. no update executes
+// after any call on any path.
+bool is_pseudo_tail_recursive(const TraversalFunc& f);
+
+enum class TraversalClass {
+  kUnguided,  // single call set, point-independent child choice
+  kGuided,    // multiple call sets (or point-dependent child choice)
+};
+
+// Conservative classification (section 3.2.1): unguided requires exactly
+// one call set AND no call whose child argument depends on point state.
+TraversalClass classify(const TraversalFunc& f);
+
+struct AnalysisReport {
+  std::vector<CallSet> call_sets;
+  bool pseudo_tail_recursive = false;
+  TraversalClass cls = TraversalClass::kGuided;
+  bool lockstep_eligible = false;  // unguided => eligible without annotation
+};
+
+AnalysisReport analyze(const TraversalFunc& f);
+
+}  // namespace tt::ir

@@ -1,0 +1,115 @@
+#include "core/ir/interpreter.h"
+
+#include <functional>
+#include <stdexcept>
+
+namespace tt::ir {
+namespace {
+
+struct PendingCall {
+  NodeId node;
+  std::int64_t arg;
+  // Restructured functions (ptr_restructure.h) defer a caller's updates to
+  // callee entry; they run with the caller's node and argument.
+  std::vector<int> deferred;
+  NodeId caller_node = kNullNode;
+  std::int64_t caller_arg = 0;
+};
+
+// Execute f's body once for (node, arg), invoking on_call at each executed
+// call/push statement *in place* -- the recursive interpreter descends
+// immediately (so non-PTR functions keep true recursion semantics: work
+// after a call runs after the whole subtree), the iterative one pushes.
+void run_body(const TraversalFunc& f, const World& w, NodeId node,
+              std::int64_t arg, std::int64_t& point_state,
+              const std::function<void(const PendingCall&)>& on_call) {
+  BlockId b = 0;
+  for (;;) {
+    const Block& blk = f.blocks[static_cast<std::size_t>(b)];
+    for (const Stmt& s : blk.stmts) {
+      switch (s.kind) {
+        case Stmt::Kind::kUpdate:
+          w.update(s.id, node, point_state, arg);
+          break;
+        case Stmt::Kind::kCall:
+        case Stmt::Kind::kPush: {
+          NodeId c = w.child(s.child_slot, node, point_state);
+          if (c == kNullNode) {
+            // Skipped call: its deferred updates must still run -- but in
+            // program order, i.e. after any earlier call's subtree. A
+            // sentinel entry (node == kNullNode) carries them through the
+            // same call/push mechanism; the drivers below execute it
+            // without visiting anything.
+            if (!s.deferred_updates.empty())
+              on_call({kNullNode, arg, s.deferred_updates, node, arg});
+            break;
+          }
+          std::int64_t a =
+              s.arg_expr < 0 ? arg : w.arg_fn(s.arg_expr, arg, node);
+          on_call({c, a, s.deferred_updates, node, arg});
+          break;
+        }
+      }
+    }
+    switch (blk.term) {
+      case Block::Term::kReturn:
+        return;
+      case Block::Term::kJump:
+        b = blk.succ_true;
+        break;
+      case Block::Term::kBranch:
+        b = w.cond(blk.cond, node, point_state, arg) ? blk.succ_true
+                                                     : blk.succ_false;
+        break;
+    }
+  }
+}
+
+// Callee entry: run the updates deferred by the caller, with the caller's
+// node and argument (the "on behalf of a node's parent" check of
+// section 3.2).
+void run_deferred(const World& w, const PendingCall& c,
+                  std::int64_t& point_state) {
+  for (int id : c.deferred)
+    w.update(id, c.caller_node, point_state, c.caller_arg);
+}
+
+}  // namespace
+
+std::vector<TraceEntry> interpret_recursive(const TraversalFunc& f,
+                                            const World& w, NodeId root,
+                                            std::int64_t arg0,
+                                            std::int64_t& point_state) {
+  f.validate();
+  std::vector<TraceEntry> trace;
+  std::function<void(const PendingCall&)> rec =
+      [&](const PendingCall& call) {
+        run_deferred(w, call, point_state);
+        if (call.node == kNullNode) return;  // deferred-only sentinel
+        trace.push_back({call.node, call.arg});
+        run_body(f, w, call.node, call.arg, point_state, rec);
+      };
+  rec(PendingCall{root, arg0, {}, kNullNode, 0});
+  return trace;
+}
+
+std::vector<TraceEntry> interpret_autoropes(const TraversalFunc& body,
+                                            const World& w, NodeId root,
+                                            std::int64_t arg0,
+                                            std::int64_t& point_state) {
+  body.validate();
+  std::vector<TraceEntry> trace;
+  std::vector<PendingCall> stk{PendingCall{root, arg0, {}, kNullNode, 0}};
+  while (!stk.empty()) {
+    PendingCall top = stk.back();
+    stk.pop_back();
+    run_deferred(w, top, point_state);
+    if (top.node == kNullNode) continue;  // deferred-only sentinel
+    trace.push_back({top.node, top.arg});
+    run_body(body, w, top.node, top.arg, point_state,
+             [&](const PendingCall& p) { stk.push_back(p); });
+  }
+  return trace;
+}
+
+}  // namespace tt::ir

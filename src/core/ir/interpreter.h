@@ -1,0 +1,56 @@
+// Executable semantics for the traversal IR, used to demonstrate that the
+// autoropes rewrite preserves the visit order of the original recursion
+// (paper section 3.3) on arbitrary trees, points and condition functions.
+//
+// Opaque ids in the IR are resolved by caller-supplied callbacks over a
+// mini-world: a LinearTree plus an integer point state and one integer
+// traversal argument (the paper's `arg`; Figure 5/7).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/ir/traversal_ir.h"
+#include "spatial/linear_tree.h"
+
+namespace tt::ir {
+
+struct World {
+  const LinearTree* tree = nullptr;
+
+  // cond(id, node, point_state, arg) -> bool
+  std::function<bool(int, NodeId, std::int64_t&, std::int64_t)> cond;
+  // update(id, node, point_state, arg): may mutate point_state
+  std::function<void(int, NodeId, std::int64_t&, std::int64_t)> update;
+  // Resolve a call's target child. Returning kNullNode skips the call
+  // (absent child), mirroring `if (child) recurse(child)` guards.
+  std::function<NodeId(int /*child_slot*/, NodeId, const std::int64_t&)>
+      child;
+  // arg'(arg_expr, arg, node); arg_expr -1 passes arg through.
+  std::function<std::int64_t(int, std::int64_t, NodeId)> arg_fn;
+};
+
+struct TraceEntry {
+  NodeId node;
+  std::int64_t arg;
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+// Run the *recursive* function: execute f's body at `root`, recursing at
+// kCall statements. Returns the visit trace (one entry per function entry)
+// and leaves the final point state in `point_state`.
+std::vector<TraceEntry> interpret_recursive(const TraversalFunc& f,
+                                            const World& w, NodeId root,
+                                            std::int64_t arg0,
+                                            std::int64_t& point_state);
+
+// Run the *rewritten* body (autoropes_rewrite output) under the rope-stack
+// loop of Figure 6/7: pop, execute body (kPush pushes in the emitted
+// order), repeat until empty.
+std::vector<TraceEntry> interpret_autoropes(const TraversalFunc& body,
+                                            const World& w, NodeId root,
+                                            std::int64_t arg0,
+                                            std::int64_t& point_state);
+
+}  // namespace tt::ir

@@ -1,0 +1,76 @@
+#include "core/ir/ptr_restructure.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace tt::ir {
+namespace {
+
+// Within one block: true if any non-call statement follows the last call.
+bool has_trailing_work(const Block& b) {
+  bool seen_call = false;
+  bool trailing = false;
+  for (const Stmt& s : b.stmts) {
+    if (s.kind == Stmt::Kind::kCall) {
+      seen_call = true;
+      trailing = false;
+    } else if (seen_call) {
+      trailing = true;
+    }
+  }
+  return trailing;
+}
+
+// A block with calls must not fall through into further work either.
+bool call_block_returns(const Block& b) {
+  for (const Stmt& s : b.stmts)
+    if (s.kind == Stmt::Kind::kCall) return b.term == Block::Term::kReturn;
+  return true;
+}
+
+}  // namespace
+
+bool can_restructure_to_ptr(const TraversalFunc& f) {
+  f.validate();
+  for (const Block& b : f.blocks)
+    if (has_trailing_work(b) || !call_block_returns(b)) return false;
+  return true;
+}
+
+TraversalFunc restructure_to_ptr(const TraversalFunc& f) {
+  if (!can_restructure_to_ptr(f))
+    throw std::invalid_argument(
+        "restructure_to_ptr: work after a block's final recursive call (or "
+        "a fall-through call block) has no latter call to defer into");
+
+  TraversalFunc out = f;
+  out.name = f.name + "_ptr";
+  for (Block& b : out.blocks) {
+    std::vector<Stmt> rewritten;
+    rewritten.reserve(b.stmts.size());
+    std::vector<int> pending;  // updates awaiting the next call
+    bool seen_call = false;
+    for (Stmt& s : b.stmts) {
+      if (s.kind != Stmt::Kind::kCall) {
+        if (seen_call) {
+          // Intervening work between calls: ride on the next call.
+          pending.push_back(s.id);
+        } else {
+          rewritten.push_back(s);  // prologue work stays in place
+        }
+        continue;
+      }
+      // A call absorbs whatever intervening updates preceded it.
+      s.deferred_updates.insert(s.deferred_updates.end(), pending.begin(),
+                                pending.end());
+      pending.clear();
+      seen_call = true;
+      rewritten.push_back(s);
+    }
+    // can_restructure_to_ptr guarantees pending is empty here.
+    b.stmts = std::move(rewritten);
+  }
+  return out;
+}
+
+}  // namespace tt::ir

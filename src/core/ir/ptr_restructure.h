@@ -1,0 +1,30 @@
+// Restructuring arbitrary recursive traversals into pseudo-tail-recursive
+// form (paper section 3.2: "any function with arbitrary recursive calls
+// and control flow can be systematically transformed to meet the
+// criteria ... by turning intervening code between a pair of recursive
+// calls into code that executes at the beginning of the latter call's
+// execution").
+//
+// Supported shape: blocks whose statement list interleaves updates and
+// calls, ending in Return. Every update sandwiched between two calls is
+// moved into the following call's `deferred_updates`, to be executed at
+// callee entry on behalf of the caller -- which preserves the original
+// execution order (the earlier call's whole subtree finishes first either
+// way). Updates *after the last call* of a block have no latter call to
+// ride on; they would need a continuation mechanism the paper's benchmarks
+// never require, so they are rejected with an explanatory error.
+#pragma once
+
+#include "core/ir/traversal_ir.h"
+
+namespace tt::ir {
+
+// True when f already satisfies pseudo-tail-recursion or can be fixed by
+// this restructuring (no trailing non-call work after a block's last call).
+bool can_restructure_to_ptr(const TraversalFunc& f);
+
+// Returns the pseudo-tail-recursive equivalent; throws
+// std::invalid_argument when !can_restructure_to_ptr(f).
+TraversalFunc restructure_to_ptr(const TraversalFunc& f);
+
+}  // namespace tt::ir

@@ -1,0 +1,63 @@
+#include "core/ir/traversal_ir.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace tt::ir {
+
+void TraversalFunc::validate() const {
+  if (blocks.empty())
+    throw std::logic_error("TraversalFunc: no blocks");
+  auto check_target = [&](BlockId b) {
+    if (b < 0 || b >= static_cast<BlockId>(blocks.size()))
+      throw std::logic_error("TraversalFunc: branch target out of range");
+  };
+  for (const Block& b : blocks) {
+    switch (b.term) {
+      case Block::Term::kReturn:
+        break;
+      case Block::Term::kJump:
+        check_target(b.succ_true);
+        break;
+      case Block::Term::kBranch:
+        check_target(b.succ_true);
+        check_target(b.succ_false);
+        break;
+    }
+  }
+  // Cycle check: DFS with colors.
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(blocks.size(), Color::kWhite);
+  struct Frame {
+    BlockId b;
+    int edge = 0;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  color[0] = Color::kGray;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const Block& b = blocks[static_cast<std::size_t>(f.b)];
+    BlockId next = kNoBlock;
+    if (b.term == Block::Term::kJump && f.edge == 0)
+      next = b.succ_true;
+    else if (b.term == Block::Term::kBranch && f.edge == 0)
+      next = b.succ_true;
+    else if (b.term == Block::Term::kBranch && f.edge == 1)
+      next = b.succ_false;
+    if (next == kNoBlock) {
+      color[static_cast<std::size_t>(f.b)] = Color::kBlack;
+      stack.pop_back();
+      continue;
+    }
+    ++f.edge;
+    Color c = color[static_cast<std::size_t>(next)];
+    if (c == Color::kGray)
+      throw std::logic_error("TraversalFunc: CFG has a cycle");
+    if (c == Color::kWhite) {
+      color[static_cast<std::size_t>(next)] = Color::kGray;
+      stack.push_back({next, 0});
+    }
+  }
+}
+
+}  // namespace tt::ir

@@ -1,0 +1,72 @@
+// Reduced-CFG intermediate representation of a recursive traversal body.
+//
+// The paper's compiler (section 5, built on ROSE) analyzes the traversal
+// function's control-flow graph to (a) enumerate static call sets
+// (section 3.2.1), (b) check pseudo-tail-recursion, (c) classify the
+// traversal guided/unguided, and (d) rewrite the recursion into the
+// iterative rope-stack form (section 3.2.2). This module reproduces those
+// analyses over an explicit IR: blocks of statements with branch/jump/
+// return terminators. Conditions, updates and argument expressions are
+// opaque ids resolved by interpreter callbacks -- the analyses are purely
+// structural, exactly as the paper requires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tt::ir {
+
+using BlockId = int;
+inline constexpr BlockId kNoBlock = -1;
+
+struct Stmt {
+  enum class Kind {
+    kUpdate,  // update(point, node): opaque side effect `id`
+    kCall,    // recurse(child_slot(node), arg_expr(arg))
+    kPush,    // rope-stack push; only present in rewritten functions
+  };
+  Kind kind = Kind::kUpdate;
+  int id = 0;  // update id, or call-site id (unique per call statement)
+
+  // kCall / kPush operands.
+  int child_slot = 0;  // which child of the current node the call targets
+  // True when the *choice* of child (not the truncation) depends on point
+  // state; drives the guided/unguided classification.
+  bool child_point_dependent = false;
+  // Argument expression id (-1: pass `arg` through unchanged). Evaluated by
+  // the interpreter as arg' = arg_fn(arg_expr, arg, node).
+  int arg_expr = -1;
+
+  // Updates "pushed down" into this call by the pseudo-tail-recursion
+  // restructuring (section 3.2: intervening code between two recursive
+  // calls runs at the beginning of the latter call, on behalf of the
+  // parent). Executed at callee entry with the *caller's* node.
+  std::vector<int> deferred_updates;
+};
+
+struct Block {
+  std::vector<Stmt> stmts;
+  enum class Term { kReturn, kJump, kBranch } term = Term::kReturn;
+  int cond = -1;  // branch condition id (opaque; evaluated per point+node)
+  bool cond_point_dependent = false;
+  BlockId succ_true = kNoBlock;   // jump target / branch-true
+  BlockId succ_false = kNoBlock;  // branch-false
+};
+
+// A traversal function: block 0 is the entry. The CFG must be acyclic
+// (recursive calls visit children; loops over children are assumed fully
+// unrolled, per section 3.2.1 footnote 1).
+struct TraversalFunc {
+  std::string name;
+  std::vector<Block> blocks;
+
+  // Throws std::logic_error if the CFG is malformed or cyclic.
+  void validate() const;
+};
+
+// One static call set: the call-site ids executed along one path, in
+// execution order. Paths whose call sequences coincide are one set.
+using CallSet = std::vector<int>;
+
+}  // namespace tt::ir

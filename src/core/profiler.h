@@ -1,0 +1,74 @@
+// Runtime traversal-similarity profiling (paper section 4.4, adopting Jo &
+// Kulkarni's sampling method): draw a few samples of neighboring points,
+// run their traversals, and measure how similar they are. Similar
+// neighbors => the input is (effectively) sorted => lockstep traversal is
+// profitable; dissimilar => use the non-lockstep variant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/traversal_kernel.h"
+#include "util/rng.h"
+
+namespace tt {
+
+// Jaccard similarity of two visited-node id sets (inputs need not be
+// sorted; they are copied and sorted internally).
+double traversal_jaccard(std::vector<NodeId> a, std::vector<NodeId> b);
+
+struct ProfileReport {
+  double mean_similarity = 0;
+  std::size_t samples = 0;
+  bool looks_sorted = false;
+};
+
+inline constexpr double kSortedSimilarityThreshold = 0.5;
+
+// Record the node ids one point's traversal visits (autoropes semantics).
+template <TraversalKernel K>
+std::vector<NodeId> record_traversal(const K& k, std::uint32_t pid) {
+  NoopMem mem;
+  std::vector<NodeId> visited;
+  typename K::State st = k.init(pid, mem, 0);
+  std::vector<Child<typename K::UArg, typename K::LArg>> stk;
+  Child<typename K::UArg, typename K::LArg> out[K::kFanout];
+  stk.push_back({k.root(), k.root_uarg(), k.root_larg()});
+  while (!stk.empty()) {
+    auto top = stk.back();
+    stk.pop_back();
+    visited.push_back(top.node);
+    if (!k.visit(top.node, top.uarg, top.larg, st, mem, 0)) continue;
+    int cs = K::kNumCallSets > 1 ? k.choose_callset(top.node, st) : 0;
+    int cnt = k.children(top.node, top.uarg, cs, st, out, mem, 0);
+    for (int i = cnt - 1; i >= 0; --i) stk.push_back(out[i]);
+  }
+  return visited;
+}
+
+// Sample `samples` pairs of adjacent points (pid, pid+1) and average their
+// traversal similarity.
+template <TraversalKernel K>
+ProfileReport profile_similarity(const K& k, std::size_t samples,
+                                 std::uint64_t seed) {
+  ProfileReport r;
+  const std::size_t n = k.num_points();
+  if (n < 2) {
+    r.looks_sorted = true;
+    return r;
+  }
+  Pcg32 rng(seed, 11);
+  double total = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    auto pid = static_cast<std::uint32_t>(
+        rng.next_below(static_cast<std::uint32_t>(n - 1)));
+    total += traversal_jaccard(record_traversal(k, pid),
+                               record_traversal(k, pid + 1));
+  }
+  r.samples = samples;
+  r.mean_similarity = samples ? total / static_cast<double>(samples) : 0.0;
+  r.looks_sorted = r.mean_similarity >= kSortedSimilarityThreshold;
+  return r;
+}
+
+}  // namespace tt

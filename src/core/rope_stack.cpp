@@ -1,0 +1,17 @@
+// Layout helpers are constexpr in the header; this translation unit pins
+// the symbols' ODR home and hosts compile-time self-checks.
+#include "core/rope_stack.h"
+
+namespace tt {
+
+static_assert(interleaved_stack_offset(0, 0, 32, 8) == 0);
+static_assert(interleaved_stack_offset(0, 1, 32, 8) == 8,
+              "adjacent lanes at one level must be adjacent in memory");
+static_assert(interleaved_stack_offset(1, 0, 32, 8) == 256,
+              "levels are warp_size entries apart");
+static_assert(contiguous_stack_offset(1, 0, 64, 8) == 8);
+static_assert(contiguous_stack_offset(0, 1, 64, 8) == 512,
+              "contiguous layout separates lanes by their whole block");
+static_assert(rope_stack_bound(0, 2) == 3);
+
+}  // namespace tt

@@ -1,0 +1,42 @@
+// Rope-stack layout helpers (paper section 5.2).
+//
+// On the simulated device, per-thread rope stacks are *interleaved*: if two
+// adjacent lanes are at the same stack level, their entries sit in adjacent
+// memory, so stack traffic coalesces exactly when lanes stay in step. A
+// warp's region holds `levels x warp_size` entries, level-major.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace tt {
+
+// Byte offset of (level, lane) within a warp's interleaved stack region.
+constexpr std::uint64_t interleaved_stack_offset(std::uint64_t level,
+                                                 std::uint32_t lane,
+                                                 std::uint32_t warp_size,
+                                                 std::uint32_t entry_bytes) {
+  return (level * warp_size + lane) * entry_bytes;
+}
+
+// Contiguous (non-interleaved) layout, used by the ablation benchmark that
+// quantifies why the paper interleaves: each lane owns a dense block, so
+// same-level entries of different lanes are `levels * entry_bytes` apart
+// and never share a 128-byte segment.
+constexpr std::uint64_t contiguous_stack_offset(std::uint64_t level,
+                                                std::uint32_t lane,
+                                                std::uint32_t max_levels,
+                                                std::uint32_t entry_bytes) {
+  return (static_cast<std::uint64_t>(lane) * max_levels + level) * entry_bytes;
+}
+
+// Conservative rope-stack depth bound for a tree: each visit pops one entry
+// and pushes at most `fanout`, so the stack never exceeds
+// depth * (fanout - 1) + fanout entries along any traversal.
+constexpr int rope_stack_bound(int max_tree_depth, int fanout) {
+  if (max_tree_depth < 0 || fanout < 1)
+    throw std::invalid_argument("rope_stack_bound: bad tree shape");
+  return max_tree_depth * (fanout - 1) + fanout + 1;
+}
+
+}  // namespace tt

@@ -1,0 +1,181 @@
+// Stackless traversal over statically-installed ropes (prior work the
+// paper generalizes; see static_ropes.h). Provided as the comparison
+// baseline for bench/ablation_ropes.cpp:
+//
+//   cur = root
+//   while cur != end:
+//     visit(cur)
+//     cur = descend ? cur + 1 (first child, left-biased DFS)
+//                   : rope[cur]
+//
+// Lockstep variant: the warp shares `cur`; a lane that truncates at node n
+// records resume_at = rope[n] and is masked until cur reaches it (node ids
+// only move forward in DFS order, so `cur >= resume_at` is exact).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/static_ropes.h"
+#include "core/traversal_kernel.h"
+#include "simt/cost_model.h"
+#include "simt/executor.h"
+#include "simt/warp_memory.h"
+#include "util/timer.h"
+
+namespace tt {
+
+template <class K>
+struct RopesRun {
+  std::vector<typename K::Result> results;
+  KernelStats stats;
+  TimeBreakdown time;
+  std::size_t n_warps = 0;
+  double install_ms = 0;  // preprocessing cost (the autoropes saving)
+  double sim_wall_ms = 0;
+};
+
+namespace detail {
+
+// One lane's stackless traversal on the CPU (reference & tests).
+template <RopeCompatibleKernel K>
+void rope_traverse_one(const K& k, const StaticRopes& ropes,
+                       typename K::State& st, std::uint32_t& visits) {
+  NoopMem mem;
+  NodeId cur = k.root();
+  typename K::LArg no_larg{};
+  while (cur != StaticRopes::kEndOfTraversal) {
+    ++visits;
+    bool descend =
+        k.visit(cur, k.uarg_at(cur), no_larg, st, mem, 0);
+    cur = descend ? cur + 1 : ropes.rope[static_cast<std::size_t>(cur)];
+  }
+}
+
+}  // namespace detail
+
+template <RopeCompatibleKernel K>
+std::vector<typename K::Result> run_cpu_ropes(const K& k,
+                                              const StaticRopes& ropes) {
+  std::vector<typename K::Result> out(k.num_points());
+  for (std::uint32_t pid = 0; pid < k.num_points(); ++pid) {
+    NoopMem mem;
+    typename K::State st = k.init(pid, mem, 0);
+    std::uint32_t visits = 0;
+    detail::rope_traverse_one(k, ropes, st, visits);
+    out[pid] = k.finish(st);
+  }
+  return out;
+}
+
+template <RopeCompatibleKernel K>
+RopesRun<K> run_gpu_ropes_sim(const K& k, GpuAddressSpace& space,
+                              const DeviceConfig& cfg, bool lockstep,
+                              const StaticRopes& ropes) {
+  const std::size_t n = k.num_points();
+  const std::size_t n_warps =
+      (n + static_cast<std::size_t>(cfg.warp_size) - 1) /
+      static_cast<std::size_t>(cfg.warp_size);
+  // The rope pointers live beside the children in nodes1; model their load
+  // as a 4-byte access to a dedicated array.
+  BufferId rope_buf = space.ensure_buffer(
+      "ropes", 4, static_cast<std::uint64_t>(ropes.rope.size()));
+
+  RopesRun<K> run;
+  run.n_warps = n_warps;
+  run.install_ms = ropes.install_ms;
+  run.results.resize(n);
+
+  WallTimer timer;
+  std::vector<KernelStats> per_warp = run_warps(
+      n_warps, cfg, [&](std::size_t w, KernelStats& stats, L2Cache* l2) {
+    WarpMemory mem(space, cfg, l2, stats);
+    const auto begin = static_cast<std::uint32_t>(w * cfg.warp_size);
+    const auto end = static_cast<std::uint32_t>(
+        std::min<std::size_t>(n, (w + 1) * cfg.warp_size));
+    const int lanes = static_cast<int>(end - begin);
+
+    std::vector<typename K::State> state;
+    state.reserve(lanes);
+    for (int l = 0; l < lanes; ++l) state.push_back(k.init(begin + l, mem, l));
+    mem.commit();
+    typename K::LArg no_larg{};
+
+    if (lockstep) {
+      NodeId cur = k.root();
+      // resume_at semantics: kNullNode = active; kNeverResume = this
+      // lane's traversal ended (its truncation rope pointed past the
+      // tree); otherwise the DFS id at which the lane unmasks.
+      constexpr NodeId kNeverResume = std::numeric_limits<NodeId>::max();
+      std::vector<NodeId> resume_at(lanes, kNullNode);
+      while (cur != StaticRopes::kEndOfTraversal) {
+        ++stats.warp_steps;
+        ++stats.warp_pops;
+        stats.instr_cycles += cfg.c_step + cfg.c_visit;
+        bool any_descend = false;
+        int active = 0;
+        for (int l = 0; l < lanes; ++l) {
+          if (resume_at[l] != kNullNode && cur < resume_at[l]) continue;
+          resume_at[l] = kNullNode;
+          ++active;
+          ++stats.lane_visits;
+          if (k.visit(cur, k.uarg_at(cur), no_larg, state[l], mem, l)) {
+            any_descend = true;
+          } else {
+            NodeId rope = ropes.rope[static_cast<std::size_t>(cur)];
+            resume_at[l] =
+                rope == StaticRopes::kEndOfTraversal ? kNeverResume : rope;
+          }
+        }
+        stats.active_lane_sum += static_cast<std::uint64_t>(active);
+        ++stats.votes;
+        stats.instr_cycles += cfg.c_vote;
+        if (any_descend) {
+          cur = cur + 1;
+        } else {
+          mem.lane_load(0, rope_buf, static_cast<std::uint64_t>(cur));
+          cur = ropes.rope[static_cast<std::size_t>(cur)];
+          // Re-activate lanes whose resume point we just reached or
+          // passed (monotone DFS ids make >= exact).
+          if (cur == StaticRopes::kEndOfTraversal) {
+            mem.commit();
+            break;
+          }
+        }
+        mem.commit();
+      }
+    } else {
+      std::vector<NodeId> cur(lanes, k.root());
+      for (;;) {
+        int active = 0;
+        for (int l = 0; l < lanes; ++l)
+          if (cur[l] != StaticRopes::kEndOfTraversal) ++active;
+        if (active == 0) break;
+        ++stats.warp_steps;
+        stats.active_lane_sum += static_cast<std::uint64_t>(active);
+        stats.instr_cycles += cfg.c_step + cfg.c_visit;
+        for (int l = 0; l < lanes; ++l) {
+          if (cur[l] == StaticRopes::kEndOfTraversal) continue;
+          ++stats.lane_visits;
+          bool descend = k.visit(cur[l], k.uarg_at(cur[l]), no_larg,
+                                 state[l], mem, l);
+          if (descend) {
+            cur[l] = cur[l] + 1;
+          } else {
+            mem.lane_load(l, rope_buf, static_cast<std::uint64_t>(cur[l]));
+            cur[l] = ropes.rope[static_cast<std::size_t>(cur[l])];
+          }
+        }
+        mem.commit();
+      }
+    }
+    for (int l = 0; l < lanes; ++l) run.results[begin + l] = k.finish(state[l]);
+  });
+  run.sim_wall_ms = timer.elapsed_ms();
+  run.stats = merge_stats(per_warp);
+  run.time = estimate_time_balanced(instr_cycles_of(per_warp), run.stats, cfg);
+  return run;
+}
+
+}  // namespace tt

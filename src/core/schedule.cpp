@@ -1,0 +1,28 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+namespace tt {
+
+LaunchShape launch_shape(std::size_t n_points, int stack_bound,
+                         std::size_t warp_entry_bytes,
+                         const DeviceConfig& cfg) {
+  LaunchShape s;
+  s.n_warps = (n_points + static_cast<std::size_t>(cfg.warp_size) - 1) /
+              static_cast<std::size_t>(cfg.warp_size);
+  s.smem_stack_bytes =
+      static_cast<std::size_t>(stack_bound) * warp_entry_bytes;
+
+  // Occupancy: resident warps per SM limited by the shared-memory stacks.
+  std::size_t per_sm = static_cast<std::size_t>(cfg.resident_warps_per_sm);
+  if (s.smem_stack_bytes > 0) {
+    std::size_t by_smem = cfg.shared_mem_per_sm / s.smem_stack_bytes;
+    s.smem_fits = by_smem >= 1;
+    per_sm = std::max<std::size_t>(1, std::min(per_sm, by_smem));
+  }
+  s.resident_warps =
+      std::min(s.n_warps, per_sm * static_cast<std::size_t>(cfg.num_sms));
+  return s;
+}
+
+}  // namespace tt

@@ -1,0 +1,52 @@
+// Classic statically-installed ropes -- the prior-work technique (Popov et
+// al. [21], Hapala et al. [6]; paper section 3, Figure 2) that autoropes
+// generalizes. A preprocessing pass installs, at every node, a pointer to
+// the next *new* node a traversal visits when the node's subtree is
+// skipped. Traversal then needs no stack at all: descending moves to the
+// first child, truncating follows the rope.
+//
+// The limitations the paper calls out are structural here too:
+//   * ropes encode ONE canonical order, so only unguided (single-call-set)
+//     traversals qualify;
+//   * rope-stack arguments disappear -- anything the recursion passed down
+//     must be recomputable from the node itself (RopeCompatibleKernel
+//     requires `uarg_at(node)`);
+//   * the preprocessing pass touches the whole tree before the first
+//     traversal (bench/ablation_ropes.cpp measures that cost).
+//
+// With this library's left-biased DFS linearization the canonical
+// traversal is simply increasing node ids: descend == n+1, and
+// rope[n] == n + subtree_size(n).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "core/traversal_kernel.h"
+#include "spatial/linear_tree.h"
+
+namespace tt {
+
+struct StaticRopes {
+  // rope[n]: node to visit when skipping n's subtree; kEndOfTraversal
+  // when the traversal is finished.
+  static constexpr NodeId kEndOfTraversal = -1;
+  std::vector<NodeId> rope;
+  double install_ms = 0;  // preprocessing cost of the install pass
+};
+
+// Preprocessing pass (prior work's tree rewrite). O(n).
+StaticRopes install_ropes(const LinearTree& tree);
+
+// Kernels eligible for rope-based traversal: unguided and able to
+// recompute their uniform argument at any node (no stack to carry it).
+template <class K>
+concept RopeCompatibleKernel =
+    TraversalKernel<K> && (K::kNumCallSets == 1) &&
+    !kernel_has_lane_arg<K> &&
+    requires(const K k, NodeId n) {
+      { k.uarg_at(n) } -> std::same_as<typename K::UArg>;
+    };
+
+}  // namespace tt

@@ -1,0 +1,114 @@
+// The traversal-kernel contract: what an algorithm supplies so the
+// framework's executors (cpu_executors.h, gpu_executors.h) can run it under
+// every variant the paper evaluates.
+//
+// A kernel is the runtime image of the paper's *pseudo-tail-recursive*
+// traversal function (Figure 1 / section 3.2): all work happens on the way
+// down, so the only state carried between recursive calls is (a) the
+// per-point State living in registers and (b) the call arguments, which the
+// autoropes transformation moves onto the rope stack. Arguments split into
+//
+//   UArg -- values that depend only on the node/path (e.g. Barnes-Hut's
+//           squared cell size, quartered per level, Figure 9). Under
+//           lockstep traversal every lane sits at the same node, so UArgs
+//           are stored once per warp in shared memory (section 5.2).
+//   LArg -- values that depend on the point (e.g. the subtree distance
+//           bound a vantage-point search computes from the parent's
+//           vantage distance). These stay per-lane: the interleaved global
+//           rope stack holds them even under lockstep.
+//
+// Required interface (checked by the TraversalKernel concept below):
+//
+//   struct K {
+//     struct State;   // mutable per-point traversal state (registers)
+//     struct Result;  // copy-out value per point
+//     struct UArg;    // node-uniform rope-stack argument (Empty if none)
+//     struct LArg;    // per-lane rope-stack argument   (Empty if none)
+//     static constexpr int  kFanout;          // max children per node
+//     static constexpr int  kNumCallSets;     // 1 => unguided (section 3.2.1)
+//     static constexpr bool kCallSetsEquivalent;  // section 4.3 annotation
+//
+//     NodeId root() const;
+//     std::size_t num_points() const;
+//     UArg root_uarg() const;  LArg root_larg() const;
+//     int stack_bound() const;  // max rope-stack entries per traversal
+//
+//     template <class Mem> State init(uint32_t pid, Mem&, int lane) const;
+//     // Visit node n for this point: truncation test + update. Returns
+//     // true iff the traversal should descend into n's children.
+//     template <class Mem> bool visit(NodeId n, const UArg&, const LArg&,
+//                                     State&, Mem&, int lane) const;
+//     int choose_callset(NodeId n, const State&) const;
+//     // Enumerate children of n in the visit order of `callset`, with
+//     // their arguments (all computed now -- argument evaluation must not
+//     // depend on descendants' updates). Returns the count.
+//     template <class Mem> int children(NodeId n, const UArg&, int callset,
+//                                       const State&,
+//                                       Child<UArg, LArg>* out, Mem&,
+//                                       int lane) const;
+//     Result finish(const State&) const;
+//   };
+//
+// Mem is the memory recorder: WarpMemory on the simulated GPU, NoopMem on
+// the CPU (compiles to nothing).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+#include "spatial/linear_tree.h"
+
+namespace tt {
+
+// Placeholder for kernels without a given argument channel.
+struct Empty {};
+
+template <class UA, class LA>
+struct Child {
+  NodeId node = kNullNode;
+  UA uarg{};
+  LA larg{};
+};
+
+// Memory recorder that compiles away; used by the CPU executors and by any
+// context that only wants the traversal's semantics.
+struct NoopMem {
+  void lane_load(int, std::int32_t, std::uint64_t) {}
+  void lane_load_raw(int, std::uint64_t, std::uint32_t) {}
+  std::uint64_t commit() { return 0; }
+};
+
+template <class K>
+concept TraversalKernel = requires(const K k, std::uint32_t pid, NoopMem mem,
+                                   typename K::State st,
+                                   Child<typename K::UArg, typename K::LArg>*
+                                       out) {
+  { K::kFanout } -> std::convertible_to<int>;
+  { K::kNumCallSets } -> std::convertible_to<int>;
+  { K::kCallSetsEquivalent } -> std::convertible_to<bool>;
+  { k.root() } -> std::same_as<NodeId>;
+  { k.num_points() } -> std::convertible_to<std::size_t>;
+  { k.stack_bound() } -> std::convertible_to<int>;
+  { k.root_uarg() } -> std::same_as<typename K::UArg>;
+  { k.root_larg() } -> std::same_as<typename K::LArg>;
+  { k.init(pid, mem, 0) } -> std::same_as<typename K::State>;
+  {
+    k.visit(NodeId{0}, k.root_uarg(), k.root_larg(), st, mem, 0)
+  } -> std::same_as<bool>;
+  { k.choose_callset(NodeId{0}, st) } -> std::convertible_to<int>;
+  {
+    k.children(NodeId{0}, k.root_uarg(), 0, st, out, mem, 0)
+  } -> std::convertible_to<int>;
+  { k.finish(st) } -> std::same_as<typename K::Result>;
+};
+
+template <class K>
+inline constexpr bool kernel_has_lane_arg =
+    !std::is_same_v<typename K::LArg, Empty>;
+
+template <class K>
+inline constexpr bool kernel_has_uniform_arg =
+    !std::is_same_v<typename K::UArg, Empty>;
+
+}  // namespace tt

@@ -1,0 +1,35 @@
+// Replay a kernel's traversal loads through the CPU cache simulator.
+//
+// Points run back-to-back on one simulated core (as one CPU thread would
+// execute them), so consecutive-point locality -- the thing sorting buys
+// on the CPU -- shows up directly in the hit rates.
+#pragma once
+
+#include "core/traversal_kernel.h"
+#include "cpu/cache_sim.h"
+
+namespace tt {
+
+template <TraversalKernel K>
+CacheStats profile_cpu_cache(const K& k, const GpuAddressSpace& space,
+                             const CpuCacheConfig& cfg = {}) {
+  CacheMem mem(space, cfg);
+  std::vector<Child<typename K::UArg, typename K::LArg>> stk;
+  Child<typename K::UArg, typename K::LArg> out[K::kFanout];
+  for (std::uint32_t pid = 0; pid < k.num_points(); ++pid) {
+    typename K::State st = k.init(pid, mem, 0);
+    stk.clear();
+    stk.push_back({k.root(), k.root_uarg(), k.root_larg()});
+    while (!stk.empty()) {
+      auto top = stk.back();
+      stk.pop_back();
+      if (!k.visit(top.node, top.uarg, top.larg, st, mem, 0)) continue;
+      int cs = K::kNumCallSets > 1 ? k.choose_callset(top.node, st) : 0;
+      int cnt = k.children(top.node, top.uarg, cs, st, out, mem, 0);
+      for (int i = cnt - 1; i >= 0; --i) stk.push_back(out[i]);
+    }
+  }
+  return mem.stats();
+}
+
+}  // namespace tt

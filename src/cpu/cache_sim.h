@@ -1,0 +1,96 @@
+// CPU cache-hierarchy simulator, reusing the same per-access hooks the
+// kernels already expose through their Mem template parameter.
+//
+// Purpose: the paper explains several CPU-side effects by locality ("the
+// Geocity input performs especially well on the CPU ... traversals are
+// very short, promoting good locality", section 6.2). CacheMem lets us
+// *measure* that claim for any kernel by replaying its loads through an
+// Opteron-like L1/L2/L3 hierarchy, and anchors the documented CPU scaling
+// model with a miss-rate term.
+#pragma once
+
+#include <cstdint>
+
+#include "simt/address_space.h"
+#include "simt/l2cache.h"
+
+namespace tt {
+
+// Opteron 6176-ish geometry (the paper's CPU): 64KB 2-way L1D, 512KB
+// 16-way L2, 6MB 48-way shared L3; 64-byte lines.
+struct CpuCacheConfig {
+  std::size_t l1_bytes = 64 * 1024;
+  int l1_assoc = 2;
+  std::size_t l2_bytes = 512 * 1024;
+  int l2_assoc = 16;
+  std::size_t l3_bytes = 6 * 1024 * 1024;
+  int l3_assoc = 48;
+  int line_bytes = 64;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_miss = 0;
+  std::uint64_t l2_miss = 0;
+  std::uint64_t l3_miss = 0;  // DRAM accesses
+
+  [[nodiscard]] double l1_hit_rate() const {
+    return accesses ? 1.0 - static_cast<double>(l1_miss) / accesses : 0.0;
+  }
+  [[nodiscard]] double dram_rate() const {
+    return accesses ? static_cast<double>(l3_miss) / accesses : 0.0;
+  }
+  void merge(const CacheStats& o) {
+    accesses += o.accesses;
+    l1_miss += o.l1_miss;
+    l2_miss += o.l2_miss;
+    l3_miss += o.l3_miss;
+  }
+};
+
+// Drop-in Mem recorder for kernels running on the CPU: every lane_load is
+// resolved to a byte address via the same GpuAddressSpace the kernel
+// registered its buffers in (addresses are just labels; reuse is what
+// matters) and walked through the hierarchy. The simple set-associative
+// LRU model from simt/l2cache.h serves for every level.
+class CacheMem {
+ public:
+  CacheMem(const GpuAddressSpace& space, const CpuCacheConfig& cfg)
+      : space_(&space),
+        l1_(cfg.l1_bytes, cfg.line_bytes, cfg.l1_assoc),
+        l2_(cfg.l2_bytes, cfg.line_bytes, cfg.l2_assoc),
+        l3_(cfg.l3_bytes, cfg.line_bytes, cfg.l3_assoc) {}
+
+  void lane_load(int /*lane*/, BufferId buf, std::uint64_t idx) {
+    touch(space_->addr(buf, idx), static_cast<std::uint32_t>(space_->elem_bytes(buf)));
+  }
+  void lane_load_raw(int /*lane*/, std::uint64_t addr, std::uint32_t bytes) {
+    touch(addr, bytes);
+  }
+  std::uint64_t commit() { return 0; }
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void touch(std::uint64_t addr, std::uint32_t bytes) {
+    // Walk each 64-byte line of the access through L1 -> L2 -> L3.
+    std::uint64_t first = addr / 64, last = (addr + (bytes ? bytes : 1) - 1) / 64;
+    for (std::uint64_t line = first; line <= last; ++line) {
+      std::uint64_t a = line * 64;
+      ++stats_.accesses;
+      if (l1_.access(a)) continue;
+      ++stats_.l1_miss;
+      if (l2_.access(a)) continue;
+      ++stats_.l2_miss;
+      if (l3_.access(a)) continue;
+      ++stats_.l3_miss;
+    }
+  }
+
+  const GpuAddressSpace* space_;
+  L2Cache l1_, l2_, l3_;
+  CacheStats stats_;
+};
+
+}  // namespace tt

@@ -1,0 +1,9 @@
+#include "cpu/parallel.h"
+
+#include <omp.h>
+
+namespace tt {
+
+int hardware_threads() { return omp_get_max_threads(); }
+
+}  // namespace tt

@@ -1,0 +1,18 @@
+// Thin OpenMP wrappers for the CPU-side (real, measured) parallelism.
+#pragma once
+
+#include <cstdint>
+
+namespace tt {
+
+// Hardware threads available to this process.
+int hardware_threads();
+
+// Runs fn(i) for i in [0, n) on n_threads OpenMP threads.
+template <class Fn>
+void parallel_for(std::int64_t n, int n_threads, Fn&& fn) {
+#pragma omp parallel for num_threads(n_threads) schedule(dynamic, 256)
+  for (std::int64_t i = 0; i < n; ++i) fn(i);
+}
+
+}  // namespace tt

@@ -1,0 +1,14 @@
+// CpuScalingModel is header-only; this TU exists to give tt_cpu a stable
+// archive member and to host compile-time sanity checks.
+#include "cpu/scaling_model.h"
+
+namespace tt {
+namespace {
+
+// eff(1) == 1 by construction.
+[[maybe_unused]] constexpr bool kModelSane = [] {
+  return true;
+}();
+
+}  // namespace
+}  // namespace tt

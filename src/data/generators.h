@@ -1,0 +1,56 @@
+// Input generators standing in for the paper's evaluation datasets.
+//
+// The paper uses: Plummer and Random (1M bodies) for Barnes-Hut; Covtype
+// (580k x 54-d -> 200k x 7-d by random projection), Mnist (8.1M x 784-d ->
+// 200k x 7-d), Random (200k x 7-d) and Geocity (200k 2-d city locations)
+// for the kd/vp-tree benchmarks. The proprietary datasets are replaced by
+// seeded synthetic equivalents that reproduce the traversal-relevant
+// properties (dimensionality, clusteredness, projection pipeline); see
+// DESIGN.md section 2 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/point_set.h"
+
+namespace tt {
+
+struct BodySet {
+  PointSet pos;             // 3-d
+  std::vector<float> mass;
+  std::vector<float> vel;   // [d * n + i], matching PointSet layout
+};
+
+// Plummer-model star cluster (the Lonestar class-C analog): radial density
+// rho(r) ~ (1 + r^2)^{-5/2}, isotropic velocities, equal masses.
+BodySet gen_plummer(std::size_t n, std::uint64_t seed);
+
+// Uniform random bodies in the unit cube with random velocities.
+BodySet gen_random_bodies(std::size_t n, std::uint64_t seed);
+
+// Uniform random points in the unit hypercube.
+PointSet gen_uniform(std::size_t n, int dim, std::uint64_t seed);
+
+// Covtype-like: mixture of anisotropic Gaussian clusters in 54-d,
+// random-projected to `out_dim` (7 in the paper).
+PointSet gen_covtype_like(std::size_t n, int out_dim, std::uint64_t seed);
+
+// Mnist-like: 10 "digit" clusters on a low-dimensional manifold embedded in
+// 784-d, random-projected to `out_dim`.
+PointSet gen_mnist_like(std::size_t n, int out_dim, std::uint64_t seed);
+
+// Same generator with the class ("digit") of each point exposed, for the
+// kNN-classification example.
+struct LabeledPoints {
+  PointSet points;
+  std::vector<int> labels;
+};
+LabeledPoints gen_mnist_like_labeled(std::size_t n, int out_dim,
+                                     std::uint64_t seed);
+
+// Geocity-like: heavily clustered 2-d points; cluster populations follow a
+// power law (a few big "cities", a long tail of towns).
+PointSet gen_geocity_like(std::size_t n, std::uint64_t seed);
+
+}  // namespace tt

@@ -1,0 +1,37 @@
+#include "data/projection.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tt {
+
+PointSet random_projection(std::span<const float> data, std::size_t n,
+                           int in_dim, int out_dim, std::uint64_t seed) {
+  if (out_dim <= 0 || out_dim > kMaxDim)
+    throw std::invalid_argument("random_projection: bad out_dim");
+  if (in_dim <= 0 || data.size() != n * static_cast<std::size_t>(in_dim))
+    throw std::invalid_argument("random_projection: data size mismatch");
+
+  Pcg32 rng(seed, 0x2545f4914f6cdd1dULL);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(out_dim));
+  std::vector<float> m(static_cast<std::size_t>(in_dim) * out_dim);
+  for (auto& v : m) v = static_cast<float>(rng.normal() * scale);
+
+  PointSet out(out_dim, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = data.data() + i * in_dim;
+    for (int o = 0; o < out_dim; ++o) {
+      double acc = 0.0;
+      for (int d = 0; d < in_dim; ++d)
+        acc += static_cast<double>(row[d]) *
+               m[static_cast<std::size_t>(d) * out_dim + o];
+      out.set(i, o, static_cast<float>(acc));
+    }
+  }
+  return out;
+}
+
+}  // namespace tt

@@ -1,0 +1,23 @@
+// Johnson-Lindenstrauss random projection, the dimensionality-reduction
+// step the paper applies to Covtype (54-d -> 7-d) and Mnist (784-d -> 7-d).
+//
+// Source data may be arbitrarily high-dimensional, so the primary entry
+// point takes a raw row-major matrix; PointSet (capped at kMaxDim) is only
+// suitable for the projected output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "spatial/point_set.h"
+
+namespace tt {
+
+// Projects `n` points of dimension `in_dim` (row-major: data[i*in_dim + d])
+// to out_dim using a dense Gaussian matrix with entries N(0, 1/out_dim)
+// drawn from `seed`. Deterministic for a given (in_dim, out_dim, seed).
+PointSet random_projection(std::span<const float> data, std::size_t n,
+                           int in_dim, int out_dim, std::uint64_t seed);
+
+}  // namespace tt

@@ -1,0 +1,93 @@
+#include "data/sorting.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace tt {
+namespace {
+
+// Spread the low 21 bits of v so consecutive bits land 3 apart.
+std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffff;
+  v = (v | v << 32) & 0x1f00000000ffffULL;
+  v = (v | v << 16) & 0x1f0000ff0000ffULL;
+  v = (v | v << 8) & 0x100f00f00f00f00fULL;
+  v = (v | v << 4) & 0x10c30c30c30c30c3ULL;
+  v = (v | v << 2) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint64_t spread2(std::uint64_t v) {
+  v &= 0xffffffff;
+  v = (v | v << 16) & 0x0000ffff0000ffffULL;
+  v = (v | v << 8) & 0x00ff00ff00ff00ffULL;
+  v = (v | v << 4) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | v << 2) & 0x3333333333333333ULL;
+  v = (v | v << 1) & 0x5555555555555555ULL;
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> morton_order(const PointSet& pts) {
+  const int dim = pts.dim();
+  if (dim != 2 && dim != 3)
+    throw std::invalid_argument("morton_order supports 2-d and 3-d only");
+
+  float lo[3], hi[3];
+  for (int d = 0; d < dim; ++d) {
+    lo[d] = std::numeric_limits<float>::infinity();
+    hi[d] = -std::numeric_limits<float>::infinity();
+  }
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (int d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], pts.at(i, d));
+      hi[d] = std::max(hi[d], pts.at(i, d));
+    }
+
+  const double bits = dim == 2 ? 4294967295.0 : 2097151.0;  // 32 / 21 bits
+  std::vector<std::uint64_t> code(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    std::uint64_t c = 0;
+    for (int d = 0; d < dim; ++d) {
+      double range = static_cast<double>(hi[d]) - lo[d];
+      double t = range > 0 ? (pts.at(i, d) - lo[d]) / range : 0.0;
+      auto q = static_cast<std::uint64_t>(t * bits);
+      c |= (dim == 2 ? spread2(q) : spread3(q)) << d;
+    }
+    code[i] = c;
+  }
+  std::vector<std::uint32_t> perm(pts.size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return code[a] < code[b];
+  });
+  return perm;
+}
+
+std::vector<std::uint32_t> tree_order(const PointSet& pts, int leaf_size) {
+  KdTree t = build_kdtree(pts, leaf_size);
+  // data_perm already lists points leaf-by-leaf in DFS order.
+  std::vector<std::uint32_t> perm(t.data_perm.begin(), t.data_perm.end());
+  return perm;
+}
+
+std::vector<std::uint32_t> shuffled_order(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Pcg32 rng(seed, 7);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+std::vector<std::uint32_t> identity_order(std::size_t n) {
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  return perm;
+}
+
+}  // namespace tt

@@ -1,0 +1,32 @@
+// Point sorting (paper section 4.4): arranging points so that the 32
+// points of a warp perform similar traversals. Sorting is the one
+// application-specific knob the paper keeps outside the automatic
+// transformations; these helpers provide the two standard orders plus the
+// shuffle used to produce the "unsorted" inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/kdtree.h"
+#include "spatial/point_set.h"
+
+namespace tt {
+
+// Morton (Z-order) sort for 2-d / 3-d data: interleaves quantized
+// coordinate bits. Returns the permutation (new index j holds old point
+// perm[j]); apply with PointSet::permute.
+std::vector<std::uint32_t> morton_order(const PointSet& pts);
+
+// General-dimension spatial sort: order points by the DFS rank of the
+// kd-tree leaf that contains them (builds a scratch kd-tree over the
+// points). This is the "traversal order" sort used for the 7-d inputs.
+std::vector<std::uint32_t> tree_order(const PointSet& pts, int leaf_size);
+
+// Fisher-Yates shuffle -- the paper's "unsorted" configuration.
+std::vector<std::uint32_t> shuffled_order(std::size_t n, std::uint64_t seed);
+
+// Identity permutation helper.
+std::vector<std::uint32_t> identity_order(std::size_t n);
+
+}  // namespace tt

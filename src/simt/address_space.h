@@ -1,0 +1,72 @@
+// Simulated GPU global address space.
+//
+// Device-resident arrays (split node structs, point SoA planes, interleaved
+// rope stacks) register here and get non-overlapping base addresses; the
+// coalescing model then works on real byte addresses, exactly as the
+// hardware's memory controller would see them.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tt {
+
+using BufferId = std::int32_t;
+
+class GpuAddressSpace {
+ public:
+  BufferId register_buffer(std::string name, std::uint64_t elem_bytes,
+                           std::uint64_t n_elems) {
+    if (elem_bytes == 0) throw std::invalid_argument("zero-size element");
+    Buffer b;
+    b.name = std::move(name);
+    b.elem_bytes = elem_bytes;
+    b.n_elems = n_elems;
+    // 256-byte alignment, matching cudaMalloc guarantees.
+    b.base = (next_ + 255) & ~std::uint64_t{255};
+    next_ = b.base + elem_bytes * n_elems;
+    buffers_.push_back(std::move(b));
+    return static_cast<BufferId>(buffers_.size() - 1);
+  }
+
+  // Idempotent variant: repeated launches reuse their scratch allocations
+  // (stack arenas, rope tables) instead of leaking fresh address ranges --
+  // which also keeps back-to-back simulations bit-deterministic.
+  BufferId ensure_buffer(const std::string& name, std::uint64_t elem_bytes,
+                         std::uint64_t n_elems) {
+    for (std::size_t i = 0; i < buffers_.size(); ++i) {
+      const Buffer& b = buffers_[i];
+      if (b.name == name && b.elem_bytes == elem_bytes &&
+          b.n_elems >= n_elems)
+        return static_cast<BufferId>(i);
+    }
+    return register_buffer(name, elem_bytes, n_elems);
+  }
+
+  [[nodiscard]] std::uint64_t addr(BufferId b, std::uint64_t index) const {
+    const Buffer& buf = buffers_[static_cast<std::size_t>(b)];
+    return buf.base + index * buf.elem_bytes;
+  }
+  [[nodiscard]] std::uint64_t elem_bytes(BufferId b) const {
+    return buffers_[static_cast<std::size_t>(b)].elem_bytes;
+  }
+  [[nodiscard]] const std::string& name(BufferId b) const {
+    return buffers_[static_cast<std::size_t>(b)].name;
+  }
+  [[nodiscard]] std::size_t num_buffers() const { return buffers_.size(); }
+  [[nodiscard]] std::uint64_t footprint_bytes() const { return next_; }
+
+ private:
+  struct Buffer {
+    std::string name;
+    std::uint64_t base = 0;
+    std::uint64_t elem_bytes = 0;
+    std::uint64_t n_elems = 0;
+  };
+  std::vector<Buffer> buffers_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace tt

@@ -1,0 +1,23 @@
+#include "simt/coalescing.h"
+
+#include <algorithm>
+
+namespace tt {
+
+std::size_t segments_touched(std::span<const LaneAccess> accesses,
+                             std::uint32_t segment_bytes,
+                             std::vector<std::uint64_t>& segments_out) {
+  segments_out.clear();
+  for (const LaneAccess& a : accesses) {
+    if (a.bytes == 0) continue;
+    std::uint64_t first = a.addr / segment_bytes;
+    std::uint64_t last = (a.addr + a.bytes - 1) / segment_bytes;
+    for (std::uint64_t s = first; s <= last; ++s) segments_out.push_back(s);
+  }
+  std::sort(segments_out.begin(), segments_out.end());
+  segments_out.erase(std::unique(segments_out.begin(), segments_out.end()),
+                     segments_out.end());
+  return segments_out.size();
+}
+
+}  // namespace tt

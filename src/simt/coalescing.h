@@ -1,0 +1,26 @@
+// Memory-coalescing model (paper section 2.2): threads of a warp achieve
+// full throughput only when their accesses fall in the same 128-byte
+// segments; the hardware groups a warp's addresses into as few segment
+// transactions as possible. `segments_touched` reproduces that grouping.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tt {
+
+struct LaneAccess {
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 0;
+};
+
+// Distinct `segment_bytes`-sized segments covered by the warp's accesses.
+// Out-of-line so the scratch vector logic is shared; hot path is one sort
+// over <= 32 entries. Appends touched segment ids to `segments_out`
+// (cleared first) and returns the count.
+std::size_t segments_touched(std::span<const LaneAccess> accesses,
+                             std::uint32_t segment_bytes,
+                             std::vector<std::uint64_t>& segments_out);
+
+}  // namespace tt

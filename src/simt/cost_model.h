@@ -1,0 +1,42 @@
+// Event counts -> simulated time.
+//
+// Dual-bottleneck (roofline-style) model: with tens of resident warps per
+// SM, latency is hidden and the kernel is limited either by warp-instruction
+// issue (each SM retires about one warp-wide instruction per cycle) or by
+// DRAM throughput. Divergence and serialization show up as extra
+// instruction cycles; lost coalescing shows up as extra transactions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "simt/device_config.h"
+#include "simt/kernel_stats.h"
+
+namespace tt {
+
+struct TimeBreakdown {
+  double compute_ms = 0;
+  double memory_ms = 0;
+  double total_ms = 0;  // max of the two
+  bool memory_bound = false;
+  // Makespan / ideal-balance ratio when per-warp cycles were provided
+  // (1.0 = perfectly balanced warps).
+  double imbalance = 1.0;
+};
+
+// `n_warps` caps the SMs that can be kept busy (a grid smaller than the SM
+// count cannot use the whole chip); 0 means "assume a full grid".
+TimeBreakdown estimate_time(const KernelStats& stats, const DeviceConfig& cfg,
+                            std::size_t n_warps = 0);
+
+// Imbalance-aware variant (the paper's Geocity discussion: "traversals in
+// a warp may have very different lengths, leading to load imbalance and
+// hence poor performance", section 6.2). Warps are assigned to SMs in
+// launch order (hardware block scheduling); the compute time becomes the
+// slowest SM's share instead of the perfectly-balanced average.
+TimeBreakdown estimate_time_balanced(std::span<const double> per_warp_cycles,
+                                     const KernelStats& stats,
+                                     const DeviceConfig& cfg);
+
+}  // namespace tt

@@ -1,0 +1,48 @@
+// Machine description for the software SIMT machine.
+//
+// Defaults model the paper's Tesla C2070 (Fermi GF100): 14 SMs x 32 lanes,
+// 1.15 GHz, 6 GB GDDR5 at ~144 GB/s, 768 KB L2 with 128-byte lines, up to
+// 48 resident warps per SM. Instruction-cost constants are in *warp-cycles*
+// (one warp-wide instruction issue); see DESIGN.md section 6 for the
+// calibration rationale. All experiments go through this struct, so cost
+// sensitivity studies only touch one place.
+#pragma once
+
+#include <cstddef>
+
+namespace tt {
+
+struct DeviceConfig {
+  // Topology.
+  int warp_size = 32;
+  int num_sms = 14;
+  int resident_warps_per_sm = 48;
+  double clock_ghz = 1.15;
+
+  // Memory system.
+  double mem_bandwidth_gbps = 144.0;  // sustained global throughput
+  int transaction_bytes = 128;        // coalescing segment size
+  std::size_t l2_bytes = 768 * 1024;
+  int l2_line_bytes = 128;
+  int l2_assoc = 16;
+  bool model_l2 = true;
+  std::size_t shared_mem_per_sm = 48 * 1024;  // 48K smem / 16K L1 split
+
+  // Instruction costs (warp-cycles per warp-wide operation).
+  double c_visit = 24;  // truncation test + node update arithmetic
+  double c_step = 8;    // traversal-loop bookkeeping per iteration
+  double c_call = 40;   // call/return pair overhead (recursive variant)
+  double c_vote = 4;    // warp ballot / majority vote
+  double c_smem = 2;    // shared-memory stack push or pop
+  double c_l2hit = 2;   // L2-serviced transaction (throughput cost)
+
+  // Storage shapes.
+  int stack_entry_bytes = 8;  // node id + packed argument, global rope stack
+  int frame_bytes = 32;       // per-call local-memory frame, recursive variant
+
+  [[nodiscard]] int max_resident_warps() const {
+    return num_sms * resident_warps_per_sm;
+  }
+};
+
+}  // namespace tt

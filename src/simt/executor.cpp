@@ -1,0 +1,66 @@
+#include "simt/warp_memory.h"
+
+#include <algorithm>
+
+namespace tt {
+
+std::uint64_t WarpMemory::commit() {
+  if (pending_.empty()) return 0;
+  std::uint64_t dram = 0;
+
+  // Process one (buffer, rank) group at a time: rank k holds every lane's
+  // k-th access to that buffer, matching how the hardware replays a load
+  // when lanes iterate different trip counts.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const Pending& a, const Pending& b) {
+                     if (a.buf != b.buf) return a.buf < b.buf;
+                     return a.lane < b.lane;
+                   });
+
+  std::size_t i = 0;
+  std::array<std::uint16_t, 64> seen_count{};  // accesses so far per lane
+  while (i < pending_.size()) {
+    std::size_t j = i;
+    while (j < pending_.size() && pending_[j].buf == pending_[i].buf) ++j;
+
+    // Determine ranks within this buffer group.
+    seen_count.fill(0);
+    std::uint16_t max_rank = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      std::uint16_t r = seen_count[pending_[k].lane]++;
+      max_rank = std::max(max_rank, static_cast<std::uint16_t>(r + 1));
+    }
+
+    for (std::uint16_t rank = 0; rank < max_rank; ++rank) {
+      group_.clear();
+      seen_count.fill(0);
+      for (std::size_t k = i; k < j; ++k) {
+        if (seen_count[pending_[k].lane]++ == rank)
+          group_.push_back(LaneAccess{pending_[k].addr, pending_[k].bytes});
+      }
+      if (group_.empty()) continue;
+      ++stats_->load_instructions;
+      segments_touched(group_, static_cast<std::uint32_t>(cfg_->transaction_bytes),
+                       segs_);
+      for (std::uint64_t seg : segs_) {
+        bool hit = l2_ != nullptr &&
+                   l2_->access(seg * static_cast<std::uint64_t>(
+                                         cfg_->transaction_bytes));
+        if (hit) {
+          ++stats_->l2_hit_transactions;
+          stats_->instr_cycles += cfg_->c_l2hit;
+        } else {
+          ++stats_->dram_transactions;
+          ++dram;
+          stats_->dram_bytes +=
+              static_cast<std::uint64_t>(cfg_->transaction_bytes);
+        }
+      }
+    }
+    i = j;
+  }
+  pending_.clear();
+  return dram;
+}
+
+}  // namespace tt

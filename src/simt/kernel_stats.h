@@ -1,0 +1,47 @@
+// Event counters produced by the software SIMT machine. All the paper's
+// quantitative claims (coalescing benefit, work expansion, divergence
+// penalty) reduce to these counts; the cost model turns them into time.
+#pragma once
+
+#include <cstdint>
+
+namespace tt {
+
+struct KernelStats {
+  // Memory system.
+  std::uint64_t load_instructions = 0;   // warp-wide load issues
+  std::uint64_t dram_transactions = 0;   // 128B segments missing L2
+  std::uint64_t l2_hit_transactions = 0;
+  std::uint64_t dram_bytes = 0;
+
+  // Execution.
+  double instr_cycles = 0;        // accumulated warp-cycles (compute side)
+  std::uint64_t warp_steps = 0;   // traversal-loop iterations executed
+  std::uint64_t lane_visits = 0;  // per-lane node visits (active lanes only)
+  std::uint64_t warp_pops = 0;    // rope-stack pops at warp granularity
+  std::uint64_t calls = 0;        // recursive variant: call+return pairs
+  std::uint64_t votes = 0;        // warp ballots / majority votes
+
+  // Divergence: mean active lanes per step = active_lane_sum / warp_steps.
+  std::uint64_t active_lane_sum = 0;
+
+  std::uint64_t peak_stack_entries = 0;  // deepest rope stack seen
+
+  void merge(const KernelStats& o) {
+    load_instructions += o.load_instructions;
+    dram_transactions += o.dram_transactions;
+    l2_hit_transactions += o.l2_hit_transactions;
+    dram_bytes += o.dram_bytes;
+    instr_cycles += o.instr_cycles;
+    warp_steps += o.warp_steps;
+    lane_visits += o.lane_visits;
+    warp_pops += o.warp_pops;
+    calls += o.calls;
+    votes += o.votes;
+    active_lane_sum += o.active_lane_sum;
+    if (o.peak_stack_entries > peak_stack_entries)
+      peak_stack_entries = o.peak_stack_entries;
+  }
+};
+
+}  // namespace tt

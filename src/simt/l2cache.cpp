@@ -1,0 +1,42 @@
+#include "simt/l2cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace tt {
+
+L2Cache::L2Cache(std::size_t capacity_bytes, int line_bytes, int assoc)
+    : line_bytes_(line_bytes), assoc_(assoc) {
+  if (line_bytes <= 0 || assoc <= 0)
+    throw std::invalid_argument("L2Cache: bad geometry");
+  std::size_t lines = capacity_bytes / static_cast<std::size_t>(line_bytes);
+  std::size_t sets = lines / static_cast<std::size_t>(assoc);
+  sets_ = sets == 0 ? 1 : std::bit_floor(sets);
+  ways_.assign(sets_ * static_cast<std::size_t>(assoc_), Way{});
+}
+
+bool L2Cache::access(std::uint64_t addr) {
+  std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  std::size_t set = static_cast<std::size_t>(line) & (sets_ - 1);
+  std::uint64_t tag = line / sets_;
+  Way* base = &ways_[set * static_cast<std::size_t>(assoc_)];
+  ++tick_;
+  int victim = 0;
+  for (int w = 0; w < assoc_; ++w) {
+    if (base[w].tag == tag) {
+      base[w].lru = tick_;
+      return true;
+    }
+    if (base[w].lru < base[victim].lru) victim = w;
+  }
+  base[victim].tag = tag;
+  base[victim].lru = tick_;
+  return false;
+}
+
+void L2Cache::clear() {
+  ways_.assign(ways_.size(), Way{});
+  tick_ = 0;
+}
+
+}  // namespace tt

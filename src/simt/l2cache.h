@@ -1,0 +1,38 @@
+// Set-associative LRU cache model for the device L2.
+//
+// Each simulated warp owns a private slice of the shared L2 (capacity
+// divided by the number of resident warps); this keeps warp simulations
+// independent and deterministic under the host's OpenMP scheduling while
+// still capturing the reuse that makes repeated upper-tree visits cheap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tt {
+
+class L2Cache {
+ public:
+  // capacity_bytes is rounded down to a power-of-two set count.
+  L2Cache(std::size_t capacity_bytes, int line_bytes, int assoc);
+
+  // True on hit. Misses install the line (allocate-on-read).
+  bool access(std::uint64_t addr);
+
+  [[nodiscard]] std::size_t num_sets() const { return sets_; }
+  [[nodiscard]] int assoc() const { return assoc_; }
+  void clear();
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~std::uint64_t{0};
+    std::uint64_t lru = 0;
+  };
+  std::size_t sets_;
+  int line_bytes_;
+  int assoc_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> ways_;  // [set * assoc_ + w]
+};
+
+}  // namespace tt

@@ -1,0 +1,31 @@
+// Host <-> device transfer model (paper section 5.2: "we must also copy
+// any data to and from the GPU that is live-in and -out of the point
+// loop", plus the linearized tree upload before the kernel launch).
+//
+// The paper's Table 1 reports traversal time only; this model lets the
+// harness additionally report end-to-end numbers so users can judge when
+// the offload amortizes. PCIe 2.0 x16, the C2070's bus: ~6 GB/s effective.
+#pragma once
+
+#include <cstdint>
+
+namespace tt {
+
+struct TransferModel {
+  double pcie_gbps = 6.0;       // effective host<->device throughput
+  double launch_overhead_ms = 0.01;  // per kernel launch
+
+  [[nodiscard]] double upload_ms(std::uint64_t bytes) const {
+    return launch_overhead_ms + static_cast<double>(bytes) / (pcie_gbps * 1e6);
+  }
+  [[nodiscard]] double download_ms(std::uint64_t bytes) const {
+    return static_cast<double>(bytes) / (pcie_gbps * 1e6);
+  }
+  // Tree + points up, results back.
+  [[nodiscard]] double round_trip_ms(std::uint64_t up_bytes,
+                                     std::uint64_t down_bytes) const {
+    return upload_ms(up_bytes) + download_ms(down_bytes);
+  }
+};
+
+}  // namespace tt

@@ -1,0 +1,63 @@
+// Per-warp memory front end: lanes record the addresses their current
+// instruction touches, commit() groups them into 128-byte transactions
+// (replaying the load once per extra access when lanes need different
+// numbers of elements, as the hardware serializes divergent access counts),
+// filters them through the warp's L2 slice, and charges the stats.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "simt/address_space.h"
+#include "simt/coalescing.h"
+#include "simt/device_config.h"
+#include "simt/kernel_stats.h"
+#include "simt/l2cache.h"
+
+namespace tt {
+
+class WarpMemory {
+ public:
+  WarpMemory(const GpuAddressSpace& space, const DeviceConfig& cfg,
+             L2Cache* l2, KernelStats& stats)
+      : space_(&space), cfg_(&cfg), l2_(l2), stats_(&stats) {}
+
+  // Record that `lane` reads element `idx` of `buf` during the current
+  // warp-wide load group. A lane may record several accesses to the same
+  // buffer (e.g. scanning a leaf bucket); each rank k across lanes becomes
+  // one replayed load instruction.
+  void lane_load(int lane, BufferId buf, std::uint64_t idx) {
+    pending_.push_back(Pending{buf, space_->addr(buf, idx),
+                               static_cast<std::uint32_t>(space_->elem_bytes(buf)),
+                               static_cast<std::uint16_t>(lane)});
+  }
+
+  // Raw-address variant for stack traffic (layout computed by the caller).
+  void lane_load_raw(int lane, std::uint64_t addr, std::uint32_t bytes) {
+    pending_.push_back(Pending{kRawBuf, addr, bytes, static_cast<std::uint16_t>(lane)});
+  }
+
+  // Issue the recorded accesses and clear. Returns DRAM transactions issued.
+  std::uint64_t commit();
+
+  [[nodiscard]] const GpuAddressSpace& space() const { return *space_; }
+
+ private:
+  static constexpr BufferId kRawBuf = -2;
+  struct Pending {
+    BufferId buf;
+    std::uint64_t addr;
+    std::uint32_t bytes;
+    std::uint16_t lane;
+  };
+  const GpuAddressSpace* space_;
+  const DeviceConfig* cfg_;
+  L2Cache* l2_;  // may be null (L2 modelling off)
+  KernelStats* stats_;
+  std::vector<Pending> pending_;
+  std::vector<LaneAccess> group_;
+  std::vector<std::uint64_t> segs_;
+};
+
+}  // namespace tt

@@ -1,0 +1,136 @@
+#include "spatial/bvh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace tt {
+
+namespace {
+constexpr float kInf = std::numeric_limits<float>::infinity();
+}
+
+float Bvh::box_entry(NodeId n, const Vec3& o, const Vec3& inv_d,
+                     float t_max) const {
+  const auto i = static_cast<std::size_t>(n);
+  float t0 = 0.f, t1 = t_max;
+  const float lo[3] = {box_min_x[i], box_min_y[i], box_min_z[i]};
+  const float hi[3] = {box_max_x[i], box_max_y[i], box_max_z[i]};
+  const float oo[3] = {o.x, o.y, o.z};
+  const float id[3] = {inv_d.x, inv_d.y, inv_d.z};
+  for (int a = 0; a < 3; ++a) {
+    float ta = (lo[a] - oo[a]) * id[a];
+    float tb = (hi[a] - oo[a]) * id[a];
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return kInf;
+  }
+  return t0;
+}
+
+namespace {
+
+struct BvhBuilder {
+  const TriangleMesh& mesh;
+  int leaf_size;
+  Bvh out;
+
+  NodeId emit_node(NodeId parent, std::int32_t depth, std::int32_t begin,
+                   std::int32_t end) {
+    NodeId id = out.topo.add_node(parent, depth);
+    float lo[3] = {kInf, kInf, kInf};
+    float hi[3] = {-kInf, -kInf, -kInf};
+    for (std::int32_t i = begin; i < end; ++i) {
+      const Triangle& t = mesh.tris[out.tri_perm[static_cast<std::size_t>(i)]];
+      for (const Vec3& v : {t.v0, t.v1, t.v2})
+        for (int a = 0; a < 3; ++a) {
+          lo[a] = std::min(lo[a], v[a]);
+          hi[a] = std::max(hi[a], v[a]);
+        }
+    }
+    out.box_min_x.push_back(lo[0]);
+    out.box_min_y.push_back(lo[1]);
+    out.box_min_z.push_back(lo[2]);
+    out.box_max_x.push_back(hi[0]);
+    out.box_max_y.push_back(hi[1]);
+    out.box_max_z.push_back(hi[2]);
+    out.leaf_begin.push_back(begin);
+    out.leaf_end.push_back(end);
+    return id;
+  }
+
+  NodeId build(NodeId parent, std::int32_t depth, std::int32_t begin,
+               std::int32_t end) {
+    NodeId id = emit_node(parent, depth, begin, end);
+    if (end - begin <= leaf_size) return id;
+
+    // Split at the median centroid of the widest centroid axis.
+    float lo[3] = {kInf, kInf, kInf}, hi[3] = {-kInf, -kInf, -kInf};
+    for (std::int32_t i = begin; i < end; ++i) {
+      Vec3 c = mesh.tris[out.tri_perm[static_cast<std::size_t>(i)]].centroid();
+      for (int a = 0; a < 3; ++a) {
+        lo[a] = std::min(lo[a], c[a]);
+        hi[a] = std::max(hi[a], c[a]);
+      }
+    }
+    int axis = 0;
+    float extent = -1.f;
+    for (int a = 0; a < 3; ++a)
+      if (hi[a] - lo[a] > extent) {
+        extent = hi[a] - lo[a];
+        axis = a;
+      }
+    if (extent <= 0.f) return id;  // coincident centroids: keep as leaf
+
+    std::int32_t mid = begin + (end - begin) / 2;
+    std::nth_element(out.tri_perm.begin() + begin, out.tri_perm.begin() + mid,
+                     out.tri_perm.begin() + end,
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return mesh.tris[a].centroid()[axis] <
+                              mesh.tris[b].centroid()[axis];
+                     });
+    NodeId left = build(id, depth + 1, begin, mid);
+    out.topo.set_child(id, 0, left);
+    NodeId right = build(id, depth + 1, mid, end);
+    out.topo.set_child(id, 1, right);
+    return id;
+  }
+};
+
+}  // namespace
+
+Bvh build_bvh(const TriangleMesh& mesh, int leaf_size) {
+  if (mesh.tris.empty()) throw std::invalid_argument("build_bvh: empty mesh");
+  if (leaf_size < 1) throw std::invalid_argument("build_bvh: leaf_size < 1");
+  BvhBuilder b{mesh, leaf_size, {}};
+  b.out.topo.fanout = 2;
+  b.out.tri_perm.resize(mesh.tris.size());
+  std::iota(b.out.tri_perm.begin(), b.out.tri_perm.end(), 0u);
+  b.build(kNullNode, 0, 0, static_cast<std::int32_t>(mesh.tris.size()));
+  b.out.topo.validate();
+  return std::move(b.out);
+}
+
+float ray_triangle(const Vec3& o, const Vec3& d, const Triangle& tri,
+                   float t_max) {
+  constexpr float kEps = 1e-7f;
+  Vec3 e1 = tri.v1 - tri.v0;
+  Vec3 e2 = tri.v2 - tri.v0;
+  Vec3 p = cross(d, e2);
+  float det = dot(e1, p);
+  if (std::fabs(det) < kEps) return kInf;  // parallel
+  float inv_det = 1.0f / det;
+  Vec3 s = o - tri.v0;
+  float u = dot(s, p) * inv_det;
+  if (u < 0.f || u > 1.f) return kInf;
+  Vec3 q = cross(s, e1);
+  float v = dot(d, q) * inv_det;
+  if (v < 0.f || u + v > 1.f) return kInf;
+  float t = dot(e2, q) * inv_det;
+  return (t > kEps && t < t_max) ? t : kInf;
+}
+
+}  // namespace tt

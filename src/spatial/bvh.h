@@ -1,0 +1,63 @@
+// Bounding-volume hierarchy over triangles -- the graphics substrate from
+// the paper's introduction ("a bounding-volume hierarchy that captures the
+// spatial distribution of objects in a scene" traversed by rays) and the
+// structure targeted by the prior-work rope papers it generalizes.
+//
+// Median split on the widest axis of centroid extent; leaves own a slice
+// of a permuted triangle array (<= leaf_size triangles).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/linear_tree.h"
+
+namespace tt {
+
+struct Vec3 {
+  float x = 0, y = 0, z = 0;
+
+  friend Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend Vec3 operator*(Vec3 a, float s) { return {a.x * s, a.y * s, a.z * s}; }
+  [[nodiscard]] float operator[](int i) const { return i == 0 ? x : i == 1 ? y : z; }
+};
+
+inline float dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+inline Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+struct Triangle {
+  Vec3 v0, v1, v2;
+  [[nodiscard]] Vec3 centroid() const {
+    return (v0 + v1 + v2) * (1.0f / 3.0f);
+  }
+};
+
+struct TriangleMesh {
+  std::vector<Triangle> tris;
+};
+
+struct Bvh {
+  LinearTree topo;  // fanout 2
+
+  // Per-node AABB (SoA xyz) and leaf slices into tri_perm.
+  std::vector<float> box_min_x, box_min_y, box_min_z;
+  std::vector<float> box_max_x, box_max_y, box_max_z;
+  std::vector<std::int32_t> leaf_begin, leaf_end;
+  std::vector<std::uint32_t> tri_perm;
+
+  // Slab test: entry distance of ray (o, inv_d) into node n's box, or
+  // +inf when the box is missed within [0, t_max].
+  [[nodiscard]] float box_entry(NodeId n, const Vec3& o, const Vec3& inv_d,
+                                float t_max) const;
+};
+
+Bvh build_bvh(const TriangleMesh& mesh, int leaf_size);
+
+// Möller-Trumbore; returns hit distance t in (eps, t_max) or +inf.
+float ray_triangle(const Vec3& o, const Vec3& d, const Triangle& tri,
+                   float t_max);
+
+}  // namespace tt

@@ -1,0 +1,164 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace tt {
+
+double KdTree::box_sq_dist(NodeId n, const float* q) const {
+  const float* lo = &bbox_min[static_cast<std::size_t>(n) * dim];
+  const float* hi = &bbox_max[static_cast<std::size_t>(n) * dim];
+  double s = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    double diff = 0.0;
+    if (q[d] < lo[d])
+      diff = static_cast<double>(lo[d]) - q[d];
+    else if (q[d] > hi[d])
+      diff = static_cast<double>(q[d]) - hi[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+namespace {
+
+struct KdBuilder {
+  const PointSet& pts;
+  int leaf_size;
+  KdTree out;
+
+  void payload_reserve() {
+    // payload vectors grow with add_node; keep them in sync by appending.
+  }
+
+  NodeId emit_node(NodeId parent, std::int32_t depth, std::int32_t begin,
+                   std::int32_t end) {
+    NodeId id = out.topo.add_node(parent, depth);
+    const int dim = out.dim;
+    out.bbox_min.resize(out.bbox_min.size() + dim,
+                        std::numeric_limits<float>::infinity());
+    out.bbox_max.resize(out.bbox_max.size() + dim,
+                        -std::numeric_limits<float>::infinity());
+    out.split_dim.push_back(-1);
+    out.split_val.push_back(0.f);
+    out.leaf_begin.push_back(begin);
+    out.leaf_end.push_back(end);
+    float* lo = &out.bbox_min[static_cast<std::size_t>(id) * dim];
+    float* hi = &out.bbox_max[static_cast<std::size_t>(id) * dim];
+    for (std::int32_t i = begin; i < end; ++i) {
+      for (int d = 0; d < dim; ++d) {
+        float v = pts.at(out.data_perm[i], d);
+        lo[d] = std::min(lo[d], v);
+        hi[d] = std::max(hi[d], v);
+      }
+    }
+    return id;
+  }
+
+  NodeId build(NodeId parent, std::int32_t depth, std::int32_t begin,
+               std::int32_t end) {
+    NodeId id = emit_node(parent, depth, begin, end);
+    if (end - begin <= leaf_size) return id;
+
+    const int dim = out.dim;
+    const float* lo = &out.bbox_min[static_cast<std::size_t>(id) * dim];
+    const float* hi = &out.bbox_max[static_cast<std::size_t>(id) * dim];
+    int widest = 0;
+    float extent = -1.f;
+    for (int d = 0; d < dim; ++d) {
+      float e = hi[d] - lo[d];
+      if (e > extent) {
+        extent = e;
+        widest = d;
+      }
+    }
+    // Degenerate slab (all points identical): keep as a (large) leaf rather
+    // than recursing forever on an unsplittable range.
+    if (extent <= 0.f) return id;
+
+    std::int32_t mid = begin + (end - begin) / 2;
+    auto key = [&](std::uint32_t p) { return pts.at(p, widest); };
+    std::nth_element(out.data_perm.begin() + begin, out.data_perm.begin() + mid,
+                     out.data_perm.begin() + end,
+                     [&](std::uint32_t a, std::uint32_t b) { return key(a) < key(b); });
+    float sv = key(out.data_perm[mid]);
+    // If the median value ties across the boundary, nth_element still gives
+    // a valid partition by position; the box test stays conservative.
+    out.split_dim[id] = widest;
+    out.split_val[id] = sv;
+    // Interior nodes do not own points directly; their slice is their
+    // children's union (kept for diagnostics).
+    NodeId left = build(id, depth + 1, begin, mid);
+    out.topo.set_child(id, 0, left);
+    NodeId right = build(id, depth + 1, mid, end);
+    out.topo.set_child(id, 1, right);
+    return id;
+  }
+};
+
+}  // namespace
+
+KdTree build_kdtree(const PointSet& pts, int leaf_size) {
+  if (pts.empty()) throw std::invalid_argument("build_kdtree: empty input");
+  if (leaf_size < 1) throw std::invalid_argument("build_kdtree: leaf_size < 1");
+  KdBuilder b{pts, leaf_size, {}};
+  b.out.dim = pts.dim();
+  b.out.topo.fanout = 2;
+  b.out.data_perm.resize(pts.size());
+  std::iota(b.out.data_perm.begin(), b.out.data_perm.end(), 0u);
+  b.build(kNullNode, 0, 0, static_cast<std::int32_t>(pts.size()));
+  b.out.topo.validate();
+  return std::move(b.out);
+}
+
+namespace {
+
+struct KdNNBuilder {
+  const PointSet& pts;
+  KdTreeNN out;
+  std::vector<std::uint32_t> perm;
+
+  NodeId build(NodeId parent, std::int32_t depth, std::int32_t begin,
+               std::int32_t end) {
+    // Median along the cycling dimension becomes this node's point.
+    int d = depth % out.dim;
+    std::int32_t mid = begin + (end - begin) / 2;
+    std::nth_element(perm.begin() + begin, perm.begin() + mid,
+                     perm.begin() + end, [&](std::uint32_t a, std::uint32_t b) {
+                       return pts.at(a, d) < pts.at(b, d);
+                     });
+    NodeId id = out.topo.add_node(parent, depth);
+    std::uint32_t p = perm[mid];
+    out.point_id.push_back(static_cast<std::int32_t>(p));
+    for (int k = 0; k < out.dim; ++k) out.coords.push_back(pts.at(p, k));
+    out.split_dim.push_back(d);
+
+    if (mid > begin) {
+      NodeId below = build(id, depth + 1, begin, mid);
+      out.topo.set_child(id, KdTreeNN::kBelow, below);
+    }
+    if (end > mid + 1) {
+      NodeId above = build(id, depth + 1, mid + 1, end);
+      out.topo.set_child(id, KdTreeNN::kAbove, above);
+    }
+    return id;
+  }
+};
+
+}  // namespace
+
+KdTreeNN build_kdtree_nn(const PointSet& pts) {
+  if (pts.empty()) throw std::invalid_argument("build_kdtree_nn: empty input");
+  KdNNBuilder b{pts, {}, {}};
+  b.out.dim = pts.dim();
+  b.out.topo.fanout = 2;
+  b.perm.resize(pts.size());
+  std::iota(b.perm.begin(), b.perm.end(), 0u);
+  b.build(kNullNode, 0, 0, static_cast<std::int32_t>(pts.size()));
+  b.out.topo.validate();
+  return std::move(b.out);
+}
+
+}  // namespace tt

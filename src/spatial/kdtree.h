@@ -1,0 +1,60 @@
+// Two kd-tree flavours used by the paper's benchmarks.
+//
+// KdTree (bucket leaves) backs Point Correlation and k-Nearest-Neighbor:
+// interior nodes carry the bounding box of their subtree (the truncation
+// test is box-to-query distance); leaves own a contiguous slice of a
+// permuted point array. Splits are at the median of the widest box
+// dimension.
+//
+// KdTreeNN ("a different implementation of the kd-tree structure", section
+// 6.1.2) backs Nearest-Neighbor: the classic formulation where every node
+// stores one data point and a splitting hyperplane through it; the
+// truncation test is hyperplane distance against the current best.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/linear_tree.h"
+#include "spatial/point_set.h"
+
+namespace tt {
+
+struct KdTree {
+  LinearTree topo;
+  int dim = 0;
+
+  // Interior + leaf payloads, indexed by node id (SoA, [node * dim + d]).
+  std::vector<float> bbox_min;
+  std::vector<float> bbox_max;
+  std::vector<std::int32_t> split_dim;  // -1 at leaves
+  std::vector<float> split_val;
+
+  // Leaves: data_perm[leaf_begin[n] .. leaf_end[n]) are the point ids held
+  // by leaf n (indices into the PointSet the tree was built over).
+  std::vector<std::int32_t> leaf_begin;
+  std::vector<std::int32_t> leaf_end;
+  std::vector<std::uint32_t> data_perm;
+
+  // Squared minimum distance from query q (dim floats) to node's box.
+  [[nodiscard]] double box_sq_dist(NodeId n, const float* q) const;
+};
+
+// leaf_size >= 1; throws std::invalid_argument on empty input.
+KdTree build_kdtree(const PointSet& pts, int leaf_size);
+
+struct KdTreeNN {
+  LinearTree topo;
+  int dim = 0;
+
+  std::vector<std::int32_t> point_id;   // the point stored at each node
+  std::vector<float> coords;            // its coordinates [node * dim + d]
+  std::vector<std::int32_t> split_dim;  // cycling dimension
+
+  static constexpr int kBelow = 0;  // child slot semantics
+  static constexpr int kAbove = 1;
+};
+
+KdTreeNN build_kdtree_nn(const PointSet& pts);
+
+}  // namespace tt

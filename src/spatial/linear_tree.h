@@ -1,0 +1,63 @@
+// Linearized tree topology shared by all tree kinds.
+//
+// The paper (section 5.2) copies the tree to the GPU as "an identical
+// linearized copy ... using a left-biased linearization". Builders in this
+// library emit nodes directly in left-biased depth-first order: node 0 is
+// the root, a node's first (leftmost) child subtree immediately follows it.
+// Children indices are stored explicitly per node (the nodes1 partial
+// struct of Figure 9b); payloads live in per-algorithm SoA arrays indexed
+// by these DFS node ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tt {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNullNode = -1;
+
+struct LinearTree {
+  int fanout = 2;           // maximum out-degree (2 for kd/vp, 8 for oct)
+  std::int64_t n_nodes = 0;
+
+  // children[node * fanout + k]; kNullNode when absent. Slots keep their
+  // semantic identity (e.g. slot 0 = left / below-split), so interior gaps
+  // are allowed: an NN-style kd-node may have only a right child.
+  std::vector<NodeId> children;
+  std::vector<std::uint8_t> n_children;  // count of present children; 0 => leaf
+  std::vector<NodeId> parent;            // kNullNode for root
+  std::vector<std::int32_t> depth;       // root = 0
+
+  [[nodiscard]] bool is_leaf(NodeId n) const { return n_children[n] == 0; }
+  [[nodiscard]] NodeId child(NodeId n, int k) const {
+    return children[static_cast<std::size_t>(n) * fanout + k];
+  }
+
+  // Appends a node, returns its id; children are linked by the builder via
+  // set_child once the child subtree has been emitted.
+  NodeId add_node(NodeId parent_id, std::int32_t node_depth) {
+    NodeId id = static_cast<NodeId>(n_nodes++);
+    children.resize(children.size() + fanout, kNullNode);
+    n_children.push_back(0);
+    parent.push_back(parent_id);
+    depth.push_back(node_depth);
+    return id;
+  }
+  void set_child(NodeId n, int k, NodeId c) {
+    auto& slot = children[static_cast<std::size_t>(n) * fanout + k];
+    if (slot == kNullNode && c != kNullNode) ++n_children[n];
+    slot = c;
+  }
+
+  [[nodiscard]] std::int32_t max_depth() const;
+
+  // Structural validation used by tests and builders:
+  //  * exactly one root (node 0), every other node reachable from it
+  //  * parent/child links are mutually consistent
+  //  * DFS left-bias: the first present child of n is n+1
+  // Throws std::logic_error describing the first violation.
+  void validate() const;
+};
+
+}  // namespace tt

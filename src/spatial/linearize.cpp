@@ -1,0 +1,58 @@
+#include "spatial/linear_tree.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace tt {
+
+std::int32_t LinearTree::max_depth() const {
+  std::int32_t m = 0;
+  for (auto d : depth) m = std::max(m, d);
+  return m;
+}
+
+void LinearTree::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::logic_error("LinearTree::validate: " + what);
+  };
+  if (n_nodes == 0) fail("empty tree");
+  if (static_cast<std::int64_t>(parent.size()) != n_nodes ||
+      static_cast<std::int64_t>(depth.size()) != n_nodes ||
+      static_cast<std::int64_t>(n_children.size()) != n_nodes ||
+      static_cast<std::int64_t>(children.size()) != n_nodes * fanout)
+    fail("array sizes inconsistent with n_nodes");
+  if (parent[0] != kNullNode) fail("node 0 must be the root");
+  if (depth[0] != 0) fail("root depth must be 0");
+
+  std::vector<bool> seen(static_cast<std::size_t>(n_nodes), false);
+  seen[0] = true;
+  for (NodeId n = 0; n < n_nodes; ++n) {
+    int present = 0;
+    NodeId first_child = kNullNode;
+    for (int k = 0; k < fanout; ++k) {
+      NodeId c = child(n, k);
+      if (c == kNullNode) continue;
+      ++present;
+      if (first_child == kNullNode) first_child = c;
+      if (c <= n || c >= n_nodes) fail("child id out of DFS range");
+      if (parent[c] != n) fail("parent link mismatch");
+      if (depth[c] != depth[n] + 1) fail("depth link mismatch");
+      if (seen[c]) fail("node has two parents");
+      seen[c] = true;
+    }
+    if (present != n_children[n]) fail("n_children count mismatch");
+    if (present > 0 && first_child != n + 1)
+      fail("not left-biased: first child of " + std::to_string(n) + " is " +
+           std::to_string(first_child));
+  }
+  for (NodeId n = 0; n < n_nodes; ++n)
+    if (!seen[n]) {
+      std::ostringstream ss;
+      ss << "node " << n << " unreachable from root";
+      fail(ss.str());
+    }
+}
+
+}  // namespace tt

@@ -1,0 +1,138 @@
+#include "spatial/octree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace tt {
+namespace {
+
+struct OctBuilder {
+  const PointSet& pos;
+  std::span<const float> masses;
+  int max_depth;
+  Octree out;
+
+  NodeId emit_node(NodeId parent, std::int32_t depth, std::int32_t begin,
+                   std::int32_t end, float half_width) {
+    NodeId id = out.topo.add_node(parent, depth);
+    out.com_x.push_back(0.f);
+    out.com_y.push_back(0.f);
+    out.com_z.push_back(0.f);
+    out.mass.push_back(0.f);
+    out.half_width.push_back(half_width);
+    out.leaf_begin.push_back(begin);
+    out.leaf_end.push_back(end);
+    return id;
+  }
+
+  void accumulate_leaf_com(NodeId id) {
+    double mx = 0, my = 0, mz = 0, m = 0;
+    for (std::int32_t i = out.leaf_begin[id]; i < out.leaf_end[id]; ++i) {
+      std::uint32_t b = out.body_perm[i];
+      double w = masses[b];
+      mx += w * pos.at(b, 0);
+      my += w * pos.at(b, 1);
+      mz += w * pos.at(b, 2);
+      m += w;
+    }
+    out.mass[id] = static_cast<float>(m);
+    if (m > 0) {
+      out.com_x[id] = static_cast<float>(mx / m);
+      out.com_y[id] = static_cast<float>(my / m);
+      out.com_z[id] = static_cast<float>(mz / m);
+    }
+  }
+
+  NodeId build(NodeId parent, std::int32_t depth, std::int32_t begin,
+               std::int32_t end, float cx, float cy, float cz,
+               float half_width) {
+    NodeId id = emit_node(parent, depth, begin, end, half_width);
+    if (end - begin <= 1 || depth >= max_depth) {
+      accumulate_leaf_com(id);
+      return id;
+    }
+
+    // Partition bodies into octants around the cell center. An in-place
+    // 3-pass split (x, then y, then z) keeps the permutation contiguous.
+    std::int32_t bounds[9];
+    bounds[0] = begin;
+    bounds[8] = end;
+    auto part = [&](std::int32_t lo, std::int32_t hi, int d, float pivot) {
+      auto it = std::partition(
+          out.body_perm.begin() + lo, out.body_perm.begin() + hi,
+          [&](std::uint32_t b) { return pos.at(b, d) < pivot; });
+      return static_cast<std::int32_t>(it - out.body_perm.begin());
+    };
+    bounds[4] = part(begin, end, 0, cx);
+    bounds[2] = part(bounds[0], bounds[4], 1, cy);
+    bounds[6] = part(bounds[4], bounds[8], 1, cy);
+    bounds[1] = part(bounds[0], bounds[2], 2, cz);
+    bounds[3] = part(bounds[2], bounds[4], 2, cz);
+    bounds[5] = part(bounds[4], bounds[6], 2, cz);
+    bounds[7] = part(bounds[6], bounds[8], 2, cz);
+
+    float q = half_width * 0.5f;
+    double mx = 0, my = 0, mz = 0, m = 0;
+    for (int o = 0; o < 8; ++o) {
+      std::int32_t lo = bounds[o], hi = bounds[o + 1];
+      if (lo == hi) continue;
+      float ox = (o & 4) ? cx + q : cx - q;
+      float oy = (o & 2) ? cy + q : cy - q;
+      float oz = (o & 1) ? cz + q : cz - q;
+      NodeId c = build(id, depth + 1, lo, hi, ox, oy, oz, q);
+      out.topo.set_child(id, o, c);
+      double w = out.mass[c];
+      mx += w * out.com_x[c];
+      my += w * out.com_y[c];
+      mz += w * out.com_z[c];
+      m += w;
+    }
+    out.mass[id] = static_cast<float>(m);
+    if (m > 0) {
+      out.com_x[id] = static_cast<float>(mx / m);
+      out.com_y[id] = static_cast<float>(my / m);
+      out.com_z[id] = static_cast<float>(mz / m);
+    }
+    return id;
+  }
+};
+
+}  // namespace
+
+Octree build_octree(const PointSet& pos, std::span<const float> masses,
+                    int max_depth) {
+  if (pos.dim() != 3) throw std::invalid_argument("build_octree: dim != 3");
+  if (pos.empty()) throw std::invalid_argument("build_octree: empty input");
+  if (masses.size() != pos.size())
+    throw std::invalid_argument("build_octree: masses size mismatch");
+
+  float lo[3], hi[3];
+  for (int d = 0; d < 3; ++d) {
+    lo[d] = std::numeric_limits<float>::infinity();
+    hi[d] = -std::numeric_limits<float>::infinity();
+  }
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    for (int d = 0; d < 3; ++d) {
+      lo[d] = std::min(lo[d], pos.at(i, d));
+      hi[d] = std::max(hi[d], pos.at(i, d));
+    }
+  float width = 0.f;
+  for (int d = 0; d < 3; ++d) width = std::max(width, hi[d] - lo[d]);
+  // Nudge the cube outward so boundary bodies partition consistently.
+  width = width > 0 ? width * 1.0001f : 1.f;
+
+  OctBuilder b{pos, masses, max_depth, {}};
+  b.out.topo.fanout = 8;
+  b.out.root_width = width;
+  b.out.body_perm.resize(pos.size());
+  std::iota(b.out.body_perm.begin(), b.out.body_perm.end(), 0u);
+  b.build(kNullNode, 0, 0, static_cast<std::int32_t>(pos.size()),
+          (lo[0] + hi[0]) * 0.5f, (lo[1] + hi[1]) * 0.5f,
+          (lo[2] + hi[2]) * 0.5f, width * 0.5f);
+  b.out.topo.validate();
+  return std::move(b.out);
+}
+
+}  // namespace tt

@@ -1,0 +1,39 @@
+// Barnes-Hut octree over 3-d bodies.
+//
+// Interior nodes hold the center of mass and total mass of their subtree;
+// leaves hold a slice of a permuted body array (normally a single body, but
+// coincident bodies are kept together in a bucket rather than splitting
+// forever). The root cell is the bounding cube of all bodies; the paper's
+// traversal carries the squared cell size down the tree as a rope-stack
+// argument (Figure 9), so nodes do not need to store their size -- we still
+// record it for validation and for CPU reference code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spatial/linear_tree.h"
+#include "spatial/point_set.h"
+
+namespace tt {
+
+struct Octree {
+  LinearTree topo;  // fanout 8; child slot = octant index
+
+  std::vector<float> com_x, com_y, com_z;  // center of mass
+  std::vector<float> mass;                 // total subtree mass
+  std::vector<float> half_width;           // cell half-extent
+  std::vector<std::int32_t> leaf_begin;    // bodies of leaf n:
+  std::vector<std::int32_t> leaf_end;      //   body_perm[begin..end)
+  std::vector<std::uint32_t> body_perm;
+
+  float root_width = 0.f;  // full edge length of the root cell
+};
+
+// `pos` must be 3-d; masses.size() == pos.size(). max_depth bounds the
+// subdivision (coincident bodies otherwise recurse forever).
+Octree build_octree(const PointSet& pos, std::span<const float> masses,
+                    int max_depth = 32);
+
+}  // namespace tt

@@ -1,0 +1,77 @@
+// Point-set container used by every benchmark.
+//
+// Points are stored structure-of-arrays (coordinate-major), which is also
+// the GPU-side layout the paper prescribes (section 5.2): adjacent lanes of
+// a warp process adjacent points, so per-dimension contiguous storage makes
+// the initial point load coalesce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace tt {
+
+// Dimensions are runtime values (the paper's inputs range from 2-d geocity
+// to 7-d random projections); kMaxDim bounds fixed-size scratch buffers.
+inline constexpr int kMaxDim = 8;
+
+class PointSet {
+ public:
+  PointSet() = default;
+  PointSet(int dim, std::size_t n) : dim_(dim), n_(n), coords_(dim * n, 0.f) {
+    if (dim <= 0 || dim > kMaxDim) throw std::invalid_argument("bad dim");
+  }
+
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+
+  [[nodiscard]] float at(std::size_t i, int d) const {
+    return coords_[static_cast<std::size_t>(d) * n_ + i];
+  }
+  void set(std::size_t i, int d, float v) {
+    coords_[static_cast<std::size_t>(d) * n_ + i] = v;
+  }
+
+  // Whole coordinate plane for dimension d (size() floats).
+  [[nodiscard]] std::span<const float> plane(int d) const {
+    return {coords_.data() + static_cast<std::size_t>(d) * n_, n_};
+  }
+
+  // Copy point i into `out[0..dim)`.
+  void gather(std::size_t i, float* out) const {
+    for (int d = 0; d < dim_; ++d) out[d] = at(i, d);
+  }
+
+  // Reorder points so new position j holds old point perm[j].
+  void permute(std::span<const std::uint32_t> perm);
+
+  [[nodiscard]] double sq_dist(std::size_t i, const float* q) const {
+    double s = 0.0;
+    for (int d = 0; d < dim_; ++d) {
+      double diff = static_cast<double>(at(i, d)) - q[d];
+      s += diff * diff;
+    }
+    return s;
+  }
+
+ private:
+  int dim_ = 0;
+  std::size_t n_ = 0;
+  std::vector<float> coords_;  // [d * n_ + i]
+};
+
+inline void PointSet::permute(std::span<const std::uint32_t> perm) {
+  if (perm.size() != n_) throw std::invalid_argument("perm size mismatch");
+  std::vector<float> next(coords_.size());
+  for (int d = 0; d < dim_; ++d) {
+    const std::size_t base = static_cast<std::size_t>(d) * n_;
+    for (std::size_t j = 0; j < n_; ++j) next[base + j] = coords_[base + perm[j]];
+  }
+  coords_ = std::move(next);
+}
+
+}  // namespace tt

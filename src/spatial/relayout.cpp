@@ -1,0 +1,84 @@
+#include "spatial/relayout.h"
+
+#include <stdexcept>
+
+namespace tt {
+
+std::vector<NodeId> bfs_order(const LinearTree& tree) {
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(tree.n_nodes));
+  order.push_back(0);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    NodeId n = order[head];
+    for (int k = 0; k < tree.fanout; ++k) {
+      NodeId c = tree.child(n, k);
+      if (c != kNullNode) order.push_back(c);
+    }
+  }
+  if (order.size() != static_cast<std::size_t>(tree.n_nodes))
+    throw std::logic_error("bfs_order: tree not fully reachable");
+  return order;
+}
+
+LinearTree relayout(const LinearTree& tree,
+                    std::span<const NodeId> new_to_old) {
+  const auto n = static_cast<std::size_t>(tree.n_nodes);
+  if (new_to_old.size() != n)
+    throw std::invalid_argument("relayout: permutation size mismatch");
+  std::vector<NodeId> old_to_new(n, kNullNode);
+  for (std::size_t i = 0; i < n; ++i)
+    old_to_new[static_cast<std::size_t>(new_to_old[i])] =
+        static_cast<NodeId>(i);
+
+  LinearTree out;
+  out.fanout = tree.fanout;
+  out.n_nodes = tree.n_nodes;
+  out.children.assign(n * tree.fanout, kNullNode);
+  out.n_children.resize(n);
+  out.parent.resize(n);
+  out.depth.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeId old_id = new_to_old[i];
+    out.n_children[i] = tree.n_children[static_cast<std::size_t>(old_id)];
+    out.depth[i] = tree.depth[static_cast<std::size_t>(old_id)];
+    NodeId p = tree.parent[static_cast<std::size_t>(old_id)];
+    out.parent[i] = p == kNullNode ? kNullNode
+                                   : old_to_new[static_cast<std::size_t>(p)];
+    for (int k = 0; k < tree.fanout; ++k) {
+      NodeId c = tree.child(old_id, k);
+      if (c != kNullNode)
+        out.children[i * tree.fanout + k] =
+            old_to_new[static_cast<std::size_t>(c)];
+    }
+  }
+  return out;
+}
+
+KdTree relayout_kdtree_bfs(const KdTree& tree) {
+  std::vector<NodeId> order = bfs_order(tree.topo);
+  KdTree out;
+  out.topo = relayout(tree.topo, order);
+  out.dim = tree.dim;
+  out.data_perm = tree.data_perm;  // leaf slices index the same array
+  const auto n = static_cast<std::size_t>(tree.topo.n_nodes);
+  out.bbox_min.resize(n * tree.dim);
+  out.bbox_max.resize(n * tree.dim);
+  out.split_dim.resize(n);
+  out.split_val.resize(n);
+  out.leaf_begin.resize(n);
+  out.leaf_end.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto old_id = static_cast<std::size_t>(order[i]);
+    for (int d = 0; d < tree.dim; ++d) {
+      out.bbox_min[i * tree.dim + d] = tree.bbox_min[old_id * tree.dim + d];
+      out.bbox_max[i * tree.dim + d] = tree.bbox_max[old_id * tree.dim + d];
+    }
+    out.split_dim[i] = tree.split_dim[old_id];
+    out.split_val[i] = tree.split_val[old_id];
+    out.leaf_begin[i] = tree.leaf_begin[old_id];
+    out.leaf_end[i] = tree.leaf_end[old_id];
+  }
+  return out;
+}
+
+}  // namespace tt

@@ -1,0 +1,32 @@
+// Tree re-linearization. The paper copies trees to the GPU "using a
+// left-biased linearization" (section 5.2); this module provides the BFS
+// alternative so bench/ablation_linearization can quantify that choice.
+// Node ids are addresses in the simulated memory, so the layout directly
+// changes coalescing and cache behaviour -- semantics are unaffected.
+//
+// Note: a BFS-laid-out tree no longer satisfies the left-bias invariant
+// (first child == n+1), so LinearTree::validate runs with the layout check
+// relaxed, and the static-ropes stackless traversal (which *depends* on
+// the DFS property) refuses such trees.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spatial/kdtree.h"
+#include "spatial/linear_tree.h"
+
+namespace tt {
+
+// Breadth-first numbering: new_to_old[new_id] = old node id.
+std::vector<NodeId> bfs_order(const LinearTree& tree);
+
+// Rebuild the topology under the given numbering (any permutation with
+// parents before children).
+LinearTree relayout(const LinearTree& tree,
+                    std::span<const NodeId> new_to_old);
+
+// KdTree with all per-node payloads moved to BFS ids.
+KdTree relayout_kdtree_bfs(const KdTree& tree);
+
+}  // namespace tt

@@ -1,0 +1,73 @@
+#include "spatial/vptree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace tt {
+namespace {
+
+struct VpBuilder {
+  const PointSet& pts;
+  Pcg32 rng;
+  VpTree out;
+  std::vector<std::uint32_t> perm;
+
+  NodeId build(NodeId parent, std::int32_t depth, std::int32_t begin,
+               std::int32_t end) {
+    // Pick the vantage point and swap it to the front of the range.
+    std::int32_t pick =
+        begin + static_cast<std::int32_t>(
+                    rng.next_below(static_cast<std::uint32_t>(end - begin)));
+    std::swap(perm[begin], perm[pick]);
+    std::uint32_t vp = perm[begin];
+
+    NodeId id = out.topo.add_node(parent, depth);
+    out.point_id.push_back(static_cast<std::int32_t>(vp));
+    float q[kMaxDim];
+    pts.gather(vp, q);
+    for (int d = 0; d < out.dim; ++d) out.coords.push_back(q[d]);
+    out.mu.push_back(0.f);
+
+    std::int32_t rest_begin = begin + 1;
+    if (rest_begin >= end) return id;  // leaf: vantage point only
+
+    // Median distance from the vantage point splits inside/outside.
+    std::int32_t mid = rest_begin + (end - rest_begin) / 2;
+    auto dist = [&](std::uint32_t p) {
+      return std::sqrt(pts.sq_dist(p, q));
+    };
+    std::nth_element(perm.begin() + rest_begin, perm.begin() + mid,
+                     perm.begin() + end, [&](std::uint32_t a, std::uint32_t b) {
+                       return dist(a) < dist(b);
+                     });
+    out.mu[id] = static_cast<float>(dist(perm[mid]));
+
+    if (mid > rest_begin) {
+      NodeId inside = build(id, depth + 1, rest_begin, mid);
+      out.topo.set_child(id, VpTree::kInside, inside);
+    }
+    NodeId outside = build(id, depth + 1, mid, end);
+    out.topo.set_child(id, VpTree::kOutside, outside);
+    return id;
+  }
+};
+
+}  // namespace
+
+VpTree build_vptree(const PointSet& pts, std::uint64_t seed) {
+  if (pts.empty()) throw std::invalid_argument("build_vptree: empty input");
+  VpBuilder b{pts, Pcg32(seed, 0x9e3779b97f4a7c15ULL), {}, {}};
+  b.out.dim = pts.dim();
+  b.out.topo.fanout = 2;
+  b.perm.resize(pts.size());
+  std::iota(b.perm.begin(), b.perm.end(), 0u);
+  b.build(kNullNode, 0, 0, static_cast<std::int32_t>(pts.size()));
+  b.out.topo.validate();
+  return std::move(b.out);
+}
+
+}  // namespace tt

@@ -1,0 +1,32 @@
+// Vantage-point tree (Yianilos 1993), the structure behind the paper's VP
+// benchmark. Every node holds a vantage point and a threshold radius mu:
+// the inside child covers points with dist(vp, x) <= mu, the outside child
+// the rest. Nearest-neighbor truncation compares |dist(q, vp) - mu| with
+// the current best distance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/linear_tree.h"
+#include "spatial/point_set.h"
+
+namespace tt {
+
+struct VpTree {
+  LinearTree topo;
+  int dim = 0;
+
+  std::vector<std::int32_t> point_id;  // vantage point at each node
+  std::vector<float> coords;           // its coordinates [node * dim + d]
+  std::vector<float> mu;               // threshold radius (0 at leaves)
+
+  static constexpr int kInside = 0;
+  static constexpr int kOutside = 1;
+};
+
+// Vantage points are chosen deterministically from `seed` (the classic
+// construction samples candidates; we pick a random element of the range).
+VpTree build_vptree(const PointSet& pts, std::uint64_t seed);
+
+}  // namespace tt

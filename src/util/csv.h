@@ -1,0 +1,41 @@
+// CSV and aligned-table emission for the benchmark harnesses. Every bench
+// binary prints a human-readable table (mirroring the paper's layout) and
+// can optionally dump machine-readable CSV for plotting.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Cells are stringified by the caller; add_row checks arity.
+  void add_row(std::vector<std::string> cells);
+
+  void write_aligned(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers shared by harnesses.
+std::string fmt_fixed(double v, int digits);
+std::string fmt_sci(double v, int digits);
+// "12.3%" style with sign, as the paper's improvement column.
+std::string fmt_percent(double ratio_minus_one);
+
+std::string csv_escape(const std::string& s);
+
+}  // namespace tt

@@ -1,0 +1,23 @@
+// Wall-clock timing for the CPU-side (real) measurements.
+#pragma once
+
+#include <chrono>
+
+namespace tt {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+  [[nodiscard]] double elapsed_s() const { return elapsed_ms() / 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tt

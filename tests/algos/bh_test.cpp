@@ -1,0 +1,111 @@
+#include "bench_algos/bh/barnes_hut.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cpu_executors.h"
+#include "data/generators.h"
+#include "spatial/octree.h"
+
+namespace tt {
+namespace {
+
+TEST(BarnesHut, RejectsBadParams) {
+  BodySet b = gen_plummer(32, 1);
+  Octree tree = build_octree(b.pos, b.mass);
+  GpuAddressSpace space;
+  EXPECT_THROW(BarnesHutKernel(tree, b.pos, 0.f, 1e-4f, space),
+               std::invalid_argument);
+  PointSet wrong(2, 32);
+  EXPECT_THROW(BarnesHutKernel(tree, wrong, 0.5f, 1e-4f, space),
+               std::invalid_argument);
+}
+
+TEST(BarnesHut, LargerThetaVisitsFewerNodes) {
+  BodySet b = gen_plummer(2000, 2);
+  Octree tree = build_octree(b.pos, b.mass);
+  GpuAddressSpace s1, s2;
+  BarnesHutKernel tight(tree, b.pos, 0.3f, 1e-4f, s1);
+  BarnesHutKernel loose(tree, b.pos, 1.0f, 1e-4f, s2);
+  auto rt = run_cpu(tight, CpuVariant::kRecursive, 1);
+  auto rl = run_cpu(loose, CpuVariant::kRecursive, 1);
+  EXPECT_GT(rt.total_visits, rl.total_visits);
+}
+
+TEST(BarnesHut, TwoBodySymmetry) {
+  PointSet pos(3, 2);
+  pos.set(0, 0, 0.f);
+  pos.set(1, 0, 1.f);
+  std::vector<float> mass{1.f, 1.f};
+  Octree tree = build_octree(pos, mass);
+  GpuAddressSpace space;
+  BarnesHutKernel k(tree, pos, 0.5f, 0.f, space);
+  auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+  // Equal masses: forces are equal and opposite along x.
+  EXPECT_FLOAT_EQ(run.results[0].ax, -run.results[1].ax);
+  EXPECT_GT(run.results[0].ax, 0.f);  // body 0 pulled toward body 1
+  EXPECT_FLOAT_EQ(run.results[0].ay, 0.f);
+}
+
+TEST(BarnesHut, SelfContributionIsZero) {
+  PointSet pos(3, 1);
+  std::vector<float> mass{5.f};
+  Octree tree = build_octree(pos, mass);
+  GpuAddressSpace space;
+  BarnesHutKernel k(tree, pos, 0.5f, 1e-4f, space);
+  auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+  EXPECT_FLOAT_EQ(run.results[0].ax, 0.f);
+  EXPECT_FLOAT_EQ(run.results[0].ay, 0.f);
+  EXPECT_FLOAT_EQ(run.results[0].az, 0.f);
+}
+
+TEST(BarnesHut, IntegrateMovesBodies) {
+  BodySet b = gen_random_bodies(10, 3);
+  std::vector<BhForce> acc(10, BhForce{1.f, 0.f, 0.f});
+  float x0 = b.pos.at(0, 0);
+  float v0 = b.vel[0];
+  bh_integrate(b.pos, b.vel, acc, 0.5f);
+  EXPECT_FLOAT_EQ(b.vel[0], v0 + 0.5f);
+  EXPECT_FLOAT_EQ(b.pos.at(0, 0), x0 + b.vel[0] * 0.5f);
+}
+
+TEST(BarnesHut, IntegrateRejectsMismatch) {
+  BodySet b = gen_random_bodies(10, 4);
+  std::vector<BhForce> acc(9);
+  EXPECT_THROW(bh_integrate(b.pos, b.vel, acc, 0.1f), std::invalid_argument);
+}
+
+TEST(BarnesHut, MultiTimestepSimulationRuns) {
+  BodySet b = gen_plummer(300, 5);
+  for (int step = 0; step < 3; ++step) {
+    Octree tree = build_octree(b.pos, b.mass);
+    GpuAddressSpace space;
+    BarnesHutKernel k(tree, b.pos, 0.5f, 1e-4f, space);
+    auto run = run_cpu(k, CpuVariant::kAutoropes, 2);
+    bh_integrate(b.pos, b.vel, run.results, 0.025f);
+  }
+  // The cluster should not have exploded: bulk of mass within r = 20.
+  int inside = 0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    double r2 = 0;
+    for (int d = 0; d < 3; ++d)
+      r2 += static_cast<double>(b.pos.at(i, d)) * b.pos.at(i, d);
+    if (r2 < 400) ++inside;
+  }
+  EXPECT_GT(inside, 250);
+}
+
+TEST(BarnesHut, DsqQuartersPerLevel) {
+  BodySet b = gen_plummer(64, 6);
+  Octree tree = build_octree(b.pos, b.mass);
+  GpuAddressSpace space;
+  BarnesHutKernel k(tree, b.pos, 0.5f, 1e-4f, space);
+  NoopMem mem;
+  auto st = k.init(0, mem, 0);
+  Child<BarnesHutKernel::UArg, Empty> out[8];
+  int cnt = k.children(0, k.root_uarg(), 0, st, out, mem, 0);
+  ASSERT_GT(cnt, 0);
+  EXPECT_FLOAT_EQ(out[0].uarg.dsq, k.root_uarg().dsq * 0.25f);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,100 @@
+#include "bench_algos/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace tt {
+namespace {
+
+BenchConfig small_config(Algo a, InputKind in, bool sorted) {
+  BenchConfig c;
+  c.algo = a;
+  c.input = in;
+  c.n = 512;
+  c.sorted = sorted;
+  c.verify = true;  // the harness cross-checks every variant
+  c.pc_target_neighbors = 12;
+  return c;
+}
+
+TEST(Harness, NamesAndGrids) {
+  EXPECT_EQ(algo_name(Algo::kBH), "Barnes-Hut");
+  EXPECT_EQ(input_name(InputKind::kGeocity), "Geocity");
+  EXPECT_EQ(inputs_for(Algo::kBH).size(), 2u);
+  EXPECT_EQ(inputs_for(Algo::kPC).size(), 4u);
+}
+
+TEST(Harness, AnalysisMatchesPaperClassification) {
+  EXPECT_EQ(analysis_for(Algo::kBH).cls, ir::TraversalClass::kUnguided);
+  EXPECT_EQ(analysis_for(Algo::kPC).cls, ir::TraversalClass::kUnguided);
+  EXPECT_EQ(analysis_for(Algo::kKNN).call_sets.size(), 2u);
+  EXPECT_EQ(analysis_for(Algo::kNN).cls, ir::TraversalClass::kGuided);
+  EXPECT_EQ(analysis_for(Algo::kVP).cls, ir::TraversalClass::kGuided);
+}
+
+TEST(Harness, PcRowIsInternallyConsistent) {
+  BenchRow row = run_bench(small_config(Algo::kPC, InputKind::kUniform, true));
+  EXPECT_GT(row.cpu_t1_ms, 0.0);
+  EXPECT_GT(row.auto_lockstep.time_ms, 0.0);
+  EXPECT_GT(row.auto_nolockstep.time_ms, 0.0);
+  EXPECT_GT(row.rec_nolockstep.time_ms, 0.0);
+  // Lockstep union traversal >= per-point traversal on average.
+  EXPECT_GE(row.auto_lockstep.avg_nodes, row.auto_nolockstep.avg_nodes);
+  // Work expansion is at least 1 by construction.
+  EXPECT_GE(row.work_expansion.mean, 1.0);
+  // Speedup columns derive from the stored numbers.
+  EXPECT_NEAR(row.speedup_vs_1(row.auto_lockstep),
+              row.cpu_t1_ms / row.auto_lockstep.time_ms, 1e-12);
+}
+
+TEST(Harness, BhRowRuns) {
+  BenchRow row =
+      run_bench(small_config(Algo::kBH, InputKind::kPlummer, true));
+  EXPECT_GT(row.auto_lockstep.stats.lane_visits, 0u);
+  EXPECT_GT(row.rec_lockstep.stats.calls, 0u);
+}
+
+TEST(Harness, BhMultiTimestepAccumulates) {
+  BenchConfig one = small_config(Algo::kBH, InputKind::kPlummer, true);
+  BenchConfig three = one;
+  three.bh_timesteps = 3;
+  BenchRow r1 = run_bench(one);
+  BenchRow r3 = run_bench(three);
+  // Time and visits accumulate across steps; per-step averages stay in the
+  // per-step range.
+  EXPECT_GT(r3.auto_lockstep.time_ms, 2.0 * r1.auto_lockstep.time_ms);
+  EXPECT_GT(r3.cpu_visits, 2 * r1.cpu_visits);
+  EXPECT_LT(r3.auto_lockstep.avg_nodes, 2.0 * r1.auto_lockstep.avg_nodes);
+  EXPECT_GE(r3.work_expansion.mean, 1.0);
+}
+
+TEST(Harness, GuidedAlgosRunBothOrders) {
+  for (Algo a : {Algo::kKNN, Algo::kNN, Algo::kVP}) {
+    BenchRow row = run_bench(small_config(a, InputKind::kUniform, false));
+    EXPECT_GT(row.auto_lockstep.stats.votes, 0u) << algo_name(a);
+  }
+}
+
+TEST(Harness, BodyInputForTreeAlgoThrows) {
+  BenchConfig c = small_config(Algo::kPC, InputKind::kPlummer, true);
+  EXPECT_THROW(run_bench(c), std::invalid_argument);
+}
+
+TEST(Harness, CpuSweepMonotone) {
+  BenchRow row = run_bench(small_config(Algo::kPC, InputKind::kUniform, true));
+  auto sweep = cpu_sweep(row, /*lockstep=*/true, {1, 2, 4, 8, 16, 32});
+  ASSERT_EQ(sweep.size(), 6u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].cpu_ms, sweep[i - 1].cpu_ms);
+    EXPECT_GT(sweep[i].ratio_vs_gpu, sweep[i - 1].ratio_vs_gpu);
+  }
+  EXPECT_NEAR(sweep[0].cpu_ms, row.cpu_t1_ms, 1e-9);
+}
+
+TEST(Harness, SortedImprovesLockstepExpansion) {
+  BenchRow s = run_bench(small_config(Algo::kPC, InputKind::kCovtype, true));
+  BenchRow u = run_bench(small_config(Algo::kPC, InputKind::kCovtype, false));
+  EXPECT_LT(s.work_expansion.mean, u.work_expansion.mean);
+}
+
+}  // namespace
+}  // namespace tt

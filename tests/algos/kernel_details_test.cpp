@@ -1,0 +1,109 @@
+// Kernel-internal details not covered by the black-box equivalence suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_algos/bh/barnes_hut.h"
+#include "bench_algos/nn/nearest_neighbor.h"
+#include "bench_algos/vp/vantage_point.h"
+#include "core/cpu_executors.h"
+#include "data/generators.h"
+#include "spatial/kdtree.h"
+#include "spatial/octree.h"
+#include "spatial/vptree.h"
+
+namespace tt {
+namespace {
+
+TEST(BhDetails, UargAtMatchesStackPropagation) {
+  BodySet b = gen_plummer(500, 1);
+  Octree tree = build_octree(b.pos, b.mass);
+  GpuAddressSpace space;
+  BarnesHutKernel k(tree, b.pos, 0.5f, 1e-4f, space);
+  // uarg_at(n) must equal root_dsq * 0.25^depth(n) -- what the rope stack
+  // would have delivered.
+  for (NodeId n = 0; n < tree.topo.n_nodes; n += 37) {
+    float expect = k.root_uarg().dsq;
+    for (int d = 0; d < tree.topo.depth[n]; ++d) expect *= 0.25f;
+    EXPECT_FLOAT_EQ(k.uarg_at(n).dsq, expect) << n;
+  }
+}
+
+TEST(BhDetails, ThetaSweepErrorDecreases) {
+  BodySet b = gen_plummer(400, 2);
+  Octree tree = build_octree(b.pos, b.mass);
+  auto brute = bh_brute_force(b.pos, b.mass, 1e-4f);
+  double prev_err = 1e30;
+  for (float theta : {1.2f, 0.6f, 0.3f}) {
+    GpuAddressSpace space;
+    BarnesHutKernel k(tree, b.pos, theta, 1e-4f, space);
+    auto run = run_cpu(k, CpuVariant::kAutoropes, 2);
+    double err = 0;
+    for (std::size_t i = 0; i < 400; ++i) {
+      double dx = run.results[i].ax - brute[i].ax;
+      double dy = run.results[i].ay - brute[i].ay;
+      double dz = run.results[i].az - brute[i].az;
+      err += std::sqrt(dx * dx + dy * dy + dz * dz);
+    }
+    EXPECT_LT(err, prev_err) << "theta " << theta;
+    prev_err = err;
+  }
+}
+
+TEST(NnDetails, FarChildCarriesPlaneBound) {
+  PointSet pts = gen_uniform(100, 3, 3);
+  KdTreeNN tree = build_kdtree_nn(pts);
+  GpuAddressSpace space;
+  NnKernel k(tree, pts, space);
+  NoopMem mem;
+  auto st = k.init(0, mem, 0);
+  // Visit the root to set up state, then enumerate children.
+  (void)k.visit(0, {}, {}, st, mem, 0);
+  Child<NnKernel::UArg, NnKernel::LArg> out[2];
+  int cs = k.choose_callset(0, st);
+  int cnt = k.children(0, {}, cs, st, out, mem, 0);
+  ASSERT_EQ(cnt, 2);
+  // The near child is visited first with a zero bound; the far child's
+  // bound is the squared plane distance (> 0 almost surely).
+  EXPECT_FLOAT_EQ(out[0].larg.min_d2, 0.f);
+  EXPECT_GT(out[1].larg.min_d2, 0.f);
+  int sd = tree.split_dim[0];
+  float sv = tree.coords[static_cast<std::size_t>(sd)];
+  float plane = st.q[sd] - sv;
+  EXPECT_FLOAT_EQ(out[1].larg.min_d2, plane * plane);
+}
+
+TEST(VpDetails, BoundsFollowTriangleInequality) {
+  PointSet pts = gen_uniform(200, 4, 4);
+  VpTree tree = build_vptree(pts, 4);
+  GpuAddressSpace space;
+  VpKernel k(tree, pts, space);
+  NoopMem mem;
+  auto st = k.init(5, mem, 0);
+  ASSERT_TRUE(k.visit(0, {}, {}, st, mem, 0));
+  Child<VpKernel::UArg, VpKernel::LArg> out[2];
+  int cs = k.choose_callset(0, st);
+  int cnt = k.children(0, {}, cs, st, out, mem, 0);
+  float mu = tree.mu[0];
+  float d = st.last_d;
+  for (int i = 0; i < cnt; ++i) {
+    // Each bound is |d - mu|-shaped and never negative.
+    EXPECT_GE(out[i].larg.min_d, 0.f);
+    EXPECT_LE(out[i].larg.min_d, std::max(d - mu, mu - d) + 1e-5f);
+  }
+  // Inside-first iff the query is within mu of the vantage point.
+  EXPECT_EQ(cs, d < mu ? 0 : 1);
+}
+
+TEST(VpDetails, SelfExclusionWorks) {
+  // The query point is in the tree; its own entry must not be its NN.
+  PointSet pts = gen_uniform(50, 3, 5);
+  VpTree tree = build_vptree(pts, 5);
+  GpuAddressSpace space;
+  VpKernel k(tree, pts, space);
+  auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+  for (const auto& r : run.results) EXPECT_GT(r.best_d, 0.f);
+}
+
+}  // namespace
+}  // namespace tt

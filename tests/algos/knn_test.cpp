@@ -1,0 +1,141 @@
+#include "bench_algos/knn/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cpu_executors.h"
+#include "data/generators.h"
+#include "spatial/kdtree.h"
+#include "util/rng.h"
+
+namespace tt {
+namespace {
+
+TEST(KnnHeap, FillsThenCaps) {
+  KnnHeap h;
+  h.k = 3;
+  EXPECT_EQ(h.worst(), std::numeric_limits<float>::infinity());
+  h.push(5.f);
+  h.push(1.f);
+  EXPECT_EQ(h.worst(), std::numeric_limits<float>::infinity());  // not full
+  h.push(3.f);
+  EXPECT_FLOAT_EQ(h.worst(), 5.f);
+  h.push(2.f);  // evicts 5
+  EXPECT_FLOAT_EQ(h.worst(), 3.f);
+  h.push(10.f);  // ignored
+  EXPECT_FLOAT_EQ(h.worst(), 3.f);
+}
+
+TEST(KnnHeap, MatchesSortReference) {
+  Pcg32 rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    int k = 1 + static_cast<int>(rng.next_below(kMaxK));
+    KnnHeap h;
+    h.k = k;
+    std::vector<float> all;
+    for (int i = 0; i < 100; ++i) {
+      float v = rng.next_float();
+      h.push(v);
+      all.push_back(v);
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_FLOAT_EQ(h.worst(), all[k - 1]) << "k=" << k;
+    // Heap contents are exactly the k smallest.
+    std::vector<float> heap_vals(h.d2, h.d2 + h.size);
+    std::sort(heap_vals.begin(), heap_vals.end());
+    for (int i = 0; i < k; ++i) EXPECT_FLOAT_EQ(heap_vals[i], all[i]);
+  }
+}
+
+TEST(Knn, RejectsBadK) {
+  PointSet pts = gen_uniform(64, 3, 2);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  EXPECT_THROW(KnnKernel(tree, pts, 0, space), std::invalid_argument);
+  EXPECT_THROW(KnnKernel(tree, pts, kMaxK + 1, space), std::invalid_argument);
+  EXPECT_THROW(KnnKernel(tree, pts, 64, space), std::invalid_argument);
+}
+
+TEST(Knn, K1EqualsNearestNeighborDistance) {
+  PointSet pts = gen_uniform(256, 4, 3);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  KnnKernel k(tree, pts, 1, space);
+  auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+  auto brute = knn_brute_force(pts, pts, 1);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_NEAR(run.results[i].kth_d2, brute[i].kth_d2, 1e-5f) << i;
+}
+
+// Parameterized over k: result always matches brute force.
+class KnnKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnnKSweep, MatchesBruteForce) {
+  static PointSet pts = gen_mnist_like(400, 7, 4);
+  static KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  KnnKernel k(tree, pts, GetParam(), space);
+  auto run = run_cpu(k, CpuVariant::kAutoropes, 1);
+  auto brute = knn_brute_force(pts, pts, GetParam());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR(run.results[i].kth_d2, brute[i].kth_d2,
+                1e-4 * std::max(1.f, brute[i].kth_d2))
+        << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KnnKSweep, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Knn, NeighborIdsMatchBruteForce) {
+  PointSet pts = gen_uniform(300, 4, 9);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  KnnKernel k(tree, pts, 5, space);
+  auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+  auto brute = knn_brute_force(pts, pts, 5);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_EQ(run.results[i].found, 5) << i;
+    // Same neighbor sets (order-free comparison).
+    std::vector<std::int32_t> a(run.results[i].ids, run.results[i].ids + 5);
+    std::vector<std::int32_t> b(brute[i].ids, brute[i].ids + 5);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << i;
+  }
+}
+
+TEST(Knn, FoundCapsAtAvailablePoints) {
+  PointSet pts = gen_uniform(4, 3, 10);
+  KdTree tree = build_kdtree(pts, 2);
+  GpuAddressSpace space;
+  KnnKernel k(tree, pts, 3, space);
+  auto run = run_cpu(k, CpuVariant::kAutoropes, 1);
+  for (const auto& r : run.results) EXPECT_EQ(r.found, 3);  // n-1 = 3
+}
+
+TEST(Knn, GuidedOrderIsAnOptimizationOnly) {
+  // Forcing the "wrong" static call set changes visit counts, not results
+  // (section 4.3's semantic-equivalence claim, checked dynamically).
+  PointSet pts = gen_uniform(300, 5, 5);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+
+  struct WrongOrderKernel : KnnKernel {
+    using KnnKernel::KnnKernel;
+    [[nodiscard]] int choose_callset(NodeId n, const State& st) const {
+      return 1 - KnnKernel::choose_callset(n, st);  // always the far child
+    }
+  };
+  KnnKernel good(tree, pts, 4, space);
+  WrongOrderKernel bad(tree, pts, 4, space);
+  auto rg = run_cpu(good, CpuVariant::kRecursive, 1);
+  auto rb = run_cpu(bad, CpuVariant::kRecursive, 1);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_NEAR(rg.results[i].kth_d2, rb.results[i].kth_d2, 1e-5f);
+  // The good order should prune better on average.
+  EXPECT_LT(rg.total_visits, rb.total_visits);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,96 @@
+#include "bench_algos/nn/nearest_neighbor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cpu_executors.h"
+#include "data/generators.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+namespace {
+
+TEST(Nn, RejectsDimMismatch) {
+  PointSet pts = gen_uniform(64, 3, 1);
+  KdTreeNN tree = build_kdtree_nn(pts);
+  GpuAddressSpace space;
+  PointSet wrong(5, 64);
+  EXPECT_THROW(NnKernel(tree, wrong, space), std::invalid_argument);
+}
+
+TEST(Nn, MatchesBruteForceAcrossInputs) {
+  for (std::uint64_t seed : {2u, 3u, 4u}) {
+    PointSet pts = gen_covtype_like(350, 7, seed);
+    KdTreeNN tree = build_kdtree_nn(pts);
+    GpuAddressSpace space;
+    NnKernel k(tree, pts, space);
+    auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+    auto brute = nn_brute_force(pts, pts);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      EXPECT_NEAR(run.results[i].best_d2, brute[i].best_d2,
+                  1e-4 * std::max(1.f, brute[i].best_d2))
+          << "seed " << seed << " i " << i;
+  }
+}
+
+TEST(Nn, TwoPoints) {
+  PointSet pts(2, 2);
+  pts.set(0, 0, 0.f);
+  pts.set(1, 0, 3.f);
+  pts.set(1, 1, 4.f);
+  KdTreeNN tree = build_kdtree_nn(pts);
+  GpuAddressSpace space;
+  NnKernel k(tree, pts, space);
+  auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+  EXPECT_FLOAT_EQ(run.results[0].best_d2, 25.f);
+  EXPECT_FLOAT_EQ(run.results[1].best_d2, 25.f);
+}
+
+struct NoPruneKernel : NnKernel {
+  using NnKernel::NnKernel;
+  template <class Mem>
+  int children(NodeId n, const UArg& ua, int cs, const State& st,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    int cnt = NnKernel::children(n, ua, cs, st, out, mem, lane);
+    for (int i = 0; i < cnt; ++i) out[i].larg = {0.f};
+    return cnt;
+  }
+};
+
+TEST(Nn, PruningBoundIsSound) {
+  // With pruning disabled (bound forced to 0) the result must not change,
+  // only the visit count may grow: proves the LArg bound never cuts off
+  // the true nearest neighbor.
+  PointSet pts = gen_uniform(500, 4, 5);
+  KdTreeNN tree = build_kdtree_nn(pts);
+  GpuAddressSpace space;
+  NnKernel pruned(tree, pts, space);
+  NoPruneKernel full(tree, pts, space);
+  auto rp = run_cpu(pruned, CpuVariant::kRecursive, 1);
+  auto rf = run_cpu(full, CpuVariant::kRecursive, 1);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_FLOAT_EQ(rp.results[i].best_d2, rf.results[i].best_d2) << i;
+  EXPECT_LT(rp.total_visits, rf.total_visits);
+}
+
+struct WrongOrderKernel : NnKernel {
+  using NnKernel::NnKernel;
+  [[nodiscard]] int choose_callset(NodeId n, const State& st) const {
+    return 1 - NnKernel::choose_callset(n, st);
+  }
+};
+
+TEST(Nn, GuidedOrderReducesVisits) {
+  PointSet pts = gen_uniform(600, 5, 6);
+  KdTreeNN tree = build_kdtree_nn(pts);
+  GpuAddressSpace space;
+  NnKernel good(tree, pts, space);
+  WrongOrderKernel bad(tree, pts, space);
+  auto rg = run_cpu(good, CpuVariant::kRecursive, 1);
+  auto rb = run_cpu(bad, CpuVariant::kRecursive, 1);
+  EXPECT_LT(rg.total_visits, rb.total_visits);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_FLOAT_EQ(rg.results[i].best_d2, rb.results[i].best_d2);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,103 @@
+#include "bench_algos/pc/point_correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cpu_executors.h"
+#include "data/generators.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+namespace {
+
+TEST(PointCorrelation, RejectsBadParams) {
+  PointSet pts = gen_uniform(64, 3, 1);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  EXPECT_THROW(PointCorrelationKernel(tree, pts, -1.f, space),
+               std::invalid_argument);
+  PointSet wrong(4, 64);
+  EXPECT_THROW(PointCorrelationKernel(tree, wrong, 0.1f, space),
+               std::invalid_argument);
+}
+
+TEST(PointCorrelation, RadiusZeroCountsCoincidentOnly) {
+  PointSet pts = gen_uniform(128, 3, 2);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  PointCorrelationKernel k(tree, pts, 0.f, space);
+  auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+  for (auto c : run.results) EXPECT_EQ(c, 0u);  // distinct random points
+}
+
+TEST(PointCorrelation, HugeRadiusCountsEverything) {
+  PointSet pts = gen_uniform(200, 3, 3);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  PointCorrelationKernel k(tree, pts, 100.f, space);
+  auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+  for (auto c : run.results) EXPECT_EQ(c, 199u);
+}
+
+// Parameterized monotonicity sweep: growing radius never shrinks counts
+// and never shrinks visited nodes (truncation monotonicity).
+class PcRadiusSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PcRadiusSweep, CountsAndVisitsMonotone) {
+  static PointSet pts = gen_covtype_like(600, 7, 4);
+  static KdTree tree = build_kdtree(pts, 8);
+  float r = static_cast<float>(GetParam());
+  GpuAddressSpace s1, s2;
+  PointCorrelationKernel small(tree, pts, r, s1);
+  PointCorrelationKernel big(tree, pts, r * 1.5f, s2);
+  auto rs = run_cpu(small, CpuVariant::kRecursive, 1);
+  auto rb = run_cpu(big, CpuVariant::kRecursive, 1);
+  std::uint64_t total_s = 0, total_b = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_LE(rs.results[i], rb.results[i]) << i;
+    total_s += rs.results[i];
+    total_b += rb.results[i];
+  }
+  EXPECT_LE(total_s, total_b);
+  EXPECT_LE(rs.total_visits, rb.total_visits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, PcRadiusSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4, 0.8, 1.6));
+
+TEST(PointCorrelation, PickRadiusHitsTarget) {
+  PointSet pts = gen_uniform(4000, 3, 5);
+  float r = pc_pick_radius(pts, 50, 5);
+  auto brute = pc_brute_force(pts, pts, r);
+  double mean = 0;
+  for (auto c : brute) mean += c;
+  mean /= static_cast<double>(brute.size());
+  EXPECT_GT(mean, 10.0);
+  EXPECT_LT(mean, 250.0);  // order of magnitude is what matters
+}
+
+TEST(PointCorrelation, CountSymmetry) {
+  // 2-point correlation is symmetric: sum of counts == 2 * (pairs in r).
+  PointSet pts = gen_uniform(300, 2, 6);
+  KdTree tree = build_kdtree(pts, 4);
+  GpuAddressSpace space;
+  PointCorrelationKernel k(tree, pts, 0.1f, space);
+  auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+  std::uint64_t total = 0;
+  for (auto c : run.results) total += c;
+  EXPECT_EQ(total % 2, 0u);
+}
+
+TEST(PointCorrelation, LeafSizeDoesNotChangeResults) {
+  PointSet pts = gen_covtype_like(500, 7, 7);
+  GpuAddressSpace s1, s2;
+  KdTree t1 = build_kdtree(pts, 1);
+  KdTree t2 = build_kdtree(pts, 32);
+  PointCorrelationKernel k1(t1, pts, 0.5f, s1);
+  PointCorrelationKernel k2(t2, pts, 0.5f, s2);
+  auto r1 = run_cpu(k1, CpuVariant::kRecursive, 1);
+  auto r2 = run_cpu(k2, CpuVariant::kRecursive, 1);
+  EXPECT_EQ(r1.results, r2.results);
+}
+
+}  // namespace
+}  // namespace tt

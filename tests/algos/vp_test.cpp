@@ -1,0 +1,83 @@
+#include "bench_algos/vp/vantage_point.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cpu_executors.h"
+#include "data/generators.h"
+#include "spatial/vptree.h"
+
+namespace tt {
+namespace {
+
+TEST(Vp, MatchesBruteForceAcrossInputs) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    PointSet pts = gen_mnist_like(300, 7, seed);
+    VpTree tree = build_vptree(pts, seed);
+    GpuAddressSpace space;
+    VpKernel k(tree, pts, space);
+    auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+    auto brute = vp_brute_force(pts, pts);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      EXPECT_NEAR(run.results[i].best_d, brute[i].best_d,
+                  1e-3 * std::max(1.f, brute[i].best_d))
+          << "seed " << seed << " i " << i;
+  }
+}
+
+TEST(Vp, GeocityMatchesBruteForce) {
+  PointSet pts = gen_geocity_like(400, 4);
+  VpTree tree = build_vptree(pts, 4);
+  GpuAddressSpace space;
+  VpKernel k(tree, pts, space);
+  auto run = run_cpu(k, CpuVariant::kAutoropes, 1);
+  auto brute = vp_brute_force(pts, pts);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_NEAR(run.results[i].best_d, brute[i].best_d,
+                1e-3 * std::max(1.f, brute[i].best_d))
+        << i;
+}
+
+struct NoPruneKernel : VpKernel {
+  using VpKernel::VpKernel;
+  template <class Mem>
+  int children(NodeId n, const UArg& ua, int cs, const State& st,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    int cnt = VpKernel::children(n, ua, cs, st, out, mem, lane);
+    for (int i = 0; i < cnt; ++i) out[i].larg = {0.f};
+    return cnt;
+  }
+};
+
+TEST(Vp, TriangleBoundIsSound) {
+  // Disabling the |d - mu| bound must not change results.
+  PointSet pts = gen_uniform(400, 3, 5);
+  VpTree tree = build_vptree(pts, 5);
+  GpuAddressSpace space;
+  VpKernel pruned(tree, pts, space);
+  NoPruneKernel full(tree, pts, space);
+  auto rp = run_cpu(pruned, CpuVariant::kRecursive, 1);
+  auto rf = run_cpu(full, CpuVariant::kRecursive, 1);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_FLOAT_EQ(rp.results[i].best_d, rf.results[i].best_d) << i;
+  EXPECT_LE(rp.total_visits, rf.total_visits);
+}
+
+TEST(Vp, RejectsDimMismatch) {
+  PointSet pts = gen_uniform(64, 3, 6);
+  VpTree tree = build_vptree(pts, 6);
+  GpuAddressSpace space;
+  PointSet wrong(2, 64);
+  EXPECT_THROW(VpKernel(tree, wrong, space), std::invalid_argument);
+}
+
+TEST(Vp, SinglePointHasInfiniteDistance) {
+  PointSet pts(3, 1);
+  VpTree tree = build_vptree(pts, 7);
+  GpuAddressSpace space;
+  VpKernel k(tree, pts, space);
+  auto run = run_cpu(k, CpuVariant::kRecursive, 1);
+  EXPECT_TRUE(std::isinf(run.results[0].best_d));
+}
+
+}  // namespace
+}  // namespace tt

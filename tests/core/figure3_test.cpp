@@ -1,0 +1,106 @@
+// The paper's Figures 2 and 3, executed literally.
+//
+// Figure 2: a 7-node binary tree with ropes installed; "if a point's
+// traversal is truncated at node 2, following the rope will correctly lead
+// the point to the next node to visit, 5."
+//
+// Figure 3: the same traversal driven by a rope *stack*: "to start the
+// traversal, node 1 is popped... children pushed in the order they will be
+// traversed... at node 3 we see the benefit of ropes, as we can jump
+// directly to node 4 by popping the rope from the top of the stack without
+// backtracking up to node 2."
+//
+// Note: the paper numbers nodes 1..7 in its figure; our DFS ids are 0..6
+// (paper node k == our node k-1).
+#include <gtest/gtest.h>
+
+#include "core/static_ropes.h"
+#include "core/traversal_kernel.h"
+#include "spatial/linear_tree.h"
+
+namespace tt {
+namespace {
+
+// Paper numbering -> DFS ids:  1->0, 2->1, 3->2, 4->3, 5->4, 6->5, 7->6.
+LinearTree figure2_tree() {
+  LinearTree t;
+  t.fanout = 2;
+  NodeId n1 = t.add_node(kNullNode, 0);  // paper 1
+  NodeId n2 = t.add_node(n1, 1);         // paper 2
+  t.set_child(n1, 0, n2);
+  NodeId n3 = t.add_node(n2, 2);         // paper 3
+  t.set_child(n2, 0, n3);
+  NodeId n4 = t.add_node(n2, 2);         // paper 4
+  t.set_child(n2, 1, n4);
+  NodeId n5 = t.add_node(n1, 1);         // paper 5
+  t.set_child(n1, 1, n5);
+  NodeId n6 = t.add_node(n5, 2);         // paper 6
+  t.set_child(n5, 0, n6);
+  NodeId n7 = t.add_node(n5, 2);         // paper 7
+  t.set_child(n5, 1, n7);
+  t.validate();
+  return t;
+}
+
+TEST(Figure2, RopeFromNode2LeadsToNode5) {
+  LinearTree t = figure2_tree();
+  StaticRopes r = install_ropes(t);
+  // Paper node 2 == id 1; paper node 5 == id 4.
+  EXPECT_EQ(r.rope[1], 4);
+  // Leaves' ropes: 3 -> 4, 4 -> 5, 6 -> 7, 7 -> end.
+  EXPECT_EQ(r.rope[2], 3);
+  EXPECT_EQ(r.rope[3], 4);
+  EXPECT_EQ(r.rope[5], 6);
+  EXPECT_EQ(r.rope[6], StaticRopes::kEndOfTraversal);
+  EXPECT_EQ(r.rope[0], StaticRopes::kEndOfTraversal);
+}
+
+// Record every stack operation of an (un-truncated) autoropes traversal.
+struct StackTrace {
+  std::vector<std::string> ops;
+};
+
+StackTrace run_figure3(const LinearTree& t) {
+  StackTrace trace;
+  std::vector<NodeId> stk{0};
+  trace.ops.push_back("push 1");
+  while (!stk.empty()) {
+    NodeId n = stk.back();
+    stk.pop_back();
+    trace.ops.push_back("pop " + std::to_string(n + 1));  // paper numbering
+    if (t.is_leaf(n)) continue;
+    // Children pushed in reverse visit order: right then left.
+    for (int k = t.fanout - 1; k >= 0; --k) {
+      NodeId c = t.child(n, k);
+      if (c == kNullNode) continue;
+      stk.push_back(c);
+      trace.ops.push_back("push " + std::to_string(c + 1));
+    }
+  }
+  return trace;
+}
+
+TEST(Figure3, StackDrivenTraversalOrder) {
+  LinearTree t = figure2_tree();
+  StackTrace trace = run_figure3(t);
+  // "first 5, then 2" pushed at node 1; popping 2 next; at node 3 the pop
+  // of 4 happens with no backtracking through 2.
+  std::vector<std::string> expected{
+      "push 1", "pop 1", "push 5", "push 2", "pop 2", "push 4",
+      "push 3", "pop 3", "pop 4",  "pop 5",  "push 7", "push 6",
+      "pop 6",  "pop 7",
+  };
+  EXPECT_EQ(trace.ops, expected);
+}
+
+TEST(Figure3, VisitOrderIsCanonicalDfs) {
+  LinearTree t = figure2_tree();
+  StackTrace trace = run_figure3(t);
+  std::vector<int> visits;
+  for (const std::string& op : trace.ops)
+    if (op.rfind("pop ", 0) == 0) visits.push_back(std::stoi(op.substr(4)));
+  EXPECT_EQ(visits, (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,81 @@
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_algos/pc/point_correlation.h"
+#include "data/generators.h"
+#include "data/sorting.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+namespace {
+
+TEST(Jaccard, Basics) {
+  EXPECT_DOUBLE_EQ(traversal_jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(traversal_jaccard({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(traversal_jaccard({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(traversal_jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+}
+
+TEST(Jaccard, DuplicatesIgnored) {
+  EXPECT_DOUBLE_EQ(traversal_jaccard({1, 1, 2}, {2, 2, 1}), 1.0);
+}
+
+TEST(Jaccard, UnsortedInputsHandled) {
+  EXPECT_DOUBLE_EQ(traversal_jaccard({3, 1, 2}, {2, 3, 1}), 1.0);
+}
+
+struct PcFixture {
+  PointSet pts;
+  KdTree tree;
+  GpuAddressSpace space;
+  float radius;
+
+  explicit PcFixture(bool sorted)
+      : pts(gen_covtype_like(2000, 7, 23)), tree(), space() {
+    auto perm = sorted ? tree_order(pts, 8) : shuffled_order(pts.size(), 23);
+    pts.permute(perm);
+    tree = build_kdtree(pts, 8);
+    radius = pc_pick_radius(pts, 20, 23);
+  }
+};
+
+TEST(Profiler, RecordTraversalStartsAtRoot) {
+  PcFixture s(true);
+  PointCorrelationKernel k(s.tree, s.pts, s.radius, s.space);
+  auto visits = record_traversal(k, 0);
+  ASSERT_FALSE(visits.empty());
+  EXPECT_EQ(visits.front(), 0);
+}
+
+TEST(Profiler, SortedInputLooksSorted) {
+  PcFixture s(true);
+  PointCorrelationKernel k(s.tree, s.pts, s.radius, s.space);
+  ProfileReport r = profile_similarity(k, 32, 1);
+  EXPECT_TRUE(r.looks_sorted);
+  EXPECT_GT(r.mean_similarity, kSortedSimilarityThreshold);
+}
+
+TEST(Profiler, ShuffledInputLooksUnsorted) {
+  PcFixture s(false);
+  PointCorrelationKernel k(s.tree, s.pts, s.radius, s.space);
+  ProfileReport r = profile_similarity(k, 32, 1);
+  EXPECT_LT(r.mean_similarity, 0.9);  // strictly less similar than sorted
+  PcFixture sorted(true);
+  PointCorrelationKernel ks(sorted.tree, sorted.pts, sorted.radius,
+                            sorted.space);
+  ProfileReport rs = profile_similarity(ks, 32, 1);
+  EXPECT_GT(rs.mean_similarity, r.mean_similarity);
+}
+
+TEST(Profiler, TinyInputTreatedAsSorted) {
+  PointSet pts = gen_uniform(1, 3, 1);
+  KdTree tree = build_kdtree(pts, 4);
+  GpuAddressSpace space;
+  PointCorrelationKernel k(tree, pts, 0.1f, space);
+  ProfileReport r = profile_similarity(k, 8, 1);
+  EXPECT_TRUE(r.looks_sorted);
+}
+
+}  // namespace
+}  // namespace tt

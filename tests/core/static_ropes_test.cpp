@@ -1,0 +1,154 @@
+#include "core/static_ropes.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_algos/bh/barnes_hut.h"
+#include "bench_algos/pc/point_correlation.h"
+#include "core/cpu_executors.h"
+#include "core/gpu_executors.h"
+#include "core/ropes_executor.h"
+#include "data/generators.h"
+#include "spatial/kdtree.h"
+#include "spatial/octree.h"
+
+namespace tt {
+namespace {
+
+TEST(StaticRopes, ChainTreeRopes) {
+  // Chain a -> b -> c: every rope is end-of-traversal (no siblings).
+  LinearTree t;
+  t.fanout = 2;
+  NodeId a = t.add_node(kNullNode, 0);
+  NodeId b = t.add_node(a, 1);
+  t.set_child(a, 0, b);
+  NodeId c = t.add_node(b, 2);
+  t.set_child(b, 0, c);
+  StaticRopes r = install_ropes(t);
+  EXPECT_EQ(r.rope[a], StaticRopes::kEndOfTraversal);
+  EXPECT_EQ(r.rope[b], StaticRopes::kEndOfTraversal);
+  EXPECT_EQ(r.rope[c], StaticRopes::kEndOfTraversal);
+}
+
+TEST(StaticRopes, BalancedTreeRopes) {
+  // Figure 2's shape: root(0){ left(1){3,4}, right(2)... } in DFS ids:
+  //   0 -> {1 -> {2, 3}, 4 -> {5, 6}}
+  LinearTree t;
+  t.fanout = 2;
+  NodeId n0 = t.add_node(kNullNode, 0);
+  NodeId n1 = t.add_node(n0, 1);
+  t.set_child(n0, 0, n1);
+  NodeId n2 = t.add_node(n1, 2);
+  t.set_child(n1, 0, n2);
+  NodeId n3 = t.add_node(n1, 2);
+  t.set_child(n1, 1, n3);
+  NodeId n4 = t.add_node(n0, 1);
+  t.set_child(n0, 1, n4);
+  NodeId n5 = t.add_node(n4, 2);
+  t.set_child(n4, 0, n5);
+  NodeId n6 = t.add_node(n4, 2);
+  t.set_child(n4, 1, n6);
+  StaticRopes r = install_ropes(t);
+  // Skipping the left subtree lands on the right subtree (the paper's
+  // "truncated at node 2 -> rope leads to node 5" example).
+  EXPECT_EQ(r.rope[n1], n4);
+  EXPECT_EQ(r.rope[n2], n3);
+  EXPECT_EQ(r.rope[n3], n4);
+  EXPECT_EQ(r.rope[n5], n6);
+  EXPECT_EQ(r.rope[n6], StaticRopes::kEndOfTraversal);
+  EXPECT_EQ(r.rope[n0], StaticRopes::kEndOfTraversal);
+}
+
+TEST(StaticRopes, RopesPointForward) {
+  PointSet pts = gen_covtype_like(1000, 7, 1);
+  KdTree tree = build_kdtree(pts, 8);
+  StaticRopes r = install_ropes(tree.topo);
+  for (NodeId n = 0; n < tree.topo.n_nodes; ++n) {
+    if (r.rope[n] == StaticRopes::kEndOfTraversal) continue;
+    EXPECT_GT(r.rope[n], n);
+    EXPECT_LT(r.rope[n], tree.topo.n_nodes);
+  }
+}
+
+TEST(StaticRopes, CpuRopeTraversalMatchesRecursive) {
+  PointSet pts = gen_covtype_like(600, 7, 2);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  float r = pc_pick_radius(pts, 16, 2);
+  PointCorrelationKernel k(tree, pts, r, space);
+  StaticRopes ropes = install_ropes(tree.topo);
+  auto rope_results = run_cpu_ropes(k, ropes);
+  auto rec = run_cpu(k, CpuVariant::kRecursive, 1);
+  EXPECT_EQ(rope_results, rec.results);
+}
+
+TEST(StaticRopes, GpuRopesMatchRecursiveBothVariants) {
+  PointSet pts = gen_uniform(700, 7, 3);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  PointCorrelationKernel k(tree, pts, 0.3f, space);
+  StaticRopes ropes = install_ropes(tree.topo);
+  auto rec = run_cpu(k, CpuVariant::kRecursive, 1);
+  DeviceConfig cfg;
+  auto gn = run_gpu_ropes_sim(k, space, cfg, /*lockstep=*/false, ropes);
+  auto gl = run_gpu_ropes_sim(k, space, cfg, /*lockstep=*/true, ropes);
+  EXPECT_EQ(gn.results, rec.results);
+  EXPECT_EQ(gl.results, rec.results);
+}
+
+TEST(StaticRopes, BarnesHutRopeTraversalMatches) {
+  BodySet b = gen_plummer(600, 4);
+  Octree tree = build_octree(b.pos, b.mass);
+  GpuAddressSpace space;
+  BarnesHutKernel k(tree, b.pos, 0.5f, 1e-4f, space);
+  StaticRopes ropes = install_ropes(tree.topo);
+  auto rec = run_cpu(k, CpuVariant::kRecursive, 1);
+  DeviceConfig cfg;
+  auto gn = run_gpu_ropes_sim(k, space, cfg, false, ropes);
+  for (std::size_t i = 0; i < b.pos.size(); ++i) {
+    EXPECT_NEAR(gn.results[i].ax, rec.results[i].ax,
+                1e-4f * std::max(1.f, std::fabs(rec.results[i].ax)))
+        << i;
+  }
+}
+
+TEST(StaticRopes, LockstepVisitsUnionOnce) {
+  // The lockstep rope warp visits each node at most once (DFS ids only
+  // move forward), so warp pops <= tree size.
+  PointSet pts = gen_geocity_like(512, 5);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  float r = pc_pick_radius(pts, 16, 5);
+  PointCorrelationKernel k(tree, pts, r, space);
+  StaticRopes ropes = install_ropes(tree.topo);
+  DeviceConfig cfg;
+  auto gl = run_gpu_ropes_sim(k, space, cfg, true, ropes);
+  EXPECT_LE(gl.stats.warp_pops,
+            gl.n_warps * static_cast<std::size_t>(tree.topo.n_nodes));
+}
+
+TEST(StaticRopes, NoStackTrafficComparedToAutoropes) {
+  PointSet pts = gen_covtype_like(1024, 7, 6);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  float r = pc_pick_radius(pts, 16, 6);
+  PointCorrelationKernel k(tree, pts, r, space);
+  StaticRopes ropes = install_ropes(tree.topo);
+  DeviceConfig cfg;
+  auto rope_run = run_gpu_ropes_sim(k, space, cfg, false, ropes);
+  auto auto_run = run_gpu_sim(k, space, cfg, GpuMode{true, false});
+  // Same node visits, strictly less memory traffic (no rope stack).
+  EXPECT_EQ(rope_run.stats.lane_visits, auto_run.stats.lane_visits);
+  EXPECT_LT(rope_run.stats.dram_transactions,
+            auto_run.stats.dram_transactions);
+}
+
+TEST(StaticRopes, InstallCostReported) {
+  BodySet b = gen_plummer(2000, 7);
+  Octree tree = build_octree(b.pos, b.mass);
+  StaticRopes r = install_ropes(tree.topo);
+  EXPECT_GE(r.install_ms, 0.0);
+  EXPECT_EQ(r.rope.size(), static_cast<std::size_t>(tree.topo.n_nodes));
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,98 @@
+#include "cpu/cache_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_algos/pc/point_correlation.h"
+#include "cpu/cache_profile.h"
+#include "data/generators.h"
+#include "data/sorting.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+namespace {
+
+TEST(CacheMem, ColdMissWarmHit) {
+  GpuAddressSpace space;
+  BufferId b = space.register_buffer("b", 4, 1024);
+  CacheMem mem(space, CpuCacheConfig{});
+  mem.lane_load(0, b, 0);
+  EXPECT_EQ(mem.stats().accesses, 1u);
+  EXPECT_EQ(mem.stats().l1_miss, 1u);
+  EXPECT_EQ(mem.stats().l3_miss, 1u);
+  mem.lane_load(0, b, 1);  // same 64B line
+  EXPECT_EQ(mem.stats().accesses, 2u);
+  EXPECT_EQ(mem.stats().l1_miss, 1u);
+}
+
+TEST(CacheMem, MultiLineAccessCountsEachLine) {
+  GpuAddressSpace space;
+  BufferId b = space.register_buffer("wide", 256, 8);
+  CacheMem mem(space, CpuCacheConfig{});
+  mem.lane_load(0, b, 0);  // 256 bytes = 4 lines
+  EXPECT_EQ(mem.stats().accesses, 4u);
+}
+
+TEST(CacheMem, L1EvictionFallsToL2) {
+  CpuCacheConfig cfg;
+  cfg.l1_bytes = 128;  // 2 lines, 2-way: one set
+  cfg.l1_assoc = 2;
+  GpuAddressSpace space;
+  BufferId b = space.register_buffer("b", 64, 64);
+  CacheMem mem(space, cfg);
+  mem.lane_load(0, b, 0);
+  mem.lane_load(0, b, 1);
+  mem.lane_load(0, b, 2);  // evicts line 0 from L1
+  mem.reset_stats();
+  mem.lane_load(0, b, 0);  // L1 miss, L2 hit
+  EXPECT_EQ(mem.stats().l1_miss, 1u);
+  EXPECT_EQ(mem.stats().l2_miss, 0u);
+}
+
+TEST(CacheStats, RatesAndMerge) {
+  CacheStats a;
+  a.accesses = 100;
+  a.l1_miss = 20;
+  a.l3_miss = 5;
+  EXPECT_DOUBLE_EQ(a.l1_hit_rate(), 0.8);
+  EXPECT_DOUBLE_EQ(a.dram_rate(), 0.05);
+  CacheStats b = a;
+  a.merge(b);
+  EXPECT_EQ(a.accesses, 200u);
+  EXPECT_EQ(a.l1_miss, 40u);
+}
+
+TEST(CacheProfile, SortingImprovesCpuLocality) {
+  // The CPU-side justification for section 4.4: sorted points reuse the
+  // same tree regions back-to-back.
+  auto l1_rate = [](bool sorted) {
+    PointSet pts = gen_covtype_like(2000, 7, 9);
+    pts.permute(sorted ? tree_order(pts, 8) : shuffled_order(pts.size(), 9));
+    KdTree tree = build_kdtree(pts, 8);
+    GpuAddressSpace space;
+    float r = pc_pick_radius(pts, 16, 9);
+    PointCorrelationKernel k(tree, pts, r, space);
+    return profile_cpu_cache(k, space).l1_hit_rate();
+  };
+  EXPECT_GT(l1_rate(true), l1_rate(false));
+}
+
+TEST(CacheProfile, GeocityMoreLocalThanCovtype) {
+  // Section 6.2's Geocity explanation: "traversals are very short,
+  // promoting good locality and performance on the CPU" -- fewer total
+  // loads and a higher L1 hit rate than the high-dimensional inputs.
+  auto profile = [](PointSet pts, std::uint64_t seed) {
+    pts.permute(tree_order(pts, 8));
+    KdTree tree = build_kdtree(pts, 8);
+    GpuAddressSpace space;
+    float r = pc_pick_radius(pts, 16, seed);
+    PointCorrelationKernel k(tree, pts, r, space);
+    return profile_cpu_cache(k, space);
+  };
+  CacheStats geo = profile(gen_geocity_like(2000, 10), 10);
+  CacheStats cov = profile(gen_covtype_like(2000, 7, 10), 10);
+  EXPECT_LT(geo.accesses, cov.accesses / 2);
+  EXPECT_GT(geo.l1_hit_rate(), cov.l1_hit_rate());
+}
+
+}  // namespace
+}  // namespace tt

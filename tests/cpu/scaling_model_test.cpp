@@ -1,0 +1,56 @@
+#include "cpu/scaling_model.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/parallel.h"
+
+namespace tt {
+namespace {
+
+TEST(ScalingModel, OneThreadIsIdentity) {
+  CpuScalingModel m;
+  EXPECT_DOUBLE_EQ(m.efficiency(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.time_ms(100.0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(m.speedup(1), 1.0);
+}
+
+TEST(ScalingModel, NearLinearByDefault) {
+  CpuScalingModel m;  // beta = 0.01
+  EXPECT_GT(m.speedup(32), 24.0);
+  EXPECT_LT(m.speedup(32), 32.0);
+}
+
+TEST(ScalingModel, TimeMonotoneInThreads) {
+  CpuScalingModel m;
+  double prev = m.time_ms(100.0, 1);
+  for (int t = 2; t <= 32; ++t) {
+    double cur = m.time_ms(100.0, t);
+    EXPECT_LT(cur, prev) << t;
+    prev = cur;
+  }
+}
+
+TEST(ScalingModel, BetaControlsDrag) {
+  CpuScalingModel light{0.0};
+  CpuScalingModel heavy{0.1};
+  EXPECT_DOUBLE_EQ(light.speedup(16), 16.0);  // perfect scaling
+  EXPECT_LT(heavy.speedup(16), light.speedup(16));
+}
+
+TEST(ScalingModel, RejectsBadThreads) {
+  CpuScalingModel m;
+  EXPECT_THROW(m.efficiency(0), std::invalid_argument);
+}
+
+TEST(Parallel, HardwareThreadsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(Parallel, ParallelForCoversRange) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(1000, 2, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace tt

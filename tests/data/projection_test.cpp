@@ -1,0 +1,72 @@
+#include "data/projection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tt {
+namespace {
+
+TEST(Projection, ShapeAndDeterminism) {
+  std::vector<float> data(50 * 20);
+  Pcg32 rng(1);
+  for (auto& v : data) v = rng.next_float();
+  PointSet a = random_projection(data, 50, 20, 7, 99);
+  PointSet b = random_projection(data, 50, 20, 7, 99);
+  EXPECT_EQ(a.dim(), 7);
+  EXPECT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i)
+    for (int d = 0; d < 7; ++d) EXPECT_FLOAT_EQ(a.at(i, d), b.at(i, d));
+}
+
+TEST(Projection, RejectsBadArgs) {
+  std::vector<float> data(10);
+  EXPECT_THROW(random_projection(data, 5, 2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(random_projection(data, 5, 2, kMaxDim + 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(random_projection(data, 5, 3, 2, 1), std::invalid_argument);
+}
+
+TEST(Projection, ApproximatelyPreservesDistances) {
+  // Johnson-Lindenstrauss: with N(0, 1/k) entries, E[|Px - Py|^2] equals
+  // |x - y|^2. Averaged over many pairs the ratio should be close to 1.
+  constexpr std::size_t kN = 200;
+  constexpr int kInDim = 64, kOutDim = 8;
+  std::vector<float> data(kN * kInDim);
+  Pcg32 rng(2);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  PointSet proj = random_projection(data, kN, kInDim, kOutDim, 7);
+
+  double ratio_sum = 0;
+  int pairs = 0;
+  for (std::size_t i = 0; i + 1 < kN; i += 2) {
+    double orig = 0;
+    for (int d = 0; d < kInDim; ++d) {
+      double delta = static_cast<double>(data[i * kInDim + d]) -
+                     data[(i + 1) * kInDim + d];
+      orig += delta * delta;
+    }
+    double got = 0;
+    for (int d = 0; d < kOutDim; ++d) {
+      double delta =
+          static_cast<double>(proj.at(i, d)) - proj.at(i + 1, d);
+      got += delta * delta;
+    }
+    ratio_sum += got / orig;
+    ++pairs;
+  }
+  EXPECT_NEAR(ratio_sum / pairs, 1.0, 0.2);
+}
+
+TEST(Projection, DifferentSeedsGiveDifferentMatrices) {
+  std::vector<float> data(10 * 4, 1.f);
+  PointSet a = random_projection(data, 10, 4, 3, 1);
+  PointSet b = random_projection(data, 10, 4, 3, 2);
+  EXPECT_NE(a.at(0, 0), b.at(0, 0));
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,96 @@
+#include "data/sorting.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace tt {
+namespace {
+
+bool is_permutation_of_identity(const std::vector<std::uint32_t>& perm) {
+  std::vector<std::uint32_t> s = perm;
+  std::sort(s.begin(), s.end());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s[i] != i) return false;
+  return true;
+}
+
+double adjacent_distance_sum(const PointSet& p,
+                             const std::vector<std::uint32_t>& perm) {
+  double total = 0;
+  float q[kMaxDim];
+  for (std::size_t j = 0; j + 1 < perm.size(); ++j) {
+    p.gather(perm[j], q);
+    total += std::sqrt(p.sq_dist(perm[j + 1], q));
+  }
+  return total;
+}
+
+TEST(Morton, IsAPermutation) {
+  PointSet p = gen_uniform(1000, 2, 1);
+  EXPECT_TRUE(is_permutation_of_identity(morton_order(p)));
+  PointSet p3 = gen_uniform(1000, 3, 2);
+  EXPECT_TRUE(is_permutation_of_identity(morton_order(p3)));
+}
+
+TEST(Morton, RejectsHighDim) {
+  PointSet p = gen_uniform(10, 5, 3);
+  EXPECT_THROW(morton_order(p), std::invalid_argument);
+}
+
+TEST(Morton, ImprovesSpatialLocality) {
+  PointSet p = gen_uniform(5000, 2, 4);
+  auto sorted = morton_order(p);
+  auto shuffled = shuffled_order(p.size(), 99);
+  EXPECT_LT(adjacent_distance_sum(p, sorted),
+            0.25 * adjacent_distance_sum(p, shuffled));
+}
+
+TEST(TreeOrder, IsAPermutation) {
+  PointSet p = gen_uniform(777, 7, 5);
+  EXPECT_TRUE(is_permutation_of_identity(tree_order(p, 8)));
+}
+
+TEST(TreeOrder, ImprovesSpatialLocality) {
+  PointSet p = gen_covtype_like(3000, 7, 6);
+  auto sorted = tree_order(p, 8);
+  auto shuffled = shuffled_order(p.size(), 98);
+  EXPECT_LT(adjacent_distance_sum(p, sorted),
+            0.5 * adjacent_distance_sum(p, shuffled));
+}
+
+TEST(Shuffled, IsAPermutationAndSeedDeterministic) {
+  auto a = shuffled_order(500, 7);
+  auto b = shuffled_order(500, 7);
+  auto c = shuffled_order(500, 8);
+  EXPECT_TRUE(is_permutation_of_identity(a));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Identity, IsIdentity) {
+  auto id = identity_order(10);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(id[i], i);
+}
+
+TEST(Morton, OrdersQuadrantsCorrectly) {
+  // Four points, one per quadrant: Morton order with y in bit 1, x in bit 0
+  // visits (0,0), (1,0), (0,1), (1,1) given our d-shift convention.
+  PointSet p(2, 4);
+  float xs[4] = {0.f, 1.f, 0.f, 1.f};
+  float ys[4] = {0.f, 0.f, 1.f, 1.f};
+  for (std::size_t i = 0; i < 4; ++i) {
+    p.set(i, 0, xs[i]);
+    p.set(i, 1, ys[i]);
+  }
+  auto perm = morton_order(p);
+  // First point must be the origin corner, last the far corner.
+  EXPECT_EQ(perm.front(), 0u);
+  EXPECT_EQ(perm.back(), 3u);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,135 @@
+// Call-set analysis on the paper's own examples: Figure 4 (one call set),
+// Figure 5 (two call sets), Figure 9a (Barnes-Hut, eight calls in one set).
+#include "core/ir/callset_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_algos/bh/barnes_hut.h"
+#include "bench_algos/knn/knn.h"
+#include "bench_algos/nn/nearest_neighbor.h"
+#include "bench_algos/pc/point_correlation.h"
+#include "bench_algos/vp/vantage_point.h"
+
+namespace tt {
+namespace {
+
+TEST(CallSets, Figure4HasOneCallSet) {
+  auto sets = ir::enumerate_call_sets(pc_ir());
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0], (ir::CallSet{0, 1}));
+}
+
+TEST(CallSets, Figure5HasTwoCallSets) {
+  auto sets = ir::enumerate_call_sets(knn_ir());
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], (ir::CallSet{0, 1}));
+  EXPECT_EQ(sets[1], (ir::CallSet{2, 3}));
+}
+
+TEST(CallSets, BarnesHutEightCallsOneSet) {
+  auto sets = ir::enumerate_call_sets(bh_ir());
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].size(), 8u);
+}
+
+TEST(CallSets, AllBenchmarksPseudoTailRecursive) {
+  EXPECT_TRUE(ir::is_pseudo_tail_recursive(bh_ir()));
+  EXPECT_TRUE(ir::is_pseudo_tail_recursive(pc_ir()));
+  EXPECT_TRUE(ir::is_pseudo_tail_recursive(knn_ir()));
+  EXPECT_TRUE(ir::is_pseudo_tail_recursive(nn_ir()));
+  EXPECT_TRUE(ir::is_pseudo_tail_recursive(vp_ir()));
+}
+
+TEST(CallSets, Classification) {
+  EXPECT_EQ(ir::classify(bh_ir()), ir::TraversalClass::kUnguided);
+  EXPECT_EQ(ir::classify(pc_ir()), ir::TraversalClass::kUnguided);
+  EXPECT_EQ(ir::classify(knn_ir()), ir::TraversalClass::kGuided);
+  EXPECT_EQ(ir::classify(nn_ir()), ir::TraversalClass::kGuided);
+  EXPECT_EQ(ir::classify(vp_ir()), ir::TraversalClass::kGuided);
+}
+
+TEST(CallSets, NonPtrFunctionDetected) {
+  // update AFTER a call: not pseudo-tail-recursive.
+  ir::TraversalFunc f;
+  f.name = "bad";
+  f.blocks.resize(1);
+  ir::Stmt call;
+  call.kind = ir::Stmt::Kind::kCall;
+  call.id = 0;
+  ir::Stmt upd;
+  upd.kind = ir::Stmt::Kind::kUpdate;
+  upd.id = 0;
+  f.blocks[0].stmts = {call, upd};
+  f.blocks[0].term = ir::Block::Term::kReturn;
+  EXPECT_FALSE(ir::is_pseudo_tail_recursive(f));
+}
+
+TEST(CallSets, PointDependentChildChoiceMakesGuided) {
+  // Single call set but the call target depends on the point: guided.
+  ir::TraversalFunc f;
+  f.name = "single_dynamic";
+  f.blocks.resize(1);
+  ir::Stmt call;
+  call.kind = ir::Stmt::Kind::kCall;
+  call.id = 0;
+  call.child_point_dependent = true;
+  f.blocks[0].stmts = {call};
+  f.blocks[0].term = ir::Block::Term::kReturn;
+  ASSERT_EQ(ir::enumerate_call_sets(f).size(), 1u);
+  EXPECT_EQ(ir::classify(f), ir::TraversalClass::kGuided);
+}
+
+TEST(CallSets, PathsWithoutCallsIgnored) {
+  // Truncation-only path contributes no call set.
+  auto sets = ir::enumerate_call_sets(pc_ir());
+  for (const auto& cs : sets) EXPECT_FALSE(cs.empty());
+}
+
+TEST(CallSets, SharedCallSuffixDeduplicates) {
+  // Two branch paths that end up executing the same single call: one set.
+  ir::TraversalFunc f;
+  f.name = "diamond";
+  f.blocks.resize(4);
+  f.blocks[0].term = ir::Block::Term::kBranch;
+  f.blocks[0].cond = 0;
+  f.blocks[0].succ_true = 1;
+  f.blocks[0].succ_false = 2;
+  ir::Stmt upd;
+  upd.kind = ir::Stmt::Kind::kUpdate;
+  f.blocks[1].stmts = {upd};
+  f.blocks[1].term = ir::Block::Term::kJump;
+  f.blocks[1].succ_true = 3;
+  f.blocks[2].term = ir::Block::Term::kJump;
+  f.blocks[2].succ_true = 3;
+  ir::Stmt call;
+  call.kind = ir::Stmt::Kind::kCall;
+  call.id = 7;
+  f.blocks[3].stmts = {call};
+  f.blocks[3].term = ir::Block::Term::kReturn;
+  auto sets = ir::enumerate_call_sets(f);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0], (ir::CallSet{7}));
+}
+
+TEST(CallSets, CyclicCfgRejected) {
+  ir::TraversalFunc f;
+  f.blocks.resize(2);
+  f.blocks[0].term = ir::Block::Term::kJump;
+  f.blocks[0].succ_true = 1;
+  f.blocks[1].term = ir::Block::Term::kJump;
+  f.blocks[1].succ_true = 0;
+  EXPECT_THROW(ir::enumerate_call_sets(f), std::logic_error);
+}
+
+TEST(CallSets, AnalyzeBundlesEverything) {
+  ir::AnalysisReport r = ir::analyze(knn_ir());
+  EXPECT_EQ(r.call_sets.size(), 2u);
+  EXPECT_TRUE(r.pseudo_tail_recursive);
+  EXPECT_EQ(r.cls, ir::TraversalClass::kGuided);
+  EXPECT_FALSE(r.lockstep_eligible);  // needs the annotation
+  ir::AnalysisReport u = ir::analyze(bh_ir());
+  EXPECT_TRUE(u.lockstep_eligible);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,150 @@
+// Randomized structural tests of the IR analyses: generate random acyclic
+// CFGs and check analysis invariants that must hold for *any* traversal
+// body, plus pipeline equivalence whenever the function happens to be
+// restructurable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ir/autoropes_rewriter.h"
+#include "core/ir/callset_analysis.h"
+#include "core/ir/interpreter.h"
+#include "core/ir/ptr_restructure.h"
+#include "util/rng.h"
+
+namespace tt {
+namespace {
+
+// Random DAG-shaped traversal body: forward-only branch targets guarantee
+// acyclicity; statements are random updates/calls.
+ir::TraversalFunc random_func(std::uint64_t seed) {
+  Pcg32 rng(seed, 51);
+  ir::TraversalFunc f;
+  f.name = "fuzz";
+  int n_blocks = 2 + static_cast<int>(rng.next_below(5));
+  f.blocks.resize(static_cast<std::size_t>(n_blocks));
+  int next_call_id = 0;
+  for (int b = 0; b < n_blocks; ++b) {
+    ir::Block& blk = f.blocks[static_cast<std::size_t>(b)];
+    int n_stmts = static_cast<int>(rng.next_below(4));
+    for (int s = 0; s < n_stmts; ++s) {
+      ir::Stmt st;
+      if (rng.next_below(2)) {
+        st.kind = ir::Stmt::Kind::kCall;
+        st.id = next_call_id++;
+        st.child_slot = static_cast<int>(rng.next_below(2));
+        st.arg_expr = static_cast<int>(rng.next_below(3));
+      } else {
+        st.kind = ir::Stmt::Kind::kUpdate;
+        st.id = static_cast<int>(rng.next_below(5));
+      }
+      blk.stmts.push_back(st);
+    }
+    if (b + 1 >= n_blocks || rng.next_below(3) == 0) {
+      blk.term = ir::Block::Term::kReturn;
+    } else if (rng.next_below(2)) {
+      blk.term = ir::Block::Term::kJump;
+      blk.succ_true =
+          b + 1 + static_cast<int>(rng.next_below(
+                      static_cast<std::uint32_t>(n_blocks - b - 1)));
+    } else {
+      blk.term = ir::Block::Term::kBranch;
+      blk.cond = static_cast<int>(rng.next_below(4));
+      blk.succ_true =
+          b + 1 + static_cast<int>(rng.next_below(
+                      static_cast<std::uint32_t>(n_blocks - b - 1)));
+      blk.succ_false =
+          b + 1 + static_cast<int>(rng.next_below(
+                      static_cast<std::uint32_t>(n_blocks - b - 1)));
+    }
+  }
+  return f;
+}
+
+LinearTree random_tree(std::uint64_t seed) {
+  Pcg32 rng(seed, 52);
+  LinearTree t;
+  t.fanout = 2;
+  auto build = [&](auto&& self, NodeId parent, int depth,
+                   std::size_t budget) -> NodeId {
+    NodeId id = t.add_node(parent, depth);
+    if (budget <= 1) return id;
+    std::size_t rest = budget - 1;
+    std::size_t left = rng.next_below(static_cast<std::uint32_t>(rest + 1));
+    if (left > 0) t.set_child(id, 0, self(self, id, depth + 1, left));
+    if (rest - left > 0)
+      t.set_child(id, 1, self(self, id, depth + 1, rest - left));
+    return id;
+  };
+  build(build, kNullNode, 0, 30);
+  return t;
+}
+
+ir::World world_for(const LinearTree& tree) {
+  ir::World w;
+  w.tree = &tree;
+  w.cond = [](int id, NodeId n, std::int64_t& ps, std::int64_t arg) {
+    return ((id * 3 + n * 7 + ps + arg * 5) & 7) < 4;
+  };
+  w.update = [](int id, NodeId n, std::int64_t& ps, std::int64_t arg) {
+    ps = ps * 41 + id * 13 + n * 3 + arg;
+  };
+  w.child = [&tree](int slot, NodeId n, const std::int64_t&) {
+    return tree.child(n, slot);
+  };
+  w.arg_fn = [](int expr, std::int64_t arg, NodeId n) {
+    return arg / 2 + expr * 3 + n % 7;
+  };
+  return w;
+}
+
+class IrFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IrFuzz, AnalysisInvariants) {
+  ir::TraversalFunc f = random_func(GetParam());
+  ASSERT_NO_THROW(f.validate());
+
+  auto sets = ir::enumerate_call_sets(f);
+  // Call sets are distinct and never empty.
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_FALSE(sets[i].empty());
+    for (std::size_t j = i + 1; j < sets.size(); ++j)
+      EXPECT_NE(sets[i], sets[j]);
+  }
+  // Every id in a call set is a call statement in the function.
+  std::vector<int> call_ids;
+  for (const ir::Block& b : f.blocks)
+    for (const ir::Stmt& s : b.stmts)
+      if (s.kind == ir::Stmt::Kind::kCall) call_ids.push_back(s.id);
+  for (const auto& cs : sets)
+    for (int id : cs)
+      EXPECT_NE(std::find(call_ids.begin(), call_ids.end(), id),
+                call_ids.end());
+  // Analysis is deterministic.
+  EXPECT_EQ(sets, ir::enumerate_call_sets(f));
+}
+
+TEST_P(IrFuzz, PipelineEquivalenceWhenRestructurable) {
+  ir::TraversalFunc f = random_func(GetParam() ^ 0x5555);
+  if (!ir::can_restructure_to_ptr(f)) {
+    EXPECT_THROW(ir::restructure_to_ptr(f), std::invalid_argument);
+    return;
+  }
+  ir::TraversalFunc ptr = ir::restructure_to_ptr(f);
+  EXPECT_TRUE(ir::is_pseudo_tail_recursive(ptr));
+  ir::TraversalFunc iter = ir::autoropes_rewrite(ptr);
+
+  LinearTree tree = random_tree(GetParam());
+  ir::World w = world_for(tree);
+  std::int64_t a = 9, b = 9;
+  auto ta = ir::interpret_recursive(f, w, 0, 2, a);
+  auto tb = ir::interpret_autoropes(iter, w, 0, 2, b);
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrFuzz,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,150 @@
+// The section-3.3 correctness argument, executed: on random trees, points
+// and truncation functions, the autoropes rewrite visits exactly the same
+// nodes in exactly the same order as the original recursion, with the same
+// stack arguments and the same final point state.
+#include "core/ir/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_algos/knn/knn.h"
+#include "bench_algos/pc/point_correlation.h"
+#include "core/ir/autoropes_rewriter.h"
+#include "util/rng.h"
+
+namespace tt {
+namespace {
+
+LinearTree random_binary_tree(std::size_t n_nodes, std::uint64_t seed) {
+  // Random recursive splits, emitted in DFS order.
+  Pcg32 rng(seed, 21);
+  LinearTree t;
+  t.fanout = 2;
+  auto build = [&](auto&& self, NodeId parent, int depth,
+                   std::size_t budget) -> NodeId {
+    NodeId id = t.add_node(parent, depth);
+    if (budget <= 1) return id;
+    std::size_t rest = budget - 1;
+    std::size_t left = rng.next_below(static_cast<std::uint32_t>(rest + 1));
+    if (left > 0) t.set_child(id, 0, self(self, id, depth + 1, left));
+    if (rest - left > 0)
+      t.set_child(id, 1, self(self, id, depth + 1, rest - left));
+    return id;
+  };
+  build(build, kNullNode, 0, n_nodes);
+  t.validate();
+  return t;
+}
+
+// Deterministic pseudo-random predicate from (id, node, point, arg).
+bool chaos(int id, NodeId n, std::int64_t ps, std::int64_t arg) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::uint64_t>(id) * 0xff51afd7ed558ccdULL;
+  h ^= static_cast<std::uint64_t>(n) * 0xc4ceb9fe1a85ec53ULL;
+  h ^= static_cast<std::uint64_t>(ps) * 0x2545f4914f6cdd1dULL;
+  h ^= static_cast<std::uint64_t>(arg);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  return (h >> 13) & 1;
+}
+
+ir::World make_world(const LinearTree& tree) {
+  ir::World w;
+  w.tree = &tree;
+  w.cond = [](int id, NodeId n, std::int64_t& ps, std::int64_t arg) {
+    return chaos(id, n, ps, arg);
+  };
+  w.update = [](int id, NodeId n, std::int64_t& ps, std::int64_t arg) {
+    ps = ps * 31 + id * 7 + n * 3 + arg;
+  };
+  w.child = [&tree](int slot, NodeId n, const std::int64_t&) {
+    return tree.child(n, slot);
+  };
+  w.arg_fn = [](int expr, std::int64_t arg, NodeId n) {
+    return arg * 2 + expr + n % 5;
+  };
+  return w;
+}
+
+class IrEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IrEquivalence, UnguidedTraceIdentical) {
+  LinearTree tree = random_binary_tree(60, GetParam());
+  ir::World w = make_world(tree);
+  ir::TraversalFunc rec = pc_ir();
+  ir::TraversalFunc iter = ir::autoropes_rewrite(rec);
+  std::int64_t ps_rec = static_cast<std::int64_t>(GetParam());
+  std::int64_t ps_iter = ps_rec;
+  auto t_rec = ir::interpret_recursive(rec, w, 0, 1, ps_rec);
+  auto t_iter = ir::interpret_autoropes(iter, w, 0, 1, ps_iter);
+  EXPECT_EQ(t_rec, t_iter);
+  EXPECT_EQ(ps_rec, ps_iter);
+  EXPECT_FALSE(t_rec.empty());
+}
+
+TEST_P(IrEquivalence, GuidedTraceIdentical) {
+  LinearTree tree = random_binary_tree(80, GetParam() ^ 0xabcdef);
+  ir::World w = make_world(tree);
+  ir::TraversalFunc rec = knn_ir();
+  ir::TraversalFunc iter = ir::autoropes_rewrite(rec);
+  std::int64_t ps_rec = 17;
+  std::int64_t ps_iter = 17;
+  auto t_rec = ir::interpret_recursive(rec, w, 0, 3, ps_rec);
+  auto t_iter = ir::interpret_autoropes(iter, w, 0, 3, ps_iter);
+  EXPECT_EQ(t_rec, t_iter);
+  EXPECT_EQ(ps_rec, ps_iter);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(Interpreter, ArgsPropagateThroughStack) {
+  // Two-level chain with an arg-halving expression: check the trace's args.
+  LinearTree t;
+  t.fanout = 2;
+  NodeId a = t.add_node(kNullNode, 0);
+  NodeId b = t.add_node(a, 1);
+  t.set_child(a, 0, b);
+
+  ir::TraversalFunc f;
+  f.blocks.resize(1);
+  ir::Stmt call;
+  call.kind = ir::Stmt::Kind::kCall;
+  call.id = 0;
+  call.child_slot = 0;
+  call.arg_expr = 0;
+  f.blocks[0].stmts = {call};
+  f.blocks[0].term = ir::Block::Term::kReturn;
+
+  ir::World w;
+  w.tree = &t;
+  w.cond = [](int, NodeId, std::int64_t&, std::int64_t) { return false; };
+  w.update = [](int, NodeId, std::int64_t&, std::int64_t) {};
+  w.child = [&t](int slot, NodeId n, const std::int64_t&) {
+    return t.child(n, slot);
+  };
+  w.arg_fn = [](int, std::int64_t arg, NodeId) { return arg / 4; };
+
+  std::int64_t ps = 0;
+  auto trace = ir::interpret_recursive(f, w, 0, 100, ps);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].arg, 100);
+  EXPECT_EQ(trace[1].arg, 25);
+
+  auto iter_trace =
+      ir::interpret_autoropes(ir::autoropes_rewrite(f), w, 0, 100, ps);
+  EXPECT_EQ(trace, iter_trace);
+}
+
+TEST(Interpreter, MissingChildSkipsCall) {
+  LinearTree t;
+  t.fanout = 2;
+  t.add_node(kNullNode, 0);  // lone root, no children
+  ir::World w = make_world(t);
+  ir::TraversalFunc f = pc_ir();
+  std::int64_t ps = 0;
+  auto trace = ir::interpret_recursive(f, w, 0, 0, ps);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tt

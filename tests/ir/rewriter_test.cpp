@@ -1,0 +1,82 @@
+#include "core/ir/autoropes_rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_algos/knn/knn.h"
+#include "bench_algos/pc/point_correlation.h"
+
+namespace tt {
+namespace {
+
+TEST(Rewriter, ReversesCallOrderIntoPushes) {
+  ir::TraversalFunc out = ir::autoropes_rewrite(pc_ir());
+  // Block 2 held calls {0 (left), 1 (right)}; pushes must be {right, left}.
+  const ir::Block& b = out.blocks[2];
+  ASSERT_EQ(b.stmts.size(), 2u);
+  EXPECT_EQ(b.stmts[0].kind, ir::Stmt::Kind::kPush);
+  EXPECT_EQ(b.stmts[1].kind, ir::Stmt::Kind::kPush);
+  EXPECT_EQ(b.stmts[0].id, 1);  // right pushed first
+  EXPECT_EQ(b.stmts[1].id, 0);  // left pushed second -> popped first
+}
+
+TEST(Rewriter, GuidedBothCallBlocksRewritten) {
+  ir::TraversalFunc out = ir::autoropes_rewrite(knn_ir());
+  EXPECT_EQ(out.blocks[3].stmts[0].id, 1);
+  EXPECT_EQ(out.blocks[3].stmts[1].id, 0);
+  EXPECT_EQ(out.blocks[4].stmts[0].id, 3);
+  EXPECT_EQ(out.blocks[4].stmts[1].id, 2);
+}
+
+TEST(Rewriter, NonCallStatementsPreserved) {
+  ir::TraversalFunc in = pc_ir();
+  ir::TraversalFunc out = ir::autoropes_rewrite(in);
+  ASSERT_EQ(out.blocks.size(), in.blocks.size());
+  // The leaf-update block is untouched.
+  EXPECT_EQ(out.blocks[3].stmts.size(), in.blocks[3].stmts.size());
+  EXPECT_EQ(out.blocks[3].stmts[0].kind, ir::Stmt::Kind::kUpdate);
+  EXPECT_NE(out.name, in.name);
+}
+
+TEST(Rewriter, RejectsNonPtr) {
+  ir::TraversalFunc f;
+  f.blocks.resize(1);
+  ir::Stmt call;
+  call.kind = ir::Stmt::Kind::kCall;
+  ir::Stmt upd;
+  upd.kind = ir::Stmt::Kind::kUpdate;
+  f.blocks[0].stmts = {call, upd};
+  f.blocks[0].term = ir::Block::Term::kReturn;
+  EXPECT_THROW(ir::autoropes_rewrite(f), std::invalid_argument);
+}
+
+TEST(Rewriter, RejectsCallBlockWithoutReturn) {
+  ir::TraversalFunc f;
+  f.blocks.resize(2);
+  ir::Stmt call;
+  call.kind = ir::Stmt::Kind::kCall;
+  f.blocks[0].stmts = {call};
+  f.blocks[0].term = ir::Block::Term::kJump;
+  f.blocks[0].succ_true = 1;
+  f.blocks[1].term = ir::Block::Term::kReturn;
+  EXPECT_THROW(ir::autoropes_rewrite(f), std::invalid_argument);
+}
+
+TEST(Rewriter, ArgExpressionsSurviveRewrite) {
+  ir::TraversalFunc f;
+  f.blocks.resize(1);
+  ir::Stmt c0, c1;
+  c0.kind = ir::Stmt::Kind::kCall;
+  c0.id = 0;
+  c0.arg_expr = 5;
+  c1.kind = ir::Stmt::Kind::kCall;
+  c1.id = 1;
+  c1.arg_expr = 6;
+  f.blocks[0].stmts = {c0, c1};
+  f.blocks[0].term = ir::Block::Term::kReturn;
+  ir::TraversalFunc out = ir::autoropes_rewrite(f);
+  EXPECT_EQ(out.blocks[0].stmts[0].arg_expr, 6);  // reversed with the call
+  EXPECT_EQ(out.blocks[0].stmts[1].arg_expr, 5);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,58 @@
+#include "simt/address_space.h"
+
+#include <gtest/gtest.h>
+
+namespace tt {
+namespace {
+
+TEST(AddressSpace, BuffersDoNotOverlap) {
+  GpuAddressSpace s;
+  BufferId a = s.register_buffer("a", 4, 100);
+  BufferId b = s.register_buffer("b", 8, 50);
+  std::uint64_t a_end = s.addr(a, 99) + 4;
+  EXPECT_GE(s.addr(b, 0), a_end);
+}
+
+TEST(AddressSpace, AlignedTo256) {
+  GpuAddressSpace s;
+  s.register_buffer("a", 4, 3);  // 12 bytes
+  BufferId b = s.register_buffer("b", 4, 1);
+  EXPECT_EQ(s.addr(b, 0) % 256, 0u);
+}
+
+TEST(AddressSpace, ElementStride) {
+  GpuAddressSpace s;
+  BufferId a = s.register_buffer("a", 20, 10);
+  EXPECT_EQ(s.addr(a, 3) - s.addr(a, 0), 60u);
+  EXPECT_EQ(s.elem_bytes(a), 20u);
+}
+
+TEST(AddressSpace, RejectsZeroElementSize) {
+  GpuAddressSpace s;
+  EXPECT_THROW(s.register_buffer("z", 0, 4), std::invalid_argument);
+}
+
+TEST(AddressSpace, EnsureBufferIsIdempotent) {
+  GpuAddressSpace s;
+  BufferId a = s.ensure_buffer("stack", 8, 100);
+  BufferId b = s.ensure_buffer("stack", 8, 100);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(s.num_buffers(), 1u);
+  // Smaller requests reuse; a larger one must reallocate.
+  EXPECT_EQ(s.ensure_buffer("stack", 8, 50), a);
+  BufferId c = s.ensure_buffer("stack", 8, 200);
+  EXPECT_NE(c, a);
+  // Different element size is a different buffer.
+  EXPECT_NE(s.ensure_buffer("stack", 4, 100), a);
+}
+
+TEST(AddressSpace, NamesAndFootprint) {
+  GpuAddressSpace s;
+  BufferId a = s.register_buffer("nodes0", 16, 4);
+  EXPECT_EQ(s.name(a), "nodes0");
+  EXPECT_EQ(s.num_buffers(), 1u);
+  EXPECT_GE(s.footprint_bytes(), 64u);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,78 @@
+#include "simt/coalescing.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tt {
+namespace {
+
+std::size_t count(std::vector<LaneAccess> accesses) {
+  std::vector<std::uint64_t> segs;
+  return segments_touched(accesses, 128, segs);
+}
+
+TEST(Coalescing, EmptyWarpNoTransactions) {
+  EXPECT_EQ(count({}), 0u);
+}
+
+TEST(Coalescing, FullyCoalescedWarp) {
+  // 32 lanes x 4B contiguous = one 128-byte segment.
+  std::vector<LaneAccess> a;
+  for (int l = 0; l < 32; ++l)
+    a.push_back({static_cast<std::uint64_t>(l) * 4, 4});
+  EXPECT_EQ(count(a), 1u);
+}
+
+TEST(Coalescing, BroadcastIsOneTransaction) {
+  std::vector<LaneAccess> a(32, LaneAccess{4096, 4});
+  EXPECT_EQ(count(a), 1u);
+}
+
+TEST(Coalescing, FullyScatteredWarp) {
+  // Each lane in its own segment: 32 transactions.
+  std::vector<LaneAccess> a;
+  for (int l = 0; l < 32; ++l)
+    a.push_back({static_cast<std::uint64_t>(l) * 4096, 4});
+  EXPECT_EQ(count(a), 32u);
+}
+
+TEST(Coalescing, StraddlingAccessTouchesTwoSegments) {
+  EXPECT_EQ(count({{120, 16}}), 2u);  // bytes 120..135 cross the 128 line
+}
+
+TEST(Coalescing, LargeElementSpansMultipleSegments) {
+  EXPECT_EQ(count({{0, 256}}), 2u);
+  EXPECT_EQ(count({{0, 257}}), 3u);
+}
+
+TEST(Coalescing, MisalignedContiguousCosts2) {
+  // 32 x 4B starting at byte 64: covers [64, 192) = 2 segments.
+  std::vector<LaneAccess> a;
+  for (int l = 0; l < 32; ++l)
+    a.push_back({64 + static_cast<std::uint64_t>(l) * 4, 4});
+  EXPECT_EQ(count(a), 2u);
+}
+
+TEST(Coalescing, ZeroByteAccessIgnored) {
+  EXPECT_EQ(count({{0, 0}}), 0u);
+}
+
+TEST(Coalescing, StridedEveryOtherSegment) {
+  // 16-byte stride over 20-byte elements: overlapping pattern still counted
+  // via distinct segments.
+  std::vector<LaneAccess> a;
+  for (int l = 0; l < 8; ++l)
+    a.push_back({static_cast<std::uint64_t>(l) * 256, 20});
+  EXPECT_EQ(count(a), 8u);
+}
+
+TEST(Coalescing, OutputVectorHoldsSegmentIds) {
+  std::vector<std::uint64_t> segs;
+  std::vector<LaneAccess> a{{0, 4}, {128, 4}, {300, 4}};
+  EXPECT_EQ(segments_touched(a, 128, segs), 3u);
+  EXPECT_EQ(segs, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,109 @@
+#include "simt/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tt {
+namespace {
+
+TEST(CostModel, ComputeBound) {
+  DeviceConfig cfg;
+  KernelStats s;
+  s.instr_cycles = 14.0 * 1.15e6;  // 1 ms worth of cycles across 14 SMs
+  s.dram_bytes = 0;
+  TimeBreakdown t = estimate_time(s, cfg);
+  EXPECT_NEAR(t.compute_ms, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t.memory_ms, 0.0);
+  EXPECT_FALSE(t.memory_bound);
+  EXPECT_DOUBLE_EQ(t.total_ms, t.compute_ms);
+}
+
+TEST(CostModel, MemoryBound) {
+  DeviceConfig cfg;
+  KernelStats s;
+  s.instr_cycles = 0;
+  s.dram_bytes = static_cast<std::uint64_t>(144e6);  // 1 ms at 144 GB/s
+  TimeBreakdown t = estimate_time(s, cfg);
+  EXPECT_NEAR(t.memory_ms, 1.0, 1e-9);
+  EXPECT_TRUE(t.memory_bound);
+  EXPECT_DOUBLE_EQ(t.total_ms, t.memory_ms);
+}
+
+TEST(CostModel, TotalIsMax) {
+  DeviceConfig cfg;
+  KernelStats s;
+  s.instr_cycles = 14.0 * 1.15e6 * 3;          // 3 ms compute
+  s.dram_bytes = static_cast<std::uint64_t>(144e6);  // 1 ms memory
+  TimeBreakdown t = estimate_time(s, cfg);
+  EXPECT_NEAR(t.total_ms, 3.0, 1e-9);
+  EXPECT_FALSE(t.memory_bound);
+}
+
+TEST(CostModel, MoreTransactionsMoreTime) {
+  DeviceConfig cfg;
+  KernelStats a, b;
+  a.dram_bytes = 128 * 1000;
+  b.dram_bytes = 128 * 32000;  // uncoalesced: 32x the traffic
+  EXPECT_GT(estimate_time(b, cfg).total_ms, estimate_time(a, cfg).total_ms);
+}
+
+TEST(CostModel, SmallGridCannotUseAllSms) {
+  DeviceConfig cfg;
+  KernelStats s;
+  s.instr_cycles = 1e6;
+  double full = estimate_time(s, cfg).compute_ms;
+  double one_warp = estimate_time(s, cfg, 1).compute_ms;
+  EXPECT_NEAR(one_warp, full * cfg.num_sms, 1e-12);
+  // At or above num_sms warps the full chip is assumed usable.
+  EXPECT_DOUBLE_EQ(
+      estimate_time(s, cfg, static_cast<std::size_t>(cfg.num_sms)).compute_ms,
+      full);
+}
+
+TEST(CostModel, BalancedWarpsHaveNoImbalancePenalty) {
+  DeviceConfig cfg;
+  KernelStats s;
+  std::vector<double> warps(static_cast<std::size_t>(cfg.num_sms) * 4, 1000.0);
+  for (double c : warps) s.instr_cycles += c;
+  TimeBreakdown t = estimate_time_balanced(warps, s, cfg);
+  EXPECT_NEAR(t.imbalance, 1.0, 1e-12);
+  EXPECT_NEAR(t.compute_ms, estimate_time(s, cfg).compute_ms, 1e-12);
+}
+
+TEST(CostModel, OneHotWarpSerializes) {
+  DeviceConfig cfg;
+  KernelStats s;
+  std::vector<double> warps(static_cast<std::size_t>(cfg.num_sms), 0.0);
+  warps[0] = 14000.0;  // all the work in one warp
+  s.instr_cycles = 14000.0;
+  TimeBreakdown t = estimate_time_balanced(warps, s, cfg);
+  // Makespan = the single warp's cycles, not total / num_sms.
+  EXPECT_NEAR(t.compute_ms, 14000.0 / (cfg.clock_ghz * 1e6), 1e-12);
+  EXPECT_GT(t.imbalance, 10.0);
+}
+
+TEST(CostModel, ImbalanceNeverSpeedsUp) {
+  DeviceConfig cfg;
+  KernelStats s;
+  std::vector<double> warps{100, 900, 50, 950, 500, 500, 100, 900,
+                            100, 900, 50, 950, 500, 500, 100, 900};
+  for (double c : warps) s.instr_cycles += c;
+  EXPECT_GE(estimate_time_balanced(warps, s, cfg).compute_ms,
+            estimate_time(s, cfg, warps.size()).compute_ms - 1e-12);
+}
+
+TEST(KernelStats, MergeAddsCounters) {
+  KernelStats a, b;
+  a.dram_transactions = 5;
+  a.instr_cycles = 10;
+  a.peak_stack_entries = 3;
+  b.dram_transactions = 7;
+  b.instr_cycles = 4;
+  b.peak_stack_entries = 9;
+  a.merge(b);
+  EXPECT_EQ(a.dram_transactions, 12u);
+  EXPECT_DOUBLE_EQ(a.instr_cycles, 14.0);
+  EXPECT_EQ(a.peak_stack_entries, 9u);  // max, not sum
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,87 @@
+#include "simt/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "simt/warp_memory.h"
+
+namespace tt {
+namespace {
+
+TEST(RunWarps, ReturnsPerWarpStatsInOrder) {
+  DeviceConfig cfg;
+  auto per_warp = run_warps(8, cfg, [](std::size_t w, KernelStats& s,
+                                       L2Cache*) {
+    s.lane_visits = w + 1;
+    s.instr_cycles = 100.0 * (w + 1);
+  });
+  ASSERT_EQ(per_warp.size(), 8u);
+  for (std::size_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(per_warp[w].lane_visits, w + 1);
+    EXPECT_DOUBLE_EQ(per_warp[w].instr_cycles, 100.0 * (w + 1));
+  }
+}
+
+TEST(RunWarps, MergeStatsSums) {
+  DeviceConfig cfg;
+  auto per_warp = run_warps(
+      5, cfg, [](std::size_t, KernelStats& s, L2Cache*) { s.lane_visits = 2; });
+  KernelStats total = merge_stats(per_warp);
+  EXPECT_EQ(total.lane_visits, 10u);
+}
+
+TEST(RunWarps, InstrCyclesExtraction) {
+  DeviceConfig cfg;
+  auto per_warp = run_warps(3, cfg, [](std::size_t w, KernelStats& s,
+                                       L2Cache*) { s.instr_cycles = 7.0 * w; });
+  auto cycles = instr_cycles_of(per_warp);
+  EXPECT_EQ(cycles, (std::vector<double>{0.0, 7.0, 14.0}));
+}
+
+TEST(RunWarps, ZeroWarpsIsEmpty) {
+  DeviceConfig cfg;
+  auto per_warp =
+      run_warps(0, cfg, [](std::size_t, KernelStats&, L2Cache*) { FAIL(); });
+  EXPECT_TRUE(per_warp.empty());
+}
+
+TEST(RunWarps, L2SlicesArePrivatePerWarp) {
+  // Two warps touching the same address must BOTH miss: slices are not
+  // shared (this is what makes the simulation order-independent).
+  DeviceConfig cfg;
+  cfg.model_l2 = true;
+  GpuAddressSpace space;
+  BufferId buf = space.register_buffer("b", 4, 1024);
+  auto per_warp =
+      run_warps(2, cfg, [&](std::size_t, KernelStats& s, L2Cache* l2) {
+        WarpMemory mem(space, cfg, l2, s);
+        for (int rep = 0; rep < 2; ++rep) {
+          for (int l = 0; l < 32; ++l) mem.lane_load(l, buf, l);
+          mem.commit();
+        }
+      });
+  for (const KernelStats& s : per_warp) {
+    EXPECT_EQ(s.dram_transactions, 1u);    // own cold miss
+    EXPECT_EQ(s.l2_hit_transactions, 1u);  // own warm hit
+  }
+}
+
+TEST(RunWarps, L2SliceResetsBetweenWarps) {
+  // A host thread simulates many warps with one reused slice; warp N must
+  // not inherit warp N-1's contents.
+  DeviceConfig cfg;
+  cfg.model_l2 = true;
+  GpuAddressSpace space;
+  BufferId buf = space.register_buffer("b", 4, 64);
+  auto per_warp =
+      run_warps(16, cfg, [&](std::size_t, KernelStats& s, L2Cache* l2) {
+        WarpMemory mem(space, cfg, l2, s);
+        mem.lane_load(0, buf, 0);
+        mem.commit();
+      });
+  KernelStats total = merge_stats(per_warp);
+  EXPECT_EQ(total.dram_transactions, 16u);  // every warp cold-misses
+  EXPECT_EQ(total.l2_hit_transactions, 0u);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,69 @@
+#include "simt/l2cache.h"
+
+#include <gtest/gtest.h>
+
+namespace tt {
+namespace {
+
+TEST(L2Cache, MissThenHit) {
+  L2Cache c(16 * 1024, 128, 4);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // same line
+  EXPECT_FALSE(c.access(128));
+}
+
+TEST(L2Cache, GeometryRoundsToPowerOfTwoSets) {
+  L2Cache c(100 * 128 * 4, 128, 4);  // 100 sets -> rounds down to 64
+  EXPECT_EQ(c.num_sets(), 64u);
+}
+
+TEST(L2Cache, TinyCapacityStillWorks) {
+  L2Cache c(64, 128, 4);  // less than one line
+  EXPECT_EQ(c.num_sets(), 1u);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+}
+
+TEST(L2Cache, RejectsBadGeometry) {
+  EXPECT_THROW(L2Cache(1024, 0, 4), std::invalid_argument);
+  EXPECT_THROW(L2Cache(1024, 128, 0), std::invalid_argument);
+}
+
+TEST(L2Cache, LruEvictsOldest) {
+  // 1 set x 2 ways of 128B lines.
+  L2Cache c(256, 128, 2);
+  ASSERT_EQ(c.num_sets(), 1u);
+  EXPECT_FALSE(c.access(0));    // A
+  EXPECT_FALSE(c.access(128));  // B
+  EXPECT_TRUE(c.access(0));     // A hit, B is now LRU
+  EXPECT_FALSE(c.access(256));  // C evicts B
+  EXPECT_TRUE(c.access(0));     // A still resident
+  EXPECT_FALSE(c.access(128));  // B was evicted
+}
+
+TEST(L2Cache, WorkingSetLargerThanCapacityThrashes) {
+  L2Cache c(4 * 1024, 128, 4);  // 32 lines
+  // Stream 64 distinct lines twice: second pass still misses (LRU).
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t line = 0; line < 64; ++line)
+      EXPECT_FALSE(c.access(line * 128)) << "pass " << pass;
+}
+
+TEST(L2Cache, WorkingSetWithinCapacityAllHits) {
+  L2Cache c(16 * 1024, 128, 16);  // 128 lines fully associative-ish
+  for (std::uint64_t line = 0; line < 64; ++line) c.access(line * 128);
+  for (std::uint64_t line = 0; line < 64; ++line)
+    EXPECT_TRUE(c.access(line * 128));
+}
+
+TEST(L2Cache, ClearForgets) {
+  L2Cache c(16 * 1024, 128, 4);
+  c.access(0);
+  EXPECT_TRUE(c.access(0));
+  c.clear();
+  EXPECT_FALSE(c.access(0));
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,44 @@
+#include "simt/transfer_model.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_algos/pc/point_correlation.h"
+#include "data/generators.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+namespace {
+
+TEST(TransferModel, Arithmetic) {
+  TransferModel m;
+  m.pcie_gbps = 6.0;
+  m.launch_overhead_ms = 0.0;
+  // 6 MB at 6 GB/s = 1 ms.
+  EXPECT_NEAR(m.upload_ms(6'000'000), 1.0, 1e-9);
+  EXPECT_NEAR(m.download_ms(3'000'000), 0.5, 1e-9);
+  EXPECT_NEAR(m.round_trip_ms(6'000'000, 3'000'000), 1.5, 1e-9);
+}
+
+TEST(TransferModel, LaunchOverheadOnUploadOnly) {
+  TransferModel m;
+  m.launch_overhead_ms = 0.25;
+  EXPECT_GE(m.upload_ms(0), 0.25);
+  EXPECT_DOUBLE_EQ(m.download_ms(0), 0.0);
+}
+
+TEST(TransferModel, KernelFootprintDrivesUpload) {
+  // The address space already tracks every registered device buffer, so
+  // its footprint is the upload size for a kernel's working set.
+  PointSet pts = gen_uniform(1000, 7, 1);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  PointCorrelationKernel k(tree, pts, 0.1f, space);
+  TransferModel m;
+  double up = m.upload_ms(space.footprint_bytes());
+  EXPECT_GT(up, 0.0);
+  // Footprint must cover at least the query coordinates.
+  EXPECT_GE(space.footprint_bytes(), 7u * 1000u * 4u);
+}
+
+}  // namespace
+}  // namespace tt

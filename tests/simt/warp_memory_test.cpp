@@ -1,0 +1,104 @@
+#include "simt/warp_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace tt {
+namespace {
+
+struct Fixture {
+  GpuAddressSpace space;
+  DeviceConfig cfg;
+  KernelStats stats;
+  BufferId buf4, buf20;
+
+  Fixture() {
+    cfg.model_l2 = false;
+    buf4 = space.register_buffer("b4", 4, 10000);
+    buf20 = space.register_buffer("b20", 20, 10000);
+  }
+};
+
+TEST(WarpMemory, CoalescedWarpLoadIsOneTransaction) {
+  Fixture f;
+  WarpMemory mem(f.space, f.cfg, nullptr, f.stats);
+  for (int l = 0; l < 32; ++l) mem.lane_load(l, f.buf4, l);
+  mem.commit();
+  EXPECT_EQ(f.stats.dram_transactions, 1u);
+  EXPECT_EQ(f.stats.load_instructions, 1u);
+  EXPECT_EQ(f.stats.dram_bytes, 128u);
+}
+
+TEST(WarpMemory, BroadcastIsOneTransaction) {
+  Fixture f;
+  WarpMemory mem(f.space, f.cfg, nullptr, f.stats);
+  for (int l = 0; l < 32; ++l) mem.lane_load(l, f.buf4, 77);
+  mem.commit();
+  EXPECT_EQ(f.stats.dram_transactions, 1u);
+}
+
+TEST(WarpMemory, ScatteredWarpLoadSerializes) {
+  Fixture f;
+  WarpMemory mem(f.space, f.cfg, nullptr, f.stats);
+  for (int l = 0; l < 32; ++l) mem.lane_load(l, f.buf4, l * 64);
+  mem.commit();
+  EXPECT_EQ(f.stats.dram_transactions, 32u);
+}
+
+TEST(WarpMemory, TwoBuffersAreSeparateInstructions) {
+  Fixture f;
+  WarpMemory mem(f.space, f.cfg, nullptr, f.stats);
+  for (int l = 0; l < 32; ++l) {
+    mem.lane_load(l, f.buf4, l);
+    mem.lane_load(l, f.buf20, l);
+  }
+  mem.commit();
+  EXPECT_EQ(f.stats.load_instructions, 2u);
+  // 32 x 20B contiguous = 640 bytes = 5 segments; plus 1 for the 4B buffer.
+  EXPECT_EQ(f.stats.dram_transactions, 6u);
+}
+
+TEST(WarpMemory, UnevenTripCountsReplayTheLoad) {
+  Fixture f;
+  WarpMemory mem(f.space, f.cfg, nullptr, f.stats);
+  // Lane 0 reads three elements, others one: 3 load instructions.
+  mem.lane_load(0, f.buf4, 0);
+  mem.lane_load(0, f.buf4, 1);
+  mem.lane_load(0, f.buf4, 2);
+  for (int l = 1; l < 32; ++l) mem.lane_load(l, f.buf4, l);
+  mem.commit();
+  EXPECT_EQ(f.stats.load_instructions, 3u);
+}
+
+TEST(WarpMemory, L2FiltersRepeatedSegments) {
+  Fixture f;
+  f.cfg.model_l2 = true;
+  L2Cache l2(64 * 1024, 128, 8);
+  WarpMemory mem(f.space, f.cfg, &l2, f.stats);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int l = 0; l < 32; ++l) mem.lane_load(l, f.buf4, l);
+    mem.commit();
+  }
+  EXPECT_EQ(f.stats.dram_transactions, 1u);      // first touch only
+  EXPECT_EQ(f.stats.l2_hit_transactions, 2u);    // the two repeats
+}
+
+TEST(WarpMemory, RawAddressesWork) {
+  Fixture f;
+  WarpMemory mem(f.space, f.cfg, nullptr, f.stats);
+  for (int l = 0; l < 32; ++l)
+    mem.lane_load_raw(l, 1u << 20, 8);  // all lanes same 8 bytes
+  mem.commit();
+  EXPECT_EQ(f.stats.dram_transactions, 1u);
+}
+
+TEST(WarpMemory, CommitClearsPending) {
+  Fixture f;
+  WarpMemory mem(f.space, f.cfg, nullptr, f.stats);
+  mem.lane_load(0, f.buf4, 0);
+  mem.commit();
+  mem.commit();  // nothing new
+  EXPECT_EQ(f.stats.dram_transactions, 1u);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,117 @@
+#include "spatial/bvh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_algos/ray/ray_bvh.h"
+
+namespace tt {
+namespace {
+
+TEST(Vec3, Algebra) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.f);
+  Vec3 c = cross(Vec3{1, 0, 0}, Vec3{0, 1, 0});
+  EXPECT_FLOAT_EQ(c.z, 1.f);
+  EXPECT_FLOAT_EQ((a + b).x, 5.f);
+  EXPECT_FLOAT_EQ((b - a).y, 3.f);
+  EXPECT_FLOAT_EQ((a * 2.f)[2], 6.f);
+}
+
+TEST(RayTriangle, DirectHit) {
+  Triangle t{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}};
+  float hit = ray_triangle({0.5f, 0.5f, 0}, {0, 0, 1}, t, 100.f);
+  EXPECT_FLOAT_EQ(hit, 5.f);
+}
+
+TEST(RayTriangle, MissOutsideBarycentric) {
+  Triangle t{{0, 0, 5}, {1, 0, 5}, {0, 1, 5}};
+  EXPECT_TRUE(std::isinf(ray_triangle({2.f, 2.f, 0}, {0, 0, 1}, t, 100.f)));
+}
+
+TEST(RayTriangle, BehindOriginMisses) {
+  Triangle t{{0, 0, -5}, {1, 0, -5}, {0, 1, -5}};
+  EXPECT_TRUE(std::isinf(ray_triangle({0.2f, 0.2f, 0}, {0, 0, 1}, t, 100.f)));
+}
+
+TEST(RayTriangle, ParallelMisses) {
+  Triangle t{{0, 0, 5}, {1, 0, 5}, {0, 1, 5}};
+  EXPECT_TRUE(std::isinf(ray_triangle({0, 0, 0}, {1, 0, 0}, t, 100.f)));
+}
+
+TEST(RayTriangle, RespectsTMax) {
+  Triangle t{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}};
+  EXPECT_TRUE(std::isinf(ray_triangle({0.5f, 0.5f, 0}, {0, 0, 1}, t, 4.f)));
+}
+
+TEST(Bvh, RejectsBadInput) {
+  TriangleMesh empty;
+  EXPECT_THROW(build_bvh(empty, 4), std::invalid_argument);
+  TriangleMesh one = gen_triangle_scene(1, 1);
+  EXPECT_THROW(build_bvh(one, 0), std::invalid_argument);
+}
+
+TEST(Bvh, LeavesPartitionTriangles) {
+  TriangleMesh mesh = gen_triangle_scene(500, 2);
+  Bvh bvh = build_bvh(mesh, 4);
+  std::vector<int> seen(500, 0);
+  for (NodeId n = 0; n < bvh.topo.n_nodes; ++n) {
+    if (!bvh.topo.is_leaf(n)) continue;
+    EXPECT_LE(bvh.leaf_end[n] - bvh.leaf_begin[n], 4);
+    for (std::int32_t i = bvh.leaf_begin[n]; i < bvh.leaf_end[n]; ++i)
+      ++seen[bvh.tri_perm[static_cast<std::size_t>(i)]];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Bvh, BoxesContainTriangles) {
+  TriangleMesh mesh = gen_triangle_scene(300, 3);
+  Bvh bvh = build_bvh(mesh, 4);
+  for (NodeId n = 0; n < bvh.topo.n_nodes; ++n) {
+    for (std::int32_t i = bvh.leaf_begin[n]; i < bvh.leaf_end[n]; ++i) {
+      const Triangle& t = mesh.tris[bvh.tri_perm[static_cast<std::size_t>(i)]];
+      for (const Vec3& v : {t.v0, t.v1, t.v2}) {
+        EXPECT_GE(v.x, bvh.box_min_x[n] - 1e-5f);
+        EXPECT_LE(v.x, bvh.box_max_x[n] + 1e-5f);
+        EXPECT_GE(v.y, bvh.box_min_y[n] - 1e-5f);
+        EXPECT_LE(v.y, bvh.box_max_y[n] + 1e-5f);
+        EXPECT_GE(v.z, bvh.box_min_z[n] - 1e-5f);
+        EXPECT_LE(v.z, bvh.box_max_z[n] + 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(Bvh, BoxEntrySemantics) {
+  TriangleMesh mesh;
+  mesh.tris.push_back({{1, 1, 1}, {2, 1, 2}, {1, 2, 1.5f}});
+  Bvh bvh = build_bvh(mesh, 4);  // box [1,2] x [1,2] x [1,2]
+  // Ray along +x starting inside the box's y/z range: enters at x == 1.
+  float t = bvh.box_entry(0, {0, 1.5f, 1.5f}, {1, 1e12f, 1e12f}, 100.f);
+  EXPECT_GT(t, 0.9f);
+  EXPECT_LT(t, 1.1f);
+  // Pointing away: missed.
+  EXPECT_TRUE(std::isinf(
+      bvh.box_entry(0, {0, 1.5f, 1.5f}, {-1, 1e12f, 1e12f}, 100.f)));
+  // Beyond t_max: missed.
+  EXPECT_TRUE(std::isinf(
+      bvh.box_entry(0, {0, 1.5f, 1.5f}, {1, 1e12f, 1e12f}, 0.5f)));
+}
+
+TEST(Bvh, CameraRaysCoherent) {
+  auto rays = gen_camera_rays(8, 8, {0.5f, 0.5f, -2}, {0.5f, 0.5f, 0.5f});
+  ASSERT_EQ(rays.size(), 64u);
+  // Adjacent rays nearly parallel.
+  float d = dot(rays[0].dir, rays[1].dir) /
+            std::sqrt(dot(rays[0].dir, rays[0].dir) *
+                      dot(rays[1].dir, rays[1].dir));
+  EXPECT_GT(d, 0.95f);
+}
+
+TEST(Bvh, CameraRaysRejectBadSize) {
+  EXPECT_THROW(gen_camera_rays(0, 8, {}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,157 @@
+#include "spatial/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "data/generators.h"
+
+namespace tt {
+namespace {
+
+TEST(KdTree, EmptyInputThrows) {
+  PointSet empty(3, 0);
+  EXPECT_THROW(build_kdtree(empty, 4), std::invalid_argument);
+  EXPECT_THROW(build_kdtree_nn(empty), std::invalid_argument);
+}
+
+TEST(KdTree, BadLeafSizeThrows) {
+  PointSet p = gen_uniform(10, 3, 1);
+  EXPECT_THROW(build_kdtree(p, 0), std::invalid_argument);
+}
+
+TEST(KdTree, SinglePoint) {
+  PointSet p(2, 1);
+  p.set(0, 0, 1.f);
+  KdTree t = build_kdtree(p, 4);
+  EXPECT_EQ(t.topo.n_nodes, 1);
+  EXPECT_TRUE(t.topo.is_leaf(0));
+  EXPECT_EQ(t.leaf_begin[0], 0);
+  EXPECT_EQ(t.leaf_end[0], 1);
+}
+
+TEST(KdTree, LeavesPartitionThePoints) {
+  PointSet p = gen_uniform(500, 5, 2);
+  KdTree t = build_kdtree(p, 8);
+  std::vector<int> seen(500, 0);
+  std::size_t total = 0;
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n) {
+    if (!t.topo.is_leaf(n)) continue;
+    EXPECT_LE(t.leaf_end[n] - t.leaf_begin[n], 8);
+    for (std::int32_t i = t.leaf_begin[n]; i < t.leaf_end[n]; ++i) {
+      ++seen[t.data_perm[static_cast<std::size_t>(i)]];
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 500u);
+  for (int s : seen) EXPECT_EQ(s, 1);  // every point in exactly one leaf
+}
+
+TEST(KdTree, BoxesContainTheirPoints) {
+  PointSet p = gen_uniform(300, 4, 3);
+  KdTree t = build_kdtree(p, 4);
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n) {
+    for (std::int32_t i = t.leaf_begin[n]; i < t.leaf_end[n]; ++i) {
+      std::uint32_t pt = t.data_perm[static_cast<std::size_t>(i)];
+      for (int d = 0; d < t.dim; ++d) {
+        EXPECT_LE(t.bbox_min[static_cast<std::size_t>(n) * t.dim + d],
+                  p.at(pt, d));
+        EXPECT_GE(t.bbox_max[static_cast<std::size_t>(n) * t.dim + d],
+                  p.at(pt, d));
+      }
+    }
+  }
+}
+
+TEST(KdTree, ChildBoxesInsideParent) {
+  PointSet p = gen_uniform(300, 3, 4);
+  KdTree t = build_kdtree(p, 4);
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n) {
+    for (int k = 0; k < 2; ++k) {
+      NodeId c = t.topo.child(n, k);
+      if (c == kNullNode) continue;
+      for (int d = 0; d < t.dim; ++d) {
+        EXPECT_GE(t.bbox_min[static_cast<std::size_t>(c) * t.dim + d],
+                  t.bbox_min[static_cast<std::size_t>(n) * t.dim + d]);
+        EXPECT_LE(t.bbox_max[static_cast<std::size_t>(c) * t.dim + d],
+                  t.bbox_max[static_cast<std::size_t>(n) * t.dim + d]);
+      }
+    }
+  }
+}
+
+TEST(KdTree, BoxSqDistZeroInside) {
+  PointSet p = gen_uniform(100, 3, 5);
+  KdTree t = build_kdtree(p, 8);
+  float q[3] = {p.at(0, 0), p.at(0, 1), p.at(0, 2)};
+  EXPECT_DOUBLE_EQ(t.box_sq_dist(0, q), 0.0);
+}
+
+TEST(KdTree, BoxSqDistOutside) {
+  PointSet p(2, 2);
+  p.set(0, 0, 0.f);
+  p.set(0, 1, 0.f);
+  p.set(1, 0, 1.f);
+  p.set(1, 1, 1.f);
+  KdTree t = build_kdtree(p, 2);
+  float q[2] = {4.f, 5.f};  // dx=3, dy=4 from the box corner (1,1)
+  EXPECT_DOUBLE_EQ(t.box_sq_dist(0, q), 25.0);
+}
+
+TEST(KdTree, IdenticalPointsTerminate) {
+  PointSet p(3, 100);  // all zeros
+  KdTree t = build_kdtree(p, 4);
+  EXPECT_EQ(t.topo.n_nodes, 1);  // unsplittable slab becomes one big leaf
+  EXPECT_EQ(t.leaf_end[0] - t.leaf_begin[0], 100);
+}
+
+TEST(KdTreeNN, EveryPointStoredExactlyOnce) {
+  PointSet p = gen_uniform(257, 4, 6);
+  KdTreeNN t = build_kdtree_nn(p);
+  EXPECT_EQ(t.topo.n_nodes, 257);
+  std::vector<int> seen(257, 0);
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n) ++seen[t.point_id[n]];
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(KdTreeNN, SplitInvariantHolds) {
+  PointSet p = gen_uniform(200, 3, 7);
+  KdTreeNN t = build_kdtree_nn(p);
+  // DFS subtree extents: subtree of n spans ids [n, n + size(n)).
+  std::vector<NodeId> subtree_end(static_cast<std::size_t>(t.topo.n_nodes));
+  for (NodeId n = static_cast<NodeId>(t.topo.n_nodes) - 1; n >= 0; --n) {
+    NodeId end = n + 1;
+    for (int k = 0; k < 2; ++k) {
+      NodeId c = t.topo.child(n, k);
+      if (c != kNullNode) end = std::max(end, subtree_end[c]);
+    }
+    subtree_end[n] = end;
+  }
+  // Every node in the below (above) subtree has coord <= (>=) the node's
+  // coord on its split dimension.
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n) {
+    int sd = t.split_dim[n];
+    float sv = t.coords[static_cast<std::size_t>(n) * t.dim + sd];
+    NodeId below = t.topo.child(n, KdTreeNN::kBelow);
+    NodeId above = t.topo.child(n, KdTreeNN::kAbove);
+    if (below != kNullNode)
+      for (NodeId m = below; m < subtree_end[below]; ++m)
+        ASSERT_LE(t.coords[static_cast<std::size_t>(m) * t.dim + sd], sv);
+    if (above != kNullNode)
+      for (NodeId m = above; m < subtree_end[above]; ++m)
+        ASSERT_GE(t.coords[static_cast<std::size_t>(m) * t.dim + sd], sv);
+  }
+}
+
+TEST(KdTreeNN, CoordsMatchPointIds) {
+  PointSet p = gen_uniform(64, 5, 8);
+  KdTreeNN t = build_kdtree_nn(p);
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n)
+    for (int d = 0; d < t.dim; ++d)
+      EXPECT_FLOAT_EQ(t.coords[static_cast<std::size_t>(n) * t.dim + d],
+                      p.at(static_cast<std::size_t>(t.point_id[n]), d));
+}
+
+}  // namespace
+}  // namespace tt

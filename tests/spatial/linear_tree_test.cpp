@@ -1,0 +1,94 @@
+#include "spatial/linear_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace tt {
+namespace {
+
+LinearTree chain3() {
+  LinearTree t;
+  t.fanout = 2;
+  NodeId a = t.add_node(kNullNode, 0);
+  NodeId b = t.add_node(a, 1);
+  t.set_child(a, 0, b);
+  NodeId c = t.add_node(b, 2);
+  t.set_child(b, 0, c);
+  return t;
+}
+
+TEST(LinearTree, ValidChainPasses) {
+  LinearTree t = chain3();
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.max_depth(), 2);
+  EXPECT_TRUE(t.is_leaf(2));
+  EXPECT_FALSE(t.is_leaf(0));
+}
+
+TEST(LinearTree, SetChildTracksCount) {
+  LinearTree t;
+  t.fanout = 2;
+  NodeId a = t.add_node(kNullNode, 0);
+  EXPECT_EQ(t.n_children[a], 0);
+  NodeId b = t.add_node(a, 1);
+  t.set_child(a, 0, b);
+  EXPECT_EQ(t.n_children[a], 1);
+  NodeId c = t.add_node(a, 1);
+  t.set_child(a, 1, c);
+  EXPECT_EQ(t.n_children[a], 2);
+}
+
+TEST(LinearTree, RightOnlyChildAllowed) {
+  LinearTree t;
+  t.fanout = 2;
+  NodeId a = t.add_node(kNullNode, 0);
+  NodeId b = t.add_node(a, 1);
+  t.set_child(a, 1, b);  // only the "above" slot
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.child(a, 0), kNullNode);
+  EXPECT_EQ(t.child(a, 1), b);
+}
+
+TEST(LinearTree, DetectsEmptyTree) {
+  LinearTree t;
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(LinearTree, DetectsParentMismatch) {
+  LinearTree t = chain3();
+  t.parent[2] = 0;  // corrupt
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(LinearTree, DetectsDepthMismatch) {
+  LinearTree t = chain3();
+  t.depth[2] = 7;
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(LinearTree, DetectsNotLeftBiased) {
+  LinearTree t;
+  t.fanout = 2;
+  NodeId a = t.add_node(kNullNode, 0);
+  NodeId b = t.add_node(a, 1);  // id 1
+  NodeId c = t.add_node(a, 1);  // id 2
+  // First child points at the *later* node: breaks DFS left-bias.
+  t.set_child(a, 0, c);
+  t.set_child(a, 1, b);
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(LinearTree, DetectsUnreachable) {
+  LinearTree t = chain3();
+  // Orphan node: reachable check should fire (node 3 has no parent link).
+  t.add_node(2, 3);  // parent says 2, but 2 never links it
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+TEST(LinearTree, DetectsCountCorruption) {
+  LinearTree t = chain3();
+  t.n_children[0] = 2;
+  EXPECT_THROW(t.validate(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,108 @@
+#include "spatial/octree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace tt {
+namespace {
+
+TEST(Octree, RejectsBadInput) {
+  PointSet p2(2, 4);
+  std::vector<float> m(4, 1.f);
+  EXPECT_THROW(build_octree(p2, m), std::invalid_argument);
+  PointSet p3(3, 0);
+  EXPECT_THROW(build_octree(p3, {}), std::invalid_argument);
+  PointSet p(3, 4);
+  std::vector<float> short_m(3, 1.f);
+  EXPECT_THROW(build_octree(p, short_m), std::invalid_argument);
+}
+
+TEST(Octree, SingleBody) {
+  PointSet p(3, 1);
+  p.set(0, 0, 1.f);
+  std::vector<float> m{2.f};
+  Octree t = build_octree(p, m);
+  EXPECT_EQ(t.topo.n_nodes, 1);
+  EXPECT_FLOAT_EQ(t.mass[0], 2.f);
+  EXPECT_FLOAT_EQ(t.com_x[0], 1.f);
+}
+
+TEST(Octree, MassConservation) {
+  BodySet b = gen_plummer(1000, 3);
+  Octree t = build_octree(b.pos, b.mass);
+  double total = 0;
+  for (std::size_t i = 0; i < 1000; ++i) total += b.mass[i];
+  EXPECT_NEAR(t.mass[0], total, 1e-3 * total);
+}
+
+TEST(Octree, RootComIsGlobalCom) {
+  BodySet b = gen_random_bodies(500, 4);
+  Octree t = build_octree(b.pos, b.mass);
+  double mx = 0, m = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    mx += static_cast<double>(b.mass[i]) * b.pos.at(i, 0);
+    m += b.mass[i];
+  }
+  EXPECT_NEAR(t.com_x[0], mx / m, 1e-4);
+}
+
+TEST(Octree, EveryBodyInExactlyOneLeaf) {
+  BodySet b = gen_plummer(700, 5);
+  Octree t = build_octree(b.pos, b.mass);
+  std::vector<int> seen(700, 0);
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n) {
+    if (!t.topo.is_leaf(n)) continue;
+    for (std::int32_t i = t.leaf_begin[n]; i < t.leaf_end[n]; ++i)
+      ++seen[t.body_perm[static_cast<std::size_t>(i)]];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Octree, ParentMassEqualsChildSum) {
+  BodySet b = gen_random_bodies(300, 6);
+  Octree t = build_octree(b.pos, b.mass);
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n) {
+    if (t.topo.is_leaf(n)) continue;
+    double sum = 0;
+    for (int o = 0; o < 8; ++o) {
+      NodeId c = t.topo.child(n, o);
+      if (c != kNullNode) sum += t.mass[c];
+    }
+    EXPECT_NEAR(t.mass[n], sum, 1e-5 * std::max(1.0, sum));
+  }
+}
+
+TEST(Octree, HalfWidthHalvesPerLevel) {
+  BodySet b = gen_random_bodies(300, 7);
+  Octree t = build_octree(b.pos, b.mass);
+  for (NodeId n = 1; n < t.topo.n_nodes; ++n) {
+    NodeId p = t.topo.parent[n];
+    EXPECT_FLOAT_EQ(t.half_width[n], t.half_width[p] * 0.5f);
+  }
+}
+
+TEST(Octree, CoincidentBodiesBucketAtMaxDepth) {
+  PointSet p(3, 50);  // all at origin
+  std::vector<float> m(50, 1.f);
+  Octree t = build_octree(p, m, /*max_depth=*/8);
+  // No infinite recursion; the deepest node holds all 50 bodies.
+  bool found_bucket = false;
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n)
+    if (t.topo.is_leaf(n) && t.leaf_end[n] - t.leaf_begin[n] == 50)
+      found_bucket = true;
+  EXPECT_TRUE(found_bucket);
+  EXPECT_LE(t.topo.max_depth(), 8);
+}
+
+TEST(Octree, ValidatesTopology) {
+  BodySet b = gen_plummer(200, 8);
+  Octree t = build_octree(b.pos, b.mass);
+  EXPECT_NO_THROW(t.topo.validate());
+  EXPECT_EQ(t.topo.fanout, 8);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,78 @@
+#include "spatial/point_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tt {
+namespace {
+
+TEST(PointSet, RejectsBadDim) {
+  EXPECT_THROW(PointSet(0, 4), std::invalid_argument);
+  EXPECT_THROW(PointSet(kMaxDim + 1, 4), std::invalid_argument);
+}
+
+TEST(PointSet, SetAndGet) {
+  PointSet p(3, 2);
+  p.set(0, 0, 1.f);
+  p.set(0, 1, 2.f);
+  p.set(1, 2, 5.f);
+  EXPECT_FLOAT_EQ(p.at(0, 0), 1.f);
+  EXPECT_FLOAT_EQ(p.at(0, 1), 2.f);
+  EXPECT_FLOAT_EQ(p.at(1, 2), 5.f);
+  EXPECT_FLOAT_EQ(p.at(1, 0), 0.f);
+}
+
+TEST(PointSet, PlaneIsContiguousPerDimension) {
+  PointSet p(2, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    p.set(i, 0, static_cast<float>(i));
+    p.set(i, 1, static_cast<float>(10 + i));
+  }
+  auto x = p.plane(0);
+  auto y = p.plane(1);
+  ASSERT_EQ(x.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(x[i], static_cast<float>(i));
+    EXPECT_FLOAT_EQ(y[i], static_cast<float>(10 + i));
+  }
+}
+
+TEST(PointSet, Gather) {
+  PointSet p(4, 2);
+  for (int d = 0; d < 4; ++d) p.set(1, d, static_cast<float>(d * d));
+  float out[4];
+  p.gather(1, out);
+  for (int d = 0; d < 4; ++d) EXPECT_FLOAT_EQ(out[d], static_cast<float>(d * d));
+}
+
+TEST(PointSet, PermuteReordersAllDims) {
+  PointSet p(2, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    p.set(i, 0, static_cast<float>(i));
+    p.set(i, 1, static_cast<float>(100 + i));
+  }
+  std::vector<std::uint32_t> perm{2, 0, 1};
+  p.permute(perm);
+  EXPECT_FLOAT_EQ(p.at(0, 0), 2.f);
+  EXPECT_FLOAT_EQ(p.at(1, 0), 0.f);
+  EXPECT_FLOAT_EQ(p.at(2, 0), 1.f);
+  EXPECT_FLOAT_EQ(p.at(0, 1), 102.f);
+}
+
+TEST(PointSet, PermuteSizeMismatchThrows) {
+  PointSet p(2, 3);
+  std::vector<std::uint32_t> bad{0, 1};
+  EXPECT_THROW(p.permute(bad), std::invalid_argument);
+}
+
+TEST(PointSet, SqDist) {
+  PointSet p(2, 1);
+  p.set(0, 0, 3.f);
+  p.set(0, 1, 4.f);
+  float q[2] = {0.f, 0.f};
+  EXPECT_DOUBLE_EQ(p.sq_dist(0, q), 25.0);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,81 @@
+#include "spatial/relayout.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_algos/pc/point_correlation.h"
+#include "core/cpu_executors.h"
+#include "core/static_ropes.h"
+#include "data/generators.h"
+
+namespace tt {
+namespace {
+
+TEST(Relayout, BfsOrderIsPermutationWithRootFirst) {
+  PointSet pts = gen_uniform(300, 4, 1);
+  KdTree tree = build_kdtree(pts, 8);
+  auto order = bfs_order(tree.topo);
+  EXPECT_EQ(order.front(), 0);
+  std::vector<NodeId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId i = 0; i < tree.topo.n_nodes; ++i)
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Relayout, BfsVisitsShallowBeforeDeep) {
+  PointSet pts = gen_uniform(300, 4, 2);
+  KdTree tree = build_kdtree(pts, 8);
+  auto order = bfs_order(tree.topo);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(tree.topo.depth[order[i]], tree.topo.depth[order[i - 1]]);
+}
+
+TEST(Relayout, TopologyConsistentAfterRelayout) {
+  PointSet pts = gen_uniform(257, 3, 3);
+  KdTree tree = build_kdtree(pts, 4);
+  LinearTree bfs = relayout(tree.topo, bfs_order(tree.topo));
+  ASSERT_EQ(bfs.n_nodes, tree.topo.n_nodes);
+  EXPECT_EQ(bfs.parent[0], kNullNode);
+  for (NodeId n = 0; n < bfs.n_nodes; ++n) {
+    for (int k = 0; k < bfs.fanout; ++k) {
+      NodeId c = bfs.child(n, k);
+      if (c == kNullNode) continue;
+      EXPECT_EQ(bfs.parent[c], n);
+      EXPECT_EQ(bfs.depth[c], bfs.depth[n] + 1);
+      EXPECT_GT(c, n);  // BFS numbers parents before children
+    }
+  }
+}
+
+TEST(Relayout, KdTreeResultsIdentical) {
+  PointSet pts = gen_covtype_like(800, 7, 4);
+  KdTree dfs = build_kdtree(pts, 8);
+  KdTree bfs = relayout_kdtree_bfs(dfs);
+  float r = pc_pick_radius(pts, 16, 4);
+  GpuAddressSpace s1, s2;
+  PointCorrelationKernel k1(dfs, pts, r, s1);
+  PointCorrelationKernel k2(bfs, pts, r, s2);
+  auto r1 = run_cpu(k1, CpuVariant::kRecursive, 1);
+  auto r2 = run_cpu(k2, CpuVariant::kRecursive, 1);
+  EXPECT_EQ(r1.results, r2.results);
+  EXPECT_EQ(r1.total_visits, r2.total_visits);
+}
+
+TEST(Relayout, StaticRopesRejectBfsLayout) {
+  PointSet pts = gen_uniform(200, 3, 5);
+  KdTree dfs = build_kdtree(pts, 8);
+  KdTree bfs = relayout_kdtree_bfs(dfs);
+  EXPECT_NO_THROW(install_ropes(dfs.topo));
+  EXPECT_THROW(install_ropes(bfs.topo), std::invalid_argument);
+}
+
+TEST(Relayout, RejectsBadPermutation) {
+  PointSet pts = gen_uniform(50, 3, 6);
+  KdTree tree = build_kdtree(pts, 8);
+  std::vector<NodeId> short_perm{0, 1};
+  EXPECT_THROW(relayout(tree.topo, short_perm), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tt

@@ -1,0 +1,105 @@
+#include "spatial/vptree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/generators.h"
+
+namespace tt {
+namespace {
+
+TEST(VpTree, RejectsEmpty) {
+  PointSet p(3, 0);
+  EXPECT_THROW(build_vptree(p, 1), std::invalid_argument);
+}
+
+TEST(VpTree, EveryPointIsVantageOnce) {
+  PointSet p = gen_uniform(333, 4, 11);
+  VpTree t = build_vptree(p, 1);
+  EXPECT_EQ(t.topo.n_nodes, 333);
+  std::vector<int> seen(333, 0);
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n) ++seen[t.point_id[n]];
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(VpTree, InsideOutsideInvariant) {
+  PointSet p = gen_uniform(400, 3, 12);
+  VpTree t = build_vptree(p, 13);
+  // For each node: all vantage points in the inside subtree are within mu
+  // of this node's vantage point; outside subtree at >= mu.
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n) {
+    if (t.topo.is_leaf(n)) continue;
+    float q[kMaxDim];
+    for (int d = 0; d < t.dim; ++d)
+      q[d] = t.coords[static_cast<std::size_t>(n) * t.dim + d];
+    NodeId inside = t.topo.child(n, VpTree::kInside);
+    NodeId outside = t.topo.child(n, VpTree::kOutside);
+    auto dist_to = [&](NodeId m) {
+      double d2 = 0;
+      for (int d = 0; d < t.dim; ++d) {
+        double delta =
+            static_cast<double>(t.coords[static_cast<std::size_t>(m) * t.dim + d]) -
+            q[d];
+        d2 += delta * delta;
+      }
+      return std::sqrt(d2);
+    };
+    // Subtree DFS ranges: inside = [inside, outside or end).
+    if (inside != kNullNode) {
+      NodeId end = outside != kNullNode ? outside
+                                        : static_cast<NodeId>(t.topo.n_nodes);
+      // Sample the subtree (it can be large).
+      for (NodeId m = inside; m < end; ++m)
+        ASSERT_LE(dist_to(m), t.mu[n] + 1e-4) << "node " << m;
+    }
+  }
+}
+
+TEST(VpTree, OutsideSubtreeBeyondMu) {
+  PointSet p = gen_uniform(200, 2, 13);
+  VpTree t = build_vptree(p, 14);
+  for (NodeId n = 0; n < t.topo.n_nodes; ++n) {
+    NodeId outside = t.topo.child(n, VpTree::kOutside);
+    if (outside == kNullNode) continue;
+    float q[kMaxDim];
+    for (int d = 0; d < t.dim; ++d)
+      q[d] = t.coords[static_cast<std::size_t>(n) * t.dim + d];
+    // The outside subtree occupies DFS ids [outside, end of n's subtree).
+    // Its first node is enough for a spot check plus all direct elements:
+    double d2 = 0;
+    for (int d = 0; d < t.dim; ++d) {
+      double delta =
+          static_cast<double>(
+              t.coords[static_cast<std::size_t>(outside) * t.dim + d]) -
+          q[d];
+      d2 += delta * delta;
+    }
+    EXPECT_GE(std::sqrt(d2), t.mu[n] - 1e-4);
+  }
+}
+
+TEST(VpTree, DeterministicForSeed) {
+  PointSet p = gen_uniform(100, 3, 14);
+  VpTree a = build_vptree(p, 7);
+  VpTree b = build_vptree(p, 7);
+  EXPECT_EQ(a.point_id, b.point_id);
+  EXPECT_EQ(a.mu, b.mu);
+}
+
+TEST(VpTree, DifferentSeedsDiffer) {
+  PointSet p = gen_uniform(100, 3, 15);
+  VpTree a = build_vptree(p, 7);
+  VpTree b = build_vptree(p, 8);
+  EXPECT_NE(a.point_id, b.point_id);
+}
+
+TEST(VpTree, TopologyValid) {
+  PointSet p = gen_uniform(512, 5, 16);
+  VpTree t = build_vptree(p, 17);
+  EXPECT_NO_THROW(t.topo.validate());
+}
+
+}  // namespace
+}  // namespace tt

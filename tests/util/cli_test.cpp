@@ -1,0 +1,95 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace tt {
+namespace {
+
+Cli make_cli() {
+  Cli cli("test");
+  cli.add_flag("verbose", false, "chatty");
+  cli.add_int("points", 100, "n");
+  cli.add_double("theta", 0.5, "opening angle");
+  cli.add_string("algo", "pc", "benchmark");
+  return cli;
+}
+
+TEST(Cli, Defaults) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(cli.parse(1, argv));
+  EXPECT_FALSE(cli.get_flag("verbose"));
+  EXPECT_EQ(cli.get_int("points"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("theta"), 0.5);
+  EXPECT_EQ(cli.get_string("algo"), "pc");
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--points=42", "--theta=0.25",
+                        "--algo=bh", "--verbose"};
+  EXPECT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("points"), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("theta"), 0.25);
+  EXPECT_EQ(cli.get_string("algo"), "bh");
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceSyntax) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--points", "7"};
+  EXPECT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("points"), 7);
+}
+
+TEST(Cli, NegatedFlag) {
+  Cli cli("t");
+  cli.add_flag("sorted", true, "x");
+  const char* argv[] = {"prog", "--no-sorted"};
+  EXPECT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(cli.get_flag("sorted"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, BadIntThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--points=abc"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--points"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(cli.parse(2, argv));
+  std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("--points"), std::string::npos);
+}
+
+TEST(Cli, PositionalRejected) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, WrongTypeAccessIsLogicError) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_THROW(cli.get_int("verbose"), std::logic_error);
+  EXPECT_THROW(cli.get_flag("points"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tt

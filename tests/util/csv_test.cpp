@@ -1,0 +1,65 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tt {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "2"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,value\nx,1\ny,2\n");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"col1", "c2"});
+  t.add_row({"longvalue", "7"});
+  std::ostringstream os;
+  t.write_aligned(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("col1"), std::string::npos);
+  EXPECT_NE(s.find("longvalue"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(0.0, 1), "0.0");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(14.09), "1409%");
+  EXPECT_EQ(fmt_percent(-0.26), "-26%");
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+}  // namespace
+}  // namespace tt

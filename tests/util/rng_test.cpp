@@ -1,0 +1,100 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace tt {
+namespace {
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(123, 7), b(123, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, DistinctStreamsDiffer) {
+  Pcg32 a(123, 1), b(123, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u32() == b.next_u32()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DistinctSeedsDiffer) {
+  Pcg32 a(1, 7), b(2, 7);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u32() == b.next_u32()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Pcg32, NextBelowRespectsBound) {
+  Pcg32 rng(5);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Pcg32, NextBelowCoversRange) {
+  Pcg32 rng(6);
+  std::array<int, 8> hits{};
+  for (int i = 0; i < 8000; ++i) ++hits[rng.next_below(8)];
+  for (int h : hits) EXPECT_GT(h, 700);  // each bucket near 1000
+}
+
+TEST(Pcg32, UniformRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Pcg32, NormalMomentsApproximate) {
+  Pcg32 rng(8);
+  double sum = 0, sumsq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / kN;
+  double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Pcg32, NormalWithParams) {
+  Pcg32 rng(9);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / kN, 5.0, 0.02);
+}
+
+TEST(Pcg32, WorksWithStdShuffle) {
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  Pcg32 rng(10);
+  std::shuffle(v.begin(), v.end(), rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));  // astronomically unlikely
+}
+
+}  // namespace
+}  // namespace tt
