@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_callset.dir/ablation_callset.cpp.o"
+  "CMakeFiles/ablation_callset.dir/ablation_callset.cpp.o.d"
+  "ablation_callset"
+  "ablation_callset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_callset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ropes.dir/ablation_ropes.cpp.o"
+  "CMakeFiles/ablation_ropes.dir/ablation_ropes.cpp.o.d"
+  "ablation_ropes"
+  "ablation_ropes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ropes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_locality.dir/cpu_locality.cpp.o"
+  "CMakeFiles/cpu_locality.dir/cpu_locality.cpp.o.d"
+  "cpu_locality"
+  "cpu_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

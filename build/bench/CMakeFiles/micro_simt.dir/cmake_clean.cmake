@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simt.dir/micro_simt.cpp.o"
+  "CMakeFiles/micro_simt.dir/micro_simt.cpp.o.d"
+  "micro_simt"
+  "micro_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/model_sensitivity.cpp" "bench/CMakeFiles/model_sensitivity.dir/model_sensitivity.cpp.o" "gcc" "bench/CMakeFiles/model_sensitivity.dir/model_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tt_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

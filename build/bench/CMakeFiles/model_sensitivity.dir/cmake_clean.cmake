@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_sensitivity.dir/model_sensitivity.cpp.o"
+  "CMakeFiles/model_sensitivity.dir/model_sensitivity.cpp.o.d"
+  "model_sensitivity"
+  "model_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_coherence.dir/ray_coherence.cpp.o"
+  "CMakeFiles/ray_coherence.dir/ray_coherence.cpp.o.d"
+  "ray_coherence"
+  "ray_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

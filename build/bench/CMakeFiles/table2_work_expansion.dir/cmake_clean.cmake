@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_work_expansion.dir/table2_work_expansion.cpp.o"
+  "CMakeFiles/table2_work_expansion.dir/table2_work_expansion.cpp.o.d"
+  "table2_work_expansion"
+  "table2_work_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_work_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_classify.dir/knn_classify.cpp.o"
+  "CMakeFiles/knn_classify.dir/knn_classify.cpp.o.d"
+  "knn_classify"
+  "knn_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_profile.dir/range_profile.cpp.o"
+  "CMakeFiles/range_profile.dir/range_profile.cpp.o.d"
+  "range_profile"
+  "range_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_algos/bh/barnes_hut.cpp" "src/CMakeFiles/tt_algos.dir/bench_algos/bh/barnes_hut.cpp.o" "gcc" "src/CMakeFiles/tt_algos.dir/bench_algos/bh/barnes_hut.cpp.o.d"
+  "/root/repo/src/bench_algos/harness.cpp" "src/CMakeFiles/tt_algos.dir/bench_algos/harness.cpp.o" "gcc" "src/CMakeFiles/tt_algos.dir/bench_algos/harness.cpp.o.d"
+  "/root/repo/src/bench_algos/knn/knn.cpp" "src/CMakeFiles/tt_algos.dir/bench_algos/knn/knn.cpp.o" "gcc" "src/CMakeFiles/tt_algos.dir/bench_algos/knn/knn.cpp.o.d"
+  "/root/repo/src/bench_algos/nn/nearest_neighbor.cpp" "src/CMakeFiles/tt_algos.dir/bench_algos/nn/nearest_neighbor.cpp.o" "gcc" "src/CMakeFiles/tt_algos.dir/bench_algos/nn/nearest_neighbor.cpp.o.d"
+  "/root/repo/src/bench_algos/pc/point_correlation.cpp" "src/CMakeFiles/tt_algos.dir/bench_algos/pc/point_correlation.cpp.o" "gcc" "src/CMakeFiles/tt_algos.dir/bench_algos/pc/point_correlation.cpp.o.d"
+  "/root/repo/src/bench_algos/ray/ray_bvh.cpp" "src/CMakeFiles/tt_algos.dir/bench_algos/ray/ray_bvh.cpp.o" "gcc" "src/CMakeFiles/tt_algos.dir/bench_algos/ray/ray_bvh.cpp.o.d"
+  "/root/repo/src/bench_algos/vp/vantage_point.cpp" "src/CMakeFiles/tt_algos.dir/bench_algos/vp/vantage_point.cpp.o" "gcc" "src/CMakeFiles/tt_algos.dir/bench_algos/vp/vantage_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_algos.dir/bench_algos/bh/barnes_hut.cpp.o"
+  "CMakeFiles/tt_algos.dir/bench_algos/bh/barnes_hut.cpp.o.d"
+  "CMakeFiles/tt_algos.dir/bench_algos/harness.cpp.o"
+  "CMakeFiles/tt_algos.dir/bench_algos/harness.cpp.o.d"
+  "CMakeFiles/tt_algos.dir/bench_algos/knn/knn.cpp.o"
+  "CMakeFiles/tt_algos.dir/bench_algos/knn/knn.cpp.o.d"
+  "CMakeFiles/tt_algos.dir/bench_algos/nn/nearest_neighbor.cpp.o"
+  "CMakeFiles/tt_algos.dir/bench_algos/nn/nearest_neighbor.cpp.o.d"
+  "CMakeFiles/tt_algos.dir/bench_algos/pc/point_correlation.cpp.o"
+  "CMakeFiles/tt_algos.dir/bench_algos/pc/point_correlation.cpp.o.d"
+  "CMakeFiles/tt_algos.dir/bench_algos/ray/ray_bvh.cpp.o"
+  "CMakeFiles/tt_algos.dir/bench_algos/ray/ray_bvh.cpp.o.d"
+  "CMakeFiles/tt_algos.dir/bench_algos/vp/vantage_point.cpp.o"
+  "CMakeFiles/tt_algos.dir/bench_algos/vp/vantage_point.cpp.o.d"
+  "libtt_algos.a"
+  "libtt_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_core.dir/core/profiler.cpp.o"
+  "CMakeFiles/tt_core.dir/core/profiler.cpp.o.d"
+  "CMakeFiles/tt_core.dir/core/rope_stack.cpp.o"
+  "CMakeFiles/tt_core.dir/core/rope_stack.cpp.o.d"
+  "CMakeFiles/tt_core.dir/core/schedule.cpp.o"
+  "CMakeFiles/tt_core.dir/core/schedule.cpp.o.d"
+  "CMakeFiles/tt_core.dir/core/static_ropes.cpp.o"
+  "CMakeFiles/tt_core.dir/core/static_ropes.cpp.o.d"
+  "libtt_core.a"
+  "libtt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

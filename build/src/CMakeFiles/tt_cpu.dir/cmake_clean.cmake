@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_cpu.dir/cpu/parallel.cpp.o"
+  "CMakeFiles/tt_cpu.dir/cpu/parallel.cpp.o.d"
+  "CMakeFiles/tt_cpu.dir/cpu/scaling_model.cpp.o"
+  "CMakeFiles/tt_cpu.dir/cpu/scaling_model.cpp.o.d"
+  "libtt_cpu.a"
+  "libtt_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generators.cpp" "src/CMakeFiles/tt_data.dir/data/generators.cpp.o" "gcc" "src/CMakeFiles/tt_data.dir/data/generators.cpp.o.d"
+  "/root/repo/src/data/projection.cpp" "src/CMakeFiles/tt_data.dir/data/projection.cpp.o" "gcc" "src/CMakeFiles/tt_data.dir/data/projection.cpp.o.d"
+  "/root/repo/src/data/sorting.cpp" "src/CMakeFiles/tt_data.dir/data/sorting.cpp.o" "gcc" "src/CMakeFiles/tt_data.dir/data/sorting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tt_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_data.dir/data/generators.cpp.o"
+  "CMakeFiles/tt_data.dir/data/generators.cpp.o.d"
+  "CMakeFiles/tt_data.dir/data/projection.cpp.o"
+  "CMakeFiles/tt_data.dir/data/projection.cpp.o.d"
+  "CMakeFiles/tt_data.dir/data/sorting.cpp.o"
+  "CMakeFiles/tt_data.dir/data/sorting.cpp.o.d"
+  "libtt_data.a"
+  "libtt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

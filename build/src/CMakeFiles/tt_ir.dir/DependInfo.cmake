@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ir/autoropes_rewriter.cpp" "src/CMakeFiles/tt_ir.dir/core/ir/autoropes_rewriter.cpp.o" "gcc" "src/CMakeFiles/tt_ir.dir/core/ir/autoropes_rewriter.cpp.o.d"
+  "/root/repo/src/core/ir/callset_analysis.cpp" "src/CMakeFiles/tt_ir.dir/core/ir/callset_analysis.cpp.o" "gcc" "src/CMakeFiles/tt_ir.dir/core/ir/callset_analysis.cpp.o.d"
+  "/root/repo/src/core/ir/interpreter.cpp" "src/CMakeFiles/tt_ir.dir/core/ir/interpreter.cpp.o" "gcc" "src/CMakeFiles/tt_ir.dir/core/ir/interpreter.cpp.o.d"
+  "/root/repo/src/core/ir/ptr_restructure.cpp" "src/CMakeFiles/tt_ir.dir/core/ir/ptr_restructure.cpp.o" "gcc" "src/CMakeFiles/tt_ir.dir/core/ir/ptr_restructure.cpp.o.d"
+  "/root/repo/src/core/ir/traversal_ir.cpp" "src/CMakeFiles/tt_ir.dir/core/ir/traversal_ir.cpp.o" "gcc" "src/CMakeFiles/tt_ir.dir/core/ir/traversal_ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_ir.dir/core/ir/autoropes_rewriter.cpp.o"
+  "CMakeFiles/tt_ir.dir/core/ir/autoropes_rewriter.cpp.o.d"
+  "CMakeFiles/tt_ir.dir/core/ir/callset_analysis.cpp.o"
+  "CMakeFiles/tt_ir.dir/core/ir/callset_analysis.cpp.o.d"
+  "CMakeFiles/tt_ir.dir/core/ir/interpreter.cpp.o"
+  "CMakeFiles/tt_ir.dir/core/ir/interpreter.cpp.o.d"
+  "CMakeFiles/tt_ir.dir/core/ir/ptr_restructure.cpp.o"
+  "CMakeFiles/tt_ir.dir/core/ir/ptr_restructure.cpp.o.d"
+  "CMakeFiles/tt_ir.dir/core/ir/traversal_ir.cpp.o"
+  "CMakeFiles/tt_ir.dir/core/ir/traversal_ir.cpp.o.d"
+  "libtt_ir.a"
+  "libtt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

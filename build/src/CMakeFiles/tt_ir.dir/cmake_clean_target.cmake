@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtt_ir.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/coalescing.cpp" "src/CMakeFiles/tt_simt.dir/simt/coalescing.cpp.o" "gcc" "src/CMakeFiles/tt_simt.dir/simt/coalescing.cpp.o.d"
+  "/root/repo/src/simt/cost_model.cpp" "src/CMakeFiles/tt_simt.dir/simt/cost_model.cpp.o" "gcc" "src/CMakeFiles/tt_simt.dir/simt/cost_model.cpp.o.d"
+  "/root/repo/src/simt/executor.cpp" "src/CMakeFiles/tt_simt.dir/simt/executor.cpp.o" "gcc" "src/CMakeFiles/tt_simt.dir/simt/executor.cpp.o.d"
+  "/root/repo/src/simt/l2cache.cpp" "src/CMakeFiles/tt_simt.dir/simt/l2cache.cpp.o" "gcc" "src/CMakeFiles/tt_simt.dir/simt/l2cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_simt.dir/simt/coalescing.cpp.o"
+  "CMakeFiles/tt_simt.dir/simt/coalescing.cpp.o.d"
+  "CMakeFiles/tt_simt.dir/simt/cost_model.cpp.o"
+  "CMakeFiles/tt_simt.dir/simt/cost_model.cpp.o.d"
+  "CMakeFiles/tt_simt.dir/simt/executor.cpp.o"
+  "CMakeFiles/tt_simt.dir/simt/executor.cpp.o.d"
+  "CMakeFiles/tt_simt.dir/simt/l2cache.cpp.o"
+  "CMakeFiles/tt_simt.dir/simt/l2cache.cpp.o.d"
+  "libtt_simt.a"
+  "libtt_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/bvh.cpp" "src/CMakeFiles/tt_spatial.dir/spatial/bvh.cpp.o" "gcc" "src/CMakeFiles/tt_spatial.dir/spatial/bvh.cpp.o.d"
+  "/root/repo/src/spatial/kdtree.cpp" "src/CMakeFiles/tt_spatial.dir/spatial/kdtree.cpp.o" "gcc" "src/CMakeFiles/tt_spatial.dir/spatial/kdtree.cpp.o.d"
+  "/root/repo/src/spatial/linearize.cpp" "src/CMakeFiles/tt_spatial.dir/spatial/linearize.cpp.o" "gcc" "src/CMakeFiles/tt_spatial.dir/spatial/linearize.cpp.o.d"
+  "/root/repo/src/spatial/octree.cpp" "src/CMakeFiles/tt_spatial.dir/spatial/octree.cpp.o" "gcc" "src/CMakeFiles/tt_spatial.dir/spatial/octree.cpp.o.d"
+  "/root/repo/src/spatial/relayout.cpp" "src/CMakeFiles/tt_spatial.dir/spatial/relayout.cpp.o" "gcc" "src/CMakeFiles/tt_spatial.dir/spatial/relayout.cpp.o.d"
+  "/root/repo/src/spatial/vptree.cpp" "src/CMakeFiles/tt_spatial.dir/spatial/vptree.cpp.o" "gcc" "src/CMakeFiles/tt_spatial.dir/spatial/vptree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_spatial.dir/spatial/bvh.cpp.o"
+  "CMakeFiles/tt_spatial.dir/spatial/bvh.cpp.o.d"
+  "CMakeFiles/tt_spatial.dir/spatial/kdtree.cpp.o"
+  "CMakeFiles/tt_spatial.dir/spatial/kdtree.cpp.o.d"
+  "CMakeFiles/tt_spatial.dir/spatial/linearize.cpp.o"
+  "CMakeFiles/tt_spatial.dir/spatial/linearize.cpp.o.d"
+  "CMakeFiles/tt_spatial.dir/spatial/octree.cpp.o"
+  "CMakeFiles/tt_spatial.dir/spatial/octree.cpp.o.d"
+  "CMakeFiles/tt_spatial.dir/spatial/relayout.cpp.o"
+  "CMakeFiles/tt_spatial.dir/spatial/relayout.cpp.o.d"
+  "CMakeFiles/tt_spatial.dir/spatial/vptree.cpp.o"
+  "CMakeFiles/tt_spatial.dir/spatial/vptree.cpp.o.d"
+  "libtt_spatial.a"
+  "libtt_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

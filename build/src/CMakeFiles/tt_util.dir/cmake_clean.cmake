@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tt_util.dir/util/cli.cpp.o"
+  "CMakeFiles/tt_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/tt_util.dir/util/csv.cpp.o"
+  "CMakeFiles/tt_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/tt_util.dir/util/rng.cpp.o"
+  "CMakeFiles/tt_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/tt_util.dir/util/stats.cpp.o"
+  "CMakeFiles/tt_util.dir/util/stats.cpp.o.d"
+  "libtt_util.a"
+  "libtt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

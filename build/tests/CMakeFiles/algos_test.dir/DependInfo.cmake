@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algos/bh_test.cpp" "tests/CMakeFiles/algos_test.dir/algos/bh_test.cpp.o" "gcc" "tests/CMakeFiles/algos_test.dir/algos/bh_test.cpp.o.d"
+  "/root/repo/tests/algos/cross_input_test.cpp" "tests/CMakeFiles/algos_test.dir/algos/cross_input_test.cpp.o" "gcc" "tests/CMakeFiles/algos_test.dir/algos/cross_input_test.cpp.o.d"
+  "/root/repo/tests/algos/harness_test.cpp" "tests/CMakeFiles/algos_test.dir/algos/harness_test.cpp.o" "gcc" "tests/CMakeFiles/algos_test.dir/algos/harness_test.cpp.o.d"
+  "/root/repo/tests/algos/kernel_details_test.cpp" "tests/CMakeFiles/algos_test.dir/algos/kernel_details_test.cpp.o" "gcc" "tests/CMakeFiles/algos_test.dir/algos/kernel_details_test.cpp.o.d"
+  "/root/repo/tests/algos/knn_test.cpp" "tests/CMakeFiles/algos_test.dir/algos/knn_test.cpp.o" "gcc" "tests/CMakeFiles/algos_test.dir/algos/knn_test.cpp.o.d"
+  "/root/repo/tests/algos/nn_test.cpp" "tests/CMakeFiles/algos_test.dir/algos/nn_test.cpp.o" "gcc" "tests/CMakeFiles/algos_test.dir/algos/nn_test.cpp.o.d"
+  "/root/repo/tests/algos/pc_test.cpp" "tests/CMakeFiles/algos_test.dir/algos/pc_test.cpp.o" "gcc" "tests/CMakeFiles/algos_test.dir/algos/pc_test.cpp.o.d"
+  "/root/repo/tests/algos/ray_test.cpp" "tests/CMakeFiles/algos_test.dir/algos/ray_test.cpp.o" "gcc" "tests/CMakeFiles/algos_test.dir/algos/ray_test.cpp.o.d"
+  "/root/repo/tests/algos/vp_test.cpp" "tests/CMakeFiles/algos_test.dir/algos/vp_test.cpp.o" "gcc" "tests/CMakeFiles/algos_test.dir/algos/vp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tt_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

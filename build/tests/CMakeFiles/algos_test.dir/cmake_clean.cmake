@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos_test.dir/algos/bh_test.cpp.o"
+  "CMakeFiles/algos_test.dir/algos/bh_test.cpp.o.d"
+  "CMakeFiles/algos_test.dir/algos/cross_input_test.cpp.o"
+  "CMakeFiles/algos_test.dir/algos/cross_input_test.cpp.o.d"
+  "CMakeFiles/algos_test.dir/algos/harness_test.cpp.o"
+  "CMakeFiles/algos_test.dir/algos/harness_test.cpp.o.d"
+  "CMakeFiles/algos_test.dir/algos/kernel_details_test.cpp.o"
+  "CMakeFiles/algos_test.dir/algos/kernel_details_test.cpp.o.d"
+  "CMakeFiles/algos_test.dir/algos/knn_test.cpp.o"
+  "CMakeFiles/algos_test.dir/algos/knn_test.cpp.o.d"
+  "CMakeFiles/algos_test.dir/algos/nn_test.cpp.o"
+  "CMakeFiles/algos_test.dir/algos/nn_test.cpp.o.d"
+  "CMakeFiles/algos_test.dir/algos/pc_test.cpp.o"
+  "CMakeFiles/algos_test.dir/algos/pc_test.cpp.o.d"
+  "CMakeFiles/algos_test.dir/algos/ray_test.cpp.o"
+  "CMakeFiles/algos_test.dir/algos/ray_test.cpp.o.d"
+  "CMakeFiles/algos_test.dir/algos/vp_test.cpp.o"
+  "CMakeFiles/algos_test.dir/algos/vp_test.cpp.o.d"
+  "algos_test"
+  "algos_test.pdb"
+  "algos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/determinism_test.cpp" "tests/CMakeFiles/core_test.dir/core/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/determinism_test.cpp.o.d"
+  "/root/repo/tests/core/executor_equivalence_test.cpp" "tests/CMakeFiles/core_test.dir/core/executor_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/executor_equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/figure3_test.cpp" "tests/CMakeFiles/core_test.dir/core/figure3_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/figure3_test.cpp.o.d"
+  "/root/repo/tests/core/lockstep_properties_test.cpp" "tests/CMakeFiles/core_test.dir/core/lockstep_properties_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/lockstep_properties_test.cpp.o.d"
+  "/root/repo/tests/core/micro_kernel_test.cpp" "tests/CMakeFiles/core_test.dir/core/micro_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/micro_kernel_test.cpp.o.d"
+  "/root/repo/tests/core/profiler_test.cpp" "tests/CMakeFiles/core_test.dir/core/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/profiler_test.cpp.o.d"
+  "/root/repo/tests/core/rope_stack_test.cpp" "tests/CMakeFiles/core_test.dir/core/rope_stack_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rope_stack_test.cpp.o.d"
+  "/root/repo/tests/core/ropes_resume_test.cpp" "tests/CMakeFiles/core_test.dir/core/ropes_resume_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ropes_resume_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_test.cpp" "tests/CMakeFiles/core_test.dir/core/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/schedule_test.cpp.o.d"
+  "/root/repo/tests/core/static_ropes_test.cpp" "tests/CMakeFiles/core_test.dir/core/static_ropes_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/static_ropes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tt_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/determinism_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/determinism_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/executor_equivalence_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/executor_equivalence_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/figure3_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/figure3_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/lockstep_properties_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/lockstep_properties_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/micro_kernel_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/micro_kernel_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/profiler_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/profiler_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/rope_stack_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/rope_stack_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ropes_resume_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ropes_resume_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/schedule_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/schedule_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/static_ropes_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/static_ropes_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/ir/callset_test.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/callset_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/fuzz_test.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/fuzz_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/interpreter_test.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/interpreter_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/ptr_restructure_test.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/ptr_restructure_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/rewriter_test.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/rewriter_test.cpp.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_test.dir/simt/address_space_test.cpp.o"
+  "CMakeFiles/simt_test.dir/simt/address_space_test.cpp.o.d"
+  "CMakeFiles/simt_test.dir/simt/coalescing_test.cpp.o"
+  "CMakeFiles/simt_test.dir/simt/coalescing_test.cpp.o.d"
+  "CMakeFiles/simt_test.dir/simt/cost_model_test.cpp.o"
+  "CMakeFiles/simt_test.dir/simt/cost_model_test.cpp.o.d"
+  "CMakeFiles/simt_test.dir/simt/executor_test.cpp.o"
+  "CMakeFiles/simt_test.dir/simt/executor_test.cpp.o.d"
+  "CMakeFiles/simt_test.dir/simt/l2cache_test.cpp.o"
+  "CMakeFiles/simt_test.dir/simt/l2cache_test.cpp.o.d"
+  "CMakeFiles/simt_test.dir/simt/transfer_model_test.cpp.o"
+  "CMakeFiles/simt_test.dir/simt/transfer_model_test.cpp.o.d"
+  "CMakeFiles/simt_test.dir/simt/warp_memory_test.cpp.o"
+  "CMakeFiles/simt_test.dir/simt/warp_memory_test.cpp.o.d"
+  "simt_test"
+  "simt_test.pdb"
+  "simt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_test.dir/spatial/bvh_test.cpp.o"
+  "CMakeFiles/spatial_test.dir/spatial/bvh_test.cpp.o.d"
+  "CMakeFiles/spatial_test.dir/spatial/kdtree_test.cpp.o"
+  "CMakeFiles/spatial_test.dir/spatial/kdtree_test.cpp.o.d"
+  "CMakeFiles/spatial_test.dir/spatial/linear_tree_test.cpp.o"
+  "CMakeFiles/spatial_test.dir/spatial/linear_tree_test.cpp.o.d"
+  "CMakeFiles/spatial_test.dir/spatial/octree_test.cpp.o"
+  "CMakeFiles/spatial_test.dir/spatial/octree_test.cpp.o.d"
+  "CMakeFiles/spatial_test.dir/spatial/point_set_test.cpp.o"
+  "CMakeFiles/spatial_test.dir/spatial/point_set_test.cpp.o.d"
+  "CMakeFiles/spatial_test.dir/spatial/relayout_test.cpp.o"
+  "CMakeFiles/spatial_test.dir/spatial/relayout_test.cpp.o.d"
+  "CMakeFiles/spatial_test.dir/spatial/vptree_test.cpp.o"
+  "CMakeFiles/spatial_test.dir/spatial/vptree_test.cpp.o.d"
+  "spatial_test"
+  "spatial_test.pdb"
+  "spatial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
