@@ -43,13 +43,17 @@ int main(int argc, char** argv) {
         const char* stack;
         GpuMode mode;
       };
-      GpuMode grid_stride{true, true, false, false};
+      GpuMode contiguous = GpuMode::from(Variant::kAutoNolockstep);
+      contiguous.contiguous_stack = true;
+      GpuMode global_stack = GpuMode::from(Variant::kAutoLockstep);
+      global_stack.lockstep_stack_global = true;
+      GpuMode grid_stride = GpuMode::from(Variant::kAutoLockstep);
       grid_stride.grid_limit = 112;  // 14 SMs x 8 warps: Figure 9b's loop
       const Cfg cfgs[] = {
-          {"autoropes-N", "interleaved", {true, false, false, false}},
-          {"autoropes-N", "contiguous", {true, false, true, false}},
-          {"autoropes-L", "shared-mem", {true, true, false, false}},
-          {"autoropes-L", "global", {true, true, false, true}},
+          {"autoropes-N", "interleaved", GpuMode::from(Variant::kAutoNolockstep)},
+          {"autoropes-N", "contiguous", contiguous},
+          {"autoropes-L", "shared-mem", GpuMode::from(Variant::kAutoLockstep)},
+          {"autoropes-L", "global", global_stack},
           {"autoropes-L", "grid-stride", grid_stride},
       };
       for (const Cfg& c : cfgs) {
@@ -61,6 +65,9 @@ int main(int argc, char** argv) {
       }
     }
     benchx::emit(table, cli.get_flag("csv"));
+    obs::RunReport report = benchx::make_report(cli, "ablation_layout");
+    report.add_table("ablation_layout", table);
+    if (!benchx::maybe_write_report(cli, report)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "ablation_layout: " << e.what() << "\n";
     return 1;

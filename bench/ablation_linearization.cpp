@@ -35,7 +35,10 @@ int main(int argc, char** argv) {
                          bool lockstep) {
         GpuAddressSpace space;
         PointCorrelationKernel k(tree, pts, r, space);
-        auto g = run_gpu_sim(k, space, cfg, GpuMode{true, lockstep});
+        auto g = run_gpu_sim(k, space, cfg,
+                             GpuMode::from(lockstep
+                                               ? Variant::kAutoLockstep
+                                               : Variant::kAutoNolockstep));
         table.add_row({sorted ? "sorted" : "unsorted",
                        lockstep ? "L" : "N", layout,
                        fmt_fixed(g.time.total_ms, 3),
@@ -48,6 +51,9 @@ int main(int argc, char** argv) {
       }
     }
     benchx::emit(table, cli.get_flag("csv"));
+    obs::RunReport report = benchx::make_report(cli, "ablation_linearization");
+    report.add_table("ablation_linearization", table);
+    if (!benchx::maybe_write_report(cli, report)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "ablation_linearization: " << e.what() << "\n";
     return 1;

@@ -29,7 +29,9 @@ void compare(Table& table, const std::string& bench, bool sorted, const K& k,
   DeviceConfig cfg;
   StaticRopes ropes = install_ropes(topo);
   for (bool lockstep : {true, false}) {
-    auto ar = run_gpu_sim(k, space, cfg, GpuMode{true, lockstep});
+    auto ar = run_gpu_sim(k, space, cfg,
+                          GpuMode::from(lockstep ? Variant::kAutoLockstep
+                                                 : Variant::kAutoNolockstep));
     auto rp = run_gpu_ropes_sim(k, space, cfg, lockstep, ropes);
     table.add_row({bench, sorted ? "sorted" : "unsorted",
                    lockstep ? "L" : "N", "autoropes",
@@ -75,6 +77,9 @@ int main(int argc, char** argv) {
       }
     }
     benchx::emit(table, cli.get_flag("csv"));
+    obs::RunReport report = benchx::make_report(cli, "ablation_ropes");
+    report.add_table("ablation_ropes", table);
+    if (!benchx::maybe_write_report(cli, report)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "ablation_ropes: " << e.what() << "\n";
     return 1;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_algos/harness.h"
+#include "obs/run_report.h"
 #include "util/cli.h"
 #include "util/csv.h"
 
@@ -56,6 +57,36 @@ inline void add_common_flags(Cli& cli) {
   cli.add_flag("verify", false,
                "cross-check all variants' results agree (slower)");
   cli.add_flag("csv", false, "emit CSV instead of an aligned table");
+  cli.add_string("json", "",
+                 "also write a treetrav.run_report JSON file to this path");
+  cli.add_flag("json-volatile", false,
+               "include measured wall-clock values in the --json report "
+               "(breaks byte-identical output across runs)");
+}
+
+// RunReport pre-wired from the common flags: seed, volatile toggle and the
+// device model every harness runs with (BenchConfig's default DeviceConfig).
+inline obs::RunReport make_report(const Cli& cli,
+                                  const std::string& generator) {
+  obs::RunReport report(generator);
+  report.set_seed(static_cast<std::uint64_t>(cli.get_int("seed")));
+  report.set_include_volatile(cli.get_flag("json-volatile"));
+  report.set_device(DeviceConfig{});
+  return report;
+}
+
+// Writes the report when --json=<path> was given. Returns false (after
+// printing the reason to stderr) on I/O failure so main can exit nonzero.
+inline bool maybe_write_report(const Cli& cli, const obs::RunReport& report) {
+  const std::string& path = cli.get_string("json");
+  if (path.empty()) return true;
+  std::string err;
+  if (!report.write_file(path, &err)) {
+    std::cerr << "json report: " << err << "\n";
+    return false;
+  }
+  std::cerr << "# wrote " << path << "\n";
+  return true;
 }
 
 inline BenchConfig config_from(const Cli& cli, Algo a, InputKind in,

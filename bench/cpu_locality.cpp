@@ -62,6 +62,9 @@ int main(int argc, char** argv) {
                      std::to_string(s.accesses)});
     }
     benchx::emit(table, cli.get_flag("csv"));
+    obs::RunReport report = benchx::make_report(cli, "cpu_locality");
+    report.add_table("cpu_locality", table);
+    if (!benchx::maybe_write_report(cli, report)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "cpu_locality: " << e.what() << "\n";
     return 1;

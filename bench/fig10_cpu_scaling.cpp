@@ -44,17 +44,21 @@ int main(int argc, char** argv) {
     std::vector<std::string> header{"Benchmark", "Input", "Order", "Type"};
     for (int t : kThreads) header.push_back("T" + std::to_string(t));
     Table table(header);
+    obs::RunReport report = benchx::make_report(cli, "fig10_cpu_scaling");
     for (Algo a : benchx::parse_algos(cli.get_string("benchmarks")))
       for (InputKind in : inputs_for(a))
         for (bool sorted : {true, false}) {
           if (sorted && !cli.get_flag("sorted")) continue;
           if (!sorted && !cli.get_flag("unsorted")) continue;
           BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
+          report.add_row(row);
           sweep_rows(table, row);
           std::cerr << "# done " << algo_name(a) << "/" << input_name(in)
                     << (sorted ? " sorted" : " unsorted") << "\n";
         }
     benchx::emit(table, cli.get_flag("csv"));
+    report.add_table("fig10_cpu_scaling", table, /*volatile_data=*/true);
+    if (!benchx::maybe_write_report(cli, report)) return 1;
     std::cerr << "# ratio > 1: CPU faster than GPU at that thread count\n";
   } catch (const std::exception& e) {
     std::cerr << "fig10_cpu_scaling: " << e.what() << "\n";

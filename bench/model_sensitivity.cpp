@@ -38,10 +38,12 @@ Probe probe(std::size_t n, const DeviceConfig& cfg) {
     float r = pc_pick_radius(pts, 24, 42);
     GpuAddressSpace space;
     PointCorrelationKernel k(tree, pts, r, space);
-    auto al = run_gpu_sim(k, space, cfg, GpuMode{true, true});
+    auto al = run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoLockstep));
     if (sorted) {
-      auto an = run_gpu_sim(k, space, cfg, GpuMode{true, false});
-      auto rl = run_gpu_sim(k, space, cfg, GpuMode{false, true});
+      auto an =
+          run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoNolockstep));
+      auto rl =
+          run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kRecLockstep));
       StaticRopes ropes = install_ropes(tree.topo);
       auto rp = run_gpu_ropes_sim(k, space, cfg, false, ropes);
       p.al_sorted = al.time.total_ms;
@@ -105,6 +107,9 @@ int main(int argc, char** argv) {
       emit("l2_capacity", s, cfg);
     }
     benchx::emit(table, cli.get_flag("csv"));
+    obs::RunReport report = benchx::make_report(cli, "model_sensitivity");
+    report.add_table("model_sensitivity", table);
+    if (!benchx::maybe_write_report(cli, report)) return 1;
     std::cerr << "# ordering violations: " << violations << "\n";
     return violations == 0 ? 0 : 2;
   } catch (const std::exception& e) {

@@ -39,7 +39,10 @@ int main(int argc, char** argv) {
       GpuAddressSpace space;
       RayBvhKernel k(bvh, mesh, rays, space);
       for (bool lockstep : {true, false}) {
-        auto g = run_gpu_sim(k, space, cfg, GpuMode{true, lockstep});
+        auto g = run_gpu_sim(k, space, cfg,
+                             GpuMode::from(lockstep
+                                               ? Variant::kAutoLockstep
+                                               : Variant::kAutoNolockstep));
         table.add_row(
             {coherent ? "camera (coherent)" : "random (incoherent)",
              lockstep ? "L" : "N", fmt_fixed(g.time.total_ms, 3),
@@ -52,6 +55,9 @@ int main(int argc, char** argv) {
       }
     }
     benchx::emit(table, cli.get_flag("csv"));
+    obs::RunReport report = benchx::make_report(cli, "ray_coherence");
+    report.add_table("ray_coherence", table);
+    if (!benchx::maybe_write_report(cli, report)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "ray_coherence: " << e.what() << "\n";
     return 1;

@@ -20,8 +20,18 @@ namespace {
 
 void add_rows(Table& table, const BenchRow& row) {
   auto variant_row = [&](bool lockstep) {
-    const VariantResult& v =
-        lockstep ? row.auto_lockstep : row.auto_nolockstep;
+    const VariantResult& v = row.result(lockstep ? Variant::kAutoLockstep
+                                                 : Variant::kAutoNolockstep);
+    if (!v.ok()) {
+      table.add_row({
+          algo_name(row.config.algo),
+          input_name(row.config.input),
+          row.config.sorted ? "sorted" : "unsorted",
+          lockstep ? "L" : "N",
+          "FAILED", "-", "-", "-", "-", "-",
+      });
+      return;
+    }
     table.add_row({
         algo_name(row.config.algo),
         input_name(row.config.input),
@@ -50,17 +60,19 @@ int main(int argc, char** argv) {
     if (!cli.parse(argc, argv)) return 0;
     Table table({"Benchmark", "Input", "Order", "Type", "Time(ms)",
                  "AvgNodes", "vs1T", "vs32T", "vsRecurse", "Xfer(ms)"});
+    obs::RunReport report = benchx::make_report(cli, "table1");
     for (Algo a : benchx::parse_algos(cli.get_string("benchmarks"))) {
-      auto report = analysis_for(a);
+      auto analysis = analysis_for(a);
       std::cerr << "# " << algo_name(a) << ": "
-                << report.call_sets.size() << " call set(s), "
-                << (report.cls == ir::TraversalClass::kUnguided ? "unguided"
-                                                                : "guided")
+                << analysis.call_sets.size() << " call set(s), "
+                << (analysis.cls == ir::TraversalClass::kUnguided ? "unguided"
+                                                                  : "guided")
                 << "\n";
       for (InputKind in : inputs_for(a))
         for (bool sorted : {true, false}) {
           BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
           add_rows(table, row);
+          report.add_row(row);
           std::cerr << "# done " << algo_name(a) << "/" << input_name(in)
                     << (sorted ? " sorted" : " unsorted")
                     << " (cpu t1 " << fmt_fixed(row.cpu_t1_ms, 1)
@@ -68,6 +80,8 @@ int main(int argc, char** argv) {
         }
     }
     benchx::emit(table, cli.get_flag("csv"));
+    report.add_table("table1", table, /*volatile_data=*/true);
+    if (!benchx::maybe_write_report(cli, report)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "table1: " << e.what() << "\n";
     return 1;

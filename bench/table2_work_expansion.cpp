@@ -17,11 +17,13 @@ int main(int argc, char** argv) {
   try {
     if (!cli.parse(argc, argv)) return 0;
     Table table({"Benchmark", "Input", "Sorted", "Unsorted"});
+    obs::RunReport report = benchx::make_report(cli, "table2_work_expansion");
     for (Algo a : benchx::parse_algos(cli.get_string("benchmarks"))) {
       for (InputKind in : inputs_for(a)) {
         std::string cells[2];
         for (bool sorted : {true, false}) {
           BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
+          report.add_row(row);
           cells[sorted ? 0 : 1] = fmt_fixed(row.work_expansion.mean, 2) +
                                   " (" +
                                   fmt_fixed(row.work_expansion.stddev, 2) +
@@ -33,6 +35,8 @@ int main(int argc, char** argv) {
       }
     }
     benchx::emit(table, cli.get_flag("csv"));
+    report.add_table("table2_work_expansion", table);
+    if (!benchx::maybe_write_report(cli, report)) return 1;
   } catch (const std::exception& e) {
     std::cerr << "table2_work_expansion: " << e.what() << "\n";
     return 1;

@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
   KdTree tree = build_kdtree(data.points, 8);
   GpuAddressSpace space;
   KnnKernel kernel(tree, data.points, k_neighbors, space);
-  auto gpu = run_gpu_sim(kernel, space, DeviceConfig{}, GpuMode{true, true});
+  auto gpu = run_gpu_sim(kernel, space, DeviceConfig{},
+                         GpuMode::from(Variant::kAutoLockstep));
   std::printf("traversal: %.3f ms modelled, %.0f nodes/warp\n",
               gpu.time.total_ms, gpu.avg_nodes());
 

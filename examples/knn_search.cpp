@@ -45,8 +45,10 @@ int main(int argc, char** argv) {
               KnnKernel::kCallSetsEquivalent ? "yes" : "no");
 
   DeviceConfig cfg;
-  auto gn = run_gpu_sim(kernel, space, cfg, GpuMode{true, false});
-  auto gl = run_gpu_sim(kernel, space, cfg, GpuMode{true, true});
+  auto gn = run_gpu_sim(kernel, space, cfg,
+                        GpuMode::from(Variant::kAutoNolockstep));
+  auto gl = run_gpu_sim(kernel, space, cfg,
+                        GpuMode::from(Variant::kAutoLockstep));
   std::printf("non-lockstep: %.3f ms, %.0f nodes/point\n", gn.time.total_ms,
               gn.avg_nodes());
   std::printf("lockstep+vote: %.3f ms, %.0f nodes/warp, %llu votes\n",

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     GpuAddressSpace space;
     BarnesHutKernel kernel(tree, bodies.pos, theta, 1e-4f, space);
     auto gpu = run_gpu_sim(kernel, space, DeviceConfig{},
-                           GpuMode{/*autoropes=*/true, /*lockstep=*/true});
+                           GpuMode::from(Variant::kAutoLockstep));
     total_gpu_ms += gpu.time.total_ms;
     bh_integrate(bodies.pos, bodies.vel, gpu.results, dt);
 

@@ -5,7 +5,11 @@
 // paper discusses in section 6.3 (smaller radius => earlier truncation =>
 // better lockstep load balance).
 //
-// Usage: ./examples/range_profile [--points=N]
+// Usage: ./examples/range_profile [--points=N] [--trace]
+//
+// Also demonstrates the observability layer: --trace runs the smallest
+// radius with a TraceSink attached and prints the first warp's event
+// stream plus a metrics-registry digest.
 #include <cstdio>
 
 #include "bench_algos/pc/point_correlation.h"
@@ -13,6 +17,8 @@
 #include "core/gpu_executors.h"
 #include "data/generators.h"
 #include "data/sorting.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spatial/kdtree.h"
 #include "util/cli.h"
 #include "util/stats.h"
@@ -21,6 +27,9 @@ int main(int argc, char** argv) {
   using namespace tt;
   Cli cli("range_profile: correlation-radius sweep over clustered 2-d data");
   cli.add_int("points", 8192, "dataset size");
+  cli.add_flag("trace", false,
+               "print warp 0's trace events and a metrics digest for the "
+               "smallest radius");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto n = static_cast<std::size_t>(cli.get_int("points"));
@@ -31,12 +40,16 @@ int main(int argc, char** argv) {
 
   std::printf("%10s %14s %14s %12s %14s\n", "radius", "mean neighbors",
               "max neighbors", "gpu ms (L)", "nodes/warp");
+  bool first = true;
   for (float scale : {0.5f, 1.0f, 2.0f, 4.0f, 8.0f}) {
     float r = base * scale;
     GpuAddressSpace space;
     PointCorrelationKernel kernel(tree, pts, r, space);
+    obs::TraceSink sink(256);
+    obs::TraceSink* trace =
+        first && cli.get_flag("trace") ? &sink : nullptr;
     auto gpu = run_gpu_sim(kernel, space, DeviceConfig{},
-                           GpuMode{true, /*lockstep=*/true});
+                           GpuMode::from(Variant::kAutoLockstep), trace);
     RunningStats stats;
     std::uint32_t max_c = 0;
     for (auto c : gpu.results) {
@@ -45,6 +58,26 @@ int main(int argc, char** argv) {
     }
     std::printf("%10.4f %14.1f %14u %12.3f %14.0f\n", r, stats.mean(), max_c,
                 gpu.time.total_ms, gpu.avg_nodes());
+    if (trace) {
+      std::printf("\nwarp 0 trace (first 20 of %zu events, %llu dropped):\n",
+                  trace->events_for(0).size(),
+                  static_cast<unsigned long long>(trace->dropped_for(0)));
+      std::size_t shown = 0;
+      for (const obs::TraceEvent& e : trace->events_for(0)) {
+        if (shown++ == 20) break;
+        std::printf("  seq=%-5u %-8s node=%-6u mask=%08x depth=%u\n", e.seq,
+                    obs::trace_event_name(e.kind), e.node, e.mask, e.depth);
+      }
+      obs::MetricsRegistry reg;
+      obs::register_kernel_stats(reg, gpu.stats, "gpu/auto_lockstep/");
+      std::printf("metrics: %zu entries, lane_visits=%llu warp_pops=%llu\n\n",
+                  reg.size(),
+                  static_cast<unsigned long long>(
+                      reg.counter("gpu/auto_lockstep/lane_visits")),
+                  static_cast<unsigned long long>(
+                      reg.counter("gpu/auto_lockstep/warp_pops")));
+    }
+    first = false;
   }
   return 0;
 }

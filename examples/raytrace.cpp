@@ -39,8 +39,10 @@ int main(int argc, char** argv) {
 
   // Simulated-GPU pass for the performance story...
   DeviceConfig cfg;
-  auto gl = run_gpu_sim(kernel, space, cfg, GpuMode{true, true});
-  auto gn = run_gpu_sim(kernel, space, cfg, GpuMode{true, false});
+  auto gl = run_gpu_sim(kernel, space, cfg,
+                        GpuMode::from(Variant::kAutoLockstep));
+  auto gn = run_gpu_sim(kernel, space, cfg,
+                        GpuMode::from(Variant::kAutoNolockstep));
   std::printf("lockstep:     %.3f ms modelled (%llu DRAM txns)\n",
               gl.time.total_ms,
               static_cast<unsigned long long>(gl.stats.dram_transactions));

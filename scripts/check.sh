@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local gate: warnings-as-errors configure, build, test suite, and a
+# smoke run of the JSON report path (table1 --json + schema validation).
+# Run from anywhere; builds into <repo>/build.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure (RelWithDebInfo, -Werror) =="
+cmake -S "$repo" -B "$build" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTREETRAV_WERROR=ON
+
+echo "== build =="
+cmake --build "$build" -j "$jobs"
+
+echo "== ctest =="
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+echo "== json report smoke =="
+out=/tmp/t1.json
+"$build/bench/table1" --benchmarks=pc --points=512 --json="$out"
+"$build/tools/json_validate" "$out"
+
+echo "check.sh: all gates passed"

@@ -66,6 +66,7 @@ VariantResult to_variant(const KernelStats& stats, const TimeBreakdown& time,
                          double avg_nodes, double sim_wall_ms) {
   VariantResult v;
   v.stats = stats;
+  v.time = time;
   v.time_ms = time.total_ms;
   v.avg_nodes = avg_nodes;
   v.sim_wall_ms = sim_wall_ms;
@@ -112,22 +113,32 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
   row.cpu_threads_measured = tmax;
   row.cpu_visits = cpu1.total_visits;
 
-  auto gaN = run_gpu_sim(k, space, cfg.device, GpuMode{true, false});
-  auto gaL = run_gpu_sim(k, space, cfg.device, GpuMode{true, true});
-  auto grN = run_gpu_sim(k, space, cfg.device, GpuMode{false, false});
-  auto grL = run_gpu_sim(k, space, cfg.device, GpuMode{false, true});
+  // Simulate the four GPU variants. A rope-stack overflow (run_gpu_sim
+  // throws) fails only that variant: its error string is recorded and the
+  // remaining variants still produce measurements.
+  std::array<std::vector<typename K::Result>, kNumVariants> gpu_results;
+  std::vector<std::uint32_t> nolockstep_visits;
+  std::vector<std::uint32_t> lockstep_pops;
+  for (Variant v : kAllVariants) {
+    try {
+      auto g = run_gpu_sim(k, space, cfg.device, GpuMode::from(v));
+      row.result(v) =
+          to_variant(g.stats, g.time, g.avg_nodes(), g.sim_wall_ms);
+      if (v == Variant::kAutoNolockstep)
+        nolockstep_visits = std::move(g.per_point_visits);
+      else if (v == Variant::kAutoLockstep)
+        lockstep_pops = std::move(g.per_warp_pops);
+      gpu_results[static_cast<std::size_t>(v)] = std::move(g.results);
+    } catch (const std::runtime_error& e) {
+      row.result(v) = VariantResult{};
+      row.result(v).error = e.what();
+    }
+  }
 
-  row.auto_nolockstep =
-      to_variant(gaN.stats, gaN.time, gaN.avg_nodes(), gaN.sim_wall_ms);
-  row.auto_lockstep =
-      to_variant(gaL.stats, gaL.time, gaL.avg_nodes(), gaL.sim_wall_ms);
-  row.rec_nolockstep =
-      to_variant(grN.stats, grN.time, grN.avg_nodes(), grN.sim_wall_ms);
-  row.rec_lockstep =
-      to_variant(grL.stats, grL.time, grL.avg_nodes(), grL.sim_wall_ms);
-
-  row.work_expansion = work_expansion(gaN.per_point_visits, gaL.per_warp_pops,
-                                      cfg.device.warp_size);
+  // Table 2 needs both autoropes variants; skip it if either overflowed.
+  if (!nolockstep_visits.empty() && !lockstep_pops.empty())
+    row.work_expansion = work_expansion(nolockstep_visits, lockstep_pops,
+                                        cfg.device.warp_size);
 
   if (cfg.verify) {
     auto cpu_auto = run_cpu(k, CpuVariant::kAutoropes, 1);
@@ -139,10 +150,9 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
                                    ") at point " + std::to_string(i));
     };
     check(cpu_auto.results, "cpu autoropes");
-    check(gaN.results, "gpu autoropes non-lockstep");
-    check(gaL.results, "gpu autoropes lockstep");
-    check(grN.results, "gpu recursive non-lockstep");
-    check(grL.results, "gpu recursive lockstep");
+    for (Variant v : kAllVariants)
+      if (row.result(v).ok())
+        check(gpu_results[static_cast<std::size_t>(v)], variant_name(v));
   }
 }
 
@@ -152,15 +162,21 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
 void accumulate(BenchRow& row, const BenchRow& step, int steps_so_far) {
   double w = 1.0 / steps_so_far;
   auto add_variant = [w](VariantResult& a, const VariantResult& b) {
+    // One failed timestep poisons the variant's whole-run measurement.
+    if (!b.ok() && a.ok()) a.error = b.error;
+    if (!a.ok()) return;
     a.time_ms += b.time_ms;  // total traversal time, like the paper
+    a.time.compute_ms += b.time.compute_ms;
+    a.time.memory_ms += b.time.memory_ms;
+    a.time.total_ms += b.time.total_ms;
+    a.time.memory_bound = a.time.memory_ms > a.time.compute_ms;
     a.avg_nodes = a.avg_nodes * (1.0 - w) + b.avg_nodes * w;  // per step
+    a.time.imbalance =
+        a.time.imbalance * (1.0 - w) + b.time.imbalance * w;  // per step
     a.stats.merge(b.stats);
     a.sim_wall_ms += b.sim_wall_ms;
   };
-  add_variant(row.auto_lockstep, step.auto_lockstep);
-  add_variant(row.auto_nolockstep, step.auto_nolockstep);
-  add_variant(row.rec_lockstep, step.rec_lockstep);
-  add_variant(row.rec_nolockstep, step.rec_nolockstep);
+  for (Variant v : kAllVariants) add_variant(row.result(v), step.result(v));
   row.cpu_t1_ms += step.cpu_t1_ms;
   row.cpu_tmax_ms += step.cpu_tmax_ms;
   row.cpu_visits += step.cpu_visits;
@@ -314,7 +330,8 @@ BenchRow run_bench(const BenchConfig& cfg) {
 
 std::vector<CpuSweepPoint> cpu_sweep(const BenchRow& row, bool lockstep,
                                      const std::vector<int>& thread_counts) {
-  const VariantResult& v = lockstep ? row.auto_lockstep : row.auto_nolockstep;
+  const VariantResult& v = row.result(lockstep ? Variant::kAutoLockstep
+                                               : Variant::kAutoNolockstep);
   std::vector<CpuSweepPoint> out;
   out.reserve(thread_counts.size());
   for (int t : thread_counts) {

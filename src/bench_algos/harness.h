@@ -4,13 +4,16 @@
 // Table 2 and Figures 10/11.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/ir/callset_analysis.h"
+#include "core/variant.h"
 #include "cpu/scaling_model.h"
+#include "simt/cost_model.h"
 #include "simt/device_config.h"
 #include "simt/kernel_stats.h"
 #include "simt/transfer_model.h"
@@ -58,17 +61,28 @@ struct BenchConfig {
 };
 
 struct VariantResult {
-  double time_ms = 0;       // modelled GPU time
+  double time_ms = 0;       // modelled GPU time (== time.total_ms)
   double avg_nodes = 0;     // the paper's "Avg. # Nodes" column
   KernelStats stats;
+  TimeBreakdown time;       // the cost model's full breakdown
   double sim_wall_ms = 0;
+  // Empty on success. Set (e.g. "rope stack overflow ...") when this
+  // variant's simulation failed; its numbers are then all zero while the
+  // other variants of the row stay valid.
+  std::string error;
+  [[nodiscard]] bool ok() const { return error.empty(); }
 };
 
 struct BenchRow {
   BenchConfig config;
-  // GPU variants.
-  VariantResult auto_lockstep, auto_nolockstep;
-  VariantResult rec_lockstep, rec_nolockstep;
+  // GPU variants, indexed by Variant (see core/variant.h).
+  std::array<VariantResult, kNumVariants> variants;
+  [[nodiscard]] VariantResult& result(Variant v) {
+    return variants[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const VariantResult& result(Variant v) const {
+    return variants[static_cast<std::size_t>(v)];
+  }
   // CPU measurements (real) and scaling model.
   double cpu_t1_ms = 0;            // measured, 1 thread
   double cpu_tmax_ms = 0;          // measured, cpu_threads threads
@@ -98,14 +112,20 @@ struct BenchRow {
   }
   // "Improv. vs Recurse": like-for-like autoropes vs recursive GPU.
   double improvement_vs_recursive(bool lockstep) const {
-    const VariantResult& a = lockstep ? auto_lockstep : auto_nolockstep;
-    const VariantResult& r = lockstep ? rec_lockstep : rec_nolockstep;
+    const VariantResult& a = result(lockstep ? Variant::kAutoLockstep
+                                             : Variant::kAutoNolockstep);
+    const VariantResult& r = result(lockstep ? Variant::kRecLockstep
+                                             : Variant::kRecNolockstep);
     return r.time_ms / a.time_ms - 1.0;
   }
 };
 
-// Run all variants for one benchmark/input/order cell. Throws on variant
-// result divergence when config.verify is set.
+// Run all variants for one benchmark/input/order cell. A variant whose
+// simulation fails (rope-stack overflow) is reported through its
+// VariantResult::error field instead of aborting the row, so the other
+// variants' measurements survive. Throws on variant *result divergence*
+// when config.verify is set (that is a correctness bug, not a capacity
+// limit) and on invalid configurations.
 BenchRow run_bench(const BenchConfig& config);
 
 // Figure 10/11 series: CPU-performance-vs-GPU ratio for each thread count,

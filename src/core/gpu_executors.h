@@ -31,6 +31,8 @@
 
 #include "core/rope_stack.h"
 #include "core/traversal_kernel.h"
+#include "core/variant.h"
+#include "obs/trace.h"
 #include "simt/address_space.h"
 #include "simt/cost_model.h"
 #include "simt/device_config.h"
@@ -40,25 +42,6 @@
 #include "util/timer.h"
 
 namespace tt {
-
-struct GpuMode {
-  bool autoropes = true;
-  bool lockstep = false;
-
-  // Ablation knobs for the section-5.2 design choices (defaults are the
-  // paper's choices). `contiguous_stack` gives each lane a dense private
-  // block instead of interleaving, so same-level entries of adjacent lanes
-  // never share a 128-byte segment. `lockstep_stack_global` keeps the
-  // per-warp lockstep stack in global memory instead of shared memory.
-  bool contiguous_stack = false;
-  bool lockstep_stack_global = false;
-
-  // Figure 9b's strip-mined grid loop: a finite grid makes each physical
-  // warp process several 32-point chunks (pid += gridDim * blockDim),
-  // reusing its L2 slice across chunks. 0 = grid big enough for one chunk
-  // per warp (the default model); otherwise the physical warp count.
-  std::size_t grid_limit = 0;
-};
 
 template <class K>
 struct GpuRun {
@@ -118,7 +101,8 @@ void warp_autoropes_nolockstep(const K& k, const DeviceConfig& cfg,
                                std::uint32_t entry_bytes, int stack_bound,
                                std::uint32_t* point_visits,
                                typename K::Result* results,
-                               std::atomic<bool>& overflow) {
+                               std::atomic<bool>& overflow,
+                               obs::WarpTracer* tr) {
   const int lanes = static_cast<int>(range.end - range.begin);
   std::vector<std::vector<ChildOf<K>>> stk(lanes);
   std::vector<typename K::State> state;
@@ -148,6 +132,8 @@ void warp_autoropes_nolockstep(const K& k, const DeviceConfig& cfg,
 
   for (;;) {
     int active = 0;
+    std::uint32_t pop_mask = 0;
+    std::uint32_t pop_depth = 0;  // deepest stack among popping lanes
     for (int l = 0; l < lanes; ++l) {
       popped[l] = !stk[l].empty();
       if (popped[l]) {
@@ -155,6 +141,9 @@ void warp_autoropes_nolockstep(const K& k, const DeviceConfig& cfg,
         stk[l].pop_back();
         mem.lane_load_raw(l, stack_addr(l, stk[l].size()), entry_bytes);
         ++active;
+        pop_mask |= 1u << l;
+        pop_depth =
+            std::max(pop_depth, static_cast<std::uint32_t>(stk[l].size()));
       }
     }
     if (active == 0) break;
@@ -162,7 +151,11 @@ void warp_autoropes_nolockstep(const K& k, const DeviceConfig& cfg,
     stats.active_lane_sum += static_cast<std::uint64_t>(active);
     stats.instr_cycles += cfg.c_step;
     mem.commit();  // stack pops
+    if (tr)
+      // Lanes pop distinct nodes, so the node field is not warp-uniform.
+      tr->record(obs::TraceEventKind::kPop, 0xffffffffu, pop_mask, pop_depth);
 
+    std::uint32_t trunc_mask = 0;
     stats.instr_cycles += cfg.c_visit;
     for (int l = 0; l < lanes; ++l) {
       if (!popped[l]) continue;
@@ -172,11 +165,21 @@ void warp_autoropes_nolockstep(const K& k, const DeviceConfig& cfg,
                              current[l].larg, state[l], mem, l);
       if (!descend) {
         popped[l] = 0;
+        trunc_mask |= 1u << l;
         continue;
       }
     }
     mem.commit();  // node loads (+ leaf payloads)
+    if (tr) {
+      tr->record(obs::TraceEventKind::kVisit, 0xffffffffu, pop_mask,
+                 pop_depth);
+      if (trunc_mask != 0)
+        tr->record(obs::TraceEventKind::kTruncate, 0xffffffffu, trunc_mask,
+                   pop_depth);
+    }
 
+    std::uint32_t push_count = 0;
+    std::uint32_t push_mask = 0;
     for (int l = 0; l < lanes; ++l) {
       if (!popped[l]) continue;
       int cs = K::kNumCallSets > 1 ? k.choose_callset(current[l].node, state[l])
@@ -188,12 +191,19 @@ void warp_autoropes_nolockstep(const K& k, const DeviceConfig& cfg,
         stk[l].push_back(out[i]);
         stats.instr_cycles += cfg.c_smem;
       }
+      if (cnt > 0) {
+        push_count += static_cast<std::uint32_t>(cnt);
+        push_mask |= 1u << l;
+      }
       if (stk[l].size() > static_cast<std::size_t>(stack_bound))
         overflow.store(true, std::memory_order_relaxed);
       stats.peak_stack_entries =
           std::max<std::uint64_t>(stats.peak_stack_entries, stk[l].size());
     }
     mem.commit();  // children loads + stack pushes
+    if (tr && push_count != 0)
+      tr->record(obs::TraceEventKind::kPush, 0xffffffffu, push_mask,
+                 pop_depth + 1, push_count);
   }
 
   for (int l = 0; l < lanes; ++l) results[l] = k.finish(state[l]);
@@ -210,7 +220,8 @@ void warp_autoropes_lockstep(const K& k, const DeviceConfig& cfg,
                              std::uint32_t lane_entry_bytes, int stack_bound,
                              std::uint32_t* warp_pops,
                              typename K::Result* results,
-                             std::atomic<bool>& overflow) {
+                             std::atomic<bool>& overflow,
+                             obs::WarpTracer* tr) {
   const int lanes = static_cast<int>(range.end - range.begin);
   struct WEntry {
     NodeId node;
@@ -266,6 +277,9 @@ void warp_autoropes_lockstep(const K& k, const DeviceConfig& cfg,
     ++stats.warp_steps;
     stats.instr_cycles += cfg.c_step;
     warp_stack_op(stk.size());  // pop the warp-level entry
+    if (tr)
+      tr->record(obs::TraceEventKind::kPop, top.node, top.mask,
+                 static_cast<std::uint32_t>(stk.size()));
     if constexpr (kernel_has_lane_arg<K>) {
       // Per-lane argument planes live in the interleaved global stack; the
       // pop re-reads the level that the matching push wrote.
@@ -287,10 +301,21 @@ void warp_autoropes_lockstep(const K& k, const DeviceConfig& cfg,
     }
     stats.active_lane_sum += static_cast<std::uint64_t>(active);
     mem.commit();  // broadcast node load coalesces to one transaction
+    if (tr) {
+      tr->record(obs::TraceEventKind::kVisit, top.node, top.mask,
+                 static_cast<std::uint32_t>(stk.size()));
+      if ((top.mask & ~new_mask) != 0)
+        tr->record(obs::TraceEventKind::kTruncate, top.node,
+                   top.mask & ~new_mask,
+                   static_cast<std::uint32_t>(stk.size()));
+    }
 
     // Warp vote on whether anyone still descends (warp_and of Figure 8).
     ++stats.votes;
     stats.instr_cycles += cfg.c_vote;
+    if (tr)
+      tr->record(obs::TraceEventKind::kVote, top.node, new_mask,
+                 static_cast<std::uint32_t>(stk.size()), new_mask != 0);
     if (new_mask == 0) continue;
 
     int cs = 0;
@@ -306,6 +331,10 @@ void warp_autoropes_lockstep(const K& k, const DeviceConfig& cfg,
         if (callset_votes[c] > callset_votes[cs]) cs = c;
       ++stats.votes;
       stats.instr_cycles += cfg.c_vote;
+      if (tr)
+        tr->record(obs::TraceEventKind::kVote, top.node, new_mask,
+                   static_cast<std::uint32_t>(stk.size()),
+                   static_cast<std::uint32_t>(cs));
     }
 
     // Child node ids and UArgs are warp-uniform (every lane passes the same
@@ -342,6 +371,9 @@ void warp_autoropes_lockstep(const K& k, const DeviceConfig& cfg,
       }
       stk.push_back({out[i].node, out[i].uarg, new_mask});
       largs.push_back(std::move(child_largs));
+      if (tr)
+        tr->record(obs::TraceEventKind::kPush, out[i].node, new_mask,
+                   static_cast<std::uint32_t>(stk.size()));
     }
     mem.commit();  // interleaved per-lane argument stores (coalesced)
     if (stk.size() > static_cast<std::size_t>(stack_bound))
@@ -370,7 +402,8 @@ void warp_recursive_nolockstep(const K& k, const DeviceConfig& cfg,
                                WarpMemory& mem, KernelStats& stats,
                                WarpRange range, std::uint64_t frame_base,
                                std::uint32_t* point_visits,
-                               typename K::Result* results) {
+                               typename K::Result* results,
+                               obs::WarpTracer* tr) {
   const int lanes = static_cast<int>(range.end - range.begin);
   struct Frame {
     ChildOf<K> self;
@@ -418,6 +451,7 @@ void warp_recursive_nolockstep(const K& k, const DeviceConfig& cfg,
     stats.instr_cycles += cfg.c_step;
     int active = 0;
     bool any_visit = false, any_call = false;
+    std::uint32_t visit_mask = 0, trunc_mask = 0, call_mask = 0, ret_mask = 0;
     for (int l = 0; l < lanes; ++l) {
       if (stk[l].empty() || stk[l].size() != max_depth ||
           stk[l].back().self.node != leader_node)
@@ -429,6 +463,7 @@ void warp_recursive_nolockstep(const K& k, const DeviceConfig& cfg,
         ++stats.lane_visits;
         ++point_visits[l];
         any_visit = true;
+        visit_mask |= 1u << l;
         bool descend =
             k.visit(f.self.node, f.self.uarg, f.self.larg, state[l], mem, l);
         if (descend) {
@@ -438,11 +473,13 @@ void warp_recursive_nolockstep(const K& k, const DeviceConfig& cfg,
                              mem, l);
         } else {
           f.cnt = 0;
+          trunc_mask |= 1u << l;
         }
       } else if (f.cursor < f.cnt) {
         // Call: spill the live frame and descend into the next child.
         any_call = true;
         ++stats.calls;
+        call_mask |= 1u << l;
         Frame child;
         child.self = f.kids[f.cursor++];
         mem.lane_load_raw(l, frame_addr(l, stk[l].size() - 1),
@@ -451,6 +488,7 @@ void warp_recursive_nolockstep(const K& k, const DeviceConfig& cfg,
       } else {
         // Return: restore the caller's frame from local memory.
         any_call = true;
+        ret_mask |= 1u << l;
         mem.lane_load_raw(l, frame_addr(l, stk[l].size() >= 2
                                                ? stk[l].size() - 2
                                                : 0),
@@ -464,6 +502,21 @@ void warp_recursive_nolockstep(const K& k, const DeviceConfig& cfg,
     if (any_visit) stats.instr_cycles += cfg.c_visit;
     if (any_call) stats.instr_cycles += cfg.c_call;
     mem.commit();
+    if (tr) {
+      const auto depth = static_cast<std::uint32_t>(max_depth);
+      if (visit_mask != 0)
+        tr->record(obs::TraceEventKind::kVisit, leader_node, visit_mask,
+                   depth);
+      if (trunc_mask != 0)
+        tr->record(obs::TraceEventKind::kTruncate, leader_node, trunc_mask,
+                   depth);
+      if (call_mask != 0)
+        tr->record(obs::TraceEventKind::kCall, leader_node, call_mask,
+                   depth + 1);
+      if (ret_mask != 0)
+        tr->record(obs::TraceEventKind::kReturn, leader_node, ret_mask,
+                   depth - 1);
+    }
   }
 
   for (int l = 0; l < lanes; ++l) results[l] = k.finish(state[l]);
@@ -483,6 +536,7 @@ struct RecLockstepCtx {
   std::vector<typename K::State>& state;
   int lanes;
   std::uint64_t frame_base;
+  obs::WarpTracer* tr;
   int callset_votes[8];
 
   std::uint64_t frame_addr(int lane, std::size_t depth) const {
@@ -497,6 +551,9 @@ struct RecLockstepCtx {
     ++stats.warp_pops;
     ++stats.warp_steps;
     stats.instr_cycles += cfg.c_step + cfg.c_visit;
+    if (tr)
+      tr->record(obs::TraceEventKind::kPop, node, mask,
+                 static_cast<std::uint32_t>(depth));
 
     int active = 0;
     std::uint32_t new_mask = 0;
@@ -510,6 +567,15 @@ struct RecLockstepCtx {
     mem.commit();
     ++stats.votes;
     stats.instr_cycles += cfg.c_vote;
+    if (tr) {
+      tr->record(obs::TraceEventKind::kVisit, node, mask,
+                 static_cast<std::uint32_t>(depth));
+      if ((mask & ~new_mask) != 0)
+        tr->record(obs::TraceEventKind::kTruncate, node, mask & ~new_mask,
+                   static_cast<std::uint32_t>(depth));
+      tr->record(obs::TraceEventKind::kVote, node, new_mask,
+                 static_cast<std::uint32_t>(depth), new_mask != 0);
+    }
     if (new_mask == 0) return;
 
     int cs = 0;
@@ -524,6 +590,10 @@ struct RecLockstepCtx {
         if (callset_votes[c] > callset_votes[cs]) cs = c;
       ++stats.votes;
       stats.instr_cycles += cfg.c_vote;
+      if (tr)
+        tr->record(obs::TraceEventKind::kVote, node, new_mask,
+                   static_cast<std::uint32_t>(depth),
+                   static_cast<std::uint32_t>(cs));
     }
 
     ChildOf<K> out[K::kFanout];
@@ -558,6 +628,9 @@ struct RecLockstepCtx {
         if constexpr (kernel_has_lane_arg<K>) child_la[l] = lane_largs[l][i];
       }
       mem.commit();
+      if (tr)
+        tr->record(obs::TraceEventKind::kCall, out[i].node, new_mask,
+                   static_cast<std::uint32_t>(depth + 1));
       recurse(out[i].node, out[i].uarg, child_la, new_mask, depth + 1);
       // Return: restore the frame.
       for (int l = 0; l < lanes; ++l)
@@ -565,6 +638,9 @@ struct RecLockstepCtx {
           mem.lane_load_raw(l, frame_addr(l, depth),
                             static_cast<std::uint32_t>(cfg.frame_bytes));
       mem.commit();
+      if (tr)
+        tr->record(obs::TraceEventKind::kReturn, node, new_mask,
+                   static_cast<std::uint32_t>(depth));
     }
   }
 };
@@ -574,14 +650,15 @@ void warp_recursive_lockstep(const K& k, const DeviceConfig& cfg,
                              WarpMemory& mem, KernelStats& stats,
                              WarpRange range, std::uint64_t frame_base,
                              std::uint32_t* warp_pops,
-                             typename K::Result* results) {
+                             typename K::Result* results,
+                             obs::WarpTracer* tr) {
   const int lanes = static_cast<int>(range.end - range.begin);
   std::vector<typename K::State> state;
   state.reserve(lanes);
   for (int l = 0; l < lanes; ++l) state.push_back(k.init(range.begin + l, mem, l));
   mem.commit();
 
-  RecLockstepCtx<K> ctx{k, cfg, mem, stats, state, lanes, frame_base, {}};
+  RecLockstepCtx<K> ctx{k, cfg, mem, stats, state, lanes, frame_base, tr, {}};
   const std::uint32_t full_mask =
       lanes >= 32 ? 0xffffffffu : ((1u << lanes) - 1u);
   std::vector<typename K::LArg> root_la(static_cast<std::size_t>(lanes),
@@ -597,10 +674,13 @@ void warp_recursive_lockstep(const K& k, const DeviceConfig& cfg,
 
 // ---------------------------------------------------------------------
 // Entry point: simulate the kernel under one of the four GPU variants.
+// `trace` is optional: when non-null, every warp loop emits per-step
+// event records into it (see obs/trace.h for the determinism contract).
 // ---------------------------------------------------------------------
 template <TraversalKernel K>
 GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
-                      const DeviceConfig& cfg, GpuMode mode) {
+                      const DeviceConfig& cfg, GpuMode mode,
+                      obs::TraceSink* trace = nullptr) {
   const std::size_t n = k.num_points();
   const std::size_t n_warps =
       (n + static_cast<std::size_t>(cfg.warp_size) - 1) /
@@ -636,12 +716,16 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
       mode.grid_limit > 0 ? std::min(mode.grid_limit, n_warps) : n_warps;
 
   std::atomic<bool> overflow{false};
+  if (trace) trace->begin(n_warps, omp_get_max_threads());
   WallTimer timer;
   std::vector<KernelStats> per_warp = run_warps(
       grid, cfg, [&](std::size_t p, KernelStats& stats, L2Cache* l2) {
         WarpMemory mem(space, cfg, l2, stats);
         std::uint64_t base = stack_base0 + per_warp_span * p;
+        obs::WarpTracer* tr =
+            trace ? &trace->ring(omp_get_thread_num()) : nullptr;
         for (std::size_t w = p; w < n_warps; w += grid) {
+          if (tr) tr->begin_warp(static_cast<std::uint32_t>(w));
           detail::WarpRange range;
           range.begin = static_cast<std::uint32_t>(w * cfg.warp_size);
           range.end = static_cast<std::uint32_t>(
@@ -651,19 +735,21 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
             detail::warp_autoropes_nolockstep(
                 k, cfg, mode, mem, stats, range, base, entry_bytes,
                 stack_bound, run.per_point_visits.data() + range.begin,
-                results, overflow);
+                results, overflow, tr);
           } else if (mode.autoropes && mode.lockstep) {
             detail::warp_autoropes_lockstep(
                 k, cfg, mode, mem, stats, range, base, entry_bytes,
-                stack_bound, &run.per_warp_pops[w], results, overflow);
+                stack_bound, &run.per_warp_pops[w], results, overflow, tr);
           } else if (!mode.autoropes && !mode.lockstep) {
             detail::warp_recursive_nolockstep(
                 k, cfg, mem, stats, range, base,
-                run.per_point_visits.data() + range.begin, results);
+                run.per_point_visits.data() + range.begin, results, tr);
           } else {
             detail::warp_recursive_lockstep(k, cfg, mem, stats, range, base,
-                                            &run.per_warp_pops[w], results);
+                                            &run.per_warp_pops[w], results,
+                                            tr);
           }
+          if (tr) trace->commit(static_cast<std::uint32_t>(w), *tr);
         }
       });
   run.sim_wall_ms = timer.elapsed_ms();

@@ -1,0 +1,88 @@
+// The four GPU execution variants the paper evaluates, as a first-class
+// enum. `Variant` is the public way to name a configuration; `GpuMode` is
+// the executor-facing knob struct it expands to (plus the section-5.2
+// ablation switches). Harness results, reports and tests all key off
+// `Variant` so a variant has exactly one spelling everywhere.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tt {
+
+enum class Variant : std::uint8_t {
+  kAutoLockstep = 0,     // autoropes, per-warp union traversal (Figure 8)
+  kAutoNolockstep = 1,   // autoropes, per-lane rope stacks (Figure 6/7)
+  kRecLockstep = 2,      // recursion over the union traversal (footnote 5)
+  kRecNolockstep = 3,    // naive CUDA port: per-lane recursion
+};
+
+inline constexpr std::size_t kNumVariants = 4;
+
+inline constexpr std::array<Variant, kNumVariants> kAllVariants{
+    Variant::kAutoLockstep, Variant::kAutoNolockstep, Variant::kRecLockstep,
+    Variant::kRecNolockstep};
+
+[[nodiscard]] constexpr const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kAutoLockstep: return "auto_lockstep";
+    case Variant::kAutoNolockstep: return "auto_nolockstep";
+    case Variant::kRecLockstep: return "rec_lockstep";
+    case Variant::kRecNolockstep: return "rec_nolockstep";
+  }
+  return "?";
+}
+
+// "auto_lockstep" etc. -> Variant; throws std::invalid_argument otherwise.
+[[nodiscard]] inline Variant variant_from_name(const std::string& name) {
+  for (Variant v : kAllVariants)
+    if (name == variant_name(v)) return v;
+  throw std::invalid_argument("variant_from_name: unknown variant '" + name +
+                              "'");
+}
+
+[[nodiscard]] constexpr bool variant_is_autoropes(Variant v) {
+  return v == Variant::kAutoLockstep || v == Variant::kAutoNolockstep;
+}
+
+[[nodiscard]] constexpr bool variant_is_lockstep(Variant v) {
+  return v == Variant::kAutoLockstep || v == Variant::kRecLockstep;
+}
+
+struct GpuMode {
+  bool autoropes = true;
+  bool lockstep = false;
+
+  // Ablation knobs for the section-5.2 design choices (defaults are the
+  // paper's choices). `contiguous_stack` gives each lane a dense private
+  // block instead of interleaving, so same-level entries of adjacent lanes
+  // never share a 128-byte segment. `lockstep_stack_global` keeps the
+  // per-warp lockstep stack in global memory instead of shared memory.
+  bool contiguous_stack = false;
+  bool lockstep_stack_global = false;
+
+  // Figure 9b's strip-mined grid loop: a finite grid makes each physical
+  // warp process several 32-point chunks (pid += gridDim * blockDim),
+  // reusing its L2 slice across chunks. 0 = grid big enough for one chunk
+  // per warp (the default model); otherwise the physical warp count.
+  std::size_t grid_limit = 0;
+
+  // The canonical spelling of the four paper variants.
+  [[nodiscard]] static constexpr GpuMode from(Variant v) {
+    GpuMode m;
+    m.autoropes = variant_is_autoropes(v);
+    m.lockstep = variant_is_lockstep(v);
+    return m;
+  }
+
+  [[nodiscard]] constexpr Variant variant() const {
+    if (autoropes)
+      return lockstep ? Variant::kAutoLockstep : Variant::kAutoNolockstep;
+    return lockstep ? Variant::kRecLockstep : Variant::kRecNolockstep;
+  }
+};
+
+}  // namespace tt

@@ -1,0 +1,383 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tt::obs {
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  assert(ec == std::errc());
+  std::string s(buf, p);
+  // Bare integers round-trip as doubles, but "1e+22"-style output needs no
+  // fixup; only ensure integral values read back as numbers (they do).
+  return s;
+}
+
+std::string json_number(std::uint64_t v) { return std::to_string(v); }
+std::string json_number(std::int64_t v) { return std::to_string(v); }
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(&os), indent_(indent) {}
+
+void JsonWriter::raw(const std::string& s) { (*os_) << s; }
+
+void JsonWriter::comma_and_newline() {
+  if (key_pending_) {  // value directly follows its key
+    key_pending_ = false;
+    return;
+  }
+  if (!first_) raw(",");
+  if (depth_ > 0) {
+    raw("\n");
+    raw(std::string(static_cast<std::size_t>(depth_ * indent_), ' '));
+  }
+  first_ = false;
+}
+
+void JsonWriter::begin_object() {
+  comma_and_newline();
+  raw("{");
+  ++depth_;
+  first_ = true;
+}
+
+void JsonWriter::end_object() {
+  --depth_;
+  if (!first_) {
+    raw("\n");
+    raw(std::string(static_cast<std::size_t>(depth_ * indent_), ' '));
+  }
+  raw("}");
+  first_ = false;
+  if (depth_ == 0) raw("\n");
+}
+
+void JsonWriter::begin_array() {
+  comma_and_newline();
+  raw("[");
+  ++depth_;
+  first_ = true;
+}
+
+void JsonWriter::end_array() {
+  --depth_;
+  if (!first_) {
+    raw("\n");
+    raw(std::string(static_cast<std::size_t>(depth_ * indent_), ' '));
+  }
+  raw("]");
+  first_ = false;
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma_and_newline();
+  raw("\"" + json_escape(k) + "\": ");
+  key_pending_ = true;
+}
+
+void JsonWriter::member(const std::string& k, const std::string& v) {
+  key(k);
+  comma_and_newline();
+  raw("\"" + json_escape(v) + "\"");
+}
+void JsonWriter::member(const std::string& k, const char* v) {
+  member(k, std::string(v));
+}
+void JsonWriter::member(const std::string& k, double v) {
+  key(k);
+  comma_and_newline();
+  raw(json_number(v));
+}
+void JsonWriter::member(const std::string& k, std::uint64_t v) {
+  key(k);
+  comma_and_newline();
+  raw(json_number(v));
+}
+void JsonWriter::member(const std::string& k, std::int64_t v) {
+  key(k);
+  comma_and_newline();
+  raw(json_number(v));
+}
+void JsonWriter::member(const std::string& k, int v) {
+  member(k, static_cast<std::int64_t>(v));
+}
+void JsonWriter::member(const std::string& k, bool v) {
+  key(k);
+  comma_and_newline();
+  raw(v ? "true" : "false");
+}
+void JsonWriter::member_null(const std::string& k) {
+  key(k);
+  comma_and_newline();
+  raw("null");
+}
+void JsonWriter::member_object(const std::string& k) {
+  key(k);
+  begin_object();
+}
+void JsonWriter::member_array(const std::string& k) {
+  key(k);
+  begin_array();
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma_and_newline();
+  raw("\"" + json_escape(v) + "\"");
+}
+void JsonWriter::value(double v) {
+  comma_and_newline();
+  raw(json_number(v));
+}
+void JsonWriter::value(std::uint64_t v) {
+  comma_and_newline();
+  raw(json_number(v));
+}
+void JsonWriter::value(bool v) {
+  comma_and_newline();
+  raw(v ? "true" : "false");
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [key, val] : obj_v)
+    if (key == k) return val.get();
+  return nullptr;
+}
+
+double JsonValue::as_number() const {
+  if (type != Type::kNumber) throw std::runtime_error("json: not a number");
+  return num_v;
+}
+std::uint64_t JsonValue::as_uint() const {
+  double d = as_number();
+  if (d < 0) throw std::runtime_error("json: negative where uint expected");
+  return static_cast<std::uint64_t>(d);
+}
+const std::string& JsonValue::as_string() const {
+  if (type != Type::kString) throw std::runtime_error("json: not a string");
+  return str_v;
+}
+bool JsonValue::as_bool() const {
+  if (type != Type::kBool) throw std::runtime_error("json: not a bool");
+  return bool_v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValuePtr parse() {
+    JsonValuePtr v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_lit(const char* lit) {
+    std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValuePtr parse_value() {
+    skip_ws();
+    auto v = std::make_shared<JsonValue>();
+    char c = peek();
+    if (c == '{') {
+      v->type = JsonValue::Type::kObject;
+      ++pos_;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string_raw();
+        skip_ws();
+        expect(':');
+        v->obj_v.emplace_back(std::move(key), parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v->type = JsonValue::Type::kArray;
+      ++pos_;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      for (;;) {
+        v->arr_v.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v->type = JsonValue::Type::kString;
+      v->str_v = parse_string_raw();
+      return v;
+    }
+    if (consume_lit("null")) return v;
+    if (consume_lit("true")) {
+      v->type = JsonValue::Type::kBool;
+      v->bool_v = true;
+      return v;
+    }
+    if (consume_lit("false")) {
+      v->type = JsonValue::Type::kBool;
+      return v;
+    }
+    // Number.
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    double num = 0;
+    auto [p, ec] = std::from_chars(s_.data() + start, s_.data() + pos_, num);
+    if (ec != std::errc() || p != s_.data() + pos_) fail("bad number");
+    v->type = JsonValue::Type::kNumber;
+    v->num_v = num;
+    return v;
+  }
+
+  std::string parse_string_raw() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // The writer only emits \u for control characters; decode the
+          // basic-plane code point as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValuePtr json_parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace tt::obs

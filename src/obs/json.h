@@ -1,0 +1,108 @@
+// Dependency-free JSON support for the observability layer.
+//
+// The writer emits keys in insertion order and formats numbers with
+// std::to_chars (shortest round-trip form), so a report built from the
+// same values is byte-identical across runs -- the property the RunReport
+// determinism guarantee rests on. The parser is a small recursive-descent
+// reader used by round-trip tests and the json_validate tool; it accepts
+// exactly the JSON the writer produces (plus whitespace).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tt::obs {
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+std::string json_escape(const std::string& s);
+// Shortest round-trip decimal form; "null" for non-finite values.
+std::string json_number(double v);
+std::string json_number(std::uint64_t v);
+std::string json_number(std::int64_t v);
+
+// Streaming writer with explicit structure calls. Keys appear in call
+// order; the caller is responsible for balanced begin/end pairs (checked
+// with asserts in debug builds via depth bookkeeping).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  // Object members.
+  void key(const std::string& k);
+  void member(const std::string& k, const std::string& v);
+  void member(const std::string& k, const char* v);
+  void member(const std::string& k, double v);
+  void member(const std::string& k, std::uint64_t v);
+  void member(const std::string& k, std::int64_t v);
+  void member(const std::string& k, int v);
+  void member(const std::string& k, bool v);
+  void member_null(const std::string& k);
+  void member_object(const std::string& k);  // key + begin_object
+  void member_array(const std::string& k);   // key + begin_array
+
+  // Array elements.
+  void value(const std::string& v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(bool v);
+
+ private:
+  void comma_and_newline();
+  void raw(const std::string& s);
+
+  std::ostream* os_;
+  int indent_;
+  int depth_ = 0;
+  bool first_ = true;      // no element yet at the current level
+  bool key_pending_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Parser (for tests/validation, not a general-purpose library).
+// ---------------------------------------------------------------------
+
+class JsonValue;
+using JsonValuePtr = std::shared_ptr<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double num_v = 0;
+  std::string str_v;
+  std::vector<JsonValuePtr> arr_v;
+  // Parse preserves insertion order for round-trip checks.
+  std::vector<std::pair<std::string, JsonValuePtr>> obj_v;
+
+  [[nodiscard]] bool is_null() const { return type == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+
+  // Object lookup; nullptr when missing or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& k) const;
+  // Checked accessors -- throw std::runtime_error on type mismatch.
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] bool as_bool() const;
+};
+
+// Throws std::runtime_error with an offset-tagged message on malformed
+// input or trailing garbage.
+JsonValuePtr json_parse(const std::string& text);
+
+}  // namespace tt::obs

@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "simt/cost_model.h"
+
+namespace tt::obs {
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double sample) {
+  histograms_[name].stats.add(sample);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    throw std::out_of_range("MetricsRegistry: no counter '" + name + "'");
+  return it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    throw std::out_of_range("MetricsRegistry: no gauge '" + name + "'");
+  return it->second;
+}
+
+Summary MetricsRegistry::histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    throw std::out_of_range("MetricsRegistry: no histogram '" + name + "'");
+  return it->second.stats.summary();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) {
+    auto [it, inserted] = gauges_.emplace(name, v);
+    if (!inserted && it->second != v) {
+      ++gauge_conflicts_;
+      it->second = std::max(it->second, v);  // order-independent resolution
+    }
+  }
+  for (const auto& [name, h] : other.histograms_)
+    histograms_[name].stats.merge(h.stats);
+  gauge_conflicts_ += other.gauge_conflicts_;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.member_object("counters");
+  for (const auto& [name, v] : counters_) w.member(name, v);
+  w.end_object();
+  w.member_object("gauges");
+  for (const auto& [name, v] : gauges_) w.member(name, v);
+  w.end_object();
+  w.member_object("histograms");
+  for (const auto& [name, h] : histograms_) {
+    Summary s = h.stats.summary();
+    w.member_object(name);
+    w.member("count", static_cast<std::uint64_t>(s.count));
+    w.member("mean", s.mean);
+    w.member("stddev", s.stddev);
+    w.member("min", s.min);
+    w.member("max", s.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void register_kernel_stats(MetricsRegistry& reg, const KernelStats& stats,
+                           const std::string& prefix) {
+  reg.add_counter(prefix + "load_instructions", stats.load_instructions);
+  reg.add_counter(prefix + "dram_transactions", stats.dram_transactions);
+  reg.add_counter(prefix + "l2_hit_transactions", stats.l2_hit_transactions);
+  reg.add_counter(prefix + "dram_bytes", stats.dram_bytes);
+  reg.add_counter(prefix + "warp_steps", stats.warp_steps);
+  reg.add_counter(prefix + "lane_visits", stats.lane_visits);
+  reg.add_counter(prefix + "warp_pops", stats.warp_pops);
+  reg.add_counter(prefix + "calls", stats.calls);
+  reg.add_counter(prefix + "votes", stats.votes);
+  reg.add_counter(prefix + "active_lane_sum", stats.active_lane_sum);
+  reg.set_gauge(prefix + "instr_cycles", stats.instr_cycles);
+  reg.set_gauge(prefix + "peak_stack_entries",
+                static_cast<double>(stats.peak_stack_entries));
+  if (stats.warp_steps > 0)
+    reg.set_gauge(prefix + "mean_active_lanes",
+                  static_cast<double>(stats.active_lane_sum) /
+                      static_cast<double>(stats.warp_steps));
+}
+
+void register_time_breakdown(MetricsRegistry& reg, const TimeBreakdown& time,
+                             const std::string& prefix) {
+  reg.set_gauge(prefix + "compute_ms", time.compute_ms);
+  reg.set_gauge(prefix + "memory_ms", time.memory_ms);
+  reg.set_gauge(prefix + "total_ms", time.total_ms);
+  reg.set_gauge(prefix + "memory_bound", time.memory_bound ? 1.0 : 0.0);
+  reg.set_gauge(prefix + "imbalance", time.imbalance);
+}
+
+void register_cpu_model(MetricsRegistry& reg, const CpuScalingModel& model,
+                        const std::string& prefix) {
+  reg.set_gauge(prefix + "beta", model.beta);
+  reg.set_gauge(prefix + "speedup_at_32", model.speedup(32));
+}
+
+void register_transfer_model(MetricsRegistry& reg, const TransferModel& model,
+                             std::uint64_t upload_bytes,
+                             std::uint64_t download_bytes,
+                             const std::string& prefix) {
+  reg.add_counter(prefix + "upload_bytes", upload_bytes);
+  reg.add_counter(prefix + "download_bytes", download_bytes);
+  reg.set_gauge(prefix + "pcie_gbps", model.pcie_gbps);
+  reg.set_gauge(prefix + "round_trip_ms",
+                model.round_trip_ms(upload_bytes, download_bytes));
+}
+
+}  // namespace tt::obs

@@ -1,0 +1,93 @@
+// MetricsRegistry: a flat, named registry of counters, gauges and
+// histograms that every measured subsystem (KernelStats, the cost model's
+// TimeBreakdown, the CPU scaling model, the transfer model) exports into.
+//
+// Names are slash-separated paths ("gpu/auto_lockstep/lane_visits").
+// Storage is an ordered map, so iteration -- and therefore JSON emission
+// and merge results -- is deterministic regardless of registration order.
+// Merging two registries is commutative on counters (sum) and histograms
+// (Welford-state merge); gauges must agree or the merge keeps the max and
+// counts the conflict, so merge(a,b) == merge(b,a) always holds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cpu/scaling_model.h"
+#include "simt/kernel_stats.h"
+#include "simt/transfer_model.h"
+#include "util/stats.h"
+
+namespace tt {
+struct TimeBreakdown;  // simt/cost_model.h
+}
+
+namespace tt::obs {
+
+class JsonWriter;
+
+struct Histogram {
+  RunningStats stats;
+};
+
+class MetricsRegistry {
+ public:
+  // Counters accumulate; repeated calls with the same name add.
+  void add_counter(const std::string& name, std::uint64_t delta);
+  // Gauges are point-in-time values; repeated calls overwrite.
+  void set_gauge(const std::string& name, double value);
+  // Histograms accumulate observations (Welford summary).
+  void observe(const std::string& name, double sample);
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+  [[nodiscard]] Summary histogram(const std::string& name) const;
+  [[nodiscard]] bool has_counter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+  [[nodiscard]] bool has_gauge(const std::string& name) const {
+    return gauges_.count(name) != 0;
+  }
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Commutative, associative merge (see header comment). `gauge_conflicts`
+  // counts gauges present in both registries with differing values.
+  void merge(const MetricsRegistry& other);
+  [[nodiscard]] std::uint64_t gauge_conflicts() const {
+    return gauge_conflicts_;
+  }
+
+  // Deterministic emission: three sorted sections, keys in name order.
+  void write_json(JsonWriter& w) const;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::uint64_t gauge_conflicts_ = 0;
+};
+
+// Exporters: one per measured subsystem. `prefix` is prepended verbatim
+// (pass e.g. "gpu/auto_lockstep/").
+void register_kernel_stats(MetricsRegistry& reg, const KernelStats& stats,
+                           const std::string& prefix);
+void register_time_breakdown(MetricsRegistry& reg, const TimeBreakdown& time,
+                             const std::string& prefix);
+void register_cpu_model(MetricsRegistry& reg, const CpuScalingModel& model,
+                        const std::string& prefix);
+void register_transfer_model(MetricsRegistry& reg, const TransferModel& model,
+                             std::uint64_t upload_bytes,
+                             std::uint64_t download_bytes,
+                             const std::string& prefix);
+
+}  // namespace tt::obs

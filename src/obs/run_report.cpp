@@ -1,0 +1,227 @@
+#include "obs/run_report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "simt/cost_model.h"
+
+#ifndef TT_GIT_SHA
+#define TT_GIT_SHA "unknown"
+#endif
+
+namespace tt::obs {
+
+namespace {
+
+void write_summary(JsonWriter& w, const Summary& s) {
+  w.begin_object();
+  w.member("count", static_cast<std::uint64_t>(s.count));
+  w.member("mean", s.mean);
+  w.member("stddev", s.stddev);
+  w.member("min", s.min);
+  w.member("max", s.max);
+  w.end_object();
+}
+
+void write_kernel_stats(JsonWriter& w, const KernelStats& s) {
+  w.begin_object();
+  w.member("load_instructions", s.load_instructions);
+  w.member("dram_transactions", s.dram_transactions);
+  w.member("l2_hit_transactions", s.l2_hit_transactions);
+  w.member("dram_bytes", s.dram_bytes);
+  w.member("instr_cycles", s.instr_cycles);
+  w.member("warp_steps", s.warp_steps);
+  w.member("lane_visits", s.lane_visits);
+  w.member("warp_pops", s.warp_pops);
+  w.member("calls", s.calls);
+  w.member("votes", s.votes);
+  w.member("active_lane_sum", s.active_lane_sum);
+  w.member("peak_stack_entries", s.peak_stack_entries);
+  w.end_object();
+}
+
+void write_time(JsonWriter& w, const TimeBreakdown& t) {
+  w.begin_object();
+  w.member("compute_ms", t.compute_ms);
+  w.member("memory_ms", t.memory_ms);
+  w.member("total_ms", t.total_ms);
+  w.member("memory_bound", t.memory_bound);
+  w.member("imbalance", t.imbalance);
+  w.end_object();
+}
+
+void write_device(JsonWriter& w, const DeviceConfig& d) {
+  w.begin_object();
+  w.member("warp_size", d.warp_size);
+  w.member("num_sms", d.num_sms);
+  w.member("resident_warps_per_sm", d.resident_warps_per_sm);
+  w.member("clock_ghz", d.clock_ghz);
+  w.member("mem_bandwidth_gbps", d.mem_bandwidth_gbps);
+  w.member("transaction_bytes", d.transaction_bytes);
+  w.member("l2_bytes", static_cast<std::uint64_t>(d.l2_bytes));
+  w.member("l2_line_bytes", d.l2_line_bytes);
+  w.member("l2_assoc", d.l2_assoc);
+  w.member("model_l2", d.model_l2);
+  w.member("shared_mem_per_sm", static_cast<std::uint64_t>(d.shared_mem_per_sm));
+  w.member("c_visit", d.c_visit);
+  w.member("c_step", d.c_step);
+  w.member("c_call", d.c_call);
+  w.member("c_vote", d.c_vote);
+  w.member("c_smem", d.c_smem);
+  w.member("c_l2hit", d.c_l2hit);
+  w.member("stack_entry_bytes", d.stack_entry_bytes);
+  w.member("frame_bytes", d.frame_bytes);
+  w.end_object();
+}
+
+void write_config(JsonWriter& w, const BenchConfig& c) {
+  w.begin_object();
+  w.member("algo", algo_name(c.algo));
+  w.member("input", input_name(c.input));
+  w.member("n", static_cast<std::uint64_t>(c.n));
+  w.member("sorted", c.sorted);
+  w.member("seed", c.seed);
+  w.member("dim", c.dim);
+  w.member("k", c.k);
+  w.member("pc_target_neighbors", c.pc_target_neighbors);
+  w.member("bh_theta", static_cast<double>(c.bh_theta));
+  w.member("bh_timesteps", c.bh_timesteps);
+  w.member("leaf_size", c.leaf_size);
+  w.end_object();
+}
+
+}  // namespace
+
+MetricsRegistry metrics_for_row(const BenchRow& row) {
+  MetricsRegistry reg;
+  for (Variant v : kAllVariants) {
+    const VariantResult& r = row.result(v);
+    if (!r.ok()) continue;
+    std::string prefix = std::string("gpu/") + variant_name(v) + "/";
+    register_kernel_stats(reg, r.stats, prefix);
+    register_time_breakdown(reg, r.time, prefix);
+  }
+  register_cpu_model(reg, row.cpu_model, "cpu/");
+  register_transfer_model(reg, row.transfer, row.upload_bytes,
+                          row.download_bytes, "transfer/");
+  return reg;
+}
+
+RunReport::RunReport(std::string generator)
+    : generator_(std::move(generator)) {}
+
+void RunReport::add_table(const std::string& name, const Table& table,
+                          bool volatile_data) {
+  tables_.push_back(NamedTable{name, table, volatile_data});
+}
+
+void RunReport::write(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("schema", kRunReportSchema);
+  w.member("generator", generator_);
+  w.member("git_sha", TT_GIT_SHA);
+  if (seed_) w.member("seed", *seed_);
+  w.member("include_volatile", include_volatile_);
+  if (device_) {
+    w.key("device");
+    write_device(w, *device_);
+  }
+
+  w.member_array("rows");
+  for (const BenchRow& row : rows_) {
+    w.begin_object();
+    w.key("config");
+    write_config(w, row.config);
+
+    w.member_object("variants");
+    for (Variant v : kAllVariants) {
+      const VariantResult& r = row.result(v);
+      w.member_object(variant_name(v));
+      w.member("ok", r.ok());
+      if (!r.ok()) w.member("error", r.error);
+      w.member("time_ms", r.time_ms);
+      w.member("avg_nodes", r.avg_nodes);
+      w.key("stats");
+      write_kernel_stats(w, r.stats);
+      w.key("time");
+      write_time(w, r.time);
+      if (include_volatile_) w.member("sim_wall_ms", r.sim_wall_ms);
+      w.end_object();
+    }
+    w.end_object();  // variants
+
+    w.member_object("cpu");
+    w.member("visits", row.cpu_visits);
+    w.member("threads_measured", row.cpu_threads_measured);
+    w.member("model_beta", row.cpu_model.beta);
+    w.member("model_speedup_at_32", row.cpu_model.speedup(32));
+    if (include_volatile_) {
+      w.member("t1_ms", row.cpu_t1_ms);
+      w.member("tmax_ms", row.cpu_tmax_ms);
+    }
+    w.end_object();
+
+    w.key("work_expansion");
+    write_summary(w, row.work_expansion);
+
+    w.member_object("transfer");
+    w.member("upload_bytes", row.upload_bytes);
+    w.member("download_bytes", row.download_bytes);
+    w.member("pcie_gbps", row.transfer.pcie_gbps);
+    w.member("launch_overhead_ms", row.transfer.launch_overhead_ms);
+    w.member("round_trip_ms", row.transfer_ms());
+    w.end_object();
+
+    w.key("metrics");
+    metrics_for_row(row).write_json(w);
+
+    w.end_object();  // row
+  }
+  w.end_array();
+
+  w.member_array("tables");
+  for (const NamedTable& t : tables_) {
+    if (t.volatile_data && !include_volatile_) continue;
+    w.begin_object();
+    w.member("name", t.name);
+    w.member_array("header");
+    for (const std::string& h : t.table.header()) w.value(h);
+    w.end_array();
+    w.member_array("rows");
+    for (const auto& cells : t.table.data()) {
+      w.begin_array();
+      for (const std::string& c : cells) w.value(c);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();  // the writer newline-terminates the document at depth 0
+}
+
+std::string RunReport::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+bool RunReport::write_file(const std::string& path, std::string* err) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    if (err) *err = "cannot open " + path + " for writing";
+    return false;
+  }
+  write(os);
+  os.flush();
+  if (!os) {
+    if (err) *err = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tt::obs

@@ -1,0 +1,75 @@
+// RunReport: schema-versioned JSON export of a benchmark run.
+//
+// A report bundles everything needed to interpret (and re-plot) a run
+// without the binary that produced it: the device model, every BenchRow
+// with all four variants' counters and modelled time breakdowns, the
+// emitted human tables, and a MetricsRegistry snapshot per row. Reports
+// are deterministic -- measured wall-clock values (cpu_t1_ms, sim_wall_ms
+// and everything derived from them) are excluded unless `include_volatile`
+// is set -- so re-running the same binary with the same flags produces a
+// byte-identical file. Schema changes bump kRunReportSchema.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bench_algos/harness.h"
+#include "obs/metrics.h"
+#include "util/csv.h"
+
+namespace tt::obs {
+
+inline constexpr const char* kRunReportSchema = "treetrav.run_report/v1";
+
+// Build the per-row registry: all four variants' KernelStats and
+// TimeBreakdowns under "gpu/<variant>/", the CPU scaling model under
+// "cpu/" and the transfer model under "transfer/". Failed variants
+// contribute nothing but an error gauge is not needed -- the row JSON
+// carries the error string.
+MetricsRegistry metrics_for_row(const BenchRow& row);
+
+class RunReport {
+ public:
+  // `generator` names the producing binary ("table1", "ablation_ropes"...).
+  explicit RunReport(std::string generator);
+
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  void set_device(const DeviceConfig& device) { device_ = device; }
+  // Include measured wall-clock values (breaks byte-identity across runs).
+  void set_include_volatile(bool v) { include_volatile_ = v; }
+
+  void add_row(const BenchRow& row) { rows_.push_back(row); }
+  // Tables whose cells embed measured wall-clock values (e.g. table1's
+  // speedup-vs-CPU columns) must pass volatile_data = true; they are then
+  // only emitted when include_volatile is set, keeping the default report
+  // byte-identical across runs.
+  void add_table(const std::string& name, const Table& table,
+                 bool volatile_data = false);
+
+  [[nodiscard]] std::size_t n_rows() const { return rows_.size(); }
+
+  void write(std::ostream& os) const;
+  // Convenience: serialize to a string (used by tests).
+  [[nodiscard]] std::string to_string() const;
+  // Returns false and fills *err (if non-null) when the file cannot be
+  // written; never throws.
+  bool write_file(const std::string& path, std::string* err = nullptr) const;
+
+ private:
+  std::string generator_;
+  std::optional<std::uint64_t> seed_;
+  std::optional<DeviceConfig> device_;
+  bool include_volatile_ = false;
+  std::vector<BenchRow> rows_;
+  struct NamedTable {
+    std::string name;
+    Table table;
+    bool volatile_data;
+  };
+  std::vector<NamedTable> tables_;
+};
+
+}  // namespace tt::obs

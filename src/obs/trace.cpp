@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace tt::obs {
+
+const char* trace_event_name(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kPop: return "pop";
+    case TraceEventKind::kVisit: return "visit";
+    case TraceEventKind::kTruncate: return "truncate";
+    case TraceEventKind::kPush: return "push";
+    case TraceEventKind::kVote: return "vote";
+    case TraceEventKind::kCall: return "call";
+    case TraceEventKind::kReturn: return "return";
+  }
+  return "?";
+}
+
+WarpTracer::WarpTracer(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void WarpTracer::begin_warp(std::uint32_t warp) {
+  warp_ = warp;
+  head_ = 0;
+  count_ = 0;
+  seq_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> WarpTracer::drain() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+TraceSink::TraceSink(std::size_t capacity_per_warp)
+    : capacity_(capacity_per_warp == 0 ? 1 : capacity_per_warp) {}
+
+void TraceSink::begin(std::size_t n_warps, int n_threads) {
+  if (n_threads < 1) n_threads = 1;
+  rings_.clear();
+  rings_.reserve(static_cast<std::size_t>(n_threads));
+  for (int t = 0; t < n_threads; ++t) rings_.emplace_back(capacity_);
+  per_warp_.assign(n_warps, {});
+  dropped_.assign(n_warps, 0);
+}
+
+WarpTracer& TraceSink::ring(int thread_id) {
+  return rings_.at(static_cast<std::size_t>(thread_id));
+}
+
+void TraceSink::commit(std::uint32_t warp, const WarpTracer& tracer) {
+  auto& slot = per_warp_.at(warp);
+  // Strip-mined grids revisit the same logical warp slot only for distinct
+  // chunks; appending keeps one chronological stream per logical warp.
+  auto events = tracer.drain();
+  slot.insert(slot.end(), events.begin(), events.end());
+  dropped_.at(warp) += tracer.dropped();
+}
+
+const std::vector<TraceEvent>& TraceSink::events_for(
+    std::uint32_t warp) const {
+  return per_warp_.at(warp);
+}
+
+std::uint64_t TraceSink::dropped_for(std::uint32_t warp) const {
+  return dropped_.at(warp);
+}
+
+std::uint64_t TraceSink::total_dropped() const {
+  std::uint64_t n = 0;
+  for (auto d : dropped_) n += d;
+  return n;
+}
+
+std::size_t TraceSink::total_events() const {
+  std::size_t n = 0;
+  for (const auto& v : per_warp_) n += v.size();
+  return n;
+}
+
+std::vector<TraceEvent> TraceSink::merged() const {
+  std::vector<TraceEvent> out;
+  out.reserve(total_events());
+  // per_warp_ is indexed by warp and each slot is already seq-ordered, so
+  // plain concatenation *is* the (warp, seq) sort.
+  for (const auto& v : per_warp_) out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+void TraceSink::write_json(JsonWriter& w) const {
+  w.begin_array();
+  for (std::size_t warp = 0; warp < per_warp_.size(); ++warp) {
+    if (per_warp_[warp].empty() && dropped_[warp] == 0) continue;
+    w.begin_object();
+    w.member("warp", static_cast<std::uint64_t>(warp));
+    w.member("dropped", dropped_[warp]);
+    w.member_array("events");
+    for (const TraceEvent& e : per_warp_[warp]) {
+      w.begin_object();
+      w.member("seq", static_cast<std::uint64_t>(e.seq));
+      w.member("kind", trace_event_name(e.kind));
+      if (e.node != 0xffffffffu)
+        w.member("node", static_cast<std::uint64_t>(e.node));
+      w.member("mask", static_cast<std::uint64_t>(e.mask));
+      w.member("depth", static_cast<std::uint64_t>(e.depth));
+      if (e.aux != 0) w.member("aux", static_cast<std::uint64_t>(e.aux));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace tt::obs

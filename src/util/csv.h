@@ -24,6 +24,9 @@ class Table {
   [[nodiscard]] const std::vector<std::string>& header() const {
     return header_;
   }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
 
  private:
   std::vector<std::string> header_;

@@ -38,22 +38,23 @@ TEST_P(GridCell, VerifiedAndConsistent) {
 
   // Work accounting invariants.
   EXPECT_GT(row.cpu_visits, 0u);
-  EXPECT_EQ(row.auto_nolockstep.stats.lane_visits, row.cpu_visits)
+  EXPECT_EQ(row.result(Variant::kAutoNolockstep).stats.lane_visits,
+            row.cpu_visits)
       << "per-lane GPU visits must equal the CPU recursion's";
-  EXPECT_GE(row.auto_lockstep.stats.lane_visits,
-            row.auto_nolockstep.stats.lane_visits)
+  EXPECT_GE(row.result(Variant::kAutoLockstep).stats.lane_visits,
+            row.result(Variant::kAutoNolockstep).stats.lane_visits)
       << "lockstep lanes ride along in the union traversal";
   EXPECT_GE(row.work_expansion.mean, 1.0);
-  // Times are positive and finite.
-  for (const VariantResult* v :
-       {&row.auto_lockstep, &row.auto_nolockstep, &row.rec_lockstep,
-        &row.rec_nolockstep}) {
-    EXPECT_GT(v->time_ms, 0.0);
-    EXPECT_LT(v->time_ms, 1e6);
+  // Every variant succeeded with positive, finite time.
+  for (Variant v : kAllVariants) {
+    const VariantResult& r = row.result(v);
+    EXPECT_TRUE(r.ok()) << variant_name(v) << ": " << r.error;
+    EXPECT_GT(r.time_ms, 0.0) << variant_name(v);
+    EXPECT_LT(r.time_ms, 1e6) << variant_name(v);
   }
   // Recursive variants pay calls; autoropes never do.
-  EXPECT_EQ(row.auto_lockstep.stats.calls, 0u);
-  EXPECT_GT(row.rec_nolockstep.stats.calls, 0u);
+  EXPECT_EQ(row.result(Variant::kAutoLockstep).stats.calls, 0u);
+  EXPECT_GT(row.result(Variant::kRecNolockstep).stats.calls, 0u);
 }
 
 std::string cell_name(const ::testing::TestParamInfo<Cell>& info) {

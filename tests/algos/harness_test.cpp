@@ -34,23 +34,24 @@ TEST(Harness, AnalysisMatchesPaperClassification) {
 TEST(Harness, PcRowIsInternallyConsistent) {
   BenchRow row = run_bench(small_config(Algo::kPC, InputKind::kUniform, true));
   EXPECT_GT(row.cpu_t1_ms, 0.0);
-  EXPECT_GT(row.auto_lockstep.time_ms, 0.0);
-  EXPECT_GT(row.auto_nolockstep.time_ms, 0.0);
-  EXPECT_GT(row.rec_nolockstep.time_ms, 0.0);
+  const VariantResult& al = row.result(Variant::kAutoLockstep);
+  const VariantResult& an = row.result(Variant::kAutoNolockstep);
+  EXPECT_GT(al.time_ms, 0.0);
+  EXPECT_GT(an.time_ms, 0.0);
+  EXPECT_GT(row.result(Variant::kRecNolockstep).time_ms, 0.0);
   // Lockstep union traversal >= per-point traversal on average.
-  EXPECT_GE(row.auto_lockstep.avg_nodes, row.auto_nolockstep.avg_nodes);
+  EXPECT_GE(al.avg_nodes, an.avg_nodes);
   // Work expansion is at least 1 by construction.
   EXPECT_GE(row.work_expansion.mean, 1.0);
   // Speedup columns derive from the stored numbers.
-  EXPECT_NEAR(row.speedup_vs_1(row.auto_lockstep),
-              row.cpu_t1_ms / row.auto_lockstep.time_ms, 1e-12);
+  EXPECT_NEAR(row.speedup_vs_1(al), row.cpu_t1_ms / al.time_ms, 1e-12);
 }
 
 TEST(Harness, BhRowRuns) {
   BenchRow row =
       run_bench(small_config(Algo::kBH, InputKind::kPlummer, true));
-  EXPECT_GT(row.auto_lockstep.stats.lane_visits, 0u);
-  EXPECT_GT(row.rec_lockstep.stats.calls, 0u);
+  EXPECT_GT(row.result(Variant::kAutoLockstep).stats.lane_visits, 0u);
+  EXPECT_GT(row.result(Variant::kRecLockstep).stats.calls, 0u);
 }
 
 TEST(Harness, BhMultiTimestepAccumulates) {
@@ -61,16 +62,19 @@ TEST(Harness, BhMultiTimestepAccumulates) {
   BenchRow r3 = run_bench(three);
   // Time and visits accumulate across steps; per-step averages stay in the
   // per-step range.
-  EXPECT_GT(r3.auto_lockstep.time_ms, 2.0 * r1.auto_lockstep.time_ms);
+  EXPECT_GT(r3.result(Variant::kAutoLockstep).time_ms,
+            2.0 * r1.result(Variant::kAutoLockstep).time_ms);
   EXPECT_GT(r3.cpu_visits, 2 * r1.cpu_visits);
-  EXPECT_LT(r3.auto_lockstep.avg_nodes, 2.0 * r1.auto_lockstep.avg_nodes);
+  EXPECT_LT(r3.result(Variant::kAutoLockstep).avg_nodes,
+            2.0 * r1.result(Variant::kAutoLockstep).avg_nodes);
   EXPECT_GE(r3.work_expansion.mean, 1.0);
 }
 
 TEST(Harness, GuidedAlgosRunBothOrders) {
   for (Algo a : {Algo::kKNN, Algo::kNN, Algo::kVP}) {
     BenchRow row = run_bench(small_config(a, InputKind::kUniform, false));
-    EXPECT_GT(row.auto_lockstep.stats.votes, 0u) << algo_name(a);
+    EXPECT_GT(row.result(Variant::kAutoLockstep).stats.votes, 0u)
+        << algo_name(a);
   }
 }
 

@@ -64,9 +64,8 @@ TEST(RayBvh, AllVariantsAgree) {
   RayBvhKernel k(s.bvh, s.mesh, rays, s.space);
   auto cpu = run_cpu(k, CpuVariant::kRecursive, 1);
   DeviceConfig cfg;
-  for (GpuMode mode : {GpuMode{true, false}, GpuMode{true, true},
-                       GpuMode{false, false}, GpuMode{false, true}}) {
-    auto gpu = run_gpu_sim(k, s.space, cfg, mode);
+  for (Variant v : kAllVariants) {
+    auto gpu = run_gpu_sim(k, s.space, cfg, GpuMode::from(v));
     for (std::size_t i = 0; i < rays.size(); ++i) {
       if (std::isinf(cpu.results[i].t))
         EXPECT_TRUE(std::isinf(gpu.results[i].t)) << i;

@@ -25,8 +25,8 @@ TEST(Determinism, GpuSimStatsRepeatExactly) {
   float r = pc_pick_radius(pts, 16, 77);
   PointCorrelationKernel k(tree, pts, r, space);
   DeviceConfig cfg;
-  for (GpuMode mode : {GpuMode{true, false}, GpuMode{true, true},
-                       GpuMode{false, false}, GpuMode{false, true}}) {
+  for (Variant v : kAllVariants) {
+    GpuMode mode = GpuMode::from(v);
     auto a = run_gpu_sim(k, space, cfg, mode);
     auto b = run_gpu_sim(k, space, cfg, mode);
     EXPECT_EQ(a.stats.dram_transactions, b.stats.dram_transactions);

@@ -210,9 +210,8 @@ TEST(MicroKernel, SingleLaneWarp) {
   LinearTree tree = tiny_tree();
   GpuAddressSpace space;
   MicroKernel k(tree, 1, false, space);
-  for (GpuMode mode : {GpuMode{true, false}, GpuMode{true, true},
-                       GpuMode{false, false}, GpuMode{false, true}}) {
-    auto g = run_gpu_sim(k, space, no_l2_config(), mode);
+  for (Variant v : kAllVariants) {
+    auto g = run_gpu_sim(k, space, no_l2_config(), GpuMode::from(v));
     ASSERT_EQ(g.results.size(), 1u);
     EXPECT_EQ(g.results[0], 1u);
     EXPECT_EQ(g.stats.lane_visits, 3u);

@@ -39,7 +39,7 @@ TEST(ScalingModel, BetaControlsDrag) {
 
 TEST(ScalingModel, RejectsBadThreads) {
   CpuScalingModel m;
-  EXPECT_THROW(m.efficiency(0), std::invalid_argument);
+  EXPECT_THROW((void)m.efficiency(0), std::invalid_argument);
 }
 
 TEST(Parallel, HardwareThreadsPositive) {

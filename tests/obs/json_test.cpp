@@ -1,0 +1,98 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace tt::obs {
+namespace {
+
+TEST(Json, EscapeControlAndQuotes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(std::uint64_t{18446744073709551615ull}),
+            "18446744073709551615");
+  EXPECT_EQ(json_number(std::int64_t{-7}), "-7");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(Json, WriterGoldenOutput) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("name", "t");
+  w.member("n", std::uint64_t{3});
+  w.member_array("xs");
+  w.value(1.5);
+  w.value(std::string("a"));
+  w.value(true);
+  w.end_array();
+  w.member_object("inner");
+  w.member("flag", false);
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"name\": \"t\",\n"
+            "  \"n\": 3,\n"
+            "  \"xs\": [\n"
+            "    1.5,\n"
+            "    \"a\",\n"
+            "    true\n"
+            "  ],\n"
+            "  \"inner\": {\n"
+            "    \"flag\": false\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(Json, ParseRoundTripPreservesValues) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("a", 2.5);
+  w.member("b", std::uint64_t{42});
+  w.member("s", "hi \"there\"\n");
+  w.member_null("z");
+  w.member_array("arr");
+  w.value(false);
+  w.end_array();
+  w.end_object();
+
+  auto v = json_parse(os.str());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->find("a")->as_number(), 2.5);
+  EXPECT_EQ(v->find("b")->as_uint(), 42u);
+  EXPECT_EQ(v->find("s")->as_string(), "hi \"there\"\n");
+  EXPECT_TRUE(v->find("z")->is_null());
+  ASSERT_TRUE(v->find("arr")->is_array());
+  EXPECT_FALSE(v->find("arr")->arr_v[0]->as_bool());
+  // Insertion order preserved.
+  EXPECT_EQ(v->obj_v[0].first, "a");
+  EXPECT_EQ(v->obj_v[4].first, "arr");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(json_parse("{"), std::runtime_error);
+  EXPECT_THROW(json_parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json_parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(json_parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json_parse("nul"), std::runtime_error);
+}
+
+TEST(Json, ParseDecodesUnicodeEscapes) {
+  auto v = json_parse("\"\\u0041\\u00e9\"");
+  EXPECT_EQ(v->as_string(), "A\xc3\xa9");
+}
+
+}  // namespace
+}  // namespace tt::obs

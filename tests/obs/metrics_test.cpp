@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.h"
+#include "simt/cost_model.h"
+
+namespace tt::obs {
+namespace {
+
+std::string to_json(const MetricsRegistry& reg) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  reg.write_json(w);
+  return os.str();
+}
+
+TEST(Metrics, CountersAccumulateGaugesOverwrite) {
+  MetricsRegistry reg;
+  reg.add_counter("a/x", 3);
+  reg.add_counter("a/x", 4);
+  reg.set_gauge("a/g", 1.0);
+  reg.set_gauge("a/g", 2.5);
+  EXPECT_EQ(reg.counter("a/x"), 7u);
+  EXPECT_DOUBLE_EQ(reg.gauge("a/g"), 2.5);
+  EXPECT_THROW((void)reg.counter("missing"), std::out_of_range);
+  EXPECT_THROW((void)reg.gauge("missing"), std::out_of_range);
+}
+
+TEST(Metrics, HistogramSummarizes) {
+  MetricsRegistry reg;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) reg.observe("h", x);
+  Summary s = reg.histogram("h");
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Metrics, MergeIsCommutative) {
+  auto build_a = [] {
+    MetricsRegistry r;
+    r.add_counter("c", 5);
+    r.add_counter("only_a", 1);
+    r.set_gauge("g", 2.0);
+    r.set_gauge("same", 7.0);
+    r.observe("h", 1.0);
+    r.observe("h", 3.0);
+    return r;
+  };
+  auto build_b = [] {
+    MetricsRegistry r;
+    r.add_counter("c", 11);
+    r.set_gauge("g", 9.0);  // conflicts with a's 2.0
+    r.set_gauge("same", 7.0);
+    r.observe("h", 5.0);
+    return r;
+  };
+
+  MetricsRegistry ab = build_a();
+  ab.merge(build_b());
+  MetricsRegistry ba = build_b();
+  ba.merge(build_a());
+
+  EXPECT_EQ(to_json(ab), to_json(ba));
+  EXPECT_EQ(ab.counter("c"), 16u);
+  EXPECT_EQ(ab.counter("only_a"), 1u);
+  EXPECT_DOUBLE_EQ(ab.gauge("g"), 9.0);  // max-on-conflict
+  EXPECT_EQ(ab.gauge_conflicts(), 1u);
+  EXPECT_EQ(ba.gauge_conflicts(), 1u);
+  Summary s = ab.histogram("h");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Metrics, MergeDeterministicAcrossRepetition) {
+  // Same inputs merged in different groupings produce identical JSON --
+  // the property the per-thread registry merge in a parallel run needs.
+  std::vector<MetricsRegistry> parts(4);
+  for (int i = 0; i < 4; ++i) {
+    parts[i].add_counter("steps", static_cast<std::uint64_t>(10 + i));
+    parts[i].observe("lat", 1.0 + i);
+  }
+  MetricsRegistry left;
+  for (int i = 0; i < 4; ++i) left.merge(parts[i]);
+  MetricsRegistry right;
+  for (int i = 3; i >= 0; --i) right.merge(parts[i]);
+  EXPECT_EQ(to_json(left), to_json(right));
+  EXPECT_EQ(left.counter("steps"), 10u + 11u + 12u + 13u);
+}
+
+TEST(Metrics, KernelStatsExporterCoversAllCounters) {
+  KernelStats s;
+  s.load_instructions = 1;
+  s.dram_transactions = 2;
+  s.l2_hit_transactions = 3;
+  s.dram_bytes = 256;
+  s.instr_cycles = 99.5;
+  s.warp_steps = 4;
+  s.lane_visits = 100;
+  s.warp_pops = 5;
+  s.calls = 6;
+  s.votes = 7;
+  s.active_lane_sum = 64;
+  s.peak_stack_entries = 9;
+
+  MetricsRegistry reg;
+  register_kernel_stats(reg, s, "gpu/auto_lockstep/");
+  EXPECT_EQ(reg.counter("gpu/auto_lockstep/lane_visits"), 100u);
+  EXPECT_EQ(reg.counter("gpu/auto_lockstep/warp_pops"), 5u);
+  EXPECT_EQ(reg.counter("gpu/auto_lockstep/votes"), 7u);
+  EXPECT_EQ(reg.counter("gpu/auto_lockstep/dram_bytes"), 256u);
+  EXPECT_DOUBLE_EQ(reg.gauge("gpu/auto_lockstep/instr_cycles"), 99.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("gpu/auto_lockstep/mean_active_lanes"), 16.0);
+}
+
+TEST(Metrics, SubsystemExportersRegister) {
+  MetricsRegistry reg;
+  TimeBreakdown t;
+  t.compute_ms = 1;
+  t.memory_ms = 2;
+  t.total_ms = 2;
+  t.memory_bound = true;
+  register_time_breakdown(reg, t, "gpu/x/");
+  register_cpu_model(reg, CpuScalingModel{0.01}, "cpu/");
+  register_transfer_model(reg, TransferModel{}, 1000, 500, "transfer/");
+
+  EXPECT_DOUBLE_EQ(reg.gauge("gpu/x/total_ms"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("gpu/x/memory_bound"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("cpu/beta"), 0.01);
+  EXPECT_EQ(reg.counter("transfer/upload_bytes"), 1000u);
+  EXPECT_EQ(reg.counter("transfer/download_bytes"), 500u);
+  EXPECT_GT(reg.gauge("transfer/round_trip_ms"), 0.0);
+}
+
+}  // namespace
+}  // namespace tt::obs

@@ -1,0 +1,281 @@
+// TraceSink / WarpTracer tests: ring-overflow semantics, deterministic
+// merge order, and -- the load-bearing property -- exact reconciliation of
+// the per-warp event stream against KernelStats counters for all four
+// execution variants on a two-warp micro kernel.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <sstream>
+
+#include "core/gpu_executors.h"
+#include "core/traversal_kernel.h"
+#include "obs/json.h"
+#include "spatial/linear_tree.h"
+
+namespace tt {
+namespace {
+
+using obs::TraceEvent;
+using obs::TraceEventKind;
+using obs::TraceSink;
+using obs::WarpTracer;
+
+// root(0) -> {left(1), right(2)}, both leaves.
+LinearTree tiny_tree() {
+  LinearTree t;
+  t.fanout = 2;
+  NodeId root = t.add_node(kNullNode, 0);
+  NodeId l = t.add_node(root, 1);
+  t.set_child(root, 0, l);
+  NodeId r = t.add_node(root, 1);
+  t.set_child(root, 1, r);
+  t.validate();
+  return t;
+}
+
+// Same shape as the core micro-kernel tests: visits the whole tiny tree
+// for even point ids; odd ids truncate at the root (forcing divergent
+// masks into the trace).
+class MicroKernel {
+ public:
+  struct State {
+    std::uint32_t pid = 0;
+    std::uint32_t descents = 0;
+  };
+  using Result = std::uint32_t;
+  using UArg = Empty;
+  using LArg = Empty;
+  static constexpr int kFanout = 2;
+  static constexpr int kNumCallSets = 1;
+  static constexpr bool kCallSetsEquivalent = true;
+
+  MicroKernel(const LinearTree& tree, std::size_t n_points, bool odd_truncates,
+              GpuAddressSpace& space)
+      : tree_(&tree), n_(n_points), odd_truncates_(odd_truncates) {
+    nodes0_ = space.register_buffer("micro_nodes0", 4,
+                                    static_cast<std::uint64_t>(tree.n_nodes));
+    nodes1_ = space.register_buffer("micro_nodes1", 8,
+                                    static_cast<std::uint64_t>(tree.n_nodes));
+    queries_ = space.register_buffer("micro_queries", 4, n_points);
+  }
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] std::size_t num_points() const { return n_; }
+  [[nodiscard]] UArg root_uarg() const { return {}; }
+  [[nodiscard]] LArg root_larg() const { return {}; }
+  [[nodiscard]] int stack_bound() const { return 8; }
+
+  template <class Mem>
+  State init(std::uint32_t pid, Mem& mem, int lane) const {
+    mem.lane_load(lane, queries_, pid);
+    return State{pid, 0};
+  }
+
+  template <class Mem>
+  bool visit(NodeId n, const UArg&, const LArg&, State& st, Mem& mem,
+             int lane) const {
+    mem.lane_load(lane, nodes0_, static_cast<std::uint64_t>(n));
+    if (odd_truncates_ && (st.pid & 1u)) return false;
+    if (tree_->is_leaf(n)) return false;
+    ++st.descents;
+    return true;
+  }
+
+  [[nodiscard]] int choose_callset(NodeId, const State&) const { return 0; }
+
+  template <class Mem>
+  int children(NodeId n, const UArg&, int, const State&,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    mem.lane_load(lane, nodes1_, static_cast<std::uint64_t>(n));
+    int cnt = 0;
+    for (int k = 0; k < 2; ++k)
+      if (tree_->child(n, k) != kNullNode) out[cnt++].node = tree_->child(n, k);
+    return cnt;
+  }
+
+  [[nodiscard]] Result finish(const State& st) const { return st.descents; }
+
+ private:
+  const LinearTree* tree_;
+  std::size_t n_;
+  bool odd_truncates_;
+  BufferId nodes0_, nodes1_, queries_;
+};
+
+bool same_event(const TraceEvent& a, const TraceEvent& b) {
+  return a.warp == b.warp && a.seq == b.seq && a.kind == b.kind &&
+         a.node == b.node && a.mask == b.mask && a.depth == b.depth &&
+         a.aux == b.aux;
+}
+
+TEST(WarpTracerRing, KeepsMostRecentAndCountsDropped) {
+  WarpTracer tr(4);
+  tr.begin_warp(7);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    tr.record(TraceEventKind::kVisit, i, 0xfu, i);
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  auto events = tr.drain();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i) << "oldest-first, most recent retained";
+    EXPECT_EQ(events[i].warp, 7u);
+  }
+}
+
+TEST(WarpTracerRing, BeginWarpResetsEverything) {
+  WarpTracer tr(2);
+  tr.begin_warp(0);
+  tr.record(TraceEventKind::kPop, 0, 1, 0);
+  tr.record(TraceEventKind::kPop, 0, 1, 0);
+  tr.record(TraceEventKind::kPop, 0, 1, 0);
+  EXPECT_EQ(tr.dropped(), 1u);
+  tr.begin_warp(1);
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.dropped(), 0u);
+  tr.record(TraceEventKind::kPop, 5, 3, 2);
+  auto events = tr.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].warp, 1u);
+  EXPECT_EQ(events[0].seq, 0u);  // per-warp sequence restarts
+}
+
+TEST(TraceSink, OverflowIsBoundedPerWarp) {
+  LinearTree tree = tiny_tree();
+  GpuAddressSpace space;
+  MicroKernel k(tree, 64, false, space);
+  DeviceConfig cfg;
+  TraceSink sink(2);  // far smaller than the event count per warp
+  run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoLockstep), &sink);
+  ASSERT_EQ(sink.n_warps(), 2u);
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    EXPECT_EQ(sink.events_for(w).size(), 2u);
+    EXPECT_GT(sink.dropped_for(w), 0u);
+  }
+  EXPECT_EQ(sink.total_events(), 4u);
+}
+
+struct Reconciliation {
+  std::uint64_t visit_lanes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t votes = 0;
+};
+
+Reconciliation reconcile(const TraceSink& sink) {
+  Reconciliation r;
+  for (const TraceEvent& e : sink.merged()) {
+    switch (e.kind) {
+      case TraceEventKind::kVisit:
+        r.visit_lanes += std::popcount(e.mask);
+        break;
+      case TraceEventKind::kPop:
+        ++r.pops;
+        break;
+      case TraceEventKind::kVote:
+        ++r.votes;
+        break;
+      default:
+        break;
+    }
+  }
+  return r;
+}
+
+class TraceVsCounters : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(TraceVsCounters, EventStreamMatchesKernelStatsExactly) {
+  Variant v = GetParam();
+  LinearTree tree = tiny_tree();
+  GpuAddressSpace space;
+  // 64 points = 2 warps; odd lanes truncate at the root so masks diverge.
+  MicroKernel k(tree, 64, /*odd_truncates=*/true, space);
+  DeviceConfig cfg;
+  TraceSink sink;  // default capacity comfortably holds every event
+  auto g = run_gpu_sim(k, space, cfg, GpuMode::from(v), &sink);
+
+  ASSERT_EQ(sink.n_warps(), 2u);
+  EXPECT_EQ(sink.total_dropped(), 0u);
+
+  Reconciliation r = reconcile(sink);
+  EXPECT_EQ(r.visit_lanes, g.stats.lane_visits)
+      << variant_name(v) << ": sum of popcount(visit masks)";
+  EXPECT_EQ(r.votes, g.stats.votes) << variant_name(v);
+  if (variant_is_lockstep(v) && variant_is_autoropes(v)) {
+    EXPECT_EQ(r.pops, g.stats.warp_pops) << variant_name(v);
+    // Per-warp breakdown agrees with the executor's per-warp pop counts.
+    for (std::uint32_t w = 0; w < 2; ++w) {
+      std::uint64_t pops_w = 0;
+      for (const TraceEvent& e : sink.events_for(w))
+        if (e.kind == TraceEventKind::kPop) ++pops_w;
+      EXPECT_EQ(pops_w, g.per_warp_pops[w]) << variant_name(v) << " warp " << w;
+    }
+  }
+
+  // Per-warp sequence numbers are dense and ordered; merged() is the
+  // (warp, seq) sort.
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    const auto& events = sink.events_for(w);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].warp, w);
+      EXPECT_EQ(events[i].seq, i);
+    }
+  }
+  auto merged = sink.merged();
+  EXPECT_EQ(merged.size(), sink.total_events());
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    bool sorted = merged[i - 1].warp < merged[i].warp ||
+                  (merged[i - 1].warp == merged[i].warp &&
+                   merged[i - 1].seq < merged[i].seq);
+    EXPECT_TRUE(sorted) << "merged stream out of order at " << i;
+  }
+}
+
+TEST_P(TraceVsCounters, RepeatedRunsProduceIdenticalTraces) {
+  Variant v = GetParam();
+  LinearTree tree = tiny_tree();
+  GpuAddressSpace space;
+  MicroKernel k(tree, 64, true, space);
+  DeviceConfig cfg;
+  TraceSink a, b;
+  run_gpu_sim(k, space, cfg, GpuMode::from(v), &a);
+  run_gpu_sim(k, space, cfg, GpuMode::from(v), &b);
+  auto ma = a.merged(), mb = b.merged();
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t i = 0; i < ma.size(); ++i)
+    EXPECT_TRUE(same_event(ma[i], mb[i])) << variant_name(v) << " event " << i;
+
+  std::ostringstream ja, jb;
+  obs::JsonWriter wa(ja), wb(jb);
+  a.write_json(wa);
+  b.write_json(wb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, TraceVsCounters,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const ::testing::TestParamInfo<Variant>& info) {
+                           return std::string(variant_name(info.param));
+                         });
+
+TEST(TraceSink, NullTraceIsUnobservable) {
+  // Tracing must not perturb the simulation: stats with and without a sink
+  // attached are identical.
+  LinearTree tree = tiny_tree();
+  GpuAddressSpace space;
+  MicroKernel k(tree, 64, true, space);
+  DeviceConfig cfg;
+  TraceSink sink;
+  auto with = run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoLockstep),
+                          &sink);
+  auto without =
+      run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoLockstep));
+  EXPECT_EQ(with.stats.lane_visits, without.stats.lane_visits);
+  EXPECT_EQ(with.stats.dram_transactions, without.stats.dram_transactions);
+  EXPECT_DOUBLE_EQ(with.stats.instr_cycles, without.stats.instr_cycles);
+  EXPECT_EQ(with.results, without.results);
+}
+
+}  // namespace
+}  // namespace tt

@@ -135,12 +135,14 @@ TEST(KdTreeNN, SplitInvariantHolds) {
     float sv = t.coords[static_cast<std::size_t>(n) * t.dim + sd];
     NodeId below = t.topo.child(n, KdTreeNN::kBelow);
     NodeId above = t.topo.child(n, KdTreeNN::kAbove);
-    if (below != kNullNode)
+    if (below != kNullNode) {
       for (NodeId m = below; m < subtree_end[below]; ++m)
         ASSERT_LE(t.coords[static_cast<std::size_t>(m) * t.dim + sd], sv);
-    if (above != kNullNode)
+    }
+    if (above != kNullNode) {
       for (NodeId m = above; m < subtree_end[above]; ++m)
         ASSERT_GE(t.coords[static_cast<std::size_t>(m) * t.dim + sd], sv);
+    }
   }
 }
 

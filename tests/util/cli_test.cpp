@@ -87,8 +87,8 @@ TEST(Cli, WrongTypeAccessIsLogicError) {
   Cli cli = make_cli();
   const char* argv[] = {"prog"};
   cli.parse(1, argv);
-  EXPECT_THROW(cli.get_int("verbose"), std::logic_error);
-  EXPECT_THROW(cli.get_flag("points"), std::logic_error);
+  EXPECT_THROW((void)cli.get_int("verbose"), std::logic_error);
+  EXPECT_THROW((void)cli.get_flag("points"), std::logic_error);
 }
 
 }  // namespace

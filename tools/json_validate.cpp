@@ -1,0 +1,76 @@
+// Validates a treetrav.run_report JSON file: parses it, checks the schema
+// tag and the presence/shape of the sections every report must carry.
+// Exit 0 on success; nonzero with a diagnostic on stderr otherwise. Used
+// by the table1_json_validate ctest and scripts/check.sh.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/run_report.h"
+
+using tt::obs::JsonValue;
+
+namespace {
+
+int fail(const std::string& msg) {
+  std::cerr << "json_validate: " << msg << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: json_validate <report.json>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) return fail(std::string("cannot open ") + argv[1]);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    auto root = tt::obs::json_parse(buf.str());
+    if (!root->is_object()) return fail("root is not an object");
+    const JsonValue* schema = root->find("schema");
+    if (!schema) return fail("missing \"schema\"");
+    if (schema->as_string() != tt::obs::kRunReportSchema)
+      return fail("schema is \"" + schema->as_string() + "\", expected \"" +
+                  tt::obs::kRunReportSchema + "\"");
+    if (!root->find("generator")) return fail("missing \"generator\"");
+    if (!root->find("git_sha")) return fail("missing \"git_sha\"");
+    const JsonValue* rows = root->find("rows");
+    if (!rows || !rows->is_array()) return fail("missing \"rows\" array");
+    const JsonValue* tables = root->find("tables");
+    if (!tables || !tables->is_array())
+      return fail("missing \"tables\" array");
+
+    for (std::size_t i = 0; i < rows->arr_v.size(); ++i) {
+      const JsonValue& row = *rows->arr_v[i];
+      const std::string at = "rows[" + std::to_string(i) + "]";
+      if (!row.find("config")) return fail(at + ": missing \"config\"");
+      const JsonValue* variants = row.find("variants");
+      if (!variants || !variants->is_object())
+        return fail(at + ": missing \"variants\" object");
+      for (tt::Variant v : tt::kAllVariants) {
+        const JsonValue* vr = variants->find(tt::variant_name(v));
+        if (!vr) return fail(at + ": missing variant " + tt::variant_name(v));
+        if (!vr->find("stats"))
+          return fail(at + "." + tt::variant_name(v) + ": missing \"stats\"");
+        if (!vr->find("time"))
+          return fail(at + "." + tt::variant_name(v) + ": missing \"time\"");
+      }
+      const JsonValue* metrics = row.find("metrics");
+      if (!metrics || !metrics->is_object())
+        return fail(at + ": missing \"metrics\" object");
+      if (!metrics->find("counters"))
+        return fail(at + ".metrics: missing \"counters\"");
+    }
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  std::cout << "json_validate: " << argv[1] << " OK\n";
+  return 0;
+}
