@@ -59,15 +59,19 @@ int main(int argc, char** argv) {
                        fmt_fixed(g.avg_nodes(), 0),
                        std::to_string(g.stats.lane_visits)});
       };
-      auto gv = run_gpu_sim(voted, space, cfg,
-                            GpuMode::from(Variant::kAutoLockstep));
-      emit_row("vote (L)", gv);
-      auto gs = run_gpu_sim(fixed, space, cfg,
-                            GpuMode::from(Variant::kAutoLockstep));
-      emit_row("static (L)", gs);
-      auto gn = run_gpu_sim(voted, space, cfg,
-                            GpuMode::from(Variant::kAutoNolockstep));
-      emit_row("per-lane (N)", gn);
+      if (benchx::variant_enabled(cli, Variant::kAutoLockstep)) {
+        auto gv = run_gpu_sim(voted, space, cfg,
+                              GpuMode::from(Variant::kAutoLockstep));
+        emit_row("vote (L)", gv);
+        auto gs = run_gpu_sim(fixed, space, cfg,
+                              GpuMode::from(Variant::kAutoLockstep));
+        emit_row("static (L)", gs);
+      }
+      if (benchx::variant_enabled(cli, Variant::kAutoNolockstep)) {
+        auto gn = run_gpu_sim(voted, space, cfg,
+                              GpuMode::from(Variant::kAutoNolockstep));
+        emit_row("per-lane (N)", gn);
+      }
     }
     benchx::emit(table, cli.get_flag("csv"));
     obs::RunReport report = benchx::make_report(cli, "ablation_callset");

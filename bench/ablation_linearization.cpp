@@ -33,12 +33,12 @@ int main(int argc, char** argv) {
 
       auto run_one = [&](const KdTree& tree, const char* layout,
                          bool lockstep) {
+        const Variant v = lockstep ? Variant::kAutoLockstep
+                                   : Variant::kAutoNolockstep;
+        if (!benchx::variant_enabled(cli, v)) return;
         GpuAddressSpace space;
         PointCorrelationKernel k(tree, pts, r, space);
-        auto g = run_gpu_sim(k, space, cfg,
-                             GpuMode::from(lockstep
-                                               ? Variant::kAutoLockstep
-                                               : Variant::kAutoNolockstep));
+        auto g = run_gpu_sim(k, space, cfg, GpuMode::from(v));
         table.add_row({sorted ? "sorted" : "unsorted",
                        lockstep ? "L" : "N", layout,
                        fmt_fixed(g.time.total_ms, 3),

@@ -24,14 +24,16 @@ using namespace tt;
 namespace {
 
 template <RopeCompatibleKernel K>
-void compare(Table& table, const std::string& bench, bool sorted, const K& k,
-             GpuAddressSpace& space, const LinearTree& topo) {
+void compare(const Cli& cli, Table& table, const std::string& bench,
+             bool sorted, const K& k, GpuAddressSpace& space,
+             const LinearTree& topo) {
   DeviceConfig cfg;
   StaticRopes ropes = install_ropes(topo);
   for (bool lockstep : {true, false}) {
-    auto ar = run_gpu_sim(k, space, cfg,
-                          GpuMode::from(lockstep ? Variant::kAutoLockstep
-                                                 : Variant::kAutoNolockstep));
+    const Variant v =
+        lockstep ? Variant::kAutoLockstep : Variant::kAutoNolockstep;
+    if (!benchx::variant_enabled(cli, v)) continue;
+    auto ar = run_gpu_sim(k, space, cfg, GpuMode::from(v));
     auto rp = run_gpu_ropes_sim(k, space, cfg, lockstep, ropes);
     table.add_row({bench, sorted ? "sorted" : "unsorted",
                    lockstep ? "L" : "N", "autoropes",
@@ -63,7 +65,7 @@ int main(int argc, char** argv) {
         float r = pc_pick_radius(pts, cli.get_double("pc-neighbors"), 21);
         GpuAddressSpace space;
         PointCorrelationKernel k(tree, pts, r, space);
-        compare(table, "PointCorrelation", sorted, k, space, tree.topo);
+        compare(cli, table, "PointCorrelation", sorted, k, space, tree.topo);
       }
       {
         BodySet b = gen_plummer(n, 22);
@@ -73,7 +75,7 @@ int main(int argc, char** argv) {
         BarnesHutKernel k(tree, b.pos,
                           static_cast<float>(cli.get_double("theta")), 1e-4f,
                           space);
-        compare(table, "Barnes-Hut", sorted, k, space, tree.topo);
+        compare(cli, table, "Barnes-Hut", sorted, k, space, tree.topo);
       }
     }
     benchx::emit(table, cli.get_flag("csv"));

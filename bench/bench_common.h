@@ -2,12 +2,15 @@
 // algorithm-list parsing, and cell-size defaults per benchmark.
 #pragma once
 
+#include <array>
+#include <initializer_list>
 #include <iostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench_algos/harness.h"
+#include "core/variant.h"
 #include "obs/run_report.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -42,9 +45,57 @@ inline std::vector<Algo> parse_algos(const std::string& spec) {
   return out;
 }
 
+// Parses a --variant spec into a per-Variant enable mask. "all" enables
+// every variant; otherwise a comma-separated list of canonical variant
+// names (variant_from_name rejects unknown spellings, listing the valid
+// ones in its error).
+inline std::array<bool, kNumVariants> parse_variant_filter(
+    const std::string& spec) {
+  std::array<bool, kNumVariants> run{};
+  if (spec == "all") {
+    run.fill(true);
+    return run;
+  }
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    std::string tok = spec.substr(pos, comma == std::string::npos
+                                           ? std::string::npos
+                                           : comma - pos);
+    run[static_cast<std::size_t>(variant_from_name(tok))] = true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return run;
+}
+
+// True when --variant enables `v`. Binaries with per-variant rows use this
+// to skip rows; run_bench-based binaries inherit the filter through
+// BenchConfig::run_variants instead (see config_from).
+inline bool variant_enabled(const Cli& cli, Variant v) {
+  return parse_variant_filter(
+      cli.get_string("variant"))[static_cast<std::size_t>(v)];
+}
+
+// For experiments whose measurement inherently compares specific variants:
+// validates the filter spelling and rejects a filter that excludes any of
+// the variants the experiment cannot do without.
+inline void require_variants(const Cli& cli,
+                             std::initializer_list<Variant> needed) {
+  for (Variant v : needed)
+    if (!variant_enabled(cli, v))
+      throw std::invalid_argument(
+          std::string("this experiment compares across variants and needs ") +
+          variant_name(v) + "; relax the --variant filter");
+}
+
 inline void add_common_flags(Cli& cli) {
   cli.add_string("benchmarks", "all",
                  "comma-separated subset of bh,pc,knn,nn,vp");
+  cli.add_string("variant", "all",
+                 "comma-separated GPU variants to simulate "
+                 "(auto_lockstep,auto_nolockstep,rec_lockstep,"
+                 "rec_nolockstep); excluded variants are skipped");
   cli.add_int("points", 8192, "points per tree-benchmark input");
   cli.add_int("bodies", 16384, "bodies for Barnes-Hut");
   cli.add_int("seed", 42, "master RNG seed");
@@ -103,6 +154,7 @@ inline BenchConfig config_from(const Cli& cli, Algo a, InputKind in,
   c.bh_theta = static_cast<float>(cli.get_double("theta"));
   c.bh_timesteps = static_cast<int>(cli.get_int("bh-steps"));
   c.verify = cli.get_flag("verify");
+  c.run_variants = parse_variant_filter(cli.get_string("variant"));
   return c;
 }
 

@@ -23,6 +23,9 @@ int main(int argc, char** argv) {
   benchx::add_common_flags(cli);
   try {
     if (!cli.parse(argc, argv)) return 0;
+    // CPU-only experiment: no GPU variant rows, but still reject a
+    // misspelled --variant instead of silently ignoring it.
+    benchx::parse_variant_filter(cli.get_string("variant"));
     const auto n = static_cast<std::size_t>(cli.get_int("points"));
     Table table({"Benchmark", "Input", "Order", "L1 hit%", "DRAM%",
                  "Accesses"});

@@ -20,6 +20,10 @@ const std::vector<int> kThreads{1, 2, 4, 8, 12, 16, 20, 24, 32};
 
 void sweep_rows(Table& table, const BenchRow& row) {
   for (bool lockstep : {true, false}) {
+    if (!row.result(lockstep ? Variant::kAutoLockstep
+                             : Variant::kAutoNolockstep)
+             .ok())
+      continue;  // failed or excluded by --variant
     auto sweep = cpu_sweep(row, lockstep, kThreads);
     std::vector<std::string> cells{
         algo_name(row.config.algo), input_name(row.config.input),

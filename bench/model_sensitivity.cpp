@@ -66,6 +66,11 @@ int main(int argc, char** argv) {
   benchx::add_common_flags(cli);
   try {
     if (!cli.parse(argc, argv)) return 0;
+    // The headline orderings compare across variants, so a --variant
+    // filter that removes any of them would make the check meaningless.
+    benchx::require_variants(cli, {Variant::kAutoLockstep,
+                                   Variant::kAutoNolockstep,
+                                   Variant::kRecLockstep});
     const auto n = static_cast<std::size_t>(cli.get_int("points"));
     Table table({"Perturbation", "Scale", "O1 L<N", "O2 auto<rec",
                  "O3 sorted<unsorted", "O4 ropes<auto"});

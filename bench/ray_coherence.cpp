@@ -39,10 +39,10 @@ int main(int argc, char** argv) {
       GpuAddressSpace space;
       RayBvhKernel k(bvh, mesh, rays, space);
       for (bool lockstep : {true, false}) {
-        auto g = run_gpu_sim(k, space, cfg,
-                             GpuMode::from(lockstep
-                                               ? Variant::kAutoLockstep
-                                               : Variant::kAutoNolockstep));
+        const Variant v = lockstep ? Variant::kAutoLockstep
+                                   : Variant::kAutoNolockstep;
+        if (!benchx::variant_enabled(cli, v)) continue;
+        auto g = run_gpu_sim(k, space, cfg, GpuMode::from(v));
         table.add_row(
             {coherent ? "camera (coherent)" : "random (incoherent)",
              lockstep ? "L" : "N", fmt_fixed(g.time.total_ms, 3),

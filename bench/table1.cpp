@@ -23,6 +23,8 @@ void add_rows(Table& table, const BenchRow& row) {
     const VariantResult& v = row.result(lockstep ? Variant::kAutoLockstep
                                                  : Variant::kAutoNolockstep);
     if (!v.ok()) {
+      const bool skipped = v.error.rfind("skipped", 0) == 0;
+      if (skipped) return;  // --variant filtered this row out entirely
       table.add_row({
           algo_name(row.config.algo),
           input_name(row.config.input),
@@ -32,6 +34,10 @@ void add_rows(Table& table, const BenchRow& row) {
       });
       return;
     }
+    // vsRecurse needs the matching recursive variant; it may have failed
+    // or been excluded by --variant.
+    const VariantResult& rec = row.result(lockstep ? Variant::kRecLockstep
+                                                   : Variant::kRecNolockstep);
     table.add_row({
         algo_name(row.config.algo),
         input_name(row.config.input),
@@ -41,7 +47,7 @@ void add_rows(Table& table, const BenchRow& row) {
         fmt_fixed(v.avg_nodes, 0),
         fmt_fixed(row.speedup_vs_1(v), 2),
         fmt_fixed(row.speedup_vs_32(v), 2),
-        fmt_percent(row.improvement_vs_recursive(lockstep)),
+        rec.ok() ? fmt_percent(row.improvement_vs_recursive(lockstep)) : "-",
         fmt_fixed(row.transfer_ms(), 3),
     });
   };

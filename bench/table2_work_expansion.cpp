@@ -24,10 +24,15 @@ int main(int argc, char** argv) {
         for (bool sorted : {true, false}) {
           BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
           report.add_row(row);
-          cells[sorted ? 0 : 1] = fmt_fixed(row.work_expansion.mean, 2) +
-                                  " (" +
-                                  fmt_fixed(row.work_expansion.stddev, 2) +
-                                  ")";
+          // Work expansion needs both autoropes variants; "-" when either
+          // failed or was excluded by --variant.
+          const bool have_both =
+              row.result(Variant::kAutoLockstep).ok() &&
+              row.result(Variant::kAutoNolockstep).ok();
+          cells[sorted ? 0 : 1] =
+              have_both ? fmt_fixed(row.work_expansion.mean, 2) + " (" +
+                              fmt_fixed(row.work_expansion.stddev, 2) + ")"
+                        : "-";
         }
         table.add_row({algo_name(a), input_name(in), cells[0], cells[1]});
         std::cerr << "# done " << algo_name(a) << "/" << input_name(in)

@@ -37,6 +37,7 @@ class BarnesHutKernel {
   };
   using LArg = Empty;
   static constexpr int kFanout = 8;
+  static constexpr const char* kName = "barnes_hut";
   static constexpr int kNumCallSets = 1;
   static constexpr bool kCallSetsEquivalent = true;  // trivially: one set
 

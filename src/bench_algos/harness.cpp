@@ -120,6 +120,13 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
   std::vector<std::uint32_t> nolockstep_visits;
   std::vector<std::uint32_t> lockstep_pops;
   for (Variant v : kAllVariants) {
+    if (!cfg.runs_variant(v)) {
+      row.result(v) = VariantResult{};
+      row.result(v).error =
+          std::string("skipped: excluded by --variant filter (") +
+          variant_name(v) + ")";
+      continue;
+    }
     try {
       auto g = run_gpu_sim(k, space, cfg.device, GpuMode::from(v));
       row.result(v) =

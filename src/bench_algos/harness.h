@@ -58,6 +58,14 @@ struct BenchConfig {
   int cpu_threads = 0;   // 0 => hardware_threads() for the measured run
   bool verify = true;    // cross-check all variants' results agree
   DeviceConfig device;
+
+  // Which GPU variants run_bench simulates (the --variant CLI filter).
+  // A disabled variant is reported through VariantResult::error
+  // ("skipped: ...") with zeroed numbers, like a failed one.
+  std::array<bool, kNumVariants> run_variants{true, true, true, true};
+  [[nodiscard]] bool runs_variant(Variant v) const {
+    return run_variants[static_cast<std::size_t>(v)];
+  }
 };
 
 struct VariantResult {

@@ -90,6 +90,7 @@ class KnnKernel {
   using UArg = Empty;
   using LArg = Empty;
   static constexpr int kFanout = 2;
+  static constexpr const char* kName = "knn";
   static constexpr int kNumCallSets = 2;
   static constexpr bool kCallSetsEquivalent = true;
 

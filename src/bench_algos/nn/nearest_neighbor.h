@@ -39,6 +39,7 @@ class NnKernel {
     float min_d2 = 0;
   };
   static constexpr int kFanout = 2;
+  static constexpr const char* kName = "nearest_neighbor";
   static constexpr int kNumCallSets = 2;
   static constexpr bool kCallSetsEquivalent = true;
 

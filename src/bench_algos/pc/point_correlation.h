@@ -23,6 +23,7 @@ class PointCorrelationKernel {
   using UArg = Empty;
   using LArg = Empty;
   static constexpr int kFanout = 2;
+  static constexpr const char* kName = "point_correlation";
   static constexpr int kNumCallSets = 1;
   static constexpr bool kCallSetsEquivalent = true;
 

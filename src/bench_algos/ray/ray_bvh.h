@@ -43,6 +43,7 @@ class RayBvhKernel {
   using UArg = Empty;
   using LArg = Empty;
   static constexpr int kFanout = 2;
+  static constexpr const char* kName = "ray_bvh";
   static constexpr int kNumCallSets = 2;
   static constexpr bool kCallSetsEquivalent = true;
 

@@ -36,6 +36,7 @@ class VpKernel {
     float min_d = 0;  // lower bound on d(q, x) for x in this subtree
   };
   static constexpr int kFanout = 2;
+  static constexpr const char* kName = "vantage_point";
   static constexpr int kNumCallSets = 2;
   static constexpr bool kCallSetsEquivalent = true;
 

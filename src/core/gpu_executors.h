@@ -1,21 +1,20 @@
-// GPU-simulated executors: the four variants the paper evaluates.
+// GPU-simulated executors: the four variants the paper evaluates, each a
+// declarative StackPolicy x ConvergencePolicy composition driven by the
+// shared WarpEngine core:
 //
-//   autoropes, non-lockstep  -- Figure 6/7/9b: per-lane iterative traversal
-//     over an interleaved global rope stack. Control re-converges at the
-//     loop head every iteration, but once lanes' traversals diverge their
-//     node loads stop coalescing (section 4.1).
-//   autoropes, lockstep      -- Figure 8: one rope stack per warp (shared
-//     memory) carrying a lane mask; the warp traverses the union of its
-//     lanes' traversals, keeping node loads fully coalesced at the price of
-//     work expansion (section 4.2). Guided kernels annotated
-//     kCallSetsEquivalent use the per-node majority vote of section 4.3.
-//   recursive, non-lockstep  -- the naive CUDA port: per-lane recursion with
-//     call frames spilled to (thread-interleaved) local memory. Hardware
-//     reconverges only at call boundaries, modelled by the max-depth rule:
-//     each step, only the lanes at the current deepest call level execute.
-//   recursive, lockstep      -- recursion with the explicit masking of the
-//     paper's footnote 5: the warp recurses over the union traversal, still
-//     paying call/return overhead and frame traffic per level.
+//   variant          stack policy    convergence policy
+//   ---------------  --------------  ---------------------------
+//   auto_nolockstep  LaneRopeStack   LoopHeadReconvergence
+//   auto_lockstep    WarpStack       WarpAndTruncation
+//   rec_nolockstep   CallFrames      MaxDepthCallReconvergence
+//   rec_lockstep     CallFrames      WarpAndTruncation
+//
+// The WarpEngine (warp_engine.h) owns the per-warp lifecycle, counters and
+// the single trace-emission site; stack policies (stack_policy.h) own
+// continuation layout and traffic; convergence policies
+// (convergence_policy.h) own the warp schedule. run_gpu_sim below holds
+// the composition table, sizes the per-warp stack arena, and drives the
+// Figure 9b strip-mined grid loop uniformly for every composition.
 //
 // All variants execute the *same kernel semantics*; only event counts (and
 // therefore modelled time) differ. Equivalence across variants is enforced
@@ -23,15 +22,16 @@
 #pragma once
 
 #include <algorithm>
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
-#include "core/rope_stack.h"
+#include "core/convergence_policy.h"
+#include "core/stack_policy.h"
 #include "core/traversal_kernel.h"
 #include "core/variant.h"
+#include "core/warp_engine.h"
 #include "obs/trace.h"
 #include "simt/address_space.h"
 #include "simt/cost_model.h"
@@ -69,613 +69,10 @@ struct GpuRun {
   }
 };
 
-namespace detail {
-
-template <class K>
-using ChildOf = Child<typename K::UArg, typename K::LArg>;
-
-// Bytes of one interleaved global rope-stack entry (node id + arguments),
-// padded to 4-byte granularity like the generated CUDA code would.
-template <class K>
-constexpr std::uint32_t stack_entry_bytes(bool lockstep) {
-  std::uint32_t b = lockstep ? 0 : 4;  // node id (per warp under lockstep)
-  if constexpr (kernel_has_uniform_arg<K>)
-    if (!lockstep) b += static_cast<std::uint32_t>(sizeof(typename K::UArg));
-  if constexpr (kernel_has_lane_arg<K>)
-    b += static_cast<std::uint32_t>(sizeof(typename K::LArg));
-  return (b + 3u) & ~3u;
-}
-
-struct WarpRange {
-  std::uint32_t begin = 0, end = 0;  // point ids [begin, end)
-};
-
-// ---------------------------------------------------------------------
-// Autoropes, non-lockstep (per-lane stacks).
-// ---------------------------------------------------------------------
-template <TraversalKernel K>
-void warp_autoropes_nolockstep(const K& k, const DeviceConfig& cfg,
-                               GpuMode mode, WarpMemory& mem,
-                               KernelStats& stats, WarpRange range,
-                               std::uint64_t stack_base,
-                               std::uint32_t entry_bytes, int stack_bound,
-                               std::uint32_t* point_visits,
-                               typename K::Result* results,
-                               std::atomic<bool>& overflow,
-                               obs::WarpTracer* tr) {
-  const int lanes = static_cast<int>(range.end - range.begin);
-  std::vector<std::vector<ChildOf<K>>> stk(lanes);
-  std::vector<typename K::State> state;
-  state.reserve(lanes);
-
-  for (int l = 0; l < lanes; ++l) {
-    state.push_back(k.init(range.begin + l, mem, l));
-    stk[l].push_back({k.root(), k.root_uarg(), k.root_larg()});
-  }
-  mem.commit();  // initial coalesced point loads
-
-  auto stack_addr = [&](int lane, std::size_t level) {
-    return stack_base +
-           (mode.contiguous_stack
-                ? contiguous_stack_offset(level, static_cast<std::uint32_t>(lane),
-                                          static_cast<std::uint32_t>(stack_bound + 4),
-                                          entry_bytes)
-                : interleaved_stack_offset(level,
-                                           static_cast<std::uint32_t>(lane),
-                                           static_cast<std::uint32_t>(cfg.warp_size),
-                                           entry_bytes));
-  };
-
-  std::vector<ChildOf<K>> current(lanes);
-  std::vector<std::int8_t> popped(lanes);
-  ChildOf<K> out[K::kFanout];
-
-  for (;;) {
-    int active = 0;
-    std::uint32_t pop_mask = 0;
-    std::uint32_t pop_depth = 0;  // deepest stack among popping lanes
-    for (int l = 0; l < lanes; ++l) {
-      popped[l] = !stk[l].empty();
-      if (popped[l]) {
-        current[l] = stk[l].back();
-        stk[l].pop_back();
-        mem.lane_load_raw(l, stack_addr(l, stk[l].size()), entry_bytes);
-        ++active;
-        pop_mask |= 1u << l;
-        pop_depth =
-            std::max(pop_depth, static_cast<std::uint32_t>(stk[l].size()));
-      }
-    }
-    if (active == 0) break;
-    ++stats.warp_steps;
-    stats.active_lane_sum += static_cast<std::uint64_t>(active);
-    stats.instr_cycles += cfg.c_step;
-    mem.commit();  // stack pops
-    if (tr)
-      // Lanes pop distinct nodes, so the node field is not warp-uniform.
-      tr->record(obs::TraceEventKind::kPop, 0xffffffffu, pop_mask, pop_depth);
-
-    std::uint32_t trunc_mask = 0;
-    stats.instr_cycles += cfg.c_visit;
-    for (int l = 0; l < lanes; ++l) {
-      if (!popped[l]) continue;
-      ++stats.lane_visits;
-      ++point_visits[l];
-      bool descend = k.visit(current[l].node, current[l].uarg,
-                             current[l].larg, state[l], mem, l);
-      if (!descend) {
-        popped[l] = 0;
-        trunc_mask |= 1u << l;
-        continue;
-      }
-    }
-    mem.commit();  // node loads (+ leaf payloads)
-    if (tr) {
-      tr->record(obs::TraceEventKind::kVisit, 0xffffffffu, pop_mask,
-                 pop_depth);
-      if (trunc_mask != 0)
-        tr->record(obs::TraceEventKind::kTruncate, 0xffffffffu, trunc_mask,
-                   pop_depth);
-    }
-
-    std::uint32_t push_count = 0;
-    std::uint32_t push_mask = 0;
-    for (int l = 0; l < lanes; ++l) {
-      if (!popped[l]) continue;
-      int cs = K::kNumCallSets > 1 ? k.choose_callset(current[l].node, state[l])
-                                   : 0;
-      int cnt =
-          k.children(current[l].node, current[l].uarg, cs, state[l], out, mem, l);
-      for (int i = cnt - 1; i >= 0; --i) {
-        mem.lane_load_raw(l, stack_addr(l, stk[l].size()), entry_bytes);
-        stk[l].push_back(out[i]);
-        stats.instr_cycles += cfg.c_smem;
-      }
-      if (cnt > 0) {
-        push_count += static_cast<std::uint32_t>(cnt);
-        push_mask |= 1u << l;
-      }
-      if (stk[l].size() > static_cast<std::size_t>(stack_bound))
-        overflow.store(true, std::memory_order_relaxed);
-      stats.peak_stack_entries =
-          std::max<std::uint64_t>(stats.peak_stack_entries, stk[l].size());
-    }
-    mem.commit();  // children loads + stack pushes
-    if (tr && push_count != 0)
-      tr->record(obs::TraceEventKind::kPush, 0xffffffffu, push_mask,
-                 pop_depth + 1, push_count);
-  }
-
-  for (int l = 0; l < lanes; ++l) results[l] = k.finish(state[l]);
-}
-
-// ---------------------------------------------------------------------
-// Autoropes, lockstep (per-warp stack + mask, Figure 8).
-// ---------------------------------------------------------------------
-template <TraversalKernel K>
-void warp_autoropes_lockstep(const K& k, const DeviceConfig& cfg,
-                             GpuMode mode, WarpMemory& mem,
-                             KernelStats& stats, WarpRange range,
-                             std::uint64_t stack_base,
-                             std::uint32_t lane_entry_bytes, int stack_bound,
-                             std::uint32_t* warp_pops,
-                             typename K::Result* results,
-                             std::atomic<bool>& overflow,
-                             obs::WarpTracer* tr) {
-  const int lanes = static_cast<int>(range.end - range.begin);
-  struct WEntry {
-    NodeId node;
-    typename K::UArg uarg;
-    std::uint32_t mask;
-  };
-  std::vector<WEntry> stk;
-  // Per-lane argument planes, parallel to the warp stack (interleaved in
-  // global memory when the kernel has LArgs).
-  std::vector<std::vector<typename K::LArg>> largs;
-
-  std::vector<typename K::State> state;
-  state.reserve(lanes);
-  for (int l = 0; l < lanes; ++l) state.push_back(k.init(range.begin + l, mem, l));
-  mem.commit();
-
-  const std::uint32_t full_mask =
-      lanes >= 32 ? 0xffffffffu : ((1u << lanes) - 1u);
-  stk.push_back({k.root(), k.root_uarg(), full_mask});
-  largs.push_back(std::vector<typename K::LArg>(lanes, k.root_larg()));
-
-  auto lane_stack_addr = [&](int lane, std::size_t level) {
-    return stack_base +
-           (level * static_cast<std::size_t>(cfg.warp_size) + lane) *
-               lane_entry_bytes;
-  };
-  // Ablation: per-warp stack entries in global memory instead of shared.
-  // The warp-shared part (node id + mask + uniform arg) is one 12-byte
-  // record per level, placed after the per-lane argument planes.
-  const std::uint64_t warp_entries_base =
-      stack_base + static_cast<std::uint64_t>(stack_bound + 4) *
-                       cfg.warp_size * lane_entry_bytes;
-  auto warp_stack_op = [&](std::size_t level) {
-    if (mode.lockstep_stack_global)
-      mem.lane_load_raw(0, warp_entries_base + level * 12, 12);
-    else
-      stats.instr_cycles += cfg.c_smem;
-  };
-
-  ChildOf<K> out[K::kFanout];
-  // lane_largs[l][i]: lane l's LArg for child i of the current node.
-  std::array<std::array<typename K::LArg, K::kFanout>, 32> lane_largs;
-  int callset_votes[8];
-
-  std::uint32_t pops_here = 0;  // this chunk only (stats accumulate chunks)
-  while (!stk.empty()) {
-    WEntry top = stk.back();
-    stk.pop_back();
-    std::vector<typename K::LArg> top_largs = std::move(largs.back());
-    largs.pop_back();
-    ++stats.warp_pops;
-    ++pops_here;
-    ++stats.warp_steps;
-    stats.instr_cycles += cfg.c_step;
-    warp_stack_op(stk.size());  // pop the warp-level entry
-    if (tr)
-      tr->record(obs::TraceEventKind::kPop, top.node, top.mask,
-                 static_cast<std::uint32_t>(stk.size()));
-    if constexpr (kernel_has_lane_arg<K>) {
-      // Per-lane argument planes live in the interleaved global stack; the
-      // pop re-reads the level that the matching push wrote.
-      for (int l = 0; l < lanes; ++l)
-        if (top.mask & (1u << l))
-          mem.lane_load_raw(l, lane_stack_addr(l, stk.size()),
-                            lane_entry_bytes);
-    }
-
-    int active = 0;
-    std::uint32_t new_mask = 0;
-    stats.instr_cycles += cfg.c_visit;
-    for (int l = 0; l < lanes; ++l) {
-      if (!(top.mask & (1u << l))) continue;
-      ++active;
-      ++stats.lane_visits;
-      if (k.visit(top.node, top.uarg, top_largs[l], state[l], mem, l))
-        new_mask |= 1u << l;
-    }
-    stats.active_lane_sum += static_cast<std::uint64_t>(active);
-    mem.commit();  // broadcast node load coalesces to one transaction
-    if (tr) {
-      tr->record(obs::TraceEventKind::kVisit, top.node, top.mask,
-                 static_cast<std::uint32_t>(stk.size()));
-      if ((top.mask & ~new_mask) != 0)
-        tr->record(obs::TraceEventKind::kTruncate, top.node,
-                   top.mask & ~new_mask,
-                   static_cast<std::uint32_t>(stk.size()));
-    }
-
-    // Warp vote on whether anyone still descends (warp_and of Figure 8).
-    ++stats.votes;
-    stats.instr_cycles += cfg.c_vote;
-    if (tr)
-      tr->record(obs::TraceEventKind::kVote, top.node, new_mask,
-                 static_cast<std::uint32_t>(stk.size()), new_mask != 0);
-    if (new_mask == 0) continue;
-
-    int cs = 0;
-    if constexpr (K::kNumCallSets > 1) {
-      // Section 4.3: dynamic single-call-set reduction by majority vote.
-      static_assert(K::kCallSetsEquivalent,
-                    "lockstep requires semantically-equivalent call sets");
-      for (int c = 0; c < K::kNumCallSets; ++c) callset_votes[c] = 0;
-      for (int l = 0; l < lanes; ++l)
-        if (new_mask & (1u << l))
-          ++callset_votes[k.choose_callset(top.node, state[l])];
-      for (int c = 1; c < K::kNumCallSets; ++c)
-        if (callset_votes[c] > callset_votes[cs]) cs = c;
-      ++stats.votes;
-      stats.instr_cycles += cfg.c_vote;
-      if (tr)
-        tr->record(obs::TraceEventKind::kVote, top.node, new_mask,
-                   static_cast<std::uint32_t>(stk.size()),
-                   static_cast<std::uint32_t>(cs));
-    }
-
-    // Child node ids and UArgs are warp-uniform (every lane passes the same
-    // voted call set); per-lane LArgs are each lane's own computation.
-    int cnt = 0;
-    bool have_leader = false;
-    for (int l = 0; l < lanes; ++l) {
-      if (!(new_mask & (1u << l))) continue;
-      if (!have_leader) {
-        have_leader = true;
-        cnt = k.children(top.node, top.uarg, cs, state[l], out, mem, l);
-        if constexpr (kernel_has_lane_arg<K>)
-          for (int i = 0; i < cnt; ++i) lane_largs[l][i] = out[i].larg;
-      } else if constexpr (kernel_has_lane_arg<K>) {
-        NoopMem noop;  // same nodes1 cacheline; the leader recorded the load
-        ChildOf<K> mine[K::kFanout];
-        k.children(top.node, top.uarg, cs, state[l], mine, noop, l);
-        for (int i = 0; i < cnt; ++i) lane_largs[l][i] = mine[i].larg;
-      }
-    }
-    mem.commit();
-
-    // Push in reverse so pops preserve the recursive order (section 3.3).
-    for (int i = cnt - 1; i >= 0; --i) {
-      warp_stack_op(stk.size());
-      std::vector<typename K::LArg> child_largs(lanes);
-      if constexpr (kernel_has_lane_arg<K>) {
-        for (int l = 0; l < lanes; ++l) {
-          if (!(new_mask & (1u << l))) continue;
-          child_largs[l] = lane_largs[l][i];
-          mem.lane_load_raw(l, lane_stack_addr(l, stk.size()),
-                            lane_entry_bytes);
-        }
-      }
-      stk.push_back({out[i].node, out[i].uarg, new_mask});
-      largs.push_back(std::move(child_largs));
-      if (tr)
-        tr->record(obs::TraceEventKind::kPush, out[i].node, new_mask,
-                   static_cast<std::uint32_t>(stk.size()));
-    }
-    mem.commit();  // interleaved per-lane argument stores (coalesced)
-    if (stk.size() > static_cast<std::size_t>(stack_bound))
-      overflow.store(true, std::memory_order_relaxed);
-    stats.peak_stack_entries =
-        std::max<std::uint64_t>(stats.peak_stack_entries, stk.size());
-  }
-
-  *warp_pops = pops_here;
-  for (int l = 0; l < lanes; ++l) results[l] = k.finish(state[l]);
-}
-
-// ---------------------------------------------------------------------
-// Recursive, non-lockstep: the naive CUDA port. Per-lane call stacks with
-// frames spilled to thread-interleaved local memory. Hardware reconverges
-// only at call boundaries, so each step executes one divergent call path:
-// among the lanes at the deepest live call level, only those sitting on
-// the leader's tree node run; lanes on other nodes (and all shallower
-// lanes) stall. Similar traversals (sorted inputs) keep the whole warp in
-// one group -- naive recursion is then surprisingly competitive, matching
-// the paper's negative sorted-N improvements -- while divergent traversals
-// serialize lane by lane.
-// ---------------------------------------------------------------------
-template <TraversalKernel K>
-void warp_recursive_nolockstep(const K& k, const DeviceConfig& cfg,
-                               WarpMemory& mem, KernelStats& stats,
-                               WarpRange range, std::uint64_t frame_base,
-                               std::uint32_t* point_visits,
-                               typename K::Result* results,
-                               obs::WarpTracer* tr) {
-  const int lanes = static_cast<int>(range.end - range.begin);
-  struct Frame {
-    ChildOf<K> self;
-    ChildOf<K> kids[K::kFanout];
-    int cnt = 0;
-    int cursor = 0;
-    bool visited = false;
-  };
-  std::vector<std::vector<Frame>> stk(lanes);
-  std::vector<typename K::State> state;
-  state.reserve(lanes);
-  for (int l = 0; l < lanes; ++l) {
-    state.push_back(k.init(range.begin + l, mem, l));
-    Frame f;
-    f.self = {k.root(), k.root_uarg(), k.root_larg()};
-    stk[l].push_back(f);
-  }
-  mem.commit();
-
-  auto frame_addr = [&](int lane, std::size_t depth) {
-    return frame_base +
-           (depth * static_cast<std::size_t>(cfg.warp_size) + lane) *
-               static_cast<std::uint32_t>(cfg.frame_bytes);
-  };
-
-  for (;;) {
-    std::size_t max_depth = 0;
-    int alive = 0;
-    for (int l = 0; l < lanes; ++l) {
-      if (stk[l].empty()) continue;
-      ++alive;
-      max_depth = std::max(max_depth, stk[l].size());
-    }
-    if (alive == 0) break;
-
-    // The executable group: deepest lanes that share the leader's node.
-    NodeId leader_node = kNullNode;
-    for (int l = 0; l < lanes; ++l) {
-      if (stk[l].empty() || stk[l].size() != max_depth) continue;
-      leader_node = stk[l].back().self.node;
-      break;
-    }
-
-    ++stats.warp_steps;
-    stats.instr_cycles += cfg.c_step;
-    int active = 0;
-    bool any_visit = false, any_call = false;
-    std::uint32_t visit_mask = 0, trunc_mask = 0, call_mask = 0, ret_mask = 0;
-    for (int l = 0; l < lanes; ++l) {
-      if (stk[l].empty() || stk[l].size() != max_depth ||
-          stk[l].back().self.node != leader_node)
-        continue;
-      ++active;
-      Frame& f = stk[l].back();
-      if (!f.visited) {
-        f.visited = true;
-        ++stats.lane_visits;
-        ++point_visits[l];
-        any_visit = true;
-        visit_mask |= 1u << l;
-        bool descend =
-            k.visit(f.self.node, f.self.uarg, f.self.larg, state[l], mem, l);
-        if (descend) {
-          int cs =
-              K::kNumCallSets > 1 ? k.choose_callset(f.self.node, state[l]) : 0;
-          f.cnt = k.children(f.self.node, f.self.uarg, cs, state[l], f.kids,
-                             mem, l);
-        } else {
-          f.cnt = 0;
-          trunc_mask |= 1u << l;
-        }
-      } else if (f.cursor < f.cnt) {
-        // Call: spill the live frame and descend into the next child.
-        any_call = true;
-        ++stats.calls;
-        call_mask |= 1u << l;
-        Frame child;
-        child.self = f.kids[f.cursor++];
-        mem.lane_load_raw(l, frame_addr(l, stk[l].size() - 1),
-                          static_cast<std::uint32_t>(cfg.frame_bytes));
-        stk[l].push_back(child);
-      } else {
-        // Return: restore the caller's frame from local memory.
-        any_call = true;
-        ret_mask |= 1u << l;
-        mem.lane_load_raw(l, frame_addr(l, stk[l].size() >= 2
-                                               ? stk[l].size() - 2
-                                               : 0),
-                          static_cast<std::uint32_t>(cfg.frame_bytes));
-        stk[l].pop_back();
-      }
-      stats.peak_stack_entries =
-          std::max<std::uint64_t>(stats.peak_stack_entries, stk[l].size());
-    }
-    stats.active_lane_sum += static_cast<std::uint64_t>(active);
-    if (any_visit) stats.instr_cycles += cfg.c_visit;
-    if (any_call) stats.instr_cycles += cfg.c_call;
-    mem.commit();
-    if (tr) {
-      const auto depth = static_cast<std::uint32_t>(max_depth);
-      if (visit_mask != 0)
-        tr->record(obs::TraceEventKind::kVisit, leader_node, visit_mask,
-                   depth);
-      if (trunc_mask != 0)
-        tr->record(obs::TraceEventKind::kTruncate, leader_node, trunc_mask,
-                   depth);
-      if (call_mask != 0)
-        tr->record(obs::TraceEventKind::kCall, leader_node, call_mask,
-                   depth + 1);
-      if (ret_mask != 0)
-        tr->record(obs::TraceEventKind::kReturn, leader_node, ret_mask,
-                   depth - 1);
-    }
-  }
-
-  for (int l = 0; l < lanes; ++l) results[l] = k.finish(state[l]);
-}
-
-// ---------------------------------------------------------------------
-// Recursive, lockstep: warp-level recursion over the union traversal with
-// explicit masking (footnote 5). Same visit set as lockstep autoropes, but
-// every level pays a call/return pair plus per-lane frame traffic.
-// ---------------------------------------------------------------------
-template <TraversalKernel K>
-struct RecLockstepCtx {
-  const K& k;
-  const DeviceConfig& cfg;
-  WarpMemory& mem;
-  KernelStats& stats;
-  std::vector<typename K::State>& state;
-  int lanes;
-  std::uint64_t frame_base;
-  obs::WarpTracer* tr;
-  int callset_votes[8];
-
-  std::uint64_t frame_addr(int lane, std::size_t depth) const {
-    return frame_base +
-           (depth * static_cast<std::size_t>(cfg.warp_size) + lane) *
-               static_cast<std::uint32_t>(cfg.frame_bytes);
-  }
-
-  void recurse(NodeId node, typename K::UArg ua,
-               const std::vector<typename K::LArg>& la, std::uint32_t mask,
-               std::size_t depth) {
-    ++stats.warp_pops;
-    ++stats.warp_steps;
-    stats.instr_cycles += cfg.c_step + cfg.c_visit;
-    if (tr)
-      tr->record(obs::TraceEventKind::kPop, node, mask,
-                 static_cast<std::uint32_t>(depth));
-
-    int active = 0;
-    std::uint32_t new_mask = 0;
-    for (int l = 0; l < lanes; ++l) {
-      if (!(mask & (1u << l))) continue;
-      ++active;
-      ++stats.lane_visits;
-      if (k.visit(node, ua, la[l], state[l], mem, l)) new_mask |= 1u << l;
-    }
-    stats.active_lane_sum += static_cast<std::uint64_t>(active);
-    mem.commit();
-    ++stats.votes;
-    stats.instr_cycles += cfg.c_vote;
-    if (tr) {
-      tr->record(obs::TraceEventKind::kVisit, node, mask,
-                 static_cast<std::uint32_t>(depth));
-      if ((mask & ~new_mask) != 0)
-        tr->record(obs::TraceEventKind::kTruncate, node, mask & ~new_mask,
-                   static_cast<std::uint32_t>(depth));
-      tr->record(obs::TraceEventKind::kVote, node, new_mask,
-                 static_cast<std::uint32_t>(depth), new_mask != 0);
-    }
-    if (new_mask == 0) return;
-
-    int cs = 0;
-    if constexpr (K::kNumCallSets > 1) {
-      static_assert(K::kCallSetsEquivalent,
-                    "lockstep requires semantically-equivalent call sets");
-      for (int c = 0; c < K::kNumCallSets; ++c) callset_votes[c] = 0;
-      for (int l = 0; l < lanes; ++l)
-        if (new_mask & (1u << l))
-          ++callset_votes[k.choose_callset(node, state[l])];
-      for (int c = 1; c < K::kNumCallSets; ++c)
-        if (callset_votes[c] > callset_votes[cs]) cs = c;
-      ++stats.votes;
-      stats.instr_cycles += cfg.c_vote;
-      if (tr)
-        tr->record(obs::TraceEventKind::kVote, node, new_mask,
-                   static_cast<std::uint32_t>(depth),
-                   static_cast<std::uint32_t>(cs));
-    }
-
-    ChildOf<K> out[K::kFanout];
-    std::array<std::array<typename K::LArg, K::kFanout>, 32> lane_largs;
-    int cnt = 0;
-    bool have_leader = false;
-    for (int l = 0; l < lanes; ++l) {
-      if (!(new_mask & (1u << l))) continue;
-      if (!have_leader) {
-        have_leader = true;
-        cnt = k.children(node, ua, cs, state[l], out, mem, l);
-        if constexpr (kernel_has_lane_arg<K>)
-          for (int i = 0; i < cnt; ++i) lane_largs[l][i] = out[i].larg;
-      } else if constexpr (kernel_has_lane_arg<K>) {
-        NoopMem noop;
-        ChildOf<K> mine[K::kFanout];
-        k.children(node, ua, cs, state[l], mine, noop, l);
-        for (int i = 0; i < cnt; ++i) lane_largs[l][i] = mine[i].larg;
-      }
-    }
-    mem.commit();
-
-    std::vector<typename K::LArg> child_la(static_cast<std::size_t>(lanes));
-    for (int i = 0; i < cnt; ++i) {
-      // Call: every masked lane spills its frame to local memory.
-      ++stats.calls;
-      stats.instr_cycles += cfg.c_call;
-      for (int l = 0; l < lanes; ++l) {
-        if (!(new_mask & (1u << l))) continue;
-        mem.lane_load_raw(l, frame_addr(l, depth),
-                          static_cast<std::uint32_t>(cfg.frame_bytes));
-        if constexpr (kernel_has_lane_arg<K>) child_la[l] = lane_largs[l][i];
-      }
-      mem.commit();
-      if (tr)
-        tr->record(obs::TraceEventKind::kCall, out[i].node, new_mask,
-                   static_cast<std::uint32_t>(depth + 1));
-      recurse(out[i].node, out[i].uarg, child_la, new_mask, depth + 1);
-      // Return: restore the frame.
-      for (int l = 0; l < lanes; ++l)
-        if (new_mask & (1u << l))
-          mem.lane_load_raw(l, frame_addr(l, depth),
-                            static_cast<std::uint32_t>(cfg.frame_bytes));
-      mem.commit();
-      if (tr)
-        tr->record(obs::TraceEventKind::kReturn, node, new_mask,
-                   static_cast<std::uint32_t>(depth));
-    }
-  }
-};
-
-template <TraversalKernel K>
-void warp_recursive_lockstep(const K& k, const DeviceConfig& cfg,
-                             WarpMemory& mem, KernelStats& stats,
-                             WarpRange range, std::uint64_t frame_base,
-                             std::uint32_t* warp_pops,
-                             typename K::Result* results,
-                             obs::WarpTracer* tr) {
-  const int lanes = static_cast<int>(range.end - range.begin);
-  std::vector<typename K::State> state;
-  state.reserve(lanes);
-  for (int l = 0; l < lanes; ++l) state.push_back(k.init(range.begin + l, mem, l));
-  mem.commit();
-
-  RecLockstepCtx<K> ctx{k, cfg, mem, stats, state, lanes, frame_base, tr, {}};
-  const std::uint32_t full_mask =
-      lanes >= 32 ? 0xffffffffu : ((1u << lanes) - 1u);
-  std::vector<typename K::LArg> root_la(static_cast<std::size_t>(lanes),
-                                        k.root_larg());
-  std::uint64_t pops_before = stats.warp_pops;
-  ctx.recurse(k.root(), k.root_uarg(), root_la, full_mask, 0);
-
-  *warp_pops = static_cast<std::uint32_t>(stats.warp_pops - pops_before);
-  for (int l = 0; l < lanes; ++l) results[l] = k.finish(state[l]);
-}
-
-}  // namespace detail
-
 // ---------------------------------------------------------------------
 // Entry point: simulate the kernel under one of the four GPU variants.
-// `trace` is optional: when non-null, every warp loop emits per-step
-// event records into it (see obs/trace.h for the determinism contract).
+// `trace` is optional: when non-null, the engine emits per-step event
+// records into it (see obs/trace.h for the determinism contract).
 // ---------------------------------------------------------------------
 template <TraversalKernel K>
 GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
@@ -695,7 +92,7 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
 
   const int stack_bound = k.stack_bound();
   const std::uint32_t entry_bytes =
-      std::max<std::uint32_t>(4, detail::stack_entry_bytes<K>(mode.lockstep));
+      std::max<std::uint32_t>(4, stack_entry_bytes<K>(mode.lockstep));
   // One interleaved stack (or local-memory frame arena) region per warp,
   // plus room for the warp-level entries of the global-lockstep ablation.
   const std::uint64_t per_warp_span =
@@ -711,51 +108,74 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
 
   // Figure 9b's strip-mined grid loop: with a finite grid, physical warp p
   // processes chunks p, p + grid, p + 2*grid, ... and keeps its L2 slice
-  // (and stack arena) across chunks.
+  // (and stack arena) across chunks. Uniform across all compositions.
   const std::size_t grid =
       mode.grid_limit > 0 ? std::min(mode.grid_limit, n_warps) : n_warps;
 
-  std::atomic<bool> overflow{false};
+  OverflowReport overflow;
   if (trace) trace->begin(n_warps, omp_get_max_threads());
   WallTimer timer;
   std::vector<KernelStats> per_warp = run_warps(
       grid, cfg, [&](std::size_t p, KernelStats& stats, L2Cache* l2) {
         WarpMemory mem(space, cfg, l2, stats);
-        std::uint64_t base = stack_base0 + per_warp_span * p;
+        const std::uint64_t base = stack_base0 + per_warp_span * p;
         obs::WarpTracer* tr =
             trace ? &trace->ring(omp_get_thread_num()) : nullptr;
+        WarpEngine<K> eng(k, cfg, mem, stats, overflow, stack_bound, tr);
+
+        // Stack-policy instances for this physical warp's arena.
+        const LaneRopeStack lane_stack{
+            base, entry_bytes, static_cast<std::uint32_t>(cfg.warp_size),
+            static_cast<std::uint32_t>(stack_bound + 4),
+            mode.contiguous_stack};
+        const WarpStack warp_stack{
+            base,
+            base + static_cast<std::uint64_t>(stack_bound + 4) *
+                       static_cast<std::uint64_t>(cfg.warp_size) * entry_bytes,
+            entry_bytes, static_cast<std::uint32_t>(cfg.warp_size),
+            mode.lockstep_stack_global};
+        const CallFrames frames{base,
+                                static_cast<std::uint32_t>(cfg.frame_bytes),
+                                static_cast<std::uint32_t>(cfg.warp_size)};
+
         for (std::size_t w = p; w < n_warps; w += grid) {
           if (tr) tr->begin_warp(static_cast<std::uint32_t>(w));
-          detail::WarpRange range;
+          WarpRange range;
           range.begin = static_cast<std::uint32_t>(w * cfg.warp_size);
           range.end = static_cast<std::uint32_t>(
               std::min<std::size_t>(n, (w + 1) * cfg.warp_size));
-          auto* results = run.results.data() + range.begin;
-          if (mode.autoropes && !mode.lockstep) {
-            detail::warp_autoropes_nolockstep(
-                k, cfg, mode, mem, stats, range, base, entry_bytes,
-                stack_bound, run.per_point_visits.data() + range.begin,
-                results, overflow, tr);
-          } else if (mode.autoropes && mode.lockstep) {
-            detail::warp_autoropes_lockstep(
-                k, cfg, mode, mem, stats, range, base, entry_bytes,
-                stack_bound, &run.per_warp_pops[w], results, overflow, tr);
-          } else if (!mode.autoropes && !mode.lockstep) {
-            detail::warp_recursive_nolockstep(
-                k, cfg, mem, stats, range, base,
-                run.per_point_visits.data() + range.begin, results, tr);
-          } else {
-            detail::warp_recursive_lockstep(k, cfg, mem, stats, range, base,
-                                            &run.per_warp_pops[w], results,
-                                            tr);
+          eng.begin_chunk(
+              static_cast<std::uint32_t>(w), range,
+              run.results.data() + range.begin,
+              mode.lockstep ? nullptr
+                            : run.per_point_visits.data() + range.begin,
+              mode.lockstep ? &run.per_warp_pops[w] : nullptr);
+          switch (mode.variant()) {
+            case Variant::kAutoNolockstep:
+              LoopHeadReconvergence{}.run(eng, lane_stack);
+              break;
+            case Variant::kAutoLockstep:
+              WarpAndTruncation{}.run(eng, warp_stack);
+              break;
+            case Variant::kRecNolockstep:
+              MaxDepthCallReconvergence{}.run(eng, frames);
+              break;
+            case Variant::kRecLockstep:
+              WarpAndTruncation{}.run(eng, frames);
+              break;
           }
+          eng.end_chunk();
           if (tr) trace->commit(static_cast<std::uint32_t>(w), *tr);
         }
       });
   run.sim_wall_ms = timer.elapsed_ms();
-  if (overflow.load())
-    throw std::runtime_error("run_gpu_sim: rope stack overflow (stack_bound " +
-                             std::to_string(stack_bound) + ")");
+  if (overflow.overflowed())
+    throw std::runtime_error(
+        std::string("run_gpu_sim: rope stack overflow (kernel ") +
+        kernel_display_name<K>() + ", variant " + variant_name(mode.variant()) +
+        ", warp " + std::to_string(overflow.warp()) + ", " +
+        std::to_string(overflow.entries()) + " entries, stack_bound " +
+        std::to_string(stack_bound) + ")");
   run.stats = merge_stats(per_warp);
   run.time = estimate_time_balanced(instr_cycles_of(per_warp), run.stats, cfg);
   return run;

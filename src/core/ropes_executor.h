@@ -110,16 +110,15 @@ RopesRun<K> run_gpu_ropes_sim(const K& k, GpuAddressSpace& space,
       constexpr NodeId kNeverResume = std::numeric_limits<NodeId>::max();
       std::vector<NodeId> resume_at(lanes, kNullNode);
       while (cur != StaticRopes::kEndOfTraversal) {
-        ++stats.warp_steps;
-        ++stats.warp_pops;
-        stats.instr_cycles += cfg.c_step + cfg.c_visit;
+        stats.note_warp_pop();
+        stats.note_warp_step(cfg.c_step + cfg.c_visit);
         bool any_descend = false;
         int active = 0;
         for (int l = 0; l < lanes; ++l) {
           if (resume_at[l] != kNullNode && cur < resume_at[l]) continue;
           resume_at[l] = kNullNode;
           ++active;
-          ++stats.lane_visits;
+          stats.note_lane_visit();
           if (k.visit(cur, k.uarg_at(cur), no_larg, state[l], mem, l)) {
             any_descend = true;
           } else {
@@ -128,9 +127,8 @@ RopesRun<K> run_gpu_ropes_sim(const K& k, GpuAddressSpace& space,
                 rope == StaticRopes::kEndOfTraversal ? kNeverResume : rope;
           }
         }
-        stats.active_lane_sum += static_cast<std::uint64_t>(active);
-        ++stats.votes;
-        stats.instr_cycles += cfg.c_vote;
+        stats.note_active_lanes(active);
+        stats.note_vote(cfg.c_vote);
         if (any_descend) {
           cur = cur + 1;
         } else {
@@ -152,12 +150,11 @@ RopesRun<K> run_gpu_ropes_sim(const K& k, GpuAddressSpace& space,
         for (int l = 0; l < lanes; ++l)
           if (cur[l] != StaticRopes::kEndOfTraversal) ++active;
         if (active == 0) break;
-        ++stats.warp_steps;
-        stats.active_lane_sum += static_cast<std::uint64_t>(active);
-        stats.instr_cycles += cfg.c_step + cfg.c_visit;
+        stats.note_warp_step(cfg.c_step + cfg.c_visit);
+        stats.note_active_lanes(active);
         for (int l = 0; l < lanes; ++l) {
           if (cur[l] == StaticRopes::kEndOfTraversal) continue;
-          ++stats.lane_visits;
+          stats.note_lane_visit();
           bool descend = k.visit(cur[l], k.uarg_at(cur[l]), no_larg,
                                  state[l], mem, l);
           if (descend) {

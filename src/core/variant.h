@@ -40,8 +40,13 @@ inline constexpr std::array<Variant, kNumVariants> kAllVariants{
 [[nodiscard]] inline Variant variant_from_name(const std::string& name) {
   for (Variant v : kAllVariants)
     if (name == variant_name(v)) return v;
+  std::string valid;
+  for (Variant v : kAllVariants) {
+    if (!valid.empty()) valid += ", ";
+    valid += variant_name(v);
+  }
   throw std::invalid_argument("variant_from_name: unknown variant '" + name +
-                              "'");
+                              "' (valid: " + valid + ")");
 }
 
 [[nodiscard]] constexpr bool variant_is_autoropes(Variant v) {

@@ -27,6 +27,36 @@ struct KernelStats {
 
   std::uint64_t peak_stack_entries = 0;  // deepest rope stack seen
 
+  // -------------------------------------------------------------------
+  // Policy-facing accounting API. The warp engine and its stack /
+  // convergence policies (core/warp_engine.h, core/stack_policy.h,
+  // core/convergence_policy.h) charge events through these named
+  // operations instead of poking fields, so every variant's bookkeeping
+  // reads as the machine event it models. Raw fields stay public for
+  // merging and export.
+  // -------------------------------------------------------------------
+  void note_warp_step(double step_cycles) {
+    ++warp_steps;
+    instr_cycles += step_cycles;
+  }
+  void note_active_lanes(int active) {
+    active_lane_sum += static_cast<std::uint64_t>(active);
+  }
+  void note_lane_visit() { ++lane_visits; }
+  void note_warp_pop() { ++warp_pops; }
+  void note_vote(double vote_cycles) {
+    ++votes;
+    instr_cycles += vote_cycles;
+  }
+  void note_call(double call_cycles) {
+    ++calls;
+    instr_cycles += call_cycles;
+  }
+  void note_cycles(double cycles) { instr_cycles += cycles; }
+  void note_stack_depth(std::uint64_t entries) {
+    if (entries > peak_stack_entries) peak_stack_entries = entries;
+  }
+
   void merge(const KernelStats& o) {
     load_instructions += o.load_instructions;
     dram_transactions += o.dram_transactions;

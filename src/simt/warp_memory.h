@@ -38,6 +38,14 @@ class WarpMemory {
     pending_.push_back(Pending{kRawBuf, addr, bytes, static_cast<std::uint16_t>(lane)});
   }
 
+  // Policy-facing alias of lane_load_raw for rope-stack / call-frame
+  // traffic: the stack policies (core/stack_policy.h) own the address
+  // computation and record their push/pop/spill bytes through this, so
+  // stack accounting is recognizable at the call site.
+  void lane_stack_traffic(int lane, std::uint64_t addr, std::uint32_t bytes) {
+    lane_load_raw(lane, addr, bytes);
+  }
+
   // Issue the recorded accesses and clear. Returns DRAM transactions issued.
   std::uint64_t commit();
 

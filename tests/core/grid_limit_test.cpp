@@ -1,0 +1,63 @@
+// GpuMode::grid_limit (Figure 9b's strip-mined grid loop) under every
+// variant: strip-mining changes scheduling and L2 reuse only, so results
+// and work counters must be bit-identical to the one-chunk-per-warp grid.
+// The engine drives the chunk loop uniformly for all StackPolicy x
+// ConvergencePolicy compositions, so all four are exercised here.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "bench_algos/nn/nearest_neighbor.h"
+#include "bench_algos/pc/point_correlation.h"
+#include "core/gpu_executors.h"
+#include "data/generators.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+namespace {
+
+template <TraversalKernel K>
+void expect_grid_invariant(const K& k, GpuAddressSpace& space) {
+  DeviceConfig cfg;
+  for (Variant v : kAllVariants) {
+    SCOPED_TRACE(variant_name(v));
+    auto wide = run_gpu_sim(k, space, cfg, GpuMode::from(v));
+    for (std::size_t grid : {std::size_t{1}, std::size_t{3}}) {
+      SCOPED_TRACE("grid_limit " + std::to_string(grid));
+      GpuMode narrow = GpuMode::from(v);
+      narrow.grid_limit = grid;
+      auto g = run_gpu_sim(k, space, cfg, narrow);
+      ASSERT_EQ(g.results.size(), wide.results.size());
+      EXPECT_EQ(0, std::memcmp(g.results.data(), wide.results.data(),
+                               sizeof(typename K::Result) *
+                                   wide.results.size()));
+      EXPECT_EQ(g.per_point_visits, wide.per_point_visits);
+      EXPECT_EQ(g.per_warp_pops, wide.per_warp_pops);
+      EXPECT_EQ(g.stats.lane_visits, wide.stats.lane_visits);
+      EXPECT_EQ(g.stats.warp_steps, wide.stats.warp_steps);
+      EXPECT_EQ(g.stats.warp_pops, wide.stats.warp_pops);
+      EXPECT_EQ(g.stats.calls, wide.stats.calls);
+      EXPECT_EQ(g.stats.votes, wide.stats.votes);
+    }
+  }
+}
+
+TEST(GridLimit, PointCorrelationAllVariants) {
+  PointSet pts = gen_covtype_like(500, 7, 77);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  float r = pc_pick_radius(pts, 16, 77);
+  PointCorrelationKernel k(tree, pts, r, space);
+  expect_grid_invariant(k, space);
+}
+
+TEST(GridLimit, NearestNeighborAllVariants) {
+  PointSet pts = gen_uniform(450, 5, 78);
+  KdTreeNN tree = build_kdtree_nn(pts);
+  GpuAddressSpace space;
+  NnKernel k(tree, pts, space);
+  expect_grid_invariant(k, space);
+}
+
+}  // namespace
+}  // namespace tt

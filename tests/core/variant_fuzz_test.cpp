@@ -1,0 +1,137 @@
+// Randomized cross-variant equivalence: fuzzed inputs driven through one
+// unguided kernel (point correlation) and one guided kernel (nearest
+// neighbor, 2 equivalent call sets) must produce byte-identical Result
+// vectors under all four StackPolicy x ConvergencePolicy compositions.
+// Alongside equality, checks the work-expansion invariant behind Table 2:
+// a lockstep warp's union traversal pops at least as many nodes as the
+// longest individual traversal among its member lanes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "bench_algos/nn/nearest_neighbor.h"
+#include "bench_algos/pc/point_correlation.h"
+#include "core/gpu_executors.h"
+#include "data/generators.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+namespace {
+
+// Deterministic parameter fuzzer (xorshift64) -- varies input size, shape,
+// dimensionality and tree granularity across rounds.
+std::uint64_t next(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+// Runs the kernel under all four variants, using auto_nolockstep as the
+// baseline: every other composition must reproduce its Result vector
+// byte-for-byte, and the lockstep compositions must satisfy the
+// work-expansion bound against its per-point visit counts.
+template <TraversalKernel K>
+void check_all_variants(const K& k, GpuAddressSpace& space) {
+  DeviceConfig cfg;
+  auto base = run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoNolockstep));
+  ASSERT_EQ(base.results.size(), k.num_points());
+  ASSERT_EQ(base.per_point_visits.size(), k.num_points());
+
+  for (Variant v : {Variant::kAutoLockstep, Variant::kRecLockstep,
+                    Variant::kRecNolockstep}) {
+    SCOPED_TRACE(variant_name(v));
+    auto g = run_gpu_sim(k, space, cfg, GpuMode::from(v));
+    ASSERT_EQ(g.results.size(), base.results.size());
+    EXPECT_EQ(0, std::memcmp(g.results.data(), base.results.data(),
+                             sizeof(typename K::Result) * base.results.size()));
+
+    // Both non-lockstep schedules walk each point's own traversal, so
+    // their per-point visit counts must agree exactly.
+    if (v == Variant::kRecNolockstep) {
+      EXPECT_EQ(g.per_point_visits, base.per_point_visits);
+    }
+
+    // Lockstep: the warp's union traversal contains every member lane's
+    // traversal, so its pop count bounds each lane's visit count.
+    if (!g.per_warp_pops.empty()) {
+      const auto warp = static_cast<std::size_t>(cfg.warp_size);
+      for (std::size_t w = 0; w < g.per_warp_pops.size(); ++w) {
+        std::uint32_t longest = 0;
+        const std::size_t begin = w * warp;
+        const std::size_t end =
+            std::min(base.per_point_visits.size(), begin + warp);
+        for (std::size_t i = begin; i < end; ++i)
+          longest = std::max(longest, base.per_point_visits[i]);
+        EXPECT_GE(g.per_warp_pops[w], longest) << "warp " << w;
+      }
+    }
+  }
+}
+
+TEST(VariantFuzz, PointCorrelationUnguided) {
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  for (int round = 0; round < 6; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::size_t n = 64 + next(s) % 700;
+    const int dim = 2 + static_cast<int>(next(s) % 6);
+    const std::uint64_t seed = next(s);
+    PointSet pts = round % 2 == 0 ? gen_uniform(n, dim, seed)
+                                  : gen_covtype_like(n, dim, seed);
+    KdTree tree =
+        build_kdtree(pts, 4 + static_cast<int>(next(s) % 8));
+    GpuAddressSpace space;
+    float r = pc_pick_radius(pts, 4.0 + static_cast<double>(next(s) % 24),
+                             seed);
+    PointCorrelationKernel k(tree, pts, r, space);
+    check_all_variants(k, space);
+  }
+}
+
+// Forces a rope-stack overflow and checks the error carries enough
+// context to act on: kernel name, variant, warp id and the bound.
+struct TinyBoundPc : PointCorrelationKernel {
+  using PointCorrelationKernel::PointCorrelationKernel;
+  [[nodiscard]] int stack_bound() const { return 1; }
+};
+
+TEST(VariantFuzz, OverflowErrorIsContextual) {
+  PointSet pts = gen_uniform(200, 3, 99);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  float r = pc_pick_radius(pts, 16, 99);
+  TinyBoundPc k(tree, pts, r, space);
+  DeviceConfig cfg;
+  try {
+    run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoNolockstep));
+    FAIL() << "expected rope stack overflow";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rope stack overflow"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("kernel point_correlation"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("variant auto_nolockstep"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("warp "), std::string::npos) << msg;
+    EXPECT_NE(msg.find("stack_bound 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(VariantFuzz, NearestNeighborGuided) {
+  std::uint64_t s = 0xda942042e4dd58b5ull;
+  for (int round = 0; round < 6; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::size_t n = 64 + next(s) % 700;
+    const int dim = 2 + static_cast<int>(next(s) % 6);
+    const std::uint64_t seed = next(s);
+    PointSet pts = round % 2 == 0 ? gen_covtype_like(n, dim, seed)
+                                  : gen_mnist_like(n, dim, seed);
+    KdTreeNN tree = build_kdtree_nn(pts);
+    GpuAddressSpace space;
+    NnKernel k(tree, pts, space);
+    check_all_variants(k, space);
+  }
+}
+
+}  // namespace
+}  // namespace tt

@@ -2,8 +2,15 @@
 // tag and the presence/shape of the sections every report must carry.
 // Exit 0 on success; nonzero with a diagnostic on stderr otherwise. Used
 // by the table1_json_validate ctest and scripts/check.sh.
+//
+// --golden <golden.json> <report.json> instead byte-compares the two
+// files after normalizing the git_sha value (the only field allowed to
+// differ across commits); the behavior-preservation fixture test uses it
+// to pin the executor refactor to the pre-refactor report.
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <regex>
 #include <sstream>
 #include <string>
 
@@ -19,11 +26,63 @@ int fail(const std::string& msg) {
   return 1;
 }
 
+bool slurp(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+std::string normalize_git_sha(const std::string& s) {
+  static const std::regex re("\"git_sha\": \"[0-9a-f]*\"");
+  return std::regex_replace(s, re, "\"git_sha\": \"<sha>\"");
+}
+
+// Byte-compare golden vs report modulo git_sha; on mismatch print the
+// first differing line of each side for a usable diagnostic.
+int compare_golden(const char* golden_path, const char* report_path) {
+  std::string golden, report;
+  if (!slurp(golden_path, &golden))
+    return fail(std::string("cannot open ") + golden_path);
+  if (!slurp(report_path, &report))
+    return fail(std::string("cannot open ") + report_path);
+  golden = normalize_git_sha(golden);
+  report = normalize_git_sha(report);
+  if (golden == report) {
+    std::cout << "json_validate: " << report_path << " matches golden "
+              << golden_path << "\n";
+    return 0;
+  }
+  std::istringstream ga(golden), rb(report);
+  std::string gl, rl;
+  std::size_t line = 0;
+  for (;;) {
+    ++line;
+    bool have_g = static_cast<bool>(std::getline(ga, gl));
+    bool have_r = static_cast<bool>(std::getline(rb, rl));
+    if (!have_g && !have_r) break;
+    if (!have_g) gl = "<end of file>";
+    if (!have_r) rl = "<end of file>";
+    if (gl != rl) {
+      std::cerr << "json_validate: golden mismatch at line " << line << "\n"
+                << "  golden: " << gl << "\n"
+                << "  report: " << rl << "\n";
+      return 1;
+    }
+  }
+  return fail("golden mismatch (content differs)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 4 && std::strcmp(argv[1], "--golden") == 0)
+    return compare_golden(argv[2], argv[3]);
   if (argc != 2) {
-    std::cerr << "usage: json_validate <report.json>\n";
+    std::cerr << "usage: json_validate <report.json>\n"
+              << "       json_validate --golden <golden.json> <report.json>\n";
     return 2;
   }
   std::ifstream in(argv[1], std::ios::binary);
