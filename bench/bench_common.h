@@ -95,7 +95,8 @@ inline void add_common_flags(Cli& cli) {
   cli.add_string("variant", "all",
                  "comma-separated GPU variants to simulate "
                  "(auto_lockstep,auto_nolockstep,rec_lockstep,"
-                 "rec_nolockstep); excluded variants are skipped");
+                 "rec_nolockstep,auto_select); excluded variants are "
+                 "skipped");
   cli.add_int("points", 8192, "points per tree-benchmark input");
   cli.add_int("bodies", 16384, "bodies for Barnes-Hut");
   cli.add_int("seed", 42, "master RNG seed");
@@ -107,6 +108,11 @@ inline void add_common_flags(Cli& cli) {
               "Barnes-Hut timesteps (the paper integrates 5)");
   cli.add_flag("verify", false,
                "cross-check all variants' results agree (slower)");
+  cli.add_int("profile-samples", 32,
+              "auto_select: adjacent traversal pairs the section-4.4 "
+              "sampler draws per launch (must be >= 1)");
+  cli.add_int("profile-seed", 1,
+              "auto_select: deterministic seed for the sampler");
   cli.add_flag("csv", false, "emit CSV instead of an aligned table");
   cli.add_string("json", "",
                  "also write a treetrav.run_report JSON file to this path");
@@ -154,6 +160,13 @@ inline BenchConfig config_from(const Cli& cli, Algo a, InputKind in,
   c.bh_theta = static_cast<float>(cli.get_double("theta"));
   c.bh_timesteps = static_cast<int>(cli.get_int("bh-steps"));
   c.verify = cli.get_flag("verify");
+  const long long samples = cli.get_int("profile-samples");
+  if (samples <= 0)
+    throw std::invalid_argument(
+        "--profile-samples must be >= 1: the auto_select sampler needs at "
+        "least one traversal pair to decide a dispatch");
+  c.profile_samples = static_cast<std::size_t>(samples);
+  c.profile_seed = static_cast<std::uint64_t>(cli.get_int("profile-seed"));
   c.run_variants = parse_variant_filter(cli.get_string("variant"));
   return c;
 }

@@ -53,6 +53,39 @@ void add_rows(Table& table, const BenchRow& row) {
   };
   variant_row(true);
   variant_row(false);
+
+  // auto_select (section 4.4): Type shows the launch decision -- "A[L]"
+  // when the sampler dispatched to lockstep, "A[N]" for non-lockstep --
+  // and Time(ms) includes the charged sampling cost, so this row being
+  // close to the better of L/N *is* the claim the variant makes.
+  const VariantResult& av = row.result(Variant::kAutoSelect);
+  if (!av.ok()) {
+    if (av.error.rfind("skipped", 0) == 0) return;
+    table.add_row({
+        algo_name(row.config.algo),
+        input_name(row.config.input),
+        row.config.sorted ? "sorted" : "unsorted",
+        "A[?]",
+        "FAILED", "-", "-", "-", "-", "-",
+    });
+    return;
+  }
+  const bool chose_lockstep =
+      av.selection && av.selection->chosen == Variant::kAutoLockstep;
+  const VariantResult& rec = row.result(
+      chose_lockstep ? Variant::kRecLockstep : Variant::kRecNolockstep);
+  table.add_row({
+      algo_name(row.config.algo),
+      input_name(row.config.input),
+      row.config.sorted ? "sorted" : "unsorted",
+      chose_lockstep ? "A[L]" : "A[N]",
+      fmt_fixed(av.time_ms, 3),
+      fmt_fixed(av.avg_nodes, 0),
+      fmt_fixed(row.speedup_vs_1(av), 2),
+      fmt_fixed(row.speedup_vs_32(av), 2),
+      rec.ok() ? fmt_percent(rec.time_ms / av.time_ms - 1.0) : "-",
+      fmt_fixed(row.transfer_ms(), 3),
+  });
 }
 
 }  // namespace

@@ -16,11 +16,13 @@ int main(int argc, char** argv) {
   benchx::add_common_flags(cli);
   try {
     if (!cli.parse(argc, argv)) return 0;
-    Table table({"Benchmark", "Input", "Sorted", "Unsorted"});
+    Table table({"Benchmark", "Input", "Sorted", "Unsorted",
+                 "AutoSel(sorted)", "AutoSel(unsorted)"});
     obs::RunReport report = benchx::make_report(cli, "table2_work_expansion");
     for (Algo a : benchx::parse_algos(cli.get_string("benchmarks"))) {
       for (InputKind in : inputs_for(a)) {
         std::string cells[2];
+        std::string auto_cells[2];
         for (bool sorted : {true, false}) {
           BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
           report.add_row(row);
@@ -33,8 +35,27 @@ int main(int argc, char** argv) {
               have_both ? fmt_fixed(row.work_expansion.mean, 2) + " (" +
                               fmt_fixed(row.work_expansion.stddev, 2) + ")"
                         : "-";
+          // What the section-4.4 sampler decided for this cell: the
+          // dispatched composition and the similarity lift (adjacent mean
+          // minus random-pair baseline) it decided on. The work-expansion
+          // columns explain the decision -- high expansion on unsorted
+          // inputs is exactly why auto_select should pick N.
+          const VariantResult& av = row.result(Variant::kAutoSelect);
+          auto_cells[sorted ? 0 : 1] =
+              av.ok() && av.selection
+                  ? std::string(av.selection->chosen ==
+                                        Variant::kAutoLockstep
+                                    ? "L"
+                                    : "N") +
+                        " (lift " +
+                        fmt_fixed(av.selection->mean_similarity -
+                                      av.selection->baseline_similarity,
+                                  2) +
+                        ")"
+                  : "-";
         }
-        table.add_row({algo_name(a), input_name(in), cells[0], cells[1]});
+        table.add_row({algo_name(a), input_name(in), cells[0], cells[1],
+                       auto_cells[0], auto_cells[1]});
         std::cerr << "# done " << algo_name(a) << "/" << input_name(in)
                   << "\n";
       }

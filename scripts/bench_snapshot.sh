@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: run table1 on a small fixed grid and distill
+# each cell's per-variant simulated instruction cycles + modelled time
+# (deterministic) and host simulation wall-clock (volatile, machine-
+# dependent) into BENCH_table1.json at the repo root. Commit the refreshed
+# file alongside performance-relevant PRs so later PRs can diff both the
+# modelled cost and the simulator's own speed against this baseline.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+out="${1:-$repo/BENCH_table1.json}"
+
+if [[ ! -x "$build/bench/table1" ]]; then
+  echo "== building table1 =="
+  cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" --target table1
+fi
+
+raw="$(mktemp /tmp/bench_snapshot_XXXX.json)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== table1 (pc+nn, 512 points) =="
+"$build/bench/table1" --benchmarks=pc,nn --points=512 \
+  --json="$raw" --json-volatile >/dev/null
+
+python3 - "$raw" "$out" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    report = json.load(f)
+
+snapshot = {
+    "schema": "treetrav.bench_snapshot/v1",
+    "source": "table1 --benchmarks=pc,nn --points=512",
+    "git_sha": report.get("git_sha", "unknown"),
+    "cells": [],
+}
+for row in report["rows"]:
+    cfg = row["config"]
+    cell = {
+        "benchmark": cfg["algo"],
+        "input": cfg["input"],
+        "order": "sorted" if cfg["sorted"] else "unsorted",
+        "n": cfg["n"],
+        "variants": {},
+    }
+    for name, v in row["variants"].items():
+        if not v.get("ok", False):
+            cell["variants"][name] = {"error": v.get("error", "failed")}
+            continue
+        entry = {
+            "instr_cycles": v["stats"]["instr_cycles"],
+            "modelled_ms": v["time_ms"],
+            "host_sim_wall_ms": v.get("sim_wall_ms"),
+        }
+        if "selection" in v:
+            entry["selection"] = {
+                "chosen": v["selection"]["chosen"],
+                "mean_similarity": v["selection"]["mean_similarity"],
+                "baseline_similarity": v["selection"]["baseline_similarity"],
+                "sampling_cycles": v["selection"]["sampling_cycles"],
+            }
+        cell["variants"][name] = entry
+    snapshot["cells"].append(cell)
+
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path} ({len(snapshot['cells'])} cells)")
+PY

@@ -92,7 +92,7 @@ Summary work_expansion(const std::vector<std::uint32_t>& per_point_visits,
   return rs.summary();
 }
 
-// Runs the CPU baselines and all four GPU variants for one kernel, filling
+// Runs the CPU baselines and all five GPU variants for one kernel, filling
 // the variant columns of `row`. `equal` compares two Result values.
 template <TraversalKernel K, class Eq>
 void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
@@ -113,7 +113,7 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
   row.cpu_threads_measured = tmax;
   row.cpu_visits = cpu1.total_visits;
 
-  // Simulate the four GPU variants. A rope-stack overflow (run_gpu_sim
+  // Simulate the five GPU variants. A rope-stack overflow (run_gpu_sim
   // throws) fails only that variant: its error string is recorded and the
   // remaining variants still produce measurements.
   std::array<std::vector<typename K::Result>, kNumVariants> gpu_results;
@@ -128,9 +128,13 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
       continue;
     }
     try {
-      auto g = run_gpu_sim(k, space, cfg.device, GpuMode::from(v));
+      GpuMode mode = GpuMode::from(v);
+      mode.profile_samples = cfg.profile_samples;
+      mode.profile_seed = cfg.profile_seed;
+      auto g = run_gpu_sim(k, space, cfg.device, mode);
       row.result(v) =
           to_variant(g.stats, g.time, g.avg_nodes(), g.sim_wall_ms);
+      row.result(v).selection = g.selection;
       if (v == Variant::kAutoNolockstep)
         nolockstep_visits = std::move(g.per_point_visits);
       else if (v == Variant::kAutoLockstep)
@@ -182,6 +186,29 @@ void accumulate(BenchRow& row, const BenchRow& step, int steps_so_far) {
         a.time.imbalance * (1.0 - w) + b.time.imbalance * w;  // per step
     a.stats.merge(b.stats);
     a.sim_wall_ms += b.sim_wall_ms;
+    if (b.selection) {
+      if (!a.selection) {
+        a.selection = b.selection;
+      } else {
+        // Samples and charged cycles add across timesteps; similarity
+        // stays a per-sample mean; `chosen` keeps the first dispatch.
+        const std::uint64_t total = a.selection->samples + b.selection->samples;
+        if (total > 0) {
+          const double wa = static_cast<double>(a.selection->samples);
+          const double wb = static_cast<double>(b.selection->samples);
+          a.selection->mean_similarity =
+              (a.selection->mean_similarity * wa +
+               b.selection->mean_similarity * wb) /
+              static_cast<double>(total);
+          a.selection->baseline_similarity =
+              (a.selection->baseline_similarity * wa +
+               b.selection->baseline_similarity * wb) /
+              static_cast<double>(total);
+        }
+        a.selection->samples = total;
+        a.selection->sampling_cycles += b.selection->sampling_cycles;
+      }
+    }
   };
   for (Variant v : kAllVariants) add_variant(row.result(v), step.result(v));
   row.cpu_t1_ms += step.cpu_t1_ms;

@@ -59,10 +59,16 @@ struct BenchConfig {
   bool verify = true;    // cross-check all variants' results agree
   DeviceConfig device;
 
+  // auto_select sampler knobs (the --profile-samples/--profile-seed CLI
+  // flags): how many adjacent traversal pairs the section-4.4 profiler
+  // draws per launch, and the deterministic seed it draws them with.
+  std::size_t profile_samples = 32;
+  std::uint64_t profile_seed = 1;
+
   // Which GPU variants run_bench simulates (the --variant CLI filter).
   // A disabled variant is reported through VariantResult::error
   // ("skipped: ...") with zeroed numbers, like a failed one.
-  std::array<bool, kNumVariants> run_variants{true, true, true, true};
+  std::array<bool, kNumVariants> run_variants{true, true, true, true, true};
   [[nodiscard]] bool runs_variant(Variant v) const {
     return run_variants[static_cast<std::size_t>(v)];
   }
@@ -74,6 +80,11 @@ struct VariantResult {
   KernelStats stats;
   TimeBreakdown time;       // the cost model's full breakdown
   double sim_wall_ms = 0;
+  // auto_select only: the launch-time decision record (exported as the
+  // "selection" block of the RunReport JSON). BH accumulates it across
+  // timesteps: samples and sampling_cycles sum, similarity averages, and
+  // `chosen` keeps the first timestep's dispatch.
+  std::optional<SelectionInfo> selection;
   // Empty on success. Set (e.g. "rope stack overflow ...") when this
   // variant's simulation failed; its numbers are then all zero while the
   // other variants of the row stay valid.

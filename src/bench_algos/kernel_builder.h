@@ -1,0 +1,121 @@
+// Build one benchmark's data + tree + kernel for a given point order and
+// hand the kernel to a visitor. Shared by the auto_select acceptance test
+// and bench/selection_sweep, which both need "the Table-1 kernel for algo
+// X with the points in order Y" without the harness's CPU baselines and
+// per-variant loop. Single-timestep view only: BH builds the initial
+// octree (harness.cpp owns the multi-timestep integration loop).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "bench_algos/bh/barnes_hut.h"
+#include "bench_algos/harness.h"
+#include "bench_algos/knn/knn.h"
+#include "bench_algos/nn/nearest_neighbor.h"
+#include "bench_algos/pc/point_correlation.h"
+#include "bench_algos/vp/vantage_point.h"
+#include "data/generators.h"
+#include "data/sorting.h"
+#include "simt/address_space.h"
+#include "spatial/kdtree.h"
+#include "spatial/octree.h"
+#include "spatial/vptree.h"
+
+namespace tt {
+
+// How the query points are laid out before the tree build: the two
+// "sorted" layouts of section 4.4 (Morton for low dimensions, kd-tree
+// leaf order for high) and the adversarial shuffled layout.
+enum class PointOrder { kMorton, kTree, kShuffled };
+
+[[nodiscard]] inline const char* point_order_name(PointOrder o) {
+  switch (o) {
+    case PointOrder::kMorton: return "morton";
+    case PointOrder::kTree: return "tree";
+    case PointOrder::kShuffled: return "shuffled";
+  }
+  return "?";
+}
+
+inline std::vector<std::uint32_t> order_permutation(const PointSet& pts,
+                                                    PointOrder order,
+                                                    const BenchConfig& cfg) {
+  switch (order) {
+    case PointOrder::kMorton: return morton_order(pts);
+    case PointOrder::kTree: return tree_order(pts, cfg.leaf_size);
+    case PointOrder::kShuffled:
+      return shuffled_order(pts.size(), cfg.seed ^ 0x5bd1e995);
+  }
+  throw std::logic_error("order_permutation: bad order");
+}
+
+// Generate cfg.algo's input, permute it into `order`, build the tree and
+// call fn(kernel). Buffers register into `space` exactly like run_bench,
+// so run_gpu_sim on the visited kernel models the same address space.
+template <class Fn>
+void with_bench_kernel(const BenchConfig& cfg, PointOrder order,
+                       GpuAddressSpace& space, Fn&& fn) {
+  if (cfg.algo == Algo::kBH) {
+    BodySet bodies = cfg.input == InputKind::kRandomBodies
+                         ? gen_random_bodies(cfg.n, cfg.seed)
+                         : gen_plummer(cfg.n, cfg.seed);
+    auto perm = order_permutation(bodies.pos, order, cfg);
+    bodies.pos.permute(perm);
+    std::vector<float> mass(cfg.n);
+    for (std::size_t j = 0; j < cfg.n; ++j) mass[j] = bodies.mass[perm[j]];
+    bodies.mass = std::move(mass);
+    Octree tree = build_octree(bodies.pos, bodies.mass);
+    BarnesHutKernel k(tree, bodies.pos, cfg.bh_theta, cfg.bh_eps2, space);
+    fn(k);
+    return;
+  }
+
+  PointSet pts = [&] {
+    switch (cfg.input) {
+      case InputKind::kCovtype:
+        return gen_covtype_like(cfg.n, cfg.dim, cfg.seed);
+      case InputKind::kMnist: return gen_mnist_like(cfg.n, cfg.dim, cfg.seed);
+      case InputKind::kUniform: return gen_uniform(cfg.n, cfg.dim, cfg.seed);
+      case InputKind::kGeocity: return gen_geocity_like(cfg.n, cfg.seed);
+      default:
+        throw std::invalid_argument(
+            "with_bench_kernel: body input for tree algo");
+    }
+  }();
+  pts.permute(order_permutation(pts, order, cfg));
+
+  switch (cfg.algo) {
+    case Algo::kPC: {
+      KdTree tree = build_kdtree(pts, cfg.leaf_size);
+      float r = pc_pick_radius(pts, cfg.pc_target_neighbors, cfg.seed);
+      PointCorrelationKernel k(tree, pts, r, space);
+      fn(k);
+      return;
+    }
+    case Algo::kKNN: {
+      KdTree tree = build_kdtree(pts, cfg.leaf_size);
+      KnnKernel k(tree, pts, cfg.k, space);
+      fn(k);
+      return;
+    }
+    case Algo::kNN: {
+      KdTreeNN tree = build_kdtree_nn(pts);
+      NnKernel k(tree, pts, space);
+      fn(k);
+      return;
+    }
+    case Algo::kVP: {
+      VpTree tree = build_vptree(pts, cfg.seed ^ 0x7b1fa2);
+      VpKernel k(tree, pts, space);
+      fn(k);
+      return;
+    }
+    case Algo::kBH: break;  // handled above
+  }
+  throw std::logic_error("with_bench_kernel: bad algo");
+}
+
+}  // namespace tt

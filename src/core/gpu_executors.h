@@ -1,6 +1,7 @@
-// GPU-simulated executors: the four variants the paper evaluates, each a
+// GPU-simulated executors: the paper's four fixed variants, each a
 // declarative StackPolicy x ConvergencePolicy composition driven by the
-// shared WarpEngine core:
+// shared WarpEngine core, plus the section-4.4 adaptive variant that
+// picks between the two autoropes compositions at launch time:
 //
 //   variant          stack policy    convergence policy
 //   ---------------  --------------  ---------------------------
@@ -8,6 +9,8 @@
 //   auto_lockstep    WarpStack       WarpAndTruncation
 //   rec_nolockstep   CallFrames      MaxDepthCallReconvergence
 //   rec_lockstep     CallFrames      WarpAndTruncation
+//   auto_select      (sample similarity, dispatch to auto_lockstep or
+//                     auto_nolockstep; sampling charged to the cost model)
 //
 // The WarpEngine (warp_engine.h) owns the per-warp lifecycle, counters and
 // the single trace-emission site; stack policies (stack_policy.h) own
@@ -23,11 +26,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/convergence_policy.h"
+#include "core/profiler.h"
 #include "core/stack_policy.h"
 #include "core/traversal_kernel.h"
 #include "core/variant.h"
@@ -55,6 +60,9 @@ struct GpuRun {
   std::vector<std::uint32_t> per_point_visits;
   std::vector<std::uint32_t> per_warp_pops;
   double sim_wall_ms = 0;  // host cost of the simulation (diagnostic)
+  // Set only by the auto_select variant: what the section-4.4 sampler
+  // measured and which composition the launch was dispatched to.
+  std::optional<SelectionInfo> selection;
 
   // The paper's "Avg. # Nodes" column.
   [[nodiscard]] double avg_nodes() const {
@@ -78,6 +86,45 @@ template <TraversalKernel K>
 GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
                       const DeviceConfig& cfg, GpuMode mode,
                       obs::TraceSink* trace = nullptr) {
+  if (mode.variant() == Variant::kAutoSelect) {
+    // Section 4.4 adaptive selection: sample a few adjacent traversal
+    // pairs, then dispatch this launch to the lockstep (similar => input
+    // effectively sorted) or non-lockstep autoropes composition. The
+    // sampled traversals run serially before the kernel on one SM, so
+    // their cost is charged to compute time without overlap.
+    if (mode.profile_samples == 0)
+      throw std::invalid_argument(
+          "run_gpu_sim: auto_select needs profile_samples >= 1");
+    const ProfileReport p =
+        profile_similarity(k, mode.profile_samples, mode.profile_seed);
+    const double sampling_cycles =
+        static_cast<double>(p.sampled_visits) * (cfg.c_visit + cfg.c_step);
+    GpuMode chosen = mode;
+    chosen.auto_select = false;
+    chosen.autoropes = true;
+    chosen.lockstep = p.looks_sorted;
+    GpuRun<K> run = run_gpu_sim(k, space, cfg, chosen, trace);
+    SelectionInfo sel;
+    sel.mean_similarity = p.mean_similarity;
+    sel.baseline_similarity = p.baseline_similarity;
+    sel.samples = p.samples;
+    sel.threshold = p.threshold;
+    sel.chosen = chosen.variant();
+    sel.sampling_cycles = sampling_cycles;
+    run.selection = sel;
+    run.stats.instr_cycles += sampling_cycles;
+    const double cycles_per_ms = cfg.clock_ghz * 1e6;
+    run.time.compute_ms += sampling_cycles / cycles_per_ms;
+    run.time.total_ms = std::max(run.time.compute_ms, run.time.memory_ms);
+    run.time.memory_bound = run.time.memory_ms > run.time.compute_ms;
+    // Record after the dispatched run so its trace->begin() cannot clear
+    // the launch-scope decision event.
+    if (trace)
+      trace->record_launch(obs::TraceEventKind::kSelect, 0xffffffffu,
+                           static_cast<std::uint32_t>(p.samples), 0,
+                           p.looks_sorted ? 1u : 0u);
+    return run;
+  }
   const std::size_t n = k.num_points();
   const std::size_t n_warps =
       (n + static_cast<std::size_t>(cfg.warp_size) - 1) /
@@ -163,6 +210,11 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
             case Variant::kRecLockstep:
               WarpAndTruncation{}.run(eng, frames);
               break;
+            case Variant::kAutoSelect:
+              // Resolved to a concrete composition by the early dispatch
+              // above; a mode carrying it cannot reach the warp loop.
+              throw std::logic_error(
+                  "run_gpu_sim: auto_select reached the composition switch");
           }
           eng.end_chunk();
           if (tr) trace->commit(static_cast<std::uint32_t>(w), *tr);

@@ -1,8 +1,11 @@
-// The four GPU execution variants the paper evaluates, as a first-class
-// enum. `Variant` is the public way to name a configuration; `GpuMode` is
-// the executor-facing knob struct it expands to (plus the section-5.2
-// ablation switches). Harness results, reports and tests all key off
-// `Variant` so a variant has exactly one spelling everywhere.
+// The GPU execution variants the harness evaluates, as a first-class enum:
+// the paper's four fixed compositions plus `auto_select`, the section-4.4
+// adaptive variant that samples traversal similarity at launch time and
+// dispatches to the lockstep or non-lockstep autoropes composition.
+// `Variant` is the public way to name a configuration; `GpuMode` is the
+// executor-facing knob struct it expands to (plus the section-5.2 ablation
+// switches). Harness results, reports and tests all key off `Variant` so a
+// variant has exactly one spelling everywhere.
 #pragma once
 
 #include <array>
@@ -18,11 +21,22 @@ enum class Variant : std::uint8_t {
   kAutoNolockstep = 1,   // autoropes, per-lane rope stacks (Figure 6/7)
   kRecLockstep = 2,      // recursion over the union traversal (footnote 5)
   kRecNolockstep = 3,    // naive CUDA port: per-lane recursion
+  kAutoSelect = 4,       // section 4.4: sample similarity, then dispatch to
+                         // kAutoLockstep or kAutoNolockstep per launch
 };
 
-inline constexpr std::size_t kNumVariants = 4;
+inline constexpr std::size_t kNumVariants = 5;
 
 inline constexpr std::array<Variant, kNumVariants> kAllVariants{
+    Variant::kAutoLockstep, Variant::kAutoNolockstep, Variant::kRecLockstep,
+    Variant::kRecNolockstep, Variant::kAutoSelect};
+
+// The four fixed compositions of the original evaluation. Golden fixtures
+// captured before `auto_select` existed compare against exactly this set
+// (tools/json_validate --golden).
+inline constexpr std::size_t kNumLegacyVariants = 4;
+
+inline constexpr std::array<Variant, kNumLegacyVariants> kLegacyVariants{
     Variant::kAutoLockstep, Variant::kAutoNolockstep, Variant::kRecLockstep,
     Variant::kRecNolockstep};
 
@@ -32,6 +46,7 @@ inline constexpr std::array<Variant, kNumVariants> kAllVariants{
     case Variant::kAutoNolockstep: return "auto_nolockstep";
     case Variant::kRecLockstep: return "rec_lockstep";
     case Variant::kRecNolockstep: return "rec_nolockstep";
+    case Variant::kAutoSelect: return "auto_select";
   }
   return "?";
 }
@@ -50,12 +65,29 @@ inline constexpr std::array<Variant, kNumVariants> kAllVariants{
 }
 
 [[nodiscard]] constexpr bool variant_is_autoropes(Variant v) {
-  return v == Variant::kAutoLockstep || v == Variant::kAutoNolockstep;
+  // auto_select only ever dispatches to an autoropes composition.
+  return v == Variant::kAutoLockstep || v == Variant::kAutoNolockstep ||
+         v == Variant::kAutoSelect;
 }
 
 [[nodiscard]] constexpr bool variant_is_lockstep(Variant v) {
+  // auto_select is not *statically* lockstep; its launch-time decision is
+  // reported through SelectionInfo instead.
   return v == Variant::kAutoLockstep || v == Variant::kRecLockstep;
 }
+
+// The launch-time decision record of the auto_select variant: what the
+// section-4.4 sampler measured and which composition it dispatched to.
+// Carried on GpuRun / VariantResult and exported as the "selection" block
+// of the RunReport JSON (schema v2).
+struct SelectionInfo {
+  double mean_similarity = 0;      // mean Jaccard over adjacent sampled pairs
+  double baseline_similarity = 0;  // mean Jaccard over random pairs
+  std::uint64_t samples = 0;       // sampled (pid, pid+1) traversal pairs
+  double threshold = 0;  // sorted-detection cutoff on the similarity lift
+  Variant chosen = Variant::kAutoNolockstep;  // dispatched composition
+  double sampling_cycles = 0;  // modelled cost charged for the sampling
+};
 
 struct GpuMode {
   bool autoropes = true;
@@ -75,15 +107,26 @@ struct GpuMode {
   // per warp (the default model); otherwise the physical warp count.
   std::size_t grid_limit = 0;
 
-  // The canonical spelling of the four paper variants.
+  // Section 4.4 adaptive selection: when set, run_gpu_sim samples
+  // `profile_samples` adjacent traversal pairs with a deterministic
+  // `profile_seed`, charges the sampling to the cost model, and dispatches
+  // to the lockstep or non-lockstep autoropes composition. The `lockstep`
+  // flag above is then decided at launch, not here.
+  bool auto_select = false;
+  std::size_t profile_samples = 32;
+  std::uint64_t profile_seed = 1;
+
+  // The canonical spelling of the five variants.
   [[nodiscard]] static constexpr GpuMode from(Variant v) {
     GpuMode m;
     m.autoropes = variant_is_autoropes(v);
     m.lockstep = variant_is_lockstep(v);
+    m.auto_select = v == Variant::kAutoSelect;
     return m;
   }
 
   [[nodiscard]] constexpr Variant variant() const {
+    if (auto_select) return Variant::kAutoSelect;
     if (autoropes)
       return lockstep ? Variant::kAutoLockstep : Variant::kAutoNolockstep;
     return lockstep ? Variant::kRecLockstep : Variant::kRecNolockstep;

@@ -169,6 +169,10 @@ void JsonWriter::value(bool v) {
   comma_and_newline();
   raw(v ? "true" : "false");
 }
+void JsonWriter::value_null() {
+  comma_and_newline();
+  raw("null");
+}
 
 // ---------------------------------------------------------------------
 // Parser.

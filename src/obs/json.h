@@ -57,6 +57,7 @@ class JsonWriter {
   void value(double v);
   void value(std::uint64_t v);
   void value(bool v);
+  void value_null();
 
  private:
   void comma_and_newline();

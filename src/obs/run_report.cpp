@@ -91,6 +91,17 @@ void write_config(JsonWriter& w, const BenchConfig& c) {
   w.end_object();
 }
 
+void write_selection(JsonWriter& w, const SelectionInfo& s) {
+  w.begin_object();
+  w.member("mean_similarity", s.mean_similarity);
+  w.member("baseline_similarity", s.baseline_similarity);
+  w.member("samples", s.samples);
+  w.member("threshold", s.threshold);
+  w.member("chosen", variant_name(s.chosen));
+  w.member("sampling_cycles", s.sampling_cycles);
+  w.end_object();
+}
+
 }  // namespace
 
 MetricsRegistry metrics_for_row(const BenchRow& row) {
@@ -101,6 +112,18 @@ MetricsRegistry metrics_for_row(const BenchRow& row) {
     std::string prefix = std::string("gpu/") + variant_name(v) + "/";
     register_kernel_stats(reg, r.stats, prefix);
     register_time_breakdown(reg, r.time, prefix);
+    if (r.selection) {
+      reg.add_counter(prefix + "selection/samples", r.selection->samples);
+      reg.add_counter(prefix + "selection/chose_lockstep",
+                      r.selection->chosen == Variant::kAutoLockstep ? 1 : 0);
+      reg.set_gauge(prefix + "selection/mean_similarity",
+                    r.selection->mean_similarity);
+      reg.set_gauge(prefix + "selection/baseline_similarity",
+                    r.selection->baseline_similarity);
+      reg.set_gauge(prefix + "selection/threshold", r.selection->threshold);
+      reg.set_gauge(prefix + "selection/sampling_cycles",
+                    r.selection->sampling_cycles);
+    }
   }
   register_cpu_model(reg, row.cpu_model, "cpu/");
   register_transfer_model(reg, row.transfer, row.upload_bytes,
@@ -147,6 +170,10 @@ void RunReport::write(std::ostream& os) const {
       write_kernel_stats(w, r.stats);
       w.key("time");
       write_time(w, r.time);
+      if (r.selection) {
+        w.key("selection");
+        write_selection(w, *r.selection);
+      }
       if (include_volatile_) w.member("sim_wall_ms", r.sim_wall_ms);
       w.end_object();
     }
@@ -154,10 +181,13 @@ void RunReport::write(std::ostream& os) const {
 
     w.member_object("cpu");
     w.member("visits", row.cpu_visits);
-    w.member("threads_measured", row.cpu_threads_measured);
     w.member("model_beta", row.cpu_model.beta);
     w.member("model_speedup_at_32", row.cpu_model.speedup(32));
     if (include_volatile_) {
+      // Environment-dependent: the host thread count and wall timings vary
+      // across machines and OMP settings, so the default report (which must
+      // be byte-identical for a given seed) omits them.
+      w.member("threads_measured", row.cpu_threads_measured);
       w.member("t1_ms", row.cpu_t1_ms);
       w.member("tmax_ms", row.cpu_tmax_ms);
     }

@@ -2,7 +2,7 @@
 //
 // A report bundles everything needed to interpret (and re-plot) a run
 // without the binary that produced it: the device model, every BenchRow
-// with all four variants' counters and modelled time breakdowns, the
+// with all five variants' counters and modelled time breakdowns, the
 // emitted human tables, and a MetricsRegistry snapshot per row. Reports
 // are deterministic -- measured wall-clock values (cpu_t1_ms, sim_wall_ms
 // and everything derived from them) are excluded unless `include_volatile`
@@ -22,9 +22,13 @@
 
 namespace tt::obs {
 
-inline constexpr const char* kRunReportSchema = "treetrav.run_report/v1";
+// v2: adds the optional "selection" block to variant objects (the
+// auto_select launch decision) and the gpu/auto_select/selection/*
+// metrics. Golden fixtures captured at v1 are compared legacy-variant-only
+// by tools/json_validate --golden.
+inline constexpr const char* kRunReportSchema = "treetrav.run_report/v2";
 
-// Build the per-row registry: all four variants' KernelStats and
+// Build the per-row registry: all five variants' KernelStats and
 // TimeBreakdowns under "gpu/<variant>/", the CPU scaling model under
 // "cpu/" and the transfer model under "transfer/". Failed variants
 // contribute nothing but an error gauge is not needed -- the row JSON

@@ -15,6 +15,7 @@ const char* trace_event_name(TraceEventKind k) {
     case TraceEventKind::kVote: return "vote";
     case TraceEventKind::kCall: return "call";
     case TraceEventKind::kReturn: return "return";
+    case TraceEventKind::kSelect: return "select";
   }
   return "?";
 }
@@ -48,6 +49,21 @@ void TraceSink::begin(std::size_t n_warps, int n_threads) {
   for (int t = 0; t < n_threads; ++t) rings_.emplace_back(capacity_);
   per_warp_.assign(n_warps, {});
   dropped_.assign(n_warps, 0);
+  launch_.clear();
+}
+
+void TraceSink::record_launch(TraceEventKind kind, std::uint32_t node,
+                              std::uint32_t mask, std::uint32_t depth,
+                              std::uint32_t aux) {
+  TraceEvent e;
+  e.warp = 0xffffffffu;
+  e.seq = static_cast<std::uint32_t>(launch_.size());
+  e.kind = kind;
+  e.node = node;
+  e.mask = mask;
+  e.depth = depth;
+  e.aux = aux;
+  launch_.push_back(e);
 }
 
 WarpTracer& TraceSink::ring(int thread_id) {
@@ -79,7 +95,7 @@ std::uint64_t TraceSink::total_dropped() const {
 }
 
 std::size_t TraceSink::total_events() const {
-  std::size_t n = 0;
+  std::size_t n = launch_.size();
   for (const auto& v : per_warp_) n += v.size();
   return n;
 }
@@ -88,10 +104,26 @@ std::vector<TraceEvent> TraceSink::merged() const {
   std::vector<TraceEvent> out;
   out.reserve(total_events());
   // per_warp_ is indexed by warp and each slot is already seq-ordered, so
-  // plain concatenation *is* the (warp, seq) sort.
+  // plain concatenation *is* the (warp, seq) sort. Launch-scope events use
+  // warp = 0xffffffff, past any real warp index, so they come last.
   for (const auto& v : per_warp_) out.insert(out.end(), v.begin(), v.end());
+  out.insert(out.end(), launch_.begin(), launch_.end());
   return out;
 }
+
+namespace {
+void write_event(JsonWriter& w, const TraceEvent& e) {
+  w.begin_object();
+  w.member("seq", static_cast<std::uint64_t>(e.seq));
+  w.member("kind", trace_event_name(e.kind));
+  if (e.node != 0xffffffffu)
+    w.member("node", static_cast<std::uint64_t>(e.node));
+  w.member("mask", static_cast<std::uint64_t>(e.mask));
+  w.member("depth", static_cast<std::uint64_t>(e.depth));
+  if (e.aux != 0) w.member("aux", static_cast<std::uint64_t>(e.aux));
+  w.end_object();
+}
+}  // namespace
 
 void TraceSink::write_json(JsonWriter& w) const {
   w.begin_array();
@@ -101,17 +133,16 @@ void TraceSink::write_json(JsonWriter& w) const {
     w.member("warp", static_cast<std::uint64_t>(warp));
     w.member("dropped", dropped_[warp]);
     w.member_array("events");
-    for (const TraceEvent& e : per_warp_[warp]) {
-      w.begin_object();
-      w.member("seq", static_cast<std::uint64_t>(e.seq));
-      w.member("kind", trace_event_name(e.kind));
-      if (e.node != 0xffffffffu)
-        w.member("node", static_cast<std::uint64_t>(e.node));
-      w.member("mask", static_cast<std::uint64_t>(e.mask));
-      w.member("depth", static_cast<std::uint64_t>(e.depth));
-      if (e.aux != 0) w.member("aux", static_cast<std::uint64_t>(e.aux));
-      w.end_object();
-    }
+    for (const TraceEvent& e : per_warp_[warp]) write_event(w, e);
+    w.end_array();
+    w.end_object();
+  }
+  if (!launch_.empty()) {
+    w.begin_object();
+    w.member("launch", true);
+    w.member("dropped", std::uint64_t{0});
+    w.member_array("events");
+    for (const TraceEvent& e : launch_) write_event(w, e);
     w.end_array();
     w.end_object();
   }

@@ -37,6 +37,8 @@ enum class TraceEventKind : std::uint8_t {
   kVote = 4,      // warp ballot / majority vote; aux = vote outcome
   kCall = 5,      // recursive variants: call frame spilled
   kReturn = 6,    // recursive variants: frame restored
+  kSelect = 7,    // auto_select launch decision (launch-scope, not per-warp;
+                  // aux = 1 if lockstep was chosen, mask = sample count)
 };
 
 const char* trace_event_name(TraceEventKind k);
@@ -110,7 +112,18 @@ class TraceSink {
   // Each warp is simulated by exactly one thread, so slots never race.
   void commit(std::uint32_t warp, const WarpTracer& tracer);
 
+  // Launch-scope event (not tied to any warp): e.g. the auto_select
+  // kSelect decision. Recorded with warp = 0xffffffff so merged() keeps
+  // its (warp, seq) order with launch events after all per-warp events.
+  // Called from the serial part of run_gpu_sim only.
+  void record_launch(TraceEventKind kind, std::uint32_t node,
+                     std::uint32_t mask, std::uint32_t depth,
+                     std::uint32_t aux = 0);
+
   [[nodiscard]] std::size_t n_warps() const { return per_warp_.size(); }
+  [[nodiscard]] const std::vector<TraceEvent>& launch_events() const {
+    return launch_;
+  }
   [[nodiscard]] const std::vector<TraceEvent>& events_for(
       std::uint32_t warp) const;
   [[nodiscard]] std::uint64_t dropped_for(std::uint32_t warp) const;
@@ -130,6 +143,7 @@ class TraceSink {
   std::vector<WarpTracer> rings_;                  // one per OpenMP thread
   std::vector<std::vector<TraceEvent>> per_warp_;  // committed traces
   std::vector<std::uint64_t> dropped_;
+  std::vector<TraceEvent> launch_;                 // launch-scope events
 };
 
 }  // namespace tt::obs

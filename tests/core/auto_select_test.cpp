@@ -1,0 +1,148 @@
+// Acceptance test for the section-4.4 adaptive variant: for all five
+// Table-1 benchmarks, auto_select must dispatch to lockstep on spatially
+// sorted inputs (Morton and kd-tree leaf order) and to non-lockstep on
+// shuffled inputs, reproduce the chosen composition's results
+// byte-for-byte, and report total cycles = chosen-variant cycles +
+// sampling cycles.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "bench_algos/kernel_builder.h"
+#include "core/gpu_executors.h"
+#include "obs/trace.h"
+
+namespace tt {
+namespace {
+
+BenchConfig config_for(Algo a) {
+  BenchConfig cfg;
+  cfg.algo = a;
+  cfg.input = a == Algo::kBH ? InputKind::kPlummer : InputKind::kCovtype;
+  cfg.n = 2048;
+  cfg.seed = 42;
+  return cfg;
+}
+
+// Sorted-input cases the selection must classify as lockstep-worthy:
+// Morton order applies to <= 3 dimensions (BH bodies; a 3-d uniform input
+// for the tree benchmarks), kd-tree leaf order to the 7-dim Table-1
+// inputs. Both spatial sorts must make adjacent traversals similar.
+struct SortedCase {
+  BenchConfig cfg;
+  PointOrder order;
+};
+
+std::vector<SortedCase> sorted_cases(Algo a) {
+  const BenchConfig base = config_for(a);
+  if (a == Algo::kBH) return {{base, PointOrder::kMorton}};
+  BenchConfig low_dim = base;
+  low_dim.input = InputKind::kUniform;
+  low_dim.dim = 3;
+  return {{low_dim, PointOrder::kMorton}, {base, PointOrder::kTree}};
+}
+
+template <TraversalKernel K>
+void expect_selects(const K& k, GpuAddressSpace& space, bool want_lockstep) {
+  DeviceConfig cfg;
+  GpuMode mode = GpuMode::from(Variant::kAutoSelect);
+  obs::TraceSink trace;
+  auto g = run_gpu_sim(k, space, cfg, mode, &trace);
+  ASSERT_TRUE(g.selection.has_value());
+  const SelectionInfo& sel = *g.selection;
+  EXPECT_EQ(sel.chosen, want_lockstep ? Variant::kAutoLockstep
+                                      : Variant::kAutoNolockstep)
+      << "lift " << sel.mean_similarity - sel.baseline_similarity
+      << " (mean " << sel.mean_similarity << ", baseline "
+      << sel.baseline_similarity << ") vs threshold " << sel.threshold;
+  EXPECT_EQ(sel.samples, mode.profile_samples);
+  EXPECT_EQ(sel.threshold, kSimilarityLiftThreshold);
+  EXPECT_GT(sel.sampling_cycles, 0.0);
+
+  // Byte-identical to the dispatched composition, with exactly the
+  // sampling cost charged on top of its cycles.
+  auto direct = run_gpu_sim(k, space, cfg, GpuMode::from(sel.chosen));
+  ASSERT_EQ(g.results.size(), direct.results.size());
+  EXPECT_EQ(0, std::memcmp(g.results.data(), direct.results.data(),
+                           sizeof(typename K::Result) * g.results.size()));
+  EXPECT_EQ(g.per_point_visits, direct.per_point_visits);
+  EXPECT_EQ(g.per_warp_pops, direct.per_warp_pops);
+  EXPECT_DOUBLE_EQ(g.stats.instr_cycles,
+                   direct.stats.instr_cycles + sel.sampling_cycles);
+  EXPECT_GT(g.time.compute_ms, direct.time.compute_ms);
+
+  // The launch decision lands in the trace as a single kSelect event.
+  ASSERT_EQ(trace.launch_events().size(), 1u);
+  const obs::TraceEvent& e = trace.launch_events().front();
+  EXPECT_EQ(e.kind, obs::TraceEventKind::kSelect);
+  EXPECT_EQ(e.aux, want_lockstep ? 1u : 0u);
+  EXPECT_EQ(e.mask, sel.samples);
+  EXPECT_EQ(trace.merged().size(), trace.total_events());
+  EXPECT_EQ(trace.merged().back().kind, obs::TraceEventKind::kSelect);
+}
+
+class AutoSelectAcceptance : public ::testing::TestWithParam<Algo> {};
+
+TEST_P(AutoSelectAcceptance, SortedOrdersPickLockstep) {
+  for (const SortedCase& c : sorted_cases(GetParam())) {
+    SCOPED_TRACE(point_order_name(c.order));
+    GpuAddressSpace space;
+    with_bench_kernel(c.cfg, c.order, space,
+                      [&](const auto& k) { expect_selects(k, space, true); });
+  }
+}
+
+TEST_P(AutoSelectAcceptance, ShuffledOrderPicksNonLockstep) {
+  const BenchConfig cfg = config_for(GetParam());
+  GpuAddressSpace space;
+  with_bench_kernel(cfg, PointOrder::kShuffled, space,
+                    [&](const auto& k) { expect_selects(k, space, false); });
+}
+
+TEST(AutoSelect, ZeroSamplesRejected) {
+  const BenchConfig cfg = config_for(Algo::kPC);
+  GpuAddressSpace space;
+  with_bench_kernel(cfg, PointOrder::kTree, space, [&](const auto& k) {
+    DeviceConfig dev;
+    GpuMode mode = GpuMode::from(Variant::kAutoSelect);
+    mode.profile_samples = 0;
+    EXPECT_THROW(run_gpu_sim(k, space, dev, mode), std::invalid_argument);
+  });
+}
+
+TEST(AutoSelect, DeterministicAcrossRuns) {
+  const BenchConfig cfg = config_for(Algo::kNN);
+  GpuAddressSpace space1, space2;
+  SelectionInfo first;
+  with_bench_kernel(cfg, PointOrder::kShuffled, space1, [&](const auto& k) {
+    DeviceConfig dev;
+    first = *run_gpu_sim(k, space1, dev, GpuMode::from(Variant::kAutoSelect))
+                 .selection;
+  });
+  with_bench_kernel(cfg, PointOrder::kShuffled, space2, [&](const auto& k) {
+    DeviceConfig dev;
+    auto again =
+        *run_gpu_sim(k, space2, dev, GpuMode::from(Variant::kAutoSelect))
+             .selection;
+    EXPECT_EQ(again.chosen, first.chosen);
+    EXPECT_DOUBLE_EQ(again.mean_similarity, first.mean_similarity);
+    EXPECT_DOUBLE_EQ(again.sampling_cycles, first.sampling_cycles);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, AutoSelectAcceptance,
+                         ::testing::Values(Algo::kBH, Algo::kPC, Algo::kKNN,
+                                           Algo::kNN, Algo::kVP),
+                         [](const ::testing::TestParamInfo<Algo>& info) {
+                           switch (info.param) {
+                             case Algo::kBH: return "bh";
+                             case Algo::kPC: return "pc";
+                             case Algo::kKNN: return "knn";
+                             case Algo::kNN: return "nn";
+                             case Algo::kVP: return "vp";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace tt

@@ -1,7 +1,9 @@
 // Randomized cross-variant equivalence: fuzzed inputs driven through one
 // unguided kernel (point correlation) and one guided kernel (nearest
 // neighbor, 2 equivalent call sets) must produce byte-identical Result
-// vectors under all four StackPolicy x ConvergencePolicy compositions.
+// vectors under all four StackPolicy x ConvergencePolicy compositions,
+// and auto_select must reproduce its chosen composition exactly (plus
+// the charged sampling cycles).
 // Alongside equality, checks the work-expansion invariant behind Table 2:
 // a lockstep warp's union traversal pops at least as many nodes as the
 // longest individual traversal among its member lanes.
@@ -47,6 +49,7 @@ void check_all_variants(const K& k, GpuAddressSpace& space) {
     ASSERT_EQ(g.results.size(), base.results.size());
     EXPECT_EQ(0, std::memcmp(g.results.data(), base.results.data(),
                              sizeof(typename K::Result) * base.results.size()));
+    EXPECT_FALSE(g.selection.has_value());
 
     // Both non-lockstep schedules walk each point's own traversal, so
     // their per-point visit counts must agree exactly.
@@ -68,6 +71,27 @@ void check_all_variants(const K& k, GpuAddressSpace& space) {
         EXPECT_GE(g.per_warp_pops[w], longest) << "warp " << w;
       }
     }
+  }
+
+  // auto_select must be byte-identical to whichever composition its
+  // sampler dispatched to, and charge exactly the sampling cost on top.
+  {
+    SCOPED_TRACE("auto_select");
+    GpuMode mode = GpuMode::from(Variant::kAutoSelect);
+    auto g = run_gpu_sim(k, space, cfg, mode);
+    ASSERT_TRUE(g.selection.has_value());
+    const Variant chosen = g.selection->chosen;
+    ASSERT_TRUE(chosen == Variant::kAutoLockstep ||
+                chosen == Variant::kAutoNolockstep);
+    SCOPED_TRACE(std::string("chose ") + variant_name(chosen));
+    auto direct = run_gpu_sim(k, space, cfg, GpuMode::from(chosen));
+    ASSERT_EQ(g.results.size(), direct.results.size());
+    EXPECT_EQ(0, std::memcmp(g.results.data(), direct.results.data(),
+                             sizeof(typename K::Result) * g.results.size()));
+    EXPECT_EQ(g.per_point_visits, direct.per_point_visits);
+    EXPECT_EQ(g.per_warp_pops, direct.per_warp_pops);
+    EXPECT_DOUBLE_EQ(g.stats.instr_cycles, direct.stats.instr_cycles +
+                                               g.selection->sampling_cycles);
   }
 }
 

@@ -1,23 +1,29 @@
 // Validates a treetrav.run_report JSON file: parses it, checks the schema
-// tag and the presence/shape of the sections every report must carry.
+// tag and the presence/shape of the sections every report must carry
+// (including the auto_select "selection" block introduced by schema v2).
 // Exit 0 on success; nonzero with a diagnostic on stderr otherwise. Used
 // by the table1_json_validate ctest and scripts/check.sh.
 //
-// --golden <golden.json> <report.json> instead byte-compares the two
-// files after normalizing the git_sha value (the only field allowed to
-// differ across commits); the behavior-preservation fixture test uses it
-// to pin the executor refactor to the pre-refactor report.
+// --golden <golden.json> <report.json> compares the two files on the four
+// *legacy* variants only: both sides are parsed, auto_select variant
+// blocks and gpu/auto_select/* metric entries are pruned, the schema tag
+// and git_sha are normalized, and the trees are re-serialized through the
+// canonical JsonWriter before byte comparison. That lets a golden fixture
+// captured before auto_select existed (schema v1) keep pinning the legacy
+// variants' behavior while reports grow new sections.
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <regex>
 #include <sstream>
 #include <string>
 
+#include "core/variant.h"
 #include "obs/json.h"
 #include "obs/run_report.h"
 
 using tt::obs::JsonValue;
+using tt::obs::JsonValuePtr;
+using tt::obs::JsonWriter;
 
 namespace {
 
@@ -35,24 +41,147 @@ bool slurp(const char* path, std::string* out) {
   return true;
 }
 
-std::string normalize_git_sha(const std::string& s) {
-  static const std::regex re("\"git_sha\": \"[0-9a-f]*\"");
-  return std::regex_replace(s, re, "\"git_sha\": \"<sha>\"");
+bool is_legacy_variant_name(const std::string& name) {
+  for (tt::Variant v : tt::kLegacyVariants)
+    if (name == tt::variant_name(v)) return true;
+  return false;
 }
 
-// Byte-compare golden vs report modulo git_sha; on mismatch print the
-// first differing line of each side for a usable diagnostic.
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------
+// Canonical re-serialization of a parsed tree (insertion order preserved,
+// numbers through json_number's shortest round-trip form) -- both sides
+// of the golden comparison pass through this, so formatting differences
+// between writer generations cannot produce false mismatches.
+// ---------------------------------------------------------------------
+void write_value(JsonWriter& w, const JsonValue& v);
+
+void write_member(JsonWriter& w, const std::string& k, const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull: w.member_null(k); break;
+    case JsonValue::Type::kBool: w.member(k, v.bool_v); break;
+    case JsonValue::Type::kNumber: w.member(k, v.num_v); break;
+    case JsonValue::Type::kString: w.member(k, v.str_v); break;
+    case JsonValue::Type::kArray:
+      w.member_array(k);
+      for (const JsonValuePtr& e : v.arr_v) write_value(w, *e);
+      w.end_array();
+      break;
+    case JsonValue::Type::kObject:
+      w.member_object(k);
+      for (const auto& [mk, mv] : v.obj_v) write_member(w, mk, *mv);
+      w.end_object();
+      break;
+  }
+}
+
+void write_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull: w.value_null(); break;
+    case JsonValue::Type::kBool: w.value(v.bool_v); break;
+    case JsonValue::Type::kNumber: w.value(v.num_v); break;
+    case JsonValue::Type::kString: w.value(v.str_v); break;
+    case JsonValue::Type::kArray:
+      w.begin_array();
+      for (const JsonValuePtr& e : v.arr_v) write_value(w, *e);
+      w.end_array();
+      break;
+    case JsonValue::Type::kObject:
+      w.begin_object();
+      for (const auto& [mk, mv] : v.obj_v) write_member(w, mk, *mv);
+      w.end_object();
+      break;
+  }
+}
+
+JsonValue* find_mut(JsonValue& obj, const std::string& k) {
+  if (!obj.is_object()) return nullptr;
+  for (auto& [mk, mv] : obj.obj_v)
+    if (mk == k) return mv.get();
+  return nullptr;
+}
+
+void set_string(JsonValue& root, const std::string& k, const char* value) {
+  if (JsonValue* v = find_mut(root, k)) {
+    v->type = JsonValue::Type::kString;
+    v->str_v = value;
+  }
+}
+
+// Reduce a parsed report to the legacy-variant view the golden fixture
+// captures: drop non-legacy variant blocks, gpu/<non-legacy>/* metric
+// entries, environment-dependent cpu keys, and normalize schema + git_sha.
+void prune_to_legacy(JsonValue& root) {
+  set_string(root, "schema", "<schema>");
+  set_string(root, "git_sha", "<sha>");
+  JsonValue* rows = find_mut(root, "rows");
+  if (!rows || !rows->is_array()) return;
+  for (const JsonValuePtr& rowp : rows->arr_v) {
+    JsonValue& row = *rowp;
+    if (JsonValue* cpu = find_mut(row, "cpu")) {
+      // Older fixtures emitted the host thread count unconditionally;
+      // current reports gate it behind --json-volatile.
+      std::erase_if(cpu->obj_v, [](const auto& member) {
+        return member.first == "threads_measured";
+      });
+    }
+    if (JsonValue* variants = find_mut(row, "variants")) {
+      std::erase_if(variants->obj_v, [](const auto& member) {
+        return !is_legacy_variant_name(member.first);
+      });
+    }
+    if (JsonValue* metrics = find_mut(row, "metrics")) {
+      for (const char* section : {"counters", "gauges", "histograms"}) {
+        JsonValue* sec = find_mut(*metrics, section);
+        if (!sec) continue;
+        std::erase_if(sec->obj_v, [](const auto& member) {
+          if (!starts_with(member.first, "gpu/")) return false;
+          const std::string variant =
+              member.first.substr(4, member.first.find('/', 4) - 4);
+          return !is_legacy_variant_name(variant);
+        });
+      }
+    }
+  }
+}
+
+// Compare golden vs report on the legacy-variant view; on mismatch print
+// the first differing canonical line of each side for a usable diagnostic.
 int compare_golden(const char* golden_path, const char* report_path) {
-  std::string golden, report;
-  if (!slurp(golden_path, &golden))
+  std::string golden_text, report_text;
+  if (!slurp(golden_path, &golden_text))
     return fail(std::string("cannot open ") + golden_path);
-  if (!slurp(report_path, &report))
+  if (!slurp(report_path, &report_text))
     return fail(std::string("cannot open ") + report_path);
-  golden = normalize_git_sha(golden);
-  report = normalize_git_sha(report);
+
+  std::string golden, report;
+  try {
+    auto gp = tt::obs::json_parse(golden_text);
+    prune_to_legacy(*gp);
+    std::ostringstream gs;
+    {
+      JsonWriter w(gs);
+      write_value(w, *gp);
+    }
+    golden = gs.str();
+    auto rp = tt::obs::json_parse(report_text);
+    prune_to_legacy(*rp);
+    std::ostringstream rs;
+    {
+      JsonWriter w(rs);
+      write_value(w, *rp);
+    }
+    report = rs.str();
+  } catch (const std::exception& e) {
+    return fail(std::string("golden compare parse error: ") + e.what());
+  }
+
   if (golden == report) {
-    std::cout << "json_validate: " << report_path << " matches golden "
-              << golden_path << "\n";
+    std::cout << "json_validate: " << report_path
+              << " matches golden (legacy variants) " << golden_path << "\n";
     return 0;
   }
   std::istringstream ga(golden), rb(report);
@@ -66,13 +195,33 @@ int compare_golden(const char* golden_path, const char* report_path) {
     if (!have_g) gl = "<end of file>";
     if (!have_r) rl = "<end of file>";
     if (gl != rl) {
-      std::cerr << "json_validate: golden mismatch at line " << line << "\n"
+      std::cerr << "json_validate: golden mismatch at canonical line " << line
+                << "\n"
                 << "  golden: " << gl << "\n"
                 << "  report: " << rl << "\n";
       return 1;
     }
   }
   return fail("golden mismatch (content differs)");
+}
+
+// The auto_select variant of an ok row must carry the full v2 selection
+// block, and the chosen composition must be one it can dispatch to.
+int check_selection(const std::string& at, const JsonValue& vr) {
+  const JsonValue* sel = vr.find("selection");
+  if (!sel || !sel->is_object())
+    return fail(at + ": ok auto_select without \"selection\" block");
+  for (const char* field : {"mean_similarity", "baseline_similarity",
+                            "samples", "threshold", "chosen",
+                            "sampling_cycles"})
+    if (!sel->find(field))
+      return fail(at + ".selection: missing \"" + field + "\"");
+  const std::string& chosen = sel->find("chosen")->as_string();
+  if (chosen != tt::variant_name(tt::Variant::kAutoLockstep) &&
+      chosen != tt::variant_name(tt::Variant::kAutoNolockstep))
+    return fail(at + ".selection: chosen is \"" + chosen +
+                "\", expected an autoropes composition");
+  return 0;
 }
 
 }  // namespace
@@ -120,6 +269,10 @@ int main(int argc, char** argv) {
           return fail(at + "." + tt::variant_name(v) + ": missing \"stats\"");
         if (!vr->find("time"))
           return fail(at + "." + tt::variant_name(v) + ": missing \"time\"");
+        if (v == tt::Variant::kAutoSelect && vr->find("ok")->as_bool()) {
+          int rc = check_selection(at + "." + tt::variant_name(v), *vr);
+          if (rc != 0) return rc;
+        }
       }
       const JsonValue* metrics = row.find("metrics");
       if (!metrics || !metrics->is_object())
