@@ -45,36 +45,18 @@ inline std::vector<Algo> parse_algos(const std::string& spec) {
   return out;
 }
 
-// Parses a --variant spec into a per-Variant enable mask. "all" enables
-// every variant; otherwise a comma-separated list of canonical variant
-// names (variant_from_name rejects unknown spellings, listing the valid
-// ones in its error).
-inline std::array<bool, kNumVariants> parse_variant_filter(
-    const std::string& spec) {
-  std::array<bool, kNumVariants> run{};
-  if (spec == "all") {
-    run.fill(true);
-    return run;
-  }
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    std::size_t comma = spec.find(',', pos);
-    std::string tok = spec.substr(pos, comma == std::string::npos
-                                           ? std::string::npos
-                                           : comma - pos);
-    run[static_cast<std::size_t>(variant_from_name(tok))] = true;
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return run;
+// The --variant spec as a VariantSet ("all" or a comma-separated list of
+// canonical names; VariantSet::from_names rejects unknown spellings,
+// listing the valid ones in its error).
+inline VariantSet parse_variant_filter(const std::string& spec) {
+  return VariantSet::from_names(spec);
 }
 
 // True when --variant enables `v`. Binaries with per-variant rows use this
 // to skip rows; run_bench-based binaries inherit the filter through
-// BenchConfig::run_variants instead (see config_from).
+// BenchConfig::variants instead (see config_from).
 inline bool variant_enabled(const Cli& cli, Variant v) {
-  return parse_variant_filter(
-      cli.get_string("variant"))[static_cast<std::size_t>(v)];
+  return parse_variant_filter(cli.get_string("variant")).contains(v);
 }
 
 // For experiments whose measurement inherently compares specific variants:
@@ -167,7 +149,7 @@ inline BenchConfig config_from(const Cli& cli, Algo a, InputKind in,
         "least one traversal pair to decide a dispatch");
   c.profile_samples = static_cast<std::size_t>(samples);
   c.profile_seed = static_cast<std::uint64_t>(cli.get_int("profile-seed"));
-  c.run_variants = parse_variant_filter(cli.get_string("variant"));
+  c.variants = parse_variant_filter(cli.get_string("variant"));
   return c;
 }
 

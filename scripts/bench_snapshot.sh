@@ -20,18 +20,25 @@ if [[ ! -x "$build/bench/table1" ]]; then
 fi
 
 raw="$(mktemp /tmp/bench_snapshot_XXXX.json)"
-trap 'rm -f "$raw"' EXIT
+batch_raw="$(mktemp /tmp/bench_snapshot_batch_XXXX.json)"
+trap 'rm -f "$raw" "$batch_raw"' EXIT
 
 echo "== table1 (pc+nn, 512 points) =="
 "$build/bench/table1" --benchmarks=pc,nn --points=512 \
   --json="$raw" --json-volatile >/dev/null
 
-python3 - "$raw" "$out" <<'PY'
+echo "== table1 --batch (all five, 512 points/bodies) =="
+"$build/bench/table1" --batch --points=512 --bodies=512 \
+  --json="$batch_raw" >/dev/null
+
+python3 - "$raw" "$batch_raw" "$out" <<'PY'
 import json, sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
+raw_path, batch_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(raw_path) as f:
     report = json.load(f)
+with open(batch_path) as f:
+    batch_report = json.load(f)
 
 snapshot = {
     "schema": "treetrav.bench_snapshot/v1",
@@ -66,6 +73,36 @@ for row in report["rows"]:
             }
         cell["variants"][name] = entry
     snapshot["cells"].append(cell)
+
+# Batched columns: the five Table-1 kernels as one simulated launch.
+# Per-kernel numbers equal the solo rows by contract; what this snapshot
+# tracks is the schedule accounting and the amortized transfer saving.
+b = batch_report.get("batch")
+if b is not None:
+    batch = {
+        "source": "table1 --batch --points=512 --bodies=512",
+        "policy": b["policy"],
+        "variant": b["variant"],
+        "residency": b["residency"],
+        "total_chunks": b["total_chunks"],
+        "rounds": b["rounds"],
+        "switches": b["switches"],
+        "transfer": {
+            "amortized_ms": b["transfer"]["amortized_ms"],
+            "summed_solo_ms": b["transfer"]["summed_solo_ms"],
+        },
+        "kernels": {},
+    }
+    for k in b["kernels"]:
+        if not k.get("ok", False):
+            batch["kernels"][k["kernel"]] = {"error": k.get("error", "failed")}
+            continue
+        batch["kernels"][k["kernel"]] = {
+            "instr_cycles": k["stats"]["instr_cycles"],
+            "modelled_ms": k["time_ms"],
+            "solo_transfer_ms": k["solo_transfer_ms"],
+        }
+    snapshot["batch"] = batch
 
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2, sort_keys=False)

@@ -1,6 +1,7 @@
 #include "bench_algos/harness.h"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "bench_algos/bh/barnes_hut.h"
@@ -120,7 +121,7 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
   std::vector<std::uint32_t> nolockstep_visits;
   std::vector<std::uint32_t> lockstep_pops;
   for (Variant v : kAllVariants) {
-    if (!cfg.runs_variant(v)) {
+    if (!cfg.variants.contains(v)) {
       row.result(v) = VariantResult{};
       row.result(v).error =
           std::string("skipped: excluded by --variant filter (") +
@@ -216,6 +217,7 @@ void accumulate(BenchRow& row, const BenchRow& step, int steps_so_far) {
   row.cpu_visits += step.cpu_visits;
   row.upload_bytes += step.upload_bytes;  // tree re-uploaded per step
   row.download_bytes += step.download_bytes;
+  row.launches += step.launches;  // each step is its own kernel launch
   row.work_expansion.mean =
       row.work_expansion.mean * (1.0 - w) + step.work_expansion.mean * w;
   row.work_expansion.stddev =
@@ -250,6 +252,31 @@ void apply_order(PointSet& pts, const BenchConfig& cfg) {
   }
 }
 
+// Generate + order the Barnes-Hut body set (shared by the solo and
+// batched paths so both traverse the identical input).
+BodySet make_bh_input(const BenchConfig& cfg) {
+  if (cfg.input != InputKind::kPlummer && cfg.input != InputKind::kRandomBodies)
+    throw std::invalid_argument("run_bench: BH needs a body input");
+  BodySet bodies = cfg.input == InputKind::kPlummer
+                       ? gen_plummer(cfg.n, cfg.seed)
+                       : gen_random_bodies(cfg.n, cfg.seed);
+  auto perm = cfg.sorted ? morton_order(bodies.pos)
+                         : shuffled_order(cfg.n, cfg.seed ^ 0x5bd1e995);
+  bodies.pos.permute(perm);
+  {  // masses/velocities follow the position permutation
+    std::vector<float> m(cfg.n), v(3 * cfg.n);
+    for (std::size_t j = 0; j < cfg.n; ++j) {
+      m[j] = bodies.mass[perm[j]];
+      for (int d = 0; d < 3; ++d)
+        v[static_cast<std::size_t>(d) * cfg.n + j] =
+            bodies.vel[static_cast<std::size_t>(d) * cfg.n + perm[j]];
+    }
+    bodies.mass = std::move(m);
+    bodies.vel = std::move(v);
+  }
+  return bodies;
+}
+
 bool nearly_equal(float a, float b, float tol) {
   if (a == b) return true;
   if (std::isinf(a) || std::isinf(b)) return a == b;
@@ -266,26 +293,7 @@ BenchRow run_bench(const BenchConfig& cfg) {
 
   switch (cfg.algo) {
     case Algo::kBH: {
-      BodySet bodies = cfg.input == InputKind::kPlummer
-                           ? gen_plummer(cfg.n, cfg.seed)
-                           : gen_random_bodies(cfg.n, cfg.seed);
-      if (cfg.input != InputKind::kPlummer &&
-          cfg.input != InputKind::kRandomBodies)
-        throw std::invalid_argument("run_bench: BH needs a body input");
-      auto perm = cfg.sorted ? morton_order(bodies.pos)
-                             : shuffled_order(cfg.n, cfg.seed ^ 0x5bd1e995);
-      bodies.pos.permute(perm);
-      {  // masses/velocities follow the position permutation
-        std::vector<float> m(cfg.n), v(3 * cfg.n);
-        for (std::size_t j = 0; j < cfg.n; ++j) {
-          m[j] = bodies.mass[perm[j]];
-          for (int d = 0; d < 3; ++d)
-            v[static_cast<std::size_t>(d) * cfg.n + j] =
-                bodies.vel[static_cast<std::size_t>(d) * cfg.n + perm[j]];
-        }
-        bodies.mass = std::move(m);
-        bodies.vel = std::move(v);
-      }
+      BodySet bodies = make_bh_input(cfg);
       // The paper integrates several timesteps, rebuilding the octree each
       // step; traversal metrics accumulate across steps.
       int steps = std::max(1, cfg.bh_timesteps);
@@ -360,6 +368,160 @@ BenchRow run_bench(const BenchConfig& cfg) {
     }
   }
   return row;
+}
+
+namespace {
+
+// One batch item, fully owned: the launch's address space plus a handle
+// whose keep-alive parks the generated input, tree and kernel object so
+// everything outlives the batched run.
+struct PreparedLaunch {
+  GpuAddressSpace space;
+  std::shared_ptr<KernelHandle> handle;
+  std::uint64_t upload_bytes = 0;
+  std::uint64_t download_bytes = 0;
+};
+
+// Build `k` (referencing data held in `owners`) and wrap it in a handle
+// that keeps all of it alive.
+template <class K>
+std::shared_ptr<KernelHandle> owning_handle(
+    std::shared_ptr<K> k, std::vector<std::shared_ptr<void>> owners) {
+  owners.push_back(k);
+  auto keep = std::make_shared<std::vector<std::shared_ptr<void>>>(
+      std::move(owners));
+  return make_kernel_handle(*k, std::move(keep));
+}
+
+// Construct one item's kernel exactly the way run_bench does for its solo
+// row (same generators, ordering, tree builders, radius picking), so the
+// batched launch traverses the identical input in an identically laid-out
+// address space. BH builds the initial octree only -- one timestep.
+std::unique_ptr<PreparedLaunch> prepare_launch(const BenchConfig& cfg) {
+  auto out = std::make_unique<PreparedLaunch>();
+  switch (cfg.algo) {
+    case Algo::kBH: {
+      auto bodies = std::make_shared<BodySet>(make_bh_input(cfg));
+      auto tree =
+          std::make_shared<Octree>(build_octree(bodies->pos, bodies->mass));
+      auto k = std::make_shared<BarnesHutKernel>(
+          *tree, bodies->pos, cfg.bh_theta, cfg.bh_eps2, out->space);
+      out->handle = owning_handle(k, {bodies, tree});
+      break;
+    }
+    case Algo::kPC: {
+      auto pts = std::make_shared<PointSet>(make_tree_input(cfg));
+      apply_order(*pts, cfg);
+      auto tree = std::make_shared<KdTree>(build_kdtree(*pts, cfg.leaf_size));
+      float r = pc_pick_radius(*pts, cfg.pc_target_neighbors, cfg.seed);
+      auto k = std::make_shared<PointCorrelationKernel>(*tree, *pts, r,
+                                                        out->space);
+      out->handle = owning_handle(k, {pts, tree});
+      break;
+    }
+    case Algo::kKNN: {
+      auto pts = std::make_shared<PointSet>(make_tree_input(cfg));
+      apply_order(*pts, cfg);
+      auto tree = std::make_shared<KdTree>(build_kdtree(*pts, cfg.leaf_size));
+      auto k = std::make_shared<KnnKernel>(*tree, *pts, cfg.k, out->space);
+      out->handle = owning_handle(k, {pts, tree});
+      break;
+    }
+    case Algo::kNN: {
+      auto pts = std::make_shared<PointSet>(make_tree_input(cfg));
+      apply_order(*pts, cfg);
+      auto tree = std::make_shared<KdTreeNN>(build_kdtree_nn(*pts));
+      auto k = std::make_shared<NnKernel>(*tree, *pts, out->space);
+      out->handle = owning_handle(k, {pts, tree});
+      break;
+    }
+    case Algo::kVP: {
+      auto pts = std::make_shared<PointSet>(make_tree_input(cfg));
+      apply_order(*pts, cfg);
+      auto tree =
+          std::make_shared<VpTree>(build_vptree(*pts, cfg.seed ^ 0x7b1fa2));
+      auto k = std::make_shared<VpKernel>(*tree, *pts, out->space);
+      out->handle = owning_handle(k, {pts, tree});
+      break;
+    }
+  }
+  // Copy-in/copy-out accounting, as in run_all: everything registered so
+  // far (tree + points) crosses the bus; the stack arena the batched
+  // executor adds later is device-internal.
+  out->upload_bytes = out->space.footprint_bytes();
+  out->download_bytes = static_cast<std::uint64_t>(
+      out->handle->result_stride() * out->handle->num_points());
+  return out;
+}
+
+}  // namespace
+
+BatchResult run_batch(const BatchConfig& cfg) {
+  if (cfg.items.empty())
+    throw std::invalid_argument("run_batch: batch has no items");
+  BatchResult out;
+  out.variant = cfg.variant;
+  out.policy = cfg.policy;
+
+  std::vector<std::unique_ptr<PreparedLaunch>> prepared;
+  std::vector<LaunchSpec> specs;
+  prepared.reserve(cfg.items.size());
+  specs.reserve(cfg.items.size());
+  for (const BenchConfig& item : cfg.items) {
+    prepared.push_back(prepare_launch(item));
+    PreparedLaunch& pl = *prepared.back();
+    LaunchSpec spec;
+    spec.kernel = pl.handle;
+    spec.space = &pl.space;
+    spec.mode = GpuMode::from(cfg.variant);
+    spec.mode.grid_limit = cfg.grid_limit;
+    spec.mode.profile_samples = item.profile_samples;
+    spec.mode.profile_seed = item.profile_seed;
+    specs.push_back(spec);
+  }
+
+  BatchRun run = run_gpu_batch(specs, cfg.device, cfg.policy);
+  out.residency = run.residency;
+  out.total_chunks = run.total_chunks;
+  out.rounds = run.rounds;
+  out.switches = run.switches;
+  out.sim_wall_ms = run.sim_wall_ms;
+
+  out.kernels.reserve(run.launches.size());
+  for (std::size_t i = 0; i < run.launches.size(); ++i) {
+    const LaunchResult& lr = run.launches[i];
+    BatchKernelRow row;
+    row.config = cfg.items[i];
+    row.kernel_name = lr.kernel_name;
+    row.upload_bytes = prepared[i]->upload_bytes;
+    row.download_bytes = prepared[i]->download_bytes;
+    if (lr.ok()) {
+      row.result.stats = lr.stats;
+      row.result.time = lr.time;
+      row.result.time_ms = lr.time.total_ms;
+      row.result.avg_nodes = lr.avg_nodes();
+      row.result.selection = lr.selection;
+      row.avg_nodes = row.result.avg_nodes;
+    } else {
+      row.result.error = lr.error;
+    }
+    out.upload_bytes += row.upload_bytes;
+    out.download_bytes += row.download_bytes;
+    out.kernels.push_back(std::move(row));
+  }
+  return out;
+}
+
+BatchConfig default_table1_batch() {
+  BatchConfig batch;
+  for (Algo a : {Algo::kBH, Algo::kPC, Algo::kKNN, Algo::kNN, Algo::kVP}) {
+    BenchConfig c;
+    c.algo = a;
+    c.input = inputs_for(a).front();
+    c.sorted = true;
+    batch.items.push_back(c);
+  }
+  return batch;
 }
 
 std::vector<CpuSweepPoint> cpu_sweep(const BenchRow& row, bool lockstep,

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_scheduler.h"
 #include "core/ir/callset_analysis.h"
 #include "core/variant.h"
 #include "cpu/scaling_model.h"
@@ -65,13 +66,11 @@ struct BenchConfig {
   std::size_t profile_samples = 32;
   std::uint64_t profile_seed = 1;
 
-  // Which GPU variants run_bench simulates (the --variant CLI filter).
-  // A disabled variant is reported through VariantResult::error
-  // ("skipped: ...") with zeroed numbers, like a failed one.
-  std::array<bool, kNumVariants> run_variants{true, true, true, true, true};
-  [[nodiscard]] bool runs_variant(Variant v) const {
-    return run_variants[static_cast<std::size_t>(v)];
-  }
+  // Which GPU variants run_bench simulates (the --variant CLI filter,
+  // parsed by VariantSet::from_names). A disabled variant is reported
+  // through VariantResult::error ("skipped: ...") with zeroed numbers,
+  // like a failed one.
+  VariantSet variants = VariantSet::all();
 };
 
 struct VariantResult {
@@ -114,12 +113,16 @@ struct BenchRow {
 
   // Section 5.2's copy-in/copy-out: bytes shipped to/from the device and
   // the modelled PCIe time (not part of the paper's traversal-time
-  // columns, reported alongside for end-to-end judgement).
+  // columns, reported alongside for end-to-end judgement). `launches`
+  // counts the kernel launches behind the accumulated bytes -- 1 for
+  // single-shot rows, bh_timesteps for multi-timestep BH rows (each step
+  // re-uploads the rebuilt octree and pays its own launch overhead).
   std::uint64_t upload_bytes = 0;
   std::uint64_t download_bytes = 0;
+  int launches = 1;
   TransferModel transfer;
   [[nodiscard]] double transfer_ms() const {
-    return transfer.round_trip_ms(upload_bytes, download_bytes);
+    return transfer.round_trip_ms(upload_bytes, download_bytes, launches);
   }
 
   // Derived columns (Table 1).
@@ -146,6 +149,76 @@ struct BenchRow {
 // when config.verify is set (that is a correctness bug, not a capacity
 // limit) and on invalid configurations.
 BenchRow run_bench(const BenchConfig& config);
+
+// ---------------------------------------------------------------------
+// Batched multi-kernel runs (core/batch_scheduler.h behind the harness).
+// ---------------------------------------------------------------------
+
+// One batched harness run: every item becomes one LaunchSpec (own input,
+// own tree, own address space -- built exactly like its run_bench solo
+// row) and all launches share a single simulated device residency.
+struct BatchConfig {
+  std::vector<BenchConfig> items;
+  // The composition every launch simulates. auto_select (the default)
+  // resolves per launch, like solo.
+  Variant variant = Variant::kAutoSelect;
+  BatchPolicy policy = BatchPolicy::kRoundRobin;
+  std::size_t grid_limit = 0;  // Figure 9b strip-mining, per launch
+  DeviceConfig device;         // one GPU; items' device fields are ignored
+};
+
+// Per-kernel row of a batched run: the launch's isolated measurements
+// plus its solo transfer accounting (what it would have paid alone).
+struct BatchKernelRow {
+  BenchConfig config;       // the item that produced this launch
+  std::string kernel_name;  // K::kName
+  VariantResult result;     // same shape as a solo variant column
+  double avg_nodes = 0;
+  std::uint64_t upload_bytes = 0;
+  std::uint64_t download_bytes = 0;
+  [[nodiscard]] double solo_transfer_ms(const TransferModel& t) const {
+    return t.round_trip_ms(upload_bytes, download_bytes);
+  }
+};
+
+struct BatchResult {
+  std::vector<BatchKernelRow> kernels;
+  Variant variant = Variant::kAutoSelect;
+  BatchPolicy policy = BatchPolicy::kRoundRobin;
+  // Schedule accounting (see BatchSchedule).
+  std::size_t residency = 0;
+  std::size_t total_chunks = 0;
+  std::size_t rounds = 0;
+  std::size_t switches = 0;
+  // Batch-level transfer: all launches' bytes over one amortized round
+  // trip (a single launch overhead for the whole batch).
+  std::uint64_t upload_bytes = 0;
+  std::uint64_t download_bytes = 0;
+  TransferModel transfer;
+  double sim_wall_ms = 0;
+
+  [[nodiscard]] double amortized_transfer_ms() const {
+    return transfer.round_trip_ms(upload_bytes, download_bytes, 1);
+  }
+  // What the same kernels pay as separate solo launches. Strictly larger
+  // than amortized_transfer_ms for >= 2 kernels: same bytes, but one
+  // launch overhead per kernel instead of one per batch.
+  [[nodiscard]] double summed_solo_transfer_ms() const {
+    double s = 0;
+    for (const BatchKernelRow& k : kernels) s += k.solo_transfer_ms(transfer);
+    return s;
+  }
+};
+
+// Build every item's kernel and run them as one batched launch. Results
+// are byte-identical to each item's solo run (pinned by
+// tests/core/batch_scheduler_test.cpp); only launch/transfer accounting
+// changes. BH items run a single timestep (multi-timestep accumulation is
+// a solo-row concept). Throws std::invalid_argument on an empty batch.
+BatchResult run_batch(const BatchConfig& config);
+
+// The five Table-1 benchmarks (first input of each, sorted) as one batch.
+[[nodiscard]] BatchConfig default_table1_batch();
 
 // Figure 10/11 series: CPU-performance-vs-GPU ratio for each thread count,
 // normalized so GPU == 1 (values above 1 mean the CPU is faster).

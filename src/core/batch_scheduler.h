@@ -1,0 +1,106 @@
+// Batched multi-kernel launches: interleave chunks from several traversal
+// kernels into one simulated device residency (ROADMAP "multi-kernel
+// batched runs"; the direction Sakka et al.'s traversal fusion pushes at
+// the compiler level).
+//
+// The scheduler strip-mines each launch exactly the way its solo run
+// would (same LaunchGeometry: warp ranges, Figure 9b grid, stack arena) and
+// interleaves the chunk streams under a selectable policy:
+//
+//   kRoundRobin   wave-interleaved: each wave issues one residency-set of
+//                 chunks from every launch before any launch's next wave.
+//   kSequential   all chunks of launch 0, then launch 1, ... -- the
+//                 as-today baseline the equivalence tests compare against.
+//
+// Batching is results-neutral by construction: every (launch, slot) pair
+// owns its full simulation state -- stack arena slice, L2 slice sized by
+// the launch's own grid, KernelStats, visit counters -- and slots walk
+// their chunks in the same ascending order as solo, so each launch's
+// outputs and per-launch KernelStats are byte-identical to its solo run
+// under every policy. The policy shapes only the schedule accounting
+// (rounds / switches) and the batch-level transfer amortization: one
+// launch overhead for the whole batch instead of one per kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/launch.h"
+#include "simt/device_config.h"
+
+namespace tt {
+
+enum class BatchPolicy : std::uint8_t {
+  kRoundRobin = 0,
+  kSequential = 1,
+};
+
+[[nodiscard]] const char* batch_policy_name(BatchPolicy p);
+// "round_robin" / "sequential"; throws std::invalid_argument otherwise.
+[[nodiscard]] BatchPolicy batch_policy_from_name(const std::string& name);
+
+// One scheduled chunk: launch index within the batch + logical warp id.
+struct ChunkRef {
+  std::uint32_t launch = 0;
+  std::uint32_t chunk = 0;
+};
+
+// The policy-ordered chunk issue sequence plus its summary accounting.
+struct BatchSchedule {
+  std::vector<ChunkRef> order;
+  std::size_t residency = 0;     // sum of the launches' physical-warp grids
+  std::size_t total_chunks = 0;  // sum of the launches' logical warps
+  // Residency refills: max per-launch wave count under round-robin (waves
+  // overlap across launches), their sum under sequential.
+  std::size_t rounds = 0;
+  std::size_t switches = 0;  // adjacent order entries from different launches
+};
+
+// Builds the interleaved schedule from per-launch shapes. Pure planning:
+// execution state lives in LaunchRun; run_gpu_batch consumes the schedule
+// for accounting and drives the (launch, slot) pool directly.
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(BatchPolicy policy) : policy_(policy) {}
+
+  void add_launch(const LaunchGeometry& shape) {
+    launches_.push_back(Entry{shape.n_warps, shape.grid});
+  }
+
+  [[nodiscard]] BatchPolicy policy() const { return policy_; }
+  [[nodiscard]] std::size_t n_launches() const { return launches_.size(); }
+  [[nodiscard]] BatchSchedule schedule() const;
+
+ private:
+  struct Entry {
+    std::size_t n_warps = 0;
+    std::size_t grid = 0;
+  };
+  BatchPolicy policy_;
+  std::vector<Entry> launches_;
+};
+
+// A batched run: per-launch isolated measurements + schedule accounting.
+struct BatchRun {
+  std::vector<LaunchResult> launches;
+  BatchPolicy policy = BatchPolicy::kRoundRobin;
+  std::size_t residency = 0;
+  std::size_t total_chunks = 0;
+  std::size_t rounds = 0;
+  std::size_t switches = 0;
+  double sim_wall_ms = 0;  // host cost of the simulation (diagnostic)
+};
+
+// The non-template sibling of run_gpu_sim: simulate every LaunchSpec as
+// one batched device residency. auto_select modes are resolved per launch
+// (sampling charged to that launch's cost model, like solo); a launch
+// whose rope stack overflows reports through LaunchResult::error --
+// prefixed with its kernel name and batch index -- without poisoning
+// sibling launches.
+[[nodiscard]] BatchRun run_gpu_batch(std::span<const LaunchSpec> specs,
+                                     const DeviceConfig& cfg,
+                                     BatchPolicy policy = BatchPolicy::kRoundRobin);
+
+}  // namespace tt

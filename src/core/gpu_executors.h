@@ -15,9 +15,11 @@
 // The WarpEngine (warp_engine.h) owns the per-warp lifecycle, counters and
 // the single trace-emission site; stack policies (stack_policy.h) own
 // continuation layout and traffic; convergence policies
-// (convergence_policy.h) own the warp schedule. run_gpu_sim below holds
-// the composition table, sizes the per-warp stack arena, and drives the
-// Figure 9b strip-mined grid loop uniformly for every composition.
+// (convergence_policy.h) own the warp schedule. The launch math -- arena
+// sizing, Figure 9b grid, the composition table and the per-slot chunk
+// loop -- lives in core/launch.h (run_chunk / run_warp_slot), shared with
+// the batched executor (batch_scheduler.h); run_gpu_sim below resolves
+// auto_select, allocates the run's storage and fans slots out.
 //
 // All variants execute the *same kernel semantics*; only event counts (and
 // therefore modelled time) differ. Equivalence across variants is enforced
@@ -32,6 +34,7 @@
 #include <vector>
 
 #include "core/convergence_policy.h"
+#include "core/launch.h"
 #include "core/profiler.h"
 #include "core/stack_policy.h"
 #include "core/traversal_kernel.h"
@@ -125,100 +128,31 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
                            p.looks_sorted ? 1u : 0u);
     return run;
   }
-  const std::size_t n = k.num_points();
-  const std::size_t n_warps =
-      (n + static_cast<std::size_t>(cfg.warp_size) - 1) /
-      static_cast<std::size_t>(cfg.warp_size);
+  const LaunchGeometry shape = launch_geometry(k, cfg, mode);
   GpuRun<K> run;
-  run.n_warps = n_warps;
-  run.results.resize(n);
+  run.n_warps = shape.n_warps;
+  run.results.resize(shape.n);
   if (mode.lockstep)
-    run.per_warp_pops.assign(n_warps, 0);
+    run.per_warp_pops.assign(shape.n_warps, 0);
   else
-    run.per_point_visits.assign(n, 0);
+    run.per_point_visits.assign(shape.n, 0);
 
-  const int stack_bound = k.stack_bound();
-  const std::uint32_t entry_bytes =
-      std::max<std::uint32_t>(4, stack_entry_bytes<K>(mode.lockstep));
-  // One interleaved stack (or local-memory frame arena) region per warp,
-  // plus room for the warp-level entries of the global-lockstep ablation.
-  const std::uint64_t per_warp_span =
-      static_cast<std::uint64_t>(stack_bound + 4) *
-      (static_cast<std::uint64_t>(cfg.warp_size) *
-           std::max<std::uint32_t>(entry_bytes,
-                                   static_cast<std::uint32_t>(cfg.frame_bytes)) +
-       12);
-  BufferId stack_buf = space.ensure_buffer(
-      mode.autoropes ? "rope_stack" : "local_frames", 1,
-      per_warp_span * n_warps);
+  BufferId stack_buf = ensure_stack_arena(space, mode, shape);
   const std::uint64_t stack_base0 = space.addr(stack_buf, 0);
 
-  // Figure 9b's strip-mined grid loop: with a finite grid, physical warp p
-  // processes chunks p, p + grid, p + 2*grid, ... and keeps its L2 slice
-  // (and stack arena) across chunks. Uniform across all compositions.
-  const std::size_t grid =
-      mode.grid_limit > 0 ? std::min(mode.grid_limit, n_warps) : n_warps;
-
   OverflowReport overflow;
-  if (trace) trace->begin(n_warps, omp_get_max_threads());
+  if (trace) trace->begin(shape.n_warps, omp_get_max_threads());
   WallTimer timer;
+  // One task per physical warp slot; run_warp_slot (core/launch.h) walks
+  // the slot's chunks through the composition table. The batch scheduler
+  // drives the identical slot body, which is what keeps a batched
+  // launch's numbers byte-identical to this solo path.
   std::vector<KernelStats> per_warp = run_warps(
-      grid, cfg, [&](std::size_t p, KernelStats& stats, L2Cache* l2) {
-        WarpMemory mem(space, cfg, l2, stats);
-        const std::uint64_t base = stack_base0 + per_warp_span * p;
-        obs::WarpTracer* tr =
-            trace ? &trace->ring(omp_get_thread_num()) : nullptr;
-        WarpEngine<K> eng(k, cfg, mem, stats, overflow, stack_bound, tr);
-
-        // Stack-policy instances for this physical warp's arena.
-        const LaneRopeStack lane_stack{
-            base, entry_bytes, static_cast<std::uint32_t>(cfg.warp_size),
-            static_cast<std::uint32_t>(stack_bound + 4),
-            mode.contiguous_stack};
-        const WarpStack warp_stack{
-            base,
-            base + static_cast<std::uint64_t>(stack_bound + 4) *
-                       static_cast<std::uint64_t>(cfg.warp_size) * entry_bytes,
-            entry_bytes, static_cast<std::uint32_t>(cfg.warp_size),
-            mode.lockstep_stack_global};
-        const CallFrames frames{base,
-                                static_cast<std::uint32_t>(cfg.frame_bytes),
-                                static_cast<std::uint32_t>(cfg.warp_size)};
-
-        for (std::size_t w = p; w < n_warps; w += grid) {
-          if (tr) tr->begin_warp(static_cast<std::uint32_t>(w));
-          WarpRange range;
-          range.begin = static_cast<std::uint32_t>(w * cfg.warp_size);
-          range.end = static_cast<std::uint32_t>(
-              std::min<std::size_t>(n, (w + 1) * cfg.warp_size));
-          eng.begin_chunk(
-              static_cast<std::uint32_t>(w), range,
-              run.results.data() + range.begin,
-              mode.lockstep ? nullptr
-                            : run.per_point_visits.data() + range.begin,
-              mode.lockstep ? &run.per_warp_pops[w] : nullptr);
-          switch (mode.variant()) {
-            case Variant::kAutoNolockstep:
-              LoopHeadReconvergence{}.run(eng, lane_stack);
-              break;
-            case Variant::kAutoLockstep:
-              WarpAndTruncation{}.run(eng, warp_stack);
-              break;
-            case Variant::kRecNolockstep:
-              MaxDepthCallReconvergence{}.run(eng, frames);
-              break;
-            case Variant::kRecLockstep:
-              WarpAndTruncation{}.run(eng, frames);
-              break;
-            case Variant::kAutoSelect:
-              // Resolved to a concrete composition by the early dispatch
-              // above; a mode carrying it cannot reach the warp loop.
-              throw std::logic_error(
-                  "run_gpu_sim: auto_select reached the composition switch");
-          }
-          eng.end_chunk();
-          if (tr) trace->commit(static_cast<std::uint32_t>(w), *tr);
-        }
+      shape.grid, cfg, [&](std::size_t p, KernelStats& stats, L2Cache* l2) {
+        run_warp_slot(k, space, cfg, mode, shape, stack_base0, p, stats, l2,
+                      trace, overflow, run.results.data(),
+                      mode.lockstep ? nullptr : run.per_point_visits.data(),
+                      mode.lockstep ? run.per_warp_pops.data() : nullptr);
       });
   run.sim_wall_ms = timer.elapsed_ms();
   if (overflow.overflowed())
@@ -227,7 +161,7 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
         kernel_display_name<K>() + ", variant " + variant_name(mode.variant()) +
         ", warp " + std::to_string(overflow.warp()) + ", " +
         std::to_string(overflow.entries()) + " entries, stack_bound " +
-        std::to_string(stack_bound) + ")");
+        std::to_string(shape.stack_bound) + ")");
   run.stats = merge_stats(per_warp);
   run.time = estimate_time_balanced(instr_cycles_of(per_warp), run.stats, cfg);
   return run;

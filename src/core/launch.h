@@ -1,0 +1,402 @@
+// Type-erased launch API over the layered GPU executor, plus the launch
+// geometry / composition helpers shared between the monomorphic
+// run_gpu_sim (gpu_executors.h) and the batched run_gpu_batch
+// (batch_scheduler.h).
+//
+// Three pieces (DESIGN.md section 3):
+//
+//   launch_geometry / make_warp_arenas / run_chunk / run_warp_slot
+//     The variant-independent launch math -- warp counts, Figure 9b grid,
+//     stack-arena sizing and addressing, and the StackPolicy x
+//     ConvergencePolicy composition table. run_gpu_sim and the batch
+//     scheduler both execute chunks through run_warp_slot, so a launch's
+//     simulation is the same code path whether it runs solo or batched
+//     (the byte-identity contract of batched runs rests on this).
+//
+//   KernelHandle / TypedKernelHandle<K>
+//     Virtual-dispatch wrapper over the TraversalKernel concept. Every
+//     entry point used to be monomorphized per kernel; a handle lets a
+//     heterogeneous set of launches live in one container. Handles
+//     require the kernel to name itself (K::kName) -- batched
+//     diagnostics prefix every error with the owning kernel's name.
+//
+//   LaunchSpec / LaunchResult
+//     One element of a batch: which kernel, in which address space, under
+//     which GpuMode, with an optional per-launch trace sink -- and the
+//     type-erased per-launch measurement coming back (raw result bytes +
+//     isolated KernelStats / TimeBreakdown / SelectionInfo).
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <omp.h>
+
+#include "core/convergence_policy.h"
+#include "core/profiler.h"
+#include "core/stack_policy.h"
+#include "core/traversal_kernel.h"
+#include "core/variant.h"
+#include "core/warp_engine.h"
+#include "obs/trace.h"
+#include "simt/address_space.h"
+#include "simt/cost_model.h"
+#include "simt/device_config.h"
+#include "simt/kernel_stats.h"
+#include "simt/l2cache.h"
+#include "simt/warp_memory.h"
+
+namespace tt {
+
+// A TraversalKernel that names itself. kernel_display_name()'s
+// "unnamed-kernel" fallback is fine for ad-hoc micro kernels running
+// through run_gpu_sim, but the type-erased handle API requires the real
+// name: batched overflow/error strings are prefixed with it.
+template <class K>
+concept NamedTraversalKernel =
+    TraversalKernel<K> && requires {
+      { K::kName } -> std::convertible_to<const char*>;
+    };
+
+// ---------------------------------------------------------------------
+// Launch geometry shared by the solo and batched executors.
+// ---------------------------------------------------------------------
+
+struct LaunchGeometry {
+  std::size_t n = 0;        // points
+  std::size_t n_warps = 0;  // logical 32-point chunks
+  std::size_t grid = 0;     // physical warps (Figure 9b strip-mining)
+  int stack_bound = 0;
+  std::uint32_t entry_bytes = 0;   // interleaved rope-stack entry
+  std::uint64_t per_warp_span = 0; // stack-arena bytes per physical warp
+};
+
+template <TraversalKernel K>
+[[nodiscard]] LaunchGeometry launch_geometry(const K& k, const DeviceConfig& cfg,
+                                       const GpuMode& mode) {
+  LaunchGeometry s;
+  s.n = k.num_points();
+  s.n_warps = (s.n + static_cast<std::size_t>(cfg.warp_size) - 1) /
+              static_cast<std::size_t>(cfg.warp_size);
+  s.stack_bound = k.stack_bound();
+  s.entry_bytes =
+      std::max<std::uint32_t>(4, stack_entry_bytes<K>(mode.lockstep));
+  // One interleaved stack (or local-memory frame arena) region per warp,
+  // plus room for the warp-level entries of the global-lockstep ablation.
+  s.per_warp_span =
+      static_cast<std::uint64_t>(s.stack_bound + 4) *
+      (static_cast<std::uint64_t>(cfg.warp_size) *
+           std::max<std::uint32_t>(
+               s.entry_bytes, static_cast<std::uint32_t>(cfg.frame_bytes)) +
+       12);
+  // Figure 9b's strip-mined grid loop: with a finite grid, physical warp p
+  // processes chunks p, p + grid, p + 2*grid, ... and keeps its L2 slice
+  // (and stack arena) across chunks. Uniform across all compositions.
+  s.grid = mode.grid_limit > 0 ? std::min(mode.grid_limit, s.n_warps)
+                               : s.n_warps;
+  return s;
+}
+
+// The launch's stack arena (idempotent per address space + policy family).
+[[nodiscard]] inline BufferId ensure_stack_arena(GpuAddressSpace& space,
+                                                 const GpuMode& mode,
+                                                 const LaunchGeometry& s) {
+  return space.ensure_buffer(mode.autoropes ? "rope_stack" : "local_frames",
+                             1, s.per_warp_span * s.n_warps);
+}
+
+// Stack-policy instances addressing one physical warp's arena slice.
+struct WarpArenas {
+  LaneRopeStack lane_stack;
+  WarpStack warp_stack;
+  CallFrames frames;
+};
+
+[[nodiscard]] inline WarpArenas make_warp_arenas(const LaunchGeometry& s,
+                                                 const DeviceConfig& cfg,
+                                                 const GpuMode& mode,
+                                                 std::uint64_t base) {
+  WarpArenas a;
+  a.lane_stack = LaneRopeStack{
+      base, s.entry_bytes, static_cast<std::uint32_t>(cfg.warp_size),
+      static_cast<std::uint32_t>(s.stack_bound + 4), mode.contiguous_stack};
+  a.warp_stack = WarpStack{
+      base,
+      base + static_cast<std::uint64_t>(s.stack_bound + 4) *
+                 static_cast<std::uint64_t>(cfg.warp_size) * s.entry_bytes,
+      s.entry_bytes, static_cast<std::uint32_t>(cfg.warp_size),
+      mode.lockstep_stack_global};
+  a.frames = CallFrames{base, static_cast<std::uint32_t>(cfg.frame_bytes),
+                        static_cast<std::uint32_t>(cfg.warp_size)};
+  return a;
+}
+
+// The composition table: which StackPolicy x ConvergencePolicy pair a
+// (resolved) GpuMode dispatches one chunk to. auto_select never reaches
+// here -- run_gpu_sim / run_gpu_batch resolve it per launch first.
+template <TraversalKernel K>
+void run_chunk(WarpEngine<K>& eng, const GpuMode& mode, const WarpArenas& a) {
+  switch (mode.variant()) {
+    case Variant::kAutoNolockstep:
+      LoopHeadReconvergence{}.run(eng, a.lane_stack);
+      break;
+    case Variant::kAutoLockstep:
+      WarpAndTruncation{}.run(eng, a.warp_stack);
+      break;
+    case Variant::kRecNolockstep:
+      MaxDepthCallReconvergence{}.run(eng, a.frames);
+      break;
+    case Variant::kRecLockstep:
+      WarpAndTruncation{}.run(eng, a.frames);
+      break;
+    case Variant::kAutoSelect:
+      throw std::logic_error(
+          "run_chunk: auto_select reached the composition switch");
+  }
+}
+
+// Simulate every chunk assigned to physical warp slot `p`: construct the
+// slot's memory front end, engine and arena policies once, then walk
+// chunks w = p, p + grid, ... -- exactly the body of run_gpu_sim's warp
+// lambda. Batched launches run the same function per slot, with their own
+// stats / l2 slice / counters, which is what makes a batched launch's
+// per-kernel numbers byte-identical to its solo run.
+template <TraversalKernel K>
+void run_warp_slot(const K& k, const GpuAddressSpace& space,
+                   const DeviceConfig& cfg, const GpuMode& mode,
+                   const LaunchGeometry& shape, std::uint64_t stack_base0,
+                   std::size_t p, KernelStats& stats, L2Cache* l2,
+                   obs::TraceSink* trace, OverflowReport& overflow,
+                   typename K::Result* results,
+                   std::uint32_t* per_point_visits,
+                   std::uint32_t* per_warp_pops,
+                   std::uint32_t kernel_id = kSoloKernel) {
+  WarpMemory mem(space, cfg, l2, stats);
+  const std::uint64_t base = stack_base0 + shape.per_warp_span * p;
+  obs::WarpTracer* tr = trace ? &trace->ring(omp_get_thread_num()) : nullptr;
+  WarpEngine<K> eng(k, cfg, mem, stats, overflow, shape.stack_bound, tr);
+  const WarpArenas arenas = make_warp_arenas(shape, cfg, mode, base);
+
+  for (std::size_t w = p; w < shape.n_warps; w += shape.grid) {
+    if (tr) tr->begin_warp(static_cast<std::uint32_t>(w));
+    WarpRange range;
+    range.begin = static_cast<std::uint32_t>(w * cfg.warp_size);
+    range.end = static_cast<std::uint32_t>(
+        std::min<std::size_t>(shape.n, (w + 1) * cfg.warp_size));
+    eng.begin_chunk(static_cast<std::uint32_t>(w), range,
+                    results + range.begin,
+                    mode.lockstep ? nullptr : per_point_visits + range.begin,
+                    mode.lockstep ? &per_warp_pops[w] : nullptr, kernel_id);
+    run_chunk(eng, mode, arenas);
+    eng.end_chunk();
+    if (tr) trace->commit(static_cast<std::uint32_t>(w), *tr);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Type-erased launch API.
+// ---------------------------------------------------------------------
+
+// Per-launch execution state behind a virtual boundary: typed result
+// storage plus the untyped counters / overflow report the scheduler needs.
+// Created by KernelHandle::prepare with a *resolved* mode (no
+// auto_select), which fixes the shape and reserves the stack arena.
+class LaunchRun {
+ public:
+  virtual ~LaunchRun() = default;
+
+  LaunchGeometry shape;
+  // Non-lockstep: per-point node visits; lockstep: per-warp pop counts
+  // (same split as GpuRun).
+  std::vector<std::uint32_t> per_point_visits;
+  std::vector<std::uint32_t> per_warp_pops;
+  OverflowReport overflow;
+
+  // Simulate every chunk assigned to physical warp slot `p` (< shape.grid).
+  virtual void run_slot(std::size_t p, KernelStats& stats, L2Cache* l2) = 0;
+  [[nodiscard]] virtual const void* result_data() const = 0;
+  [[nodiscard]] virtual std::size_t result_stride() const = 0;
+};
+
+// Virtual-dispatch wrapper over a NamedTraversalKernel. The handle does
+// not own the kernel or its tree/point data by default; pass `keep_alive`
+// to make_kernel_handle when the handle should extend their lifetime
+// (e.g. the batched harness builds trees per launch and parks them there).
+class KernelHandle {
+ public:
+  virtual ~KernelHandle() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual std::size_t num_points() const = 0;
+  [[nodiscard]] virtual int stack_bound() const = 0;
+  [[nodiscard]] virtual std::size_t result_stride() const = 0;
+
+  // The section-4.4 similarity sampler (auto_select resolution).
+  [[nodiscard]] virtual ProfileReport profile(std::size_t samples,
+                                              std::uint64_t seed) const = 0;
+
+  // Size the launch, reserve its stack arena in `space` (same buffer names
+  // and addresses as run_gpu_sim would) and allocate result/counter
+  // storage. `mode` must be resolved -- throws std::invalid_argument on a
+  // mode still carrying auto_select.
+  [[nodiscard]] virtual std::unique_ptr<LaunchRun> prepare(
+      GpuAddressSpace& space, const DeviceConfig& cfg, const GpuMode& mode,
+      obs::TraceSink* trace, std::uint32_t kernel_id) const = 0;
+};
+
+template <NamedTraversalKernel K>
+class TypedLaunchRun final : public LaunchRun {
+ public:
+  TypedLaunchRun(const K& k, GpuAddressSpace& space, const DeviceConfig& cfg,
+                 GpuMode mode, obs::TraceSink* trace, std::uint32_t kernel_id)
+      : k_(&k),
+        space_(&space),
+        cfg_(&cfg),
+        mode_(mode),
+        trace_(trace),
+        kernel_id_(kernel_id) {
+    shape = launch_geometry(k, cfg, mode);
+    results_.resize(shape.n);
+    if (mode.lockstep)
+      per_warp_pops.assign(shape.n_warps, 0);
+    else
+      per_point_visits.assign(shape.n, 0);
+    BufferId buf = ensure_stack_arena(space, mode, shape);
+    stack_base0_ = space.addr(buf, 0);
+  }
+
+  void run_slot(std::size_t p, KernelStats& stats, L2Cache* l2) override {
+    run_warp_slot(*k_, *space_, *cfg_, mode_, shape, stack_base0_, p, stats,
+                  l2, trace_, overflow, results_.data(),
+                  mode_.lockstep ? nullptr : per_point_visits.data(),
+                  mode_.lockstep ? per_warp_pops.data() : nullptr,
+                  kernel_id_);
+  }
+
+  [[nodiscard]] const void* result_data() const override {
+    return results_.data();
+  }
+  [[nodiscard]] std::size_t result_stride() const override {
+    return sizeof(typename K::Result);
+  }
+
+ private:
+  const K* k_;
+  const GpuAddressSpace* space_;
+  const DeviceConfig* cfg_;
+  GpuMode mode_;
+  obs::TraceSink* trace_;
+  std::uint32_t kernel_id_;
+  std::uint64_t stack_base0_ = 0;
+  std::vector<typename K::Result> results_;
+};
+
+template <NamedTraversalKernel K>
+class TypedKernelHandle final : public KernelHandle {
+ public:
+  explicit TypedKernelHandle(const K& k,
+                             std::shared_ptr<const void> keep_alive = nullptr)
+      : k_(&k), keep_alive_(std::move(keep_alive)) {}
+
+  [[nodiscard]] const char* name() const override { return K::kName; }
+  [[nodiscard]] std::size_t num_points() const override {
+    return k_->num_points();
+  }
+  [[nodiscard]] int stack_bound() const override { return k_->stack_bound(); }
+  [[nodiscard]] std::size_t result_stride() const override {
+    return sizeof(typename K::Result);
+  }
+
+  [[nodiscard]] ProfileReport profile(std::size_t samples,
+                                      std::uint64_t seed) const override {
+    return profile_similarity(*k_, samples, seed);
+  }
+
+  [[nodiscard]] std::unique_ptr<LaunchRun> prepare(
+      GpuAddressSpace& space, const DeviceConfig& cfg, const GpuMode& mode,
+      obs::TraceSink* trace, std::uint32_t kernel_id) const override {
+    if (mode.auto_select)
+      throw std::invalid_argument(
+          "KernelHandle::prepare: mode still carries auto_select; resolve "
+          "the launch decision first (run_gpu_batch does)");
+    return std::make_unique<TypedLaunchRun<K>>(*k_, space, cfg, mode, trace,
+                                               kernel_id);
+  }
+
+ private:
+  const K* k_;
+  std::shared_ptr<const void> keep_alive_;  // optional owner of *k_'s data
+};
+
+template <NamedTraversalKernel K>
+[[nodiscard]] std::shared_ptr<KernelHandle> make_kernel_handle(
+    const K& k, std::shared_ptr<const void> keep_alive = nullptr) {
+  return std::make_shared<TypedKernelHandle<K>>(k, std::move(keep_alive));
+}
+
+// One element of a batched launch.
+struct LaunchSpec {
+  std::shared_ptr<KernelHandle> kernel;
+  // The launch's address space. Must hold the same buffers the kernel's
+  // solo run registered (tree + points), so arena addresses -- and
+  // therefore every modelled memory event -- match the solo run.
+  GpuAddressSpace* space = nullptr;
+  // May carry auto_select; run_gpu_batch resolves it per launch through
+  // KernelHandle::profile with the mode's profile_samples/profile_seed.
+  GpuMode mode;
+  obs::TraceSink* trace = nullptr;  // optional per-launch trace
+};
+
+// Type-erased per-launch measurement of a batched run. Mirrors GpuRun<K>
+// with raw result bytes instead of a typed vector; stats / time /
+// selection stay isolated per launch (only transfer accounting is
+// batch-level, see batch_scheduler.h).
+struct LaunchResult {
+  std::string kernel_name;
+  std::size_t batch_index = 0;
+  Variant variant = Variant::kAutoNolockstep;  // executed composition
+  KernelStats stats;
+  TimeBreakdown time;
+  std::size_t n_points = 0;
+  std::size_t n_warps = 0;
+  std::vector<std::byte> results;  // n_points * result_stride bytes
+  std::size_t result_stride = 0;
+  std::vector<std::uint32_t> per_point_visits;
+  std::vector<std::uint32_t> per_warp_pops;
+  std::optional<SelectionInfo> selection;
+  // Empty on success; "kernel <name> (batch <i>): ..." on failure. A
+  // failed launch's numbers are zeroed; sibling launches stay valid.
+  std::string error;
+  [[nodiscard]] bool ok() const { return error.empty(); }
+
+  // Typed view of the result bytes; null when R does not match the stride.
+  template <class R>
+  [[nodiscard]] const R* results_as() const {
+    if (sizeof(R) != result_stride) return nullptr;
+    return reinterpret_cast<const R*>(results.data());
+  }
+
+  // The paper's "Avg. # Nodes" column (same split as GpuRun).
+  [[nodiscard]] double avg_nodes() const {
+    if (!per_warp_pops.empty()) {
+      double s = 0;
+      for (auto v : per_warp_pops) s += v;
+      return s / static_cast<double>(per_warp_pops.size());
+    }
+    double s = 0;
+    for (auto v : per_point_visits) s += v;
+    return per_point_visits.empty()
+               ? 0
+               : s / static_cast<double>(per_point_visits.size());
+  }
+};
+
+}  // namespace tt

@@ -76,6 +76,106 @@ inline constexpr std::array<Variant, kNumLegacyVariants> kLegacyVariants{
   return v == Variant::kAutoLockstep || v == Variant::kRecLockstep;
 }
 
+// A value-type set of Variants: the canonical way to say "these variants
+// run" (the harness's --variant filter, bench binaries, tests). Replaces
+// the raw std::array<bool, kNumVariants> mask that used to live on
+// BenchConfig. Iterable (yields Variant in enum order) and parseable from
+// the same CSV spelling the --variant CLI flag accepts.
+class VariantSet {
+ public:
+  constexpr VariantSet() = default;
+
+  [[nodiscard]] static constexpr VariantSet all() {
+    VariantSet s;
+    for (Variant v : kAllVariants) s.add(v);
+    return s;
+  }
+  [[nodiscard]] static constexpr VariantSet none() { return VariantSet{}; }
+  [[nodiscard]] static constexpr VariantSet only(Variant v) {
+    return VariantSet{}.add(v);
+  }
+  // "all" or a comma-separated list of canonical variant names
+  // (variant_from_name rejects unknown spellings, listing the valid ones
+  // in its error). This is THE parser behind the --variant flag.
+  [[nodiscard]] static VariantSet from_names(const std::string& spec) {
+    if (spec == "all") return all();
+    VariantSet s;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+      std::size_t comma = spec.find(',', pos);
+      std::string tok = spec.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      s.add(variant_from_name(tok));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return s;
+  }
+
+  constexpr VariantSet& add(Variant v) {
+    bits_ |= static_cast<std::uint8_t>(1u << static_cast<std::size_t>(v));
+    return *this;
+  }
+  constexpr VariantSet& remove(Variant v) {
+    bits_ &= static_cast<std::uint8_t>(
+        ~(1u << static_cast<std::size_t>(v)));
+    return *this;
+  }
+  [[nodiscard]] constexpr bool contains(Variant v) const {
+    return (bits_ & (1u << static_cast<std::size_t>(v))) != 0;
+  }
+  [[nodiscard]] constexpr std::size_t count() const {
+    std::size_t c = 0;
+    for (Variant v : kAllVariants) c += contains(v) ? 1 : 0;
+    return c;
+  }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+
+  // Canonical CSV spelling ("all" when every variant is enabled), i.e.
+  // from_names(s.to_string()) == s.
+  [[nodiscard]] std::string to_string() const {
+    if (*this == all()) return "all";
+    std::string out;
+    for (Variant v : *this) {
+      if (!out.empty()) out += ",";
+      out += variant_name(v);
+    }
+    return out;
+  }
+
+  friend constexpr bool operator==(VariantSet a, VariantSet b) {
+    return a.bits_ == b.bits_;
+  }
+
+  class iterator {
+   public:
+    constexpr iterator(std::uint8_t bits, std::size_t i) : bits_(bits), i_(i) {
+      skip();
+    }
+    constexpr Variant operator*() const { return static_cast<Variant>(i_); }
+    constexpr iterator& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    friend constexpr bool operator==(iterator a, iterator b) {
+      return a.i_ == b.i_;
+    }
+
+   private:
+    constexpr void skip() {
+      while (i_ < kNumVariants && !(bits_ & (1u << i_))) ++i_;
+    }
+    std::uint8_t bits_;
+    std::size_t i_;
+  };
+  [[nodiscard]] constexpr iterator begin() const { return {bits_, 0}; }
+  [[nodiscard]] constexpr iterator end() const { return {bits_, kNumVariants}; }
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
 // The launch-time decision record of the auto_select variant: what the
 // section-4.4 sampler measured and which composition it dispatched to.
 // Carried on GpuRun / VariantResult and exported as the "selection" block

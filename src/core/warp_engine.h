@@ -38,7 +38,9 @@ struct WarpRange {
 
 // Optional kernel self-identification: kernels may expose
 //   static constexpr const char* kName = "...";
-// used by diagnostics (e.g. the rope-stack overflow error string).
+// used by diagnostics (e.g. the rope-stack overflow error string). The
+// type-erased launch API (core/launch.h) promotes this to a requirement:
+// a KernelHandle can only wrap kernels that name themselves.
 template <class K>
 [[nodiscard]] constexpr const char* kernel_display_name() {
   if constexpr (requires { K::kName; })
@@ -46,6 +48,11 @@ template <class K>
   else
     return "unnamed-kernel";
 }
+
+// Kernel id a chunk runs under when the launch is not part of a batch.
+// Batched launches pass their index within the batch instead, which makes
+// begin_chunk emit a kChunk trace event carrying the id.
+inline constexpr std::uint32_t kSoloKernel = 0xffffffffu;
 
 // Cross-warp rope-stack overflow report. The first warp to overflow wins
 // the slot (compare-exchange), so the recorded warp id and entry count are
@@ -110,9 +117,13 @@ class WarpEngine {
   // --- per-chunk lifecycle (one 32-point chunk of the strip-mined grid)
   // `point_visits` is non-null for non-lockstep variants (per-point visit
   // counters, indexed by lane), `warp_pops` for lockstep variants (the
-  // chunk's union-traversal pop count).
+  // chunk's union-traversal pop count). `kernel_id` identifies the owning
+  // launch when the chunk belongs to a batched run (batch_scheduler.h):
+  // batched chunks open with a kChunk trace event carrying the id, solo
+  // chunks (the default) emit nothing extra.
   void begin_chunk(std::uint32_t warp, WarpRange range, Result* results,
-                   std::uint32_t* point_visits, std::uint32_t* warp_pops) {
+                   std::uint32_t* point_visits, std::uint32_t* warp_pops,
+                   std::uint32_t kernel_id = kSoloKernel) {
     warp_ = warp;
     range_ = range;
     lanes_ = static_cast<int>(range.end - range.begin);
@@ -120,6 +131,8 @@ class WarpEngine {
     point_visits_ = point_visits;
     warp_pops_ = warp_pops;
     pops_this_chunk_ = 0;
+    if (kernel_id != kSoloKernel)
+      emit(obs::TraceEventKind::kChunk, range.begin, full_mask(), 0, kernel_id);
     state_.clear();
     state_.reserve(static_cast<std::size_t>(lanes_));
     for (int l = 0; l < lanes_; ++l)

@@ -118,12 +118,13 @@ void register_cpu_model(MetricsRegistry& reg, const CpuScalingModel& model,
 void register_transfer_model(MetricsRegistry& reg, const TransferModel& model,
                              std::uint64_t upload_bytes,
                              std::uint64_t download_bytes,
-                             const std::string& prefix) {
+                             const std::string& prefix, int launches) {
   reg.add_counter(prefix + "upload_bytes", upload_bytes);
   reg.add_counter(prefix + "download_bytes", download_bytes);
+  reg.add_counter(prefix + "launches", static_cast<std::uint64_t>(launches));
   reg.set_gauge(prefix + "pcie_gbps", model.pcie_gbps);
   reg.set_gauge(prefix + "round_trip_ms",
-                model.round_trip_ms(upload_bytes, download_bytes));
+                model.round_trip_ms(upload_bytes, download_bytes, launches));
 }
 
 }  // namespace tt::obs

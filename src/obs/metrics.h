@@ -85,9 +85,11 @@ void register_time_breakdown(MetricsRegistry& reg, const TimeBreakdown& time,
                              const std::string& prefix);
 void register_cpu_model(MetricsRegistry& reg, const CpuScalingModel& model,
                         const std::string& prefix);
+// `launches` is the kernel-launch count behind the bytes (multi-timestep
+// rows pay the launch overhead per step; see TransferModel::round_trip_ms).
 void register_transfer_model(MetricsRegistry& reg, const TransferModel& model,
                              std::uint64_t upload_bytes,
                              std::uint64_t download_bytes,
-                             const std::string& prefix);
+                             const std::string& prefix, int launches = 1);
 
 }  // namespace tt::obs

@@ -26,7 +26,11 @@ namespace tt::obs {
 // auto_select launch decision) and the gpu/auto_select/selection/*
 // metrics. Golden fixtures captured at v1 are compared legacy-variant-only
 // by tools/json_validate --golden.
-inline constexpr const char* kRunReportSchema = "treetrav.run_report/v2";
+// v3: adds the optional top-level "batch" block (one batched multi-kernel
+// run: per-kernel rows + amortized-vs-summed transfer accounting) and the
+// "launches" member of each row's transfer object. Older fixtures stay
+// comparable: --golden prunes both additions.
+inline constexpr const char* kRunReportSchema = "treetrav.run_report/v3";
 
 // Build the per-row registry: all five variants' KernelStats and
 // TimeBreakdowns under "gpu/<variant>/", the CPU scaling model under
@@ -34,6 +38,11 @@ inline constexpr const char* kRunReportSchema = "treetrav.run_report/v2";
 // contribute nothing but an error gauge is not needed -- the row JSON
 // carries the error string.
 MetricsRegistry metrics_for_row(const BenchRow& row);
+
+// Registry for the batch block: per-kernel stats/time under
+// "gpu/batch/<kernel>/", schedule accounting (residency, chunks, rounds,
+// switches) and the amortized/summed transfer split under "gpu/batch/".
+MetricsRegistry metrics_for_batch(const BatchResult& batch);
 
 class RunReport {
  public:
@@ -46,6 +55,9 @@ class RunReport {
   void set_include_volatile(bool v) { include_volatile_ = v; }
 
   void add_row(const BenchRow& row) { rows_.push_back(row); }
+  // Attach a batched multi-kernel run; at most one per report (a later
+  // call replaces the earlier block).
+  void set_batch(const BatchResult& batch) { batch_ = batch; }
   // Tables whose cells embed measured wall-clock values (e.g. table1's
   // speedup-vs-CPU columns) must pass volatile_data = true; they are then
   // only emitted when include_volatile is set, keeping the default report
@@ -68,6 +80,7 @@ class RunReport {
   std::optional<DeviceConfig> device_;
   bool include_volatile_ = false;
   std::vector<BenchRow> rows_;
+  std::optional<BatchResult> batch_;
   struct NamedTable {
     std::string name;
     Table table;

@@ -16,6 +16,7 @@ const char* trace_event_name(TraceEventKind k) {
     case TraceEventKind::kCall: return "call";
     case TraceEventKind::kReturn: return "return";
     case TraceEventKind::kSelect: return "select";
+    case TraceEventKind::kChunk: return "chunk";
   }
   return "?";
 }

@@ -39,6 +39,10 @@ enum class TraceEventKind : std::uint8_t {
   kReturn = 6,    // recursive variants: frame restored
   kSelect = 7,    // auto_select launch decision (launch-scope, not per-warp;
                   // aux = 1 if lockstep was chosen, mask = sample count)
+  kChunk = 8,     // batched runs only: chunk start, aux = owning kernel id
+                  // (the launch's index within the batch), node = first
+                  // point id of the chunk, mask = the chunk's lane mask.
+                  // Solo runs never emit it, so solo traces are unchanged.
 };
 
 const char* trace_event_name(TraceEventKind k);

@@ -21,10 +21,15 @@ struct TransferModel {
   [[nodiscard]] double download_ms(std::uint64_t bytes) const {
     return static_cast<double>(bytes) / (pcie_gbps * 1e6);
   }
-  // Tree + points up, results back.
+  // Tree + points up, results back. `launches` is the number of kernel
+  // launches the bytes were shipped across: a multi-timestep run pays the
+  // launch overhead once per step, a batched multi-kernel run pays it
+  // once for the whole batch (upload_ms already includes one).
   [[nodiscard]] double round_trip_ms(std::uint64_t up_bytes,
-                                     std::uint64_t down_bytes) const {
-    return upload_ms(up_bytes) + download_ms(down_bytes);
+                                     std::uint64_t down_bytes,
+                                     int launches = 1) const {
+    return static_cast<double>(launches - 1) * launch_overhead_ms +
+           upload_ms(up_bytes) + download_ms(down_bytes);
   }
 };
 

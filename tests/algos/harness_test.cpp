@@ -70,6 +70,41 @@ TEST(Harness, BhMultiTimestepAccumulates) {
   EXPECT_GE(r3.work_expansion.mean, 1.0);
 }
 
+TEST(Harness, BhMultiTimestepTransferCountsEachLaunch) {
+  BenchConfig one = small_config(Algo::kBH, InputKind::kPlummer, true);
+  BenchConfig three = one;
+  three.bh_timesteps = 3;
+  BenchRow r1 = run_bench(one);
+  BenchRow r3 = run_bench(three);
+  // Each timestep re-uploads the rebuilt octree and is its own kernel
+  // launch; the transfer column must say so explicitly instead of folding
+  // three launches into one round trip.
+  EXPECT_EQ(r1.launches, 1);
+  EXPECT_EQ(r3.launches, 3);
+  EXPECT_GT(r3.upload_bytes, r1.upload_bytes);
+  EXPECT_DOUBLE_EQ(r3.transfer_ms(),
+                   r3.transfer.round_trip_ms(r3.upload_bytes,
+                                             r3.download_bytes, 3));
+  EXPECT_GT(r3.transfer_ms(),
+            r3.transfer.round_trip_ms(r3.upload_bytes, r3.download_bytes, 1));
+}
+
+TEST(Harness, VariantFilterSkipsDisabledVariants) {
+  BenchConfig c = small_config(Algo::kPC, InputKind::kUniform, true);
+  c.verify = false;  // verification needs every variant's results
+  c.variants = VariantSet::from_names("auto_lockstep,rec_lockstep");
+  BenchRow row = run_bench(c);
+  EXPECT_TRUE(row.result(Variant::kAutoLockstep).ok());
+  EXPECT_TRUE(row.result(Variant::kRecLockstep).ok());
+  for (Variant v : {Variant::kAutoNolockstep, Variant::kRecNolockstep,
+                    Variant::kAutoSelect}) {
+    const VariantResult& r = row.result(v);
+    EXPECT_FALSE(r.ok()) << variant_name(v);
+    EXPECT_EQ(r.error.rfind("skipped", 0), 0u) << r.error;
+    EXPECT_EQ(r.time_ms, 0.0);
+  }
+}
+
 TEST(Harness, GuidedAlgosRunBothOrders) {
   for (Algo a : {Algo::kKNN, Algo::kNN, Algo::kVP}) {
     BenchRow row = run_bench(small_config(a, InputKind::kUniform, false));

@@ -26,6 +26,19 @@ TEST(TransferModel, LaunchOverheadOnUploadOnly) {
   EXPECT_DOUBLE_EQ(m.download_ms(0), 0.0);
 }
 
+TEST(TransferModel, RoundTripChargesOverheadPerLaunch) {
+  TransferModel m;
+  m.launch_overhead_ms = 0.25;
+  // launches = 1 is the historical single-shot value (upload_ms already
+  // carries one overhead)...
+  EXPECT_DOUBLE_EQ(m.round_trip_ms(6'000'000, 3'000'000, 1),
+                   m.round_trip_ms(6'000'000, 3'000'000));
+  // ...and every extra launch adds exactly one more overhead on the same
+  // bytes (a multi-timestep run, or N solo launches vs one batch).
+  EXPECT_DOUBLE_EQ(m.round_trip_ms(6'000'000, 3'000'000, 3),
+                   m.round_trip_ms(6'000'000, 3'000'000, 1) + 2 * 0.25);
+}
+
 TEST(TransferModel, KernelFootprintDrivesUpload) {
   // The address space already tracks every registered device buffer, so
   // its footprint is the upload size for a kernel's working set.

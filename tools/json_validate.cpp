@@ -117,6 +117,9 @@ void set_string(JsonValue& root, const std::string& k, const char* value) {
 void prune_to_legacy(JsonValue& root) {
   set_string(root, "schema", "<schema>");
   set_string(root, "git_sha", "<sha>");
+  // v3 additions the fixture predates: the optional top-level batch block.
+  std::erase_if(root.obj_v,
+                [](const auto& member) { return member.first == "batch"; });
   JsonValue* rows = find_mut(root, "rows");
   if (!rows || !rows->is_array()) return;
   for (const JsonValuePtr& rowp : rows->arr_v) {
@@ -133,11 +136,18 @@ void prune_to_legacy(JsonValue& root) {
         return !is_legacy_variant_name(member.first);
       });
     }
+    if (JsonValue* transfer = find_mut(row, "transfer")) {
+      // v3 added the per-row launch count.
+      std::erase_if(transfer->obj_v, [](const auto& member) {
+        return member.first == "launches";
+      });
+    }
     if (JsonValue* metrics = find_mut(row, "metrics")) {
       for (const char* section : {"counters", "gauges", "histograms"}) {
         JsonValue* sec = find_mut(*metrics, section);
         if (!sec) continue;
         std::erase_if(sec->obj_v, [](const auto& member) {
+          if (member.first == "transfer/launches") return true;  // v3
           if (!starts_with(member.first, "gpu/")) return false;
           const std::string variant =
               member.first.substr(4, member.first.find('/', 4) - 4);
@@ -224,6 +234,47 @@ int check_selection(const std::string& at, const JsonValue& vr) {
   return 0;
 }
 
+// The optional v3 batch block: schedule accounting, per-kernel rows and
+// the amortized-vs-summed transfer split must all be present and shaped
+// right when the block exists at all.
+int check_batch(const JsonValue& batch) {
+  if (!batch.is_object()) return fail("\"batch\" is not an object");
+  for (const char* field : {"variant", "policy", "residency", "total_chunks",
+                            "rounds", "switches"})
+    if (!batch.find(field))
+      return fail(std::string("batch: missing \"") + field + "\"");
+  const JsonValue* kernels = batch.find("kernels");
+  if (!kernels || !kernels->is_array())
+    return fail("batch: missing \"kernels\" array");
+  for (std::size_t i = 0; i < kernels->arr_v.size(); ++i) {
+    const JsonValue& k = *kernels->arr_v[i];
+    const std::string at = "batch.kernels[" + std::to_string(i) + "]";
+    for (const char* field :
+         {"kernel", "config", "ok", "time_ms", "avg_nodes", "stats", "time",
+          "upload_bytes", "download_bytes", "solo_transfer_ms"})
+      if (!k.find(field))
+        return fail(at + ": missing \"" + field + "\"");
+    if (!k.find("ok")->as_bool() && !k.find("error"))
+      return fail(at + ": failed kernel without \"error\"");
+  }
+  const JsonValue* transfer = batch.find("transfer");
+  if (!transfer || !transfer->is_object())
+    return fail("batch: missing \"transfer\" object");
+  for (const char* field : {"upload_bytes", "download_bytes", "pcie_gbps",
+                            "launch_overhead_ms", "amortized_ms",
+                            "summed_solo_ms"})
+    if (!transfer->find(field))
+      return fail(std::string("batch.transfer: missing \"") + field + "\"");
+  if (kernels->arr_v.size() >= 2 &&
+      !(transfer->find("amortized_ms")->num_v <
+        transfer->find("summed_solo_ms")->num_v))
+    return fail("batch.transfer: amortized_ms is not strictly below "
+                "summed_solo_ms (the batch saved nothing)");
+  if (!batch.find("metrics"))
+    return fail("batch: missing \"metrics\" object");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -279,6 +330,10 @@ int main(int argc, char** argv) {
         return fail(at + ": missing \"metrics\" object");
       if (!metrics->find("counters"))
         return fail(at + ".metrics: missing \"counters\"");
+    }
+    if (const JsonValue* batch = root->find("batch")) {
+      int rc = check_batch(*batch);
+      if (rc != 0) return rc;
     }
   } catch (const std::exception& e) {
     return fail(e.what());
