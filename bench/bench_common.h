@@ -5,12 +5,14 @@
 #include <array>
 #include <initializer_list>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench_algos/harness.h"
 #include "core/variant.h"
+#include "obs/chrome_trace.h"
 #include "obs/run_report.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -96,6 +98,14 @@ inline void add_common_flags(Cli& cli) {
   cli.add_int("profile-seed", 1,
               "auto_select: deterministic seed for the sampler");
   cli.add_flag("csv", false, "emit CSV instead of an aligned table");
+  cli.add_flag("profile", false,
+               "collect the cycle-attribution profiler (per-layer bucket "
+               "split, divergence histogram, hot nodes) and embed it in "
+               "the --json report's \"profile\" blocks");
+  cli.add_string("chrome-trace", "",
+                 "write every GPU launch's per-warp event stream as Chrome "
+                 "trace-event JSON to this path (load in Perfetto / "
+                 "chrome://tracing; one process track per launch)");
   cli.add_string("json", "",
                  "also write a treetrav.run_report JSON file to this path");
   cli.add_flag("json-volatile", false,
@@ -114,6 +124,41 @@ inline obs::RunReport make_report(const Cli& cli,
   return report;
 }
 
+// The collector behind --chrome-trace: owns an obs::ChromeTraceCollector
+// when the flag carries a path, a null collector() otherwise -- so harness
+// wiring (BenchConfig::chrome = tracer.collector()) is unconditional.
+class ChromeTrace {
+ public:
+  explicit ChromeTrace(const Cli& cli)
+      : path_(cli.get_string("chrome-trace")),
+        collector_(path_.empty()
+                       ? nullptr
+                       : std::make_unique<obs::ChromeTraceCollector>()) {}
+
+  [[nodiscard]] obs::ChromeTraceCollector* collector() const {
+    return collector_.get();
+  }
+
+  // Writes the merged trace when --chrome-trace=<path> was given. Returns
+  // false (after printing the reason to stderr) on I/O failure.
+  [[nodiscard]] bool write() const {
+    if (!collector_) return true;
+    std::string err;
+    if (!collector_->write_file(path_, &err)) {
+      std::cerr << "chrome trace: " << err << "\n";
+      return false;
+    }
+    std::cerr << "# wrote " << path_ << " (" << collector_->total_events()
+              << " trace events, " << collector_->n_launches()
+              << " launches)\n";
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::ChromeTraceCollector> collector_;
+};
+
 // Writes the report when --json=<path> was given. Returns false (after
 // printing the reason to stderr) on I/O failure so main can exit nonzero.
 inline bool maybe_write_report(const Cli& cli, const obs::RunReport& report) {
@@ -129,7 +174,8 @@ inline bool maybe_write_report(const Cli& cli, const obs::RunReport& report) {
 }
 
 inline BenchConfig config_from(const Cli& cli, Algo a, InputKind in,
-                               bool sorted) {
+                               bool sorted,
+                               obs::ChromeTraceCollector* chrome = nullptr) {
   BenchConfig c;
   c.algo = a;
   c.input = in;
@@ -150,6 +196,8 @@ inline BenchConfig config_from(const Cli& cli, Algo a, InputKind in,
   c.profile_samples = static_cast<std::size_t>(samples);
   c.profile_seed = static_cast<std::uint64_t>(cli.get_int("profile-seed"));
   c.variants = parse_variant_filter(cli.get_string("variant"));
+  c.profile = cli.get_flag("profile");
+  c.chrome = chrome;
   return c;
 }
 

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   cli.add_flag("unsorted", true, "run the unsorted sweep (Figure 11)");
   try {
     if (!cli.parse(argc, argv)) return 0;
+    benchx::ChromeTrace chrome(cli);
     std::vector<std::string> header{"Benchmark", "Input", "Order", "Type"};
     for (int t : kThreads) header.push_back("T" + std::to_string(t));
     Table table(header);
@@ -54,7 +55,8 @@ int main(int argc, char** argv) {
         for (bool sorted : {true, false}) {
           if (sorted && !cli.get_flag("sorted")) continue;
           if (!sorted && !cli.get_flag("unsorted")) continue;
-          BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
+          BenchRow row = run_bench(
+              benchx::config_from(cli, a, in, sorted, chrome.collector()));
           report.add_row(row);
           sweep_rows(table, row);
           std::cerr << "# done " << algo_name(a) << "/" << input_name(in)
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
     benchx::emit(table, cli.get_flag("csv"));
     report.add_table("fig10_cpu_scaling", table, /*volatile_data=*/true);
     if (!benchx::maybe_write_report(cli, report)) return 1;
+    if (!chrome.write()) return 1;
     std::cerr << "# ratio > 1: CPU faster than GPU at that thread count\n";
   } catch (const std::exception& e) {
     std::cerr << "fig10_cpu_scaling: " << e.what() << "\n";

@@ -92,7 +92,8 @@ void add_rows(Table& table, const BenchRow& row) {
 // batched launch through core/batch_scheduler.h. Per-kernel numbers are
 // byte-identical to the solo rows; what changes is the launch/transfer
 // accounting, which the summary lines below the table report.
-int run_batched(const Cli& cli, obs::RunReport& report) {
+int run_batched(const Cli& cli, obs::RunReport& report,
+                const benchx::ChromeTrace& chrome) {
   BatchConfig bc;
   bc.variant = variant_from_name(cli.get_string("batch-variant"));
   bc.policy = batch_policy_from_name(cli.get_string("batch-policy"));
@@ -100,6 +101,8 @@ int run_batched(const Cli& cli, obs::RunReport& report) {
   if (grid_limit < 0)
     throw std::invalid_argument("--batch-grid-limit must be >= 0");
   bc.grid_limit = static_cast<std::size_t>(grid_limit);
+  bc.profile = cli.get_flag("profile");
+  bc.chrome = chrome.collector();
   for (Algo a : benchx::parse_algos(cli.get_string("benchmarks")))
     bc.items.push_back(
         benchx::config_from(cli, a, inputs_for(a).front(), /*sorted=*/true));
@@ -147,6 +150,7 @@ int run_batched(const Cli& cli, obs::RunReport& report) {
       ++failed;
     }
   if (!benchx::maybe_write_report(cli, report)) return 1;
+  if (!chrome.write()) return 1;
   return failed == 0 ? 0 : 1;
 }
 
@@ -169,9 +173,10 @@ int main(int argc, char** argv) {
               "Figure 9b strip-mining limit per launch (0 = no limit)");
   try {
     if (!cli.parse(argc, argv)) return 0;
+    benchx::ChromeTrace chrome(cli);
     if (cli.get_flag("batch")) {
       obs::RunReport report = benchx::make_report(cli, "table1");
-      return run_batched(cli, report);
+      return run_batched(cli, report, chrome);
     }
     Table table({"Benchmark", "Input", "Order", "Type", "Time(ms)",
                  "AvgNodes", "vs1T", "vs32T", "vsRecurse", "Xfer(ms)"});
@@ -185,7 +190,8 @@ int main(int argc, char** argv) {
                 << "\n";
       for (InputKind in : inputs_for(a))
         for (bool sorted : {true, false}) {
-          BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
+          BenchRow row = run_bench(
+              benchx::config_from(cli, a, in, sorted, chrome.collector()));
           add_rows(table, row);
           report.add_row(row);
           std::cerr << "# done " << algo_name(a) << "/" << input_name(in)
@@ -197,6 +203,7 @@ int main(int argc, char** argv) {
     benchx::emit(table, cli.get_flag("csv"));
     report.add_table("table1", table, /*volatile_data=*/true);
     if (!benchx::maybe_write_report(cli, report)) return 1;
+    if (!chrome.write()) return 1;
   } catch (const std::exception& e) {
     std::cerr << "table1: " << e.what() << "\n";
     return 1;

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   benchx::add_common_flags(cli);
   try {
     if (!cli.parse(argc, argv)) return 0;
+    benchx::ChromeTrace chrome(cli);
     Table table({"Benchmark", "Input", "Sorted", "Unsorted",
                  "AutoSel(sorted)", "AutoSel(unsorted)"});
     obs::RunReport report = benchx::make_report(cli, "table2_work_expansion");
@@ -24,7 +25,8 @@ int main(int argc, char** argv) {
         std::string cells[2];
         std::string auto_cells[2];
         for (bool sorted : {true, false}) {
-          BenchRow row = run_bench(benchx::config_from(cli, a, in, sorted));
+          BenchRow row = run_bench(
+              benchx::config_from(cli, a, in, sorted, chrome.collector()));
           report.add_row(row);
           // Work expansion needs both autoropes variants; "-" when either
           // failed or was excluded by --variant.
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
     benchx::emit(table, cli.get_flag("csv"));
     report.add_table("table2_work_expansion", table);
     if (!benchx::maybe_write_report(cli, report)) return 1;
+    if (!chrome.write()) return 1;
   } catch (const std::exception& e) {
     std::cerr << "table2_work_expansion: " << e.what() << "\n";
     return 1;

@@ -12,6 +12,8 @@
 #include "core/cpu_executors.h"
 #include "core/gpu_executors.h"
 #include "cpu/parallel.h"
+#include "obs/chrome_trace.h"
+#include "obs/profile.h"
 #include "data/generators.h"
 #include "data/sorting.h"
 #include "spatial/kdtree.h"
@@ -132,10 +134,17 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
       GpuMode mode = GpuMode::from(v);
       mode.profile_samples = cfg.profile_samples;
       mode.profile_seed = cfg.profile_seed;
-      auto g = run_gpu_sim(k, space, cfg.device, mode);
+      obs::TraceSink* tsink = nullptr;
+      if (cfg.chrome)
+        tsink = &cfg.chrome->begin_launch(
+            std::string(kernel_display_name<K>()) + "/" + variant_name(v));
+      obs::ProfileSink psink;
+      auto g = run_gpu_sim(k, space, cfg.device, mode, tsink,
+                           cfg.profile ? &psink : nullptr);
       row.result(v) =
           to_variant(g.stats, g.time, g.avg_nodes(), g.sim_wall_ms);
       row.result(v).selection = g.selection;
+      row.result(v).profile = std::move(g.profile);
       if (v == Variant::kAutoNolockstep)
         nolockstep_visits = std::move(g.per_point_visits);
       else if (v == Variant::kAutoLockstep)
@@ -209,6 +218,12 @@ void accumulate(BenchRow& row, const BenchRow& step, int steps_so_far) {
         a.selection->samples = total;
         a.selection->sampling_cycles += b.selection->sampling_cycles;
       }
+    }
+    if (b.profile) {
+      if (!a.profile)
+        a.profile = b.profile;
+      else
+        a.profile->merge(*b.profile);
     }
   };
   for (Variant v : kAllVariants) add_variant(row.result(v), step.result(v));
@@ -465,6 +480,9 @@ BatchResult run_batch(const BatchConfig& cfg) {
 
   std::vector<std::unique_ptr<PreparedLaunch>> prepared;
   std::vector<LaunchSpec> specs;
+  // Per-launch profiler sinks; unique_ptrs keep the addresses handed to
+  // the specs stable while the vector grows.
+  std::vector<std::unique_ptr<obs::ProfileSink>> psinks;
   prepared.reserve(cfg.items.size());
   specs.reserve(cfg.items.size());
   for (const BenchConfig& item : cfg.items) {
@@ -477,6 +495,11 @@ BatchResult run_batch(const BatchConfig& cfg) {
     spec.mode.grid_limit = cfg.grid_limit;
     spec.mode.profile_samples = item.profile_samples;
     spec.mode.profile_seed = item.profile_seed;
+    if (cfg.chrome) spec.trace = &cfg.chrome->begin_launch(pl.handle->name());
+    if (cfg.profile) {
+      psinks.push_back(std::make_unique<obs::ProfileSink>());
+      spec.profile = psinks.back().get();
+    }
     specs.push_back(spec);
   }
 
@@ -501,6 +524,7 @@ BatchResult run_batch(const BatchConfig& cfg) {
       row.result.time_ms = lr.time.total_ms;
       row.result.avg_nodes = lr.avg_nodes();
       row.result.selection = lr.selection;
+      row.result.profile = lr.profile;
       row.avg_nodes = row.result.avg_nodes;
     } else {
       row.result.error = lr.error;

@@ -14,6 +14,7 @@
 #include "core/ir/callset_analysis.h"
 #include "core/variant.h"
 #include "cpu/scaling_model.h"
+#include "obs/profile.h"
 #include "simt/cost_model.h"
 #include "simt/device_config.h"
 #include "simt/kernel_stats.h"
@@ -21,6 +22,10 @@
 #include "util/stats.h"
 
 namespace tt {
+
+namespace obs {
+class ChromeTraceCollector;  // obs/chrome_trace.h
+}
 
 enum class Algo { kBH, kPC, kKNN, kNN, kVP };
 enum class InputKind {
@@ -71,6 +76,17 @@ struct BenchConfig {
   // through VariantResult::error ("skipped: ...") with zeroed numbers,
   // like a failed one.
   VariantSet variants = VariantSet::all();
+
+  // Cycle-attribution profiler (the --profile CLI flag): when set, every
+  // variant's run carries an obs::ProfileSink and VariantResult::profile
+  // is filled (BH accumulates it across timesteps via
+  // obs::ProfileReport::merge).
+  bool profile = false;
+  // Chrome-trace export (the --chrome-trace CLI flag): when non-null,
+  // every GPU launch opens a track in the collector (named
+  // "<kernel>/<variant>") and runs with that track's TraceSink. The
+  // collector is owned by the caller; the harness only appends launches.
+  obs::ChromeTraceCollector* chrome = nullptr;
 };
 
 struct VariantResult {
@@ -84,6 +100,11 @@ struct VariantResult {
   // timesteps: samples and sampling_cycles sum, similarity averages, and
   // `chosen` keeps the first timestep's dispatch.
   std::optional<SelectionInfo> selection;
+  // Set when BenchConfig::profile was on: the variant's cycle-attribution
+  // profile (obs/profile.h). BH merges it across timesteps, so the
+  // attribution invariant (bucket sum == stats.instr_cycles) holds for
+  // the whole accumulated run.
+  std::optional<obs::ProfileReport> profile;
   // Empty on success. Set (e.g. "rope stack overflow ...") when this
   // variant's simulation failed; its numbers are then all zero while the
   // other variants of the row stay valid.
@@ -165,6 +186,11 @@ struct BatchConfig {
   BatchPolicy policy = BatchPolicy::kRoundRobin;
   std::size_t grid_limit = 0;  // Figure 9b strip-mining, per launch
   DeviceConfig device;         // one GPU; items' device fields are ignored
+  // Same observability knobs as BenchConfig: per-launch profiles into
+  // BatchKernelRow::result.profile, and one chrome-trace track per launch
+  // (named after the kernel) when `chrome` is set.
+  bool profile = false;
+  obs::ChromeTraceCollector* chrome = nullptr;
 };
 
 // Per-kernel row of a batched run: the launch's isolated measurements

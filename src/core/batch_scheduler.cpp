@@ -119,6 +119,7 @@ BatchRun run_gpu_batch(std::span<const LaunchSpec> specs,
     }
     pr.mode = mode;
     pr.run = spec.kernel->prepare(*spec.space, cfg, mode, spec.trace,
+                                  spec.profile,
                                   static_cast<std::uint32_t>(i));
     pr.per_slot.assign(pr.run->shape.grid, KernelStats{});
     // The launch's own L2 slice size -- the same formula run_warps uses
@@ -130,6 +131,7 @@ BatchRun run_gpu_batch(std::span<const LaunchSpec> specs,
     pr.slice_bytes = cfg.l2_bytes / resident;
     if (spec.trace)
       spec.trace->begin(pr.run->shape.n_warps, omp_get_max_threads());
+    if (spec.profile) spec.profile->begin(omp_get_max_threads());
     sched.add_launch(pr.run->shape);
   }
 
@@ -199,7 +201,7 @@ BatchRun run_gpu_batch(std::span<const LaunchSpec> specs,
       // Same accounting as run_gpu_sim's auto_select dispatch: sampling
       // runs serially before the kernel, charged to compute time.
       r.selection = pr.selection;
-      r.stats.instr_cycles += pr.selection->sampling_cycles;
+      r.stats.note_sampling_cycles(pr.selection->sampling_cycles);
       const double cycles_per_ms = cfg.clock_ghz * 1e6;
       r.time.compute_ms += pr.selection->sampling_cycles / cycles_per_ms;
       r.time.total_ms = std::max(r.time.compute_ms, r.time.memory_ms);
@@ -209,6 +211,11 @@ BatchRun run_gpu_batch(std::span<const LaunchSpec> specs,
             obs::TraceEventKind::kSelect, 0xffffffffu,
             static_cast<std::uint32_t>(pr.selection->samples), 0,
             pr.selection->chosen == Variant::kAutoLockstep ? 1u : 0u);
+    }
+    if (spec.profile) {
+      // Build AFTER the sampling charge so reconciliation covers it.
+      const obs::ProfileCollector merged = spec.profile->merged();
+      r.profile = obs::make_profile_report(r.stats, cfg, &merged);
     }
     const std::byte* data =
         static_cast<const std::byte*>(pr.run->result_data());

@@ -70,12 +70,13 @@ struct LoopHeadReconvergence {
       if (active == 0) break;
       eng.stats().note_warp_step(eng.cfg().c_step);
       eng.stats().note_active_lanes(active);
+      eng.profile_step(pop_depth, active);
       eng.mem().commit();  // stack pops
       // Lanes pop distinct nodes, so the node field is not warp-uniform.
       eng.emit(obs::TraceEventKind::kPop, 0xffffffffu, pop_mask, pop_depth);
 
       std::uint32_t trunc_mask = 0;
-      eng.stats().note_cycles(eng.cfg().c_visit);
+      eng.stats().note_visit_cycles(eng.cfg().c_visit);
       for (int l = 0; l < lanes; ++l) {
         if (!popped[static_cast<std::size_t>(l)]) continue;
         eng.count_point_visit(l);
@@ -389,8 +390,9 @@ struct MaxDepthCallReconvergence {
         eng.stats().note_stack_depth(s.size());
       }
       eng.stats().note_active_lanes(active);
-      if (any_visit) eng.stats().note_cycles(eng.cfg().c_visit);
-      if (any_call) eng.stats().note_cycles(eng.cfg().c_call);
+      eng.profile_step(static_cast<std::uint32_t>(max_depth), active);
+      if (any_visit) eng.stats().note_visit_cycles(eng.cfg().c_visit);
+      if (any_call) eng.stats().note_call_cycles(eng.cfg().c_call);
       eng.mem().commit();
       const auto depth = static_cast<std::uint32_t>(max_depth);
       if (visit_mask != 0)

@@ -40,6 +40,7 @@
 #include "core/traversal_kernel.h"
 #include "core/variant.h"
 #include "core/warp_engine.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "simt/address_space.h"
 #include "simt/cost_model.h"
@@ -66,6 +67,10 @@ struct GpuRun {
   // Set only by the auto_select variant: what the section-4.4 sampler
   // measured and which composition the launch was dispatched to.
   std::optional<SelectionInfo> selection;
+  // Set when a ProfileSink was passed: the launch's cycle-attribution
+  // profile (obs/profile.h), with any auto_select sampling charge folded
+  // into the kSelect bucket so reconciles() covers the full launch.
+  std::optional<obs::ProfileReport> profile;
 
   // The paper's "Avg. # Nodes" column.
   [[nodiscard]] double avg_nodes() const {
@@ -84,11 +89,14 @@ struct GpuRun {
 // Entry point: simulate the kernel under one of the four GPU variants.
 // `trace` is optional: when non-null, the engine emits per-step event
 // records into it (see obs/trace.h for the determinism contract).
+// `profile` is optional: when non-null, the run's cycle-attribution
+// profile (obs/profile.h) is built into GpuRun::profile.
 // ---------------------------------------------------------------------
 template <TraversalKernel K>
 GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
                       const DeviceConfig& cfg, GpuMode mode,
-                      obs::TraceSink* trace = nullptr) {
+                      obs::TraceSink* trace = nullptr,
+                      obs::ProfileSink* profile = nullptr) {
   if (mode.variant() == Variant::kAutoSelect) {
     // Section 4.4 adaptive selection: sample a few adjacent traversal
     // pairs, then dispatch this launch to the lockstep (similar => input
@@ -106,7 +114,7 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
     chosen.auto_select = false;
     chosen.autoropes = true;
     chosen.lockstep = p.looks_sorted;
-    GpuRun<K> run = run_gpu_sim(k, space, cfg, chosen, trace);
+    GpuRun<K> run = run_gpu_sim(k, space, cfg, chosen, trace, profile);
     SelectionInfo sel;
     sel.mean_similarity = p.mean_similarity;
     sel.baseline_similarity = p.baseline_similarity;
@@ -115,7 +123,13 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
     sel.chosen = chosen.variant();
     sel.sampling_cycles = sampling_cycles;
     run.selection = sel;
-    run.stats.instr_cycles += sampling_cycles;
+    run.stats.note_sampling_cycles(sampling_cycles);
+    // The dispatched run built its profile before the sampling charge;
+    // refresh the bucket split so reconciles() covers the full launch.
+    if (run.profile) {
+      run.profile->buckets = run.stats.cycle_buckets;
+      run.profile->instr_cycles = run.stats.instr_cycles;
+    }
     const double cycles_per_ms = cfg.clock_ghz * 1e6;
     run.time.compute_ms += sampling_cycles / cycles_per_ms;
     run.time.total_ms = std::max(run.time.compute_ms, run.time.memory_ms);
@@ -142,6 +156,7 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
 
   OverflowReport overflow;
   if (trace) trace->begin(shape.n_warps, omp_get_max_threads());
+  if (profile) profile->begin(omp_get_max_threads());
   WallTimer timer;
   // One task per physical warp slot; run_warp_slot (core/launch.h) walks
   // the slot's chunks through the composition table. The batch scheduler
@@ -150,7 +165,7 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
   std::vector<KernelStats> per_warp = run_warps(
       shape.grid, cfg, [&](std::size_t p, KernelStats& stats, L2Cache* l2) {
         run_warp_slot(k, space, cfg, mode, shape, stack_base0, p, stats, l2,
-                      trace, overflow, run.results.data(),
+                      trace, profile, overflow, run.results.data(),
                       mode.lockstep ? nullptr : run.per_point_visits.data(),
                       mode.lockstep ? run.per_warp_pops.data() : nullptr);
       });
@@ -164,6 +179,10 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
         std::to_string(shape.stack_bound) + ")");
   run.stats = merge_stats(per_warp);
   run.time = estimate_time_balanced(instr_cycles_of(per_warp), run.stats, cfg);
+  if (profile) {
+    const obs::ProfileCollector merged = profile->merged();
+    run.profile = obs::make_profile_report(run.stats, cfg, &merged);
+  }
   return run;
 }
 

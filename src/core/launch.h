@@ -46,6 +46,7 @@
 #include "core/traversal_kernel.h"
 #include "core/variant.h"
 #include "core/warp_engine.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "simt/address_space.h"
 #include "simt/cost_model.h"
@@ -174,7 +175,8 @@ void run_warp_slot(const K& k, const GpuAddressSpace& space,
                    const DeviceConfig& cfg, const GpuMode& mode,
                    const LaunchGeometry& shape, std::uint64_t stack_base0,
                    std::size_t p, KernelStats& stats, L2Cache* l2,
-                   obs::TraceSink* trace, OverflowReport& overflow,
+                   obs::TraceSink* trace, obs::ProfileSink* profile,
+                   OverflowReport& overflow,
                    typename K::Result* results,
                    std::uint32_t* per_point_visits,
                    std::uint32_t* per_warp_pops,
@@ -182,7 +184,9 @@ void run_warp_slot(const K& k, const GpuAddressSpace& space,
   WarpMemory mem(space, cfg, l2, stats);
   const std::uint64_t base = stack_base0 + shape.per_warp_span * p;
   obs::WarpTracer* tr = trace ? &trace->ring(omp_get_thread_num()) : nullptr;
-  WarpEngine<K> eng(k, cfg, mem, stats, overflow, shape.stack_bound, tr);
+  obs::ProfileCollector* pc =
+      profile ? &profile->collector(omp_get_thread_num()) : nullptr;
+  WarpEngine<K> eng(k, cfg, mem, stats, overflow, shape.stack_bound, tr, pc);
   const WarpArenas arenas = make_warp_arenas(shape, cfg, mode, base);
 
   for (std::size_t w = p; w < shape.n_warps; w += shape.grid) {
@@ -249,19 +253,22 @@ class KernelHandle {
   // mode still carrying auto_select.
   [[nodiscard]] virtual std::unique_ptr<LaunchRun> prepare(
       GpuAddressSpace& space, const DeviceConfig& cfg, const GpuMode& mode,
-      obs::TraceSink* trace, std::uint32_t kernel_id) const = 0;
+      obs::TraceSink* trace, obs::ProfileSink* profile,
+      std::uint32_t kernel_id) const = 0;
 };
 
 template <NamedTraversalKernel K>
 class TypedLaunchRun final : public LaunchRun {
  public:
   TypedLaunchRun(const K& k, GpuAddressSpace& space, const DeviceConfig& cfg,
-                 GpuMode mode, obs::TraceSink* trace, std::uint32_t kernel_id)
+                 GpuMode mode, obs::TraceSink* trace,
+                 obs::ProfileSink* profile, std::uint32_t kernel_id)
       : k_(&k),
         space_(&space),
         cfg_(&cfg),
         mode_(mode),
         trace_(trace),
+        profile_(profile),
         kernel_id_(kernel_id) {
     shape = launch_geometry(k, cfg, mode);
     results_.resize(shape.n);
@@ -275,7 +282,7 @@ class TypedLaunchRun final : public LaunchRun {
 
   void run_slot(std::size_t p, KernelStats& stats, L2Cache* l2) override {
     run_warp_slot(*k_, *space_, *cfg_, mode_, shape, stack_base0_, p, stats,
-                  l2, trace_, overflow, results_.data(),
+                  l2, trace_, profile_, overflow, results_.data(),
                   mode_.lockstep ? nullptr : per_point_visits.data(),
                   mode_.lockstep ? per_warp_pops.data() : nullptr,
                   kernel_id_);
@@ -294,6 +301,7 @@ class TypedLaunchRun final : public LaunchRun {
   const DeviceConfig* cfg_;
   GpuMode mode_;
   obs::TraceSink* trace_;
+  obs::ProfileSink* profile_;
   std::uint32_t kernel_id_;
   std::uint64_t stack_base0_ = 0;
   std::vector<typename K::Result> results_;
@@ -322,13 +330,14 @@ class TypedKernelHandle final : public KernelHandle {
 
   [[nodiscard]] std::unique_ptr<LaunchRun> prepare(
       GpuAddressSpace& space, const DeviceConfig& cfg, const GpuMode& mode,
-      obs::TraceSink* trace, std::uint32_t kernel_id) const override {
+      obs::TraceSink* trace, obs::ProfileSink* profile,
+      std::uint32_t kernel_id) const override {
     if (mode.auto_select)
       throw std::invalid_argument(
           "KernelHandle::prepare: mode still carries auto_select; resolve "
           "the launch decision first (run_gpu_batch does)");
     return std::make_unique<TypedLaunchRun<K>>(*k_, space, cfg, mode, trace,
-                                               kernel_id);
+                                               profile, kernel_id);
   }
 
  private:
@@ -352,7 +361,8 @@ struct LaunchSpec {
   // May carry auto_select; run_gpu_batch resolves it per launch through
   // KernelHandle::profile with the mode's profile_samples/profile_seed.
   GpuMode mode;
-  obs::TraceSink* trace = nullptr;  // optional per-launch trace
+  obs::TraceSink* trace = nullptr;      // optional per-launch trace
+  obs::ProfileSink* profile = nullptr;  // optional per-launch profiler
 };
 
 // Type-erased per-launch measurement of a batched run. Mirrors GpuRun<K>
@@ -372,6 +382,9 @@ struct LaunchResult {
   std::vector<std::uint32_t> per_point_visits;
   std::vector<std::uint32_t> per_warp_pops;
   std::optional<SelectionInfo> selection;
+  // Set when the spec carried a ProfileSink: the launch's cycle-attribution
+  // profile (obs/profile.h), sampling charge included for auto_select.
+  std::optional<obs::ProfileReport> profile;
   // Empty on success; "kernel <name> (batch <i>): ..." on failure. A
   // failed launch's numbers are zeroed; sibling launches stay valid.
   std::string error;

@@ -111,7 +111,8 @@ RopesRun<K> run_gpu_ropes_sim(const K& k, GpuAddressSpace& space,
       std::vector<NodeId> resume_at(lanes, kNullNode);
       while (cur != StaticRopes::kEndOfTraversal) {
         stats.note_warp_pop();
-        stats.note_warp_step(cfg.c_step + cfg.c_visit);
+        stats.note_warp_step(cfg.c_step);
+        stats.note_visit_cycles(cfg.c_visit);
         bool any_descend = false;
         int active = 0;
         for (int l = 0; l < lanes; ++l) {
@@ -150,7 +151,8 @@ RopesRun<K> run_gpu_ropes_sim(const K& k, GpuAddressSpace& space,
         for (int l = 0; l < lanes; ++l)
           if (cur[l] != StaticRopes::kEndOfTraversal) ++active;
         if (active == 0) break;
-        stats.note_warp_step(cfg.c_step + cfg.c_visit);
+        stats.note_warp_step(cfg.c_step);
+        stats.note_visit_cycles(cfg.c_visit);
         stats.note_active_lanes(active);
         for (int l = 0; l < lanes; ++l) {
           if (cur[l] == StaticRopes::kEndOfTraversal) continue;

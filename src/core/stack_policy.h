@@ -69,7 +69,7 @@ struct LaneRopeStack {
   template <class Engine>
   void record_push(Engine& eng, int lane, std::size_t level) const {
     eng.mem().lane_stack_traffic(lane, addr(lane, level), entry_bytes);
-    eng.stats().note_cycles(eng.cfg().c_smem);
+    eng.stats().note_stack_cycles(eng.cfg().c_smem);
   }
 };
 
@@ -98,7 +98,7 @@ struct WarpStack {
     if (global)
       eng.mem().lane_stack_traffic(0, warp_entries_base + level * 12, 12);
     else
-      eng.stats().note_cycles(eng.cfg().c_smem);
+      eng.stats().note_stack_cycles(eng.cfg().c_smem);
   }
   // Per-lane argument plane traffic at `level` (kernels with LArgs only).
   template <class Engine>

@@ -25,6 +25,7 @@
 
 #include "core/traversal_kernel.h"
 #include "core/variant.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "simt/device_config.h"
 #include "simt/kernel_stats.h"
@@ -95,23 +96,37 @@ class WarpEngine {
 
   WarpEngine(const K& k, const DeviceConfig& cfg, WarpMemory& mem,
              KernelStats& stats, OverflowReport& overflow, int stack_bound,
-             obs::WarpTracer* tr)
+             obs::WarpTracer* tr, obs::ProfileCollector* pc = nullptr)
       : k_(&k),
         cfg_(&cfg),
         mem_(&mem),
         stats_(&stats),
         overflow_(&overflow),
         stack_bound_(stack_bound),
-        tr_(tr) {}
+        tr_(tr),
+        pc_(pc) {}
 
   // ---------------------------------------------------------------
   // THE single trace-emission site. Every executor event -- from any
   // stack or convergence policy -- goes through here; nothing else in
-  // the executor stack calls obs::WarpTracer::record.
+  // the executor stack calls obs::WarpTracer::record. The profiler's
+  // hot-node / truncation aggregation rides the same stream.
   // ---------------------------------------------------------------
   void emit(obs::TraceEventKind kind, std::uint32_t node, std::uint32_t mask,
             std::uint32_t depth, std::uint32_t aux = 0) {
     if (tr_) tr_->record(kind, node, mask, depth, aux);
+    if (pc_) pc_->on_event(kind, node, mask, depth, aux);
+  }
+
+  // Profile-only per-step hook: every convergence policy calls this once
+  // per warp step, right where it charges note_warp_step /
+  // note_active_lanes, with the step's stack depth and active-lane count.
+  // This is what makes the profiler's per-depth histogram reconcile
+  // *exactly* with KernelStats::warp_steps / active_lane_sum for all
+  // variants -- including rec_nolockstep, whose call/return-only steps
+  // emit no kVisit event.
+  void profile_step(std::uint32_t depth, int active) {
+    if (pc_) pc_->on_step(depth, active);
   }
 
   // --- per-chunk lifecycle (one 32-point chunk of the strip-mined grid)
@@ -191,7 +206,7 @@ class WarpEngine {
   std::uint32_t union_visit_and_vote(NodeId node, const UArg& ua,
                                      const std::vector<LArg>& la,
                                      std::uint32_t mask, std::uint32_t depth) {
-    stats_->note_cycles(cfg_->c_visit);
+    stats_->note_visit_cycles(cfg_->c_visit);
     int active = 0;
     std::uint32_t new_mask = 0;
     for (int l = 0; l < lanes_; ++l) {
@@ -203,6 +218,7 @@ class WarpEngine {
         new_mask |= 1u << l;
     }
     stats_->note_active_lanes(active);
+    profile_step(depth, active);
     mem_->commit();  // broadcast node load coalesces to one transaction
     emit(obs::TraceEventKind::kVisit, node, mask, depth);
     if ((mask & ~new_mask) != 0)
@@ -270,6 +286,7 @@ class WarpEngine {
   OverflowReport* overflow_;
   int stack_bound_;
   obs::WarpTracer* tr_;
+  obs::ProfileCollector* pc_;
 
   std::uint32_t warp_ = 0;
   WarpRange range_;

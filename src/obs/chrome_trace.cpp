@@ -1,0 +1,100 @@
+#include "obs/chrome_trace.h"
+
+#include <bit>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace tt::obs {
+
+ChromeTraceCollector::ChromeTraceCollector(std::size_t capacity_per_warp)
+    : capacity_(capacity_per_warp == 0 ? 1 : capacity_per_warp) {}
+
+TraceSink& ChromeTraceCollector::begin_launch(std::string name) {
+  launches_.emplace_back(std::move(name),
+                         std::make_unique<TraceSink>(capacity_));
+  return *launches_.back().second;
+}
+
+std::size_t ChromeTraceCollector::total_events() const {
+  std::size_t n = 0;
+  for (const auto& [name, sink] : launches_) n += sink->total_events();
+  return n;
+}
+
+namespace {
+
+// Launch-scope events (TraceSink::record_launch) use warp 0xffffffff; give
+// them their own named thread row.
+constexpr std::uint64_t kLaunchTid = 0xffffffffull;
+
+void write_metadata(JsonWriter& w, const char* what, std::uint64_t pid,
+                    const std::string& name, const std::uint64_t* tid) {
+  w.begin_object();
+  w.member("name", what);
+  w.member("ph", "M");
+  w.member("pid", pid);
+  if (tid) w.member("tid", *tid);
+  w.member_object("args");
+  w.member("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+void write_event(JsonWriter& w, std::uint64_t pid, const TraceEvent& e) {
+  w.begin_object();
+  w.member("name", trace_event_name(e.kind));
+  w.member("ph", "X");
+  w.member("pid", pid);
+  w.member("tid", static_cast<std::uint64_t>(e.warp));
+  // The simulator has no wall clock; the per-warp sequence number is the
+  // timeline, one "microsecond" per event.
+  w.member("ts", static_cast<std::uint64_t>(e.seq));
+  w.member("dur", std::uint64_t{1});
+  w.member_object("args");
+  if (e.node != 0xffffffffu)
+    w.member("node", static_cast<std::uint64_t>(e.node));
+  w.member("mask", static_cast<std::uint64_t>(e.mask));
+  w.member("active", static_cast<std::uint64_t>(std::popcount(e.mask)));
+  w.member("depth", static_cast<std::uint64_t>(e.depth));
+  if (e.aux != 0) w.member("aux", static_cast<std::uint64_t>(e.aux));
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void ChromeTraceCollector::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.member_array("traceEvents");
+  for (std::size_t i = 0; i < launches_.size(); ++i) {
+    const auto& [name, sink] = launches_[i];
+    const auto pid = static_cast<std::uint64_t>(i);
+    write_metadata(w, "process_name", pid, name, nullptr);
+    if (!sink->launch_events().empty())
+      write_metadata(w, "thread_name", pid, "launch", &kLaunchTid);
+    for (const TraceEvent& e : sink->merged()) write_event(w, pid, e);
+  }
+  w.end_array();
+  w.member("displayTimeUnit", "ms");
+  w.end_object();
+}
+
+bool ChromeTraceCollector::write_file(const std::string& path,
+                                      std::string* err) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    if (err) *err = "cannot open " + path + " for writing";
+    return false;
+  }
+  write_json(os);
+  os.flush();
+  if (!os) {
+    if (err) *err = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tt::obs

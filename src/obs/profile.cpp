@@ -1,0 +1,209 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/json.h"
+
+namespace tt::obs {
+
+namespace {
+
+std::uint32_t lane_count(std::uint32_t mask) {
+  return static_cast<std::uint32_t>(std::popcount(mask));
+}
+
+}  // namespace
+
+void ProfileCollector::on_step(std::uint32_t depth, int active) {
+  if (depth_.size() <= depth) depth_.resize(depth + 1);
+  ProfileDepthBin& bin = depth_[depth];
+  ++bin.steps;
+  bin.active_lane_sum += static_cast<std::uint64_t>(active);
+}
+
+void ProfileCollector::on_event(TraceEventKind kind, std::uint32_t node,
+                                std::uint32_t mask, std::uint32_t depth,
+                                std::uint32_t /*aux*/) {
+  switch (kind) {
+    case TraceEventKind::kVisit:
+      // Warp-uniform visits only: the non-lockstep per-lane variant emits
+      // kVisit with node = 0xffffffff (lanes visit distinct nodes), which
+      // cannot be attributed to one tree node.
+      if (node != 0xffffffffu) {
+        NodeAgg& agg = nodes_[node];
+        ++agg.warp_visits;
+        agg.active_lane_sum += lane_count(mask);
+      }
+      break;
+    case TraceEventKind::kTruncate: {
+      if (depth_.size() <= depth) depth_.resize(depth + 1);
+      depth_[depth].truncated_lanes += lane_count(mask);
+      if (node != 0xffffffffu) nodes_[node].truncated_lanes += lane_count(mask);
+      break;
+    }
+    default:
+      break;  // pops, pushes, votes, calls carry no extra attribution
+  }
+}
+
+void ProfileCollector::merge(const ProfileCollector& o) {
+  if (depth_.size() < o.depth_.size()) depth_.resize(o.depth_.size());
+  for (std::size_t d = 0; d < o.depth_.size(); ++d) {
+    depth_[d].steps += o.depth_[d].steps;
+    depth_[d].active_lane_sum += o.depth_[d].active_lane_sum;
+    depth_[d].truncated_lanes += o.depth_[d].truncated_lanes;
+  }
+  for (const auto& [node, agg] : o.nodes_) {
+    NodeAgg& mine = nodes_[node];
+    mine.warp_visits += agg.warp_visits;
+    mine.active_lane_sum += agg.active_lane_sum;
+    mine.truncated_lanes += agg.truncated_lanes;
+  }
+}
+
+void ProfileCollector::clear() {
+  depth_.clear();
+  nodes_.clear();
+}
+
+void ProfileSink::begin(int n_threads) {
+  if (n_threads < 1) n_threads = 1;
+  pool_.assign(static_cast<std::size_t>(n_threads), ProfileCollector{});
+}
+
+ProfileCollector& ProfileSink::collector(int thread_id) {
+  return pool_.at(static_cast<std::size_t>(thread_id));
+}
+
+ProfileCollector ProfileSink::merged() const {
+  ProfileCollector out;
+  for (const ProfileCollector& c : pool_) out.merge(c);
+  return out;
+}
+
+std::uint64_t ProfileReport::depth_steps() const {
+  std::uint64_t s = 0;
+  for (const ProfileDepthBin& b : depth) s += b.steps;
+  return s;
+}
+
+std::uint64_t ProfileReport::depth_active() const {
+  std::uint64_t s = 0;
+  for (const ProfileDepthBin& b : depth) s += b.active_lane_sum;
+  return s;
+}
+
+namespace {
+
+void rank_hot_nodes(std::vector<ProfileHotNode>& nodes, std::size_t top_k) {
+  std::sort(nodes.begin(), nodes.end(),
+            [](const ProfileHotNode& a, const ProfileHotNode& b) {
+              if (a.warp_visits != b.warp_visits)
+                return a.warp_visits > b.warp_visits;
+              return a.node < b.node;  // deterministic tie-break
+            });
+  if (nodes.size() > top_k) nodes.resize(top_k);
+}
+
+}  // namespace
+
+void ProfileReport::merge(const ProfileReport& o) {
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b) buckets[b] += o.buckets[b];
+  instr_cycles += o.instr_cycles;
+  memory_cycles += o.memory_cycles;
+  warp_steps += o.warp_steps;
+  active_lane_sum += o.active_lane_sum;
+  if (depth.size() < o.depth.size()) depth.resize(o.depth.size());
+  for (std::size_t d = 0; d < o.depth.size(); ++d) {
+    depth[d].steps += o.depth[d].steps;
+    depth[d].active_lane_sum += o.depth[d].active_lane_sum;
+    depth[d].truncated_lanes += o.depth[d].truncated_lanes;
+  }
+  std::map<std::uint32_t, ProfileHotNode> by_node;
+  for (const ProfileHotNode& n : hot_nodes) by_node[n.node] = n;
+  for (const ProfileHotNode& n : o.hot_nodes) {
+    ProfileHotNode& mine = by_node[n.node];
+    mine.node = n.node;
+    mine.warp_visits += n.warp_visits;
+    mine.active_lane_sum += n.active_lane_sum;
+    mine.truncated_lanes += n.truncated_lanes;
+  }
+  top_k = std::max(top_k, o.top_k);
+  hot_nodes.clear();
+  hot_nodes.reserve(by_node.size());
+  for (const auto& [node, agg] : by_node) hot_nodes.push_back(agg);
+  rank_hot_nodes(hot_nodes, top_k);
+}
+
+ProfileReport make_profile_report(const KernelStats& stats,
+                                  const DeviceConfig& cfg,
+                                  const ProfileCollector* collector,
+                                  std::size_t top_k) {
+  ProfileReport p;
+  p.buckets = stats.cycle_buckets;
+  p.instr_cycles = stats.instr_cycles;
+  // The bandwidth bottleneck of the dual cost model, expressed in device
+  // cycles (same formula as estimate_time: bytes over sustained bandwidth,
+  // scaled by the core clock).
+  const double bytes_per_ms = cfg.mem_bandwidth_gbps * 1e6;
+  const double cycles_per_ms = cfg.clock_ghz * 1e6;
+  p.memory_cycles =
+      static_cast<double>(stats.dram_bytes) / bytes_per_ms * cycles_per_ms;
+  p.warp_steps = stats.warp_steps;
+  p.active_lane_sum = stats.active_lane_sum;
+  p.top_k = top_k;
+  if (collector) {
+    p.depth = collector->depth_bins();
+    p.hot_nodes.reserve(collector->nodes().size());
+    for (const auto& [node, agg] : collector->nodes()) {
+      ProfileHotNode n;
+      n.node = node;
+      n.warp_visits = agg.warp_visits;
+      n.active_lane_sum = agg.active_lane_sum;
+      n.truncated_lanes = agg.truncated_lanes;
+      p.hot_nodes.push_back(n);
+    }
+    rank_hot_nodes(p.hot_nodes, top_k);
+  }
+  return p;
+}
+
+void write_profile_json(JsonWriter& w, const ProfileReport& p) {
+  w.begin_object();
+  w.member("instr_cycles", p.instr_cycles);
+  w.member("memory_cycles", p.memory_cycles);
+  w.member("warp_steps", p.warp_steps);
+  w.member("active_lane_sum", p.active_lane_sum);
+  w.member_object("buckets");
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b)
+    w.member(cycle_bucket_name(static_cast<CycleBucket>(b)), p.buckets[b]);
+  w.end_object();
+  w.member_array("depth_histogram");
+  for (std::size_t d = 0; d < p.depth.size(); ++d) {
+    const ProfileDepthBin& bin = p.depth[d];
+    w.begin_object();
+    w.member("depth", static_cast<std::uint64_t>(d));
+    w.member("steps", bin.steps);
+    w.member("active_lane_sum", bin.active_lane_sum);
+    w.member("truncated_lanes", bin.truncated_lanes);
+    w.member("mean_active", bin.mean_active());
+    w.end_object();
+  }
+  w.end_array();
+  w.member_array("hot_nodes");
+  for (const ProfileHotNode& n : p.hot_nodes) {
+    w.begin_object();
+    w.member("node", static_cast<std::uint64_t>(n.node));
+    w.member("warp_visits", n.warp_visits);
+    w.member("active_lane_sum", n.active_lane_sum);
+    w.member("truncated_lanes", n.truncated_lanes);
+    w.member("mean_active_lanes", n.mean_active_lanes());
+    w.member("truncation_rate", n.truncation_rate());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace tt::obs

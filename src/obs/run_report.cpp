@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/profile.h"
 #include "simt/cost_model.h"
 
 #ifndef TT_GIT_SHA
@@ -124,6 +125,15 @@ MetricsRegistry metrics_for_row(const BenchRow& row) {
       reg.set_gauge(prefix + "selection/sampling_cycles",
                     r.selection->sampling_cycles);
     }
+    if (r.profile) {
+      for (std::size_t b = 0; b < kNumCycleBuckets; ++b)
+        reg.set_gauge(prefix + "profile/" +
+                          cycle_bucket_name(static_cast<CycleBucket>(b)) +
+                          "_cycles",
+                      r.profile->buckets[b]);
+      reg.set_gauge(prefix + "profile/memory_cycles",
+                    r.profile->memory_cycles);
+    }
   }
   register_cpu_model(reg, row.cpu_model, "cpu/");
   register_transfer_model(reg, row.transfer, row.upload_bytes,
@@ -138,6 +148,15 @@ MetricsRegistry metrics_for_batch(const BatchResult& batch) {
     std::string prefix = "gpu/batch/" + k.kernel_name + "/";
     register_kernel_stats(reg, k.result.stats, prefix);
     register_time_breakdown(reg, k.result.time, prefix);
+    if (k.result.profile) {
+      for (std::size_t b = 0; b < kNumCycleBuckets; ++b)
+        reg.set_gauge(prefix + "profile/" +
+                          cycle_bucket_name(static_cast<CycleBucket>(b)) +
+                          "_cycles",
+                      k.result.profile->buckets[b]);
+      reg.set_gauge(prefix + "profile/memory_cycles",
+                    k.result.profile->memory_cycles);
+    }
   }
   reg.add_counter("gpu/batch/kernels",
                   static_cast<std::uint64_t>(batch.kernels.size()));
@@ -198,6 +217,10 @@ void RunReport::write(std::ostream& os) const {
       if (r.selection) {
         w.key("selection");
         write_selection(w, *r.selection);
+      }
+      if (r.profile) {
+        w.key("profile");
+        write_profile_json(w, *r.profile);
       }
       if (include_volatile_) w.member("sim_wall_ms", r.sim_wall_ms);
       w.end_object();
@@ -264,6 +287,10 @@ void RunReport::write(std::ostream& os) const {
       if (k.result.selection) {
         w.key("selection");
         write_selection(w, *k.result.selection);
+      }
+      if (k.result.profile) {
+        w.key("profile");
+        write_profile_json(w, *k.result.profile);
       }
       w.member("upload_bytes", k.upload_bytes);
       w.member("download_bytes", k.download_bytes);

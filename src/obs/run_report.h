@@ -30,7 +30,13 @@ namespace tt::obs {
 // run: per-kernel rows + amortized-vs-summed transfer accounting) and the
 // "launches" member of each row's transfer object. Older fixtures stay
 // comparable: --golden prunes both additions.
-inline constexpr const char* kRunReportSchema = "treetrav.run_report/v3";
+// v4: adds the optional "profile" block to variant and batch-kernel
+// objects (the obs/profile.h cycle-attribution report: per-layer bucket
+// split, memory cycles, per-depth divergence histogram, hot-node table)
+// and the gpu/<variant>/profile/* gauges. Emitted only when the run
+// carried a ProfileSink (--profile), so default reports are unchanged;
+// --golden prunes the additions.
+inline constexpr const char* kRunReportSchema = "treetrav.run_report/v4";
 
 // Build the per-row registry: all five variants' KernelStats and
 // TimeBreakdowns under "gpu/<variant>/", the CPU scaling model under

@@ -21,6 +21,20 @@ const char* trace_event_name(TraceEventKind k) {
   return "?";
 }
 
+TraceEventKind trace_event_kind_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kNumTraceEventKinds; ++i) {
+    const auto k = static_cast<TraceEventKind>(i);
+    if (name == trace_event_name(k)) return k;
+  }
+  std::string valid;
+  for (std::size_t i = 0; i < kNumTraceEventKinds; ++i) {
+    if (!valid.empty()) valid += ", ";
+    valid += trace_event_name(static_cast<TraceEventKind>(i));
+  }
+  throw std::invalid_argument("trace_event_kind_from_name: unknown event '" +
+                              name + "' (valid: " + valid + ")");
+}
+
 WarpTracer::WarpTracer(std::size_t capacity)
     : ring_(capacity == 0 ? 1 : capacity) {}
 

@@ -45,7 +45,16 @@ enum class TraceEventKind : std::uint8_t {
                   // Solo runs never emit it, so solo traces are unchanged.
 };
 
+// Number of TraceEventKind values. A new kind must extend trace_event_name
+// and trace_event_kind_from_name too -- the exhaustiveness test in
+// tests/obs/trace_test.cpp walks [0, kNumTraceEventKinds) and fails on an
+// unnamed or non-round-tripping value.
+inline constexpr std::size_t kNumTraceEventKinds = 9;
+
 const char* trace_event_name(TraceEventKind k);
+// Inverse of trace_event_name; throws std::invalid_argument on an unknown
+// name (the error lists the valid ones).
+TraceEventKind trace_event_kind_from_name(const std::string& name);
 
 struct TraceEvent {
   std::uint32_t warp = 0;

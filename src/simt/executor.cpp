@@ -48,7 +48,7 @@ std::uint64_t WarpMemory::commit() {
                                          cfg_->transaction_bytes));
         if (hit) {
           ++stats_->l2_hit_transactions;
-          stats_->instr_cycles += cfg_->c_l2hit;
+          stats_->note_mem_stall(cfg_->c_l2hit);
         } else {
           ++stats_->dram_transactions;
           ++dram;

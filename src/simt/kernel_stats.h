@@ -3,9 +3,40 @@
 // penalty) reduce to these counts; the cost model turns them into time.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace tt {
+
+// Cycle-attribution buckets: every cycle charged to instr_cycles is tagged
+// with the executor layer that spent it, so the profiler (obs/profile.h)
+// can split a run's compute time per StackPolicy / ConvergencePolicy
+// without re-instrumenting the executors. The taxonomy follows the charge
+// sites, not the variants -- each variant simply lights up a different
+// subset (DESIGN.md section 7).
+enum class CycleBucket : std::uint8_t {
+  kVisit = 0,     // node-visit work (c_visit, all convergence policies)
+  kStep = 1,      // traversal-step control (c_step per warp step)
+  kVote = 2,      // warp ballots / majority votes (c_vote)
+  kCall = 3,      // call/return spills of the recursive variants (c_call)
+  kStack = 4,     // rope-stack maintenance (c_smem per push / shared-mem op)
+  kMemStall = 5,  // L2-serviced transaction issue stalls (c_l2hit)
+  kSelect = 6,    // auto_select sampling charged at dispatch (section 4.4)
+};
+inline constexpr std::size_t kNumCycleBuckets = 7;
+
+constexpr const char* cycle_bucket_name(CycleBucket b) {
+  switch (b) {
+    case CycleBucket::kVisit: return "visit";
+    case CycleBucket::kStep: return "step";
+    case CycleBucket::kVote: return "vote";
+    case CycleBucket::kCall: return "call";
+    case CycleBucket::kStack: return "stack";
+    case CycleBucket::kMemStall: return "mem_stall";
+    case CycleBucket::kSelect: return "select";
+  }
+  return "?";
+}
 
 struct KernelStats {
   // Memory system.
@@ -27,17 +58,30 @@ struct KernelStats {
 
   std::uint64_t peak_stack_entries = 0;  // deepest rope stack seen
 
+  // Per-bucket split of instr_cycles. Invariant (exact, not approximate):
+  // the bucket sum equals instr_cycles, because charge() is the only way
+  // cycles enter either side and every per-event cost constant is an
+  // integer-valued double -- integer sums are exact in binary floating
+  // point regardless of accumulation order. Pinned by
+  // tests/core/variant_fuzz_test.cpp and tools/json_validate.
+  std::array<double, kNumCycleBuckets> cycle_buckets{};
+
   // -------------------------------------------------------------------
   // Policy-facing accounting API. The warp engine and its stack /
   // convergence policies (core/warp_engine.h, core/stack_policy.h,
   // core/convergence_policy.h) charge events through these named
   // operations instead of poking fields, so every variant's bookkeeping
   // reads as the machine event it models. Raw fields stay public for
-  // merging and export.
+  // merging and export. Every operation that spends cycles routes through
+  // charge(), which tags the spend with its attribution bucket.
   // -------------------------------------------------------------------
+  void charge(CycleBucket b, double cycles) {
+    instr_cycles += cycles;
+    cycle_buckets[static_cast<std::size_t>(b)] += cycles;
+  }
   void note_warp_step(double step_cycles) {
     ++warp_steps;
-    instr_cycles += step_cycles;
+    charge(CycleBucket::kStep, step_cycles);
   }
   void note_active_lanes(int active) {
     active_lane_sum += static_cast<std::uint64_t>(active);
@@ -46,15 +90,35 @@ struct KernelStats {
   void note_warp_pop() { ++warp_pops; }
   void note_vote(double vote_cycles) {
     ++votes;
-    instr_cycles += vote_cycles;
+    charge(CycleBucket::kVote, vote_cycles);
   }
   void note_call(double call_cycles) {
     ++calls;
-    instr_cycles += call_cycles;
+    charge(CycleBucket::kCall, call_cycles);
   }
-  void note_cycles(double cycles) { instr_cycles += cycles; }
+  // Named cycle charges for the sites that used to pass untagged cycles:
+  // visit work (union_visit_and_vote and the per-step visit phases),
+  // rope-stack maintenance (StackPolicy pushes / shared-memory ops),
+  // divergent-call-path work (rec_nolockstep's per-step c_call), memory
+  // stalls (L2-hit transaction issue) and the auto_select sampling charge.
+  void note_visit_cycles(double cycles) { charge(CycleBucket::kVisit, cycles); }
+  void note_stack_cycles(double cycles) { charge(CycleBucket::kStack, cycles); }
+  void note_call_cycles(double cycles) { charge(CycleBucket::kCall, cycles); }
+  void note_mem_stall(double cycles) { charge(CycleBucket::kMemStall, cycles); }
+  void note_sampling_cycles(double cycles) {
+    charge(CycleBucket::kSelect, cycles);
+  }
   void note_stack_depth(std::uint64_t entries) {
     if (entries > peak_stack_entries) peak_stack_entries = entries;
+  }
+
+  [[nodiscard]] double bucket_cycles(CycleBucket b) const {
+    return cycle_buckets[static_cast<std::size_t>(b)];
+  }
+  [[nodiscard]] double bucket_sum() const {
+    double s = 0;
+    for (double v : cycle_buckets) s += v;
+    return s;
   }
 
   void merge(const KernelStats& o) {
@@ -71,6 +135,8 @@ struct KernelStats {
     active_lane_sum += o.active_lane_sum;
     if (o.peak_stack_entries > peak_stack_entries)
       peak_stack_entries = o.peak_stack_entries;
+    for (std::size_t b = 0; b < kNumCycleBuckets; ++b)
+      cycle_buckets[b] += o.cycle_buckets[b];
   }
 };
 

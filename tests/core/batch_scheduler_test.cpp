@@ -245,7 +245,8 @@ TEST(KernelHandle, PrepareRejectsUnresolvedAutoSelect) {
   auto handle = make_kernel_handle(*f.pc);
   EXPECT_EQ(std::string(handle->name()), "point_correlation");
   EXPECT_THROW(handle->prepare(f.pc_space, cfg,
-                               GpuMode::from(Variant::kAutoSelect), nullptr, 0),
+                               GpuMode::from(Variant::kAutoSelect), nullptr,
+                               nullptr, 0),
                std::invalid_argument);
 }
 

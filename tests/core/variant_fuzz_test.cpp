@@ -6,7 +6,11 @@
 // the charged sampling cycles).
 // Alongside equality, checks the work-expansion invariant behind Table 2:
 // a lockstep warp's union traversal pops at least as many nodes as the
-// longest individual traversal among its member lanes.
+// longest individual traversal among its member lanes -- and the
+// cycle-attribution invariant behind the obs profiler: for every variant,
+// the per-bucket split sums to instr_cycles EXACTLY (every charge is an
+// integer-valued double), and the profiler's depth histogram reconciles
+// with warp_steps / active_lane_sum.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,10 +21,31 @@
 #include "bench_algos/pc/point_correlation.h"
 #include "core/gpu_executors.h"
 #include "data/generators.h"
+#include "obs/profile.h"
 #include "spatial/kdtree.h"
 
 namespace tt {
 namespace {
+
+// The attribution invariant, exact for every variant: the CycleBucket
+// split reconstructs instr_cycles with ==, and the profiler's per-depth
+// histogram accounts for every warp step and active lane.
+template <class K>
+void check_attribution(const GpuRun<K>& g) {
+  ASSERT_TRUE(g.profile.has_value());
+  const obs::ProfileReport& p = *g.profile;
+  EXPECT_EQ(p.bucket_sum(), g.stats.instr_cycles);
+  EXPECT_EQ(p.instr_cycles, g.stats.instr_cycles);
+  EXPECT_EQ(p.warp_steps, g.stats.warp_steps);
+  EXPECT_EQ(p.active_lane_sum, g.stats.active_lane_sum);
+  EXPECT_EQ(p.depth_steps(), g.stats.warp_steps);
+  EXPECT_EQ(p.depth_active(), g.stats.active_lane_sum);
+  EXPECT_TRUE(p.reconciles());
+  // The raw stats honor the same invariant even without a sink attached.
+  double raw = 0;
+  for (double b : g.stats.cycle_buckets) raw += b;
+  EXPECT_EQ(raw, g.stats.instr_cycles);
+}
 
 // Deterministic parameter fuzzer (xorshift64) -- varies input size, shape,
 // dimensionality and tree granularity across rounds.
@@ -38,14 +63,19 @@ std::uint64_t next(std::uint64_t& s) {
 template <TraversalKernel K>
 void check_all_variants(const K& k, GpuAddressSpace& space) {
   DeviceConfig cfg;
-  auto base = run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoNolockstep));
+  obs::ProfileSink psink;
+  auto base = run_gpu_sim(k, space, cfg,
+                          GpuMode::from(Variant::kAutoNolockstep), nullptr,
+                          &psink);
   ASSERT_EQ(base.results.size(), k.num_points());
   ASSERT_EQ(base.per_point_visits.size(), k.num_points());
+  check_attribution(base);
 
   for (Variant v : {Variant::kAutoLockstep, Variant::kRecLockstep,
                     Variant::kRecNolockstep}) {
     SCOPED_TRACE(variant_name(v));
-    auto g = run_gpu_sim(k, space, cfg, GpuMode::from(v));
+    auto g = run_gpu_sim(k, space, cfg, GpuMode::from(v), nullptr, &psink);
+    check_attribution(g);
     ASSERT_EQ(g.results.size(), base.results.size());
     EXPECT_EQ(0, std::memcmp(g.results.data(), base.results.data(),
                              sizeof(typename K::Result) * base.results.size()));
@@ -78,8 +108,13 @@ void check_all_variants(const K& k, GpuAddressSpace& space) {
   {
     SCOPED_TRACE("auto_select");
     GpuMode mode = GpuMode::from(Variant::kAutoSelect);
-    auto g = run_gpu_sim(k, space, cfg, mode);
+    auto g = run_gpu_sim(k, space, cfg, mode, nullptr, &psink);
+    check_attribution(g);
     ASSERT_TRUE(g.selection.has_value());
+    // The sampling charge lands in -- and only in -- the select bucket.
+    EXPECT_EQ(g.profile->buckets[static_cast<std::size_t>(
+                  CycleBucket::kSelect)],
+              g.selection->sampling_cycles);
     const Variant chosen = g.selection->chosen;
     ASSERT_TRUE(chosen == Variant::kAutoLockstep ||
                 chosen == Variant::kAutoNolockstep);

@@ -1,0 +1,205 @@
+// ChromeTraceCollector tests: the exported JSON is well-formed and loads
+// as the Chrome trace-event object format, every trace event survives the
+// export (metadata records excluded from the count), launches map to
+// process tracks with per-warp thread rows, launch-scope events land on
+// the dedicated "launch" row, and repeated runs serialize byte-identically.
+#include "obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <sstream>
+
+#include "core/gpu_executors.h"
+#include "core/traversal_kernel.h"
+#include "obs/json.h"
+#include "spatial/linear_tree.h"
+
+namespace tt {
+namespace {
+
+using obs::ChromeTraceCollector;
+using obs::JsonValue;
+using obs::TraceSink;
+
+// root(0) -> {left(1), right(2)}, both leaves.
+LinearTree tiny_tree() {
+  LinearTree t;
+  t.fanout = 2;
+  NodeId root = t.add_node(kNullNode, 0);
+  NodeId l = t.add_node(root, 1);
+  t.set_child(root, 0, l);
+  NodeId r = t.add_node(root, 1);
+  t.set_child(root, 1, r);
+  t.validate();
+  return t;
+}
+
+// Minimal kernel (same shape as the trace tests): odd point ids truncate
+// at the root, even ids descend the whole tiny tree.
+class MicroKernel {
+ public:
+  struct State {
+    std::uint32_t pid = 0;
+    std::uint32_t descents = 0;
+  };
+  using Result = std::uint32_t;
+  using UArg = Empty;
+  using LArg = Empty;
+  static constexpr int kFanout = 2;
+  static constexpr int kNumCallSets = 1;
+  static constexpr bool kCallSetsEquivalent = true;
+
+  MicroKernel(const LinearTree& tree, std::size_t n_points,
+              GpuAddressSpace& space)
+      : tree_(&tree), n_(n_points) {
+    nodes0_ = space.register_buffer("micro_nodes0", 4,
+                                    static_cast<std::uint64_t>(tree.n_nodes));
+    nodes1_ = space.register_buffer("micro_nodes1", 8,
+                                    static_cast<std::uint64_t>(tree.n_nodes));
+    queries_ = space.register_buffer("micro_queries", 4, n_points);
+  }
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] std::size_t num_points() const { return n_; }
+  [[nodiscard]] UArg root_uarg() const { return {}; }
+  [[nodiscard]] LArg root_larg() const { return {}; }
+  [[nodiscard]] int stack_bound() const { return 8; }
+
+  template <class Mem>
+  State init(std::uint32_t pid, Mem& mem, int lane) const {
+    mem.lane_load(lane, queries_, pid);
+    return State{pid, 0};
+  }
+
+  template <class Mem>
+  bool visit(NodeId n, const UArg&, const LArg&, State& st, Mem& mem,
+             int lane) const {
+    mem.lane_load(lane, nodes0_, static_cast<std::uint64_t>(n));
+    if (st.pid & 1u) return false;
+    if (tree_->is_leaf(n)) return false;
+    ++st.descents;
+    return true;
+  }
+
+  [[nodiscard]] int choose_callset(NodeId, const State&) const { return 0; }
+
+  template <class Mem>
+  int children(NodeId n, const UArg&, int, const State&,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    mem.lane_load(lane, nodes1_, static_cast<std::uint64_t>(n));
+    int cnt = 0;
+    for (int k = 0; k < 2; ++k)
+      if (tree_->child(n, k) != kNullNode) out[cnt++].node = tree_->child(n, k);
+    return cnt;
+  }
+
+  [[nodiscard]] Result finish(const State& st) const { return st.descents; }
+
+ private:
+  const LinearTree* tree_;
+  std::size_t n_;
+  BufferId nodes0_, nodes1_, queries_;
+};
+
+// Runs one launch per requested variant, each on its own track.
+std::string collect(const std::vector<Variant>& variants,
+                    ChromeTraceCollector& chrome) {
+  LinearTree tree = tiny_tree();
+  GpuAddressSpace space;
+  MicroKernel k(tree, 64, space);
+  DeviceConfig cfg;
+  for (Variant v : variants) {
+    TraceSink& sink = chrome.begin_launch(std::string(variant_name(v)));
+    run_gpu_sim(k, space, cfg, GpuMode::from(v), &sink);
+  }
+  std::ostringstream os;
+  chrome.write_json(os);
+  return os.str();
+}
+
+TEST(ChromeTrace, ExportsEveryEventWithPerLaunchTracks) {
+  ChromeTraceCollector chrome;
+  const std::string json =
+      collect({Variant::kAutoLockstep, Variant::kAutoSelect}, chrome);
+  ASSERT_EQ(chrome.n_launches(), 2u);
+
+  auto j = obs::json_parse(json);
+  ASSERT_TRUE(j->is_object());
+  const JsonValue* events = j->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::size_t duration_events = 0;
+  std::vector<std::string> process_names;
+  bool saw_launch_row = false;
+  bool saw_select = false;
+  for (const auto& e : events->arr_v) {
+    const std::string& ph = e->find("ph")->as_string();
+    if (ph == "M") {
+      if (e->find("name")->as_string() == "process_name")
+        process_names.push_back(e->find("args")->find("name")->as_string());
+      if (e->find("name")->as_string() == "thread_name" &&
+          e->find("args")->find("name")->as_string() == "launch")
+        saw_launch_row = true;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++duration_events;
+    // Every duration event carries the fields Perfetto renders on.
+    EXPECT_NE(e->find("name"), nullptr);
+    EXPECT_NE(e->find("pid"), nullptr);
+    EXPECT_NE(e->find("tid"), nullptr);
+    EXPECT_NE(e->find("ts"), nullptr);
+    EXPECT_NE(e->find("dur"), nullptr);
+    const JsonValue* args = e->find("args");
+    ASSERT_NE(args, nullptr);
+    const std::uint64_t mask = args->find("mask")->as_uint();
+    EXPECT_EQ(args->find("active")->as_uint(),
+              static_cast<std::uint64_t>(
+                  std::popcount(static_cast<std::uint32_t>(mask))));
+    if (e->find("name")->as_string() == "select") saw_select = true;
+  }
+
+  // Metadata excluded, the count matches the collector's; the auto_select
+  // launch decision lands on the dedicated "launch" thread row.
+  EXPECT_EQ(duration_events, chrome.total_events());
+  EXPECT_TRUE(saw_select);
+  EXPECT_TRUE(saw_launch_row);
+  ASSERT_EQ(process_names.size(), 2u);
+  EXPECT_EQ(process_names[0], "auto_lockstep");
+  EXPECT_EQ(process_names[1], "auto_select");
+  EXPECT_EQ(chrome.launch_name(0), "auto_lockstep");
+  EXPECT_EQ(chrome.launch_name(1), "auto_select");
+}
+
+TEST(ChromeTrace, RepeatedRunsAreByteIdentical) {
+  ChromeTraceCollector a, b;
+  const std::string ja =
+      collect({Variant::kAutoLockstep, Variant::kRecNolockstep}, a);
+  const std::string jb =
+      collect({Variant::kAutoLockstep, Variant::kRecNolockstep}, b);
+  EXPECT_EQ(ja, jb);
+}
+
+TEST(ChromeTrace, EmptyCollectorIsStillValidJson) {
+  ChromeTraceCollector chrome;
+  std::ostringstream os;
+  chrome.write_json(os);
+  auto j = obs::json_parse(os.str());
+  ASSERT_TRUE(j->is_object());
+  const JsonValue* events = j->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->arr_v.empty());
+  EXPECT_EQ(chrome.total_events(), 0u);
+}
+
+TEST(ChromeTrace, WriteFileReportsIoFailure) {
+  ChromeTraceCollector chrome;
+  std::string err;
+  EXPECT_FALSE(chrome.write_file("/nonexistent-dir/trace.json", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace tt

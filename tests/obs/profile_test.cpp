@@ -1,0 +1,377 @@
+// Cycle-attribution profiler tests: collector aggregation, commutative
+// merge (the OMP-scheduling-independence contract), exact reconciliation
+// of make_profile_report against KernelStats for every variant on a
+// two-warp micro kernel, hot-node semantics, timestep accumulation, and
+// the "profiling is unobservable" guarantee.
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <sstream>
+
+#include "core/gpu_executors.h"
+#include "core/traversal_kernel.h"
+#include "obs/json.h"
+#include "spatial/linear_tree.h"
+
+namespace tt {
+namespace {
+
+using obs::ProfileCollector;
+using obs::ProfileReport;
+using obs::ProfileSink;
+using obs::TraceEventKind;
+
+// root(0) -> {left(1), right(2)}, both leaves.
+LinearTree tiny_tree() {
+  LinearTree t;
+  t.fanout = 2;
+  NodeId root = t.add_node(kNullNode, 0);
+  NodeId l = t.add_node(root, 1);
+  t.set_child(root, 0, l);
+  NodeId r = t.add_node(root, 1);
+  t.set_child(root, 1, r);
+  t.validate();
+  return t;
+}
+
+// Same shape as the trace tests' micro kernel: visits the whole tiny tree
+// for even point ids; odd ids truncate at the root.
+class MicroKernel {
+ public:
+  struct State {
+    std::uint32_t pid = 0;
+    std::uint32_t descents = 0;
+  };
+  using Result = std::uint32_t;
+  using UArg = Empty;
+  using LArg = Empty;
+  static constexpr int kFanout = 2;
+  static constexpr int kNumCallSets = 1;
+  static constexpr bool kCallSetsEquivalent = true;
+
+  MicroKernel(const LinearTree& tree, std::size_t n_points, bool odd_truncates,
+              GpuAddressSpace& space)
+      : tree_(&tree), n_(n_points), odd_truncates_(odd_truncates) {
+    nodes0_ = space.register_buffer("micro_nodes0", 4,
+                                    static_cast<std::uint64_t>(tree.n_nodes));
+    nodes1_ = space.register_buffer("micro_nodes1", 8,
+                                    static_cast<std::uint64_t>(tree.n_nodes));
+    queries_ = space.register_buffer("micro_queries", 4, n_points);
+  }
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] std::size_t num_points() const { return n_; }
+  [[nodiscard]] UArg root_uarg() const { return {}; }
+  [[nodiscard]] LArg root_larg() const { return {}; }
+  [[nodiscard]] int stack_bound() const { return 8; }
+
+  template <class Mem>
+  State init(std::uint32_t pid, Mem& mem, int lane) const {
+    mem.lane_load(lane, queries_, pid);
+    return State{pid, 0};
+  }
+
+  template <class Mem>
+  bool visit(NodeId n, const UArg&, const LArg&, State& st, Mem& mem,
+             int lane) const {
+    mem.lane_load(lane, nodes0_, static_cast<std::uint64_t>(n));
+    if (odd_truncates_ && (st.pid & 1u)) return false;
+    if (tree_->is_leaf(n)) return false;
+    ++st.descents;
+    return true;
+  }
+
+  [[nodiscard]] int choose_callset(NodeId, const State&) const { return 0; }
+
+  template <class Mem>
+  int children(NodeId n, const UArg&, int, const State&,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    mem.lane_load(lane, nodes1_, static_cast<std::uint64_t>(n));
+    int cnt = 0;
+    for (int k = 0; k < 2; ++k)
+      if (tree_->child(n, k) != kNullNode) out[cnt++].node = tree_->child(n, k);
+    return cnt;
+  }
+
+  [[nodiscard]] Result finish(const State& st) const { return st.descents; }
+
+ private:
+  const LinearTree* tree_;
+  std::size_t n_;
+  bool odd_truncates_;
+  BufferId nodes0_, nodes1_, queries_;
+};
+
+std::string report_json(const ProfileReport& p) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  obs::write_profile_json(w, p);
+  return os.str();
+}
+
+TEST(ProfileCollector, AggregatesStepsAndEvents) {
+  ProfileCollector c;
+  c.on_step(0, 4);
+  c.on_step(0, 2);
+  c.on_step(3, 1);
+  ASSERT_EQ(c.depth_bins().size(), 4u);
+  EXPECT_EQ(c.depth_bins()[0].steps, 2u);
+  EXPECT_EQ(c.depth_bins()[0].active_lane_sum, 6u);
+  EXPECT_EQ(c.depth_bins()[1].steps, 0u);
+  EXPECT_EQ(c.depth_bins()[3].steps, 1u);
+  EXPECT_EQ(c.depth_bins()[3].active_lane_sum, 1u);
+
+  // kVisit with a warp-uniform node feeds the hot-node table; kTruncate
+  // charges both the node and the depth bin; other kinds are ignored, and
+  // anonymous (node == 0xffffffff) visits keep the table unchanged.
+  c.on_event(TraceEventKind::kVisit, 7, 0xfu, 0, 0);
+  c.on_event(TraceEventKind::kVisit, 7, 0x3u, 1, 0);
+  c.on_event(TraceEventKind::kTruncate, 7, 0x1u, 0, 0);
+  c.on_event(TraceEventKind::kVisit, 0xffffffffu, 0xfu, 0, 0);
+  c.on_event(TraceEventKind::kPop, 9, 0xfu, 0, 0);
+  c.on_event(TraceEventKind::kVote, 9, 0xfu, 0, 1);
+  ASSERT_EQ(c.nodes().size(), 1u);
+  const auto& agg = c.nodes().at(7);
+  EXPECT_EQ(agg.warp_visits, 2u);
+  EXPECT_EQ(agg.active_lane_sum, 6u);
+  EXPECT_EQ(agg.truncated_lanes, 1u);
+  EXPECT_EQ(c.depth_bins()[0].truncated_lanes, 1u);
+
+  c.clear();
+  EXPECT_TRUE(c.depth_bins().empty());
+  EXPECT_TRUE(c.nodes().empty());
+}
+
+TEST(ProfileCollector, MergeIsCommutative) {
+  // The determinism story under OpenMP: merged() folds per-thread
+  // collectors with integer sums, so fold order must not matter.
+  ProfileCollector a, b;
+  a.on_step(0, 4);
+  a.on_step(2, 3);
+  a.on_event(TraceEventKind::kVisit, 1, 0xfu, 0, 0);
+  a.on_event(TraceEventKind::kTruncate, 2, 0x3u, 1, 0);
+  b.on_step(0, 1);
+  b.on_step(5, 2);
+  b.on_event(TraceEventKind::kVisit, 2, 0x7u, 1, 0);
+  b.on_event(TraceEventKind::kVisit, 9, 0x1u, 3, 0);
+
+  ProfileCollector ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  ASSERT_EQ(ab.depth_bins().size(), ba.depth_bins().size());
+  for (std::size_t d = 0; d < ab.depth_bins().size(); ++d) {
+    EXPECT_EQ(ab.depth_bins()[d].steps, ba.depth_bins()[d].steps) << d;
+    EXPECT_EQ(ab.depth_bins()[d].active_lane_sum,
+              ba.depth_bins()[d].active_lane_sum)
+        << d;
+    EXPECT_EQ(ab.depth_bins()[d].truncated_lanes,
+              ba.depth_bins()[d].truncated_lanes)
+        << d;
+  }
+  ASSERT_EQ(ab.nodes().size(), ba.nodes().size());
+  for (const auto& [node, agg] : ab.nodes()) {
+    const auto& other = ba.nodes().at(node);
+    EXPECT_EQ(agg.warp_visits, other.warp_visits) << node;
+    EXPECT_EQ(agg.active_lane_sum, other.active_lane_sum) << node;
+    EXPECT_EQ(agg.truncated_lanes, other.truncated_lanes) << node;
+  }
+}
+
+TEST(ProfileSink, MergedIsIndependentOfThreadAssignment) {
+  // The same events spread across one vs four per-thread collectors must
+  // fold to the same merged collector -- the OMP-scheduling contract.
+  auto feed = [](ProfileCollector& c, int i) {
+    c.on_step(static_cast<std::uint32_t>(i % 3), 1 + i % 4);
+    c.on_event(TraceEventKind::kVisit, static_cast<std::uint32_t>(i % 5),
+               0xfu, static_cast<std::uint32_t>(i % 3), 0);
+  };
+  ProfileSink one, four;
+  one.begin(1);
+  four.begin(4);
+  for (int i = 0; i < 64; ++i) {
+    feed(one.collector(0), i);
+    feed(four.collector(i % 4), i);
+  }
+  const ProfileCollector m1 = one.merged();
+  const ProfileCollector m4 = four.merged();
+  ASSERT_EQ(m1.depth_bins().size(), m4.depth_bins().size());
+  for (std::size_t d = 0; d < m1.depth_bins().size(); ++d) {
+    EXPECT_EQ(m1.depth_bins()[d].steps, m4.depth_bins()[d].steps) << d;
+    EXPECT_EQ(m1.depth_bins()[d].active_lane_sum,
+              m4.depth_bins()[d].active_lane_sum)
+        << d;
+  }
+  ASSERT_EQ(m1.nodes().size(), m4.nodes().size());
+  for (const auto& [node, agg] : m1.nodes())
+    EXPECT_EQ(agg.warp_visits, m4.nodes().at(node).warp_visits) << node;
+}
+
+class ProfileVsCounters : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(ProfileVsCounters, ReportReconcilesExactly) {
+  Variant v = GetParam();
+  LinearTree tree = tiny_tree();
+  GpuAddressSpace space;
+  // 64 points = 2 warps; odd lanes truncate at the root so masks diverge.
+  MicroKernel k(tree, 64, /*odd_truncates=*/true, space);
+  DeviceConfig cfg;
+  ProfileSink sink;
+  auto g = run_gpu_sim(k, space, cfg, GpuMode::from(v), nullptr, &sink);
+
+  ASSERT_TRUE(g.profile.has_value()) << variant_name(v);
+  const ProfileReport& p = *g.profile;
+  EXPECT_TRUE(p.reconciles()) << variant_name(v);
+  EXPECT_EQ(p.bucket_sum(), g.stats.instr_cycles) << variant_name(v);
+  EXPECT_EQ(p.warp_steps, g.stats.warp_steps) << variant_name(v);
+  EXPECT_EQ(p.active_lane_sum, g.stats.active_lane_sum) << variant_name(v);
+  EXPECT_EQ(p.depth_steps(), g.stats.warp_steps) << variant_name(v);
+  EXPECT_EQ(p.depth_active(), g.stats.active_lane_sum) << variant_name(v);
+  EXPECT_GT(p.warp_steps, 0u);
+  // Every variant executes visits, so the visit bucket is charged; the
+  // memory axis is populated from the launch's DRAM traffic.
+  EXPECT_GT(p.buckets[static_cast<std::size_t>(CycleBucket::kVisit)], 0.0);
+  EXPECT_GT(p.memory_cycles, 0.0);
+
+  // The JSON block is well-formed and internally consistent.
+  auto j = obs::json_parse(report_json(p));
+  ASSERT_TRUE(j->is_object());
+  double jsum = 0;
+  const obs::JsonValue* jb = j->find("buckets");
+  ASSERT_NE(jb, nullptr);
+  for (const auto& [name, val] : jb->obj_v) jsum += val->as_number();
+  EXPECT_EQ(jsum, j->find("instr_cycles")->as_number()) << variant_name(v);
+  std::uint64_t jsteps = 0;
+  for (const auto& bin : j->find("depth_histogram")->arr_v)
+    jsteps += bin->find("steps")->as_uint();
+  EXPECT_EQ(jsteps, j->find("warp_steps")->as_uint()) << variant_name(v);
+}
+
+TEST_P(ProfileVsCounters, ProfilingIsUnobservable) {
+  // Attaching a sink must not perturb the simulation or the model: stats
+  // (including the bucket split) and results are identical either way.
+  Variant v = GetParam();
+  LinearTree tree = tiny_tree();
+  GpuAddressSpace space;
+  MicroKernel k(tree, 64, true, space);
+  DeviceConfig cfg;
+  ProfileSink sink;
+  auto with = run_gpu_sim(k, space, cfg, GpuMode::from(v), nullptr, &sink);
+  auto without = run_gpu_sim(k, space, cfg, GpuMode::from(v));
+  EXPECT_FALSE(without.profile.has_value());
+  EXPECT_DOUBLE_EQ(with.stats.instr_cycles, without.stats.instr_cycles);
+  for (std::size_t b = 0; b < kNumCycleBuckets; ++b)
+    EXPECT_DOUBLE_EQ(with.stats.cycle_buckets[b],
+                     without.stats.cycle_buckets[b])
+        << cycle_bucket_name(static_cast<CycleBucket>(b));
+  EXPECT_EQ(with.stats.warp_steps, without.stats.warp_steps);
+  EXPECT_EQ(with.stats.dram_transactions, without.stats.dram_transactions);
+  EXPECT_EQ(with.results, without.results);
+}
+
+TEST_P(ProfileVsCounters, DeterministicAcrossThreadCounts) {
+  // Byte-identical profile JSON under OMP_NUM_THREADS=1 vs max -- the
+  // merged() determinism contract, end to end through run_gpu_sim.
+  Variant v = GetParam();
+  const int saved = omp_get_max_threads();
+  std::string json[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    omp_set_num_threads(pass == 0 ? 1 : saved);
+    LinearTree tree = tiny_tree();
+    GpuAddressSpace space;
+    MicroKernel k(tree, 64, true, space);
+    DeviceConfig cfg;
+    ProfileSink sink;
+    auto g = run_gpu_sim(k, space, cfg, GpuMode::from(v), nullptr, &sink);
+    ASSERT_TRUE(g.profile.has_value());
+    json[pass] = report_json(*g.profile);
+  }
+  omp_set_num_threads(saved);
+  EXPECT_EQ(json[0], json[1]) << variant_name(v);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, ProfileVsCounters,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const ::testing::TestParamInfo<Variant>& info) {
+                           return std::string(variant_name(info.param));
+                         });
+
+TEST(ProfileReport, HotNodesRankedAndLockstepRootIsHottest) {
+  LinearTree tree = tiny_tree();
+  GpuAddressSpace space;
+  MicroKernel k(tree, 64, true, space);
+  DeviceConfig cfg;
+  ProfileSink sink;
+  auto g = run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoLockstep),
+                       nullptr, &sink);
+  ASSERT_TRUE(g.profile.has_value());
+  const auto& hot = g.profile->hot_nodes;
+  ASSERT_FALSE(hot.empty());
+  // Ranked by warp visits desc, node id asc on ties.
+  for (std::size_t i = 1; i < hot.size(); ++i) {
+    const bool ordered =
+        hot[i - 1].warp_visits > hot[i].warp_visits ||
+        (hot[i - 1].warp_visits == hot[i].warp_visits &&
+         hot[i - 1].node < hot[i].node);
+    EXPECT_TRUE(ordered) << "row " << i;
+  }
+  // Both warps visit the root exactly once; odd lanes truncate there.
+  EXPECT_EQ(hot[0].node, 0u);
+  EXPECT_EQ(hot[0].warp_visits, 2u);
+  EXPECT_GT(hot[0].truncated_lanes, 0u);
+  EXPECT_GT(hot[0].truncation_rate(), 0.0);
+}
+
+TEST(ProfileReport, PerLaneNolockstepTableIsEmptyByDesign) {
+  // auto_nolockstep visits distinct nodes per lane, so its kVisit events
+  // are anonymous and the hot-node table stays empty -- while the depth
+  // histogram still reconciles (covered by ProfileVsCounters).
+  LinearTree tree = tiny_tree();
+  GpuAddressSpace space;
+  MicroKernel k(tree, 64, true, space);
+  DeviceConfig cfg;
+  ProfileSink sink;
+  auto g = run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoNolockstep),
+                       nullptr, &sink);
+  ASSERT_TRUE(g.profile.has_value());
+  EXPECT_TRUE(g.profile->hot_nodes.empty());
+}
+
+TEST(ProfileReport, MergeAccumulatesTimesteps) {
+  LinearTree tree = tiny_tree();
+  GpuAddressSpace space;
+  MicroKernel k(tree, 64, true, space);
+  DeviceConfig cfg;
+  ProfileSink sink;
+  auto a = run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoLockstep),
+                       nullptr, &sink);
+  auto b = run_gpu_sim(k, space, cfg, GpuMode::from(Variant::kAutoLockstep),
+                       nullptr, &sink);
+  ASSERT_TRUE(a.profile && b.profile);
+  ProfileReport sum = *a.profile;
+  sum.merge(*b.profile);
+  EXPECT_EQ(sum.instr_cycles, a.profile->instr_cycles * 2);
+  EXPECT_EQ(sum.warp_steps, a.profile->warp_steps * 2);
+  EXPECT_TRUE(sum.reconciles());
+  ASSERT_FALSE(sum.hot_nodes.empty());
+  EXPECT_EQ(sum.hot_nodes[0].warp_visits,
+            a.profile->hot_nodes[0].warp_visits * 2);
+}
+
+TEST(ProfileReport, NullCollectorGivesBucketSplitOnly) {
+  KernelStats stats;
+  stats.charge(CycleBucket::kVisit, 24);
+  stats.charge(CycleBucket::kStep, 8);
+  DeviceConfig cfg;
+  ProfileReport p = obs::make_profile_report(stats, cfg, nullptr);
+  EXPECT_EQ(p.bucket_sum(), 32.0);
+  EXPECT_EQ(p.instr_cycles, 32.0);
+  EXPECT_TRUE(p.depth.empty());
+  EXPECT_TRUE(p.hot_nodes.empty());
+  EXPECT_TRUE(p.reconciles());
+}
+
+}  // namespace
+}  // namespace tt

@@ -110,6 +110,31 @@ bool same_event(const TraceEvent& a, const TraceEvent& b) {
          a.aux == b.aux;
 }
 
+TEST(TraceEventNames, ExhaustiveAndRoundTrip) {
+  // Walks every kind in [0, kNumTraceEventKinds): each must have a real
+  // name (adding a kind without extending trace_event_name trips the "?"
+  // fallback here) and the name must round-trip through the inverse.
+  for (std::size_t i = 0; i < obs::kNumTraceEventKinds; ++i) {
+    const auto kind = static_cast<TraceEventKind>(i);
+    const std::string name = obs::trace_event_name(kind);
+    EXPECT_NE(name, "?") << "unnamed TraceEventKind " << i;
+    EXPECT_EQ(obs::trace_event_kind_from_name(name), kind) << name;
+  }
+  try {
+    obs::trace_event_kind_from_name("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error is actionable: it lists every valid name.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+    for (std::size_t i = 0; i < obs::kNumTraceEventKinds; ++i)
+      EXPECT_NE(
+          msg.find(obs::trace_event_name(static_cast<TraceEventKind>(i))),
+          std::string::npos)
+          << msg;
+  }
+}
+
 TEST(WarpTracerRing, KeepsMostRecentAndCountsDropped) {
   WarpTracer tr(4);
   tr.begin_warp(7);

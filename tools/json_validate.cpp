@@ -1,6 +1,9 @@
 // Validates a treetrav.run_report JSON file: parses it, checks the schema
 // tag and the presence/shape of the sections every report must carry
-// (including the auto_select "selection" block introduced by schema v2).
+// (including the auto_select "selection" block introduced by schema v2 and
+// the optional cycle-attribution "profile" block introduced by v4 --
+// whose attribution invariant, bucket sum == instr_cycles, is re-checked
+// here with exact equality against the report's own stats).
 // Exit 0 on success; nonzero with a diagnostic on stderr otherwise. Used
 // by the table1_json_validate ctest and scripts/check.sh.
 //
@@ -20,6 +23,7 @@
 #include "core/variant.h"
 #include "obs/json.h"
 #include "obs/run_report.h"
+#include "simt/kernel_stats.h"
 
 using tt::obs::JsonValue;
 using tt::obs::JsonValuePtr;
@@ -111,6 +115,13 @@ void set_string(JsonValue& root, const std::string& k, const char* value) {
   }
 }
 
+// True for metric keys the v4 profiler added: gpu/<variant>/profile/* and
+// gpu/batch/<kernel>/profile/*.
+bool is_profile_metric(const std::string& key) {
+  return starts_with(key, "gpu/") &&
+         key.find("/profile/") != std::string::npos;
+}
+
 // Reduce a parsed report to the legacy-variant view the golden fixture
 // captures: drop non-legacy variant blocks, gpu/<non-legacy>/* metric
 // entries, environment-dependent cpu keys, and normalize schema + git_sha.
@@ -135,6 +146,12 @@ void prune_to_legacy(JsonValue& root) {
       std::erase_if(variants->obj_v, [](const auto& member) {
         return !is_legacy_variant_name(member.first);
       });
+      // v4 added the optional per-variant "profile" block (--profile).
+      for (auto& [name, vr] : variants->obj_v)
+        if (vr->is_object())
+          std::erase_if(vr->obj_v, [](const auto& member) {
+            return member.first == "profile";
+          });
     }
     if (JsonValue* transfer = find_mut(row, "transfer")) {
       // v3 added the per-row launch count.
@@ -148,6 +165,7 @@ void prune_to_legacy(JsonValue& root) {
         if (!sec) continue;
         std::erase_if(sec->obj_v, [](const auto& member) {
           if (member.first == "transfer/launches") return true;  // v3
+          if (is_profile_metric(member.first)) return true;      // v4
           if (!starts_with(member.first, "gpu/")) return false;
           const std::string variant =
               member.first.substr(4, member.first.find('/', 4) - 4);
@@ -234,6 +252,105 @@ int check_selection(const std::string& at, const JsonValue& vr) {
   return 0;
 }
 
+// The optional v4 "profile" block of a variant (or batch-kernel) object
+// `holder`: shape plus the attribution invariant, checked with EXACT
+// equality -- every cycle charge is an integer-valued double, so the
+// bucket split must reconstruct instr_cycles with ==, and the divergence
+// histogram must account for every warp step and active lane. When the
+// holder also carries a "stats" block, the profile must agree with it.
+int check_profile(const std::string& at, const JsonValue& holder) {
+  const JsonValue* p = holder.find("profile");
+  if (!p) return 0;  // --profile is opt-in
+  if (!p->is_object()) return fail(at + ".profile: not an object");
+  for (const char* field : {"instr_cycles", "memory_cycles", "warp_steps",
+                            "active_lane_sum", "buckets", "depth_histogram",
+                            "hot_nodes"})
+    if (!p->find(field))
+      return fail(at + ".profile: missing \"" + field + "\"");
+
+  const JsonValue* buckets = p->find("buckets");
+  if (!buckets->is_object())
+    return fail(at + ".profile.buckets: not an object");
+  if (buckets->obj_v.size() != tt::kNumCycleBuckets)
+    return fail(at + ".profile.buckets: expected " +
+                std::to_string(tt::kNumCycleBuckets) + " buckets, got " +
+                std::to_string(buckets->obj_v.size()));
+  double bucket_sum = 0;
+  for (std::size_t b = 0; b < tt::kNumCycleBuckets; ++b) {
+    const char* name = tt::cycle_bucket_name(static_cast<tt::CycleBucket>(b));
+    const JsonValue* v = buckets->find(name);
+    if (!v)
+      return fail(at + ".profile.buckets: missing \"" + name + "\"");
+    if (v->as_number() < 0)
+      return fail(at + ".profile.buckets." + name + ": negative");
+    bucket_sum += v->as_number();
+  }
+  const double instr = p->find("instr_cycles")->as_number();
+  if (bucket_sum != instr)
+    return fail(at + ".profile: attribution broken -- buckets sum to " +
+                std::to_string(bucket_sum) + " but instr_cycles is " +
+                std::to_string(instr));
+
+  const JsonValue* hist = p->find("depth_histogram");
+  if (!hist->is_array())
+    return fail(at + ".profile.depth_histogram: not an array");
+  std::uint64_t steps = 0, active = 0;
+  for (std::size_t d = 0; d < hist->arr_v.size(); ++d) {
+    const JsonValue& bin = *hist->arr_v[d];
+    const std::string bat =
+        at + ".profile.depth_histogram[" + std::to_string(d) + "]";
+    for (const char* field :
+         {"depth", "steps", "active_lane_sum", "truncated_lanes",
+          "mean_active"})
+      if (!bin.find(field)) return fail(bat + ": missing \"" + field + "\"");
+    if (bin.find("depth")->as_uint() != d)
+      return fail(bat + ": depth is not dense/ascending");
+    steps += bin.find("steps")->as_uint();
+    active += bin.find("active_lane_sum")->as_uint();
+  }
+  // An empty histogram means the launch ran without a collector attached
+  // (bucket split only); a populated one must reconcile exactly.
+  if (!hist->arr_v.empty()) {
+    if (steps != p->find("warp_steps")->as_uint())
+      return fail(at + ".profile: depth_histogram steps sum to " +
+                  std::to_string(steps) + " but warp_steps is " +
+                  std::to_string(p->find("warp_steps")->as_uint()));
+    if (active != p->find("active_lane_sum")->as_uint())
+      return fail(at + ".profile: depth_histogram active-lane sum " +
+                  "disagrees with active_lane_sum");
+  }
+
+  const JsonValue* hot = p->find("hot_nodes");
+  if (!hot->is_array()) return fail(at + ".profile.hot_nodes: not an array");
+  std::uint64_t prev_visits = 0;
+  for (std::size_t i = 0; i < hot->arr_v.size(); ++i) {
+    const JsonValue& n = *hot->arr_v[i];
+    const std::string nat = at + ".profile.hot_nodes[" + std::to_string(i) +
+                            "]";
+    for (const char* field :
+         {"node", "warp_visits", "active_lane_sum", "truncated_lanes",
+          "mean_active_lanes", "truncation_rate"})
+      if (!n.find(field)) return fail(nat + ": missing \"" + field + "\"");
+    const std::uint64_t visits = n.find("warp_visits")->as_uint();
+    if (i > 0 && visits > prev_visits)
+      return fail(nat + ": hot_nodes not ranked by warp_visits desc");
+    prev_visits = visits;
+  }
+
+  // Cross-check against the holder's own stats block: the profile is a
+  // decomposition of those totals, not an independent measurement.
+  if (const JsonValue* stats = holder.find("stats")) {
+    if (stats->find("instr_cycles") &&
+        stats->find("instr_cycles")->as_number() != instr)
+      return fail(at + ".profile: instr_cycles disagrees with stats");
+    if (stats->find("warp_steps") &&
+        stats->find("warp_steps")->as_uint() !=
+            p->find("warp_steps")->as_uint())
+      return fail(at + ".profile: warp_steps disagrees with stats");
+  }
+  return 0;
+}
+
 // The optional v3 batch block: schedule accounting, per-kernel rows and
 // the amortized-vs-summed transfer split must all be present and shaped
 // right when the block exists at all.
@@ -256,6 +373,7 @@ int check_batch(const JsonValue& batch) {
         return fail(at + ": missing \"" + field + "\"");
     if (!k.find("ok")->as_bool() && !k.find("error"))
       return fail(at + ": failed kernel without \"error\"");
+    if (int rc = check_profile(at, k); rc != 0) return rc;
   }
   const JsonValue* transfer = batch.find("transfer");
   if (!transfer || !transfer->is_object())
@@ -324,6 +442,9 @@ int main(int argc, char** argv) {
           int rc = check_selection(at + "." + tt::variant_name(v), *vr);
           if (rc != 0) return rc;
         }
+        if (int rc = check_profile(at + "." + tt::variant_name(v), *vr);
+            rc != 0)
+          return rc;
       }
       const JsonValue* metrics = row.find("metrics");
       if (!metrics || !metrics->is_object())
