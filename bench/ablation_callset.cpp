@@ -37,8 +37,7 @@ struct StaticOrderKernel : KnnKernel {
 int main(int argc, char** argv) {
   Cli cli("ablation_callset: majority vote vs static call set (section 4.3)");
   benchx::add_common_flags(cli);
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "ablation_callset", [&]() -> int {
     Table table(
         {"Order", "CallSetPolicy", "Time(ms)", "AvgNodes", "LaneVisits"});
     const auto n = static_cast<std::size_t>(cli.get_int("points"));
@@ -77,9 +76,6 @@ int main(int argc, char** argv) {
     obs::RunReport report = benchx::make_report(cli, "ablation_callset");
     report.add_table("ablation_callset", table);
     if (!benchx::maybe_write_report(cli, report)) return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "ablation_callset: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

@@ -23,8 +23,7 @@ using namespace tt;
 int main(int argc, char** argv) {
   Cli cli("ablation_layout: stack-layout design choices of section 5.2");
   benchx::add_common_flags(cli);
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "ablation_layout", [&]() -> int {
     Table table({"Order", "Variant", "Stack", "Time(ms)", "DRAM txn",
                  "L2 hits"});
     const auto n = static_cast<std::size_t>(cli.get_int("points"));
@@ -69,9 +68,6 @@ int main(int argc, char** argv) {
     obs::RunReport report = benchx::make_report(cli, "ablation_layout");
     report.add_table("ablation_layout", table);
     if (!benchx::maybe_write_report(cli, report)) return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "ablation_layout: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

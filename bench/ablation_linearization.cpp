@@ -18,8 +18,7 @@ using namespace tt;
 int main(int argc, char** argv) {
   Cli cli("ablation_linearization: DFS (paper) vs BFS tree layout");
   benchx::add_common_flags(cli);
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "ablation_linearization", [&]() -> int {
     Table table({"Order", "Variant", "Layout", "Time(ms)", "DRAM txn",
                  "L2 hits"});
     const auto n = static_cast<std::size_t>(cli.get_int("points"));
@@ -54,9 +53,6 @@ int main(int argc, char** argv) {
     obs::RunReport report = benchx::make_report(cli, "ablation_linearization");
     report.add_table("ablation_linearization", table);
     if (!benchx::maybe_write_report(cli, report)) return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "ablation_linearization: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

@@ -52,8 +52,7 @@ void compare(const Cli& cli, Table& table, const std::string& bench,
 int main(int argc, char** argv) {
   Cli cli("ablation_ropes: prior-work static ropes vs autoropes (section 3)");
   benchx::add_common_flags(cli);
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "ablation_ropes", [&]() -> int {
     Table table({"Benchmark", "Order", "Type", "Technique", "Time(ms)",
                  "DRAM txn", "Install(ms)"});
     const auto n = static_cast<std::size_t>(cli.get_int("points"));
@@ -82,9 +81,6 @@ int main(int argc, char** argv) {
     obs::RunReport report = benchx::make_report(cli, "ablation_ropes");
     report.add_table("ablation_ropes", table);
     if (!benchx::maybe_write_report(cli, report)) return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "ablation_ropes: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

@@ -208,4 +208,21 @@ inline void emit(const Table& table, bool csv) {
     table.write_aligned(std::cout);
 }
 
+// Shared main() scaffold: parse the flags (returning 0 when --help printed
+// usage), run `body`, and report any exception as "<name>: <what>" with
+// exit code 1. One copy of the parse + try/catch every experiment binary
+// used to hand-roll; unknown flags self-diagnose through Cli's
+// list-the-valid-flags error.
+template <class Body>
+int run_main(Cli& cli, int argc, const char* const* argv,
+             const std::string& name, Body&& body) {
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    return body();
+  } catch (const std::exception& e) {
+    std::cerr << name << ": " << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace tt::benchx

@@ -21,8 +21,7 @@ int main(int argc, char** argv) {
   Cli cli("cpu_locality: CPU cache behaviour of the traversals, sorted vs "
           "unsorted (sections 4.4 / 6.2)");
   benchx::add_common_flags(cli);
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "cpu_locality", [&]() -> int {
     // CPU-only experiment: no GPU variant rows, but still reject a
     // misspelled --variant instead of silently ignoring it.
     benchx::parse_variant_filter(cli.get_string("variant"));
@@ -68,9 +67,6 @@ int main(int argc, char** argv) {
     obs::RunReport report = benchx::make_report(cli, "cpu_locality");
     report.add_table("cpu_locality", table);
     if (!benchx::maybe_write_report(cli, report)) return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "cpu_locality: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

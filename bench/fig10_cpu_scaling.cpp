@@ -43,8 +43,7 @@ int main(int argc, char** argv) {
   benchx::add_common_flags(cli);
   cli.add_flag("sorted", true, "run the sorted sweep (Figure 10)");
   cli.add_flag("unsorted", true, "run the unsorted sweep (Figure 11)");
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "fig10_cpu_scaling", [&]() -> int {
     benchx::ChromeTrace chrome(cli);
     std::vector<std::string> header{"Benchmark", "Input", "Order", "Type"};
     for (int t : kThreads) header.push_back("T" + std::to_string(t));
@@ -67,9 +66,6 @@ int main(int argc, char** argv) {
     if (!benchx::maybe_write_report(cli, report)) return 1;
     if (!chrome.write()) return 1;
     std::cerr << "# ratio > 1: CPU faster than GPU at that thread count\n";
-  } catch (const std::exception& e) {
-    std::cerr << "fig10_cpu_scaling: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

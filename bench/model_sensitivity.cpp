@@ -140,8 +140,7 @@ int main(int argc, char** argv) {
           "perturbations of the cost-model constants -- globally and per "
           "executor layer (stack / step / vote)?");
   benchx::add_common_flags(cli);
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "model_sensitivity", [&]() -> int {
     // The headline orderings compare across variants, so a --variant
     // filter that removes any of them would make the check meaningless.
     benchx::require_variants(cli, {Variant::kAutoLockstep,
@@ -259,8 +258,5 @@ int main(int argc, char** argv) {
     if (!chrome.write()) return 1;
     std::cerr << "# ordering violations: " << violations << "\n";
     return violations == 0 ? 0 : 2;
-  } catch (const std::exception& e) {
-    std::cerr << "model_sensitivity: " << e.what() << "\n";
-    return 1;
-  }
+  });
 }

@@ -18,8 +18,7 @@ int main(int argc, char** argv) {
   benchx::add_common_flags(cli);
   cli.add_int("tris", 8192, "triangles in the procedural scene");
   cli.add_int("rays", 16384, "rays to trace");
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "ray_coherence", [&]() -> int {
     TriangleMesh mesh = gen_triangle_scene(
         static_cast<std::size_t>(cli.get_int("tris")), 31);
     Bvh bvh = build_bvh(mesh, 4);
@@ -58,9 +57,6 @@ int main(int argc, char** argv) {
     obs::RunReport report = benchx::make_report(cli, "ray_coherence");
     report.add_table("ray_coherence", table);
     if (!benchx::maybe_write_report(cli, report)) return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "ray_coherence: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

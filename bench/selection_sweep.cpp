@@ -52,8 +52,7 @@ int main(int argc, char** argv) {
       "section-4.4 auto_select sampler across thresholds and sample "
       "counts, benchmarks x {morton, tree, shuffled} orders");
   benchx::add_common_flags(cli);
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "selection_sweep", [&]() -> int {
     const std::uint64_t profile_seed =
         static_cast<std::uint64_t>(cli.get_int("profile-seed"));
     const std::vector<std::size_t> sample_counts{2, 4, 8, 16, 32, 64};
@@ -146,9 +145,6 @@ int main(int argc, char** argv) {
     obs::RunReport report = benchx::make_report(cli, "selection_sweep");
     report.add_table("selection_sweep", table);
     if (!benchx::maybe_write_report(cli, report)) return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "selection_sweep: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

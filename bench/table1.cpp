@@ -89,7 +89,8 @@ void add_rows(Table& table, const BenchRow& row) {
 }
 
 // --batch: the selected benchmarks (first input of each, sorted) as ONE
-// batched launch through core/batch_scheduler.h. Per-kernel numbers are
+// batched launch through the closed-batch mode of core/serving.h's
+// session API (harness run_batch). Per-kernel numbers are
 // byte-identical to the solo rows; what changes is the launch/transfer
 // accounting, which the summary lines below the table report.
 int run_batched(const Cli& cli, obs::RunReport& report,
@@ -171,8 +172,7 @@ int main(int argc, char** argv) {
                  "the composition every batched launch simulates");
   cli.add_int("batch-grid-limit", 0,
               "Figure 9b strip-mining limit per launch (0 = no limit)");
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "table1", [&]() -> int {
     benchx::ChromeTrace chrome(cli);
     if (cli.get_flag("batch")) {
       obs::RunReport report = benchx::make_report(cli, "table1");
@@ -204,9 +204,6 @@ int main(int argc, char** argv) {
     report.add_table("table1", table, /*volatile_data=*/true);
     if (!benchx::maybe_write_report(cli, report)) return 1;
     if (!chrome.write()) return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "table1: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

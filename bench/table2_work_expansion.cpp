@@ -14,8 +14,7 @@ int main(int argc, char** argv) {
       "table2_work_expansion: paper Table 2 -- per-warp lockstep work "
       "expansion, mean (stddev), sorted vs unsorted");
   benchx::add_common_flags(cli);
-  try {
-    if (!cli.parse(argc, argv)) return 0;
+  return benchx::run_main(cli, argc, argv, "table2_work_expansion", [&]() -> int {
     benchx::ChromeTrace chrome(cli);
     Table table({"Benchmark", "Input", "Sorted", "Unsorted",
                  "AutoSel(sorted)", "AutoSel(unsorted)"});
@@ -66,9 +65,6 @@ int main(int argc, char** argv) {
     report.add_table("table2_work_expansion", table);
     if (!benchx::maybe_write_report(cli, report)) return 1;
     if (!chrome.write()) return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "table2_work_expansion: " << e.what() << "\n";
-    return 1;
-  }
-  return 0;
+    return 0;
+  });
 }

@@ -109,3 +109,67 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(snapshot['cells'])} cells)")
 PY
+
+# Serving baseline: the same pc+nn pool under an open-loop Poisson trace
+# at a pinned rate, distilled into BENCH_serving.json -- headline
+# percentiles, queue telemetry, and the drain-cadence sweep. Everything
+# in it is modelled time, so the file only changes when behavior does.
+serving_out="${2:-$repo/BENCH_serving.json}"
+serving_raw="$(mktemp /tmp/bench_snapshot_serving_XXXX.json)"
+trap 'rm -f "$raw" "$batch_raw" "$serving_raw"' EXIT
+
+if [[ ! -x "$build/bench/serving" ]]; then
+  echo "== building serving =="
+  cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" --target serving
+fi
+
+echo "== serving (pc+nn pool, 256 queries, poisson @ 400 qps) =="
+"$build/bench/serving" --benchmarks=pc,nn --points=512 --queries=256 \
+  --rate-qps=400 --json="$serving_raw" >/dev/null
+
+python3 - "$serving_raw" "$serving_out" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    report = json.load(f)
+
+s = report["serving"]
+snapshot = {
+    "schema": "treetrav.bench_snapshot.serving/v1",
+    "source": "serving --benchmarks=pc,nn --points=512 --queries=256 "
+              "--rate-qps=400",
+    "git_sha": report.get("git_sha", "unknown"),
+    "arrivals": s["arrivals"],
+    "rate_qps": s["rate_qps"],
+    "queries": s["queries"],
+    "drain_policy": s["drain_policy"],
+    "completed": s["completed"],
+    "dropped": s["dropped"],
+    "drains": len(s["drains"]),
+    "throughput_qps": s["throughput_qps"],
+    "occupancy": s["occupancy"],
+    "latency_ms": {k: s["latency_ms"][k] for k in ("p50", "p95", "p99", "max")},
+    "queue_delay_p50_ms": s["queue_delay_ms"]["p50"],
+    "queue": s["queue"],
+    "transfer": {
+        "amortized_ms": s["transfer"]["amortized_ms"],
+        "summed_solo_ms": s["transfer"]["summed_solo_ms"],
+    },
+    "sweep": [
+        {
+            "max_delay_ms": p["max_delay_ms"],
+            "drains": p["drains"],
+            "mean_batch": p["mean_batch"],
+            "p50_ms": p["p50_ms"],
+            "p99_ms": p["p99_ms"],
+            "transfer_saved_ms": p["transfer_saved_ms"],
+        }
+        for p in s["sweep"]
+    ],
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path} ({len(snapshot['sweep'])} sweep points)")
+PY

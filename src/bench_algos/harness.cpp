@@ -387,16 +387,6 @@ BenchRow run_bench(const BenchConfig& cfg) {
 
 namespace {
 
-// One batch item, fully owned: the launch's address space plus a handle
-// whose keep-alive parks the generated input, tree and kernel object so
-// everything outlives the batched run.
-struct PreparedLaunch {
-  GpuAddressSpace space;
-  std::shared_ptr<KernelHandle> handle;
-  std::uint64_t upload_bytes = 0;
-  std::uint64_t download_bytes = 0;
-};
-
 // Build `k` (referencing data held in `owners`) and wrap it in a handle
 // that keeps all of it alive.
 template <class K>
@@ -408,12 +398,14 @@ std::shared_ptr<KernelHandle> owning_handle(
   return make_kernel_handle(*k, std::move(keep));
 }
 
+}  // namespace
+
 // Construct one item's kernel exactly the way run_bench does for its solo
 // row (same generators, ordering, tree builders, radius picking), so the
-// batched launch traverses the identical input in an identically laid-out
-// address space. BH builds the initial octree only -- one timestep.
-std::unique_ptr<PreparedLaunch> prepare_launch(const BenchConfig& cfg) {
-  auto out = std::make_unique<PreparedLaunch>();
+// batched or served launch traverses the identical input in an
+// identically laid-out address space.
+std::unique_ptr<PreparedKernel> prepare_kernel(const BenchConfig& cfg) {
+  auto out = std::make_unique<PreparedKernel>();
   switch (cfg.algo) {
     case Algo::kBH: {
       auto bodies = std::make_shared<BodySet>(make_bh_input(cfg));
@@ -469,8 +461,6 @@ std::unique_ptr<PreparedLaunch> prepare_launch(const BenchConfig& cfg) {
   return out;
 }
 
-}  // namespace
-
 BatchResult run_batch(const BatchConfig& cfg) {
   if (cfg.items.empty())
     throw std::invalid_argument("run_batch: batch has no items");
@@ -478,32 +468,37 @@ BatchResult run_batch(const BatchConfig& cfg) {
   out.variant = cfg.variant;
   out.policy = cfg.policy;
 
-  std::vector<std::unique_ptr<PreparedLaunch>> prepared;
-  std::vector<LaunchSpec> specs;
+  // Closed-batch serving session: everything admitted at t=0, drained as
+  // one wave -- byte-identical to the pre-session run_gpu_batch path.
+  ServingSession session(
+      ServingConfig::closed_batch(cfg.device, cfg.policy, cfg.items.size()));
+  std::vector<std::unique_ptr<PreparedKernel>> prepared;
   // Per-launch profiler sinks; unique_ptrs keep the addresses handed to
   // the specs stable while the vector grows.
   std::vector<std::unique_ptr<obs::ProfileSink>> psinks;
   prepared.reserve(cfg.items.size());
-  specs.reserve(cfg.items.size());
   for (const BenchConfig& item : cfg.items) {
-    prepared.push_back(prepare_launch(item));
-    PreparedLaunch& pl = *prepared.back();
-    LaunchSpec spec;
-    spec.kernel = pl.handle;
-    spec.space = &pl.space;
-    spec.mode = GpuMode::from(cfg.variant);
-    spec.mode.grid_limit = cfg.grid_limit;
-    spec.mode.profile_samples = item.profile_samples;
-    spec.mode.profile_seed = item.profile_seed;
-    if (cfg.chrome) spec.trace = &cfg.chrome->begin_launch(pl.handle->name());
+    prepared.push_back(prepare_kernel(item));
+    PreparedKernel& pl = *prepared.back();
+    QuerySet q;
+    q.spec.kernel = pl.handle;
+    q.spec.space = &pl.space;
+    q.spec.mode = GpuMode::from(cfg.variant);
+    q.spec.mode.grid_limit = cfg.grid_limit;
+    q.spec.mode.profile_samples = item.profile_samples;
+    q.spec.mode.profile_seed = item.profile_seed;
+    q.upload_bytes = pl.upload_bytes;
+    q.download_bytes = pl.download_bytes;
+    if (cfg.chrome)
+      q.spec.trace = &cfg.chrome->begin_launch(pl.handle->name());
     if (cfg.profile) {
       psinks.push_back(std::make_unique<obs::ProfileSink>());
-      spec.profile = psinks.back().get();
+      q.spec.profile = psinks.back().get();
     }
-    specs.push_back(spec);
+    session.submit(std::move(q), 0.0);
   }
-
-  BatchRun run = run_gpu_batch(specs, cfg.device, cfg.policy);
+  session.flush();
+  BatchRun run = session.take_closed_run();
   out.residency = run.residency;
   out.total_chunks = run.total_chunks;
   out.rounds = run.rounds;

@@ -6,11 +6,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/batch_scheduler.h"
+#include "core/serving.h"
 #include "core/ir/callset_analysis.h"
 #include "core/variant.h"
 #include "cpu/scaling_model.h"
@@ -172,8 +174,25 @@ struct BenchRow {
 BenchRow run_bench(const BenchConfig& config);
 
 // ---------------------------------------------------------------------
-// Batched multi-kernel runs (core/batch_scheduler.h behind the harness).
+// Batched multi-kernel runs (core/serving.h behind the harness).
 // ---------------------------------------------------------------------
+
+// One prepared benchmark kernel, fully owned: the launch's address space
+// plus a handle whose keep-alive parks the generated input, tree and
+// kernel object so everything outlives the run. Built exactly the way
+// run_bench builds the item's solo row (same generators, ordering, tree
+// builders, radius picking). This is the unit bench/serving submits as a
+// core QuerySet, and what run_batch builds per item.
+struct PreparedKernel {
+  GpuAddressSpace space;
+  std::shared_ptr<KernelHandle> handle;
+  std::uint64_t upload_bytes = 0;    // tree + points crossing the bus
+  std::uint64_t download_bytes = 0;  // result_stride * num_points back
+};
+
+// BH builds the initial octree only -- one timestep.
+[[nodiscard]] std::unique_ptr<PreparedKernel> prepare_kernel(
+    const BenchConfig& cfg);
 
 // One batched harness run: every item becomes one LaunchSpec (own input,
 // own tree, own address space -- built exactly like its run_bench solo

@@ -3,13 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include <omp.h>
-
-#include "simt/cost_model.h"
-#include "simt/executor.h"
-#include "simt/l2cache.h"
-#include "util/timer.h"
-
 namespace tt {
 
 const char* batch_policy_name(BatchPolicy p) {
@@ -70,161 +63,6 @@ BatchSchedule BatchScheduler::schedule() const {
   for (std::size_t i = 1; i < s.order.size(); ++i)
     if (s.order[i].launch != s.order[i - 1].launch) ++s.switches;
   return s;
-}
-
-BatchRun run_gpu_batch(std::span<const LaunchSpec> specs,
-                       const DeviceConfig& cfg, BatchPolicy policy) {
-  BatchRun out;
-  out.policy = policy;
-
-  struct Prep {
-    GpuMode mode;  // resolved (auto_select replaced by its dispatch)
-    std::optional<SelectionInfo> selection;
-    std::unique_ptr<LaunchRun> run;
-    std::vector<KernelStats> per_slot;
-    std::size_t slice_bytes = 0;
-  };
-  std::vector<Prep> preps(specs.size());
-  BatchScheduler sched(policy);
-
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const LaunchSpec& spec = specs[i];
-    if (!spec.kernel || !spec.space)
-      throw std::invalid_argument("run_gpu_batch: LaunchSpec " +
-                                  std::to_string(i) +
-                                  " is missing its kernel or address space");
-    Prep& pr = preps[i];
-    GpuMode mode = spec.mode;
-    if (mode.variant() == Variant::kAutoSelect) {
-      // Per-launch section-4.4 resolution, exactly like run_gpu_sim's
-      // early dispatch: sample, choose the autoropes composition, and
-      // charge the sampling to this launch's cost model afterwards.
-      if (mode.profile_samples == 0)
-        throw std::invalid_argument(
-            "run_gpu_batch: auto_select needs profile_samples >= 1");
-      const ProfileReport p =
-          spec.kernel->profile(mode.profile_samples, mode.profile_seed);
-      mode.auto_select = false;
-      mode.autoropes = true;
-      mode.lockstep = p.looks_sorted;
-      SelectionInfo sel;
-      sel.mean_similarity = p.mean_similarity;
-      sel.baseline_similarity = p.baseline_similarity;
-      sel.samples = p.samples;
-      sel.threshold = p.threshold;
-      sel.chosen = mode.variant();
-      sel.sampling_cycles =
-          static_cast<double>(p.sampled_visits) * (cfg.c_visit + cfg.c_step);
-      pr.selection = sel;
-    }
-    pr.mode = mode;
-    pr.run = spec.kernel->prepare(*spec.space, cfg, mode, spec.trace,
-                                  spec.profile,
-                                  static_cast<std::uint32_t>(i));
-    pr.per_slot.assign(pr.run->shape.grid, KernelStats{});
-    // The launch's own L2 slice size -- the same formula run_warps uses
-    // for a solo run over this launch's grid (byte-identity requires it).
-    const std::size_t grid = pr.run->shape.grid;
-    const std::size_t resident = std::min<std::size_t>(
-        grid == 0 ? 1 : grid,
-        static_cast<std::size_t>(cfg.max_resident_warps()));
-    pr.slice_bytes = cfg.l2_bytes / resident;
-    if (spec.trace)
-      spec.trace->begin(pr.run->shape.n_warps, omp_get_max_threads());
-    if (spec.profile) spec.profile->begin(omp_get_max_threads());
-    sched.add_launch(pr.run->shape);
-  }
-
-  const BatchSchedule bs = sched.schedule();
-  out.residency = bs.residency;
-  out.total_chunks = bs.total_chunks;
-  out.rounds = bs.rounds;
-  out.switches = bs.switches;
-
-  // The concurrent-residency pool: every launch's physical warp slots,
-  // simulated in parallel. Slot state is fully launch-private, so OpenMP
-  // scheduling (and the issue policy above) cannot change any launch's
-  // measurements -- only the schedule accounting differs across policies.
-  struct Slot {
-    std::uint32_t launch = 0;
-    std::uint32_t p = 0;
-  };
-  std::vector<Slot> slots;
-  slots.reserve(out.residency);
-  for (std::size_t i = 0; i < preps.size(); ++i)
-    for (std::size_t p = 0; p < preps[i].run->shape.grid; ++p)
-      slots.push_back(Slot{static_cast<std::uint32_t>(i),
-                           static_cast<std::uint32_t>(p)});
-
-  WallTimer timer;
-#pragma omp parallel for schedule(dynamic, 1)
-  for (std::int64_t si = 0; si < static_cast<std::int64_t>(slots.size());
-       ++si) {
-    const Slot sl = slots[static_cast<std::size_t>(si)];
-    Prep& pr = preps[sl.launch];
-    if (cfg.model_l2) {
-      L2Cache slice(pr.slice_bytes, cfg.l2_line_bytes, cfg.l2_assoc);
-      pr.run->run_slot(sl.p, pr.per_slot[sl.p], &slice);
-    } else {
-      pr.run->run_slot(sl.p, pr.per_slot[sl.p], nullptr);
-    }
-  }
-  out.sim_wall_ms = timer.elapsed_ms();
-
-  out.launches.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    Prep& pr = preps[i];
-    const LaunchSpec& spec = specs[i];
-    LaunchResult r;
-    r.kernel_name = spec.kernel->name();
-    r.batch_index = i;
-    r.variant = pr.mode.variant();
-    r.n_points = pr.run->shape.n;
-    r.n_warps = pr.run->shape.n_warps;
-    r.result_stride = pr.run->result_stride();
-    if (pr.run->overflow.overflowed()) {
-      // Isolation: this launch fails with a name+index-prefixed error and
-      // zeroed numbers; sibling launches are untouched.
-      r.error = std::string("kernel ") + r.kernel_name + " (batch " +
-                std::to_string(i) + "): rope stack overflow (variant " +
-                variant_name(r.variant) + ", warp " +
-                std::to_string(pr.run->overflow.warp()) + ", " +
-                std::to_string(pr.run->overflow.entries()) +
-                " entries, stack_bound " +
-                std::to_string(pr.run->shape.stack_bound) + ")";
-      out.launches.push_back(std::move(r));
-      continue;
-    }
-    r.stats = merge_stats(pr.per_slot);
-    r.time = estimate_time_balanced(instr_cycles_of(pr.per_slot), r.stats, cfg);
-    if (pr.selection) {
-      // Same accounting as run_gpu_sim's auto_select dispatch: sampling
-      // runs serially before the kernel, charged to compute time.
-      r.selection = pr.selection;
-      r.stats.note_sampling_cycles(pr.selection->sampling_cycles);
-      const double cycles_per_ms = cfg.clock_ghz * 1e6;
-      r.time.compute_ms += pr.selection->sampling_cycles / cycles_per_ms;
-      r.time.total_ms = std::max(r.time.compute_ms, r.time.memory_ms);
-      r.time.memory_bound = r.time.memory_ms > r.time.compute_ms;
-      if (spec.trace)
-        spec.trace->record_launch(
-            obs::TraceEventKind::kSelect, 0xffffffffu,
-            static_cast<std::uint32_t>(pr.selection->samples), 0,
-            pr.selection->chosen == Variant::kAutoLockstep ? 1u : 0u);
-    }
-    if (spec.profile) {
-      // Build AFTER the sampling charge so reconciliation covers it.
-      const obs::ProfileCollector merged = spec.profile->merged();
-      r.profile = obs::make_profile_report(r.stats, cfg, &merged);
-    }
-    const std::byte* data =
-        static_cast<const std::byte*>(pr.run->result_data());
-    r.results.assign(data, data + r.n_points * r.result_stride);
-    r.per_point_visits = std::move(pr.run->per_point_visits);
-    r.per_warp_pops = std::move(pr.run->per_warp_pops);
-    out.launches.push_back(std::move(r));
-  }
-  return out;
 }
 
 }  // namespace tt

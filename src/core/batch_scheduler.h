@@ -20,6 +20,15 @@
 // under every policy. The policy shapes only the schedule accounting
 // (rounds / switches) and the batch-level transfer amortization: one
 // launch overhead for the whole batch instead of one per kernel.
+//
+// Since the serving redesign (core/serving.h, DESIGN.md section 3.3) this
+// file is pure planning + the shared BatchRun result type. Execution
+// lives behind the admission--dispatch split: ServingSession admits
+// queries and drains waves, run_launch_pool simulates a wave's slots, and
+// each drained wave feeds its shapes back through BatchScheduler for the
+// accounting below. run_gpu_batch survives as a thin closed-batch adapter
+// over that session API (everything submitted at t=0, one wave),
+// byte-identical to the pre-redesign implementation.
 #pragma once
 
 #include <cstdint>
@@ -59,8 +68,9 @@ struct BatchSchedule {
 };
 
 // Builds the interleaved schedule from per-launch shapes. Pure planning:
-// execution state lives in LaunchRun; run_gpu_batch consumes the schedule
-// for accounting and drives the (launch, slot) pool directly.
+// execution state lives in LaunchRun; ServingSession (core/serving.h)
+// consumes the schedule for per-wave accounting while run_launch_pool
+// drives the (launch, slot) pool directly.
 class BatchScheduler {
  public:
   explicit BatchScheduler(BatchPolicy policy) : policy_(policy) {}
@@ -98,7 +108,9 @@ struct BatchRun {
 // (sampling charged to that launch's cost model, like solo); a launch
 // whose rope stack overflows reports through LaunchResult::error --
 // prefixed with its kernel name and batch index -- without poisoning
-// sibling launches.
+// sibling launches. Now a compatibility adapter over ServingSession's
+// closed-batch mode (defined in core/serving.cpp); byte-identical to the
+// pre-session implementation.
 [[nodiscard]] BatchRun run_gpu_batch(std::span<const LaunchSpec> specs,
                                      const DeviceConfig& cfg,
                                      BatchPolicy policy = BatchPolicy::kRoundRobin);

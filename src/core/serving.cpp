@@ -1,0 +1,499 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include <omp.h>
+
+#include "obs/chrome_trace.h"
+#include "simt/cost_model.h"
+#include "simt/executor.h"
+#include "simt/l2cache.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace tt {
+
+// ---------------------------------------------------------------------
+// Dispatch layer (the body that used to be run_gpu_batch).
+// ---------------------------------------------------------------------
+
+LaunchPool run_launch_pool(std::span<const LaunchSpec> specs,
+                           const DeviceConfig& cfg) {
+  LaunchPool out;
+
+  struct Prep {
+    GpuMode mode;  // resolved (auto_select replaced by its dispatch)
+    std::optional<SelectionInfo> selection;
+    std::unique_ptr<LaunchRun> run;
+    std::vector<KernelStats> per_slot;
+    std::size_t slice_bytes = 0;
+  };
+  std::vector<Prep> preps(specs.size());
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const LaunchSpec& spec = specs[i];
+    if (!spec.kernel || !spec.space)
+      throw std::invalid_argument("run_launch_pool: LaunchSpec " +
+                                  std::to_string(i) +
+                                  " is missing its kernel or address space");
+    Prep& pr = preps[i];
+    GpuMode mode = spec.mode;
+    if (mode.variant() == Variant::kAutoSelect) {
+      // Per-launch section-4.4 resolution, exactly like run_gpu_sim's
+      // early dispatch: sample, choose the autoropes composition, and
+      // charge the sampling to this launch's cost model afterwards.
+      if (mode.profile_samples == 0)
+        throw std::invalid_argument(
+            "run_launch_pool: auto_select needs profile_samples >= 1");
+      const ProfileReport p =
+          spec.kernel->profile(mode.profile_samples, mode.profile_seed);
+      mode.auto_select = false;
+      mode.autoropes = true;
+      mode.lockstep = p.looks_sorted;
+      SelectionInfo sel;
+      sel.mean_similarity = p.mean_similarity;
+      sel.baseline_similarity = p.baseline_similarity;
+      sel.samples = p.samples;
+      sel.threshold = p.threshold;
+      sel.chosen = mode.variant();
+      sel.sampling_cycles =
+          static_cast<double>(p.sampled_visits) * (cfg.c_visit + cfg.c_step);
+      pr.selection = sel;
+    }
+    pr.mode = mode;
+    pr.run = spec.kernel->prepare(*spec.space, cfg, mode, spec.trace,
+                                  spec.profile,
+                                  static_cast<std::uint32_t>(i));
+    pr.per_slot.assign(pr.run->shape.grid, KernelStats{});
+    // The launch's own L2 slice size -- the same formula run_warps uses
+    // for a solo run over this launch's grid (byte-identity requires it).
+    const std::size_t grid = pr.run->shape.grid;
+    const std::size_t resident = std::min<std::size_t>(
+        grid == 0 ? 1 : grid,
+        static_cast<std::size_t>(cfg.max_resident_warps()));
+    pr.slice_bytes = cfg.l2_bytes / resident;
+    if (spec.trace)
+      spec.trace->begin(pr.run->shape.n_warps, omp_get_max_threads());
+    if (spec.profile) spec.profile->begin(omp_get_max_threads());
+    out.shapes.push_back(pr.run->shape);
+  }
+
+  // The concurrent-residency pool: every launch's physical warp slots,
+  // simulated in parallel. Slot state is fully launch-private, so OpenMP
+  // scheduling (and the caller's issue policy) cannot change any launch's
+  // measurements -- only the schedule accounting differs across policies.
+  struct Slot {
+    std::uint32_t launch = 0;
+    std::uint32_t p = 0;
+  };
+  std::vector<Slot> slots;
+  for (std::size_t i = 0; i < preps.size(); ++i)
+    for (std::size_t p = 0; p < preps[i].run->shape.grid; ++p)
+      slots.push_back(Slot{static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(p)});
+
+  WallTimer timer;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t si = 0; si < static_cast<std::int64_t>(slots.size());
+       ++si) {
+    const Slot sl = slots[static_cast<std::size_t>(si)];
+    Prep& pr = preps[sl.launch];
+    if (cfg.model_l2) {
+      L2Cache slice(pr.slice_bytes, cfg.l2_line_bytes, cfg.l2_assoc);
+      pr.run->run_slot(sl.p, pr.per_slot[sl.p], &slice);
+    } else {
+      pr.run->run_slot(sl.p, pr.per_slot[sl.p], nullptr);
+    }
+  }
+  out.sim_wall_ms = timer.elapsed_ms();
+
+  out.launches.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Prep& pr = preps[i];
+    const LaunchSpec& spec = specs[i];
+    LaunchResult r;
+    r.kernel_name = spec.kernel->name();
+    r.batch_index = i;
+    r.variant = pr.mode.variant();
+    r.n_points = pr.run->shape.n;
+    r.n_warps = pr.run->shape.n_warps;
+    r.result_stride = pr.run->result_stride();
+    if (pr.run->overflow.overflowed()) {
+      // Isolation: this launch fails with a name+index-prefixed error and
+      // zeroed numbers; sibling launches are untouched.
+      r.error = std::string("kernel ") + r.kernel_name + " (batch " +
+                std::to_string(i) + "): rope stack overflow (variant " +
+                variant_name(r.variant) + ", warp " +
+                std::to_string(pr.run->overflow.warp()) + ", " +
+                std::to_string(pr.run->overflow.entries()) +
+                " entries, stack_bound " +
+                std::to_string(pr.run->shape.stack_bound) + ")";
+      out.launches.push_back(std::move(r));
+      continue;
+    }
+    r.stats = merge_stats(pr.per_slot);
+    r.time = estimate_time_balanced(instr_cycles_of(pr.per_slot), r.stats, cfg);
+    if (pr.selection) {
+      // Same accounting as run_gpu_sim's auto_select dispatch: sampling
+      // runs serially before the kernel, charged to compute time.
+      r.selection = pr.selection;
+      r.stats.note_sampling_cycles(pr.selection->sampling_cycles);
+      const double cycles_per_ms = cfg.clock_ghz * 1e6;
+      r.time.compute_ms += pr.selection->sampling_cycles / cycles_per_ms;
+      r.time.total_ms = std::max(r.time.compute_ms, r.time.memory_ms);
+      r.time.memory_bound = r.time.memory_ms > r.time.compute_ms;
+      if (spec.trace)
+        spec.trace->record_launch(
+            obs::TraceEventKind::kSelect, 0xffffffffu,
+            static_cast<std::uint32_t>(pr.selection->samples), 0,
+            pr.selection->chosen == Variant::kAutoLockstep ? 1u : 0u);
+    }
+    if (spec.profile) {
+      // Build AFTER the sampling charge so reconciliation covers it.
+      const obs::ProfileCollector merged = spec.profile->merged();
+      r.profile = obs::make_profile_report(r.stats, cfg, &merged);
+    }
+    const std::byte* data =
+        static_cast<const std::byte*>(pr.run->result_data());
+    r.results.assign(data, data + r.n_points * r.result_stride);
+    r.per_point_visits = std::move(pr.run->per_point_visits);
+    r.per_warp_pops = std::move(pr.run->per_warp_pops);
+    out.launches.push_back(std::move(r));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Admission layer.
+// ---------------------------------------------------------------------
+
+ServingConfig ServingConfig::closed_batch(const DeviceConfig& device,
+                                          BatchPolicy policy,
+                                          std::size_t n_specs) {
+  ServingConfig c;
+  c.device = device;
+  c.policy = policy;
+  c.drain.max_batch = std::numeric_limits<std::size_t>::max();
+  c.drain.max_delay_ms = 0;
+  c.queue_capacity = std::max<std::size_t>(n_specs, 1);
+  c.reuse_identical = false;
+  c.keep_batch_results = true;
+  return c;
+}
+
+LatencySummary summarize_latency(std::vector<double> xs) {
+  LatencySummary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  // Same linear interpolation as util/stats percentile(), over one sort.
+  auto interp = [&](double p) {
+    const double rank =
+        p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= xs.size()) return xs.back();
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+  };
+  s.p50 = interp(50);
+  s.p95 = interp(95);
+  s.p99 = interp(99);
+  s.max = xs.back();
+  return s;
+}
+
+double ServingReport::amortized_transfer_ms() const {
+  double sum = 0;
+  for (const DrainRecord& d : drains) sum += d.transfer_ms;
+  return sum;
+}
+
+double ServingReport::summed_solo_transfer_ms() const {
+  double sum = 0;
+  for (const DrainRecord& d : drains) sum += d.solo_transfer_ms;
+  return sum;
+}
+
+ServingSession::ServingSession(ServingConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.drain.max_batch == 0) cfg_.drain.max_batch = 1;
+  if (cfg_.drain.max_delay_ms < 0) cfg_.drain.max_delay_ms = 0;
+  ring_.resize(std::max<std::size_t>(cfg_.queue_capacity, 1));
+}
+
+ServingSession::CacheKey ServingSession::cache_key(const LaunchSpec& spec) {
+  const GpuMode& m = spec.mode;
+  return std::make_tuple(spec.kernel.get(), m.autoropes, m.lockstep,
+                         m.auto_select,
+                         m.contiguous_stack, m.lockstep_stack_global,
+                         m.grid_limit, m.profile_samples, m.profile_seed);
+}
+
+bool ServingSession::submit(QuerySet q, double arrival_ms) {
+  if (!q.spec.kernel || !q.spec.space)
+    throw std::invalid_argument(
+        "ServingSession::submit: QuerySet is missing its kernel or address "
+        "space");
+  if (any_arrival_ && arrival_ms < last_arrival_ms_)
+    throw std::invalid_argument(
+        "ServingSession::submit: arrival times must be non-decreasing");
+  if (!any_arrival_) {
+    first_arrival_ms_ = arrival_ms;
+    any_arrival_ = true;
+  }
+  last_arrival_ms_ = arrival_ms;
+  ++submitted_;
+  // Fire every wave whose max-delay deadline passed before this arrival.
+  advance_to(arrival_ms);
+  if (count_ == ring_.size()) {
+    ++dropped_;
+    return false;
+  }
+  ring_[(head_ + count_) % ring_.size()] =
+      Pending{std::move(q), arrival_ms};
+  ++count_;
+  queue_depth_max_ = std::max(queue_depth_max_, count_);
+  queue_depth_stats_.add(static_cast<double>(count_));
+  while (count_ >= cfg_.drain.max_batch) fire(arrival_ms);
+  return true;
+}
+
+void ServingSession::advance_to(double now_ms) {
+  while (count_ > 0) {
+    const double deadline = front().arrival_ms + cfg_.drain.max_delay_ms;
+    if (deadline >= now_ms) break;
+    fire(deadline);
+  }
+}
+
+void ServingSession::flush() {
+  while (count_ > 0) fire(front().arrival_ms + cfg_.drain.max_delay_ms);
+}
+
+ServingSession::Pending ServingSession::pop_front() {
+  Pending p = std::move(ring_[head_]);
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
+  return p;
+}
+
+void ServingSession::fire(double trigger_ms) {
+  const std::size_t n = std::min(cfg_.drain.max_batch, count_);
+  if (n == 0) return;
+  DrainRecord rec;
+  rec.trigger_ms = trigger_ms;
+  rec.dispatch_ms = std::max(trigger_ms, device_free_ms_);
+  rec.queue_depth_before = count_;
+  rec.n_queries = n;
+
+  std::vector<Pending> wave;
+  wave.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) wave.push_back(pop_front());
+
+  // Classify cold (execute) vs warm (replay cached measurements). A wave
+  // that opens Chrome tracks executes everything cold so the trace shows
+  // real warp activity; caching the executed stats is always sound --
+  // batching is results-neutral, so they match what solo would measure.
+  const std::size_t drain_index = drains_.size();
+  const bool tracing = cfg_.chrome && drain_index < cfg_.max_drain_tracks;
+  struct Admit {
+    bool warm = false;
+    CachedLaunch info;
+  };
+  std::vector<Admit> admits(n);
+  std::vector<LaunchSpec> cold;
+  std::vector<std::size_t> cold_to_admit;
+  for (std::size_t i = 0; i < n; ++i) {
+    LaunchSpec spec = wave[i].q.spec;
+    const bool own_sinks = spec.trace != nullptr || spec.profile != nullptr;
+    if (tracing && !spec.trace)
+      spec.trace = &cfg_.chrome->begin_launch(
+          "drain" + std::to_string(drain_index) + "/" + spec.kernel->name());
+    if (cfg_.reuse_identical && !own_sinks && !tracing) {
+      auto it = cache_.find(cache_key(wave[i].q.spec));
+      if (it != cache_.end()) {
+        admits[i].warm = true;
+        admits[i].info = it->second;
+        continue;
+      }
+    }
+    cold_to_admit.push_back(i);
+    cold.push_back(spec);
+  }
+
+  LaunchPool pool;
+  if (!cold.empty()) pool = run_launch_pool(cold, cfg_.device);
+  rec.cold_launches = cold.size();
+
+  for (std::size_t c = 0; c < cold.size(); ++c) {
+    const LaunchResult& r = pool.launches[c];
+    CachedLaunch info;
+    info.shape = pool.shapes[c];
+    info.variant = r.variant;
+    info.total_ms = r.ok() ? r.time.total_ms : 0.0;
+    info.ok = r.ok();
+    admits[cold_to_admit[c]].info = info;
+    if (cfg_.reuse_identical) {
+      // Pin the handle: the cache key is its address (see CachedLaunch).
+      info.keepalive = wave[cold_to_admit[c]].q.spec.kernel;
+      cache_.insert_or_assign(cache_key(wave[cold_to_admit[c]].q.spec),
+                              std::move(info));
+    }
+  }
+
+  // Schedule accounting over the whole wave, warm launches included: the
+  // modelled device still runs them; only the re-simulation was skipped.
+  BatchScheduler sched(cfg_.policy);
+  for (const Admit& a : admits) sched.add_launch(a.info.shape);
+  const BatchSchedule bs = sched.schedule();
+  rec.residency = bs.residency;
+  rec.total_chunks = bs.total_chunks;
+  rec.rounds = bs.rounds;
+  rec.switches = bs.switches;
+
+  // One amortized round trip for the wave vs what solo dispatch would pay.
+  std::uint64_t up = 0;
+  std::uint64_t down = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    up += wave[i].q.upload_bytes;
+    down += wave[i].q.download_bytes;
+    rec.solo_transfer_ms += cfg_.transfer.round_trip_ms(
+        wave[i].q.upload_bytes, wave[i].q.download_bytes, 1);
+  }
+  rec.transfer_ms = cfg_.transfer.round_trip_ms(up, down, 1);
+
+  double total_compute = 0;
+  for (const Admit& a : admits) total_compute += a.info.total_ms;
+  rec.compute_ms = total_compute;
+  rec.service_ms = rec.transfer_ms + total_compute;
+
+  // Per-query completion = queueing + wave transfer + compute. Sequential
+  // issue retires each launch in admission order (prefix sums of compute);
+  // round-robin interleaves waves, so every query retires with the wave.
+  double prefix = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix += admits[i].info.total_ms;
+    const double offset =
+        cfg_.policy == BatchPolicy::kSequential ? prefix : total_compute;
+    const double completion = rec.dispatch_ms + rec.transfer_ms + offset;
+    // Summed as (queueing + transfer + compute) rather than
+    // completion - arrival: mathematically identical, but immune to the
+    // big-minus-big cancellation that would make a query's latency depend
+    // on how far into the trace it arrived.
+    const double queued = rec.dispatch_ms - wave[i].arrival_ms;
+    latencies_.push_back(queued + rec.transfer_ms + offset);
+    queue_delays_.push_back(queued);
+    last_completion_ms_ = std::max(last_completion_ms_, completion);
+    if (!admits[i].info.ok) ++failed_;
+  }
+  device_free_ms_ = rec.dispatch_ms + rec.service_ms;
+  busy_ms_ += rec.service_ms;
+  drains_.push_back(rec);
+
+  if (cfg_.keep_batch_results) {
+    BatchRun run;
+    run.launches = std::move(pool.launches);
+    run.policy = cfg_.policy;
+    run.residency = bs.residency;
+    run.total_chunks = bs.total_chunks;
+    run.rounds = bs.rounds;
+    run.switches = bs.switches;
+    run.sim_wall_ms = pool.sim_wall_ms;
+    closed_run_ = std::move(run);
+  }
+}
+
+ServingReport ServingSession::report() const {
+  ServingReport r;
+  r.submitted = submitted_;
+  r.completed = latencies_.size();
+  r.dropped = dropped_;
+  r.failed = failed_;
+  r.first_arrival_ms = first_arrival_ms_;
+  r.last_completion_ms = last_completion_ms_;
+  r.busy_ms = busy_ms_;
+  r.queue_depth_max = queue_depth_max_;
+  r.queue_depth = queue_depth_stats_.summary();
+  r.latency = summarize_latency(latencies_);
+  r.queue_delay = summarize_latency(queue_delays_);
+  r.drains = drains_;
+  return r;
+}
+
+BatchRun ServingSession::take_closed_run() {
+  if (!cfg_.keep_batch_results)
+    throw std::logic_error(
+        "ServingSession::take_closed_run: session was not configured with "
+        "keep_batch_results");
+  BatchRun run = closed_run_ ? std::move(*closed_run_) : BatchRun{};
+  run.policy = cfg_.policy;
+  closed_run_.reset();
+  return run;
+}
+
+// ---------------------------------------------------------------------
+// Closed-batch adapter: the legacy one-shot entry point.
+// ---------------------------------------------------------------------
+
+BatchRun run_gpu_batch(std::span<const LaunchSpec> specs,
+                       const DeviceConfig& cfg, BatchPolicy policy) {
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    if (!specs[i].kernel || !specs[i].space)
+      throw std::invalid_argument("run_gpu_batch: LaunchSpec " +
+                                  std::to_string(i) +
+                                  " is missing its kernel or address space");
+  ServingSession session(
+      ServingConfig::closed_batch(cfg, policy, specs.size()));
+  for (const LaunchSpec& spec : specs) session.submit(QuerySet{spec}, 0.0);
+  session.flush();
+  return session.take_closed_run();
+}
+
+// ---------------------------------------------------------------------
+// Arrival traces.
+// ---------------------------------------------------------------------
+
+std::vector<double> poisson_trace(std::size_t n, double rate_qps,
+                                  std::uint64_t seed) {
+  if (!(rate_qps > 0))
+    throw std::invalid_argument("poisson_trace: rate_qps must be > 0");
+  Pcg32 rng(seed, 0x5e59c1a7);  // own stream: trace draws stay stable
+  std::vector<double> ts(n);
+  const double scale = 1e3 / rate_qps;
+  double t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += -std::log(1.0 - rng.next_double()) * scale;
+    ts[i] = t;
+  }
+  return ts;
+}
+
+std::vector<double> bursty_trace(std::size_t n, double on_rate_qps,
+                                 double on_ms, double off_ms,
+                                 std::uint64_t seed) {
+  if (!(on_rate_qps > 0) || !(on_ms > 0) || off_ms < 0)
+    throw std::invalid_argument(
+        "bursty_trace: need on_rate_qps > 0, on_ms > 0, off_ms >= 0");
+  Pcg32 rng(seed, 0xb1257a1e);
+  std::vector<double> ts(n);
+  const double scale = 1e3 / on_rate_qps;
+  const double period = on_ms + off_ms;
+  // The Poisson clock only ticks during ON windows; map cumulative ON
+  // time to wall time by inserting one OFF gap per completed window.
+  double on_elapsed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    on_elapsed += -std::log(1.0 - rng.next_double()) * scale;
+    const double k = std::floor(on_elapsed / on_ms);
+    ts[i] = k * period + (on_elapsed - k * on_ms);
+  }
+  return ts;
+}
+
+}  // namespace tt

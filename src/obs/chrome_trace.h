@@ -11,6 +11,11 @@
 // row; batched kChunk events keep their kernel-id payload in args. The
 // output is deterministic for a deterministic trace (merged() order), so
 // OMP_NUM_THREADS=1 vs N produce byte-identical files.
+//
+// Serving runs (core/serving.h) name their tracks "drain<i>/<kernel>" --
+// one process per executed launch of each admission wave, capped by
+// ServingConfig::max_drain_tracks -- so queueing and wave formation are
+// visible next to the warp activity in Perfetto.
 #pragma once
 
 #include <cstdint>

@@ -92,6 +92,17 @@ void write_config(JsonWriter& w, const BenchConfig& c) {
   w.end_object();
 }
 
+void write_latency(JsonWriter& w, const LatencySummary& s) {
+  w.begin_object();
+  w.member("count", static_cast<std::uint64_t>(s.count));
+  w.member("mean", s.mean);
+  w.member("p50", s.p50);
+  w.member("p95", s.p95);
+  w.member("p99", s.p99);
+  w.member("max", s.max);
+  w.end_object();
+}
+
 void write_selection(JsonWriter& w, const SelectionInfo& s) {
   w.begin_object();
   w.member("mean_similarity", s.mean_similarity);
@@ -172,6 +183,40 @@ MetricsRegistry metrics_for_batch(const BatchResult& batch) {
                 batch.amortized_transfer_ms());
   reg.set_gauge("gpu/batch/transfer/summed_solo_ms",
                 batch.summed_solo_transfer_ms());
+  return reg;
+}
+
+MetricsRegistry metrics_for_serving(const ServingRunSummary& serving) {
+  MetricsRegistry reg;
+  const ServingReport& r = serving.report;
+  reg.add_counter("serving/queries/submitted",
+                  static_cast<std::uint64_t>(r.submitted));
+  reg.add_counter("serving/queries/completed",
+                  static_cast<std::uint64_t>(r.completed));
+  reg.add_counter("serving/queries/dropped",
+                  static_cast<std::uint64_t>(r.dropped));
+  reg.add_counter("serving/queries/failed",
+                  static_cast<std::uint64_t>(r.failed));
+  reg.add_counter("serving/drains",
+                  static_cast<std::uint64_t>(r.drains.size()));
+  reg.add_counter("serving/queue/depth_max",
+                  static_cast<std::uint64_t>(r.queue_depth_max));
+  reg.set_gauge("serving/queue/depth_mean", r.queue_depth.mean);
+  reg.set_gauge("serving/rate_qps", serving.rate_qps);
+  reg.set_gauge("serving/throughput_qps", r.throughput_qps());
+  reg.set_gauge("serving/occupancy", r.occupancy());
+  reg.set_gauge("serving/latency/mean_ms", r.latency.mean);
+  reg.set_gauge("serving/latency/p50_ms", r.latency.p50);
+  reg.set_gauge("serving/latency/p95_ms", r.latency.p95);
+  reg.set_gauge("serving/latency/p99_ms", r.latency.p99);
+  reg.set_gauge("serving/latency/max_ms", r.latency.max);
+  reg.set_gauge("serving/queue_delay/mean_ms", r.queue_delay.mean);
+  reg.set_gauge("serving/queue_delay/p50_ms", r.queue_delay.p50);
+  reg.set_gauge("serving/queue_delay/p95_ms", r.queue_delay.p95);
+  reg.set_gauge("serving/queue_delay/p99_ms", r.queue_delay.p99);
+  reg.set_gauge("serving/transfer/amortized_ms", r.amortized_transfer_ms());
+  reg.set_gauge("serving/transfer/summed_solo_ms",
+                r.summed_solo_transfer_ms());
   return reg;
 }
 
@@ -313,6 +358,86 @@ void RunReport::write(std::ostream& os) const {
 
     if (include_volatile_) w.member("sim_wall_ms", b.sim_wall_ms);
     w.end_object();  // batch
+  }
+
+  if (serving_) {
+    const ServingRunSummary& s = *serving_;
+    const ServingReport& r = s.report;
+    w.member_object("serving");
+    w.member("arrivals", s.arrivals);
+    w.member("rate_qps", s.rate_qps);
+    w.member("queries", static_cast<std::uint64_t>(s.n_queries));
+    w.member("variant", variant_name(s.variant));
+    w.member("policy", batch_policy_name(s.policy));
+    w.member_object("drain_policy");
+    w.member("max_batch", static_cast<std::uint64_t>(s.drain.max_batch));
+    w.member("max_delay_ms", s.drain.max_delay_ms);
+    w.end_object();
+    w.member("queue_capacity", static_cast<std::uint64_t>(s.queue_capacity));
+
+    w.member("submitted", static_cast<std::uint64_t>(r.submitted));
+    w.member("completed", static_cast<std::uint64_t>(r.completed));
+    w.member("dropped", static_cast<std::uint64_t>(r.dropped));
+    w.member("failed", static_cast<std::uint64_t>(r.failed));
+    w.member("span_ms", r.span_ms());
+    w.member("throughput_qps", r.throughput_qps());
+    w.member("occupancy", r.occupancy());
+    w.key("latency_ms");
+    write_latency(w, r.latency);
+    w.key("queue_delay_ms");
+    write_latency(w, r.queue_delay);
+    w.member_object("queue");
+    w.member("depth_max", static_cast<std::uint64_t>(r.queue_depth_max));
+    w.member("depth_mean", r.queue_depth.mean);
+    w.member("depth_stddev", r.queue_depth.stddev);
+    w.end_object();
+    w.member_object("transfer");
+    w.member("amortized_ms", r.amortized_transfer_ms());
+    w.member("summed_solo_ms", r.summed_solo_transfer_ms());
+    w.member("pcie_gbps", s.transfer.pcie_gbps);
+    w.member("launch_overhead_ms", s.transfer.launch_overhead_ms);
+    w.end_object();
+
+    w.member_array("drains");
+    for (const DrainRecord& d : r.drains) {
+      w.begin_object();
+      w.member("trigger_ms", d.trigger_ms);
+      w.member("dispatch_ms", d.dispatch_ms);
+      w.member("queries", static_cast<std::uint64_t>(d.n_queries));
+      w.member("queue_depth_before",
+               static_cast<std::uint64_t>(d.queue_depth_before));
+      w.member("cold_launches", static_cast<std::uint64_t>(d.cold_launches));
+      w.member("transfer_ms", d.transfer_ms);
+      w.member("solo_transfer_ms", d.solo_transfer_ms);
+      w.member("compute_ms", d.compute_ms);
+      w.member("service_ms", d.service_ms);
+      w.member("residency", static_cast<std::uint64_t>(d.residency));
+      w.member("total_chunks", static_cast<std::uint64_t>(d.total_chunks));
+      w.member("rounds", static_cast<std::uint64_t>(d.rounds));
+      w.member("switches", static_cast<std::uint64_t>(d.switches));
+      w.end_object();
+    }
+    w.end_array();
+
+    w.member_array("sweep");
+    for (const ServingSweepPoint& p : s.sweep) {
+      w.begin_object();
+      w.member("max_delay_ms", p.max_delay_ms);
+      w.member("max_batch", static_cast<std::uint64_t>(p.max_batch));
+      w.member("drains", static_cast<std::uint64_t>(p.drains));
+      w.member("mean_batch", p.mean_batch);
+      w.member("p50_ms", p.p50_ms);
+      w.member("p95_ms", p.p95_ms);
+      w.member("p99_ms", p.p99_ms);
+      w.member("throughput_qps", p.throughput_qps);
+      w.member("transfer_saved_ms", p.transfer_saved_ms);
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("metrics");
+    metrics_for_serving(s).write_json(w);
+    w.end_object();  // serving
   }
 
   w.member_array("tables");

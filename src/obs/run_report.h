@@ -36,7 +36,13 @@ namespace tt::obs {
 // and the gpu/<variant>/profile/* gauges. Emitted only when the run
 // carried a ProfileSink (--profile), so default reports are unchanged;
 // --golden prunes the additions.
-inline constexpr const char* kRunReportSchema = "treetrav.run_report/v4";
+// v5: adds the optional top-level "serving" block (core/serving.h: an
+// open-loop ServingSession run -- arrival scenario, throughput,
+// p50/p95/p99 modelled latency and queue-delay percentiles, queue-depth
+// gauges, per-drain records, and the drain-cadence sweep) plus its
+// serving/* metrics registry. Emitted only by bench/serving; --golden
+// prunes it, so older fixtures stay comparable.
+inline constexpr const char* kRunReportSchema = "treetrav.run_report/v5";
 
 // Build the per-row registry: all five variants' KernelStats and
 // TimeBreakdowns under "gpu/<variant>/", the CPU scaling model under
@@ -49,6 +55,13 @@ MetricsRegistry metrics_for_row(const BenchRow& row);
 // "gpu/batch/<kernel>/", schedule accounting (residency, chunks, rounds,
 // switches) and the amortized/summed transfer split under "gpu/batch/".
 MetricsRegistry metrics_for_batch(const BatchResult& batch);
+
+// Registry for the serving block: query counters and queue-depth /
+// occupancy gauges under "serving/queue/" and "serving/", latency and
+// queue-delay percentiles under "serving/latency/" and
+// "serving/queue_delay/", and the wave-amortized transfer split under
+// "serving/transfer/".
+MetricsRegistry metrics_for_serving(const ServingRunSummary& serving);
 
 class RunReport {
  public:
@@ -64,6 +77,9 @@ class RunReport {
   // Attach a batched multi-kernel run; at most one per report (a later
   // call replaces the earlier block).
   void set_batch(const BatchResult& batch) { batch_ = batch; }
+  // Attach an open-loop serving run (core/serving.h); at most one per
+  // report (a later call replaces the earlier block).
+  void set_serving(const ServingRunSummary& serving) { serving_ = serving; }
   // Tables whose cells embed measured wall-clock values (e.g. table1's
   // speedup-vs-CPU columns) must pass volatile_data = true; they are then
   // only emitted when include_volatile is set, keeping the default report
@@ -87,6 +103,7 @@ class RunReport {
   bool include_volatile_ = false;
   std::vector<BenchRow> rows_;
   std::optional<BatchResult> batch_;
+  std::optional<ServingRunSummary> serving_;
   struct NamedTable {
     std::string name;
     Table table;

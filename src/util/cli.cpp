@@ -103,8 +103,19 @@ bool Cli::parse(int argc, const char* const* argv) {
       it = options_.find(body.substr(3));
       negated = true;
     }
-    if (it == options_.end())
-      throw std::invalid_argument("unknown flag: --" + body);
+    if (it == options_.end()) {
+      // Same shape as variant_from_name: name the offender, then list
+      // everything that would have parsed (options_ iterates sorted).
+      std::string msg = "unknown flag: --" + body + " (valid:";
+      bool first = true;
+      for (const auto& [name, opt] : options_) {
+        msg += first ? " --" : ", --";
+        msg += name;
+        first = false;
+      }
+      msg += ")";
+      throw std::invalid_argument(msg);
+    }
     Option& opt = it->second;
     if (negated) {
       if (opt.kind != Kind::kFlag || has_value)

@@ -13,6 +13,7 @@
 #include "bench_algos/pc/point_correlation.h"
 #include "core/batch_scheduler.h"
 #include "core/gpu_executors.h"
+#include "core/serving.h"
 #include "core/traversal_kernel.h"
 #include "data/generators.h"
 #include "obs/trace.h"
@@ -431,6 +432,77 @@ TEST(RunBatch, AmortizedTransferStrictlyBelowSummedSolo) {
 TEST(RunBatch, EmptyBatchThrows) {
   BatchConfig bc;
   EXPECT_THROW(run_batch(bc), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// The closed-batch adapter: run_gpu_batch is now a ServingSession in
+// closed-batch mode (core/serving.h). A hand-built session must produce
+// the same BatchRun, byte for byte, as the adapter -- launches, results
+// bytes, stats, and schedule accounting alike.
+// ---------------------------------------------------------------------
+
+TEST(ServingClosedBatch, SessionMatchesRunGpuBatchByteForByte) {
+  BatchFixtures f;
+  DeviceConfig cfg;
+  GpuMode mode = GpuMode::from(Variant::kAutoNolockstep);
+  for (BatchPolicy policy : kPolicies) {
+    SCOPED_TRACE(batch_policy_name(policy));
+    std::vector<LaunchSpec> specs;
+    specs.push_back(
+        LaunchSpec{make_kernel_handle(*f.pc), &f.pc_space, mode, nullptr});
+    specs.push_back(
+        LaunchSpec{make_kernel_handle(*f.nn), &f.nn_space, mode, nullptr});
+    BatchRun adapter = run_gpu_batch(specs, cfg, policy);
+
+    ServingSession session(
+        ServingConfig::closed_batch(cfg, policy, specs.size()));
+    for (const LaunchSpec& spec : specs) {
+      QuerySet q;
+      q.spec = spec;
+      ASSERT_TRUE(session.submit(std::move(q), 0.0));
+    }
+    session.flush();
+    BatchRun manual = session.take_closed_run();
+
+    ASSERT_EQ(manual.launches.size(), adapter.launches.size());
+    EXPECT_EQ(manual.policy, adapter.policy);
+    EXPECT_EQ(manual.residency, adapter.residency);
+    EXPECT_EQ(manual.total_chunks, adapter.total_chunks);
+    EXPECT_EQ(manual.rounds, adapter.rounds);
+    EXPECT_EQ(manual.switches, adapter.switches);
+    for (std::size_t i = 0; i < manual.launches.size(); ++i) {
+      const LaunchResult& m = manual.launches[i];
+      const LaunchResult& a = adapter.launches[i];
+      EXPECT_EQ(m.kernel_name, a.kernel_name);
+      EXPECT_EQ(m.batch_index, a.batch_index);
+      ASSERT_TRUE(m.ok()) << m.error;
+      ASSERT_EQ(m.results.size(), a.results.size());
+      EXPECT_EQ(0, std::memcmp(m.results.data(), a.results.data(),
+                               m.results.size()));
+      EXPECT_EQ(m.stats.instr_cycles, a.stats.instr_cycles);
+      EXPECT_EQ(m.stats.warp_steps, a.stats.warp_steps);
+      EXPECT_EQ(m.time.total_ms, a.time.total_ms);
+    }
+  }
+}
+
+// An empty closed batch stays legal through the adapter (no drain ever
+// fires; take_closed_run still hands back a BatchRun with the policy set).
+TEST(ServingClosedBatch, EmptySpecsYieldEmptyRun) {
+  DeviceConfig cfg;
+  BatchRun run = run_gpu_batch({}, cfg, BatchPolicy::kSequential);
+  EXPECT_TRUE(run.launches.empty());
+  EXPECT_EQ(run.policy, BatchPolicy::kSequential);
+  EXPECT_EQ(run.total_chunks, 0u);
+}
+
+// Serving-mode sessions never keep result bytes; asking for the closed
+// run is a programming error, not a silent empty answer.
+TEST(ServingClosedBatch, TakeClosedRunRequiresKeepBatchResults) {
+  BatchFixtures f;
+  ServingConfig cfg;  // keep_batch_results defaults off
+  ServingSession session(cfg);
+  EXPECT_THROW((void)session.take_closed_run(), std::logic_error);
 }
 
 }  // namespace

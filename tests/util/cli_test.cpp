@@ -56,6 +56,24 @@ TEST(Cli, UnknownFlagThrows) {
   EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
 }
 
+// The unknown-flag error enumerates every registered flag (the
+// variant_from_name pattern), so a typo is self-diagnosing.
+TEST(Cli, UnknownFlagErrorListsValidFlags) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus=1"};
+  try {
+    cli.parse(2, argv);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--bogus"), std::string::npos);
+    EXPECT_NE(msg.find("--algo"), std::string::npos);
+    EXPECT_NE(msg.find("--points"), std::string::npos);
+    EXPECT_NE(msg.find("--theta"), std::string::npos);
+    EXPECT_NE(msg.find("--verbose"), std::string::npos);
+  }
+}
+
 TEST(Cli, BadIntThrows) {
   Cli cli = make_cli();
   const char* argv[] = {"prog", "--points=abc"};

@@ -1,9 +1,12 @@
 // Validates a treetrav.run_report JSON file: parses it, checks the schema
 // tag and the presence/shape of the sections every report must carry
-// (including the auto_select "selection" block introduced by schema v2 and
+// (including the auto_select "selection" block introduced by schema v2,
 // the optional cycle-attribution "profile" block introduced by v4 --
 // whose attribution invariant, bucket sum == instr_cycles, is re-checked
-// here with exact equality against the report's own stats).
+// here with exact equality against the report's own stats -- and the
+// optional "serving" block introduced by v5, whose latency percentiles
+// must be monotone, queue gauges non-negative, and per-drain query counts
+// must sum to the completed total).
 // Exit 0 on success; nonzero with a diagnostic on stderr otherwise. Used
 // by the table1_json_validate ctest and scripts/check.sh.
 //
@@ -128,9 +131,10 @@ bool is_profile_metric(const std::string& key) {
 void prune_to_legacy(JsonValue& root) {
   set_string(root, "schema", "<schema>");
   set_string(root, "git_sha", "<sha>");
-  // v3 additions the fixture predates: the optional top-level batch block.
-  std::erase_if(root.obj_v,
-                [](const auto& member) { return member.first == "batch"; });
+  // Top-level blocks the fixture predates: batch (v3), serving (v5).
+  std::erase_if(root.obj_v, [](const auto& member) {
+    return member.first == "batch" || member.first == "serving";
+  });
   JsonValue* rows = find_mut(root, "rows");
   if (!rows || !rows->is_array()) return;
   for (const JsonValuePtr& rowp : rows->arr_v) {
@@ -393,6 +397,121 @@ int check_batch(const JsonValue& batch) {
   return 0;
 }
 
+// A percentile summary (latency_ms / queue_delay_ms): all fields present,
+// non-negative, and monotone p50 <= p95 <= p99 <= max.
+int check_latency_summary(const std::string& at, const JsonValue& s) {
+  if (!s.is_object()) return fail(at + ": not an object");
+  for (const char* field : {"count", "mean", "p50", "p95", "p99", "max"})
+    if (!s.find(field)) return fail(at + ": missing \"" + field + "\"");
+  const double p50 = s.find("p50")->as_number();
+  const double p95 = s.find("p95")->as_number();
+  const double p99 = s.find("p99")->as_number();
+  const double mx = s.find("max")->as_number();
+  if (p50 < 0) return fail(at + ".p50: negative");
+  if (!(p50 <= p95 && p95 <= p99 && p99 <= mx))
+    return fail(at + ": percentiles not monotone (p50 " +
+                std::to_string(p50) + ", p95 " + std::to_string(p95) +
+                ", p99 " + std::to_string(p99) + ", max " +
+                std::to_string(mx) + ")");
+  return 0;
+}
+
+// The optional v5 serving block: admission accounting must balance
+// (completed + dropped == submitted, per-drain query counts sum to
+// completed), both percentile summaries must be monotone, and every queue
+// gauge must be non-negative.
+int check_serving(const JsonValue& serving) {
+  if (!serving.is_object()) return fail("\"serving\" is not an object");
+  for (const char* field :
+       {"arrivals", "rate_qps", "queries", "variant", "policy",
+        "drain_policy", "queue_capacity", "submitted", "completed",
+        "dropped", "failed", "span_ms", "throughput_qps", "occupancy",
+        "latency_ms", "queue_delay_ms", "queue", "transfer", "drains",
+        "metrics"})
+    if (!serving.find(field))
+      return fail(std::string("serving: missing \"") + field + "\"");
+
+  const std::uint64_t submitted = serving.find("submitted")->as_uint();
+  const std::uint64_t completed = serving.find("completed")->as_uint();
+  const std::uint64_t dropped = serving.find("dropped")->as_uint();
+  const std::uint64_t failed = serving.find("failed")->as_uint();
+  if (completed + dropped != submitted)
+    return fail("serving: completed " + std::to_string(completed) +
+                " + dropped " + std::to_string(dropped) +
+                " != submitted " + std::to_string(submitted) +
+                " (was the session flushed?)");
+  if (failed > completed)
+    return fail("serving: failed exceeds completed");
+
+  if (int rc = check_latency_summary("serving.latency_ms",
+                                     *serving.find("latency_ms")))
+    return rc;
+  if (int rc = check_latency_summary("serving.queue_delay_ms",
+                                     *serving.find("queue_delay_ms")))
+    return rc;
+
+  const JsonValue* queue = serving.find("queue");
+  if (!queue->is_object()) return fail("serving.queue: not an object");
+  for (const char* field : {"depth_max", "depth_mean", "depth_stddev"}) {
+    const JsonValue* v = queue->find(field);
+    if (!v) return fail(std::string("serving.queue: missing \"") + field +
+                        "\"");
+    if (v->as_number() < 0)
+      return fail(std::string("serving.queue.") + field + ": negative");
+  }
+  if (serving.find("occupancy")->as_number() < 0)
+    return fail("serving.occupancy: negative");
+
+  const JsonValue* drains = serving.find("drains");
+  if (!drains->is_array()) return fail("serving.drains: not an array");
+  std::uint64_t drained = 0;
+  double prev_dispatch = 0;
+  for (std::size_t i = 0; i < drains->arr_v.size(); ++i) {
+    const JsonValue& d = *drains->arr_v[i];
+    const std::string at = "serving.drains[" + std::to_string(i) + "]";
+    for (const char* field :
+         {"trigger_ms", "dispatch_ms", "queries", "queue_depth_before",
+          "cold_launches", "transfer_ms", "solo_transfer_ms", "compute_ms",
+          "service_ms", "residency", "total_chunks", "rounds", "switches"})
+      if (!d.find(field)) return fail(at + ": missing \"" + field + "\"");
+    const std::uint64_t q = d.find("queries")->as_uint();
+    if (q == 0) return fail(at + ": empty drain");
+    drained += q;
+    const double dispatch = d.find("dispatch_ms")->as_number();
+    if (dispatch < d.find("trigger_ms")->as_number())
+      return fail(at + ": dispatch_ms precedes trigger_ms");
+    if (i > 0 && dispatch < prev_dispatch)
+      return fail(at + ": dispatch times not non-decreasing");
+    prev_dispatch = dispatch;
+    if (d.find("transfer_ms")->as_number() >
+        d.find("solo_transfer_ms")->as_number() + 1e-9)
+      return fail(at + ": amortized transfer exceeds summed solo transfer");
+  }
+  if (drained != completed)
+    return fail("serving.drains: per-drain queries sum to " +
+                std::to_string(drained) + " but completed is " +
+                std::to_string(completed));
+
+  if (const JsonValue* sweep = serving.find("sweep")) {
+    if (!sweep->is_array()) return fail("serving.sweep: not an array");
+    for (std::size_t i = 0; i < sweep->arr_v.size(); ++i) {
+      const JsonValue& p = *sweep->arr_v[i];
+      const std::string at = "serving.sweep[" + std::to_string(i) + "]";
+      for (const char* field :
+           {"max_delay_ms", "max_batch", "drains", "mean_batch", "p50_ms",
+            "p95_ms", "p99_ms", "throughput_qps", "transfer_saved_ms"})
+        if (!p.find(field)) return fail(at + ": missing \"" + field + "\"");
+      if (!(p.find("p50_ms")->as_number() <=
+                p.find("p95_ms")->as_number() &&
+            p.find("p95_ms")->as_number() <= p.find("p99_ms")->as_number()))
+        return fail(at + ": percentiles not monotone");
+      if (p.find("transfer_saved_ms")->as_number() < -1e-9)
+        return fail(at + ": negative transfer_saved_ms");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -454,6 +573,10 @@ int main(int argc, char** argv) {
     }
     if (const JsonValue* batch = root->find("batch")) {
       int rc = check_batch(*batch);
+      if (rc != 0) return rc;
+    }
+    if (const JsonValue* serving = root->find("serving")) {
+      int rc = check_serving(*serving);
       if (rc != 0) return rc;
     }
   } catch (const std::exception& e) {
