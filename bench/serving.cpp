@@ -105,6 +105,13 @@ int main(int argc, char** argv) {
                  "longest a pending query may wait before its wave drains");
   cli.add_int("queue-capacity", 4096,
               "ring-buffer admission queue capacity (full = drop)");
+  cli.add_int("devices", 1,
+              "simulated device count; each wave dispatches to the "
+              "least-loaded device (1 = the single-device model)");
+  cli.add_int("shard-chunk", 0,
+              "points per pipelined upload chunk: each wave's copy-in "
+              "overlaps its compute and only the exposed portion is "
+              "charged (0 = synchronous single-shot round trip)");
   cli.add_string("batch-policy", "round_robin",
                  "wave chunk interleaving: round_robin or sequential");
   cli.add_string("serve-variant", "auto_select",
@@ -185,12 +192,20 @@ int main(int argc, char** argv) {
     if (capacity <= 0)
       throw std::invalid_argument("--queue-capacity must be >= 1");
     scfg.queue_capacity = static_cast<std::size_t>(capacity);
+    if (cli.get_int("devices") <= 0)
+      throw std::invalid_argument("--devices must be >= 1");
+    scfg.devices = static_cast<std::size_t>(cli.get_int("devices"));
+    if (cli.get_int("shard-chunk") < 0)
+      throw std::invalid_argument("--shard-chunk must be >= 0");
+    scfg.shard_chunk = static_cast<std::size_t>(cli.get_int("shard-chunk"));
     scfg.chrome = chrome.collector();
 
     ServingRunSummary summary;
     summary.arrivals = arrivals;
     summary.rate_qps = rate_qps;
     summary.n_queries = n_queries;
+    summary.devices = scfg.devices;
+    summary.shard_chunk = scfg.shard_chunk;
     summary.drain = scfg.drain;
     summary.policy = scfg.policy;
     summary.variant = mode.variant();
@@ -205,6 +220,7 @@ int main(int argc, char** argv) {
     head.add_row({"dropped", std::to_string(r.dropped)});
     head.add_row({"failed", std::to_string(r.failed)});
     head.add_row({"drains", std::to_string(r.drains.size())});
+    head.add_row({"devices", std::to_string(r.devices)});
     head.add_row({"throughput (qps)", fmt_fixed(r.throughput_qps(), 1)});
     head.add_row({"occupancy", fmt_fixed(r.occupancy(), 3)});
     head.add_row({"latency p50 (ms)", fmt_fixed(r.latency.p50, 3)});

@@ -150,6 +150,35 @@ int run_batched(const Cli& cli, obs::RunReport& report,
       std::cerr << "# batch kernel failed: " << k.result.error << "\n";
       ++failed;
     }
+
+  if (cli.get_int("devices") < 1)
+    throw std::invalid_argument("--devices must be >= 1");
+  if (cli.get_int("shard-chunk") < 1)
+    throw std::invalid_argument("--shard-chunk must be >= 1");
+  if (cli.get_int("devices") > 1) {
+    // Re-run the same items sharded across the device group; the merged
+    // results are byte-identical to the batch by the sharding contract,
+    // so this only adds the multi-device makespan accounting.
+    ShardingConfig sc;
+    sc.items = bc.items;
+    sc.variant = bc.variant;
+    sc.policy = bc.policy;
+    sc.devices = static_cast<std::size_t>(cli.get_int("devices"));
+    sc.chunk_points = static_cast<std::size_t>(cli.get_int("shard-chunk"));
+    sc.grid_limit = bc.grid_limit;
+    ShardingRunSummary sharded = run_sharding(sc);
+    for (const ShardingKernelReport& k : sharded.kernels)
+      if (!k.ok()) {
+        std::cerr << "# sharded kernel failed: " << k.error << "\n";
+        ++failed;
+      }
+    std::cerr << "# sharded: " << sharded.devices << " devices, solo "
+              << fmt_fixed(sharded.single_device_ms(), 3)
+              << " ms -> makespan " << fmt_fixed(sharded.makespan_ms(), 3)
+              << " ms (" << fmt_fixed(sharded.speedup(), 2) << "x)\n";
+    report.set_sharding(sharded);
+  }
+
   if (!benchx::maybe_write_report(cli, report)) return 1;
   if (!chrome.write()) return 1;
   return failed == 0 ? 0 : 1;
@@ -172,6 +201,13 @@ int main(int argc, char** argv) {
                  "the composition every batched launch simulates");
   cli.add_int("batch-grid-limit", 0,
               "Figure 9b strip-mining limit per launch (0 = no limit)");
+  cli.add_int("devices", 1,
+              "--batch only: also shard each batched kernel across this "
+              "many simulated devices (core/device_group.h) and embed the "
+              "schema-v6 \"devices\" block in the --json report");
+  cli.add_int("shard-chunk", 1024,
+              "--batch only: points per pipelined upload chunk for the "
+              "--devices sharded run");
   return benchx::run_main(cli, argc, argv, "table1", [&]() -> int {
     benchx::ChromeTrace chrome(cli);
     if (cli.get_flag("batch")) {

@@ -173,3 +173,78 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(snapshot['sweep'])} sweep points)")
 PY
+
+# Sharding baseline: the same pc+nn pool split across the simulated
+# device group, distilled into BENCH_sharding.json -- per-kernel
+# makespan speedup, per-device load balance, and the device-count x
+# chunk-size sweep. All modelled time; changes only when behavior does.
+sharding_out="${3:-$repo/BENCH_sharding.json}"
+sharding_raw="$(mktemp /tmp/bench_snapshot_sharding_XXXX.json)"
+trap 'rm -f "$raw" "$batch_raw" "$serving_raw" "$sharding_raw"' EXIT
+
+if [[ ! -x "$build/bench/sharding" ]]; then
+  echo "== building sharding =="
+  cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" --target sharding
+fi
+
+echo "== sharding (pc+nn pool, 1,2,4 devices) =="
+"$build/bench/sharding" --benchmarks=pc,nn --points=512 \
+  --json="$sharding_raw" >/dev/null
+
+python3 - "$sharding_raw" "$sharding_out" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    report = json.load(f)
+
+d = report["devices"]
+snapshot = {
+    "schema": "treetrav.bench_snapshot.sharding/v1",
+    "source": "sharding --benchmarks=pc,nn --points=512",
+    "git_sha": report.get("git_sha", "unknown"),
+    "devices": d["devices"],
+    "chunk_points": d["chunk_points"],
+    "policy": d["policy"],
+    "variant": d["variant"],
+    "single_device_ms": d["single_device_ms"],
+    "makespan_ms": d["makespan_ms"],
+    "speedup": d["speedup"],
+    "kernels": {},
+    "sweep": [
+        {
+            "devices": p["devices"],
+            "chunk_points": p["chunk_points"],
+            "speedup": p["speedup"],
+            "overlap_efficiency": p["overlap_efficiency"],
+        }
+        for p in d["sweep"]
+    ],
+}
+for k in d["kernels"]:
+    if not k.get("ok", False):
+        snapshot["kernels"][k["kernel"]] = {"error": k.get("error", "failed")}
+        continue
+    snapshot["kernels"][k["kernel"]] = {
+        "points": k["points"],
+        "chunks": k["chunks"],
+        "variant": k["variant"],
+        "single_device_ms": k["single_device_ms"],
+        "makespan_ms": k["makespan_ms"],
+        "speedup": k["speedup"],
+        "per_device": [
+            {
+                "device": p["device"],
+                "chunks": p["chunks"],
+                "steals": p["steals"],
+                "busy_ms": p["busy_ms"],
+                "overlap_ms": p["overlap_ms"],
+            }
+            for p in k["per_device"]
+        ],
+    }
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path} ({len(snapshot['sweep'])} sweep points)")
+PY

@@ -543,6 +543,53 @@ BatchConfig default_table1_batch() {
   return batch;
 }
 
+ShardingRunSummary run_sharding(const ShardingConfig& config) {
+  if (config.items.empty())
+    throw std::invalid_argument("run_sharding: no items to shard");
+  ShardingRunSummary out;
+  out.devices = std::max<std::size_t>(config.devices, 1);
+  out.chunk_points = std::max<std::size_t>(config.chunk_points, 1);
+  out.policy = config.policy;
+  out.variant = config.variant;
+  out.transfer = config.transfer;
+
+  DeviceGroupConfig group;
+  group.devices = out.devices;
+  group.device = config.device;
+  group.transfer = config.transfer;
+  group.policy = config.policy;
+  group.chunk_points = out.chunk_points;
+  group.chrome = config.chrome;
+
+  out.kernels.reserve(config.items.size());
+  for (const BenchConfig& item : config.items) {
+    std::unique_ptr<PreparedKernel> pl = prepare_kernel(item);
+    LaunchSpec spec;
+    spec.kernel = pl->handle;
+    spec.space = &pl->space;
+    spec.mode = GpuMode::from(config.variant);
+    spec.mode.grid_limit = config.grid_limit;
+    spec.mode.profile_samples = item.profile_samples;
+    spec.mode.profile_seed = item.profile_seed;
+
+    ShardedRun r =
+        run_sharded(spec, pl->upload_bytes, pl->download_bytes, group);
+    ShardingKernelReport rep;
+    rep.kernel_name = r.merged.kernel_name.empty() ? pl->handle->name()
+                                                   : r.merged.kernel_name;
+    rep.n_points = r.merged.n_points;
+    rep.n_chunks = r.merged.n_warps;
+    rep.variant = r.merged.variant;
+    rep.single_device_ms = r.single_device_ms;
+    rep.makespan_ms = r.makespan_ms;
+    rep.speedup = r.speedup;
+    rep.devices = std::move(r.devices);
+    rep.error = r.merged.error;
+    out.kernels.push_back(std::move(rep));
+  }
+  return out;
+}
+
 std::vector<CpuSweepPoint> cpu_sweep(const BenchRow& row, bool lockstep,
                                      const std::vector<int>& thread_counts) {
   const VariantResult& v = row.result(lockstep ? Variant::kAutoLockstep

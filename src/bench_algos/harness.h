@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/batch_scheduler.h"
+#include "core/device_group.h"
 #include "core/serving.h"
 #include "core/ir/callset_analysis.h"
 #include "core/variant.h"
@@ -264,6 +265,37 @@ BatchResult run_batch(const BatchConfig& config);
 
 // The five Table-1 benchmarks (first input of each, sorted) as one batch.
 [[nodiscard]] BatchConfig default_table1_batch();
+
+// ---------------------------------------------------------------------
+// Multi-device sharded runs (core/device_group.h behind the harness).
+// ---------------------------------------------------------------------
+
+// One sharded harness run: every item becomes one LaunchSpec (built
+// exactly like its run_bench solo row) and each launch's point range is
+// sharded across `devices` simulated devices with pipelined transfer
+// overlap. Kernels run one after another (the group serves one launch at
+// a time), so the pool's makespan is the summed per-kernel makespan.
+struct ShardingConfig {
+  std::vector<BenchConfig> items;
+  // The composition every launch simulates; auto_select resolves once per
+  // launch on the baseline run and the shards reuse that decision.
+  Variant variant = Variant::kAutoSelect;
+  BatchPolicy policy = BatchPolicy::kWorkStealing;
+  std::size_t devices = 2;
+  std::size_t chunk_points = 1024;  // pipelined upload granularity
+  std::size_t grid_limit = 0;       // Figure 9b strip-mining, per device
+  DeviceConfig device;              // each device of the homogeneous group
+  TransferModel transfer;
+  // Per-device Chrome tracks "dev<d>/<kernel>" (copy + compute overlap).
+  obs::ChromeTraceCollector* chrome = nullptr;
+};
+
+// Build every item's kernel and shard it across the device group. The
+// merged results are verified byte-identical to the single-device
+// baseline inside run_sharded; a divergence (or a baseline failure)
+// reports through the kernel's error field. Throws std::invalid_argument
+// on an empty item list.
+[[nodiscard]] ShardingRunSummary run_sharding(const ShardingConfig& config);
 
 // Figure 10/11 series: CPU-performance-vs-GPU ratio for each thread count,
 // normalized so GPU == 1 (values above 1 mean the CPU is faster).

@@ -11,6 +11,13 @@
 //                 chunks from every launch before any launch's next wave.
 //   kSequential   all chunks of launch 0, then launch 1, ... -- the
 //                 as-today baseline the equivalence tests compare against.
+//   kWorkStealing greedy earliest-finish. As a chunk *order* (single
+//                 residency, uniform chunk costs) it degenerates to the
+//                 round-robin interleave; its real job is the cost-aware
+//                 chunk -> device assignment below (assign_devices), where
+//                 each chunk goes to the device that would finish it first
+//                 and a chunk landing off its home device counts as a
+//                 steal.
 //
 // Batching is results-neutral by construction: every (launch, slot) pair
 // owns its full simulation state -- stack arena slice, L2 slice sized by
@@ -44,10 +51,13 @@ namespace tt {
 enum class BatchPolicy : std::uint8_t {
   kRoundRobin = 0,
   kSequential = 1,
+  kWorkStealing = 2,
 };
 
 [[nodiscard]] const char* batch_policy_name(BatchPolicy p);
-// "round_robin" / "sequential"; throws std::invalid_argument otherwise.
+// "round_robin" / "sequential" / "work_stealing"; throws
+// std::invalid_argument otherwise (the error lists the valid spellings,
+// like variant_from_name).
 [[nodiscard]] BatchPolicy batch_policy_from_name(const std::string& name);
 
 // One scheduled chunk: launch index within the batch + logical warp id.
@@ -91,6 +101,33 @@ class BatchScheduler {
   BatchPolicy policy_;
   std::vector<Entry> launches_;
 };
+
+// ---------------------------------------------------------------------
+// Chunk -> device assignment (core/device_group.h's planning step).
+// ---------------------------------------------------------------------
+
+// The assignment of a launch's chunks (logical warps) across N simulated
+// devices, plus per-device accounting. `device[i]` is chunk i's device;
+// chunk i's *home* device is i % n_devices, and a chunk assigned elsewhere
+// counts as a steal on the device that took it.
+struct DeviceAssignment {
+  std::vector<std::uint32_t> device;  // per chunk, size == chunk_costs.size()
+  std::vector<double> load;           // accumulated modelled cost per device
+  std::vector<std::size_t> chunks;    // chunks per device
+  std::vector<std::size_t> steals;    // chunks taken off their home device
+};
+
+// Assign chunks with modelled costs to `n_devices` devices under `policy`:
+//   kRoundRobin    chunk i -> device i % n (every chunk stays home)
+//   kSequential    contiguous blocks, balanced by chunk count
+//   kWorkStealing  greedy earliest-finish: each chunk, in issue order, goes
+//                  to the device with the least accumulated cost (ties to
+//                  the lowest index) -- the classic online makespan greedy
+// Deterministic for a given (costs, n_devices, policy). Throws
+// std::invalid_argument on n_devices == 0.
+[[nodiscard]] DeviceAssignment assign_devices(std::span<const double> chunk_costs,
+                                              std::size_t n_devices,
+                                              BatchPolicy policy);
 
 // A batched run: per-launch isolated measurements + schedule accounting.
 struct BatchRun {

@@ -34,6 +34,7 @@
 #include <cstring>
 #include <memory>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -205,6 +206,51 @@ void run_warp_slot(const K& k, const GpuAddressSpace& space,
   }
 }
 
+// The sharded sibling of run_warp_slot: slot `p` walks an *explicit* chunk
+// list (warps[p], warps[p + grid], ...) instead of the dense p, p + grid,
+// ... sequence -- how a device of a DeviceGroup (core/device_group.h) runs
+// just the logical warps assigned to it. Each chunk's traversal is
+// identical to the solo run's (same kernel, same warp range, same
+// engine/arena construction), so results and visit counters land
+// byte-identical into the canonical warp-indexed arrays; only the L2 /
+// stats side, which is slot-state, sees the different walk order.
+template <TraversalKernel K>
+void run_warp_list(const K& k, const GpuAddressSpace& space,
+                   const DeviceConfig& cfg, const GpuMode& mode,
+                   const LaunchGeometry& shape, std::uint64_t stack_base0,
+                   std::span<const std::uint32_t> warps, std::size_t grid,
+                   std::size_t p, KernelStats& stats, L2Cache* l2,
+                   obs::TraceSink* trace, obs::ProfileSink* profile,
+                   OverflowReport& overflow,
+                   typename K::Result* results,
+                   std::uint32_t* per_point_visits,
+                   std::uint32_t* per_warp_pops,
+                   std::uint32_t kernel_id = kSoloKernel) {
+  WarpMemory mem(space, cfg, l2, stats);
+  const std::uint64_t base = stack_base0 + shape.per_warp_span * p;
+  obs::WarpTracer* tr = trace ? &trace->ring(omp_get_thread_num()) : nullptr;
+  obs::ProfileCollector* pc =
+      profile ? &profile->collector(omp_get_thread_num()) : nullptr;
+  WarpEngine<K> eng(k, cfg, mem, stats, overflow, shape.stack_bound, tr, pc);
+  const WarpArenas arenas = make_warp_arenas(shape, cfg, mode, base);
+
+  for (std::size_t i = p; i < warps.size(); i += grid) {
+    const std::size_t w = warps[i];
+    if (tr) tr->begin_warp(static_cast<std::uint32_t>(w));
+    WarpRange range;
+    range.begin = static_cast<std::uint32_t>(w * cfg.warp_size);
+    range.end = static_cast<std::uint32_t>(
+        std::min<std::size_t>(shape.n, (w + 1) * cfg.warp_size));
+    eng.begin_chunk(static_cast<std::uint32_t>(w), range,
+                    results + range.begin,
+                    mode.lockstep ? nullptr : per_point_visits + range.begin,
+                    mode.lockstep ? &per_warp_pops[w] : nullptr, kernel_id);
+    run_chunk(eng, mode, arenas);
+    eng.end_chunk();
+    if (tr) trace->commit(static_cast<std::uint32_t>(w), *tr);
+  }
+}
+
 // ---------------------------------------------------------------------
 // Type-erased launch API.
 // ---------------------------------------------------------------------
@@ -226,6 +272,13 @@ class LaunchRun {
 
   // Simulate every chunk assigned to physical warp slot `p` (< shape.grid).
   virtual void run_slot(std::size_t p, KernelStats& stats, L2Cache* l2) = 0;
+  // Sharded execution (core/device_group.h): slot `p` of a device whose
+  // assigned chunk list is `warps` and whose physical grid is `grid` walks
+  // warps[p], warps[p + grid], ... Results/counters land in the same
+  // canonical warp-indexed storage as run_slot.
+  virtual void run_shard_slot(std::span<const std::uint32_t> warps,
+                              std::size_t grid, std::size_t p,
+                              KernelStats& stats, L2Cache* l2) = 0;
   [[nodiscard]] virtual const void* result_data() const = 0;
   [[nodiscard]] virtual std::size_t result_stride() const = 0;
 };
@@ -283,6 +336,16 @@ class TypedLaunchRun final : public LaunchRun {
   void run_slot(std::size_t p, KernelStats& stats, L2Cache* l2) override {
     run_warp_slot(*k_, *space_, *cfg_, mode_, shape, stack_base0_, p, stats,
                   l2, trace_, profile_, overflow, results_.data(),
+                  mode_.lockstep ? nullptr : per_point_visits.data(),
+                  mode_.lockstep ? per_warp_pops.data() : nullptr,
+                  kernel_id_);
+  }
+
+  void run_shard_slot(std::span<const std::uint32_t> warps, std::size_t grid,
+                      std::size_t p, KernelStats& stats, L2Cache* l2) override {
+    run_warp_list(*k_, *space_, *cfg_, mode_, shape, stack_base0_, warps,
+                  grid, p, stats, l2, trace_, profile_, overflow,
+                  results_.data(),
                   mode_.lockstep ? nullptr : per_point_visits.data(),
                   mode_.lockstep ? per_warp_pops.data() : nullptr,
                   kernel_id_);

@@ -225,6 +225,8 @@ double ServingReport::summed_solo_transfer_ms() const {
 ServingSession::ServingSession(ServingConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.drain.max_batch == 0) cfg_.drain.max_batch = 1;
   if (cfg_.drain.max_delay_ms < 0) cfg_.drain.max_delay_ms = 0;
+  if (cfg_.devices == 0) cfg_.devices = 1;
+  device_free_ms_.assign(cfg_.devices, 0.0);
   ring_.resize(std::max<std::size_t>(cfg_.queue_capacity, 1));
 }
 
@@ -289,7 +291,16 @@ void ServingSession::fire(double trigger_ms) {
   if (n == 0) return;
   DrainRecord rec;
   rec.trigger_ms = trigger_ms;
-  rec.dispatch_ms = std::max(trigger_ms, device_free_ms_);
+  // Route the wave to the least-loaded device (earliest free; ties break
+  // to the lowest index so the choice is deterministic). Dispatch times
+  // stay non-decreasing across drains: each fire only raises one entry of
+  // the free array, so its minimum never moves backwards, and triggers
+  // are non-decreasing by the admission contract.
+  std::size_t device = 0;
+  for (std::size_t d = 1; d < device_free_ms_.size(); ++d)
+    if (device_free_ms_[d] < device_free_ms_[device]) device = d;
+  rec.device = device;
+  rec.dispatch_ms = std::max(trigger_ms, device_free_ms_[device]);
   rec.queue_depth_before = count_;
   rec.n_queries = n;
 
@@ -361,17 +372,30 @@ void ServingSession::fire(double trigger_ms) {
   // One amortized round trip for the wave vs what solo dispatch would pay.
   std::uint64_t up = 0;
   std::uint64_t down = 0;
+  std::size_t wave_points = 0;
   for (std::size_t i = 0; i < n; ++i) {
     up += wave[i].q.upload_bytes;
     down += wave[i].q.download_bytes;
+    wave_points += wave[i].q.spec.kernel->num_points();
     rec.solo_transfer_ms += cfg_.transfer.round_trip_ms(
         wave[i].q.upload_bytes, wave[i].q.download_bytes, 1);
   }
-  rec.transfer_ms = cfg_.transfer.round_trip_ms(up, down, 1);
 
   double total_compute = 0;
   for (const Admit& a : admits) total_compute += a.info.total_ms;
   rec.compute_ms = total_compute;
+  if (cfg_.shard_chunk > 0) {
+    // Pipelined wave upload: copy-in strip-mined into shard_chunk-point
+    // copies overlapping the wave's compute; only the exposed portion is
+    // charged as the wave's transfer time.
+    const std::size_t chunks = std::max<std::size_t>(
+        (wave_points + cfg_.shard_chunk - 1) / cfg_.shard_chunk, 1);
+    rec.transfer_ms =
+        cfg_.transfer.pipelined_round_trip(up, down, total_compute, chunks)
+            .exposed_ms;
+  } else {
+    rec.transfer_ms = cfg_.transfer.round_trip_ms(up, down, 1);
+  }
   rec.service_ms = rec.transfer_ms + total_compute;
 
   // Per-query completion = queueing + wave transfer + compute. Sequential
@@ -393,7 +417,7 @@ void ServingSession::fire(double trigger_ms) {
     last_completion_ms_ = std::max(last_completion_ms_, completion);
     if (!admits[i].info.ok) ++failed_;
   }
-  device_free_ms_ = rec.dispatch_ms + rec.service_ms;
+  device_free_ms_[device] = rec.dispatch_ms + rec.service_ms;
   busy_ms_ += rec.service_ms;
   drains_.push_back(rec);
 
@@ -412,6 +436,8 @@ void ServingSession::fire(double trigger_ms) {
 
 ServingReport ServingSession::report() const {
   ServingReport r;
+  r.devices = cfg_.devices;
+  r.shard_chunk = cfg_.shard_chunk;
   r.submitted = submitted_;
   r.completed = latencies_.size();
   r.dropped = dropped_;

@@ -109,6 +109,18 @@ struct DrainPolicy {
 
 struct ServingConfig {
   DeviceConfig device;
+  // Simulated device count. Each drained wave dispatches to the
+  // least-loaded device (earliest free, ties to the lowest index), so
+  // open-loop throughput scales with the group size while per-wave
+  // batching semantics stay unchanged. 1 keeps the single-device model
+  // byte-for-byte.
+  std::size_t devices = 1;
+  // Pipelined wave uploads: when > 0, each drained wave's copy-in is
+  // strip-mined into ceil(wave points / shard_chunk) chunks overlapped
+  // with the wave's compute (simt/transfer_model.h pipelined mode), and
+  // DrainRecord::transfer_ms records only the *exposed* portion. 0 keeps
+  // the synchronous single-shot round trip byte-for-byte.
+  std::size_t shard_chunk = 0;
   BatchPolicy policy = BatchPolicy::kRoundRobin;
   DrainPolicy drain;
   TransferModel transfer;
@@ -151,11 +163,15 @@ struct LatencySummary {
 // One drained wave's accounting.
 struct DrainRecord {
   double trigger_ms = 0;   // when the size/delay policy fired
-  double dispatch_ms = 0;  // max(trigger, device became idle)
+  double dispatch_ms = 0;  // max(trigger, chosen device became idle)
+  std::size_t device = 0;  // least-loaded device the wave dispatched to
   std::size_t n_queries = 0;
   std::size_t queue_depth_before = 0;  // pending count when fired
   std::size_t cold_launches = 0;       // executed (vs cache-replayed)
-  double transfer_ms = 0;       // one amortized round trip for the wave
+  // One amortized round trip for the wave; under pipelined uploads
+  // (ServingConfig::shard_chunk > 0) only the exposed, non-overlapped
+  // portion -- service_ms = transfer_ms + compute_ms either way.
+  double transfer_ms = 0;
   double solo_transfer_ms = 0;  // what the same queries pay one-by-one
   double compute_ms = 0;        // sum of the wave's modelled kernel times
   double service_ms = 0;        // transfer + compute (device busy time)
@@ -167,6 +183,8 @@ struct DrainRecord {
 };
 
 struct ServingReport {
+  std::size_t devices = 1;     // simulated devices serving the session
+  std::size_t shard_chunk = 0;  // pipelined upload chunk (0 = single-shot)
   std::size_t submitted = 0;
   std::size_t completed = 0;  // admitted and served (failures included)
   std::size_t dropped = 0;    // ring buffer full at submit
@@ -190,7 +208,10 @@ struct ServingReport {
                          : 0;
   }
   [[nodiscard]] double occupancy() const {
-    return span_ms() > 0 ? busy_ms / span_ms() : 0;
+    // Busy time over the group's total capacity (span x devices).
+    return span_ms() > 0
+               ? busy_ms / (span_ms() * static_cast<double>(devices))
+               : 0;
   }
   [[nodiscard]] double amortized_transfer_ms() const;
   [[nodiscard]] double summed_solo_transfer_ms() const;
@@ -267,7 +288,7 @@ class ServingSession {
   std::size_t head_ = 0;
   std::size_t count_ = 0;
   double last_arrival_ms_ = 0;
-  double device_free_ms_ = 0;
+  std::vector<double> device_free_ms_;  // per-device modelled idle time
   bool any_arrival_ = false;
 
   std::map<CacheKey, CachedLaunch> cache_;
@@ -330,6 +351,8 @@ struct ServingRunSummary {
   std::string arrivals;  // "poisson" | "bursty"
   double rate_qps = 0;
   std::size_t n_queries = 0;
+  std::size_t devices = 1;
+  std::size_t shard_chunk = 0;
   DrainPolicy drain;
   BatchPolicy policy = BatchPolicy::kRoundRobin;
   Variant variant = Variant::kAutoSelect;

@@ -186,9 +186,43 @@ MetricsRegistry metrics_for_batch(const BatchResult& batch) {
   return reg;
 }
 
+MetricsRegistry metrics_for_sharding(const ShardingRunSummary& sharding) {
+  MetricsRegistry reg;
+  reg.add_counter("sharding/devices",
+                  static_cast<std::uint64_t>(sharding.devices));
+  reg.add_counter("sharding/chunk_points",
+                  static_cast<std::uint64_t>(sharding.chunk_points));
+  reg.add_counter("sharding/kernels",
+                  static_cast<std::uint64_t>(sharding.kernels.size()));
+  reg.set_gauge("sharding/single_device_ms", sharding.single_device_ms());
+  reg.set_gauge("sharding/makespan_ms", sharding.makespan_ms());
+  reg.set_gauge("sharding/speedup", sharding.speedup());
+  double copy_in = 0;
+  double overlap = 0;
+  for (const ShardingKernelReport& k : sharding.kernels) {
+    for (const DeviceShard& d : k.devices) {
+      copy_in += d.transfer.copy_in_ms;
+      overlap += d.transfer.overlap_ms;
+      std::string prefix =
+          "sharding/" + k.kernel_name + "/dev" + std::to_string(d.device) + "/";
+      reg.add_counter(prefix + "chunks", static_cast<std::uint64_t>(d.chunks));
+      reg.add_counter(prefix + "steals", static_cast<std::uint64_t>(d.steals));
+      reg.set_gauge(prefix + "busy_ms", d.busy_ms);
+      reg.set_gauge(prefix + "overlap_ms", d.transfer.overlap_ms);
+    }
+  }
+  reg.set_gauge("sharding/transfer/copy_in_ms", copy_in);
+  reg.set_gauge("sharding/transfer/overlap_ms", overlap);
+  reg.set_gauge("sharding/transfer/overlap_efficiency",
+                copy_in > 0 ? overlap / copy_in : 0.0);
+  return reg;
+}
+
 MetricsRegistry metrics_for_serving(const ServingRunSummary& serving) {
   MetricsRegistry reg;
   const ServingReport& r = serving.report;
+  reg.add_counter("serving/devices",
+                  static_cast<std::uint64_t>(r.devices));
   reg.add_counter("serving/queries/submitted",
                   static_cast<std::uint64_t>(r.submitted));
   reg.add_counter("serving/queries/completed",
@@ -367,6 +401,8 @@ void RunReport::write(std::ostream& os) const {
     w.member("arrivals", s.arrivals);
     w.member("rate_qps", s.rate_qps);
     w.member("queries", static_cast<std::uint64_t>(s.n_queries));
+    w.member("devices", static_cast<std::uint64_t>(r.devices));
+    w.member("shard_chunk", static_cast<std::uint64_t>(r.shard_chunk));
     w.member("variant", variant_name(s.variant));
     w.member("policy", batch_policy_name(s.policy));
     w.member_object("drain_policy");
@@ -403,6 +439,7 @@ void RunReport::write(std::ostream& os) const {
       w.begin_object();
       w.member("trigger_ms", d.trigger_ms);
       w.member("dispatch_ms", d.dispatch_ms);
+      w.member("device", static_cast<std::uint64_t>(d.device));
       w.member("queries", static_cast<std::uint64_t>(d.n_queries));
       w.member("queue_depth_before",
                static_cast<std::uint64_t>(d.queue_depth_before));
@@ -438,6 +475,80 @@ void RunReport::write(std::ostream& os) const {
     w.key("metrics");
     metrics_for_serving(s).write_json(w);
     w.end_object();  // serving
+  }
+
+  if (sharding_) {
+    const ShardingRunSummary& s = *sharding_;
+    w.member_object("devices");
+    w.member("devices", static_cast<std::uint64_t>(s.devices));
+    w.member("chunk_points", static_cast<std::uint64_t>(s.chunk_points));
+    w.member("policy", batch_policy_name(s.policy));
+    w.member("variant", variant_name(s.variant));
+    w.member("single_device_ms", s.single_device_ms());
+    w.member("makespan_ms", s.makespan_ms());
+    w.member("speedup", s.speedup());
+
+    w.member_array("kernels");
+    for (const ShardingKernelReport& k : s.kernels) {
+      w.begin_object();
+      w.member("kernel", k.kernel_name);
+      w.member("ok", k.ok());
+      if (!k.ok()) w.member("error", k.error);
+      w.member("points", static_cast<std::uint64_t>(k.n_points));
+      w.member("chunks", static_cast<std::uint64_t>(k.n_chunks));
+      w.member("variant", variant_name(k.variant));
+      w.member("single_device_ms", k.single_device_ms);
+      w.member("makespan_ms", k.makespan_ms);
+      w.member("speedup", k.speedup);
+      w.member_array("per_device");
+      for (const DeviceShard& d : k.devices) {
+        w.begin_object();
+        w.member("device", static_cast<std::uint64_t>(d.device));
+        w.member("chunks", static_cast<std::uint64_t>(d.chunks));
+        w.member("points", static_cast<std::uint64_t>(d.points));
+        w.member("rounds", static_cast<std::uint64_t>(d.rounds));
+        w.member("steals", static_cast<std::uint64_t>(d.steals));
+        w.member("cost", d.cost);
+        w.member("upload_bytes", d.upload_bytes);
+        w.member("download_bytes", d.download_bytes);
+        w.member("copy_chunks", static_cast<std::uint64_t>(d.transfer.chunks));
+        w.member("compute_ms", d.time.total_ms);
+        w.member("copy_in_ms", d.transfer.copy_in_ms);
+        w.member("copy_out_ms", d.transfer.copy_out_ms);
+        w.member("overlap_ms", d.transfer.overlap_ms);
+        w.member("exposed_ms", d.transfer.exposed_ms);
+        w.member("busy_ms", d.busy_ms);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+
+    w.member_object("transfer");
+    w.member("pcie_gbps", s.transfer.pcie_gbps);
+    w.member("launch_overhead_ms", s.transfer.launch_overhead_ms);
+    w.end_object();
+
+    w.member_array("sweep");
+    for (const ShardingSweepPoint& p : s.sweep) {
+      w.begin_object();
+      w.member("devices", static_cast<std::uint64_t>(p.devices));
+      w.member("chunk_points", static_cast<std::uint64_t>(p.chunk_points));
+      w.member("single_device_ms", p.single_device_ms);
+      w.member("makespan_ms", p.makespan_ms);
+      w.member("speedup", p.speedup);
+      w.member("copy_in_ms", p.copy_in_ms);
+      w.member("overlap_ms", p.overlap_ms);
+      w.member("exposed_ms", p.exposed_ms);
+      w.member("overlap_efficiency", p.overlap_efficiency);
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("metrics");
+    metrics_for_sharding(s).write_json(w);
+    w.end_object();  // devices
   }
 
   w.member_array("tables");

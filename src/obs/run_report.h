@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_algos/harness.h"
+#include "core/device_group.h"
 #include "obs/metrics.h"
 #include "util/csv.h"
 
@@ -42,7 +43,15 @@ namespace tt::obs {
 // gauges, per-drain records, and the drain-cadence sweep) plus its
 // serving/* metrics registry. Emitted only by bench/serving; --golden
 // prunes it, so older fixtures stay comparable.
-inline constexpr const char* kRunReportSchema = "treetrav.run_report/v5";
+// v6: adds the optional top-level "devices" block (core/device_group.h:
+// a multi-device sharded run -- per-kernel single-device-vs-makespan
+// comparison, per-device chunk/point/steal accounting and pipelined
+// copy/compute overlap attribution, plus the devices x chunk-size sweep)
+// with its sharding/* metrics registry; the serving block gains a
+// "devices" count and each drain record its dispatched "device". Emitted
+// only by bench/sharding (and multi-device serving runs); --golden prunes
+// the block, so older fixtures stay comparable.
+inline constexpr const char* kRunReportSchema = "treetrav.run_report/v6";
 
 // Build the per-row registry: all five variants' KernelStats and
 // TimeBreakdowns under "gpu/<variant>/", the CPU scaling model under
@@ -63,6 +72,11 @@ MetricsRegistry metrics_for_batch(const BatchResult& batch);
 // "serving/transfer/".
 MetricsRegistry metrics_for_serving(const ServingRunSummary& serving);
 
+// Registry for the devices block: group-level makespan / speedup /
+// overlap-efficiency gauges under "sharding/" and per-kernel per-device
+// busy and overlap gauges under "sharding/<kernel>/dev<i>/".
+MetricsRegistry metrics_for_sharding(const ShardingRunSummary& sharding);
+
 class RunReport {
  public:
   // `generator` names the producing binary ("table1", "ablation_ropes"...).
@@ -80,6 +94,11 @@ class RunReport {
   // Attach an open-loop serving run (core/serving.h); at most one per
   // report (a later call replaces the earlier block).
   void set_serving(const ServingRunSummary& serving) { serving_ = serving; }
+  // Attach a multi-device sharded run (core/device_group.h); at most one
+  // per report (a later call replaces the earlier block).
+  void set_sharding(const ShardingRunSummary& sharding) {
+    sharding_ = sharding;
+  }
   // Tables whose cells embed measured wall-clock values (e.g. table1's
   // speedup-vs-CPU columns) must pass volatile_data = true; they are then
   // only emitted when include_volatile is set, keeping the default report
@@ -104,6 +123,7 @@ class RunReport {
   std::vector<BenchRow> rows_;
   std::optional<BatchResult> batch_;
   std::optional<ServingRunSummary> serving_;
+  std::optional<ShardingRunSummary> sharding_;
   struct NamedTable {
     std::string name;
     Table table;

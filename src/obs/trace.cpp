@@ -17,6 +17,7 @@ const char* trace_event_name(TraceEventKind k) {
     case TraceEventKind::kReturn: return "return";
     case TraceEventKind::kSelect: return "select";
     case TraceEventKind::kChunk: return "chunk";
+    case TraceEventKind::kCopy: return "copy";
   }
   return "?";
 }

@@ -43,13 +43,18 @@ enum class TraceEventKind : std::uint8_t {
                   // (the launch's index within the batch), node = first
                   // point id of the chunk, mask = the chunk's lane mask.
                   // Solo runs never emit it, so solo traces are unchanged.
+  kCopy = 9,      // sharded runs only (core/device_group.h): one pipelined
+                  // upload chunk crossing the bus (launch-scope; node =
+                  // chunk index, mask = points in the chunk, aux = device).
+                  // Rendered next to the device's warp rows, so copy /
+                  // compute overlap is visible per device in Perfetto.
 };
 
 // Number of TraceEventKind values. A new kind must extend trace_event_name
 // and trace_event_kind_from_name too -- the exhaustiveness test in
 // tests/obs/trace_test.cpp walks [0, kNumTraceEventKinds) and fails on an
 // unnamed or non-round-tripping value.
-inline constexpr std::size_t kNumTraceEventKinds = 9;
+inline constexpr std::size_t kNumTraceEventKinds = 10;
 
 const char* trace_event_name(TraceEventKind k);
 // Inverse of trace_event_name; throws std::invalid_argument on an unknown

@@ -7,9 +7,26 @@
 // the offload amortizes. PCIe 2.0 x16, the C2070's bus: ~6 GB/s effective.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 
 namespace tt {
+
+// One pipelined (double-buffered) transfer+compute timeline: the upload is
+// split into `chunks` pieces and copy-in of chunk k+1 overlaps compute of
+// chunk k, so part of the bus time hides under the kernel. overlap_ms is
+// the hidden part, exposed_ms the transfer that still extends the
+// timeline; total_ms == exposed_ms + compute_ms by construction.
+struct PipelinedTransfer {
+  std::size_t chunks = 1;
+  double copy_in_ms = 0;   // upload bus time (launch overhead excluded)
+  double copy_out_ms = 0;  // download bus time
+  double compute_ms = 0;
+  double overlap_ms = 0;   // copy-in hidden under compute
+  double exposed_ms = 0;   // overhead + copy_in + copy_out - overlap
+  double total_ms = 0;     // exposed + compute
+};
 
 struct TransferModel {
   double pcie_gbps = 6.0;       // effective host<->device throughput
@@ -30,6 +47,34 @@ struct TransferModel {
                                      int launches = 1) const {
     return static_cast<double>(launches - 1) * launch_overhead_ms +
            upload_ms(up_bytes) + download_ms(down_bytes);
+  }
+
+  // Pipelined mode (multi-device sharding): the upload is strip-mined into
+  // `chunks` equal pieces and chunk k+1's copy-in overlaps chunk k's
+  // compute. With per-chunk upload u and compute c the makespan is
+  //   overhead + u + (chunks-1) * max(u, c) + c + copy_out
+  // which algebraically equals the single-shot round trip plus compute
+  // minus (chunks-1) * min(u, c) -- that difference is overlap_ms. The
+  // download stays synchronous (results exist only after the last chunk).
+  // chunks <= 1 degrades exactly to round_trip_ms(up, down, 1) + compute:
+  // the single-shot path is byte-identical.
+  [[nodiscard]] PipelinedTransfer pipelined_round_trip(
+      std::uint64_t up_bytes, std::uint64_t down_bytes, double compute_ms,
+      std::size_t chunks) const {
+    PipelinedTransfer p;
+    p.chunks = chunks < 1 ? 1 : chunks;
+    p.copy_in_ms = static_cast<double>(up_bytes) / (pcie_gbps * 1e6);
+    p.copy_out_ms = download_ms(down_bytes);
+    p.compute_ms = compute_ms;
+    if (p.chunks > 1) {
+      const double u = p.copy_in_ms / static_cast<double>(p.chunks);
+      const double c = compute_ms / static_cast<double>(p.chunks);
+      p.overlap_ms = static_cast<double>(p.chunks - 1) * std::min(u, c);
+    }
+    p.exposed_ms =
+        launch_overhead_ms + p.copy_in_ms + p.copy_out_ms - p.overlap_ms;
+    p.total_ms = p.exposed_ms + compute_ms;
+    return p;
   }
 };
 

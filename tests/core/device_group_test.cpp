@@ -1,0 +1,242 @@
+// Multi-device sharding (core/device_group.h): the contract is the same
+// one batching pinned -- sharding is results-neutral. run_sharded's merged
+// canonical-order results, visit counters and baseline stats must be
+// byte-identical to the single-device run for every variant and device
+// count, the per-device accounting must partition the launch exactly
+// (chunks, points, bytes), and the modelled makespan must be the slowest
+// device's pipelined busy time.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_algos/harness.h"
+#include "bench_algos/nn/nearest_neighbor.h"
+#include "bench_algos/pc/point_correlation.h"
+#include "core/device_group.h"
+#include "core/gpu_executors.h"
+#include "data/generators.h"
+#include "obs/chrome_trace.h"
+#include "spatial/kdtree.h"
+
+namespace tt {
+namespace {
+
+struct ShardFixture {
+  PointSet pts;
+  KdTree tree;
+  GpuAddressSpace space;
+  float radius = 0;
+  std::unique_ptr<PointCorrelationKernel> pc;
+
+  explicit ShardFixture(std::size_t n = 700) {
+    pts = gen_covtype_like(n, 5, 1234);
+    tree = build_kdtree(pts, 8);
+    radius = pc_pick_radius(pts, 16, 1234);
+    pc = std::make_unique<PointCorrelationKernel>(tree, pts, radius, space);
+  }
+
+  [[nodiscard]] LaunchSpec spec(Variant v) {
+    LaunchSpec s;
+    s.kernel = make_kernel_handle(*pc);
+    s.space = &space;
+    s.mode = GpuMode::from(v);
+    s.mode.profile_samples = 8;
+    return s;
+  }
+};
+
+DeviceGroupConfig group_of(std::size_t devices,
+                           BatchPolicy policy = BatchPolicy::kWorkStealing) {
+  DeviceGroupConfig g;
+  g.devices = devices;
+  g.policy = policy;
+  g.chunk_points = 128;
+  return g;
+}
+
+// ---------------------------------------------------------------------
+// Results-neutrality: every variant x device count x policy reproduces
+// the solo run byte-for-byte.
+// ---------------------------------------------------------------------
+
+TEST(DeviceGroup, ByteIdenticalToSoloAllVariantsAllDeviceCounts) {
+  ShardFixture f;
+  DeviceConfig cfg;
+  for (Variant v : kAllVariants) {
+    SCOPED_TRACE(variant_name(v));
+    GpuMode mode = GpuMode::from(v);
+    mode.profile_samples = 8;
+    auto solo = run_gpu_sim(*f.pc, f.space, cfg, mode);
+    for (std::size_t devices : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}}) {
+      SCOPED_TRACE("devices " + std::to_string(devices));
+      ShardedRun r = run_sharded(f.spec(v), 1 << 20, 1 << 16,
+                                 group_of(devices));
+      // run_sharded re-verifies the merge against its own baseline; an
+      // empty error already certifies byte-identity. Check against an
+      // independently produced solo run anyway.
+      ASSERT_TRUE(r.merged.ok()) << r.merged.error;
+      ASSERT_EQ(r.merged.n_points, solo.results.size());
+      EXPECT_EQ(0, std::memcmp(r.merged.results.data(), solo.results.data(),
+                               r.merged.n_points * r.merged.result_stride));
+      EXPECT_EQ(r.merged.per_point_visits, solo.per_point_visits);
+      EXPECT_EQ(r.merged.per_warp_pops, solo.per_warp_pops);
+      EXPECT_EQ(r.merged.stats.lane_visits, solo.stats.lane_visits);
+      EXPECT_EQ(r.merged.stats.warp_pops, solo.stats.warp_pops);
+      EXPECT_EQ(r.merged.time.total_ms, solo.time.total_ms);
+
+      // The device shards partition the launch exactly.
+      ASSERT_EQ(r.devices.size(), devices);
+      std::size_t chunks = 0, points = 0;
+      std::uint64_t up = 0, down = 0, lane_visits = 0, warp_pops = 0;
+      double makespan = 0;
+      for (const DeviceShard& d : r.devices) {
+        chunks += d.chunks;
+        points += d.points;
+        up += d.upload_bytes;
+        down += d.download_bytes;
+        lane_visits += d.stats.lane_visits;
+        warp_pops += d.stats.warp_pops;
+        makespan = std::max(makespan, d.busy_ms);
+        EXPECT_GE(d.transfer.overlap_ms, 0.0);
+        EXPECT_LE(d.transfer.overlap_ms, d.transfer.copy_in_ms + 1e-12);
+      }
+      EXPECT_EQ(chunks, r.merged.n_warps);
+      EXPECT_EQ(points, r.merged.n_points);
+      EXPECT_EQ(up, 1u << 20);
+      EXPECT_EQ(down, 1u << 16);
+      EXPECT_EQ(lane_visits, solo.stats.lane_visits);
+      EXPECT_EQ(warp_pops, solo.stats.warp_pops);
+      EXPECT_EQ(r.makespan_ms, makespan);
+      EXPECT_GT(r.speedup, 0.0);
+    }
+  }
+}
+
+TEST(DeviceGroup, PolicyOnlyShapesAccountingNotResults) {
+  ShardFixture f;
+  for (BatchPolicy policy : {BatchPolicy::kRoundRobin,
+                             BatchPolicy::kSequential,
+                             BatchPolicy::kWorkStealing}) {
+    SCOPED_TRACE(batch_policy_name(policy));
+    ShardedRun r = run_sharded(f.spec(Variant::kAutoNolockstep), 4096, 1024,
+                               group_of(3, policy));
+    EXPECT_TRUE(r.merged.ok()) << r.merged.error;
+  }
+}
+
+// ---------------------------------------------------------------------
+// N = 1: one shard that is exactly the single-device run.
+// ---------------------------------------------------------------------
+
+TEST(DeviceGroup, SingleDeviceShardMatchesBaselineExactly) {
+  ShardFixture f;
+  const std::uint64_t up = 6'000'000, down = 3'000'000;
+  DeviceGroupConfig g = group_of(1);
+  ShardedRun r = run_sharded(f.spec(Variant::kAutoNolockstep), up, down, g);
+  ASSERT_TRUE(r.merged.ok()) << r.merged.error;
+  ASSERT_EQ(r.devices.size(), 1u);
+  const DeviceShard& d = r.devices[0];
+  EXPECT_EQ(d.chunks, r.merged.n_warps);
+  EXPECT_EQ(d.points, r.merged.n_points);
+  EXPECT_EQ(d.steals, 0u);
+  // The lone shard re-executes the identical launch: exact stats/time.
+  EXPECT_EQ(d.stats.instr_cycles, r.merged.stats.instr_cycles);
+  EXPECT_EQ(d.stats.lane_visits, r.merged.stats.lane_visits);
+  EXPECT_EQ(d.time.total_ms, r.merged.time.total_ms);
+  // single_device_ms charges the synchronous round trip; the pipelined
+  // shard can only hide transfer under compute, never add to it.
+  EXPECT_DOUBLE_EQ(r.single_device_ms,
+                   r.merged.time.total_ms +
+                       g.transfer.round_trip_ms(up, down, 1));
+  EXPECT_LE(r.makespan_ms, r.single_device_ms + 1e-12);
+  EXPECT_DOUBLE_EQ(d.busy_ms, d.transfer.exposed_ms + d.time.total_ms);
+}
+
+// More devices than warps: the excess devices idle at zero cost.
+TEST(DeviceGroup, ExcessDevicesStayIdle) {
+  ShardFixture f(80);  // 3 warps at warp_size 32
+  ShardedRun r = run_sharded(f.spec(Variant::kAutoNolockstep), 1024, 256,
+                             group_of(8));
+  ASSERT_TRUE(r.merged.ok()) << r.merged.error;
+  ASSERT_EQ(r.devices.size(), 8u);
+  std::size_t idle = 0;
+  for (const DeviceShard& d : r.devices)
+    if (d.chunks == 0) {
+      ++idle;
+      EXPECT_EQ(d.points, 0u);
+      EXPECT_EQ(d.upload_bytes, 0u);
+      EXPECT_EQ(d.busy_ms, 0.0);
+    }
+  EXPECT_EQ(idle, 8u - r.merged.n_warps);
+}
+
+TEST(DeviceGroup, RejectsBadArguments) {
+  ShardFixture f;
+  EXPECT_THROW((void)run_sharded(f.spec(Variant::kAutoNolockstep), 0, 0,
+                                 group_of(0)),
+               std::invalid_argument);
+  LaunchSpec empty;
+  EXPECT_THROW((void)run_sharded(empty, 0, 0, group_of(2)),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Chrome tracks: one "dev<i>/<kernel>" process per working device, with
+// the pipelined copy chunks as launch-scope kCopy events.
+// ---------------------------------------------------------------------
+
+TEST(DeviceGroup, OpensPerDeviceChromeTracks) {
+  ShardFixture f;
+  obs::ChromeTraceCollector chrome;
+  DeviceGroupConfig g = group_of(2);
+  g.chrome = &chrome;
+  ShardedRun r = run_sharded(f.spec(Variant::kAutoNolockstep), 1 << 20,
+                             1 << 16, g);
+  ASSERT_TRUE(r.merged.ok()) << r.merged.error;
+  ASSERT_EQ(chrome.n_launches(), 2u);
+  EXPECT_EQ(chrome.launch_name(0), "dev0/point_correlation");
+  EXPECT_EQ(chrome.launch_name(1), "dev1/point_correlation");
+  EXPECT_GT(chrome.total_events(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Harness entry point.
+// ---------------------------------------------------------------------
+
+TEST(RunSharding, ShardsTheItemListAndSumsThePool) {
+  ShardingConfig sc;
+  for (Algo a : {Algo::kPC, Algo::kNN}) {
+    BenchConfig c;
+    c.algo = a;
+    c.input = inputs_for(a).front();
+    c.n = 256;
+    c.profile_samples = 4;
+    sc.items.push_back(c);
+  }
+  sc.devices = 4;
+  sc.chunk_points = 64;
+  ShardingRunSummary s = run_sharding(sc);
+  ASSERT_EQ(s.kernels.size(), 2u);
+  double solo = 0, makespan = 0;
+  for (const ShardingKernelReport& k : s.kernels) {
+    EXPECT_TRUE(k.ok()) << k.kernel_name << ": " << k.error;
+    EXPECT_EQ(k.devices.size(), 4u);
+    solo += k.single_device_ms;
+    makespan += k.makespan_ms;
+  }
+  EXPECT_DOUBLE_EQ(s.single_device_ms(), solo);
+  EXPECT_DOUBLE_EQ(s.makespan_ms(), makespan);
+  EXPECT_GT(s.speedup(), 0.0);
+}
+
+TEST(RunSharding, EmptyItemListThrows) {
+  ShardingConfig sc;
+  EXPECT_THROW((void)run_sharding(sc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tt

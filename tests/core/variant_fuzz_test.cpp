@@ -19,6 +19,7 @@
 
 #include "bench_algos/nn/nearest_neighbor.h"
 #include "bench_algos/pc/point_correlation.h"
+#include "core/device_group.h"
 #include "core/gpu_executors.h"
 #include "data/generators.h"
 #include "obs/profile.h"
@@ -130,6 +131,53 @@ void check_all_variants(const K& k, GpuAddressSpace& space) {
   }
 }
 
+// The sharded axis: for every variant x device count, run_sharded's merge
+// must be byte-identical to the unsharded auto_nolockstep baseline (the
+// cross-variant contract composed with the sharding contract), and the
+// per-device visit counters must sum to the merged run's totals -- no
+// work invented or lost at the shard boundary.
+template <TraversalKernel K>
+void check_sharded_axis(const K& k, GpuAddressSpace& space) {
+  DeviceConfig cfg;
+  auto base = run_gpu_sim(k, space, cfg,
+                          GpuMode::from(Variant::kAutoNolockstep));
+  for (Variant v : kAllVariants) {
+    SCOPED_TRACE(variant_name(v));
+    for (std::size_t devices :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      SCOPED_TRACE("devices " + std::to_string(devices));
+      LaunchSpec spec;
+      spec.kernel = make_kernel_handle(k);
+      spec.space = &space;
+      spec.mode = GpuMode::from(v);
+      spec.mode.profile_samples = 8;
+      DeviceGroupConfig g;
+      g.devices = devices;
+      g.policy = BatchPolicy::kWorkStealing;
+      g.chunk_points = 128;
+      ShardedRun r = run_sharded(spec, 1 << 18, 1 << 14, g);
+      // run_sharded already self-checks the merge against its own
+      // baseline; ok() failing means the contract broke.
+      ASSERT_TRUE(r.merged.ok()) << r.merged.error;
+      ASSERT_EQ(r.merged.n_points, base.results.size());
+      EXPECT_EQ(0, std::memcmp(r.merged.results.data(), base.results.data(),
+                               r.merged.n_points * r.merged.result_stride));
+      std::size_t chunks = 0, points = 0;
+      std::uint64_t lane_visits = 0, warp_pops = 0;
+      for (const DeviceShard& d : r.devices) {
+        chunks += d.chunks;
+        points += d.points;
+        lane_visits += d.stats.lane_visits;
+        warp_pops += d.stats.warp_pops;
+      }
+      EXPECT_EQ(chunks, r.merged.n_warps);
+      EXPECT_EQ(points, r.merged.n_points);
+      EXPECT_EQ(lane_visits, r.merged.stats.lane_visits);
+      EXPECT_EQ(warp_pops, r.merged.stats.warp_pops);
+    }
+  }
+}
+
 TEST(VariantFuzz, PointCorrelationUnguided) {
   std::uint64_t s = 0x9e3779b97f4a7c15ull;
   for (int round = 0; round < 6; ++round) {
@@ -189,6 +237,40 @@ TEST(VariantFuzz, NearestNeighborGuided) {
     GpuAddressSpace space;
     NnKernel k(tree, pts, space);
     check_all_variants(k, space);
+  }
+}
+
+TEST(VariantFuzz, PointCorrelationSharded) {
+  std::uint64_t s = 0xa0761d6478bd642full;
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::size_t n = 96 + next(s) % 600;
+    const int dim = 2 + static_cast<int>(next(s) % 6);
+    const std::uint64_t seed = next(s);
+    PointSet pts = round % 2 == 0 ? gen_uniform(n, dim, seed)
+                                  : gen_covtype_like(n, dim, seed);
+    KdTree tree = build_kdtree(pts, 4 + static_cast<int>(next(s) % 8));
+    GpuAddressSpace space;
+    float r = pc_pick_radius(pts, 4.0 + static_cast<double>(next(s) % 24),
+                             seed);
+    PointCorrelationKernel k(tree, pts, r, space);
+    check_sharded_axis(k, space);
+  }
+}
+
+TEST(VariantFuzz, NearestNeighborSharded) {
+  std::uint64_t s = 0xe7037ed1a0b428dbull;
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::size_t n = 96 + next(s) % 600;
+    const int dim = 2 + static_cast<int>(next(s) % 6);
+    const std::uint64_t seed = next(s);
+    PointSet pts = round % 2 == 0 ? gen_covtype_like(n, dim, seed)
+                                  : gen_mnist_like(n, dim, seed);
+    KdTreeNN tree = build_kdtree_nn(pts);
+    GpuAddressSpace space;
+    NnKernel k(tree, pts, space);
+    check_sharded_axis(k, space);
   }
 }
 

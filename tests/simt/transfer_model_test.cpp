@@ -39,6 +39,65 @@ TEST(TransferModel, RoundTripChargesOverheadPerLaunch) {
                    m.round_trip_ms(6'000'000, 3'000'000, 1) + 2 * 0.25);
 }
 
+// ---------------------------------------------------------------------
+// Pipelined mode (core/device_group.h's double-buffered timeline).
+// ---------------------------------------------------------------------
+
+TEST(PipelinedTransfer, OneChunkDegradesToSingleShotExactly) {
+  TransferModel m;
+  m.launch_overhead_ms = 0.25;
+  const double compute = 1.7;
+  for (std::size_t chunks : {std::size_t{0}, std::size_t{1}}) {
+    PipelinedTransfer p =
+        m.pipelined_round_trip(6'000'000, 3'000'000, compute, chunks);
+    EXPECT_EQ(p.chunks, 1u);
+    EXPECT_DOUBLE_EQ(p.overlap_ms, 0.0);
+    EXPECT_DOUBLE_EQ(p.exposed_ms, m.round_trip_ms(6'000'000, 3'000'000, 1));
+    EXPECT_DOUBLE_EQ(p.total_ms,
+                     m.round_trip_ms(6'000'000, 3'000'000, 1) + compute);
+  }
+}
+
+TEST(PipelinedTransfer, ComputeBoundHidesAllButTheFirstChunk) {
+  TransferModel m;
+  m.launch_overhead_ms = 0.0;
+  // copy_in = 1 ms, compute = 4 ms, 4 chunks: u = 0.25 < c = 1, so the
+  // overlap hides (chunks - 1) upload chunks = 0.75 ms.
+  PipelinedTransfer p = m.pipelined_round_trip(6'000'000, 0, 4.0, 4);
+  EXPECT_NEAR(p.copy_in_ms, 1.0, 1e-12);
+  EXPECT_NEAR(p.overlap_ms, 0.75, 1e-12);
+  EXPECT_NEAR(p.exposed_ms, 0.25, 1e-12);
+  EXPECT_NEAR(p.total_ms, 4.25, 1e-12);
+}
+
+TEST(PipelinedTransfer, TransferBoundHidesComputeInstead) {
+  TransferModel m;
+  m.launch_overhead_ms = 0.0;
+  // copy_in = 4 ms, compute = 1 ms, 4 chunks: c = 0.25 < u = 1, so only
+  // (chunks - 1) compute chunks hide under the bus.
+  PipelinedTransfer p = m.pipelined_round_trip(24'000'000, 0, 1.0, 4);
+  EXPECT_NEAR(p.copy_in_ms, 4.0, 1e-12);
+  EXPECT_NEAR(p.overlap_ms, 0.75, 1e-12);
+  EXPECT_NEAR(p.total_ms, 4.0 + 1.0 - 0.75, 1e-12);
+}
+
+TEST(PipelinedTransfer, InvariantsAcrossChunkCounts) {
+  TransferModel m;
+  double prev_total = m.pipelined_round_trip(6'000'000, 3'000'000, 2.0, 1)
+                          .total_ms;
+  for (std::size_t chunks = 2; chunks <= 64; chunks *= 2) {
+    PipelinedTransfer p =
+        m.pipelined_round_trip(6'000'000, 3'000'000, 2.0, chunks);
+    // total == exposed + compute by construction, overlap can never
+    // exceed what it hides, and more chunks never slow the timeline.
+    EXPECT_DOUBLE_EQ(p.total_ms, p.exposed_ms + p.compute_ms);
+    EXPECT_LE(p.overlap_ms, p.copy_in_ms + 1e-12);
+    EXPECT_LE(p.overlap_ms, p.compute_ms + 1e-12);
+    EXPECT_LE(p.total_ms, prev_total + 1e-12);
+    prev_total = p.total_ms;
+  }
+}
+
 TEST(TransferModel, KernelFootprintDrivesUpload) {
   // The address space already tracks every registered device buffer, so
   // its footprint is the upload size for a kernel's working set.

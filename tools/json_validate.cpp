@@ -6,7 +6,11 @@
 // here with exact equality against the report's own stats -- and the
 // optional "serving" block introduced by v5, whose latency percentiles
 // must be monotone, queue gauges non-negative, and per-drain query counts
-// must sum to the completed total).
+// must sum to the completed total, and the optional "devices" block
+// introduced by v6, whose per-device chunk/point counts must sum to each
+// kernel's totals, whose overlap can never exceed the copy-in it hides,
+// and whose makespan must be the slowest device's busy time, bounded by
+// the summed per-device time).
 // Exit 0 on success; nonzero with a diagnostic on stderr otherwise. Used
 // by the table1_json_validate ctest and scripts/check.sh.
 //
@@ -17,6 +21,8 @@
 // canonical JsonWriter before byte comparison. That lets a golden fixture
 // captured before auto_select existed (schema v1) keep pinning the legacy
 // variants' behavior while reports grow new sections.
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -131,9 +137,11 @@ bool is_profile_metric(const std::string& key) {
 void prune_to_legacy(JsonValue& root) {
   set_string(root, "schema", "<schema>");
   set_string(root, "git_sha", "<sha>");
-  // Top-level blocks the fixture predates: batch (v3), serving (v5).
+  // Top-level blocks the fixture predates: batch (v3), serving (v5),
+  // devices (v6).
   std::erase_if(root.obj_v, [](const auto& member) {
-    return member.first == "batch" || member.first == "serving";
+    return member.first == "batch" || member.first == "serving" ||
+           member.first == "devices";
   });
   JsonValue* rows = find_mut(root, "rows");
   if (!rows || !rows->is_array()) return;
@@ -423,7 +431,8 @@ int check_latency_summary(const std::string& at, const JsonValue& s) {
 int check_serving(const JsonValue& serving) {
   if (!serving.is_object()) return fail("\"serving\" is not an object");
   for (const char* field :
-       {"arrivals", "rate_qps", "queries", "variant", "policy",
+       {"arrivals", "rate_qps", "queries", "devices", "shard_chunk",
+        "variant", "policy",
         "drain_policy", "queue_capacity", "submitted", "completed",
         "dropped", "failed", "span_ms", "throughput_qps", "occupancy",
         "latency_ms", "queue_delay_ms", "queue", "transfer", "drains",
@@ -470,12 +479,15 @@ int check_serving(const JsonValue& serving) {
     const JsonValue& d = *drains->arr_v[i];
     const std::string at = "serving.drains[" + std::to_string(i) + "]";
     for (const char* field :
-         {"trigger_ms", "dispatch_ms", "queries", "queue_depth_before",
-          "cold_launches", "transfer_ms", "solo_transfer_ms", "compute_ms",
-          "service_ms", "residency", "total_chunks", "rounds", "switches"})
+         {"trigger_ms", "dispatch_ms", "device", "queries",
+          "queue_depth_before", "cold_launches", "transfer_ms",
+          "solo_transfer_ms", "compute_ms", "service_ms", "residency",
+          "total_chunks", "rounds", "switches"})
       if (!d.find(field)) return fail(at + ": missing \"" + field + "\"");
     const std::uint64_t q = d.find("queries")->as_uint();
     if (q == 0) return fail(at + ": empty drain");
+    if (d.find("device")->as_uint() >= serving.find("devices")->as_uint())
+      return fail(at + ": device index out of range");
     drained += q;
     const double dispatch = d.find("dispatch_ms")->as_number();
     if (dispatch < d.find("trigger_ms")->as_number())
@@ -508,6 +520,114 @@ int check_serving(const JsonValue& serving) {
       if (p.find("transfer_saved_ms")->as_number() < -1e-9)
         return fail(at + ": negative transfer_saved_ms");
     }
+  }
+  return 0;
+}
+
+// The optional v6 devices block: per-device work must sum to each
+// kernel's totals, pipelined overlap can only hide copy-in time, every
+// device's busy time must decompose into exposed transfer + compute, and
+// the makespan must be exactly the slowest device's clock -- never more
+// than the summed per-device time (sharding cannot create work).
+int check_devices(const JsonValue& devices) {
+  if (!devices.is_object()) return fail("\"devices\" is not an object");
+  for (const char* field :
+       {"devices", "chunk_points", "policy", "variant", "single_device_ms",
+        "makespan_ms", "speedup", "kernels", "transfer", "sweep", "metrics"})
+    if (!devices.find(field))
+      return fail(std::string("devices: missing \"") + field + "\"");
+  const std::uint64_t n_devices = devices.find("devices")->as_uint();
+  if (n_devices == 0) return fail("devices.devices: must be >= 1");
+
+  const JsonValue* kernels = devices.find("kernels");
+  if (!kernels->is_array()) return fail("devices.kernels: not an array");
+  double kernel_makespan_sum = 0;
+  double kernel_single_sum = 0;
+  for (std::size_t i = 0; i < kernels->arr_v.size(); ++i) {
+    const JsonValue& k = *kernels->arr_v[i];
+    const std::string at = "devices.kernels[" + std::to_string(i) + "]";
+    for (const char* field :
+         {"kernel", "ok", "points", "chunks", "variant", "single_device_ms",
+          "makespan_ms", "speedup", "per_device"})
+      if (!k.find(field)) return fail(at + ": missing \"" + field + "\"");
+    if (!k.find("ok")->as_bool()) {
+      if (!k.find("error")) return fail(at + ": failed kernel without error");
+      continue;
+    }
+    const JsonValue* per = k.find("per_device");
+    if (!per->is_array()) return fail(at + ".per_device: not an array");
+    if (per->arr_v.size() != n_devices)
+      return fail(at + ".per_device: " + std::to_string(per->arr_v.size()) +
+                  " entries for " + std::to_string(n_devices) + " devices");
+    std::uint64_t chunks = 0, points = 0;
+    double busy_sum = 0, busy_max = 0;
+    for (std::size_t d = 0; d < per->arr_v.size(); ++d) {
+      const JsonValue& dev = *per->arr_v[d];
+      const std::string dat = at + ".per_device[" + std::to_string(d) + "]";
+      for (const char* field :
+           {"device", "chunks", "points", "rounds", "steals", "cost",
+            "upload_bytes", "download_bytes", "copy_chunks", "compute_ms",
+            "copy_in_ms", "copy_out_ms", "overlap_ms", "exposed_ms",
+            "busy_ms"})
+        if (!dev.find(field)) return fail(dat + ": missing \"" + field + "\"");
+      if (dev.find("device")->as_uint() != d)
+        return fail(dat + ": device indices not dense/ascending");
+      chunks += dev.find("chunks")->as_uint();
+      points += dev.find("points")->as_uint();
+      const double overlap = dev.find("overlap_ms")->as_number();
+      const double copy_in = dev.find("copy_in_ms")->as_number();
+      const double exposed = dev.find("exposed_ms")->as_number();
+      const double compute = dev.find("compute_ms")->as_number();
+      const double busy = dev.find("busy_ms")->as_number();
+      if (overlap < 0) return fail(dat + ".overlap_ms: negative");
+      if (overlap > copy_in + 1e-9)
+        return fail(dat + ": overlap_ms exceeds copy_in_ms (overlap can "
+                    "only hide upload time)");
+      if (std::abs(busy - (exposed + compute)) > 1e-9)
+        return fail(dat + ": busy_ms != exposed_ms + compute_ms");
+      busy_sum += busy;
+      busy_max = std::max(busy_max, busy);
+    }
+    if (chunks != k.find("chunks")->as_uint())
+      return fail(at + ": per-device chunks sum to " +
+                  std::to_string(chunks) + " but kernel has " +
+                  std::to_string(k.find("chunks")->as_uint()));
+    if (points != k.find("points")->as_uint())
+      return fail(at + ": per-device points sum to " +
+                  std::to_string(points) + " but kernel has " +
+                  std::to_string(k.find("points")->as_uint()));
+    const double makespan = k.find("makespan_ms")->as_number();
+    if (std::abs(makespan - busy_max) > 1e-9)
+      return fail(at + ": makespan_ms is not the slowest device's busy_ms");
+    if (makespan > busy_sum + 1e-9)
+      return fail(at + ": makespan_ms exceeds summed per-device busy time");
+    kernel_makespan_sum += makespan;
+    kernel_single_sum += k.find("single_device_ms")->as_number();
+  }
+  if (std::abs(devices.find("makespan_ms")->as_number() -
+               kernel_makespan_sum) > 1e-9)
+    return fail("devices.makespan_ms: does not sum the per-kernel makespans");
+  if (std::abs(devices.find("single_device_ms")->as_number() -
+               kernel_single_sum) > 1e-9)
+    return fail("devices.single_device_ms: does not sum the per-kernel "
+                "baselines");
+
+  const JsonValue* sweep = devices.find("sweep");
+  if (!sweep->is_array()) return fail("devices.sweep: not an array");
+  for (std::size_t i = 0; i < sweep->arr_v.size(); ++i) {
+    const JsonValue& p = *sweep->arr_v[i];
+    const std::string at = "devices.sweep[" + std::to_string(i) + "]";
+    for (const char* field :
+         {"devices", "chunk_points", "single_device_ms", "makespan_ms",
+          "speedup", "copy_in_ms", "overlap_ms", "exposed_ms",
+          "overlap_efficiency"})
+      if (!p.find(field)) return fail(at + ": missing \"" + field + "\"");
+    if (p.find("overlap_ms")->as_number() >
+        p.find("copy_in_ms")->as_number() + 1e-9)
+      return fail(at + ": overlap_ms exceeds copy_in_ms");
+    const double eff = p.find("overlap_efficiency")->as_number();
+    if (eff < 0 || eff > 1 + 1e-9)
+      return fail(at + ": overlap_efficiency outside [0, 1]");
   }
   return 0;
 }
@@ -577,6 +697,10 @@ int main(int argc, char** argv) {
     }
     if (const JsonValue* serving = root->find("serving")) {
       int rc = check_serving(*serving);
+      if (rc != 0) return rc;
+    }
+    if (const JsonValue* devices = root->find("devices")) {
+      int rc = check_devices(*devices);
       if (rc != 0) return rc;
     }
   } catch (const std::exception& e) {
