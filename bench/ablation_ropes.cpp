@@ -6,6 +6,17 @@
 //   - they need a preprocessing pass over the tree (install time reported)
 //   - they only exist for unguided traversals, and any stack-carried
 //     argument must be recomputable from the node (BH needs node depths).
+//
+// The second table sweeps the stackless variant family (escape-index
+// ropes and, on fanout-2 trees, Wald-style index arithmetic) against the
+// shared-memory node cache that reuses the bytes the per-warp rope stack
+// would have occupied: cache off, fixed capacities, and the default
+// sizing ("auto", stack-footprint bytes capped by shared_mem_per_sm).
+// Each row reports the cache hit rate, the profiler's stack bucket
+// (identically zero for stackless compositions -- nothing pushes), and
+// the modelled speedup over the same convergence policy running on the
+// per-warp shared-memory rope stack.
+#include <cstddef>
 #include <iostream>
 
 #include "bench_algos/bh/barnes_hut.h"
@@ -13,6 +24,7 @@
 #include "bench_common.h"
 #include "core/gpu_executors.h"
 #include "core/ropes_executor.h"
+#include "core/static_ropes.h"
 #include "data/generators.h"
 #include "data/sorting.h"
 #include "spatial/kdtree.h"
@@ -47,6 +59,63 @@ void compare(const Cli& cli, Table& table, const std::string& bench,
   }
 }
 
+// The stackless x cache-capacity sweep. Each eligible stackless variant
+// runs with the node cache off, at fixed capacities, and at the default
+// sizing; the baseline for the speedup column is the autoropes
+// composition with the same convergence policy (per-warp shared-memory
+// rope stack). Kernels that cannot carry ropes contribute no rows.
+template <RopeCompatibleKernel K>
+void stackless_sweep(const Cli& cli, Table& table, const std::string& bench,
+                     bool sorted, const K& k, GpuAddressSpace& space) {
+  if constexpr (StacklessCompatibleKernel<K>) {
+    DeviceConfig cfg;
+    struct CachePoint {
+      const char* label;  // "Cache(KiB)" cell
+      bool enabled;
+      std::size_t bytes;  // 0 => default sizing
+    };
+    constexpr CachePoint kPoints[] = {{"off", false, 0},
+                                      {"2", true, 2 * 1024},
+                                      {"8", true, 8 * 1024},
+                                      {"32", true, 32 * 1024},
+                                      {"auto", true, 0}};
+    for (Variant v : {Variant::kStacklessLockstep,
+                      Variant::kStacklessNolockstep, Variant::kIndexWalk}) {
+      if (!kernel_variant_eligible<K>(v)) continue;
+      if (!benchx::variant_enabled(cli, v)) continue;
+      const Variant base_v = variant_is_lockstep(v)
+                                 ? Variant::kAutoLockstep
+                                 : Variant::kAutoNolockstep;
+      auto base = run_gpu_sim(k, space, cfg, GpuMode::from(base_v));
+      for (const CachePoint& pt : kPoints) {
+        GpuMode mode = GpuMode::from(v);
+        mode.smem_node_cache = pt.enabled;
+        mode.cache_bytes = pt.bytes;
+        auto run = run_gpu_sim(k, space, cfg, mode);
+        const std::uint64_t lookups =
+            run.stats.smem_cache_hits + run.stats.smem_cache_misses;
+        const double hit_pct =
+            lookups == 0 ? 0.0
+                         : 100.0 * static_cast<double>(run.stats.smem_cache_hits) /
+                               static_cast<double>(lookups);
+        table.add_row(
+            {bench, sorted ? "sorted" : "unsorted", variant_name(v), pt.label,
+             fmt_fixed(run.time.total_ms, 3),
+             std::to_string(run.stats.dram_transactions), fmt_fixed(hit_pct, 1),
+             fmt_fixed(run.stats.bucket_cycles(CycleBucket::kStack), 0),
+             fmt_fixed(base.time.total_ms / run.time.total_ms, 3)});
+      }
+    }
+  } else {
+    (void)cli;
+    (void)table;
+    (void)bench;
+    (void)sorted;
+    (void)k;
+    (void)space;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,6 +124,8 @@ int main(int argc, char** argv) {
   return benchx::run_main(cli, argc, argv, "ablation_ropes", [&]() -> int {
     Table table({"Benchmark", "Order", "Type", "Technique", "Time(ms)",
                  "DRAM txn", "Install(ms)"});
+    Table sweep({"Benchmark", "Order", "Variant", "Cache(KiB)", "Time(ms)",
+                 "DRAM txn", "Hit%", "Stack cyc", "Speedup vs stack"});
     const auto n = static_cast<std::size_t>(cli.get_int("points"));
     for (bool sorted : {true, false}) {
       {
@@ -65,6 +136,7 @@ int main(int argc, char** argv) {
         GpuAddressSpace space;
         PointCorrelationKernel k(tree, pts, r, space);
         compare(cli, table, "PointCorrelation", sorted, k, space, tree.topo);
+        stackless_sweep(cli, sweep, "PointCorrelation", sorted, k, space);
       }
       {
         BodySet b = gen_plummer(n, 22);
@@ -75,11 +147,17 @@ int main(int argc, char** argv) {
                           static_cast<float>(cli.get_double("theta")), 1e-4f,
                           space);
         compare(cli, table, "Barnes-Hut", sorted, k, space, tree.topo);
+        stackless_sweep(cli, sweep, "Barnes-Hut", sorted, k, space);
       }
     }
     benchx::emit(table, cli.get_flag("csv"));
+    if (sweep.rows() > 0) {
+      std::cout << "\n";
+      benchx::emit(sweep, cli.get_flag("csv"));
+    }
     obs::RunReport report = benchx::make_report(cli, "ablation_ropes");
     report.add_table("ablation_ropes", table);
+    report.add_table("stackless_cache_sweep", sweep);
     if (!benchx::maybe_write_report(cli, report)) return 1;
     return 0;
   });

@@ -79,7 +79,8 @@ inline void add_common_flags(Cli& cli) {
   cli.add_string("variant", "all",
                  "comma-separated GPU variants to simulate "
                  "(auto_lockstep,auto_nolockstep,rec_lockstep,"
-                 "rec_nolockstep,auto_select); excluded variants are "
+                 "rec_nolockstep,auto_select,stackless_lockstep,"
+                 "stackless_nolockstep,index_walk); excluded variants are "
                  "skipped");
   cli.add_int("points", 8192, "points per tree-benchmark input");
   cli.add_int("bodies", 16384, "bodies for Barnes-Hut");

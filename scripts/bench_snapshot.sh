@@ -248,3 +248,74 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(snapshot['sweep'])} sweep points)")
 PY
+
+# Ropes baseline: the static-ropes-vs-autoropes ablation plus the
+# stackless x cache-size sweep, distilled into BENCH_ropes.json -- per
+# (benchmark, order, variant) the modelled time, DRAM transactions,
+# node-cache hit rate, the stack bucket (pinned at zero for stackless
+# compositions) and the speedup over the per-warp shared-memory stack.
+# All modelled time; changes only when behavior does.
+ropes_out="${4:-$repo/BENCH_ropes.json}"
+ropes_raw="$(mktemp /tmp/bench_snapshot_ropes_XXXX.json)"
+trap 'rm -f "$raw" "$batch_raw" "$serving_raw" "$sharding_raw" "$ropes_raw"' EXIT
+
+if [[ ! -x "$build/bench/ablation_ropes" ]]; then
+  echo "== building ablation_ropes =="
+  cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" \
+    --target ablation_ropes
+fi
+
+echo "== ablation_ropes (pc+bh, 512 points, stackless cache sweep) =="
+"$build/bench/ablation_ropes" --points=512 --json="$ropes_raw" >/dev/null
+
+python3 - "$ropes_raw" "$ropes_out" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    report = json.load(f)
+
+tables = {t["name"]: t for t in report.get("tables", [])}
+
+def rows_as_dicts(table):
+    header = table["header"]
+    return [dict(zip(header, cells)) for cells in table["rows"]]
+
+snapshot = {
+    "schema": "treetrav.bench_snapshot.ropes/v1",
+    "source": "ablation_ropes --points=512",
+    "git_sha": report.get("git_sha", "unknown"),
+    "ablation": [
+        {
+            "benchmark": r["Benchmark"],
+            "order": r["Order"],
+            "type": r["Type"],
+            "technique": r["Technique"],
+            "modelled_ms": float(r["Time(ms)"]),
+            "dram_transactions": int(r["DRAM txn"]),
+            "install_ms": float(r["Install(ms)"]),
+        }
+        for r in rows_as_dicts(tables["ablation_ropes"])
+    ],
+    "stackless_sweep": [
+        {
+            "benchmark": r["Benchmark"],
+            "order": r["Order"],
+            "variant": r["Variant"],
+            "cache_kib": r["Cache(KiB)"],
+            "modelled_ms": float(r["Time(ms)"]),
+            "dram_transactions": int(r["DRAM txn"]),
+            "hit_rate_pct": float(r["Hit%"]),
+            "stack_cycles": float(r["Stack cyc"]),
+            "speedup_vs_stack": float(r["Speedup vs stack"]),
+        }
+        for r in rows_as_dicts(tables["stackless_cache_sweep"])
+    ],
+}
+for p in snapshot["stackless_sweep"]:
+    assert p["stack_cycles"] == 0.0, f"stackless row charged stack cycles: {p}"
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path} ({len(snapshot['stackless_sweep'])} sweep points)")
+PY

@@ -17,6 +17,7 @@ BarnesHutKernel::BarnesHutKernel(const Octree& tree, const PointSet& bodies,
   float w = tree.root_width;
   root_dsq_ = (w * w) / (theta * theta);
   stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 8);
+  ropes_ = try_install_ropes(tree.topo);
   // Usage-split node records (section 5.2): nodes0 = the truncation-test
   // fields (center of mass, mass, type: 20 bytes), nodes1 = child indices.
   nodes0_ = space.register_buffer("bh_nodes0", 20,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/ir/traversal_ir.h"
+#include "core/static_ropes.h"
 #include "core/traversal_kernel.h"
 #include "simt/address_space.h"
 #include "spatial/octree.h"
@@ -124,12 +125,22 @@ class BarnesHutKernel {
 
   [[nodiscard]] const Octree& tree() const { return *tree_; }
 
+  // Stackless-variant support (StacklessCompatibleKernel): ropes installed
+  // over this timestep's octree at construction (the multi-timestep driver
+  // reconstructs the kernel per rebuild, so they always match the tree),
+  // plus the node buffers the shared-memory cache may front.
+  [[nodiscard]] const StaticRopes& ropes() const { return ropes_; }
+  [[nodiscard]] std::vector<std::int32_t> node_buffers() const {
+    return {nodes0_, nodes1_};
+  }
+
  private:
   const Octree* tree_;
   const PointSet* bodies_;
   float eps2_;
   float root_dsq_;
   int stack_bound_;
+  StaticRopes ropes_;
   BufferId nodes0_, nodes1_, queries_;
 };
 

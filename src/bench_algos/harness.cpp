@@ -11,6 +11,7 @@
 #include "bench_algos/vp/vantage_point.h"
 #include "core/cpu_executors.h"
 #include "core/gpu_executors.h"
+#include "core/static_ropes.h"
 #include "cpu/parallel.h"
 #include "obs/chrome_trace.h"
 #include "obs/profile.h"
@@ -116,9 +117,11 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
   row.cpu_threads_measured = tmax;
   row.cpu_visits = cpu1.total_visits;
 
-  // Simulate the five GPU variants. A rope-stack overflow (run_gpu_sim
+  // Simulate the eight GPU variants. A rope-stack overflow (run_gpu_sim
   // throws) fails only that variant: its error string is recorded and the
-  // remaining variants still produce measurements.
+  // remaining variants still produce measurements. Stackless variants are
+  // pre-checked for eligibility (guided kernels have no canonical rope
+  // order) and reported as skipped rather than attempted.
   std::array<std::vector<typename K::Result>, kNumVariants> gpu_results;
   std::vector<std::uint32_t> nolockstep_visits;
   std::vector<std::uint32_t> lockstep_pops;
@@ -128,6 +131,17 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
       row.result(v).error =
           std::string("skipped: excluded by --variant filter (") +
           variant_name(v) + ")";
+      continue;
+    }
+    if (!kernel_variant_eligible<K>(v)) {
+      row.result(v) = VariantResult{};
+      row.result(v).error =
+          std::string("skipped: variant ") + variant_name(v) +
+          " ineligible for kernel " + kernel_display_name<K>() +
+          (v == Variant::kIndexWalk && kernel_variant_eligible<K>(
+                                           Variant::kStacklessNolockstep)
+               ? " (index_walk needs a fanout-2 tree)"
+               : " (needs an unguided, rope-carrying kernel)");
       continue;
     }
     try {

@@ -28,6 +28,7 @@ PointCorrelationKernel::PointCorrelationKernel(const KdTree& tree,
   // paper's self-correlation workload that is the query set itself.
   data_ = &queries;
   stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 2);
+  ropes_ = try_install_ropes(tree.topo);
   // nodes0: bounding box (2 * dim floats); nodes1: children + leaf range.
   nodes0_ = space.register_buffer(
       "pc_nodes0", static_cast<std::uint64_t>(2 * dim_) * 4,

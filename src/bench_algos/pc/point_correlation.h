@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/ir/traversal_ir.h"
+#include "core/static_ropes.h"
 #include "core/traversal_kernel.h"
 #include "simt/address_space.h"
 #include "spatial/kdtree.h"
@@ -94,6 +95,14 @@ class PointCorrelationKernel {
   // Static-ropes baseline support: PC carries no traversal arguments.
   [[nodiscard]] UArg uarg_at(NodeId) const { return {}; }
 
+  // Stackless-variant support (StacklessCompatibleKernel): the ropes
+  // installed over the kd-tree at construction, and the node buffers the
+  // shared-memory top-of-tree cache may front.
+  [[nodiscard]] const StaticRopes& ropes() const { return ropes_; }
+  [[nodiscard]] std::vector<std::int32_t> node_buffers() const {
+    return {nodes0_, nodes1_};
+  }
+
   [[nodiscard]] float radius() const { return radius_; }
 
  private:
@@ -103,6 +112,7 @@ class PointCorrelationKernel {
   int dim_;
   float radius_, r2_;
   int stack_bound_;
+  StaticRopes ropes_;
   BufferId nodes0_, nodes1_, leafpts_, queries_buf_;
 };
 

@@ -15,6 +15,12 @@
 //     max-depth rule -- each step, only the lanes at the current deepest
 //     call level that share the leader's node execute.
 //
+// Both reconvergence schedules also compose with the stackless policies
+// (StacklessRope / IndexWalk, stack_policy.h): the per-lane schedule walks
+// each lane's own rope cursor, the lockstep schedule shares one cursor
+// with per-lane resume points -- no stack state in either case, so the
+// profiler's `stack` bucket is exactly zero for the stackless variants.
+//
 // Policies drive the traversal through WarpEngine services only: stack
 // policies (stack_policy.h) account for continuation traffic, the engine
 // owns counters and the single trace-emission site. All variants execute
@@ -25,12 +31,69 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/stack_policy.h"
 #include "core/warp_engine.h"
 
 namespace tt {
+
+namespace detail {
+
+// Per-lane stackless rope walk shared by the StacklessRope / IndexWalk
+// compositions of LoopHeadReconvergence: each lane follows its own DFS
+// cursor (descend == cur + 1 under the left-biased layout, truncate ==
+// the policy's escape), so its visit sequence is exactly the per-lane
+// rope-stack traversal's -- byte-identical results by construction. No
+// stack exists, so nothing ever charges the `stack` bucket and overflow
+// is impossible.
+template <TraversalKernel K, class SP>
+void run_lane_ropewalk(WarpEngine<K>& eng, const SP& sp) {
+  const K& k = eng.kernel();
+  const int lanes = eng.lanes();
+  typename K::LArg no_larg{};
+
+  std::vector<NodeId> cur(static_cast<std::size_t>(lanes), k.root());
+  for (;;) {
+    int active = 0;
+    std::uint32_t act_mask = 0;
+    for (int l = 0; l < lanes; ++l) {
+      if (cur[static_cast<std::size_t>(l)] == StaticRopes::kEndOfTraversal)
+        continue;
+      ++active;
+      act_mask |= 1u << l;
+    }
+    if (active == 0) break;
+    eng.stats().note_warp_step(eng.cfg().c_step);
+    eng.stats().note_visit_cycles(eng.cfg().c_visit);
+    eng.stats().note_active_lanes(active);
+    eng.profile_step(0, active);
+
+    std::uint32_t trunc_mask = 0;
+    for (int l = 0; l < lanes; ++l) {
+      NodeId& c = cur[static_cast<std::size_t>(l)];
+      if (c == StaticRopes::kEndOfTraversal) continue;
+      eng.count_point_visit(l);
+      bool descend = k.visit(c, k.uarg_at(c), no_larg, eng.state(l),
+                             eng.mem(), l);
+      if (descend) {
+        c = c + 1;
+      } else {
+        trunc_mask |= 1u << l;
+        sp.record_escape(eng, l, c);
+        c = sp.escape(c);
+      }
+    }
+    eng.mem().commit();  // node loads + per-lane rope loads
+    // Lanes sit on distinct nodes, so the node field is not warp-uniform.
+    eng.emit(obs::TraceEventKind::kVisit, 0xffffffffu, act_mask, 0);
+    if (trunc_mask != 0)
+      eng.emit(obs::TraceEventKind::kTruncate, 0xffffffffu, trunc_mask, 0);
+  }
+}
+
+}  // namespace detail
 
 // ---------------------------------------------------------------------
 // Per-lane iterative traversal over per-lane rope stacks (Figure 6/7).
@@ -120,6 +183,18 @@ struct LoopHeadReconvergence {
         eng.emit(obs::TraceEventKind::kPush, 0xffffffffu, push_mask,
                  pop_depth + 1, push_count);
     }
+  }
+
+  // Stackless flavors: the same per-lane schedule with no stack at all --
+  // truncation follows the escape-index rope (one global rope load) or
+  // the Wald-style index arithmetic (no memory traffic either).
+  template <StacklessCompatibleKernel K>
+  void run(WarpEngine<K>& eng, const StacklessRope& sp) const {
+    detail::run_lane_ropewalk(eng, sp);
+  }
+  template <StacklessCompatibleKernel K>
+  void run(WarpEngine<K>& eng, const IndexWalk& sp) const {
+    detail::run_lane_ropewalk(eng, sp);
   }
 };
 
@@ -285,6 +360,61 @@ struct WarpAndTruncation {
           if (p.new_mask & (1u << l)) sp.record_frame(eng, l, pdepth);
         eng.mem().commit();
         eng.emit(obs::TraceEventKind::kReturn, p.node, p.new_mask, pdepth);
+      }
+    }
+  }
+
+  // Stackless flavor: the warp walks the union traversal behind a shared
+  // rope cursor instead of a per-warp stack (the ropes_executor lockstep
+  // rule as a composition). A lane that truncates at node n records
+  // resume_at = rope[n] and stays masked until the cursor reaches it --
+  // exact because DFS ids only move forward. Each lane therefore visits
+  // exactly its own traversal set, byte-identical to the stack-based
+  // union traversal, while no stack bytes exist and nothing charges the
+  // `stack` bucket.
+  template <StacklessCompatibleKernel K>
+  void run(WarpEngine<K>& eng, const StacklessRope& sp) const {
+    using LArg = typename K::LArg;
+    const K& k = eng.kernel();
+    const int lanes = eng.lanes();
+    const std::vector<LArg> no_largs(static_cast<std::size_t>(lanes));
+
+    // resume_at semantics: kNullNode = active; kNeverResume = the lane's
+    // traversal ended (its truncation rope pointed past the tree);
+    // otherwise the DFS id at which the lane unmasks.
+    constexpr NodeId kNeverResume = std::numeric_limits<NodeId>::max();
+    std::vector<NodeId> resume_at(static_cast<std::size_t>(lanes), kNullNode);
+
+    NodeId cur = k.root();
+    while (cur != StaticRopes::kEndOfTraversal) {
+      std::uint32_t mask = 0;
+      for (int l = 0; l < lanes; ++l) {
+        NodeId& r = resume_at[static_cast<std::size_t>(l)];
+        if (r != kNullNode && cur < r) continue;
+        r = kNullNode;
+        mask |= 1u << l;
+      }
+      eng.count_warp_pop();
+      eng.stats().note_warp_step(eng.cfg().c_step);
+      eng.emit(obs::TraceEventKind::kPop, cur, mask, 0);
+
+      // Visit + warp-wide AND truncation vote (charges c_visit, per-lane
+      // visits, active lanes, the vote, and emits kVisit / kTruncate).
+      std::uint32_t new_mask =
+          eng.union_visit_and_vote(cur, k.uarg_at(cur), no_largs, mask, 0);
+      for (int l = 0; l < lanes; ++l) {
+        if (!(mask & (1u << l)) || (new_mask & (1u << l))) continue;
+        NodeId rope = sp.escape(cur);
+        resume_at[static_cast<std::size_t>(l)] =
+            rope == StaticRopes::kEndOfTraversal ? kNeverResume : rope;
+      }
+      if (new_mask != 0) {
+        cur = cur + 1;
+      } else {
+        // Whole-warp escape: one rope load for the shared cursor.
+        sp.record_escape(eng, 0, cur);
+        cur = sp.escape(cur);
+        eng.mem().commit();
       }
     }
   }

@@ -11,6 +11,13 @@
 //   rec_lockstep     CallFrames      WarpAndTruncation
 //   auto_select      (sample similarity, dispatch to auto_lockstep or
 //                     auto_nolockstep; sampling charged to the cost model)
+//   stackless_lockstep    StacklessRope  WarpAndTruncation (shared cursor)
+//   stackless_nolockstep  StacklessRope  LoopHeadReconvergence
+//   index_walk            IndexWalk      LoopHeadReconvergence
+//
+// The stackless three need a StacklessCompatibleKernel (static_ropes.h)
+// and allocate no stack arena; the freed shared memory backs a modelled
+// top-of-tree node cache (simt/smem_cache.h).
 //
 // The WarpEngine (warp_engine.h) owns the per-warp lifecycle, counters and
 // the single trace-emission site; stack policies (stack_policy.h) own
@@ -151,8 +158,47 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
   else
     run.per_point_visits.assign(shape.n, 0);
 
-  BufferId stack_buf = ensure_stack_arena(space, mode, shape);
-  const std::uint64_t stack_base0 = space.addr(stack_buf, 0);
+  // Stackless family: no arena; instead the launch registers the rope
+  // array (scratch, like the arena) and builds the shared-memory node
+  // cache from the bytes the per-warp stack records used to occupy. Both
+  // happen here, serially, before slots fan out.
+  std::uint64_t stack_base0 = 0;
+  StacklessCtx sctx;
+  SmemNodeCache cache;
+  if (mode.stackless) {
+    if constexpr (StacklessCompatibleKernel<K>) {
+      if (mode.index_walk && !kernel_index_walk_eligible<K>)
+        throw std::invalid_argument(
+            std::string("run_gpu_sim: variant index_walk requires a "
+                        "fanout-2 tree; kernel ") +
+            kernel_display_name<K>() + " is ineligible");
+      if (k.ropes().rope.empty())
+        throw std::invalid_argument(
+            std::string("run_gpu_sim: variant ") +
+            variant_name(mode.variant()) +
+            " needs ropes installed over a left-biased DFS tree; kernel " +
+            kernel_display_name<K>() +
+            " carries none (non-DFS relayout?)");
+      sctx.rope_buf = space.ensure_buffer(
+          "ropes", 4, static_cast<std::uint64_t>(k.ropes().rope.size()));
+      if (mode.smem_node_cache) {
+        cache = SmemNodeCache::build(space, k.node_buffers(),
+                                     k.ropes().rope.size(),
+                                     stackless_cache_bytes(cfg, shape, mode));
+        sctx.cache = &cache;
+      }
+    } else {
+      throw std::invalid_argument(
+          std::string("run_gpu_sim: variant ") +
+          variant_name(mode.variant()) +
+          " requires a stackless-compatible (unguided, rope-carrying) "
+          "kernel; " +
+          kernel_display_name<K>() + " is ineligible");
+    }
+  } else {
+    BufferId stack_buf = ensure_stack_arena(space, mode, shape);
+    stack_base0 = space.addr(stack_buf, 0);
+  }
 
   OverflowReport overflow;
   if (trace) trace->begin(shape.n_warps, omp_get_max_threads());
@@ -167,7 +213,8 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
         run_warp_slot(k, space, cfg, mode, shape, stack_base0, p, stats, l2,
                       trace, profile, overflow, run.results.data(),
                       mode.lockstep ? nullptr : run.per_point_visits.data(),
-                      mode.lockstep ? run.per_warp_pops.data() : nullptr);
+                      mode.lockstep ? run.per_warp_pops.data() : nullptr,
+                      kSoloKernel, mode.stackless ? &sctx : nullptr);
       });
   run.sim_wall_ms = timer.elapsed_ms();
   if (overflow.overflowed())

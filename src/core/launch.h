@@ -54,6 +54,7 @@
 #include "simt/device_config.h"
 #include "simt/kernel_stats.h"
 #include "simt/l2cache.h"
+#include "simt/smem_cache.h"
 #include "simt/warp_memory.h"
 
 namespace tt {
@@ -104,6 +105,9 @@ template <TraversalKernel K>
   // (and stack arena) across chunks. Uniform across all compositions.
   s.grid = mode.grid_limit > 0 ? std::min(mode.grid_limit, s.n_warps)
                                : s.n_warps;
+  // The stackless family keeps no continuations at all: no arena bytes,
+  // and ensure_stack_arena must not be called for these launches.
+  if (mode.stackless) s.per_warp_span = 0;
   return s;
 }
 
@@ -114,6 +118,29 @@ template <TraversalKernel K>
   return space.ensure_buffer(mode.autoropes ? "rope_stack" : "local_frames",
                              1, s.per_warp_span * s.n_warps);
 }
+
+// Shared-memory bytes the stackless node cache may occupy: what the
+// per-warp lockstep stack records (12 bytes per level, stack_bound + 4
+// levels, one stack per resident warp) used to take from the SM, capped
+// at the SM's shared memory. mode.cache_bytes pins an explicit capacity
+// for the ablation sweep.
+[[nodiscard]] inline std::size_t stackless_cache_bytes(
+    const DeviceConfig& cfg, const LaunchGeometry& s, const GpuMode& mode) {
+  if (mode.cache_bytes > 0) return mode.cache_bytes;
+  const std::size_t freed =
+      static_cast<std::size_t>(cfg.resident_warps_per_sm) *
+      static_cast<std::size_t>(s.stack_bound + 4) * 12;
+  return std::min<std::size_t>(freed,
+                               static_cast<std::size_t>(cfg.shared_mem_per_sm));
+}
+
+// Launch-scope context of a stackless launch: the installed rope array's
+// buffer id in the launch's address space, and the (optional) modelled
+// shared-memory node cache every slot's WarpMemory checks before L2.
+struct StacklessCtx {
+  std::int32_t rope_buf = -1;
+  const SmemNodeCache* cache = nullptr;
+};
 
 // Stack-policy instances addressing one physical warp's arena slice.
 struct WarpArenas {
@@ -143,9 +170,13 @@ struct WarpArenas {
 
 // The composition table: which StackPolicy x ConvergencePolicy pair a
 // (resolved) GpuMode dispatches one chunk to. auto_select never reaches
-// here -- run_gpu_sim / run_gpu_batch resolve it per launch first.
+// here -- run_gpu_sim / run_gpu_batch resolve it per launch first. The
+// stackless cases need the launch's StacklessCtx (rope buffer id) and an
+// eligible kernel; callers enforce eligibility up front, so hitting the
+// ineligible path here is a composition-table bug.
 template <TraversalKernel K>
-void run_chunk(WarpEngine<K>& eng, const GpuMode& mode, const WarpArenas& a) {
+void run_chunk(WarpEngine<K>& eng, const GpuMode& mode, const WarpArenas& a,
+               const StacklessCtx* sctx = nullptr) {
   switch (mode.variant()) {
     case Variant::kAutoNolockstep:
       LoopHeadReconvergence{}.run(eng, a.lane_stack);
@@ -158,6 +189,30 @@ void run_chunk(WarpEngine<K>& eng, const GpuMode& mode, const WarpArenas& a) {
       break;
     case Variant::kRecLockstep:
       WarpAndTruncation{}.run(eng, a.frames);
+      break;
+    case Variant::kStacklessLockstep:
+    case Variant::kStacklessNolockstep:
+      if constexpr (StacklessCompatibleKernel<K>) {
+        if (sctx == nullptr || sctx->rope_buf < 0)
+          throw std::logic_error(
+              "run_chunk: stackless variant launched without a StacklessCtx");
+        const StacklessRope sp{&eng.kernel().ropes(), sctx->rope_buf};
+        if (mode.lockstep)
+          WarpAndTruncation{}.run(eng, sp);
+        else
+          LoopHeadReconvergence{}.run(eng, sp);
+      } else {
+        throw std::logic_error(
+            "run_chunk: stackless variant on an ineligible kernel");
+      }
+      break;
+    case Variant::kIndexWalk:
+      if constexpr (kernel_index_walk_eligible<K>) {
+        LoopHeadReconvergence{}.run(eng, IndexWalk{&eng.kernel().ropes()});
+      } else {
+        throw std::logic_error(
+            "run_chunk: index_walk on an ineligible kernel");
+      }
       break;
     case Variant::kAutoSelect:
       throw std::logic_error(
@@ -181,8 +236,9 @@ void run_warp_slot(const K& k, const GpuAddressSpace& space,
                    typename K::Result* results,
                    std::uint32_t* per_point_visits,
                    std::uint32_t* per_warp_pops,
-                   std::uint32_t kernel_id = kSoloKernel) {
-  WarpMemory mem(space, cfg, l2, stats);
+                   std::uint32_t kernel_id = kSoloKernel,
+                   const StacklessCtx* sctx = nullptr) {
+  WarpMemory mem(space, cfg, l2, stats, sctx ? sctx->cache : nullptr);
   const std::uint64_t base = stack_base0 + shape.per_warp_span * p;
   obs::WarpTracer* tr = trace ? &trace->ring(omp_get_thread_num()) : nullptr;
   obs::ProfileCollector* pc =
@@ -200,7 +256,7 @@ void run_warp_slot(const K& k, const GpuAddressSpace& space,
                     results + range.begin,
                     mode.lockstep ? nullptr : per_point_visits + range.begin,
                     mode.lockstep ? &per_warp_pops[w] : nullptr, kernel_id);
-    run_chunk(eng, mode, arenas);
+    run_chunk(eng, mode, arenas, sctx);
     eng.end_chunk();
     if (tr) trace->commit(static_cast<std::uint32_t>(w), *tr);
   }
@@ -225,8 +281,9 @@ void run_warp_list(const K& k, const GpuAddressSpace& space,
                    typename K::Result* results,
                    std::uint32_t* per_point_visits,
                    std::uint32_t* per_warp_pops,
-                   std::uint32_t kernel_id = kSoloKernel) {
-  WarpMemory mem(space, cfg, l2, stats);
+                   std::uint32_t kernel_id = kSoloKernel,
+                   const StacklessCtx* sctx = nullptr) {
+  WarpMemory mem(space, cfg, l2, stats, sctx ? sctx->cache : nullptr);
   const std::uint64_t base = stack_base0 + shape.per_warp_span * p;
   obs::WarpTracer* tr = trace ? &trace->ring(omp_get_thread_num()) : nullptr;
   obs::ProfileCollector* pc =
@@ -245,7 +302,7 @@ void run_warp_list(const K& k, const GpuAddressSpace& space,
                     results + range.begin,
                     mode.lockstep ? nullptr : per_point_visits + range.begin,
                     mode.lockstep ? &per_warp_pops[w] : nullptr, kernel_id);
-    run_chunk(eng, mode, arenas);
+    run_chunk(eng, mode, arenas, sctx);
     eng.end_chunk();
     if (tr) trace->commit(static_cast<std::uint32_t>(w), *tr);
   }
@@ -296,6 +353,13 @@ class KernelHandle {
   [[nodiscard]] virtual int stack_bound() const = 0;
   [[nodiscard]] virtual std::size_t result_stride() const = 0;
 
+  // Whether this kernel can execute variant `v` (always true for the
+  // stack-based variants; the stackless family needs a rope-carrying
+  // unguided kernel -- see kernel_variant_eligible in static_ropes.h).
+  // Batched/sharded dispatch pre-checks this so an ineligible pairing
+  // fails one launch gracefully instead of throwing out of the pool.
+  [[nodiscard]] virtual bool variant_eligible(Variant v) const = 0;
+
   // The section-4.4 similarity sampler (auto_select resolution).
   [[nodiscard]] virtual ProfileReport profile(std::size_t samples,
                                               std::uint64_t seed) const = 0;
@@ -329,8 +393,41 @@ class TypedLaunchRun final : public LaunchRun {
       per_warp_pops.assign(shape.n_warps, 0);
     else
       per_point_visits.assign(shape.n, 0);
-    BufferId buf = ensure_stack_arena(space, mode, shape);
-    stack_base0_ = space.addr(buf, 0);
+    if (mode.stackless) {
+      // No stack arena. Register the rope array (launch-time scratch, like
+      // the arena -- never part of the kernel's upload bytes) and build
+      // the shared-memory node cache from the freed stack bytes. This
+      // constructor runs serially (prepare), so ensure_buffer is safe.
+      if constexpr (StacklessCompatibleKernel<K>) {
+        if (mode.index_walk && !kernel_index_walk_eligible<K>)
+          throw std::invalid_argument(
+              std::string("launch: variant index_walk requires a fanout-2 "
+                          "tree; kernel ") +
+              K::kName + " is ineligible");
+        if (k.ropes().rope.empty())
+          throw std::invalid_argument(
+              std::string("launch: variant ") + variant_name(mode.variant()) +
+              " needs ropes installed over a left-biased DFS tree; kernel " +
+              K::kName + " carries none (non-DFS relayout?)");
+        sctx_.rope_buf = space.ensure_buffer(
+            "ropes", 4, static_cast<std::uint64_t>(k.ropes().rope.size()));
+        if (mode.smem_node_cache) {
+          cache_ = SmemNodeCache::build(space, k.node_buffers(),
+                                        k.ropes().rope.size(),
+                                        stackless_cache_bytes(cfg, shape, mode));
+          sctx_.cache = &cache_;
+        }
+      } else {
+        throw std::invalid_argument(
+            std::string("launch: variant ") + variant_name(mode.variant()) +
+            " requires a stackless-compatible (unguided, rope-carrying) "
+            "kernel; " +
+            K::kName + " is ineligible");
+      }
+    } else {
+      BufferId buf = ensure_stack_arena(space, mode, shape);
+      stack_base0_ = space.addr(buf, 0);
+    }
   }
 
   void run_slot(std::size_t p, KernelStats& stats, L2Cache* l2) override {
@@ -338,7 +435,7 @@ class TypedLaunchRun final : public LaunchRun {
                   l2, trace_, profile_, overflow, results_.data(),
                   mode_.lockstep ? nullptr : per_point_visits.data(),
                   mode_.lockstep ? per_warp_pops.data() : nullptr,
-                  kernel_id_);
+                  kernel_id_, mode_.stackless ? &sctx_ : nullptr);
   }
 
   void run_shard_slot(std::span<const std::uint32_t> warps, std::size_t grid,
@@ -348,7 +445,7 @@ class TypedLaunchRun final : public LaunchRun {
                   results_.data(),
                   mode_.lockstep ? nullptr : per_point_visits.data(),
                   mode_.lockstep ? per_warp_pops.data() : nullptr,
-                  kernel_id_);
+                  kernel_id_, mode_.stackless ? &sctx_ : nullptr);
   }
 
   [[nodiscard]] const void* result_data() const override {
@@ -368,6 +465,9 @@ class TypedLaunchRun final : public LaunchRun {
   std::uint32_t kernel_id_;
   std::uint64_t stack_base0_ = 0;
   std::vector<typename K::Result> results_;
+  // Stackless launches only: rope buffer id + modelled node cache.
+  StacklessCtx sctx_;
+  SmemNodeCache cache_;
 };
 
 template <NamedTraversalKernel K>
@@ -384,6 +484,10 @@ class TypedKernelHandle final : public KernelHandle {
   [[nodiscard]] int stack_bound() const override { return k_->stack_bound(); }
   [[nodiscard]] std::size_t result_stride() const override {
     return sizeof(typename K::Result);
+  }
+
+  [[nodiscard]] bool variant_eligible(Variant v) const override {
+    return kernel_variant_eligible<K>(v);
   }
 
   [[nodiscard]] ProfileReport profile(std::size_t samples,

@@ -32,6 +32,7 @@ LaunchPool run_launch_pool(std::span<const LaunchSpec> specs,
     std::unique_ptr<LaunchRun> run;
     std::vector<KernelStats> per_slot;
     std::size_t slice_bytes = 0;
+    std::string error;  // admission failure (variant ineligible); run == null
   };
   std::vector<Prep> preps(specs.size());
 
@@ -66,6 +67,17 @@ LaunchPool run_launch_pool(std::span<const LaunchSpec> specs,
       pr.selection = sel;
     }
     pr.mode = mode;
+    if (!spec.kernel->variant_eligible(mode.variant())) {
+      // Isolation, like an overflow: this launch fails with a prefixed
+      // error and zeroed numbers; sibling launches still execute.
+      pr.error = std::string("kernel ") + spec.kernel->name() + " (batch " +
+                 std::to_string(i) + "): variant " +
+                 variant_name(mode.variant()) +
+                 " requires a stackless-compatible (unguided, rope-carrying) "
+                 "kernel; launch skipped";
+      out.shapes.push_back(LaunchGeometry{});
+      continue;
+    }
     pr.run = spec.kernel->prepare(*spec.space, cfg, mode, spec.trace,
                                   spec.profile,
                                   static_cast<std::uint32_t>(i));
@@ -93,7 +105,7 @@ LaunchPool run_launch_pool(std::span<const LaunchSpec> specs,
   };
   std::vector<Slot> slots;
   for (std::size_t i = 0; i < preps.size(); ++i)
-    for (std::size_t p = 0; p < preps[i].run->shape.grid; ++p)
+    for (std::size_t p = 0; preps[i].run && p < preps[i].run->shape.grid; ++p)
       slots.push_back(Slot{static_cast<std::uint32_t>(i),
                            static_cast<std::uint32_t>(p)});
 
@@ -120,6 +132,12 @@ LaunchPool run_launch_pool(std::span<const LaunchSpec> specs,
     r.kernel_name = spec.kernel->name();
     r.batch_index = i;
     r.variant = pr.mode.variant();
+    if (!pr.run) {
+      r.result_stride = spec.kernel->result_stride();
+      r.error = pr.error;
+      out.launches.push_back(std::move(r));
+      continue;
+    }
     r.n_points = pr.run->shape.n;
     r.n_warps = pr.run->shape.n_warps;
     r.result_stride = pr.run->result_stride();

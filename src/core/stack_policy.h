@@ -18,13 +18,21 @@
 //                     interleaved global stack.
 //   CallFrames     -- recursion: per-lane call frames spilled to
 //                     thread-interleaved local memory.
+//   StacklessRope  -- no stack at all: truncation follows the statically
+//                     installed escape-index rope (core/static_ropes.h),
+//                     one global rope-array load per escape.
+//   IndexWalk      -- no stack and no rope loads either: the Wald-style
+//                     arithmetic escape for left-biased DFS binary trees,
+//                     a pure index computation at shared-memory latency.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 
 #include "core/rope_stack.h"
+#include "core/static_ropes.h"
 #include "core/traversal_kernel.h"
+#include "simt/kernel_stats.h"
 
 namespace tt {
 
@@ -127,6 +135,53 @@ struct CallFrames {
   template <class Engine>
   void record_frame(Engine& eng, int lane, std::size_t depth) const {
     eng.mem().lane_stack_traffic(lane, addr(lane, depth), frame_bytes);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Stackless escape-index ropes (prior work's static ropes as a policy:
+// Popov et al. / Hapala et al. via core/static_ropes.h). Descend is
+// cur + 1 under the left-biased DFS layout; truncation follows
+// rope[cur] == cur + subtree_size(cur). No stack state exists, so the
+// profiler's `stack` bucket stays at exactly zero and the shared-memory
+// bytes the WarpStack record occupied are free for the node cache.
+// ---------------------------------------------------------------------
+struct StacklessRope {
+  const StaticRopes* ropes = nullptr;
+  std::int32_t rope_buf = -1;  // the installed rope array in global memory
+
+  [[nodiscard]] NodeId escape(NodeId n) const {
+    return ropes->rope[static_cast<std::size_t>(n)];
+  }
+
+  // One global rope-array load per escape taken: per-lane under the
+  // per-lane walks, a single lane-0 load per whole-warp escape under
+  // lockstep (the warp-shared cursor is one value).
+  template <class Engine>
+  void record_escape(Engine& eng, int lane, NodeId n) const {
+    eng.mem().lane_load(lane, rope_buf, static_cast<std::uint64_t>(n));
+  }
+};
+
+// ---------------------------------------------------------------------
+// Wald-style index-arithmetic escape for left-biased DFS binary trees
+// (fanout 2 only, see kernel_index_walk_eligible): the escape target is
+// derived from node indices alone, so an escape costs one shared-memory-
+// latency arithmetic step and touches no memory at all. The host
+// simulation reads the installed rope table as its oracle for the same
+// value the arithmetic would produce.
+// ---------------------------------------------------------------------
+struct IndexWalk {
+  const StaticRopes* ropes = nullptr;
+
+  [[nodiscard]] NodeId escape(NodeId n) const {
+    return ropes->rope[static_cast<std::size_t>(n)];
+  }
+
+  // Index arithmetic only: charged to the step bucket, no traffic.
+  template <class Engine>
+  void record_escape(Engine& eng, int /*lane*/, NodeId /*n*/) const {
+    eng.stats().charge(CycleBucket::kStep, eng.cfg().c_smem);
   }
 };
 

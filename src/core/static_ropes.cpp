@@ -6,21 +6,30 @@
 
 namespace tt {
 
+bool tree_is_dfs_layout(const LinearTree& tree) {
+  for (NodeId id = 0; id < tree.n_nodes; ++id) {
+    for (int k = 0; k < tree.fanout; ++k) {
+      NodeId c = tree.child(id, k);
+      if (c == kNullNode) continue;
+      if (c != id + 1) return false;
+      break;
+    }
+  }
+  return true;
+}
+
+StaticRopes try_install_ropes(const LinearTree& tree) {
+  return tree_is_dfs_layout(tree) ? install_ropes(tree) : StaticRopes{};
+}
+
 StaticRopes install_ropes(const LinearTree& tree) {
   WallTimer timer;
   // The stackless traversal descends with `cur + 1`, which is only the
   // first child under the left-biased DFS layout; refuse anything else
   // (e.g. a BFS relayout) rather than traverse garbage.
-  for (NodeId id = 0; id < tree.n_nodes; ++id) {
-    for (int k = 0; k < tree.fanout; ++k) {
-      NodeId c = tree.child(id, k);
-      if (c == kNullNode) continue;
-      if (c != id + 1)
-        throw std::invalid_argument(
-            "install_ropes: tree is not in left-biased DFS layout");
-      break;
-    }
-  }
+  if (!tree_is_dfs_layout(tree))
+    throw std::invalid_argument(
+        "install_ropes: tree is not in left-biased DFS layout");
   StaticRopes r;
   const auto n = static_cast<std::size_t>(tree.n_nodes);
   r.rope.assign(n, StaticRopes::kEndOfTraversal);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/traversal_kernel.h"
+#include "core/variant.h"
 #include "spatial/linear_tree.h"
 
 namespace tt {
@@ -36,8 +37,20 @@ struct StaticRopes {
   double install_ms = 0;  // preprocessing cost of the install pass
 };
 
-// Preprocessing pass (prior work's tree rewrite). O(n).
+// Preprocessing pass (prior work's tree rewrite). O(n). Throws
+// std::invalid_argument unless the tree is in left-biased DFS layout
+// (descend == n+1 is what the stackless walkers rely on).
 StaticRopes install_ropes(const LinearTree& tree);
+
+// True iff every node's first present child is n+1 (the left-biased DFS
+// linearization every spatial builder emits; BFS relayouts are not).
+[[nodiscard]] bool tree_is_dfs_layout(const LinearTree& tree);
+
+// Kernel-constructor variant: returns empty ropes (rope.size() == 0)
+// instead of throwing when the tree is not DFS-laid-out, so kernels over
+// relayouted trees still construct and run the stack-based variants; the
+// stackless launch paths reject empty ropes at dispatch.
+StaticRopes try_install_ropes(const LinearTree& tree);
 
 // Kernels eligible for rope-based traversal: unguided and able to
 // recompute their uniform argument at any node (no stack to carry it).
@@ -48,5 +61,36 @@ concept RopeCompatibleKernel =
     requires(const K k, NodeId n) {
       { k.uarg_at(n) } -> std::same_as<typename K::UArg>;
     };
+
+// Kernels eligible for the stackless Variant family: rope-compatible AND
+// carrying their own installed ropes plus the list of node buffers the
+// shared-memory cache may front (simt/smem_cache.h caches the low-DFS-id
+// prefix of exactly these buffers).
+template <class K>
+concept StacklessCompatibleKernel =
+    RopeCompatibleKernel<K> &&
+    requires(const K k) {
+      { k.ropes() } -> std::convertible_to<const StaticRopes&>;
+      { k.node_buffers() } -> std::convertible_to<std::vector<std::int32_t>>;
+    };
+
+// index_walk (Wald-style arithmetic escape) additionally needs a binary
+// left-biased DFS tree: the escape target is derivable by walking sibling
+// extents, which the policy only does for fanout 2 (the spatial kd-trees).
+template <class K>
+inline constexpr bool kernel_index_walk_eligible =
+    StacklessCompatibleKernel<K> && (K::kFanout == 2);
+
+// Runtime eligibility of one (kernel type, variant) pair, usable from
+// type-erased contexts (harness skip messages, fuzzer gating).
+template <class K>
+[[nodiscard]] constexpr bool kernel_variant_eligible(Variant v) {
+  if (!variant_is_stackless(v)) return true;
+  if constexpr (!StacklessCompatibleKernel<K>) {
+    return false;
+  } else {
+    return v != Variant::kIndexWalk || kernel_index_walk_eligible<K>;
+  }
+}
 
 }  // namespace tt

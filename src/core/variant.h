@@ -1,7 +1,9 @@
 // The GPU execution variants the harness evaluates, as a first-class enum:
-// the paper's four fixed compositions plus `auto_select`, the section-4.4
+// the paper's four fixed compositions, `auto_select` (the section-4.4
 // adaptive variant that samples traversal similarity at launch time and
-// dispatches to the lockstep or non-lockstep autoropes composition.
+// dispatches to the lockstep or non-lockstep autoropes composition), and
+// the stackless family (escape-index ropes and Wald-style index walks
+// with the freed shared memory repurposed as a modelled node cache).
 // `Variant` is the public way to name a configuration; `GpuMode` is the
 // executor-facing knob struct it expands to (plus the section-5.2 ablation
 // switches). Harness results, reports and tests all key off `Variant` so a
@@ -23,13 +25,23 @@ enum class Variant : std::uint8_t {
   kRecNolockstep = 3,    // naive CUDA port: per-lane recursion
   kAutoSelect = 4,       // section 4.4: sample similarity, then dispatch to
                          // kAutoLockstep or kAutoNolockstep per launch
+  // Stackless family: no per-warp traversal stack at all. The freed
+  // shared-memory bytes become a modelled top-of-tree node cache
+  // (simt/smem_cache.h). Eligible only for unguided single-call-set
+  // kernels whose tree carries escape-index ropes (StacklessCompatibleKernel
+  // in core/static_ropes.h); index_walk additionally needs fanout 2.
+  kStacklessLockstep = 5,    // escape-index ropes, per-warp union traversal
+  kStacklessNolockstep = 6,  // escape-index ropes, per-lane walks
+  kIndexWalk = 7,            // Wald-style index arithmetic, per-lane walks
 };
 
-inline constexpr std::size_t kNumVariants = 5;
+inline constexpr std::size_t kNumVariants = 8;
 
 inline constexpr std::array<Variant, kNumVariants> kAllVariants{
-    Variant::kAutoLockstep, Variant::kAutoNolockstep, Variant::kRecLockstep,
-    Variant::kRecNolockstep, Variant::kAutoSelect};
+    Variant::kAutoLockstep,      Variant::kAutoNolockstep,
+    Variant::kRecLockstep,       Variant::kRecNolockstep,
+    Variant::kAutoSelect,        Variant::kStacklessLockstep,
+    Variant::kStacklessNolockstep, Variant::kIndexWalk};
 
 // The four fixed compositions of the original evaluation. Golden fixtures
 // captured before `auto_select` existed compare against exactly this set
@@ -47,6 +59,9 @@ inline constexpr std::array<Variant, kNumLegacyVariants> kLegacyVariants{
     case Variant::kRecLockstep: return "rec_lockstep";
     case Variant::kRecNolockstep: return "rec_nolockstep";
     case Variant::kAutoSelect: return "auto_select";
+    case Variant::kStacklessLockstep: return "stackless_lockstep";
+    case Variant::kStacklessNolockstep: return "stackless_nolockstep";
+    case Variant::kIndexWalk: return "index_walk";
   }
   return "?";
 }
@@ -73,7 +88,13 @@ inline constexpr std::array<Variant, kNumLegacyVariants> kLegacyVariants{
 [[nodiscard]] constexpr bool variant_is_lockstep(Variant v) {
   // auto_select is not *statically* lockstep; its launch-time decision is
   // reported through SelectionInfo instead.
-  return v == Variant::kAutoLockstep || v == Variant::kRecLockstep;
+  return v == Variant::kAutoLockstep || v == Variant::kRecLockstep ||
+         v == Variant::kStacklessLockstep;
+}
+
+[[nodiscard]] constexpr bool variant_is_stackless(Variant v) {
+  return v == Variant::kStacklessLockstep ||
+         v == Variant::kStacklessNolockstep || v == Variant::kIndexWalk;
 }
 
 // A value-type set of Variants: the canonical way to say "these variants
@@ -216,17 +237,38 @@ struct GpuMode {
   std::size_t profile_samples = 32;
   std::uint64_t profile_seed = 1;
 
-  // The canonical spelling of the five variants.
+  // Stackless family (escape-index ropes / index arithmetic): no traversal
+  // stack is allocated at all, so ensure_stack_arena is skipped and the
+  // profiler's `stack` bucket stays at exactly zero. `index_walk` selects
+  // the Wald-style arithmetic escape (no rope loads either); otherwise the
+  // rope array is read per escape like ropes_executor does.
+  bool stackless = false;
+  bool index_walk = false;
+  // Shared-memory top-of-tree node cache, modelled in WarpMemory::commit.
+  // cache_bytes == 0 means "the bytes the per-warp lockstep stack record
+  // used to occupy" (resolved at launch from the geometry); any other
+  // value pins the capacity for the ablation sweep.
+  bool smem_node_cache = false;
+  std::size_t cache_bytes = 0;
+
+  // The canonical spelling of the eight variants.
   [[nodiscard]] static constexpr GpuMode from(Variant v) {
     GpuMode m;
     m.autoropes = variant_is_autoropes(v);
     m.lockstep = variant_is_lockstep(v);
     m.auto_select = v == Variant::kAutoSelect;
+    m.stackless = variant_is_stackless(v);
+    m.index_walk = v == Variant::kIndexWalk;
+    m.smem_node_cache = m.stackless;
     return m;
   }
 
   [[nodiscard]] constexpr Variant variant() const {
     if (auto_select) return Variant::kAutoSelect;
+    if (index_walk) return Variant::kIndexWalk;
+    if (stackless)
+      return lockstep ? Variant::kStacklessLockstep
+                      : Variant::kStacklessNolockstep;
     if (autoropes)
       return lockstep ? Variant::kAutoLockstep : Variant::kAutoNolockstep;
     return lockstep ? Variant::kRecLockstep : Variant::kRecNolockstep;

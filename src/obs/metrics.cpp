@@ -98,6 +98,17 @@ void register_kernel_stats(MetricsRegistry& reg, const KernelStats& stats,
     reg.set_gauge(prefix + "mean_active_lanes",
                   static_cast<double>(stats.active_lane_sum) /
                       static_cast<double>(stats.warp_steps));
+  // Stackless variants only: the modelled shared-memory node cache.
+  // Stack-based variants never touch the cache, so their registries (and
+  // any fixture captured from them) are unchanged.
+  if (stats.smem_cache_hits + stats.smem_cache_misses > 0) {
+    reg.add_counter(prefix + "smem_cache_hits", stats.smem_cache_hits);
+    reg.add_counter(prefix + "smem_cache_misses", stats.smem_cache_misses);
+    reg.set_gauge(prefix + "smem_cache_hit_rate",
+                  static_cast<double>(stats.smem_cache_hits) /
+                      static_cast<double>(stats.smem_cache_hits +
+                                          stats.smem_cache_misses));
+  }
 }
 
 void register_time_breakdown(MetricsRegistry& reg, const TimeBreakdown& time,

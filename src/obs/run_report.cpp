@@ -39,6 +39,8 @@ void write_kernel_stats(JsonWriter& w, const KernelStats& s) {
   w.member("votes", s.votes);
   w.member("active_lane_sum", s.active_lane_sum);
   w.member("peak_stack_entries", s.peak_stack_entries);
+  w.member("smem_cache_hits", s.smem_cache_hits);
+  w.member("smem_cache_misses", s.smem_cache_misses);
   w.end_object();
 }
 

@@ -51,7 +51,15 @@ namespace tt::obs {
 // "devices" count and each drain record its dispatched "device". Emitted
 // only by bench/sharding (and multi-device serving runs); --golden prunes
 // the block, so older fixtures stay comparable.
-inline constexpr const char* kRunReportSchema = "treetrav.run_report/v6";
+// v7: adds the stackless variant family (stackless_lockstep,
+// stackless_nolockstep, index_walk) to every row's "variants" object and
+// the shared-memory node-cache counters (smem_cache_hits,
+// smem_cache_misses) to each variant's stats block, with
+// gpu/<variant>/smem_cache_* gauges in the row registries. Validation is
+// version-aware: v6 fixtures stay fully validatable (stackless blocks are
+// only required from v7 on) and --golden prunes the new variants and
+// counters, so v1 goldens keep comparing.
+inline constexpr const char* kRunReportSchema = "treetrav.run_report/v7";
 
 // Build the per-row registry: all five variants' KernelStats and
 // TimeBreakdowns under "gpu/<variant>/", the CPU scaling model under

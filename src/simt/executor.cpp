@@ -43,9 +43,21 @@ std::uint64_t WarpMemory::commit() {
       segments_touched(group_, static_cast<std::uint32_t>(cfg_->transaction_bytes),
                        segs_);
       for (std::uint64_t seg : segs_) {
-        bool hit = l2_ != nullptr &&
-                   l2_->access(seg * static_cast<std::uint64_t>(
-                                         cfg_->transaction_bytes));
+        const std::uint64_t seg_addr =
+            seg * static_cast<std::uint64_t>(cfg_->transaction_bytes);
+        // Shared-memory node cache (stackless variants): a hit is served
+        // at shared-memory latency and never reaches L2 or DRAM.
+        if (smem_cache_ != nullptr) {
+          SmemNodeCache::Lookup c = smem_cache_->lookup(seg_addr);
+          if (c == SmemNodeCache::Lookup::kHit) {
+            stats_->note_smem_cache_hit();
+            stats_->note_mem_stall(cfg_->c_smem);
+            continue;
+          }
+          if (c == SmemNodeCache::Lookup::kMiss)
+            stats_->note_smem_cache_miss();
+        }
+        bool hit = l2_ != nullptr && l2_->access(seg_addr);
         if (hit) {
           ++stats_->l2_hit_transactions;
           stats_->note_mem_stall(cfg_->c_l2hit);

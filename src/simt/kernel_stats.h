@@ -58,6 +58,12 @@ struct KernelStats {
 
   std::uint64_t peak_stack_entries = 0;  // deepest rope stack seen
 
+  // Shared-memory node cache (stackless variants only, simt/smem_cache.h):
+  // 128B node-buffer segments serviced from the cache vs falling through
+  // to L2/DRAM. Both stay zero when no cache is attached.
+  std::uint64_t smem_cache_hits = 0;
+  std::uint64_t smem_cache_misses = 0;
+
   // Per-bucket split of instr_cycles. Invariant (exact, not approximate):
   // the bucket sum equals instr_cycles, because charge() is the only way
   // cycles enter either side and every per-event cost constant is an
@@ -111,6 +117,8 @@ struct KernelStats {
   void note_stack_depth(std::uint64_t entries) {
     if (entries > peak_stack_entries) peak_stack_entries = entries;
   }
+  void note_smem_cache_hit() { ++smem_cache_hits; }
+  void note_smem_cache_miss() { ++smem_cache_misses; }
 
   [[nodiscard]] double bucket_cycles(CycleBucket b) const {
     return cycle_buckets[static_cast<std::size_t>(b)];
@@ -135,6 +143,8 @@ struct KernelStats {
     active_lane_sum += o.active_lane_sum;
     if (o.peak_stack_entries > peak_stack_entries)
       peak_stack_entries = o.peak_stack_entries;
+    smem_cache_hits += o.smem_cache_hits;
+    smem_cache_misses += o.smem_cache_misses;
     for (std::size_t b = 0; b < kNumCycleBuckets; ++b)
       cycle_buckets[b] += o.cycle_buckets[b];
   }

@@ -1,0 +1,81 @@
+// Modelled shared-memory top-of-tree node cache for the stackless
+// variants (core/variant.h kStackless* / kIndexWalk).
+//
+// With no per-warp traversal stack, the shared-memory bytes the WarpStack
+// record used to occupy are free; this model repurposes them as a
+// read-only cache of the first `cached_nodes` elements of each node
+// buffer. Under the left-biased DFS linearization low node ids ARE the
+// top of the tree, which every traversal crosses, so a prefix cache is
+// the best static use of the bytes.
+//
+// The cache sits in front of the L2 in WarpMemory::commit: a 128-byte
+// transaction whose start address falls inside a cached prefix is
+// serviced at shared-memory latency (c_smem, charged to mem_stall) and
+// never reaches L2 or DRAM; a transaction inside a node buffer but past
+// the prefix counts as a miss and takes the normal L2/DRAM path; traffic
+// to any other buffer (queries, leaf points, ropes) bypasses the cache
+// entirely and is not counted either way. Hit rate = hits/(hits+misses)
+// is therefore a property of the node-buffer traffic alone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simt/address_space.h"
+
+namespace tt {
+
+class SmemNodeCache {
+ public:
+  enum class Lookup : std::uint8_t { kHit, kMiss, kBypass };
+
+  // Fronts the first min(n_nodes, capacity_bytes / bytes_per_node)
+  // elements of each buffer in `node_bufs`, where bytes_per_node sums the
+  // buffers' element sizes (a node's split struct occupies one slot in
+  // every plane). All buffers must already be registered in `space`.
+  [[nodiscard]] static SmemNodeCache build(const GpuAddressSpace& space,
+                                           const std::vector<BufferId>& node_bufs,
+                                           std::size_t n_nodes,
+                                           std::size_t capacity_bytes) {
+    SmemNodeCache c;
+    c.capacity_bytes_ = capacity_bytes;
+    std::uint64_t bytes_per_node = 0;
+    for (BufferId b : node_bufs) bytes_per_node += space.elem_bytes(b);
+    if (bytes_per_node > 0)
+      c.cached_nodes_ = std::min<std::size_t>(
+          n_nodes, static_cast<std::size_t>(capacity_bytes / bytes_per_node));
+    for (BufferId b : node_bufs) {
+      Range r;
+      r.begin = space.addr(b, 0);
+      r.cached_end = r.begin + c.cached_nodes_ * space.elem_bytes(b);
+      r.end = r.begin + n_nodes * space.elem_bytes(b);
+      c.ranges_.push_back(r);
+    }
+    return c;
+  }
+
+  // Classify one transaction by its start byte address.
+  [[nodiscard]] Lookup lookup(std::uint64_t seg_addr) const {
+    for (const Range& r : ranges_) {
+      if (seg_addr < r.begin || seg_addr >= r.end) continue;
+      return seg_addr < r.cached_end ? Lookup::kHit : Lookup::kMiss;
+    }
+    return Lookup::kBypass;
+  }
+
+  [[nodiscard]] std::size_t cached_nodes() const { return cached_nodes_; }
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Range {
+    std::uint64_t begin = 0;       // buffer base
+    std::uint64_t cached_end = 0;  // one past the cached prefix
+    std::uint64_t end = 0;         // one past the whole buffer
+  };
+  std::vector<Range> ranges_;
+  std::size_t cached_nodes_ = 0;
+  std::size_t capacity_bytes_ = 0;
+};
+
+}  // namespace tt

@@ -14,14 +14,19 @@
 #include "simt/device_config.h"
 #include "simt/kernel_stats.h"
 #include "simt/l2cache.h"
+#include "simt/smem_cache.h"
 
 namespace tt {
 
 class WarpMemory {
  public:
+  // `smem_cache` (stackless variants only) sits in front of the L2 for
+  // node-buffer transactions; null means no cache modelled.
   WarpMemory(const GpuAddressSpace& space, const DeviceConfig& cfg,
-             L2Cache* l2, KernelStats& stats)
-      : space_(&space), cfg_(&cfg), l2_(l2), stats_(&stats) {}
+             L2Cache* l2, KernelStats& stats,
+             const SmemNodeCache* smem_cache = nullptr)
+      : space_(&space), cfg_(&cfg), l2_(l2), stats_(&stats),
+        smem_cache_(smem_cache) {}
 
   // Record that `lane` reads element `idx` of `buf` during the current
   // warp-wide load group. A lane may record several accesses to the same
@@ -63,6 +68,7 @@ class WarpMemory {
   const DeviceConfig* cfg_;
   L2Cache* l2_;  // may be null (L2 modelling off)
   KernelStats* stats_;
+  const SmemNodeCache* smem_cache_;  // may be null (no cache modelled)
   std::vector<Pending> pending_;
   std::vector<LaneAccess> group_;
   std::vector<std::uint64_t> segs_;

@@ -65,6 +65,9 @@ TEST(RayBvh, AllVariantsAgree) {
   auto cpu = run_cpu(k, CpuVariant::kRecursive, 1);
   DeviceConfig cfg;
   for (Variant v : kAllVariants) {
+    // Guided two-call-set traversal: the stackless rope walkers don't
+    // apply (kernel_variant_eligible is false), only the stack family.
+    if (!kernel_variant_eligible<RayBvhKernel>(v)) continue;
     auto gpu = run_gpu_sim(k, s.space, cfg, GpuMode::from(v));
     for (std::size_t i = 0; i < rays.size(); ++i) {
       if (std::isinf(cpu.results[i].t))

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <random>
+#include <vector>
+
 #include "bench_algos/bh/barnes_hut.h"
 #include "bench_algos/pc/point_correlation.h"
 #include "core/cpu_executors.h"
@@ -140,6 +144,74 @@ TEST(StaticRopes, NoStackTrafficComparedToAutoropes) {
   EXPECT_EQ(rope_run.stats.lane_visits, auto_run.stats.lane_visits);
   EXPECT_LT(rope_run.stats.dram_transactions,
             auto_run.stats.dram_transactions);
+}
+
+// Emits a random subtree rooted at a fresh node in left-biased DFS order
+// (children recurse immediately, in ascending slot order, with random
+// interior slot gaps -- slots keep semantic identity, so gaps are legal).
+// Returns the subtree's node count; `subtree[n]` records it per node.
+std::int64_t grow_random(LinearTree& t, std::mt19937& rng, NodeId parent,
+                         int slot, int depth, int max_depth,
+                         std::int64_t budget,
+                         std::vector<std::int64_t>& subtree) {
+  NodeId n = t.add_node(parent, depth);
+  if (parent != kNullNode) t.set_child(parent, slot, n);
+  subtree.push_back(1);
+  if (depth < max_depth) {
+    for (int s = 0; s < t.fanout; ++s) {
+      if (t.n_nodes >= budget) break;
+      if (rng() % 2 == 0) continue;  // random slot gap / child count
+      subtree[n] +=
+          grow_random(t, rng, n, s, depth + 1, max_depth, budget, subtree);
+    }
+  }
+  return subtree[n];
+}
+
+// Fuzz the escape-index invariant across randomized shapes: every rope is
+// either n + subtree_size(n) -- the next DFS id outside n's subtree -- or
+// kEndOfTraversal, and kEndOfTraversal occurs exactly on the rightmost
+// spine (the nodes whose subtree runs to the end of the DFS order). The
+// stackless executor variants lean on this directly: descend is n+1,
+// escape is rope[n], so the invariant is what makes them byte-identical
+// to the stack-based compositions.
+TEST(StaticRopes, FuzzEscapeIndexMatchesSubtreeSize) {
+  std::mt19937 rng(20260809);
+  for (int iter = 0; iter < 60; ++iter) {
+    LinearTree t;
+    t.fanout = std::array<int, 3>{2, 4, 8}[iter % 3];
+    const int max_depth = 1 + static_cast<int>(rng() % 10);
+    const std::int64_t budget = 1 + static_cast<std::int64_t>(rng() % 1500);
+    std::vector<std::int64_t> subtree;
+    grow_random(t, rng, kNullNode, 0, 0, max_depth, budget, subtree);
+    ASSERT_NO_THROW(t.validate()) << "iter " << iter;
+    StaticRopes r = install_ropes(t);
+    ASSERT_EQ(r.rope.size(), static_cast<std::size_t>(t.n_nodes));
+
+    // The rightmost spine, computed independently of ids: follow the last
+    // present child from the root.
+    std::vector<bool> spine(static_cast<std::size_t>(t.n_nodes), false);
+    for (NodeId cur = 0; cur != kNullNode;) {
+      spine[static_cast<std::size_t>(cur)] = true;
+      NodeId last = kNullNode;
+      for (int s = 0; s < t.fanout; ++s)
+        if (t.child(cur, s) != kNullNode) last = t.child(cur, s);
+      cur = last;
+    }
+
+    for (NodeId n = 0; n < t.n_nodes; ++n) {
+      if (spine[static_cast<std::size_t>(n)]) {
+        EXPECT_EQ(n + subtree[static_cast<std::size_t>(n)], t.n_nodes)
+            << "iter " << iter << " node " << n;
+        EXPECT_EQ(r.rope[n], StaticRopes::kEndOfTraversal)
+            << "iter " << iter << " node " << n;
+      } else {
+        EXPECT_EQ(static_cast<std::int64_t>(r.rope[n]),
+                  n + subtree[static_cast<std::size_t>(n)])
+            << "iter " << iter << " node " << n;
+      }
+    }
+  }
 }
 
 TEST(StaticRopes, InstallCostReported) {

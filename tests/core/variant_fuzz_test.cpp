@@ -2,8 +2,11 @@
 // unguided kernel (point correlation) and one guided kernel (nearest
 // neighbor, 2 equivalent call sets) must produce byte-identical Result
 // vectors under all four StackPolicy x ConvergencePolicy compositions,
-// and auto_select must reproduce its chosen composition exactly (plus
-// the charged sampling cycles).
+// auto_select must reproduce its chosen composition exactly (plus the
+// charged sampling cycles), and the stackless family (escape-index
+// ropes / index_walk, eligible kernels only) must match the baseline
+// byte-for-byte with zero stack footprint -- with or without the
+// shared-memory node cache.
 // Alongside equality, checks the work-expansion invariant behind Table 2:
 // a lockstep warp's union traversal pops at least as many nodes as the
 // longest individual traversal among its member lanes -- and the
@@ -21,6 +24,7 @@
 #include "bench_algos/pc/point_correlation.h"
 #include "core/device_group.h"
 #include "core/gpu_executors.h"
+#include "core/static_ropes.h"
 #include "data/generators.h"
 #include "obs/profile.h"
 #include "spatial/kdtree.h"
@@ -104,6 +108,38 @@ void check_all_variants(const K& k, GpuAddressSpace& space) {
     }
   }
 
+  // The stackless family: byte-identical results with zero stack state.
+  // PC is fully eligible (unguided, rope-carrying, fanout 2); guided
+  // kernels skip the whole block through the eligibility trait.
+  for (Variant v : {Variant::kStacklessLockstep, Variant::kStacklessNolockstep,
+                    Variant::kIndexWalk}) {
+    if (!kernel_variant_eligible<K>(v)) continue;
+    SCOPED_TRACE(variant_name(v));
+    auto g = run_gpu_sim(k, space, cfg, GpuMode::from(v), nullptr, &psink);
+    check_attribution(g);
+    ASSERT_EQ(g.results.size(), base.results.size());
+    EXPECT_EQ(0, std::memcmp(g.results.data(), base.results.data(),
+                             sizeof(typename K::Result) * base.results.size()));
+    EXPECT_FALSE(g.selection.has_value());
+    // No stack exists: nothing can push, spill, or deepen.
+    EXPECT_EQ(g.stats.peak_stack_entries, 0u);
+    EXPECT_EQ(
+        g.profile->buckets[static_cast<std::size_t>(CycleBucket::kStack)], 0.0);
+    // The per-lane stackless schedules walk each point's own traversal.
+    if (!variant_is_lockstep(v)) {
+      EXPECT_EQ(g.per_point_visits, base.per_point_visits);
+    }
+    // Disabling the node cache zeroes its counters without changing a
+    // byte of the results (the cache is a cost model, not a semantics).
+    GpuMode off = GpuMode::from(v);
+    off.smem_node_cache = false;
+    auto g_off = run_gpu_sim(k, space, cfg, off);
+    EXPECT_EQ(g_off.stats.smem_cache_hits + g_off.stats.smem_cache_misses, 0u);
+    EXPECT_EQ(0,
+              std::memcmp(g_off.results.data(), base.results.data(),
+                          sizeof(typename K::Result) * base.results.size()));
+  }
+
   // auto_select must be byte-identical to whichever composition its
   // sampler dispatched to, and charge exactly the sampling cost on top.
   {
@@ -142,6 +178,9 @@ void check_sharded_axis(const K& k, GpuAddressSpace& space) {
   auto base = run_gpu_sim(k, space, cfg,
                           GpuMode::from(Variant::kAutoNolockstep));
   for (Variant v : kAllVariants) {
+    // Stackless variants shard too, but only on eligible kernels (the
+    // guided NN kernel must skip them rather than fail the launch pool).
+    if (!kernel_variant_eligible<K>(v)) continue;
     SCOPED_TRACE(variant_name(v));
     for (std::size_t devices :
          {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {

@@ -73,6 +73,38 @@ TEST(VariantSet, IterationVisitsEnabledInEnumOrder) {
   }
 }
 
+// The stackless family has exactly one spelling everywhere: the parser
+// accepts it, the error listing advertises it (that listing is what the
+// --variant flag and the serving/batch name plumbing surface to users),
+// and GpuMode round-trips it.
+TEST(VariantSet, StacklessSpellingsParseAndErrorListsAllEight) {
+  EXPECT_EQ(variant_from_name("stackless_lockstep"),
+            Variant::kStacklessLockstep);
+  EXPECT_EQ(variant_from_name("stackless_nolockstep"),
+            Variant::kStacklessNolockstep);
+  EXPECT_EQ(variant_from_name("index_walk"), Variant::kIndexWalk);
+  VariantSet s = VariantSet::from_names("stackless_lockstep,index_walk");
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_TRUE(s.contains(Variant::kStacklessLockstep));
+  EXPECT_TRUE(s.contains(Variant::kIndexWalk));
+  try {
+    (void)variant_from_name("stackless");  // close, but not canonical
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (Variant v : kAllVariants)
+      EXPECT_NE(msg.find(variant_name(v)), std::string::npos)
+          << "error listing must include " << variant_name(v) << ": " << msg;
+  }
+  for (Variant v : {Variant::kStacklessLockstep, Variant::kStacklessNolockstep,
+                    Variant::kIndexWalk}) {
+    EXPECT_TRUE(variant_is_stackless(v));
+    EXPECT_FALSE(variant_is_autoropes(v));
+    EXPECT_EQ(GpuMode::from(v).variant(), v);
+    EXPECT_TRUE(GpuMode::from(v).smem_node_cache);
+  }
+}
+
 TEST(VariantSet, ToStringRoundTrips) {
   EXPECT_EQ(VariantSet::all().to_string(), "all");
   VariantSet s = VariantSet::from_names("auto_lockstep,rec_nolockstep");

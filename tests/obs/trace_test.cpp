@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "core/gpu_executors.h"
+#include "core/static_ropes.h"
 #include "core/traversal_kernel.h"
 #include "obs/json.h"
 #include "spatial/linear_tree.h"
@@ -59,6 +60,7 @@ class MicroKernel {
     nodes1_ = space.register_buffer("micro_nodes1", 8,
                                     static_cast<std::uint64_t>(tree.n_nodes));
     queries_ = space.register_buffer("micro_queries", 4, n_points);
+    ropes_ = install_ropes(tree);
   }
 
   [[nodiscard]] NodeId root() const { return 0; }
@@ -97,11 +99,20 @@ class MicroKernel {
 
   [[nodiscard]] Result finish(const State& st) const { return st.descents; }
 
+  // Stackless-variant support: the all-variants reconciliation sweep
+  // covers the rope walkers, so the kernel carries its own ropes.
+  [[nodiscard]] UArg uarg_at(NodeId) const { return {}; }
+  [[nodiscard]] const StaticRopes& ropes() const { return ropes_; }
+  [[nodiscard]] std::vector<std::int32_t> node_buffers() const {
+    return {nodes0_, nodes1_};
+  }
+
  private:
   const LinearTree* tree_;
   std::size_t n_;
   bool odd_truncates_;
   BufferId nodes0_, nodes1_, queries_;
+  StaticRopes ropes_;
 };
 
 bool same_event(const TraceEvent& a, const TraceEvent& b) {

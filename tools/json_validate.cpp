@@ -11,6 +11,12 @@
 // kernel's totals, whose overlap can never exceed the copy-in it hides,
 // and whose makespan must be the slowest device's busy time, bounded by
 // the summed per-device time).
+// Validation is version-aware: both the current schema (v7) and the
+// previous one (v6) are accepted in full validation, with the v7-only
+// stackless variant blocks required only from v7 on -- the committed
+// sharding fixture is a v6 report and must keep validating bit-for-bit.
+// For v7 reports, an ok stackless variant must show zero stack footprint
+// (peak_stack_entries == 0 and, when profiled, an empty stack bucket).
 // Exit 0 on success; nonzero with a diagnostic on stderr otherwise. Used
 // by the table1_json_validate ctest and scripts/check.sh.
 //
@@ -20,7 +26,8 @@
 // and git_sha are normalized, and the trees are re-serialized through the
 // canonical JsonWriter before byte comparison. That lets a golden fixture
 // captured before auto_select existed (schema v1) keep pinning the legacy
-// variants' behavior while reports grow new sections.
+// variants' behavior while reports grow new sections (the v7 smem_cache_*
+// stats members are likewise pruned).
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -158,12 +165,19 @@ void prune_to_legacy(JsonValue& root) {
       std::erase_if(variants->obj_v, [](const auto& member) {
         return !is_legacy_variant_name(member.first);
       });
-      // v4 added the optional per-variant "profile" block (--profile).
-      for (auto& [name, vr] : variants->obj_v)
-        if (vr->is_object())
-          std::erase_if(vr->obj_v, [](const auto& member) {
-            return member.first == "profile";
+      // v4 added the optional per-variant "profile" block (--profile);
+      // v7 added the smem_cache_* counters to every stats block.
+      for (auto& [name, vr] : variants->obj_v) {
+        if (!vr->is_object()) continue;
+        std::erase_if(vr->obj_v, [](const auto& member) {
+          return member.first == "profile";
+        });
+        if (JsonValue* stats = find_mut(*vr, "stats"))
+          std::erase_if(stats->obj_v, [](const auto& member) {
+            return member.first == "smem_cache_hits" ||
+                   member.first == "smem_cache_misses";
           });
+      }
     }
     if (JsonValue* transfer = find_mut(row, "transfer")) {
       // v3 added the per-row launch count.
@@ -652,9 +666,14 @@ int main(int argc, char** argv) {
     if (!root->is_object()) return fail("root is not an object");
     const JsonValue* schema = root->find("schema");
     if (!schema) return fail("missing \"schema\"");
-    if (schema->as_string() != tt::obs::kRunReportSchema)
+    // v6 reports (pre-stackless) stay fully validatable: the committed
+    // sharding fixture is one.
+    constexpr const char* kPrevRunReportSchema = "treetrav.run_report/v6";
+    const bool is_v7 = schema->as_string() == tt::obs::kRunReportSchema;
+    if (!is_v7 && schema->as_string() != kPrevRunReportSchema)
       return fail("schema is \"" + schema->as_string() + "\", expected \"" +
-                  tt::obs::kRunReportSchema + "\"");
+                  tt::obs::kRunReportSchema + "\" (or \"" +
+                  kPrevRunReportSchema + "\")");
     if (!root->find("generator")) return fail("missing \"generator\"");
     if (!root->find("git_sha")) return fail("missing \"git_sha\"");
     const JsonValue* rows = root->find("rows");
@@ -671,6 +690,8 @@ int main(int argc, char** argv) {
       if (!variants || !variants->is_object())
         return fail(at + ": missing \"variants\" object");
       for (tt::Variant v : tt::kAllVariants) {
+        // The stackless family only exists from v7 on.
+        if (!is_v7 && tt::variant_is_stackless(v)) continue;
         const JsonValue* vr = variants->find(tt::variant_name(v));
         if (!vr) return fail(at + ": missing variant " + tt::variant_name(v));
         if (!vr->find("stats"))
@@ -680,6 +701,26 @@ int main(int argc, char** argv) {
         if (v == tt::Variant::kAutoSelect && vr->find("ok")->as_bool()) {
           int rc = check_selection(at + "." + tt::variant_name(v), *vr);
           if (rc != 0) return rc;
+        }
+        // A variant with no stack state can have no stack footprint: zero
+        // peak depth and (when profiled) an empty stack bucket.
+        if (tt::variant_is_stackless(v) && vr->find("ok")->as_bool()) {
+          const std::string vat = at + "." + tt::variant_name(v);
+          const JsonValue* stats = vr->find("stats");
+          if (const JsonValue* peak = stats->find("peak_stack_entries"))
+            if (peak->as_uint() != 0)
+              return fail(vat + ": stackless variant reports " +
+                          std::to_string(peak->as_uint()) +
+                          " peak_stack_entries");
+          if (const JsonValue* p = vr->find("profile"))
+            if (p->is_object())
+              if (const JsonValue* buckets = p->find("buckets"))
+                if (const JsonValue* sb = buckets->find(
+                        tt::cycle_bucket_name(tt::CycleBucket::kStack)))
+                  if (sb->as_number() != 0)
+                    return fail(vat + ": stackless variant charged " +
+                                std::to_string(sb->as_number()) +
+                                " cycles to the stack bucket");
         }
         if (int rc = check_profile(at + "." + tt::variant_name(v), *vr);
             rc != 0)
