@@ -17,13 +17,19 @@
 // Misselects - HeuristicFloor; at the default operating point (32
 // samples, lift threshold 0.15) it should be zero, and the sweep shows
 // how far samples/threshold can move before that degrades.
+//
+// Kernels come from core's KernelFactory (name-keyed; builders registered
+// by register_bench_kernels) and run through the type-erased batch API,
+// so the sweep has no per-algo construction switch of its own.
+#include <array>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "bench_algos/kernel_builder.h"
+#include "bench_algos/register_kernels.h"
 #include "bench_common.h"
-#include "core/gpu_executors.h"
+#include "core/batch_scheduler.h"
+#include "core/kernel_factory.h"
 #include "core/profiler.h"
 #include "util/csv.h"
 
@@ -44,6 +50,17 @@ struct Cell {
 PointOrder kOrders[] = {PointOrder::kMorton, PointOrder::kTree,
                         PointOrder::kShuffled};
 
+const char* factory_name(Algo a) {
+  switch (a) {
+    case Algo::kBH: return "bh";
+    case Algo::kPC: return "pc";
+    case Algo::kKNN: return "knn";
+    case Algo::kNN: return "nn";
+    case Algo::kVP: return "vp";
+  }
+  return "?";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,6 +70,7 @@ int main(int argc, char** argv) {
       "counts, benchmarks x {morton, tree, shuffled} orders");
   benchx::add_common_flags(cli);
   return benchx::run_main(cli, argc, argv, "selection_sweep", [&]() -> int {
+    register_bench_kernels();
     const std::uint64_t profile_seed =
         static_cast<std::uint64_t>(cli.get_int("profile-seed"));
     const std::vector<std::size_t> sample_counts{2, 4, 8, 16, 32, 64};
@@ -64,43 +82,55 @@ int main(int argc, char** argv) {
     // sample count covers the whole threshold axis.
     std::vector<std::vector<Cell>> by_samples(sample_counts.size());
     for (Algo a : benchx::parse_algos(cli.get_string("benchmarks"))) {
-      const InputKind input =
-          a == Algo::kBH ? InputKind::kPlummer : InputKind::kCovtype;
       for (PointOrder order : kOrders) {
         if (a == Algo::kBH && order == PointOrder::kTree)
           continue;  // the harness never tree-orders 3-d bodies
-        BenchConfig cfg = benchx::config_from(cli, a, input, /*sorted=*/true);
+        KernelRequest req;
+        req.n = static_cast<std::size_t>(a == Algo::kBH ? cli.get_int("bodies")
+                                                        : cli.get_int("points"));
+        req.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+        req.k = static_cast<int>(cli.get_int("k"));
+        req.pc_target_neighbors = cli.get_double("pc-neighbors");
+        req.bh_theta = static_cast<float>(cli.get_double("theta"));
+        req.order = order;
+        std::string input = a == Algo::kBH ? "plummer" : "covtype";
         if (a != Algo::kBH && order == PointOrder::kMorton) {
           // Morton order needs <= 3 dimensions; sweep it on the uniform
           // 3-d variant of each tree benchmark.
-          cfg.input = InputKind::kUniform;
-          cfg.dim = 3;
+          input = "uniform";
+          req.dim = 3;
         }
+        req.input = input;
+
         GpuAddressSpace space;
-        with_bench_kernel(cfg, order, space, [&](const auto& k) {
-          DeviceConfig dev;
-          auto lock =
-              run_gpu_sim(k, space, dev, GpuMode::from(Variant::kAutoLockstep));
-          auto nolock = run_gpu_sim(k, space, dev,
-                                    GpuMode::from(Variant::kAutoNolockstep));
-          const bool best_lockstep = lock.time.total_ms <= nolock.time.total_ms;
-          for (std::size_t si = 0; si < sample_counts.size(); ++si) {
-            ProfileReport p =
-                profile_similarity(k, sample_counts[si], profile_seed);
-            Cell c;
-            c.name = std::string(algo_name(a)) + "/" + input_name(cfg.input) +
-                     "/" + point_order_name(order);
-            c.mean_similarity = p.mean_similarity;
-            c.baseline_similarity = p.baseline_similarity;
-            c.sampled_visits = static_cast<double>(p.sampled_visits);
-            c.order_is_sorted = order != PointOrder::kShuffled;
-            c.best_is_lockstep = best_lockstep;
-            c.best_cycles = best_lockstep ? lock.stats.instr_cycles
-                                          : nolock.stats.instr_cycles;
-            by_samples[si].push_back(c);
-          }
-        });
-        std::cerr << "# profiled " << algo_name(a) << "/"
+        auto handle =
+            KernelFactory::instance().make(factory_name(a), req, space);
+        const DeviceConfig dev;
+        // Both autoropes compositions as one batch (isolated per-launch
+        // measurements; byte-identical to solo runs by construction).
+        std::array<LaunchSpec, 2> specs{
+            LaunchSpec{handle, &space, GpuMode::from(Variant::kAutoLockstep)},
+            LaunchSpec{handle, &space,
+                       GpuMode::from(Variant::kAutoNolockstep)}};
+        BatchRun run = run_gpu_batch(specs, dev);
+        const LaunchResult& lock = run.launches[0];
+        const LaunchResult& nolock = run.launches[1];
+        const bool best_lockstep = lock.time.total_ms <= nolock.time.total_ms;
+        for (std::size_t si = 0; si < sample_counts.size(); ++si) {
+          ProfileReport p = handle->profile(sample_counts[si], profile_seed);
+          Cell c;
+          c.name = std::string(factory_name(a)) + "/" + input + "/" +
+                   point_order_name(order);
+          c.mean_similarity = p.mean_similarity;
+          c.baseline_similarity = p.baseline_similarity;
+          c.sampled_visits = static_cast<double>(p.sampled_visits);
+          c.order_is_sorted = order != PointOrder::kShuffled;
+          c.best_is_lockstep = best_lockstep;
+          c.best_cycles = best_lockstep ? lock.stats.instr_cycles
+                                        : nolock.stats.instr_cycles;
+          by_samples[si].push_back(c);
+        }
+        std::cerr << "# profiled " << factory_name(a) << "/"
                   << point_order_name(order) << "\n";
       }
     }

@@ -319,3 +319,73 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(snapshot['stackless_sweep'])} sweep points)")
 PY
+
+# Fusion baseline: both fused traversal pairs (k-NN + NN over one kd-tree;
+# consecutive BH timesteps over a refit octree) against their sequential
+# baselines, distilled into BENCH_fusion.json -- per (pair, variant) the
+# fused vs summed-constituent lane visits, the visit / mem_stall cycle
+# savings, the shared-load elision count, and the byte-identity verdict.
+# All modelled time; changes only when behavior does.
+fusion_out="${FUSION_JSON:-$repo/BENCH_fusion.json}"
+fusion_raw="$(mktemp /tmp/bench_snapshot_fusion_XXXX.json)"
+trap 'rm -f "$raw" "$batch_raw" "$serving_raw" "$sharding_raw" "$ropes_raw" "$fusion_raw"' EXIT
+
+if [[ ! -x "$build/bench/fusion" ]]; then
+  echo "== building fusion =="
+  cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" --target fusion
+fi
+
+echo "== fusion (both pairs, 512 points/bodies) =="
+"$build/bench/fusion" --points=512 --bodies=512 \
+  --json="$fusion_raw" >/dev/null
+
+python3 - "$fusion_raw" "$fusion_out" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    report = json.load(f)
+
+fu = report["fusion"]
+snapshot = {
+    "schema": "treetrav.bench_snapshot.fusion/v1",
+    "source": "fusion --points=512 --bodies=512",
+    "git_sha": report.get("git_sha", "unknown"),
+    "pairs": [],
+}
+for pair in fu["pairs"]:
+    entry = {
+        "fused": pair["fused"],
+        "first": pair["first"],
+        "second": pair["second"],
+        "points": pair["points"],
+        "variants": {},
+    }
+    for v in pair["variants"]:
+        if not v.get("ok", False):
+            entry["variants"][v["variant"]] = {"error": v.get("error", "failed")}
+            continue
+        assert v["byte_identical"], f"fused results diverged: {v}"
+        entry["variants"][v["variant"]] = {
+            "fused_lane_visits": v["fused_stats"]["lane_visits"],
+            "sequential_lane_visits": v["sequential_stats"]["lane_visits"],
+            "shared_loads_elided": v["fused_stats"]["shared_loads_elided"],
+            "visit_cycles_saved": v["visit_cycles_saved"],
+            "mem_stall_cycles_saved": v["mem_stall_cycles_saved"],
+            "fused_modelled_ms": v["fused_time"]["total_ms"],
+            "sequential_modelled_ms": v["sequential_time"]["total_ms"],
+        }
+    snapshot["pairs"].append(entry)
+
+# The snapshot's headline claim: fusion saves visit cycles on at least one
+# pair under every measured variant (the merged walk is the union).
+for pair in snapshot["pairs"]:
+    ok_rows = [v for v in pair["variants"].values() if "error" not in v]
+    assert ok_rows, f"no measured variants for {pair['fused']}"
+    assert any(v["visit_cycles_saved"] > 0 for v in ok_rows), \
+        f"no visit savings for {pair['fused']}"
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path} ({len(snapshot['pairs'])} pairs)")
+PY

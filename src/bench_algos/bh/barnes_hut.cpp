@@ -27,6 +27,31 @@ BarnesHutKernel::BarnesHutKernel(const Octree& tree, const PointSet& bodies,
   queries_ = space.register_buffer("bh_bodies", 4, 3 * bodies.size());
 }
 
+BarnesHutKernel::BarnesHutKernel(const Octree& tree, const PointSet& bodies,
+                                 float theta, float eps2,
+                                 GpuAddressSpace& space,
+                                 const BarnesHutKernel& prev)
+    : tree_(&tree), bodies_(&bodies), eps2_(eps2) {
+  if (bodies.dim() != 3)
+    throw std::invalid_argument("BarnesHutKernel: bodies must be 3-d");
+  if (theta <= 0) throw std::invalid_argument("BarnesHutKernel: theta <= 0");
+  if (tree.topo.n_nodes != prev.tree_->topo.n_nodes)
+    throw std::invalid_argument(
+        "BarnesHutKernel: twin tree has a different node count; it was "
+        "rebuilt, not refit (refit_octree keeps the topology)");
+  float w = tree.root_width;
+  root_dsq_ = (w * w) / (theta * theta);
+  stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 8);
+  ropes_ = try_install_ropes(tree.topo);
+  // Truncation-test records and body positions are per-timestep; the
+  // child-index records are byte-identical under refit and shared with
+  // the previous pass so a fused walk loads them once.
+  nodes0_ = space.register_buffer(
+      "bh_nodes0_next", 20, static_cast<std::uint64_t>(tree.topo.n_nodes));
+  nodes1_ = prev.nodes1_;
+  queries_ = space.register_buffer("bh_bodies_next", 4, 3 * bodies.size());
+}
+
 std::vector<BhForce> bh_brute_force(const PointSet& pos,
                                     std::span<const float> masses,
                                     float eps2) {

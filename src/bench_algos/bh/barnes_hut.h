@@ -48,6 +48,18 @@ class BarnesHutKernel {
   BarnesHutKernel(const Octree& tree, const PointSet& bodies, float theta,
                   float eps2, GpuAddressSpace& space);
 
+  // Timestep-fusion twin: the NEXT timestep's force pass over a REFIT of
+  // `prev`'s tree (spatial/octree.h refit_octree -- same topology, node
+  // ids and escape ropes; updated masses/centers). The twin shares
+  // prev's child-index records (nodes1), which refit keeps byte-
+  // identical, so a fused walk (core/kernel_compose.h) loads them once;
+  // the truncation-test records and body positions differ per timestep
+  // and get their own buffers. Throws std::invalid_argument when `tree`
+  // is not a refit of prev's (node count differs => it was rebuilt).
+  BarnesHutKernel(const Octree& tree, const PointSet& bodies, float theta,
+                  float eps2, GpuAddressSpace& space,
+                  const BarnesHutKernel& prev);
+
   [[nodiscard]] NodeId root() const { return 0; }
   [[nodiscard]] std::size_t num_points() const { return bodies_->size(); }
   [[nodiscard]] UArg root_uarg() const { return {root_dsq_}; }

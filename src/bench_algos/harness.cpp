@@ -133,15 +133,10 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
           variant_name(v) + ")";
       continue;
     }
-    if (!kernel_variant_eligible<K>(v)) {
+    const std::string why = kernel_variant_ineligible_reason(k, v);
+    if (!why.empty()) {
       row.result(v) = VariantResult{};
-      row.result(v).error =
-          std::string("skipped: variant ") + variant_name(v) +
-          " ineligible for kernel " + kernel_display_name<K>() +
-          (v == Variant::kIndexWalk && kernel_variant_eligible<K>(
-                                           Variant::kStacklessNolockstep)
-               ? " (index_walk needs a fanout-2 tree)"
-               : " (needs an unguided, rope-carrying kernel)");
+      row.result(v).error = "skipped: " + why;
       continue;
     }
     try {

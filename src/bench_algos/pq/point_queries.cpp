@@ -1,0 +1,152 @@
+#include "bench_algos/pq/point_queries.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/rope_stack.h"
+
+namespace tt {
+namespace {
+
+struct PqBuffers {
+  BufferId nodes0, nodes1, leafpts, queries;
+};
+
+// Shared "pq_*" names: a second kernel over the same tree and point set
+// resolves to the SAME simulated buffers (ensure_buffer reuses on
+// matching name/element size), which is what lets the fused kernel's
+// duplicate node loads collapse (shared-load elision).
+PqBuffers ensure_pq_buffers(const KdTree& tree, const PointSet& points,
+                            GpuAddressSpace& space) {
+  PqBuffers b;
+  b.nodes0 = space.ensure_buffer(
+      "pq_nodes0", static_cast<std::uint64_t>(2 * tree.dim) * 4,
+      static_cast<std::uint64_t>(tree.topo.n_nodes));
+  b.nodes1 = space.ensure_buffer(
+      "pq_nodes1", 16, static_cast<std::uint64_t>(tree.topo.n_nodes));
+  b.leafpts = space.ensure_buffer(
+      "pq_leaf_points", static_cast<std::uint64_t>(tree.dim) * 4,
+      tree.data_perm.size());
+  b.queries = space.ensure_buffer(
+      "pq_queries", 4,
+      static_cast<std::uint64_t>(tree.dim) * points.size());
+  return b;
+}
+
+void check_pq_inputs(const char* who, const KdTree& tree,
+                     const PointSet& points) {
+  if (points.dim() != tree.dim)
+    throw std::invalid_argument(std::string(who) + ": dim mismatch");
+  if (tree.data_perm.size() != points.size())
+    throw std::invalid_argument(
+        std::string(who) +
+        ": tree was not built over the query point set (self-queries)");
+}
+
+}  // namespace
+
+RopeKnnKernel::RopeKnnKernel(const KdTree& tree, const PointSet& points,
+                             int k, GpuAddressSpace& space)
+    : tree_(&tree), points_(&points), dim_(tree.dim), k_(k) {
+  check_pq_inputs("RopeKnnKernel", tree, points);
+  if (k < 1 || k > kPqMaxK)
+    throw std::invalid_argument("RopeKnnKernel: k must be in [1, " +
+                                std::to_string(kPqMaxK) + "]");
+  stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 2);
+  ropes_ = try_install_ropes(tree.topo);
+  const PqBuffers b = ensure_pq_buffers(tree, points, space);
+  nodes0_ = b.nodes0;
+  nodes1_ = b.nodes1;
+  leafpts_ = b.leafpts;
+  queries_ = b.queries;
+}
+
+RopeKnnKernel::Result RopeKnnKernel::finish(const State& st) const {
+  std::array<std::pair<double, std::int32_t>, kPqMaxK> kept;
+  for (int i = 0; i < st.found; ++i) kept[i] = {st.d2[i], st.id[i]};
+  std::sort(kept.begin(), kept.begin() + st.found);
+  Result r{};
+  r.found = st.found;
+  for (int i = 0; i < st.found; ++i) r.ids[i] = kept[i].second;
+  r.kth_d2 = st.found > 0
+                 ? static_cast<float>(kept[st.found - 1].first)
+                 : std::numeric_limits<float>::infinity();
+  return r;
+}
+
+RopeNnKernel::RopeNnKernel(const KdTree& tree, const PointSet& points,
+                           GpuAddressSpace& space)
+    : tree_(&tree), points_(&points), dim_(tree.dim) {
+  check_pq_inputs("RopeNnKernel", tree, points);
+  stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 2);
+  ropes_ = try_install_ropes(tree.topo);
+  const PqBuffers b = ensure_pq_buffers(tree, points, space);
+  nodes0_ = b.nodes0;
+  nodes1_ = b.nodes1;
+  leafpts_ = b.leafpts;
+  queries_ = b.queries;
+}
+
+std::vector<RopeKnnResult> pq_knn_brute_force(const PointSet& points, int k) {
+  const std::size_t n = points.size();
+  const int dim = points.dim();
+  std::vector<RopeKnnResult> out(n);
+  float q[kMaxDim];
+  std::vector<std::pair<double, std::int32_t>> cand;
+  for (std::size_t i = 0; i < n; ++i) {
+    points.gather(i, q);
+    cand.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double d2 = 0;
+      for (int d = 0; d < dim; ++d) {
+        const double delta = static_cast<double>(points.at(j, d)) - q[d];
+        d2 += delta * delta;
+      }
+      cand.emplace_back(d2, static_cast<std::int32_t>(j));
+    }
+    std::sort(cand.begin(), cand.end());
+    const int found =
+        static_cast<int>(std::min<std::size_t>(cand.size(), k));
+    RopeKnnResult r{};
+    r.found = found;
+    for (int m = 0; m < found; ++m) r.ids[m] = cand[m].second;
+    r.kth_d2 = found > 0 ? static_cast<float>(cand[found - 1].first)
+                         : std::numeric_limits<float>::infinity();
+    out[i] = r;
+  }
+  return out;
+}
+
+std::vector<RopeNnResult> pq_nn_brute_force(const PointSet& points) {
+  const std::size_t n = points.size();
+  const int dim = points.dim();
+  std::vector<RopeNnResult> out(n);
+  float q[kMaxDim];
+  for (std::size_t i = 0; i < n; ++i) {
+    points.gather(i, q);
+    double best = std::numeric_limits<double>::infinity();
+    std::int32_t best_id = -1;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      double d2 = 0;
+      for (int d = 0; d < dim; ++d) {
+        const double delta = static_cast<double>(points.at(j, d)) - q[d];
+        d2 += delta * delta;
+      }
+      const std::int32_t id = static_cast<std::int32_t>(j);
+      if (d2 < best || (d2 == best && id < best_id)) {
+        best = d2;
+        best_id = id;
+      }
+    }
+    out[i].best_d2 = static_cast<float>(best);
+    out[i].id = best_id;
+  }
+  return out;
+}
+
+}  // namespace tt

@@ -1,0 +1,299 @@
+// Unguided point-query kernels over the bucket kd-tree: rope-walk k-NN
+// and rope-walk NN. The classic guided formulations (knn/knn.h's
+// split-plane call ordering, nn/nearest_neighbor.h's per-lane distance
+// bound) are ineligible for both static ropes and fusion -- ropes encode
+// one canonical child order and fusion needs state-free child
+// enumeration. These two reformulate the same queries as unguided
+// traversals of the canonical child order with box-distance pruning
+// (exactly PointCorrelation's shape), which makes them
+// StacklessCompatibleKernels and therefore fusable by
+// core/kernel_compose.h: fused k-NN + NN over one kd-tree is the
+// ROADMAP's "one rope walk with a merged truncation condition".
+//
+// Determinism contract: results are independent of traversal order.
+// Candidates are ranked by the lexicographic (d2, id) total order;
+// subtrees are pruned only when the box distance *strictly* exceeds the
+// current worst kept distance, so a tied candidate with a smaller id is
+// never lost. The kept set is then exactly the k minima of the full
+// candidate set under (d2, id) -- byte-identical across every variant,
+// device count and fused/sequential execution. finish() emits the kept
+// set sorted by (d2, id) into a padding-free Result.
+//
+// Both kernels register their tree/query records through ensure_buffer
+// under shared "pq_*" names, so two kernels over the same tree and point
+// set address the SAME simulated buffers -- the precondition for the
+// fused kernel's shared-load elision (simt/warp_memory.h).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/static_ropes.h"
+#include "core/traversal_kernel.h"
+#include "simt/address_space.h"
+#include "spatial/kdtree.h"
+#include "spatial/point_set.h"
+
+namespace tt {
+
+inline constexpr int kPqMaxK = 16;
+
+// Padding-free (all 4-byte members): fused Results are memcmp'd.
+struct RopeKnnResult {
+  float kth_d2 = 0;               // largest kept squared distance
+  std::int32_t found = 0;         // kept neighbors (k, or fewer points)
+  std::int32_t ids[kPqMaxK] = {}; // kept ids sorted by (d2, id); 0-padded
+  friend bool operator==(const RopeKnnResult&, const RopeKnnResult&) = default;
+};
+
+struct RopeNnResult {
+  float best_d2 = 0;
+  std::int32_t id = -1;
+  friend bool operator==(const RopeNnResult&, const RopeNnResult&) = default;
+};
+
+// Self-query k-nearest-neighbors (excluding the query point itself) over
+// a bucket kd-tree, as an unguided fanout-2 traversal.
+class RopeKnnKernel {
+ public:
+  struct State {
+    float q[kMaxDim];
+    double d2[kPqMaxK];
+    std::int32_t id[kPqMaxK];
+    std::int32_t found = 0;
+    std::uint32_t self = 0;
+  };
+  using Result = RopeKnnResult;
+  using UArg = Empty;
+  using LArg = Empty;
+  static constexpr int kFanout = 2;
+  static constexpr const char* kName = "rope_knn";
+  static constexpr int kNumCallSets = 1;
+  static constexpr bool kCallSetsEquivalent = true;
+
+  // `points` is both the query set and the set the tree was built over
+  // (self-queries, like the paper's PC workload). 1 <= k <= kPqMaxK.
+  RopeKnnKernel(const KdTree& tree, const PointSet& points, int k,
+                GpuAddressSpace& space);
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] std::size_t num_points() const { return points_->size(); }
+  [[nodiscard]] UArg root_uarg() const { return {}; }
+  [[nodiscard]] LArg root_larg() const { return {}; }
+  [[nodiscard]] int stack_bound() const { return stack_bound_; }
+  [[nodiscard]] int k() const { return k_; }
+
+  template <class Mem>
+  State init(std::uint32_t pid, Mem& mem, int lane) const {
+    const std::size_t n = points_->size();
+    State s{};
+    for (int d = 0; d < dim_; ++d) {
+      mem.lane_load(lane, queries_,
+                    static_cast<std::uint64_t>(d) * n + pid);
+      s.q[d] = points_->at(pid, d);
+    }
+    s.self = pid;
+    return s;
+  }
+
+  template <class Mem>
+  bool visit(NodeId n, const UArg&, const LArg&, State& st, Mem& mem,
+             int lane) const {
+    mem.lane_load(lane, nodes0_, static_cast<std::uint64_t>(n));
+    const double box_d2 = tree_->box_sq_dist(n, st.q);
+    // Strict >: a box at exactly the worst distance may still hold a
+    // tied candidate with a smaller id.
+    if (st.found == k_ && box_d2 > worst_d2(st)) return false;
+    if (!tree_->topo.is_leaf(n)) return true;
+    for (std::int32_t i = tree_->leaf_begin[n]; i < tree_->leaf_end[n]; ++i) {
+      mem.lane_load(lane, leafpts_, static_cast<std::uint64_t>(i));
+      const std::uint32_t p = tree_->data_perm[static_cast<std::size_t>(i)];
+      if (p == st.self) continue;
+      double d2 = 0;
+      for (int d = 0; d < dim_; ++d) {
+        const double delta =
+            static_cast<double>(points_->at(p, d)) - st.q[d];
+        d2 += delta * delta;
+      }
+      offer(st, d2, static_cast<std::int32_t>(p));
+    }
+    return false;
+  }
+
+  [[nodiscard]] int choose_callset(NodeId, const State&) const { return 0; }
+
+  template <class Mem>
+  int children(NodeId n, const UArg&, int /*callset*/, const State&,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    mem.lane_load(lane, nodes1_, static_cast<std::uint64_t>(n));
+    int cnt = 0;
+    for (int c = 0; c < 2; ++c) {
+      NodeId ch = tree_->topo.child(n, c);
+      if (ch == kNullNode) continue;
+      out[cnt].node = ch;
+      ++cnt;
+    }
+    return cnt;
+  }
+
+  [[nodiscard]] Result finish(const State& st) const;
+
+  [[nodiscard]] UArg uarg_at(NodeId) const { return {}; }
+  [[nodiscard]] const StaticRopes& ropes() const { return ropes_; }
+  [[nodiscard]] std::vector<std::int32_t> node_buffers() const {
+    return {nodes0_, nodes1_};
+  }
+
+ private:
+  // Index of the lexicographically-largest kept (d2, id) pair.
+  [[nodiscard]] static int worst_index(const State& st) {
+    int w = 0;
+    for (int i = 1; i < st.found; ++i)
+      if (st.d2[i] > st.d2[w] ||
+          (st.d2[i] == st.d2[w] && st.id[i] > st.id[w]))
+        w = i;
+    return w;
+  }
+  [[nodiscard]] static double worst_d2(const State& st) {
+    return st.d2[worst_index(st)];
+  }
+  // Keep the k minima under (d2, id): order of offers cannot change the
+  // final set.
+  void offer(State& st, double d2, std::int32_t id) const {
+    if (st.found < k_) {
+      st.d2[st.found] = d2;
+      st.id[st.found] = id;
+      ++st.found;
+      return;
+    }
+    const int w = worst_index(st);
+    if (d2 < st.d2[w] || (d2 == st.d2[w] && id < st.id[w])) {
+      st.d2[w] = d2;
+      st.id[w] = id;
+    }
+  }
+
+  const KdTree* tree_;
+  const PointSet* points_;
+  int dim_;
+  int k_;
+  int stack_bound_;
+  StaticRopes ropes_;
+  BufferId nodes0_, nodes1_, leafpts_, queries_;
+};
+
+// Self-query nearest neighbor (excluding self) over the same bucket
+// kd-tree -- the k = 1 shape with a scalar best instead of a kept set.
+// Its truncation condition is tighter than k-NN's, which is what makes
+// the fused pair exercise the merged-truncation rule.
+class RopeNnKernel {
+ public:
+  struct State {
+    float q[kMaxDim];
+    double best_d2;
+    std::int32_t best_id;
+    std::uint32_t self = 0;
+  };
+  using Result = RopeNnResult;
+  using UArg = Empty;
+  using LArg = Empty;
+  static constexpr int kFanout = 2;
+  static constexpr const char* kName = "rope_nn";
+  static constexpr int kNumCallSets = 1;
+  static constexpr bool kCallSetsEquivalent = true;
+
+  RopeNnKernel(const KdTree& tree, const PointSet& points,
+               GpuAddressSpace& space);
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] std::size_t num_points() const { return points_->size(); }
+  [[nodiscard]] UArg root_uarg() const { return {}; }
+  [[nodiscard]] LArg root_larg() const { return {}; }
+  [[nodiscard]] int stack_bound() const { return stack_bound_; }
+
+  template <class Mem>
+  State init(std::uint32_t pid, Mem& mem, int lane) const {
+    const std::size_t n = points_->size();
+    State s{};
+    for (int d = 0; d < dim_; ++d) {
+      mem.lane_load(lane, queries_,
+                    static_cast<std::uint64_t>(d) * n + pid);
+      s.q[d] = points_->at(pid, d);
+    }
+    s.best_d2 = std::numeric_limits<double>::infinity();
+    s.best_id = -1;
+    s.self = pid;
+    return s;
+  }
+
+  template <class Mem>
+  bool visit(NodeId n, const UArg&, const LArg&, State& st, Mem& mem,
+             int lane) const {
+    mem.lane_load(lane, nodes0_, static_cast<std::uint64_t>(n));
+    const double box_d2 = tree_->box_sq_dist(n, st.q);
+    if (box_d2 > st.best_d2) return false;  // strict: keep id tie-break
+    if (!tree_->topo.is_leaf(n)) return true;
+    for (std::int32_t i = tree_->leaf_begin[n]; i < tree_->leaf_end[n]; ++i) {
+      mem.lane_load(lane, leafpts_, static_cast<std::uint64_t>(i));
+      const std::uint32_t p = tree_->data_perm[static_cast<std::size_t>(i)];
+      if (p == st.self) continue;
+      double d2 = 0;
+      for (int d = 0; d < dim_; ++d) {
+        const double delta =
+            static_cast<double>(points_->at(p, d)) - st.q[d];
+        d2 += delta * delta;
+      }
+      const std::int32_t id = static_cast<std::int32_t>(p);
+      if (d2 < st.best_d2 || (d2 == st.best_d2 && id < st.best_id)) {
+        st.best_d2 = d2;
+        st.best_id = id;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] int choose_callset(NodeId, const State&) const { return 0; }
+
+  template <class Mem>
+  int children(NodeId n, const UArg&, int /*callset*/, const State&,
+               Child<UArg, LArg>* out, Mem& mem, int lane) const {
+    mem.lane_load(lane, nodes1_, static_cast<std::uint64_t>(n));
+    int cnt = 0;
+    for (int c = 0; c < 2; ++c) {
+      NodeId ch = tree_->topo.child(n, c);
+      if (ch == kNullNode) continue;
+      out[cnt].node = ch;
+      ++cnt;
+    }
+    return cnt;
+  }
+
+  [[nodiscard]] Result finish(const State& st) const {
+    Result r;
+    r.best_d2 = static_cast<float>(st.best_d2);
+    r.id = st.best_id;
+    return r;
+  }
+
+  [[nodiscard]] UArg uarg_at(NodeId) const { return {}; }
+  [[nodiscard]] const StaticRopes& ropes() const { return ropes_; }
+  [[nodiscard]] std::vector<std::int32_t> node_buffers() const {
+    return {nodes0_, nodes1_};
+  }
+
+ private:
+  const KdTree* tree_;
+  const PointSet* points_;
+  int dim_;
+  int stack_bound_;
+  StaticRopes ropes_;
+  BufferId nodes0_, nodes1_, leafpts_, queries_;
+};
+
+// Brute-force references replicating the kernels' arithmetic bit for bit
+// (float query gather, per-dimension double deltas, (d2, id) ranking).
+std::vector<RopeKnnResult> pq_knn_brute_force(const PointSet& points, int k);
+std::vector<RopeNnResult> pq_nn_brute_force(const PointSet& points);
+
+}  // namespace tt

@@ -44,6 +44,7 @@
 #include "core/launch.h"
 #include "core/profiler.h"
 #include "core/stack_policy.h"
+#include "core/static_ropes.h"
 #include "core/traversal_kernel.h"
 #include "core/variant.h"
 #include "core/warp_engine.h"
@@ -166,19 +167,13 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
   StacklessCtx sctx;
   SmemNodeCache cache;
   if (mode.stackless) {
+    // One canonical ineligibility spelling shared with the launch API and
+    // the harness's "skipped:" rows (core/static_ropes.h).
+    const std::string why =
+        kernel_variant_ineligible_reason(k, mode.variant());
+    if (!why.empty())
+      throw std::invalid_argument("run_gpu_sim: " + why);
     if constexpr (StacklessCompatibleKernel<K>) {
-      if (mode.index_walk && !kernel_index_walk_eligible<K>)
-        throw std::invalid_argument(
-            std::string("run_gpu_sim: variant index_walk requires a "
-                        "fanout-2 tree; kernel ") +
-            kernel_display_name<K>() + " is ineligible");
-      if (k.ropes().rope.empty())
-        throw std::invalid_argument(
-            std::string("run_gpu_sim: variant ") +
-            variant_name(mode.variant()) +
-            " needs ropes installed over a left-biased DFS tree; kernel " +
-            kernel_display_name<K>() +
-            " carries none (non-DFS relayout?)");
       sctx.rope_buf = space.ensure_buffer(
           "ropes", 4, static_cast<std::uint64_t>(k.ropes().rope.size()));
       if (mode.smem_node_cache) {
@@ -187,13 +182,6 @@ GpuRun<K> run_gpu_sim(const K& k, GpuAddressSpace& space,
                                      stackless_cache_bytes(cfg, shape, mode));
         sctx.cache = &cache;
       }
-    } else {
-      throw std::invalid_argument(
-          std::string("run_gpu_sim: variant ") +
-          variant_name(mode.variant()) +
-          " requires a stackless-compatible (unguided, rope-carrying) "
-          "kernel; " +
-          kernel_display_name<K>() + " is ineligible");
     }
   } else {
     BufferId stack_buf = ensure_stack_arena(space, mode, shape);

@@ -1,0 +1,58 @@
+#include "core/kernel_factory.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tt {
+
+PointOrder point_order_from_name(const std::string& name) {
+  for (PointOrder o :
+       {PointOrder::kMorton, PointOrder::kTree, PointOrder::kShuffled})
+    if (name == point_order_name(o)) return o;
+  throw std::invalid_argument(
+      "point_order_from_name: unknown order '" + name +
+      "' (valid: morton, tree, shuffled)");
+}
+
+KernelFactory& KernelFactory::instance() {
+  static KernelFactory f;
+  return f;
+}
+
+void KernelFactory::register_builder(std::string name, Builder build) {
+  if (name.empty())
+    throw std::invalid_argument("KernelFactory: empty kernel name");
+  if (!build)
+    throw std::invalid_argument("KernelFactory: null builder for '" + name +
+                                "'");
+  builders_.insert_or_assign(std::move(name), std::move(build));
+}
+
+bool KernelFactory::contains(const std::string& name) const {
+  return builders_.count(name) != 0;
+}
+
+std::vector<std::string> KernelFactory::names() const {
+  std::vector<std::string> out;
+  out.reserve(builders_.size());
+  for (const auto& [name, build] : builders_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::shared_ptr<KernelHandle> KernelFactory::make(const std::string& name,
+                                                  const KernelRequest& req,
+                                                  GpuAddressSpace& space) const {
+  auto it = builders_.find(name);
+  if (it == builders_.end()) {
+    std::string valid;
+    for (const auto& [have, build] : builders_) {
+      if (!valid.empty()) valid += ", ";
+      valid += have;
+    }
+    throw std::invalid_argument("kernel_factory: unknown kernel '" + name +
+                                "' (valid: " + valid + ")");
+  }
+  return it->second(req, space);
+}
+
+}  // namespace tt

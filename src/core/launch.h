@@ -239,6 +239,9 @@ void run_warp_slot(const K& k, const GpuAddressSpace& space,
                    std::uint32_t kernel_id = kSoloKernel,
                    const StacklessCtx* sctx = nullptr) {
   WarpMemory mem(space, cfg, l2, stats, sctx ? sctx->cache : nullptr);
+  // Fused kernels share node records between constituents; serve the
+  // duplicate per-lane loads once (core/kernel_compose.h).
+  if constexpr (kernel_shares_node_loads<K>) mem.set_shared_load_elision(true);
   const std::uint64_t base = stack_base0 + shape.per_warp_span * p;
   obs::WarpTracer* tr = trace ? &trace->ring(omp_get_thread_num()) : nullptr;
   obs::ProfileCollector* pc =
@@ -284,6 +287,7 @@ void run_warp_list(const K& k, const GpuAddressSpace& space,
                    std::uint32_t kernel_id = kSoloKernel,
                    const StacklessCtx* sctx = nullptr) {
   WarpMemory mem(space, cfg, l2, stats, sctx ? sctx->cache : nullptr);
+  if constexpr (kernel_shares_node_loads<K>) mem.set_shared_load_elision(true);
   const std::uint64_t base = stack_base0 + shape.per_warp_span * p;
   obs::WarpTracer* tr = trace ? &trace->ring(omp_get_thread_num()) : nullptr;
   obs::ProfileCollector* pc =
@@ -360,6 +364,13 @@ class KernelHandle {
   // fails one launch gracefully instead of throwing out of the pool.
   [[nodiscard]] virtual bool variant_eligible(Variant v) const = 0;
 
+  // The canonical ineligibility message for (this kernel, v) -- empty when
+  // the pair can run. Unlike variant_eligible this also covers the
+  // runtime empty-ropes case (core/static_ropes.h), so batched admission
+  // reports the same string run_gpu_sim would throw.
+  [[nodiscard]] virtual std::string variant_ineligible_reason(
+      Variant v) const = 0;
+
   // The section-4.4 similarity sampler (auto_select resolution).
   [[nodiscard]] virtual ProfileReport profile(std::size_t samples,
                                               std::uint64_t seed) const = 0;
@@ -398,17 +409,12 @@ class TypedLaunchRun final : public LaunchRun {
       // the arena -- never part of the kernel's upload bytes) and build
       // the shared-memory node cache from the freed stack bytes. This
       // constructor runs serially (prepare), so ensure_buffer is safe.
+      // Ineligible pairings throw the canonical reason string
+      // (core/static_ropes.h), same spelling as run_gpu_sim's.
+      const std::string why =
+          kernel_variant_ineligible_reason(k, mode.variant());
+      if (!why.empty()) throw std::invalid_argument("launch: " + why);
       if constexpr (StacklessCompatibleKernel<K>) {
-        if (mode.index_walk && !kernel_index_walk_eligible<K>)
-          throw std::invalid_argument(
-              std::string("launch: variant index_walk requires a fanout-2 "
-                          "tree; kernel ") +
-              K::kName + " is ineligible");
-        if (k.ropes().rope.empty())
-          throw std::invalid_argument(
-              std::string("launch: variant ") + variant_name(mode.variant()) +
-              " needs ropes installed over a left-biased DFS tree; kernel " +
-              K::kName + " carries none (non-DFS relayout?)");
         sctx_.rope_buf = space.ensure_buffer(
             "ropes", 4, static_cast<std::uint64_t>(k.ropes().rope.size()));
         if (mode.smem_node_cache) {
@@ -417,12 +423,6 @@ class TypedLaunchRun final : public LaunchRun {
                                         stackless_cache_bytes(cfg, shape, mode));
           sctx_.cache = &cache_;
         }
-      } else {
-        throw std::invalid_argument(
-            std::string("launch: variant ") + variant_name(mode.variant()) +
-            " requires a stackless-compatible (unguided, rope-carrying) "
-            "kernel; " +
-            K::kName + " is ineligible");
       }
     } else {
       BufferId buf = ensure_stack_arena(space, mode, shape);
@@ -488,6 +488,10 @@ class TypedKernelHandle final : public KernelHandle {
 
   [[nodiscard]] bool variant_eligible(Variant v) const override {
     return kernel_variant_eligible<K>(v);
+  }
+
+  [[nodiscard]] std::string variant_ineligible_reason(Variant v) const override {
+    return kernel_variant_ineligible_reason(*k_, v);
   }
 
   [[nodiscard]] ProfileReport profile(std::size_t samples,

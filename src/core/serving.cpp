@@ -67,14 +67,15 @@ LaunchPool run_launch_pool(std::span<const LaunchSpec> specs,
       pr.selection = sel;
     }
     pr.mode = mode;
-    if (!spec.kernel->variant_eligible(mode.variant())) {
+    const std::string why =
+        spec.kernel->variant_ineligible_reason(mode.variant());
+    if (!why.empty()) {
       // Isolation, like an overflow: this launch fails with a prefixed
-      // error and zeroed numbers; sibling launches still execute.
+      // error and zeroed numbers; sibling launches still execute. The
+      // message body is the canonical reason string (core/static_ropes.h),
+      // same spelling run_gpu_sim and the harness skip rows use.
       pr.error = std::string("kernel ") + spec.kernel->name() + " (batch " +
-                 std::to_string(i) + "): variant " +
-                 variant_name(mode.variant()) +
-                 " requires a stackless-compatible (unguided, rope-carrying) "
-                 "kernel; launch skipped";
+                 std::to_string(i) + "): " + why;
       out.shapes.push_back(LaunchGeometry{});
       continue;
     }

@@ -21,6 +21,7 @@
 
 #include <concepts>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/traversal_kernel.h"
@@ -90,6 +91,37 @@ template <class K>
     return false;
   } else {
     return v != Variant::kIndexWalk || kernel_index_walk_eligible<K>;
+  }
+}
+
+// The one canonical spelling of every (kernel, variant) ineligibility.
+// Every surface that reports the condition -- run_gpu_sim's throw, the
+// launch API's throw, the harness's "skipped:" rows -- renders this string
+// with its own prefix ("run_gpu_sim: " / "launch: " / "skipped: "), so the
+// same failure reads identically everywhere (pinned by
+// tests/core/static_ropes_test.cpp). Returns "" when the pair can run.
+// Takes an instance because empty-rope detection (a BFS relayout stripped
+// the ropes) is a runtime property, not a type-level one.
+template <class K>
+[[nodiscard]] std::string kernel_variant_ineligible_reason(const K& k,
+                                                           Variant v) {
+  if (!variant_is_stackless(v)) return {};
+  if constexpr (!StacklessCompatibleKernel<K>) {
+    (void)k;
+    return std::string("variant ") + variant_name(v) +
+           " requires a stackless-compatible (unguided, rope-carrying) "
+           "kernel; " +
+           kernel_display_name<K>() + " is ineligible";
+  } else {
+    if (v == Variant::kIndexWalk && !kernel_index_walk_eligible<K>)
+      return std::string(
+                 "variant index_walk requires a fanout-2 tree; kernel ") +
+             kernel_display_name<K>() + " is ineligible";
+    if (k.ropes().rope.empty())
+      return std::string("variant ") + variant_name(v) +
+             " needs ropes installed over a left-biased DFS tree; kernel " +
+             kernel_display_name<K>() + " carries none (non-DFS relayout?)";
+    return {};
   }
 }
 

@@ -111,4 +111,38 @@ template <class K>
 inline constexpr bool kernel_has_uniform_arg =
     !std::is_same_v<typename K::UArg, Empty>;
 
+template <class K>
+concept KernelHasName = requires {
+  { K::kName } -> std::convertible_to<const char*>;
+};
+
+// Display name for error messages: K::kName when the kernel declares one,
+// a placeholder otherwise (micro/test kernels need not name themselves).
+template <class K>
+const char* kernel_display_name() {
+  if constexpr (KernelHasName<K>)
+    return K::kName;
+  else
+    return "unnamed-kernel";
+}
+
+// Opt-in marker (K::kSharedNodeLoads == true) telling the memory recorder
+// that distinct payloads inside this kernel issue loads against the same
+// node records, so duplicate per-lane (buffer, address) loads within one
+// commit window may be served once. FusedKernel sets it; monolithic
+// kernels never re-load a record inside a window, so their accounting is
+// unchanged either way.
+template <class K>
+concept KernelDeclaresSharedNodeLoads = requires {
+  { K::kSharedNodeLoads } -> std::convertible_to<bool>;
+};
+
+template <class K>
+inline constexpr bool kernel_shares_node_loads = [] {
+  if constexpr (KernelDeclaresSharedNodeLoads<K>)
+    return static_cast<bool>(K::kSharedNodeLoads);
+  else
+    return false;
+}();
+
 }  // namespace tt

@@ -37,18 +37,8 @@ struct WarpRange {
   std::uint32_t begin = 0, end = 0;  // point ids [begin, end)
 };
 
-// Optional kernel self-identification: kernels may expose
-//   static constexpr const char* kName = "...";
-// used by diagnostics (e.g. the rope-stack overflow error string). The
-// type-erased launch API (core/launch.h) promotes this to a requirement:
-// a KernelHandle can only wrap kernels that name themselves.
-template <class K>
-[[nodiscard]] constexpr const char* kernel_display_name() {
-  if constexpr (requires { K::kName; })
-    return K::kName;
-  else
-    return "unnamed-kernel";
-}
+// Kernel self-identification (kernel_display_name) lives in
+// core/traversal_kernel.h alongside the other kernel traits.
 
 // Kernel id a chunk runs under when the launch is not part of a batch.
 // Batched launches pass their index within the batch instead, which makes

@@ -41,6 +41,7 @@ void write_kernel_stats(JsonWriter& w, const KernelStats& s) {
   w.member("peak_stack_entries", s.peak_stack_entries);
   w.member("smem_cache_hits", s.smem_cache_hits);
   w.member("smem_cache_misses", s.smem_cache_misses);
+  w.member("shared_loads_elided", s.shared_loads_elided);
   w.end_object();
 }
 
@@ -217,6 +218,32 @@ MetricsRegistry metrics_for_sharding(const ShardingRunSummary& sharding) {
   reg.set_gauge("sharding/transfer/overlap_ms", overlap);
   reg.set_gauge("sharding/transfer/overlap_efficiency",
                 copy_in > 0 ? overlap / copy_in : 0.0);
+  return reg;
+}
+
+MetricsRegistry metrics_for_fusion(const FusionRunSummary& fusion) {
+  MetricsRegistry reg;
+  reg.add_counter("fusion/pairs",
+                  static_cast<std::uint64_t>(fusion.pairs.size()));
+  for (const FusionPairReport& p : fusion.pairs) {
+    for (const FusionVariantRow& r : p.variants) {
+      if (!r.ok) continue;
+      std::string prefix =
+          "fusion/" + p.fused_name + "/" + variant_name(r.variant) + "/";
+      reg.add_counter(prefix + "fused_lane_visits", r.fused.lane_visits);
+      reg.add_counter(prefix + "sequential_lane_visits",
+                      r.sequential.lane_visits);
+      reg.add_counter(prefix + "shared_loads_elided",
+                      r.fused.shared_loads_elided);
+      reg.add_counter(prefix + "byte_identical", r.byte_identical ? 1 : 0);
+      reg.set_gauge(prefix + "visit_cycles_saved", r.visit_cycles_saved());
+      reg.set_gauge(prefix + "mem_stall_cycles_saved",
+                    r.mem_stall_cycles_saved());
+      reg.set_gauge(prefix + "fused_total_ms", r.fused_time.total_ms);
+      reg.set_gauge(prefix + "sequential_total_ms",
+                    r.sequential_time.total_ms);
+    }
+  }
   return reg;
 }
 
@@ -551,6 +578,48 @@ void RunReport::write(std::ostream& os) const {
     w.key("metrics");
     metrics_for_sharding(s).write_json(w);
     w.end_object();  // devices
+  }
+
+  if (fusion_) {
+    const FusionRunSummary& f = *fusion_;
+    w.member_object("fusion");
+    w.member_array("pairs");
+    for (const FusionPairReport& p : f.pairs) {
+      w.begin_object();
+      w.member("fused", p.fused_name);
+      w.member("first", p.first_name);
+      w.member("second", p.second_name);
+      w.member("points", p.n_points);
+      w.member_array("variants");
+      for (const FusionVariantRow& r : p.variants) {
+        w.begin_object();
+        w.member("variant", variant_name(r.variant));
+        w.member("ok", r.ok);
+        if (!r.ok) {
+          w.member("error", r.error);
+          w.end_object();
+          continue;
+        }
+        w.member("byte_identical", r.byte_identical);
+        w.key("fused_stats");
+        write_kernel_stats(w, r.fused);
+        w.key("fused_time");
+        write_time(w, r.fused_time);
+        w.key("sequential_stats");
+        write_kernel_stats(w, r.sequential);
+        w.key("sequential_time");
+        write_time(w, r.sequential_time);
+        w.member("visit_cycles_saved", r.visit_cycles_saved());
+        w.member("mem_stall_cycles_saved", r.mem_stall_cycles_saved());
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    metrics_for_fusion(f).write_json(w);
+    w.end_object();  // fusion
   }
 
   w.member_array("tables");

@@ -59,7 +59,60 @@ namespace tt::obs {
 // version-aware: v6 fixtures stay fully validatable (stackless blocks are
 // only required from v7 on) and --golden prunes the new variants and
 // counters, so v1 goldens keep comparing.
-inline constexpr const char* kRunReportSchema = "treetrav.run_report/v7";
+// v8: adds the optional top-level "fusion" block (core/kernel_compose.h:
+// fused traversal kernels measured against their sequential baselines --
+// per pair and per variant, the fused run's stats/time next to the
+// constituents' summed stats/time, the byte-identity verdict, and the
+// derived visit / mem_stall cycle savings) with its fusion/* metrics
+// registry, plus the "shared_loads_elided" counter in every stats block
+// (nonzero only for fused kernels, whose constituents hit the same node
+// records). tools/json_validate re-derives the fused-visits <= summed
+// constituent visits invariant; --golden prunes the block and the new
+// counter, so older fixtures keep comparing.
+inline constexpr const char* kRunReportSchema = "treetrav.run_report/v8";
+
+// One (fused pair, variant) measurement from bench/fusion: the fused
+// kernel's run next to its sequential baseline -- the same constituents
+// run back to back under the same variant, counters summed. The cycle
+// savings are derived from the two stats' bucket splits.
+struct FusionVariantRow {
+  Variant variant = Variant::kAutoNolockstep;
+  bool ok = true;
+  std::string error;            // the canonical ineligibility reason
+  bool byte_identical = false;  // fused Result{a,b} == the solo results
+  KernelStats fused;
+  TimeBreakdown fused_time;
+  KernelStats sequential;
+  TimeBreakdown sequential_time;
+
+  [[nodiscard]] double bucket_saved(CycleBucket b) const {
+    const auto i = static_cast<std::size_t>(b);
+    return sequential.cycle_buckets[i] - fused.cycle_buckets[i];
+  }
+  [[nodiscard]] double visit_cycles_saved() const {
+    return bucket_saved(CycleBucket::kVisit);
+  }
+  [[nodiscard]] double mem_stall_cycles_saved() const {
+    return bucket_saved(CycleBucket::kMemStall);
+  }
+};
+
+struct FusionPairReport {
+  std::string fused_name;   // e.g. "fused(rope_knn+rope_nn)"
+  std::string first_name;   // constituent A
+  std::string second_name;  // constituent B
+  std::uint64_t n_points = 0;
+  std::vector<FusionVariantRow> variants;
+};
+
+struct FusionRunSummary {
+  std::vector<FusionPairReport> pairs;
+};
+
+// Registry for the fusion block: per pair x variant, the fused/sequential
+// visit counts and the derived cycle savings under
+// "fusion/<pair>/<variant>/".
+MetricsRegistry metrics_for_fusion(const FusionRunSummary& fusion);
 
 // Build the per-row registry: all five variants' KernelStats and
 // TimeBreakdowns under "gpu/<variant>/", the CPU scaling model under
@@ -107,6 +160,9 @@ class RunReport {
   void set_sharding(const ShardingRunSummary& sharding) {
     sharding_ = sharding;
   }
+  // Attach a fused-vs-sequential comparison (core/kernel_compose.h); at
+  // most one per report (a later call replaces the earlier block).
+  void set_fusion(const FusionRunSummary& fusion) { fusion_ = fusion; }
   // Tables whose cells embed measured wall-clock values (e.g. table1's
   // speedup-vs-CPU columns) must pass volatile_data = true; they are then
   // only emitted when include_volatile is set, keeping the default report
@@ -132,6 +188,7 @@ class RunReport {
   std::optional<BatchResult> batch_;
   std::optional<ServingRunSummary> serving_;
   std::optional<ShardingRunSummary> sharding_;
+  std::optional<FusionRunSummary> fusion_;
   struct NamedTable {
     std::string name;
     Table table;

@@ -8,6 +8,43 @@ std::uint64_t WarpMemory::commit() {
   if (pending_.empty()) return 0;
   std::uint64_t dram = 0;
 
+  // Shared-load elision (fused kernels): a lane that records the same
+  // (buffer, address) twice in one window -- both constituents touching
+  // the same node record -- is served by a single load. Keep the first
+  // occurrence, drop the rest, count the drops. Raw stack traffic
+  // (buf < 0) is never deduplicated: stack pushes are distinct writes
+  // even when a slot address repeats.
+  if (shared_load_elision_) {
+    elide_order_.clear();
+    for (std::uint32_t k = 0; k < pending_.size(); ++k) elide_order_.push_back(k);
+    std::sort(elide_order_.begin(), elide_order_.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const Pending& pa = pending_[a];
+                const Pending& pb = pending_[b];
+                if (pa.buf != pb.buf) return pa.buf < pb.buf;
+                if (pa.lane != pb.lane) return pa.lane < pb.lane;
+                if (pa.addr != pb.addr) return pa.addr < pb.addr;
+                return a < b;
+              });
+    // Mark duplicates by overwriting their buf with a tombstone, then
+    // compact in original order so rank grouping below is unaffected.
+    constexpr BufferId kElided = -3;
+    std::size_t last_kept = 0;
+    for (std::size_t k = 1; k < elide_order_.size(); ++k) {
+      const Pending& prev = pending_[elide_order_[last_kept]];
+      Pending& cur = pending_[elide_order_[k]];
+      if (cur.buf >= 0 && cur.buf == prev.buf && cur.lane == prev.lane &&
+          cur.addr == prev.addr) {
+        cur.buf = kElided;
+        stats_->note_shared_load_elided();
+      } else {
+        last_kept = k;
+      }
+    }
+    std::erase_if(pending_, [](const Pending& p) { return p.buf == kElided; });
+    if (pending_.empty()) return 0;
+  }
+
   // Process one (buffer, rank) group at a time: rank k holds every lane's
   // k-th access to that buffer, matching how the hardware replays a load
   // when lanes iterate different trip counts.

@@ -64,6 +64,12 @@ struct KernelStats {
   std::uint64_t smem_cache_hits = 0;
   std::uint64_t smem_cache_misses = 0;
 
+  // Fused kernels (core/kernel_compose.h): duplicate per-lane node loads
+  // served once per commit window because the constituents share node
+  // records. Each elided load would otherwise have been (part of) a load
+  // instruction plus its transactions; zero for monolithic kernels.
+  std::uint64_t shared_loads_elided = 0;
+
   // Per-bucket split of instr_cycles. Invariant (exact, not approximate):
   // the bucket sum equals instr_cycles, because charge() is the only way
   // cycles enter either side and every per-event cost constant is an
@@ -119,6 +125,7 @@ struct KernelStats {
   }
   void note_smem_cache_hit() { ++smem_cache_hits; }
   void note_smem_cache_miss() { ++smem_cache_misses; }
+  void note_shared_load_elided() { ++shared_loads_elided; }
 
   [[nodiscard]] double bucket_cycles(CycleBucket b) const {
     return cycle_buckets[static_cast<std::size_t>(b)];
@@ -145,6 +152,7 @@ struct KernelStats {
       peak_stack_entries = o.peak_stack_entries;
     smem_cache_hits += o.smem_cache_hits;
     smem_cache_misses += o.smem_cache_misses;
+    shared_loads_elided += o.shared_loads_elided;
     for (std::size_t b = 0; b < kNumCycleBuckets; ++b)
       cycle_buckets[b] += o.cycle_buckets[b];
   }

@@ -51,6 +51,13 @@ class WarpMemory {
     lane_load_raw(lane, addr, bytes);
   }
 
+  // Shared-load elision (fused kernels, core/kernel_compose.h): when on,
+  // commit() serves duplicate (buffer, address, lane) accesses within one
+  // window once, counting the rest as shared_loads_elided. Raw stack
+  // traffic (negative buffer ids) is never elided. Off by default so
+  // monolithic kernels' accounting is untouched.
+  void set_shared_load_elision(bool on) { shared_load_elision_ = on; }
+
   // Issue the recorded accesses and clear. Returns DRAM transactions issued.
   std::uint64_t commit();
 
@@ -69,9 +76,11 @@ class WarpMemory {
   L2Cache* l2_;  // may be null (L2 modelling off)
   KernelStats* stats_;
   const SmemNodeCache* smem_cache_;  // may be null (no cache modelled)
+  bool shared_load_elision_ = false;
   std::vector<Pending> pending_;
   std::vector<LaneAccess> group_;
   std::vector<std::uint64_t> segs_;
+  std::vector<std::uint32_t> elide_order_;
 };
 
 }  // namespace tt

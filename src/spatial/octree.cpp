@@ -135,4 +135,64 @@ Octree build_octree(const PointSet& pos, std::span<const float> masses,
   return std::move(b.out);
 }
 
+namespace {
+
+// Mirrors OctBuilder's accumulation order exactly: leaves sum their
+// body_perm slice, interiors sum present children in slot order, both in
+// double with one float cast at the end.
+void refit_node(Octree& t, const PointSet& pos, std::span<const float> masses,
+                NodeId id) {
+  if (t.topo.is_leaf(id)) {
+    double mx = 0, my = 0, mz = 0, m = 0;
+    for (std::int32_t i = t.leaf_begin[id]; i < t.leaf_end[id]; ++i) {
+      std::uint32_t b = t.body_perm[i];
+      double w = masses[b];
+      mx += w * pos.at(b, 0);
+      my += w * pos.at(b, 1);
+      mz += w * pos.at(b, 2);
+      m += w;
+    }
+    t.mass[id] = static_cast<float>(m);
+    if (m > 0) {
+      t.com_x[id] = static_cast<float>(mx / m);
+      t.com_y[id] = static_cast<float>(my / m);
+      t.com_z[id] = static_cast<float>(mz / m);
+    }
+    return;
+  }
+  double mx = 0, my = 0, mz = 0, m = 0;
+  for (int o = 0; o < 8; ++o) {
+    NodeId c = t.topo.child(id, o);
+    if (c == kNullNode) continue;
+    refit_node(t, pos, masses, c);
+    double w = t.mass[c];
+    mx += w * t.com_x[c];
+    my += w * t.com_y[c];
+    mz += w * t.com_z[c];
+    m += w;
+  }
+  t.mass[id] = static_cast<float>(m);
+  if (m > 0) {
+    t.com_x[id] = static_cast<float>(mx / m);
+    t.com_y[id] = static_cast<float>(my / m);
+    t.com_z[id] = static_cast<float>(mz / m);
+  }
+}
+
+}  // namespace
+
+void refit_octree(Octree& tree, const PointSet& pos,
+                  std::span<const float> masses) {
+  if (pos.dim() != 3) throw std::invalid_argument("refit_octree: dim != 3");
+  if (pos.size() != tree.body_perm.size())
+    throw std::invalid_argument(
+        "refit_octree: body count differs from the built tree (refit keeps "
+        "the partition; rebuild instead)");
+  if (masses.size() != pos.size())
+    throw std::invalid_argument("refit_octree: masses size mismatch");
+  if (tree.topo.n_nodes == 0)
+    throw std::invalid_argument("refit_octree: empty tree");
+  refit_node(tree, pos, masses, 0);
+}
+
 }  // namespace tt

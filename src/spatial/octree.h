@@ -36,4 +36,18 @@ struct Octree {
 Octree build_octree(const PointSet& pos, std::span<const float> masses,
                     int max_depth = 32);
 
+// Refit: recompute mass and center of mass for every cell from updated
+// body positions/masses WITHOUT rebuilding -- topology, cell geometry
+// (half_width / root_width), leaf slices and body_perm are kept from
+// build time. This is the timestep-fusion contract (DESIGN.md section
+// 3.5): consecutive Barnes-Hut force passes share node ids and escape
+// ropes exactly when the tree is refit, the standard small-step
+// approximation (bodies are summarized by the cell they occupied at
+// build time). The accumulation replicates build_octree's bit for bit --
+// leaf COM in double over the leaf's body_perm slice, interior COM in
+// double over present children in slot order -- so a refit of unchanged
+// bodies reproduces the built tree's floats exactly.
+void refit_octree(Octree& tree, const PointSet& pos,
+                  std::span<const float> masses);
+
 }  // namespace tt

@@ -3,51 +3,84 @@
 // sorted inputs (Morton and kd-tree leaf order) and to non-lockstep on
 // shuffled inputs, reproduce the chosen composition's results
 // byte-for-byte, and report total cycles = chosen-variant cycles +
-// sampling cycles.
+// sampling cycles. Kernels come from core's KernelFactory and run through
+// the type-erased batch API (one-launch batches are byte-identical to
+// solo runs by the batching contract), which is also what pins the
+// factory registry's name-keyed construction end to end.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <span>
+#include <vector>
 
-#include "bench_algos/kernel_builder.h"
-#include "core/gpu_executors.h"
+#include "bench_algos/register_kernels.h"
+#include "core/batch_scheduler.h"
+#include "core/kernel_factory.h"
+#include "core/profiler.h"
 #include "obs/trace.h"
 
 namespace tt {
 namespace {
 
-BenchConfig config_for(Algo a) {
-  BenchConfig cfg;
-  cfg.algo = a;
-  cfg.input = a == Algo::kBH ? InputKind::kPlummer : InputKind::kCovtype;
-  cfg.n = 2048;
-  cfg.seed = 42;
-  return cfg;
+const char* kFactoryNames[] = {"bh", "pc", "knn", "nn", "vp"};
+
+KernelRequest request_for() {
+  register_bench_kernels();
+  KernelRequest req;
+  req.n = 2048;
+  req.seed = 42;
+  // The canonical Table-1 inputs: plummer for bh (builder default),
+  // covtype for the tree benchmarks (builder default).
+  return req;
 }
 
 // Sorted-input cases the selection must classify as lockstep-worthy:
 // Morton order applies to <= 3 dimensions (BH bodies; a 3-d uniform input
 // for the tree benchmarks), kd-tree leaf order to the 7-dim Table-1
 // inputs. Both spatial sorts must make adjacent traversals similar.
-struct SortedCase {
-  BenchConfig cfg;
-  PointOrder order;
-};
-
-std::vector<SortedCase> sorted_cases(Algo a) {
-  const BenchConfig base = config_for(a);
-  if (a == Algo::kBH) return {{base, PointOrder::kMorton}};
-  BenchConfig low_dim = base;
-  low_dim.input = InputKind::kUniform;
+std::vector<KernelRequest> sorted_requests(const std::string& name) {
+  const KernelRequest base = request_for();
+  if (name == std::string("bh")) {
+    KernelRequest r = base;
+    r.order = PointOrder::kMorton;
+    return {r};
+  }
+  KernelRequest low_dim = base;
+  low_dim.input = "uniform";
   low_dim.dim = 3;
-  return {{low_dim, PointOrder::kMorton}, {base, PointOrder::kTree}};
+  low_dim.order = PointOrder::kMorton;
+  KernelRequest tree = base;
+  tree.order = PointOrder::kTree;
+  return {low_dim, tree};
 }
 
-template <TraversalKernel K>
-void expect_selects(const K& k, GpuAddressSpace& space, bool want_lockstep) {
-  DeviceConfig cfg;
-  GpuMode mode = GpuMode::from(Variant::kAutoSelect);
+KernelRequest shuffled_request() {
+  KernelRequest req = request_for();
+  req.order = PointOrder::kShuffled;
+  return req;
+}
+
+// One-launch batch under variant `v`; the LaunchResult carries the same
+// isolated measurements a solo run_gpu_sim would produce.
+LaunchResult run_one(const std::shared_ptr<KernelHandle>& handle,
+                     GpuAddressSpace& space, GpuMode mode,
+                     obs::TraceSink* trace = nullptr) {
+  LaunchSpec spec;
+  spec.kernel = handle;
+  spec.space = &space;
+  spec.mode = mode;
+  spec.trace = trace;
+  BatchRun run = run_gpu_batch(std::span<const LaunchSpec>(&spec, 1),
+                               DeviceConfig{});
+  return std::move(run.launches.front());
+}
+
+void expect_selects(const std::shared_ptr<KernelHandle>& handle,
+                    GpuAddressSpace& space, bool want_lockstep) {
+  const GpuMode mode = GpuMode::from(Variant::kAutoSelect);
   obs::TraceSink trace;
-  auto g = run_gpu_sim(k, space, cfg, mode, &trace);
+  LaunchResult g = run_one(handle, space, mode, &trace);
+  ASSERT_TRUE(g.ok()) << g.error;
   ASSERT_TRUE(g.selection.has_value());
   const SelectionInfo& sel = *g.selection;
   EXPECT_EQ(sel.chosen, want_lockstep ? Variant::kAutoLockstep
@@ -58,13 +91,15 @@ void expect_selects(const K& k, GpuAddressSpace& space, bool want_lockstep) {
   EXPECT_EQ(sel.samples, mode.profile_samples);
   EXPECT_EQ(sel.threshold, kSimilarityLiftThreshold);
   EXPECT_GT(sel.sampling_cycles, 0.0);
+  EXPECT_EQ(g.variant, sel.chosen);
 
   // Byte-identical to the dispatched composition, with exactly the
   // sampling cost charged on top of its cycles.
-  auto direct = run_gpu_sim(k, space, cfg, GpuMode::from(sel.chosen));
+  LaunchResult direct = run_one(handle, space, GpuMode::from(sel.chosen));
+  ASSERT_TRUE(direct.ok()) << direct.error;
   ASSERT_EQ(g.results.size(), direct.results.size());
   EXPECT_EQ(0, std::memcmp(g.results.data(), direct.results.data(),
-                           sizeof(typename K::Result) * g.results.size()));
+                           g.results.size()));
   EXPECT_EQ(g.per_point_visits, direct.per_point_visits);
   EXPECT_EQ(g.per_warp_pops, direct.per_warp_pops);
   EXPECT_DOUBLE_EQ(g.stats.instr_cycles,
@@ -81,67 +116,95 @@ void expect_selects(const K& k, GpuAddressSpace& space, bool want_lockstep) {
   EXPECT_EQ(trace.merged().back().kind, obs::TraceEventKind::kSelect);
 }
 
-class AutoSelectAcceptance : public ::testing::TestWithParam<Algo> {};
+class AutoSelectAcceptance
+    : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(AutoSelectAcceptance, SortedOrdersPickLockstep) {
-  for (const SortedCase& c : sorted_cases(GetParam())) {
-    SCOPED_TRACE(point_order_name(c.order));
+  for (const KernelRequest& req : sorted_requests(GetParam())) {
+    SCOPED_TRACE(point_order_name(req.order));
     GpuAddressSpace space;
-    with_bench_kernel(c.cfg, c.order, space,
-                      [&](const auto& k) { expect_selects(k, space, true); });
+    auto handle = KernelFactory::instance().make(GetParam(), req, space);
+    expect_selects(handle, space, true);
   }
 }
 
 TEST_P(AutoSelectAcceptance, ShuffledOrderPicksNonLockstep) {
-  const BenchConfig cfg = config_for(GetParam());
   GpuAddressSpace space;
-  with_bench_kernel(cfg, PointOrder::kShuffled, space,
-                    [&](const auto& k) { expect_selects(k, space, false); });
+  auto handle = KernelFactory::instance().make(
+      GetParam(), shuffled_request(), space);
+  expect_selects(handle, space, false);
 }
 
 TEST(AutoSelect, ZeroSamplesRejected) {
-  const BenchConfig cfg = config_for(Algo::kPC);
+  KernelRequest req = request_for();
+  req.order = PointOrder::kTree;
   GpuAddressSpace space;
-  with_bench_kernel(cfg, PointOrder::kTree, space, [&](const auto& k) {
-    DeviceConfig dev;
-    GpuMode mode = GpuMode::from(Variant::kAutoSelect);
-    mode.profile_samples = 0;
-    EXPECT_THROW(run_gpu_sim(k, space, dev, mode), std::invalid_argument);
-  });
+  auto handle = KernelFactory::instance().make("pc", req, space);
+  GpuMode mode = GpuMode::from(Variant::kAutoSelect);
+  mode.profile_samples = 0;
+  LaunchSpec spec;
+  spec.kernel = handle;
+  spec.space = &space;
+  spec.mode = mode;
+  EXPECT_THROW(run_gpu_batch(std::span<const LaunchSpec>(&spec, 1),
+                             DeviceConfig{}),
+               std::invalid_argument);
 }
 
 TEST(AutoSelect, DeterministicAcrossRuns) {
-  const BenchConfig cfg = config_for(Algo::kNN);
+  const KernelRequest req = shuffled_request();
   GpuAddressSpace space1, space2;
-  SelectionInfo first;
-  with_bench_kernel(cfg, PointOrder::kShuffled, space1, [&](const auto& k) {
-    DeviceConfig dev;
-    first = *run_gpu_sim(k, space1, dev, GpuMode::from(Variant::kAutoSelect))
-                 .selection;
-  });
-  with_bench_kernel(cfg, PointOrder::kShuffled, space2, [&](const auto& k) {
-    DeviceConfig dev;
-    auto again =
-        *run_gpu_sim(k, space2, dev, GpuMode::from(Variant::kAutoSelect))
-             .selection;
-    EXPECT_EQ(again.chosen, first.chosen);
-    EXPECT_DOUBLE_EQ(again.mean_similarity, first.mean_similarity);
-    EXPECT_DOUBLE_EQ(again.sampling_cycles, first.sampling_cycles);
-  });
+  auto h1 = KernelFactory::instance().make("nn", req, space1);
+  auto h2 = KernelFactory::instance().make("nn", req, space2);
+  const GpuMode mode = GpuMode::from(Variant::kAutoSelect);
+  LaunchResult first = run_one(h1, space1, mode);
+  LaunchResult again = run_one(h2, space2, mode);
+  ASSERT_TRUE(first.selection.has_value());
+  ASSERT_TRUE(again.selection.has_value());
+  EXPECT_EQ(again.selection->chosen, first.selection->chosen);
+  EXPECT_DOUBLE_EQ(again.selection->mean_similarity,
+                   first.selection->mean_similarity);
+  EXPECT_DOUBLE_EQ(again.selection->sampling_cycles,
+                   first.selection->sampling_cycles);
+}
+
+// The registry's unknown-name error lists the valid spellings, matching
+// the variant_from_name convention.
+TEST(KernelFactoryRegistry, UnknownNameListsValidSpellings) {
+  register_bench_kernels();
+  GpuAddressSpace space;
+  try {
+    (void)KernelFactory::instance().make("no_such_kernel", KernelRequest{},
+                                         space);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("kernel_factory: unknown kernel 'no_such_kernel'"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("valid:"), std::string::npos) << what;
+    for (const char* name :
+         {"bh", "pc", "knn", "nn", "vp", "rope_knn", "rope_nn",
+          "fused_knn_nn", "fused_bh_step"})
+      EXPECT_NE(what.find(name), std::string::npos)
+          << what << " missing " << name;
+  }
+}
+
+TEST(KernelFactoryRegistry, NamesAreSortedAndComplete) {
+  register_bench_kernels();
+  const std::vector<std::string> names = KernelFactory::instance().names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* name :
+       {"bh", "pc", "knn", "nn", "vp", "rope_knn", "rope_nn", "fused_knn_nn",
+        "fused_bh_step"})
+    EXPECT_TRUE(KernelFactory::instance().contains(name)) << name;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, AutoSelectAcceptance,
-                         ::testing::Values(Algo::kBH, Algo::kPC, Algo::kKNN,
-                                           Algo::kNN, Algo::kVP),
-                         [](const ::testing::TestParamInfo<Algo>& info) {
-                           switch (info.param) {
-                             case Algo::kBH: return "bh";
-                             case Algo::kPC: return "pc";
-                             case Algo::kKNN: return "knn";
-                             case Algo::kNN: return "nn";
-                             case Algo::kVP: return "vp";
-                           }
-                           return "unknown";
+                         ::testing::ValuesIn(kFactoryNames),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
                          });
 
 }  // namespace

@@ -1,0 +1,292 @@
+// FusedKernel (core/kernel_compose.h) contract: a fused traversal is
+// byte-identical to running its constituents sequentially -- per
+// constituent, per point, under every eligible variant -- while walking
+// the shared tree once. Covers both shipped instances (fused k-NN + NN
+// over one kd-tree; fused consecutive BH timesteps over a refit octree),
+// the merged-truncation work bounds, the shared-load elision stat, the
+// refit-vs-rebuild contract, and the constructor's tree-sharing checks.
+#include "core/kernel_compose.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_algos/bh/barnes_hut.h"
+#include "bench_algos/pq/point_queries.h"
+#include "core/cpu_executors.h"
+#include "core/gpu_executors.h"
+#include "data/generators.h"
+#include "spatial/kdtree.h"
+#include "spatial/octree.h"
+
+namespace tt {
+namespace {
+
+// Per-element check that fused Result{a,b} reproduces the solo runs
+// byte-for-byte (the Results are padding-free; the fused finish memsets).
+template <class F, class RA, class RB>
+void expect_matches_sequential(const std::vector<F>& fused,
+                               const std::vector<RA>& a,
+                               const std::vector<RB>& b) {
+  ASSERT_EQ(fused.size(), a.size());
+  ASSERT_EQ(fused.size(), b.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(&fused[i].a, &a[i], sizeof(RA))) << "point " << i;
+    EXPECT_EQ(0, std::memcmp(&fused[i].b, &b[i], sizeof(RB))) << "point " << i;
+  }
+}
+
+struct PqFixture {
+  PointSet pts;
+  KdTree tree;
+  GpuAddressSpace space;
+  RopeKnnKernel knn;
+  RopeNnKernel nn;
+  FusedKernel<RopeKnnKernel, RopeNnKernel> fused;
+
+  explicit PqFixture(std::size_t n = 700, int dim = 7, std::uint64_t seed = 21,
+                     int k = 8)
+      : pts(gen_covtype_like(n, dim, seed)),
+        tree(build_kdtree(pts, 8)),
+        knn(tree, pts, k, space),
+        nn(tree, pts, space),
+        fused(fuse(knn, nn)) {}
+};
+
+TEST(KernelCompose, FusedNameAndEligibility) {
+  PqFixture f;
+  EXPECT_STREQ(decltype(f.fused)::kName, "fused(rope_knn+rope_nn)");
+  // Fanout-2 stackless-compatible composition: every variant is eligible.
+  for (Variant v : kAllVariants)
+    EXPECT_EQ(kernel_variant_ineligible_reason(f.fused, v), "")
+        << variant_name(v);
+}
+
+TEST(KernelCompose, FusedMatchesSequentialAllVariants) {
+  PqFixture f;
+  DeviceConfig cfg;
+  // Solo baselines (variant-independent by the cross-variant contract).
+  auto base_a =
+      run_gpu_sim(f.knn, f.space, cfg, GpuMode::from(Variant::kAutoNolockstep));
+  auto base_b =
+      run_gpu_sim(f.nn, f.space, cfg, GpuMode::from(Variant::kAutoNolockstep));
+  for (Variant v : kAllVariants) {
+    SCOPED_TRACE(variant_name(v));
+    auto g = run_gpu_sim(f.fused, f.space, cfg, GpuMode::from(v));
+    expect_matches_sequential(g.results, base_a.results, base_b.results);
+    // Exact cycle attribution holds for the fused kernel too.
+    double raw = 0;
+    for (double b : g.stats.cycle_buckets) raw += b;
+    EXPECT_EQ(raw, g.stats.instr_cycles);
+  }
+}
+
+TEST(KernelCompose, MergedTruncationWorkBounds) {
+  PqFixture f;
+  DeviceConfig cfg;
+  const GpuMode mode = GpuMode::from(Variant::kAutoNolockstep);
+  auto ga = run_gpu_sim(f.knn, f.space, cfg, mode);
+  auto gb = run_gpu_sim(f.nn, f.space, cfg, mode);
+  auto g = run_gpu_sim(f.fused, f.space, cfg, mode);
+  ASSERT_EQ(g.per_point_visits.size(), ga.per_point_visits.size());
+  ASSERT_EQ(g.per_point_visits.size(), gb.per_point_visits.size());
+  std::uint64_t saved = 0;
+  for (std::size_t i = 0; i < g.per_point_visits.size(); ++i) {
+    // The fused walk visits the union of the constituents' node sets:
+    // at least the larger, at most the sum.
+    EXPECT_GE(g.per_point_visits[i],
+              std::max(ga.per_point_visits[i], gb.per_point_visits[i]))
+        << "point " << i;
+    EXPECT_LE(g.per_point_visits[i],
+              ga.per_point_visits[i] + gb.per_point_visits[i])
+        << "point " << i;
+    saved += ga.per_point_visits[i] + gb.per_point_visits[i] -
+             g.per_point_visits[i];
+  }
+  // The two walks overlap heavily (same tree, same queries), so fusion
+  // must actually save visits, not just bound them.
+  EXPECT_GT(saved, 0u);
+  EXPECT_LT(g.stats.lane_visits, ga.stats.lane_visits + gb.stats.lane_visits);
+}
+
+TEST(KernelCompose, SharedNodeLoadsServedOnce) {
+  PqFixture f;
+  DeviceConfig cfg;
+  const GpuMode mode = GpuMode::from(Variant::kAutoNolockstep);
+  auto ga = run_gpu_sim(f.knn, f.space, cfg, mode);
+  auto g = run_gpu_sim(f.fused, f.space, cfg, mode);
+  // Solo kernels never duplicate a load within a step; the fused kernel's
+  // constituents hit the same node records and the duplicate is elided.
+  EXPECT_EQ(ga.stats.shared_loads_elided, 0u);
+  EXPECT_GT(g.stats.shared_loads_elided, 0u);
+}
+
+TEST(KernelCompose, FusedAgreesWithBruteForce) {
+  PqFixture f(400, 5, 33, 6);
+  DeviceConfig cfg;
+  auto g = run_gpu_sim(f.fused, f.space, cfg,
+                       GpuMode::from(Variant::kStacklessNolockstep));
+  const auto knn_ref = pq_knn_brute_force(f.pts, 6);
+  const auto nn_ref = pq_nn_brute_force(f.pts);
+  expect_matches_sequential(g.results, knn_ref, nn_ref);
+}
+
+TEST(KernelCompose, FusedRunsDeterministically) {
+  PqFixture f;
+  DeviceConfig cfg;
+  const GpuMode mode = GpuMode::from(Variant::kStacklessLockstep);
+  auto g1 = run_gpu_sim(f.fused, f.space, cfg, mode);
+  auto g2 = run_gpu_sim(f.fused, f.space, cfg, mode);
+  ASSERT_EQ(g1.results.size(), g2.results.size());
+  EXPECT_EQ(0, std::memcmp(g1.results.data(), g2.results.data(),
+                           g1.results.size() * sizeof(g1.results[0])));
+  EXPECT_EQ(g1.stats.instr_cycles, g2.stats.instr_cycles);
+  EXPECT_EQ(g1.stats.shared_loads_elided, g2.stats.shared_loads_elided);
+}
+
+TEST(KernelCompose, CtorRejectsMismatchedPointCounts) {
+  PqFixture f;
+  GpuAddressSpace other_space;
+  PointSet pts2 = gen_covtype_like(300, 7, 21);
+  KdTree tree2 = build_kdtree(pts2, 8);
+  RopeNnKernel nn2(tree2, pts2, other_space);
+  try {
+    (void)fuse(f.knn, nn2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("disagree on point count"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KernelCompose, CtorRejectsDifferentTrees) {
+  PqFixture f;
+  GpuAddressSpace other_space;
+  // Same points, different granularity => different topology and ropes.
+  KdTree tree2 = build_kdtree(f.pts, 32);
+  RopeNnKernel nn2(tree2, f.pts, other_space);
+  try {
+    (void)fuse(f.knn, nn2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("do not share a tree"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- The BH timestep pair: fused forces over a refit octree. ----
+
+struct BhStepFixture {
+  BodySet bodies;
+  PointSet pos1;
+  std::vector<float> vel;
+  Octree tree0;
+  Octree tree1;
+  GpuAddressSpace space;
+  BarnesHutKernel a;
+  BarnesHutKernel b;
+  FusedKernel<BarnesHutKernel, BarnesHutKernel> fused;
+
+  static Octree refit_copy(const Octree& t0, const PointSet& pos,
+                           const std::vector<float>& mass) {
+    Octree t = t0;
+    refit_octree(t, pos, mass);
+    return t;
+  }
+
+  static PointSet advance(const BarnesHutKernel& k, const BodySet& bodies,
+                          std::vector<float>& vel, float dt) {
+    auto forces = run_cpu(k, CpuVariant::kRecursive, 1).results;
+    PointSet pos = bodies.pos;
+    vel = bodies.vel;
+    bh_integrate(pos, vel, forces, dt);
+    return pos;
+  }
+
+  explicit BhStepFixture(std::size_t n = 500, std::uint64_t seed = 7)
+      : bodies(gen_plummer(n, seed)),
+        tree0(build_octree(bodies.pos, bodies.mass)),
+        a(tree0, bodies.pos, 0.5f, 1e-4f, space),
+        b((pos1 = advance(a, bodies, vel, 0.0125f),
+           tree1 = refit_copy(tree0, pos1, bodies.mass), tree1),
+          pos1, 0.5f, 1e-4f, space, a),
+        fused(fuse(a, b)) {}
+};
+
+TEST(KernelCompose, FusedBhStepMatchesSequential) {
+  BhStepFixture f;
+  DeviceConfig cfg;
+  auto base_a =
+      run_gpu_sim(f.a, f.space, cfg, GpuMode::from(Variant::kAutoNolockstep));
+  auto base_b =
+      run_gpu_sim(f.b, f.space, cfg, GpuMode::from(Variant::kAutoNolockstep));
+  for (Variant v : kAllVariants) {
+    if (kernel_variant_ineligible_reason(f.fused, v) != "") continue;
+    SCOPED_TRACE(variant_name(v));
+    auto g = run_gpu_sim(f.fused, f.space, cfg, GpuMode::from(v));
+    expect_matches_sequential(g.results, base_a.results, base_b.results);
+  }
+  // Fanout 8: only index_walk is out, spelled the canonical way.
+  EXPECT_NE(
+      kernel_variant_ineligible_reason(f.fused, Variant::kIndexWalk)
+          .find("requires a fanout-2 tree"),
+      std::string::npos);
+}
+
+TEST(KernelCompose, FusedBhStepSharesChildRecords) {
+  BhStepFixture f;
+  DeviceConfig cfg;
+  auto g = run_gpu_sim(f.fused, f.space, cfg,
+                       GpuMode::from(Variant::kAutoNolockstep));
+  // The twin shares tree0's child-index records, so the fused walk elides
+  // the duplicate child loads even though truncation records differ.
+  EXPECT_GT(g.stats.shared_loads_elided, 0u);
+}
+
+TEST(KernelCompose, RefitWithUnchangedPositionsIsExact) {
+  BodySet b = gen_plummer(400, 9);
+  Octree t0 = build_octree(b.pos, b.mass);
+  Octree t1 = t0;
+  refit_octree(t1, b.pos, b.mass);
+  // Refit mirrors the builder's accumulation arithmetic, so refitting
+  // with the positions the tree was built from reproduces it exactly.
+  EXPECT_EQ(t1.com_x, t0.com_x);
+  EXPECT_EQ(t1.com_y, t0.com_y);
+  EXPECT_EQ(t1.com_z, t0.com_z);
+  EXPECT_EQ(t1.mass, t0.mass);
+  EXPECT_EQ(t1.half_width, t0.half_width);
+}
+
+TEST(KernelCompose, RefitRejectsChangedBodyCount) {
+  BodySet b = gen_plummer(300, 10);
+  Octree t = build_octree(b.pos, b.mass);
+  BodySet fewer = gen_plummer(200, 10);
+  try {
+    refit_octree(t, fewer.pos, fewer.mass);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("refit keeps the partition"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KernelCompose, TwinCtorRejectsRebuiltTree) {
+  BodySet b = gen_plummer(300, 11);
+  Octree t0 = build_octree(b.pos, b.mass);
+  GpuAddressSpace space;
+  BarnesHutKernel a(t0, b.pos, 0.5f, 1e-4f, space);
+  // A rebuild (different leaf partition => different node count) is not a
+  // refit; the twin constructor must refuse to share child records.
+  BodySet b2 = gen_plummer(260, 11);
+  Octree rebuilt = build_octree(b2.pos, b2.mass);
+  EXPECT_THROW(BarnesHutKernel(rebuilt, b2.pos, 0.5f, 1e-4f, space, a),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tt

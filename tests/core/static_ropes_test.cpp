@@ -4,12 +4,16 @@
 
 #include <array>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "bench_algos/bh/barnes_hut.h"
+#include "bench_algos/nn/nearest_neighbor.h"
 #include "bench_algos/pc/point_correlation.h"
+#include "core/batch_scheduler.h"
 #include "core/cpu_executors.h"
 #include "core/gpu_executors.h"
+#include "core/launch.h"
 #include "core/ropes_executor.h"
 #include "data/generators.h"
 #include "spatial/kdtree.h"
@@ -212,6 +216,83 @@ TEST(StaticRopes, FuzzEscapeIndexMatchesSubtreeSize) {
       }
     }
   }
+}
+
+// One canonical ineligibility spelling everywhere: the free function is
+// the single source, and every surface -- run_gpu_sim's throw, the launch
+// API's throw, the type-erased handle, batched admission's error rows,
+// the harness's "skipped:" rows (same call, see harness.cpp) -- renders
+// exactly that string behind its own prefix.
+TEST(VariantEligibility, OneCanonicalReasonAcrossSurfaces) {
+  PointSet pts = gen_covtype_like(256, 7, 11);
+  KdTreeNN tree = build_kdtree_nn(pts);
+  GpuAddressSpace space;
+  NnKernel k(tree, pts, space);  // guided => the whole stackless family
+  DeviceConfig cfg;
+  for (Variant v : {Variant::kStacklessLockstep, Variant::kStacklessNolockstep,
+                    Variant::kIndexWalk}) {
+    SCOPED_TRACE(variant_name(v));
+    const std::string reason = kernel_variant_ineligible_reason(k, v);
+    EXPECT_EQ(reason, std::string("variant ") + variant_name(v) +
+                          " requires a stackless-compatible (unguided, "
+                          "rope-carrying) kernel; nearest_neighbor is "
+                          "ineligible");
+
+    try {
+      run_gpu_sim(k, space, cfg, GpuMode::from(v));
+      FAIL() << "run_gpu_sim accepted an ineligible pairing";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_EQ(e.what(), "run_gpu_sim: " + reason);
+    }
+
+    LaunchSpec spec;
+    spec.kernel = make_kernel_handle(k);
+    spec.space = &space;
+    spec.mode = GpuMode::from(v);
+    EXPECT_EQ(spec.kernel->variant_ineligible_reason(v), reason);
+    BatchRun run = run_gpu_batch(std::span<const LaunchSpec>(&spec, 1), cfg);
+    ASSERT_EQ(run.launches.size(), 1u);
+    EXPECT_FALSE(run.launches[0].ok());
+    EXPECT_EQ(run.launches[0].error, std::string("kernel ") +
+                                         spec.kernel->name() +
+                                         " (batch 0): " + reason);
+  }
+  // Eligible pairings report no reason at all.
+  for (Variant v : kAllVariants) {
+    if (!variant_is_stackless(v)) {
+      EXPECT_EQ(kernel_variant_ineligible_reason(k, v), "") << variant_name(v);
+    }
+  }
+}
+
+// The runtime leg variant_eligible can't see: a stackless-compatible
+// kernel whose rope array is empty (e.g. a BFS relayout stripped it).
+struct RopelessPc : PointCorrelationKernel {
+  using PointCorrelationKernel::PointCorrelationKernel;
+  [[nodiscard]] const StaticRopes& ropes() const { return none_; }
+  StaticRopes none_;
+};
+
+TEST(VariantEligibility, EmptyRopesReasonMatchesAcrossSurfaces) {
+  PointSet pts = gen_uniform(200, 3, 12);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  float r = pc_pick_radius(pts, 16, 12);
+  RopelessPc k(tree, pts, r, space);
+  const Variant v = Variant::kStacklessNolockstep;
+  const std::string reason = kernel_variant_ineligible_reason(k, v);
+  EXPECT_EQ(reason,
+            std::string("variant ") + variant_name(v) +
+                " needs ropes installed over a left-biased DFS tree; kernel "
+                "point_correlation carries none (non-DFS relayout?)");
+  try {
+    DeviceConfig cfg;
+    run_gpu_sim(k, space, cfg, GpuMode::from(v));
+    FAIL() << "run_gpu_sim accepted a ropeless stackless launch";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(e.what(), "run_gpu_sim: " + reason);
+  }
+  EXPECT_EQ(make_kernel_handle(k)->variant_ineligible_reason(v), reason);
 }
 
 TEST(StaticRopes, InstallCostReported) {

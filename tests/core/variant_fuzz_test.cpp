@@ -20,14 +20,19 @@
 #include <cstring>
 #include <string>
 
+#include "bench_algos/bh/barnes_hut.h"
 #include "bench_algos/nn/nearest_neighbor.h"
 #include "bench_algos/pc/point_correlation.h"
+#include "bench_algos/pq/point_queries.h"
+#include "core/cpu_executors.h"
 #include "core/device_group.h"
 #include "core/gpu_executors.h"
+#include "core/kernel_compose.h"
 #include "core/static_ropes.h"
 #include "data/generators.h"
 #include "obs/profile.h"
 #include "spatial/kdtree.h"
+#include "spatial/octree.h"
 
 namespace tt {
 namespace {
@@ -310,6 +315,65 @@ TEST(VariantFuzz, NearestNeighborSharded) {
     GpuAddressSpace space;
     NnKernel k(tree, pts, space);
     check_sharded_axis(k, space);
+  }
+}
+
+// Fused kernels are first-class citizens of the same sweeps: the
+// composition (core/kernel_compose.h) must satisfy every contract the
+// constituents do -- all-variant byte identity (including the stackless
+// family with the node cache on and off), exact cycle attribution,
+// auto_select reproduction, and the sharded {1, 2, 4}-device axis.
+TEST(VariantFuzz, FusedPointQueriesAllVariants) {
+  std::uint64_t s = 0x8bb84b93962eacc9ull;
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::size_t n = 96 + next(s) % 500;
+    const int dim = 2 + static_cast<int>(next(s) % 6);
+    const std::uint64_t seed = next(s);
+    const int k = 1 + static_cast<int>(next(s) % kPqMaxK);
+    PointSet pts = round % 2 == 0 ? gen_uniform(n, dim, seed)
+                                  : gen_covtype_like(n, dim, seed);
+    KdTree tree = build_kdtree(pts, 4 + static_cast<int>(next(s) % 8));
+    GpuAddressSpace space;
+    RopeKnnKernel knn(tree, pts, k, space);
+    RopeNnKernel nn(tree, pts, space);
+    auto fused = fuse(knn, nn);
+    check_all_variants(fused, space);
+  }
+}
+
+TEST(VariantFuzz, FusedPointQueriesSharded) {
+  std::uint64_t s = 0x589965cc75374cc3ull;
+  const std::size_t n = 96 + next(s) % 500;
+  const int dim = 2 + static_cast<int>(next(s) % 6);
+  const std::uint64_t seed = next(s);
+  PointSet pts = gen_covtype_like(n, dim, seed);
+  KdTree tree = build_kdtree(pts, 8);
+  GpuAddressSpace space;
+  RopeKnnKernel knn(tree, pts, 8, space);
+  RopeNnKernel nn(tree, pts, space);
+  auto fused = fuse(knn, nn);
+  check_sharded_axis(fused, space);
+}
+
+TEST(VariantFuzz, FusedBhTimestepPair) {
+  std::uint64_t s = 0x1d8e4e27c47d124full;
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::size_t n = 128 + next(s) % 400;
+    BodySet bodies = gen_plummer(n, next(s));
+    Octree tree0 = build_octree(bodies.pos, bodies.mass);
+    GpuAddressSpace space;
+    BarnesHutKernel a(tree0, bodies.pos, 0.5f, 1e-4f, space);
+    auto forces = run_cpu(a, CpuVariant::kRecursive, 1).results;
+    PointSet pos1 = bodies.pos;
+    std::vector<float> vel = bodies.vel;
+    bh_integrate(pos1, vel, forces, 0.0125f);
+    Octree tree1 = tree0;
+    refit_octree(tree1, pos1, bodies.mass);
+    BarnesHutKernel b(tree1, pos1, 0.5f, 1e-4f, space, a);
+    auto fused = fuse(a, b);
+    check_all_variants(fused, space);
   }
 }
 

@@ -11,10 +11,16 @@
 // kernel's totals, whose overlap can never exceed the copy-in it hides,
 // and whose makespan must be the slowest device's busy time, bounded by
 // the summed per-device time).
-// Validation is version-aware: both the current schema (v7) and the
-// previous one (v6) are accepted in full validation, with the v7-only
-// stackless variant blocks required only from v7 on -- the committed
-// sharding fixture is a v6 report and must keep validating bit-for-bit.
+// Validation is version-aware: the current schema (v8) and the two
+// previous ones (v7, v6) are accepted in full validation, with the
+// v7-only stackless variant blocks required only from v7 on -- the
+// committed sharding fixture is a v6 report and must keep validating
+// bit-for-bit -- and the v8 "fusion" block (bench/fusion: fused traversal
+// kernels vs their sequential baselines) checked for shape plus its
+// defining invariants: every ok row must be byte_identical, the fused
+// walk's visit count can never exceed the constituents' sum (re-derived
+// here from the two stats blocks), and the reported visit cycle savings
+// must be non-negative.
 // For v7 reports, an ok stackless variant must show zero stack footprint
 // (peak_stack_entries == 0 and, when profiled, an empty stack bucket).
 // Exit 0 on success; nonzero with a diagnostic on stderr otherwise. Used
@@ -27,7 +33,7 @@
 // canonical JsonWriter before byte comparison. That lets a golden fixture
 // captured before auto_select existed (schema v1) keep pinning the legacy
 // variants' behavior while reports grow new sections (the v7 smem_cache_*
-// stats members are likewise pruned).
+// and v8 shared_loads_elided stats members are likewise pruned).
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -145,10 +151,10 @@ void prune_to_legacy(JsonValue& root) {
   set_string(root, "schema", "<schema>");
   set_string(root, "git_sha", "<sha>");
   // Top-level blocks the fixture predates: batch (v3), serving (v5),
-  // devices (v6).
+  // devices (v6), fusion (v8).
   std::erase_if(root.obj_v, [](const auto& member) {
     return member.first == "batch" || member.first == "serving" ||
-           member.first == "devices";
+           member.first == "devices" || member.first == "fusion";
   });
   JsonValue* rows = find_mut(root, "rows");
   if (!rows || !rows->is_array()) return;
@@ -166,7 +172,8 @@ void prune_to_legacy(JsonValue& root) {
         return !is_legacy_variant_name(member.first);
       });
       // v4 added the optional per-variant "profile" block (--profile);
-      // v7 added the smem_cache_* counters to every stats block.
+      // v7 added the smem_cache_* counters and v8 shared_loads_elided to
+      // every stats block.
       for (auto& [name, vr] : variants->obj_v) {
         if (!vr->is_object()) continue;
         std::erase_if(vr->obj_v, [](const auto& member) {
@@ -175,7 +182,8 @@ void prune_to_legacy(JsonValue& root) {
         if (JsonValue* stats = find_mut(*vr, "stats"))
           std::erase_if(stats->obj_v, [](const auto& member) {
             return member.first == "smem_cache_hits" ||
-                   member.first == "smem_cache_misses";
+                   member.first == "smem_cache_misses" ||
+                   member.first == "shared_loads_elided";
           });
       }
     }
@@ -646,6 +654,70 @@ int check_devices(const JsonValue& devices) {
   return 0;
 }
 
+// The optional v8 fusion block: per pair x variant, an ok row must be
+// byte_identical to its sequential baseline, the fused walk's visit count
+// is re-derived to be bounded by the constituents' sum (the union can
+// never exceed it), and the reported visit / mem_stall savings must be
+// non-negative and <= the sequential totals they were carved from.
+int check_fusion(const JsonValue& fusion) {
+  if (!fusion.is_object()) return fail("\"fusion\" is not an object");
+  const JsonValue* pairs = fusion.find("pairs");
+  if (!pairs || !pairs->is_array())
+    return fail("fusion: missing \"pairs\" array");
+  if (!fusion.find("metrics"))
+    return fail("fusion: missing \"metrics\" object");
+  for (std::size_t i = 0; i < pairs->arr_v.size(); ++i) {
+    const JsonValue& p = *pairs->arr_v[i];
+    const std::string at = "fusion.pairs[" + std::to_string(i) + "]";
+    for (const char* field : {"fused", "first", "second", "points",
+                              "variants"})
+      if (!p.find(field)) return fail(at + ": missing \"" + field + "\"");
+    const JsonValue* variants = p.find("variants");
+    if (!variants->is_array()) return fail(at + ".variants: not an array");
+    std::size_t ok_rows = 0;
+    for (std::size_t j = 0; j < variants->arr_v.size(); ++j) {
+      const JsonValue& r = *variants->arr_v[j];
+      const std::string vat = at + ".variants[" + std::to_string(j) + "]";
+      if (!r.find("variant")) return fail(vat + ": missing \"variant\"");
+      if (!r.find("ok")) return fail(vat + ": missing \"ok\"");
+      if (!r.find("ok")->as_bool()) {
+        if (!r.find("error")) return fail(vat + ": failed row without error");
+        continue;
+      }
+      ++ok_rows;
+      for (const char* field :
+           {"byte_identical", "fused_stats", "fused_time",
+            "sequential_stats", "sequential_time", "visit_cycles_saved",
+            "mem_stall_cycles_saved"})
+        if (!r.find(field)) return fail(vat + ": missing \"" + field + "\"");
+      if (!r.find("byte_identical")->as_bool())
+        return fail(vat + ": fused results are not byte-identical to the "
+                    "sequential baseline");
+      const JsonValue* fs = r.find("fused_stats");
+      const JsonValue* ss = r.find("sequential_stats");
+      if (!fs->is_object() || !ss->is_object())
+        return fail(vat + ": stats blocks are not objects");
+      const std::uint64_t fused_visits = fs->find("lane_visits")->as_uint();
+      const std::uint64_t seq_visits = ss->find("lane_visits")->as_uint();
+      if (fused_visits > seq_visits)
+        return fail(vat + ": fused walk visits " +
+                    std::to_string(fused_visits) +
+                    " nodes but the constituents' sum is " +
+                    std::to_string(seq_visits) +
+                    " (the union cannot exceed the sum)");
+      // Visit savings are sign-guaranteed (the union walk charges fewer
+      // visits than the sum); mem_stall savings are reported but not
+      // sign-checked -- better fused locality can legitimately trade DRAM
+      // transactions for more L2-hit stalls on an individual row.
+      if (r.find("visit_cycles_saved")->as_number() < 0)
+        return fail(vat + ": negative visit_cycles_saved");
+    }
+    if (ok_rows == 0)
+      return fail(at + ": no ok variant rows (nothing was measured)");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -666,14 +738,16 @@ int main(int argc, char** argv) {
     if (!root->is_object()) return fail("root is not an object");
     const JsonValue* schema = root->find("schema");
     if (!schema) return fail("missing \"schema\"");
-    // v6 reports (pre-stackless) stay fully validatable: the committed
-    // sharding fixture is one.
-    constexpr const char* kPrevRunReportSchema = "treetrav.run_report/v6";
-    const bool is_v7 = schema->as_string() == tt::obs::kRunReportSchema;
-    if (!is_v7 && schema->as_string() != kPrevRunReportSchema)
+    // v7 (pre-fusion) and v6 (pre-stackless) reports stay fully
+    // validatable: the committed sharding fixture is a v6 one.
+    constexpr const char* kV7Schema = "treetrav.run_report/v7";
+    constexpr const char* kV6Schema = "treetrav.run_report/v6";
+    const bool is_v7_plus = schema->as_string() == tt::obs::kRunReportSchema ||
+                            schema->as_string() == kV7Schema;
+    if (!is_v7_plus && schema->as_string() != kV6Schema)
       return fail("schema is \"" + schema->as_string() + "\", expected \"" +
-                  tt::obs::kRunReportSchema + "\" (or \"" +
-                  kPrevRunReportSchema + "\")");
+                  tt::obs::kRunReportSchema + "\" (or \"" + kV7Schema +
+                  "\" / \"" + kV6Schema + "\")");
     if (!root->find("generator")) return fail("missing \"generator\"");
     if (!root->find("git_sha")) return fail("missing \"git_sha\"");
     const JsonValue* rows = root->find("rows");
@@ -691,7 +765,7 @@ int main(int argc, char** argv) {
         return fail(at + ": missing \"variants\" object");
       for (tt::Variant v : tt::kAllVariants) {
         // The stackless family only exists from v7 on.
-        if (!is_v7 && tt::variant_is_stackless(v)) continue;
+        if (!is_v7_plus && tt::variant_is_stackless(v)) continue;
         const JsonValue* vr = variants->find(tt::variant_name(v));
         if (!vr) return fail(at + ": missing variant " + tt::variant_name(v));
         if (!vr->find("stats"))
@@ -742,6 +816,10 @@ int main(int argc, char** argv) {
     }
     if (const JsonValue* devices = root->find("devices")) {
       int rc = check_devices(*devices);
+      if (rc != 0) return rc;
+    }
+    if (const JsonValue* fusion = root->find("fusion")) {
+      int rc = check_fusion(*fusion);
       if (rc != 0) return rc;
     }
   } catch (const std::exception& e) {
