@@ -389,3 +389,124 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(f"wrote {out_path} ({len(snapshot['pairs'])} pairs)")
 PY
+
+# Memory-telescope baseline: the memprof per-buffer / per-field traffic
+# attribution sweep, distilled into BENCH_memprof.json -- the hot-buffer
+# table, the per-field node-array split, the worst-coalesced sites and the
+# section-5 layout_split comparison (split nodes0/nodes1 vs one
+# interleaved record, on per-visit node-array DRAM transactions). The
+# headline assertion: for the rope (stackless) traversal -- whose hot set
+# excludes the children half -- the split layout must reduce per-visit
+# DRAM versus interleaved, in every measured point order. All counters are
+# modelled; the file changes only when behavior does.
+memprof_out="${MEMPROF_JSON:-$repo/BENCH_memprof.json}"
+memprof_raw="$(mktemp /tmp/bench_snapshot_memprof_XXXX.json)"
+trap 'rm -f "$raw" "$batch_raw" "$serving_raw" "$sharding_raw" "$ropes_raw" "$fusion_raw" "$memprof_raw"' EXIT
+
+if [[ ! -x "$build/bench/memprof" ]]; then
+  echo "== building memprof =="
+  cmake --build "$build" -j "$(nproc 2>/dev/null || echo 4)" --target memprof
+fi
+
+echo "== memprof (pc+nn sweep, 512 points, layout split) =="
+"$build/bench/memprof" --points=512 --profile \
+  --json="$memprof_raw" >/dev/null
+
+python3 - "$memprof_raw" "$memprof_out" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    report = json.load(f)
+
+tables = {t["name"]: t for t in report.get("tables", [])}
+
+def rows_as_dicts(table):
+    header = table["header"]
+    return [dict(zip(header, cells)) for cells in table["rows"]]
+
+snapshot = {
+    "schema": "treetrav.bench_snapshot.memprof/v1",
+    "source": "memprof --points=512 --profile",
+    "git_sha": report.get("git_sha", "unknown"),
+    "hot_buffers": [
+        {
+            "kernel": r["Kernel"],
+            "order": r["Order"],
+            "variant": r["Variant"],
+            "buffer": r["Buffer"],
+            "load_groups": int(r["Groups"]),
+            "replayed_loads": int(r["Replays"]),
+            "issued_segments": int(r["Segs"]),
+            "coalescing_efficiency": float(r["Eff"]),
+            "l2_hit_transactions": int(r["L2 hit"]),
+            "dram_transactions": int(r["DRAM"]),
+            "dram_bytes": int(r["DRAM B"]),
+            "mem_stall_cycles": float(r["Stall cyc"]),
+        }
+        for r in rows_as_dicts(tables["memory_hot"])
+    ],
+    "node_fields": [
+        {
+            "kernel": r["Kernel"],
+            "order": r["Order"],
+            "buffer": r["Buffer"],
+            "field": r["Field"],
+            "transactions": float(r["Txn"]),
+            "dram": float(r["DRAM"]),
+            "dram_bytes": float(r["DRAM B"]),
+            "mem_stall_cycles": float(r["Stall cyc"]),
+            "stall_share_pct": float(r["Stall %"]),
+        }
+        for r in rows_as_dicts(tables["memory_fields"])
+    ],
+    "worst_coalesced": [
+        {
+            "kernel": r["Kernel"],
+            "order": r["Order"],
+            "variant": r["Variant"],
+            "buffer": r["Buffer"],
+            "coalescing_efficiency": float(r["Eff"]),
+            "issued_segments": int(r["Issued"]),
+            "ideal_segments": int(r["Ideal"]),
+        }
+        for r in rows_as_dicts(tables["memory_coalesce"])
+    ],
+    "layout_split": [
+        {
+            "order": r["Order"],
+            "variant": r["Variant"],
+            "layout": r["Layout"],
+            "node_dram_transactions": int(r["Node DRAM"]),
+            "lane_visits": int(r["Lane visits"]),
+            "dram_per_visit": float(r["DRAM/visit"]),
+        }
+        for r in rows_as_dicts(tables["layout_split"])
+    ],
+}
+
+for r in snapshot["hot_buffers"]:
+    assert 0.0 < r["coalescing_efficiency"] <= 1.0, f"efficiency out of range: {r}"
+
+# Headline: the usage-based split decision. Rope traversal never touches
+# the children/leaf_range half, so the split layout's densely packed bbox
+# bytes must cost less DRAM per visit than the interleaved record.
+by_key = {}
+for r in snapshot["layout_split"]:
+    by_key[(r["order"], r["variant"], r["layout"])] = r["dram_per_visit"]
+checked = 0
+for (order, variant, layout), split_pv in by_key.items():
+    if layout != "split" or not variant.startswith("stackless"):
+        continue
+    inter_pv = by_key[(order, variant, "interleaved")]
+    assert split_pv < inter_pv, (
+        f"split did not reduce per-visit DRAM for {order}/{variant}: "
+        f"{split_pv} vs {inter_pv}")
+    checked += 1
+assert checked > 0, "no stackless layout_split rows to check"
+
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {out_path} ({len(snapshot['layout_split'])} layout rows)")
+PY

@@ -20,10 +20,13 @@ BarnesHutKernel::BarnesHutKernel(const Octree& tree, const PointSet& bodies,
   ropes_ = try_install_ropes(tree.topo);
   // Usage-split node records (section 5.2): nodes0 = the truncation-test
   // fields (center of mass, mass, type: 20 bytes), nodes1 = child indices.
-  nodes0_ = space.register_buffer("bh_nodes0", 20,
-                                  static_cast<std::uint64_t>(tree.topo.n_nodes));
-  nodes1_ = space.register_buffer("bh_nodes1", 32,
-                                  static_cast<std::uint64_t>(tree.topo.n_nodes));
+  // Field maps feed the per-field traffic attribution (simt/memory_attr.h).
+  nodes0_ = space.register_buffer(
+      "bh_nodes0", 20, static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"com", 0, 12}, {"mass", 12, 4}, {"type", 16, 4}});
+  nodes1_ = space.register_buffer(
+      "bh_nodes1", 32, static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"children", 0, 32}});
   queries_ = space.register_buffer("bh_bodies", 4, 3 * bodies.size());
 }
 
@@ -47,7 +50,8 @@ BarnesHutKernel::BarnesHutKernel(const Octree& tree, const PointSet& bodies,
   // child-index records are byte-identical under refit and shared with
   // the previous pass so a fused walk loads them once.
   nodes0_ = space.register_buffer(
-      "bh_nodes0_next", 20, static_cast<std::uint64_t>(tree.topo.n_nodes));
+      "bh_nodes0_next", 20, static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"com", 0, 12}, {"mass", 12, 4}, {"type", 16, 4}});
   nodes1_ = prev.nodes1_;
   queries_ = space.register_buffer("bh_bodies_next", 4, 3 * bodies.size());
 }

@@ -150,6 +150,8 @@ void run_all(BenchRow& row, const BenchConfig& cfg, const K& k,
       obs::ProfileSink psink;
       auto g = run_gpu_sim(k, space, cfg.device, mode, tsink,
                            cfg.profile ? &psink : nullptr);
+      // Per-buffer counter tracks next to this launch's warp timeline.
+      if (tsink) cfg.chrome->set_launch_memory(g.stats.memory);
       row.result(v) =
           to_variant(g.stats, g.time, g.avg_nodes(), g.sim_wall_ms);
       row.result(v).selection = g.selection;

@@ -21,12 +21,16 @@ KnnKernel::KnnKernel(const KdTree& tree, const PointSet& queries, int k,
     throw std::invalid_argument("KnnKernel: k >= number of points");
   stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 2);
   // nodes0 carries the truncation-test fields (bbox) plus the split plane
-  // used by the call-set choice.
+  // used by the call-set choice. Field maps feed the per-field traffic
+  // attribution (simt/memory_attr.h).
+  const auto w = static_cast<std::uint32_t>(dim_) * 4;
   nodes0_ = space.register_buffer(
-      "knn_nodes0", static_cast<std::uint64_t>(2 * dim_) * 4 + 8,
-      static_cast<std::uint64_t>(tree.topo.n_nodes));
+      "knn_nodes0", static_cast<std::uint64_t>(2) * w + 8,
+      static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"bbox_min", 0, w}, {"bbox_max", w, w}, {"split_plane", 2 * w, 8}});
   nodes1_ = space.register_buffer(
-      "knn_nodes1", 16, static_cast<std::uint64_t>(tree.topo.n_nodes));
+      "knn_nodes1", 16, static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"children", 0, 8}, {"leaf_range", 8, 8}});
   leafpts_ = space.register_buffer(
       "knn_leaf_points", static_cast<std::uint64_t>(dim_) * 4,
       tree.data_perm.size());

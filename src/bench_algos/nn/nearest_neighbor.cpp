@@ -12,12 +12,16 @@ NnKernel::NnKernel(const KdTreeNN& tree, const PointSet& queries,
   if (queries.dim() != tree.dim)
     throw std::invalid_argument("NnKernel: dim mismatch");
   stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 2);
-  // nodes0: node point coordinates + split dim; nodes1: children.
+  // nodes0: node point coordinates + split dim; nodes1: children. Field
+  // maps feed the per-field traffic attribution (simt/memory_attr.h).
+  const auto w = static_cast<std::uint32_t>(dim_) * 4;
   nodes0_ = space.register_buffer(
-      "nn_nodes0", static_cast<std::uint64_t>(dim_) * 4 + 4,
-      static_cast<std::uint64_t>(tree.topo.n_nodes));
+      "nn_nodes0", static_cast<std::uint64_t>(w) + 4,
+      static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"coords", 0, w}, {"split_dim", w, 4}});
   nodes1_ = space.register_buffer(
-      "nn_nodes1", 8, static_cast<std::uint64_t>(tree.topo.n_nodes));
+      "nn_nodes1", 8, static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"children", 0, 8}});
   queries_buf_ = space.register_buffer(
       "nn_queries", 4, static_cast<std::uint64_t>(dim_) * queries.size());
 }

@@ -13,7 +13,8 @@ namespace tt {
 PointCorrelationKernel::PointCorrelationKernel(const KdTree& tree,
                                                const PointSet& queries,
                                                float radius,
-                                               GpuAddressSpace& space)
+                                               GpuAddressSpace& space,
+                                               NodeLayout layout)
     : tree_(&tree),
       queries_(&queries),
       data_(nullptr),
@@ -30,11 +31,27 @@ PointCorrelationKernel::PointCorrelationKernel(const KdTree& tree,
   stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 2);
   ropes_ = try_install_ropes(tree.topo);
   // nodes0: bounding box (2 * dim floats); nodes1: children + leaf range.
-  nodes0_ = space.register_buffer(
-      "pc_nodes0", static_cast<std::uint64_t>(2 * dim_) * 4,
-      static_cast<std::uint64_t>(tree.topo.n_nodes));
-  nodes1_ = space.register_buffer(
-      "pc_nodes1", 16, static_cast<std::uint64_t>(tree.topo.n_nodes));
+  // Field metadata drives the per-field traffic attribution
+  // (simt/memory_attr.h); kInterleaved registers one combined record so
+  // bench/memprof can measure the section-5 split decision.
+  const auto w = static_cast<std::uint32_t>(dim_) * 4;
+  const auto n_nodes = static_cast<std::uint64_t>(tree.topo.n_nodes);
+  if (layout == NodeLayout::kInterleaved) {
+    nodes0_ = space.register_buffer(
+        "pc_nodes", std::uint64_t{2} * w + 16, n_nodes,
+        {{"bbox_min", 0, w},
+         {"bbox_max", w, w},
+         {"children", 2 * w, 8},
+         {"leaf_range", 2 * w + 8, 8}});
+    nodes1_ = nodes0_;
+  } else {
+    nodes0_ = space.register_buffer(
+        "pc_nodes0", std::uint64_t{2} * w, n_nodes,
+        {{"bbox_min", 0, w}, {"bbox_max", w, w}});
+    nodes1_ = space.register_buffer(
+        "pc_nodes1", 16, n_nodes,
+        {{"children", 0, 8}, {"leaf_range", 8, 8}});
+  }
   leafpts_ = space.register_buffer(
       "pc_leaf_points", static_cast<std::uint64_t>(dim_) * 4,
       tree.data_perm.size());

@@ -14,6 +14,17 @@
 
 namespace tt {
 
+// Node-record storage layout (the paper's section-5 usage-based struct
+// splitting, made selectable so bench/memprof can measure the decision
+// instead of asserting it):
+//   kSplit       -- nodes0 (traversal-hot bbox) and nodes1 (children +
+//                   leaf range) as separate arrays; the paper's choice and
+//                   the default everywhere else.
+//   kInterleaved -- one combined record per node: every visit drags the
+//                   cold payload bytes through the memory system alongside
+//                   the bbox it actually tests.
+enum class NodeLayout { kSplit, kInterleaved };
+
 class PointCorrelationKernel {
  public:
   struct State {
@@ -29,7 +40,8 @@ class PointCorrelationKernel {
   static constexpr bool kCallSetsEquivalent = true;
 
   PointCorrelationKernel(const KdTree& tree, const PointSet& queries,
-                         float radius, GpuAddressSpace& space);
+                         float radius, GpuAddressSpace& space,
+                         NodeLayout layout = NodeLayout::kSplit);
 
   [[nodiscard]] NodeId root() const { return 0; }
   [[nodiscard]] std::size_t num_points() const { return queries_->size(); }
@@ -100,6 +112,7 @@ class PointCorrelationKernel {
   // shared-memory top-of-tree cache may front.
   [[nodiscard]] const StaticRopes& ropes() const { return ropes_; }
   [[nodiscard]] std::vector<std::int32_t> node_buffers() const {
+    if (nodes0_ == nodes1_) return {nodes0_};  // kInterleaved: one record
     return {nodes0_, nodes1_};
   }
 

@@ -22,11 +22,14 @@ struct PqBuffers {
 PqBuffers ensure_pq_buffers(const KdTree& tree, const PointSet& points,
                             GpuAddressSpace& space) {
   PqBuffers b;
+  const auto w = static_cast<std::uint32_t>(tree.dim) * 4;
   b.nodes0 = space.ensure_buffer(
-      "pq_nodes0", static_cast<std::uint64_t>(2 * tree.dim) * 4,
-      static_cast<std::uint64_t>(tree.topo.n_nodes));
+      "pq_nodes0", static_cast<std::uint64_t>(2) * w,
+      static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"bbox_min", 0, w}, {"bbox_max", w, w}});
   b.nodes1 = space.ensure_buffer(
-      "pq_nodes1", 16, static_cast<std::uint64_t>(tree.topo.n_nodes));
+      "pq_nodes1", 16, static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"children", 0, 8}, {"leaf_range", 8, 8}});
   b.leafpts = space.ensure_buffer(
       "pq_leaf_points", static_cast<std::uint64_t>(tree.dim) * 4,
       tree.data_perm.size());

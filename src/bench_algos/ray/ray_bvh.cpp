@@ -13,11 +13,14 @@ RayBvhKernel::RayBvhKernel(const Bvh& bvh, const TriangleMesh& mesh,
                            GpuAddressSpace& space)
     : bvh_(&bvh), mesh_(&mesh), rays_(&rays) {
   stack_bound_ = rope_stack_bound(bvh.topo.max_depth(), 2);
-  // nodes0: the AABB (24 bytes); nodes1: children + leaf range.
+  // nodes0: the AABB (24 bytes); nodes1: children + leaf range. Field
+  // maps feed the per-field traffic attribution (simt/memory_attr.h).
   nodes0_ = space.register_buffer(
-      "bvh_nodes0", 24, static_cast<std::uint64_t>(bvh.topo.n_nodes));
+      "bvh_nodes0", 24, static_cast<std::uint64_t>(bvh.topo.n_nodes),
+      {{"aabb_min", 0, 12}, {"aabb_max", 12, 12}});
   nodes1_ = space.register_buffer(
-      "bvh_nodes1", 16, static_cast<std::uint64_t>(bvh.topo.n_nodes));
+      "bvh_nodes1", 16, static_cast<std::uint64_t>(bvh.topo.n_nodes),
+      {{"children", 0, 8}, {"leaf_range", 8, 8}});
   tris_buf_ = space.register_buffer("bvh_tris", 36, mesh.tris.size());
   rays_buf_ = space.register_buffer("rays", 24, rays.size());
 }

@@ -12,11 +12,15 @@ VpKernel::VpKernel(const VpTree& tree, const PointSet& queries,
   if (queries.dim() != tree.dim)
     throw std::invalid_argument("VpKernel: dim mismatch");
   stack_bound_ = rope_stack_bound(tree.topo.max_depth(), 2);
+  // Field maps feed the per-field traffic attribution (simt/memory_attr.h).
+  const auto w = static_cast<std::uint32_t>(dim_) * 4;
   nodes0_ = space.register_buffer(
-      "vp_nodes0", static_cast<std::uint64_t>(dim_) * 4 + 4,
-      static_cast<std::uint64_t>(tree.topo.n_nodes));
+      "vp_nodes0", static_cast<std::uint64_t>(w) + 4,
+      static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"vantage", 0, w}, {"threshold", w, 4}});
   nodes1_ = space.register_buffer(
-      "vp_nodes1", 8, static_cast<std::uint64_t>(tree.topo.n_nodes));
+      "vp_nodes1", 8, static_cast<std::uint64_t>(tree.topo.n_nodes),
+      {{"children", 0, 8}});
   queries_buf_ = space.register_buffer(
       "vp_queries", 4, static_cast<std::uint64_t>(dim_) * queries.size());
 }

@@ -11,14 +11,19 @@ ChromeTraceCollector::ChromeTraceCollector(std::size_t capacity_per_warp)
     : capacity_(capacity_per_warp == 0 ? 1 : capacity_per_warp) {}
 
 TraceSink& ChromeTraceCollector::begin_launch(std::string name) {
-  launches_.emplace_back(std::move(name),
-                         std::make_unique<TraceSink>(capacity_));
-  return *launches_.back().second;
+  launches_.push_back(
+      Launch{std::move(name), std::make_unique<TraceSink>(capacity_), {}});
+  return *launches_.back().sink;
+}
+
+void ChromeTraceCollector::set_launch_memory(const MemoryAttribution& m) {
+  if (launches_.empty()) return;
+  launches_.back().memory = m;
 }
 
 std::size_t ChromeTraceCollector::total_events() const {
   std::size_t n = 0;
-  for (const auto& [name, sink] : launches_) n += sink->total_events();
+  for (const Launch& l : launches_) n += l.sink->total_events();
   return n;
 }
 
@@ -62,6 +67,27 @@ void write_event(JsonWriter& w, std::uint64_t pid, const TraceEvent& e) {
   w.end_object();
 }
 
+// One counter track per buffer: the launch's transaction split, drawn by
+// Perfetto as a stacked area next to the warp rows. The simulator has no
+// wall clock, so the whole launch's traffic lands at ts = 0.
+void write_memory_counters(JsonWriter& w, std::uint64_t pid,
+                           const MemoryAttribution& m) {
+  for (const BufferTraffic* r : m.sorted_rows()) {
+    if (r->issued_segments == 0) continue;
+    w.begin_object();
+    w.member("name", "mem:" + r->name);
+    w.member("ph", "C");
+    w.member("pid", pid);
+    w.member("ts", std::uint64_t{0});
+    w.member_object("args");
+    w.member("dram_transactions", r->dram_transactions);
+    w.member("l2_hit_transactions", r->l2_hit_transactions);
+    w.member("smem_cache_hits", r->smem_cache_hits);
+    w.end_object();
+    w.end_object();
+  }
+}
+
 }  // namespace
 
 void ChromeTraceCollector::write_json(std::ostream& os) const {
@@ -69,12 +95,13 @@ void ChromeTraceCollector::write_json(std::ostream& os) const {
   w.begin_object();
   w.member_array("traceEvents");
   for (std::size_t i = 0; i < launches_.size(); ++i) {
-    const auto& [name, sink] = launches_[i];
+    const Launch& l = launches_[i];
     const auto pid = static_cast<std::uint64_t>(i);
-    write_metadata(w, "process_name", pid, name, nullptr);
-    if (!sink->launch_events().empty())
+    write_metadata(w, "process_name", pid, l.name, nullptr);
+    if (!l.sink->launch_events().empty())
       write_metadata(w, "thread_name", pid, "launch", &kLaunchTid);
-    for (const TraceEvent& e : sink->merged()) write_event(w, pid, e);
+    for (const TraceEvent& e : l.sink->merged()) write_event(w, pid, e);
+    if (!l.memory.empty()) write_memory_counters(w, pid, l.memory);
   }
   w.end_array();
   w.member("displayTimeUnit", "ms");

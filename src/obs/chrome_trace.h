@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "simt/memory_attr.h"
 
 namespace tt::obs {
 
@@ -39,9 +40,18 @@ class ChromeTraceCollector {
   // begin_launch order.
   [[nodiscard]] TraceSink& begin_launch(std::string name);
 
+  // Attach the most recent launch's per-buffer traffic attribution
+  // (simt/memory_attr.h). write_json then emits one counter track
+  // ("ph":"C", name "mem:<buffer>") per buffer with traffic on the
+  // launch's process row -- DRAM vs L2-hit transactions and smem
+  // node-cache hits stack next to the warp timeline in Perfetto. A launch
+  // without an attached attribution (or an empty one) gets no counter
+  // tracks. No-op before the first begin_launch.
+  void set_launch_memory(const MemoryAttribution& m);
+
   [[nodiscard]] std::size_t n_launches() const { return launches_.size(); }
   [[nodiscard]] const std::string& launch_name(std::size_t i) const {
-    return launches_.at(i).first;
+    return launches_.at(i).name;
   }
   // Trace events across all launches (metadata records not included) --
   // matches the sum of the launches' TraceSink::total_events().
@@ -54,9 +64,14 @@ class ChromeTraceCollector {
   bool write_file(const std::string& path, std::string* err = nullptr) const;
 
  private:
+  struct Launch {
+    std::string name;
+    // unique_ptr keeps sink addresses stable across begin_launch calls.
+    std::unique_ptr<TraceSink> sink;
+    MemoryAttribution memory;  // empty unless set_launch_memory was called
+  };
   std::size_t capacity_;
-  // unique_ptr keeps sink addresses stable across begin_launch calls.
-  std::vector<std::pair<std::string, std::unique_ptr<TraceSink>>> launches_;
+  std::vector<Launch> launches_;
 };
 
 }  // namespace tt::obs

@@ -206,4 +206,60 @@ void write_profile_json(JsonWriter& w, const ProfileReport& p) {
   w.end_object();
 }
 
+void write_memory_json(JsonWriter& w, const MemoryAttribution& m) {
+  w.begin_object();
+  w.member_array("buffers");
+  for (const BufferTraffic* r : m.sorted_rows()) {
+    w.begin_object();
+    w.member("name", r->name);
+    w.member("elem_bytes", r->elem_bytes);
+    w.member("load_groups", r->load_groups);
+    w.member("replayed_loads", r->replayed_loads);
+    w.member("issued_segments", r->issued_segments);
+    w.member("ideal_segments", r->ideal_segments);
+    w.member("coalescing_efficiency", r->coalescing_efficiency());
+    w.member("l2_hit_transactions", r->l2_hit_transactions);
+    w.member("dram_transactions", r->dram_transactions);
+    w.member("dram_bytes", r->dram_bytes);
+    w.member("smem_cache_hits", r->smem_cache_hits);
+    w.member("smem_cache_misses", r->smem_cache_misses);
+    w.member("mem_stall_cycles", r->mem_stall_cycles);
+    if (!r->fields.empty()) {
+      w.member_array("fields");
+      for (const FieldTraffic& f : r->fields) {
+        w.begin_object();
+        w.member("name", f.name);
+        w.member("offset", static_cast<std::uint64_t>(f.offset));
+        w.member("bytes", static_cast<std::uint64_t>(f.bytes));
+        w.member("transactions", f.transactions);
+        w.member("l2_hit", f.l2_hit);
+        w.member("dram", f.dram);
+        w.member("dram_bytes", f.dram_bytes);
+        w.member("smem_cache_hits", f.smem_cache_hits);
+        w.member("mem_stall_cycles", f.mem_stall_cycles);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::vector<const BufferTraffic*> hot_buffers(const MemoryAttribution& m,
+                                              std::size_t top_k) {
+  std::vector<const BufferTraffic*> out;
+  for (const BufferTraffic& r : m.rows())
+    if (r.issued_segments > 0) out.push_back(&r);
+  std::sort(out.begin(), out.end(),
+            [](const BufferTraffic* a, const BufferTraffic* b) {
+              if (a->dram_transactions != b->dram_transactions)
+                return a->dram_transactions > b->dram_transactions;
+              return a->name < b->name;
+            });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
 }  // namespace tt::obs

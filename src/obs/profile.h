@@ -173,4 +173,19 @@ struct ProfileReport {
 // The schema-v4 "profile" block (see obs/run_report.h).
 void write_profile_json(JsonWriter& w, const ProfileReport& p);
 
+// The schema-v9 "memory" block (see obs/run_report.h): the per-buffer /
+// per-field traffic attribution of one launch (simt/memory_attr.h),
+// buffers sorted by name, fields in registration order plus the implicit
+// "(other)" share. The invariants tools/json_validate re-derives -- row
+// sums == the variant's aggregate KernelStats counters, field sums ==
+// their buffer's row, coalescing efficiency in (0, 1] -- hold with exact
+// equality (every accumulated value is a multiple of 2^-7, see
+// simt/memory_attr.h).
+void write_memory_json(JsonWriter& w, const MemoryAttribution& m);
+
+// Human-facing rendering of the same table: the per-buffer hot rows of
+// `m` ranked by DRAM transactions (desc, name tiebreak), at most `top_k`.
+[[nodiscard]] std::vector<const BufferTraffic*> hot_buffers(
+    const MemoryAttribution& m, std::size_t top_k);
+
 }  // namespace tt::obs

@@ -330,6 +330,10 @@ void RunReport::write(std::ostream& os) const {
         w.key("profile");
         write_profile_json(w, *r.profile);
       }
+      if (include_memory_ && !r.stats.memory.empty()) {
+        w.key("memory");
+        write_memory_json(w, r.stats.memory);
+      }
       if (include_volatile_) w.member("sim_wall_ms", r.sim_wall_ms);
       w.end_object();
     }
@@ -399,6 +403,10 @@ void RunReport::write(std::ostream& os) const {
       if (k.result.profile) {
         w.key("profile");
         write_profile_json(w, *k.result.profile);
+      }
+      if (include_memory_ && !k.result.stats.memory.empty()) {
+        w.key("memory");
+        write_memory_json(w, k.result.stats.memory);
       }
       w.member("upload_bytes", k.upload_bytes);
       w.member("download_bytes", k.download_bytes);

@@ -69,7 +69,17 @@ namespace tt::obs {
 // records). tools/json_validate re-derives the fused-visits <= summed
 // constituent visits invariant; --golden prunes the block and the new
 // counter, so older fixtures keep comparing.
-inline constexpr const char* kRunReportSchema = "treetrav.run_report/v8";
+// v9: adds the optional "memory" block to variant and batch-kernel objects
+// (the obs/profile.h write_memory_json export of simt/memory_attr.h): per
+// registered buffer, the launch's load groups, replayed loads,
+// issued-vs-ideal 128-byte segments (coalescing efficiency), L2-hit /
+// DRAM transaction and byte splits, smem node-cache hits/misses and the
+// derived mem-stall cycles -- with a nested per-field table where the
+// buffer registered field metadata. Emitted only under --profile
+// (set_include_memory), so default reports are unchanged;
+// tools/json_validate re-derives the row-sum == aggregate-KernelStats
+// invariants and --golden prunes the block.
+inline constexpr const char* kRunReportSchema = "treetrav.run_report/v9";
 
 // One (fused pair, variant) measurement from bench/fusion: the fused
 // kernel's run next to its sequential baseline -- the same constituents
@@ -147,6 +157,11 @@ class RunReport {
   void set_device(const DeviceConfig& device) { device_ = device; }
   // Include measured wall-clock values (breaks byte-identity across runs).
   void set_include_volatile(bool v) { include_volatile_ = v; }
+  // Emit each variant's / batch kernel's "memory" attribution block
+  // (schema v9). Off by default: attribution is always collected, but the
+  // block is only exported for --profile runs, mirroring the v4 "profile"
+  // block's gating.
+  void set_include_memory(bool v) { include_memory_ = v; }
 
   void add_row(const BenchRow& row) { rows_.push_back(row); }
   // Attach a batched multi-kernel run; at most one per report (a later
@@ -184,6 +199,7 @@ class RunReport {
   std::optional<std::uint64_t> seed_;
   std::optional<DeviceConfig> device_;
   bool include_volatile_ = false;
+  bool include_memory_ = false;
   std::vector<BenchRow> rows_;
   std::optional<BatchResult> batch_;
   std::optional<ServingRunSummary> serving_;

@@ -7,13 +7,14 @@ namespace tt {
 std::uint64_t WarpMemory::commit() {
   if (pending_.empty()) return 0;
   std::uint64_t dram = 0;
+  const auto tb = static_cast<std::uint32_t>(cfg_->transaction_bytes);
 
   // Shared-load elision (fused kernels): a lane that records the same
   // (buffer, address) twice in one window -- both constituents touching
   // the same node record -- is served by a single load. Keep the first
-  // occurrence, drop the rest, count the drops. Raw stack traffic
-  // (buf < 0) is never deduplicated: stack pushes are distinct writes
-  // even when a slot address repeats.
+  // occurrence, drop the rest, count the drops. Stack traffic is never
+  // deduplicated: stack pushes are distinct writes even when a slot
+  // address repeats.
   if (shared_load_elision_) {
     elide_order_.clear();
     for (std::uint32_t k = 0; k < pending_.size(); ++k) elide_order_.push_back(k);
@@ -33,8 +34,8 @@ std::uint64_t WarpMemory::commit() {
     for (std::size_t k = 1; k < elide_order_.size(); ++k) {
       const Pending& prev = pending_[elide_order_[last_kept]];
       Pending& cur = pending_[elide_order_[k]];
-      if (cur.buf >= 0 && cur.buf == prev.buf && cur.lane == prev.lane &&
-          cur.addr == prev.addr) {
+      if (!cur.stack && !prev.stack && cur.buf == prev.buf &&
+          cur.lane == prev.lane && cur.addr == prev.addr) {
         cur.buf = kElided;
         stats_->note_shared_load_elided();
       } else {
@@ -45,22 +46,110 @@ std::uint64_t WarpMemory::commit() {
     if (pending_.empty()) return 0;
   }
 
-  // Process one (buffer, rank) group at a time: rank k holds every lane's
-  // k-th access to that buffer, matching how the hardware replays a load
-  // when lanes iterate different trip counts.
+  // Process one (group, rank) pair at a time: rank k holds every lane's
+  // k-th access to that group, matching how the hardware replays a load
+  // when lanes iterate different trip counts. The group key is the buffer
+  // id for ordinary loads and the dedicated stack key for stack traffic
+  // (Pending::stack), which keeps the transaction grouping -- and hence
+  // the stateful L2 access order -- independent of which arena a stack
+  // address resolves to for attribution.
   std::stable_sort(pending_.begin(), pending_.end(),
                    [](const Pending& a, const Pending& b) {
-                     if (a.buf != b.buf) return a.buf < b.buf;
+                     const BufferId ka = group_key(a);
+                     const BufferId kb = group_key(b);
+                     if (ka != kb) return ka < kb;
                      return a.lane < b.lane;
                    });
+
+  // Minimal segments that could have served the group's bytes if packed
+  // perfectly: ceil(union-of-intervals / transaction size). Always >= 1
+  // for a non-empty group and <= the issued segment count (each issued
+  // segment holds at most `tb` of the union), so per-buffer coalescing
+  // efficiency (ideal / issued) lands in (0, 1].
+  auto ideal_segments_of_group = [&]() -> std::uint64_t {
+    ideal_scratch_.clear();
+    for (const LaneAccess& a : group_)
+      ideal_scratch_.emplace_back(a.addr, a.addr + a.bytes);
+    std::sort(ideal_scratch_.begin(), ideal_scratch_.end());
+    std::uint64_t bytes = 0, lo = 0, hi = 0;
+    bool open = false;
+    for (const auto& [s, e] : ideal_scratch_) {
+      if (!open || s > hi) {
+        if (open) bytes += hi - lo;
+        lo = s;
+        hi = e;
+        open = true;
+      } else {
+        hi = std::max(hi, e);
+      }
+    }
+    if (open) bytes += hi - lo;
+    return (bytes + tb - 1) / tb;
+  };
+
+  // Attribution charge for one issued segment: the row of the owning
+  // buffer takes the transaction outcome and its stall cycles; buffers
+  // with field metadata additionally split the charge across fields by
+  // byte overlap. Shares are k/tb with tb a power of two, so every
+  // accumulated value is an exact dyadic rational and the table's sums
+  // reconcile with the aggregate counters exactly.
+  enum class Outcome { kSmemHit, kL2Hit, kDram };
+  auto charge_segment = [&](BufferId sb, std::uint64_t lo, Outcome out,
+                            bool smem_miss) {
+    BufferTraffic& row = stats_->memory.row(sb, *space_);
+    if (smem_miss) ++row.smem_cache_misses;
+    double stall = 0;
+    switch (out) {
+      case Outcome::kSmemHit:
+        ++row.smem_cache_hits;
+        stall = cfg_->c_smem;
+        break;
+      case Outcome::kL2Hit:
+        ++row.l2_hit_transactions;
+        stall = cfg_->c_l2hit;
+        break;
+      case Outcome::kDram:
+        ++row.dram_transactions;
+        row.dram_bytes += tb;
+        break;
+    }
+    row.mem_stall_cycles += stall;
+    if (sb < 0 || row.fields.empty()) return;
+    // row.fields mirrors space_->fields(sb) in order, plus the trailing
+    // "(other)" share for unannotated bytes (intra-element padding and
+    // the segment tail past the buffer's live extent).
+    const std::uint64_t hi = lo + tb;
+    std::uint64_t claimed = 0;
+    const std::size_t nf = row.fields.size();
+    for (std::size_t f = 0; f < nf; ++f) {
+      const std::uint64_t ov = f + 1 < nf
+                                   ? space_->field_overlap(sb, f, lo, hi)
+                                   : tb - claimed;
+      claimed += f + 1 < nf ? ov : 0;
+      if (ov == 0) continue;
+      FieldTraffic& ft = row.fields[f];
+      const double share = static_cast<double>(ov) / static_cast<double>(tb);
+      ft.transactions += share;
+      switch (out) {
+        case Outcome::kSmemHit: ft.smem_cache_hits += share; break;
+        case Outcome::kL2Hit: ft.l2_hit += share; break;
+        case Outcome::kDram:
+          ft.dram += share;
+          ft.dram_bytes += static_cast<double>(ov);
+          break;
+      }
+      ft.mem_stall_cycles += stall * share;
+    }
+  };
 
   std::size_t i = 0;
   std::array<std::uint16_t, 64> seen_count{};  // accesses so far per lane
   while (i < pending_.size()) {
+    const BufferId gkey = group_key(pending_[i]);
     std::size_t j = i;
-    while (j < pending_.size() && pending_[j].buf == pending_[i].buf) ++j;
+    while (j < pending_.size() && group_key(pending_[j]) == gkey) ++j;
 
-    // Determine ranks within this buffer group.
+    // Determine ranks within this group.
     seen_count.fill(0);
     std::uint16_t max_rank = 0;
     for (std::size_t k = i; k < j; ++k) {
@@ -77,32 +166,53 @@ std::uint64_t WarpMemory::commit() {
       }
       if (group_.empty()) continue;
       ++stats_->load_instructions;
-      segments_touched(group_, static_cast<std::uint32_t>(cfg_->transaction_bytes),
-                       segs_);
+      segments_touched(group_, tb, segs_);
+
+      // Group-level attribution: the load issue, its replay status and
+      // the issued/ideal segment counts all land on the group's buffer
+      // (for the stack group: the arena its first address resolves to).
+      const BufferId group_attr =
+          gkey >= 0 ? gkey : space_->buffer_at(group_[0].addr);
+      {
+        BufferTraffic& row = stats_->memory.row(group_attr, *space_);
+        ++row.load_groups;
+        if (rank > 0) ++row.replayed_loads;
+        row.issued_segments += segs_.size();
+        row.ideal_segments += ideal_segments_of_group();
+      }
+
       for (std::uint64_t seg : segs_) {
         const std::uint64_t seg_addr =
             seg * static_cast<std::uint64_t>(cfg_->transaction_bytes);
+        const BufferId sb =
+            gkey >= 0 ? gkey : space_->buffer_at(seg_addr);
         // Shared-memory node cache (stackless variants): a hit is served
         // at shared-memory latency and never reaches L2 or DRAM.
+        bool smem_miss = false;
         if (smem_cache_ != nullptr) {
           SmemNodeCache::Lookup c = smem_cache_->lookup(seg_addr);
           if (c == SmemNodeCache::Lookup::kHit) {
             stats_->note_smem_cache_hit();
             stats_->note_mem_stall(cfg_->c_smem);
+            charge_segment(sb, seg_addr, Outcome::kSmemHit, false);
             continue;
           }
-          if (c == SmemNodeCache::Lookup::kMiss)
+          if (c == SmemNodeCache::Lookup::kMiss) {
             stats_->note_smem_cache_miss();
+            smem_miss = true;
+          }
         }
         bool hit = l2_ != nullptr && l2_->access(seg_addr);
         if (hit) {
           ++stats_->l2_hit_transactions;
           stats_->note_mem_stall(cfg_->c_l2hit);
+          charge_segment(sb, seg_addr, Outcome::kL2Hit, smem_miss);
         } else {
           ++stats_->dram_transactions;
           ++dram;
           stats_->dram_bytes +=
               static_cast<std::uint64_t>(cfg_->transaction_bytes);
+          charge_segment(sb, seg_addr, Outcome::kDram, smem_miss);
         }
       }
     }

@@ -6,6 +6,8 @@
 #include <array>
 #include <cstdint>
 
+#include "simt/memory_attr.h"
+
 namespace tt {
 
 // Cycle-attribution buckets: every cycle charged to instr_cycles is tagged
@@ -69,6 +71,14 @@ struct KernelStats {
   // records. Each elided load would otherwise have been (part of) a load
   // instruction plus its transactions; zero for monolithic kernels.
   std::uint64_t shared_loads_elided = 0;
+
+  // Per-buffer / per-field split of the memory counters above, charged
+  // segment by segment in WarpMemory::commit (simt/memory_attr.h). Always
+  // collected -- the invariants (row sums == the aggregate counters here,
+  // exact) are part of the machine's accounting contract, pinned by
+  // tests/core/variant_fuzz_test.cpp and tools/json_validate; reports gate
+  // the *export* behind --profile instead.
+  MemoryAttribution memory;
 
   // Per-bucket split of instr_cycles. Invariant (exact, not approximate):
   // the bucket sum equals instr_cycles, because charge() is the only way
@@ -153,6 +163,7 @@ struct KernelStats {
     smem_cache_hits += o.smem_cache_hits;
     smem_cache_misses += o.smem_cache_misses;
     shared_loads_elided += o.shared_loads_elided;
+    memory.merge(o.memory);
     for (std::size_t b = 0; b < kNumCycleBuckets; ++b)
       cycle_buckets[b] += o.cycle_buckets[b];
   }

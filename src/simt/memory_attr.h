@@ -1,0 +1,213 @@
+// Per-buffer / per-field memory-traffic attribution ("the memory
+// telescope"): where every 128-byte transaction of a launch went.
+//
+// WarpMemory::commit() is the single charge site. For each issued segment
+// it resolves the owning buffer (GpuAddressSpace::buffer_at -- exact,
+// because 256-byte buffer bases mean a 128-byte segment never spans two
+// buffers) and charges the transaction, its L2-hit/DRAM outcome, the
+// smem-node-cache outcome and the derived mem-stall cycles into that
+// buffer's row. Buffers registered with field metadata additionally split
+// each transaction across the fields it overlaps, proportionally to byte
+// overlap. Because the transaction size is a power of two (128), every
+// per-field share is an exact dyadic rational (k/128) in binary floating
+// point, so the invariants below hold with *exact* equality -- the same
+// discipline as the cycle-bucket split (DESIGN.md section 7):
+//
+//   sum over rows of l2_hit / dram / dram_bytes / smem hits+misses /
+//     load_groups / mem_stall  ==  the aggregate KernelStats counters
+//   sum over a row's fields (incl. the implicit "(other)" share for
+//     unannotated bytes)       ==  that row, measure by measure
+//   coalescing efficiency      ==  ideal_segments / issued_segments, in
+//                                  (0, 1] for every row with traffic
+//
+// Rows merge by buffer *name* (not id), so per-warp tables, sharded
+// devices and multi-timestep accumulations all fold with the same
+// commutative sums as the rest of KernelStats. All accumulated doubles
+// are multiples of 2^-7 at moderate magnitude, so the sums are exact
+// under any merge order -- OMP_NUM_THREADS and device count cannot skew
+// the table.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simt/address_space.h"
+
+namespace tt {
+
+// One field's share of its buffer's traffic. The fractional measures
+// (transactions, l2_hit, dram, smem_cache_hits) count "share of a
+// transaction" in units of 1/128; dram_bytes and mem_stall_cycles are the
+// byte overlap resp. the stall cycles weighted by it.
+struct FieldTraffic {
+  std::string name;
+  std::uint32_t offset = 0;  // byte offset within the element
+  std::uint32_t bytes = 0;   // field width ("(other)" rows report 0)
+  double transactions = 0;
+  double l2_hit = 0;
+  double dram = 0;
+  double dram_bytes = 0;
+  double smem_cache_hits = 0;
+  double mem_stall_cycles = 0;
+
+  void merge(const FieldTraffic& o) {
+    transactions += o.transactions;
+    l2_hit += o.l2_hit;
+    dram += o.dram;
+    dram_bytes += o.dram_bytes;
+    smem_cache_hits += o.smem_cache_hits;
+    mem_stall_cycles += o.mem_stall_cycles;
+  }
+};
+
+// One buffer's row of the attribution table.
+struct BufferTraffic {
+  std::string name;  // "(unmapped)" for raw addresses outside any buffer
+  std::uint64_t elem_bytes = 0;
+
+  std::uint64_t load_groups = 0;      // warp-wide load issues charged here
+  std::uint64_t replayed_loads = 0;   // rank > 0 issues (divergent counts)
+  std::uint64_t issued_segments = 0;  // 128B transactions issued
+  std::uint64_t ideal_segments = 0;   // ceil(union bytes / 128) per group
+  std::uint64_t l2_hit_transactions = 0;
+  std::uint64_t dram_transactions = 0;
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t smem_cache_hits = 0;
+  std::uint64_t smem_cache_misses = 0;
+  double mem_stall_cycles = 0;
+  std::vector<FieldTraffic> fields;  // empty when no field map registered
+
+  // Ideal over issued segments: 1.0 means every issued transaction was
+  // fully packed with needed bytes; low values flag poor coalescing.
+  [[nodiscard]] double coalescing_efficiency() const {
+    return issued_segments == 0
+               ? 1.0
+               : static_cast<double>(ideal_segments) /
+                     static_cast<double>(issued_segments);
+  }
+
+  void merge(const BufferTraffic& o) {
+    load_groups += o.load_groups;
+    replayed_loads += o.replayed_loads;
+    issued_segments += o.issued_segments;
+    ideal_segments += o.ideal_segments;
+    l2_hit_transactions += o.l2_hit_transactions;
+    dram_transactions += o.dram_transactions;
+    dram_bytes += o.dram_bytes;
+    smem_cache_hits += o.smem_cache_hits;
+    smem_cache_misses += o.smem_cache_misses;
+    mem_stall_cycles += o.mem_stall_cycles;
+    for (const FieldTraffic& f : o.fields) {
+      auto it = std::find_if(
+          fields.begin(), fields.end(),
+          [&](const FieldTraffic& m) { return m.name == f.name; });
+      if (it == fields.end())
+        fields.push_back(f);
+      else
+        it->merge(f);
+    }
+  }
+};
+
+class MemoryAttribution {
+ public:
+  // The row for buffer `id` of `space` (id < 0: the "(unmapped)" row),
+  // created on first touch with the buffer's name, element size and field
+  // list (plus the implicit trailing "(other)" share when fields exist).
+  // The id -> row index cache makes the per-segment charge O(1) after the
+  // first touch; rows survive merges keyed by name only.
+  [[nodiscard]] BufferTraffic& row(BufferId id, const GpuAddressSpace& space) {
+    const std::size_t slot = id < 0 ? 0 : static_cast<std::size_t>(id) + 1;
+    if (slot >= by_id_.size()) by_id_.resize(slot + 1, -1);
+    if (by_id_[slot] >= 0) return rows_[static_cast<std::size_t>(by_id_[slot])];
+    BufferTraffic r;
+    if (id < 0) {
+      r.name = "(unmapped)";
+    } else {
+      r.name = space.name(id);
+      r.elem_bytes = space.elem_bytes(id);
+      const std::vector<BufferField>& fs = space.fields(id);
+      if (!fs.empty()) {
+        for (const BufferField& f : fs) {
+          FieldTraffic ft;
+          ft.name = f.name;
+          ft.offset = f.offset;
+          ft.bytes = f.bytes;
+          r.fields.push_back(std::move(ft));
+        }
+        FieldTraffic other;
+        other.name = "(other)";
+        r.fields.push_back(std::move(other));
+      }
+    }
+    // Two generations of the same name share one row: find-or-append.
+    std::size_t at = rows_.size();
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      if (rows_[i].name == r.name) {
+        at = i;
+        break;
+      }
+    if (at == rows_.size()) rows_.push_back(std::move(r));
+    by_id_[slot] = static_cast<std::int32_t>(at);
+    return rows_[at];
+  }
+
+  [[nodiscard]] const std::vector<BufferTraffic>& rows() const {
+    return rows_;
+  }
+  [[nodiscard]] bool empty() const { return rows_.empty(); }
+
+  // Rows sorted by name -- the canonical export order (first-touch order
+  // is execution detail; reports and merges must not depend on it).
+  [[nodiscard]] std::vector<const BufferTraffic*> sorted_rows() const {
+    std::vector<const BufferTraffic*> out;
+    out.reserve(rows_.size());
+    for (const BufferTraffic& r : rows_) out.push_back(&r);
+    std::sort(out.begin(), out.end(),
+              [](const BufferTraffic* a, const BufferTraffic* b) {
+                return a->name < b->name;
+              });
+    return out;
+  }
+
+  // The worst-coalesced rows (efficiency ascending, name tiebreak), at
+  // most `k`, rows with no issued segments excluded.
+  [[nodiscard]] std::vector<const BufferTraffic*> worst_coalesced(
+      std::size_t k) const {
+    std::vector<const BufferTraffic*> out;
+    for (const BufferTraffic& r : rows_)
+      if (r.issued_segments > 0) out.push_back(&r);
+    std::sort(out.begin(), out.end(),
+              [](const BufferTraffic* a, const BufferTraffic* b) {
+                const double ea = a->coalescing_efficiency();
+                const double eb = b->coalescing_efficiency();
+                if (ea != eb) return ea < eb;
+                return a->name < b->name;
+              });
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+  void merge(const MemoryAttribution& o) {
+    for (const BufferTraffic& r : o.rows_) {
+      auto it = std::find_if(
+          rows_.begin(), rows_.end(),
+          [&](const BufferTraffic& m) { return m.name == r.name; });
+      if (it == rows_.end())
+        rows_.push_back(r);
+      else
+        it->merge(r);
+    }
+    // Row indices may have shifted / new rows appended from a foreign
+    // table: the id cache is only valid for rows this instance created.
+    by_id_.clear();
+  }
+
+ private:
+  std::vector<BufferTraffic> rows_;
+  std::vector<std::int32_t> by_id_;  // BufferId + 1 -> rows_ index (-1 unset)
+};
+
+}  // namespace tt

@@ -35,27 +35,37 @@ class WarpMemory {
   void lane_load(int lane, BufferId buf, std::uint64_t idx) {
     pending_.push_back(Pending{buf, space_->addr(buf, idx),
                                static_cast<std::uint32_t>(space_->elem_bytes(buf)),
-                               static_cast<std::uint16_t>(lane)});
+                               static_cast<std::uint16_t>(lane), false});
   }
 
-  // Raw-address variant for stack traffic (layout computed by the caller).
+  // Raw-address variant for addresses no registration covers (tests,
+  // cache probes). Grouped with stack traffic and attributed "(unmapped)".
   void lane_load_raw(int lane, std::uint64_t addr, std::uint32_t bytes) {
-    pending_.push_back(Pending{kRawBuf, addr, bytes, static_cast<std::uint16_t>(lane)});
+    pending_.push_back(Pending{kRawBuf, addr, bytes,
+                               static_cast<std::uint16_t>(lane), true});
   }
 
-  // Policy-facing alias of lane_load_raw for rope-stack / call-frame
-  // traffic: the stack policies (core/stack_policy.h) own the address
-  // computation and record their push/pop/spill bytes through this, so
-  // stack accounting is recognizable at the call site.
+  // Policy-facing entry point for rope-stack / call-frame traffic: the
+  // stack policies (core/stack_policy.h) own the address computation and
+  // record their push/pop/spill bytes through this, so stack accounting is
+  // recognizable at the call site. The pending entry carries the *real*
+  // registered BufferId of the arena the address lands in (rope_stack /
+  // local_frames, resolved by GpuAddressSpace::buffer_at), so attribution
+  // reports stack traffic by name like every other buffer -- but commit()
+  // still groups it under the dedicated stack key, preserving the exact
+  // transaction grouping (and hence the stateful L2 access order) the
+  // golden fixtures pin.
   void lane_stack_traffic(int lane, std::uint64_t addr, std::uint32_t bytes) {
-    lane_load_raw(lane, addr, bytes);
+    pending_.push_back(Pending{space_->buffer_at(addr), addr, bytes,
+                               static_cast<std::uint16_t>(lane), true});
   }
 
   // Shared-load elision (fused kernels, core/kernel_compose.h): when on,
   // commit() serves duplicate (buffer, address, lane) accesses within one
-  // window once, counting the rest as shared_loads_elided. Raw stack
-  // traffic (negative buffer ids) is never elided. Off by default so
-  // monolithic kernels' accounting is untouched.
+  // window once, counting the rest as shared_loads_elided. Stack traffic
+  // is never elided: pushes are distinct writes even when a slot address
+  // repeats. Off by default so monolithic kernels' accounting is
+  // untouched.
   void set_shared_load_elision(bool on) { shared_load_elision_ = on; }
 
   // Issue the recorded accesses and clear. Returns DRAM transactions issued.
@@ -65,12 +75,20 @@ class WarpMemory {
 
  private:
   static constexpr BufferId kRawBuf = -2;
+  // commit()'s group/sort key: stack traffic keeps the historical -2 key
+  // regardless of the arena id it attributes to, so transaction grouping
+  // is unchanged by attribution.
+  static constexpr BufferId kStackGroup = -2;
   struct Pending {
-    BufferId buf;
+    BufferId buf;   // attribution identity (may be < 0: unmapped raw)
     std::uint64_t addr;
     std::uint32_t bytes;
     std::uint16_t lane;
+    bool stack;     // group under kStackGroup; never elided
   };
+  [[nodiscard]] static BufferId group_key(const Pending& p) {
+    return p.stack ? kStackGroup : p.buf;
+  }
   const GpuAddressSpace* space_;
   const DeviceConfig* cfg_;
   L2Cache* l2_;  // may be null (L2 modelling off)
@@ -81,6 +99,7 @@ class WarpMemory {
   std::vector<LaneAccess> group_;
   std::vector<std::uint64_t> segs_;
   std::vector<std::uint32_t> elide_order_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ideal_scratch_;
 };
 
 }  // namespace tt

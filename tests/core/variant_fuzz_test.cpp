@@ -37,6 +37,61 @@
 namespace tt {
 namespace {
 
+// The memory-attribution invariant (simt/memory_attr.h), exact for every
+// variant: the per-buffer rows sum to the aggregate KernelStats counters
+// with ==, each row's field shares close exactly (dyadic k/128 shares),
+// every row's coalescing efficiency is in (0,1], and the summed per-row
+// mem-stall cycles reconstruct the kMemStall cycle bucket -- commit() is
+// the single charge site for both.
+void check_memory_attribution(const KernelStats& st) {
+  std::uint64_t groups = 0, l2hit = 0, dram = 0, bytes = 0, shits = 0,
+                smiss = 0;
+  double stall = 0;
+  for (const BufferTraffic& r : st.memory.rows()) {
+    groups += r.load_groups;
+    l2hit += r.l2_hit_transactions;
+    dram += r.dram_transactions;
+    bytes += r.dram_bytes;
+    shits += r.smem_cache_hits;
+    smiss += r.smem_cache_misses;
+    stall += r.mem_stall_cycles;
+    EXPECT_LE(r.replayed_loads, r.load_groups) << r.name;
+    EXPECT_LE(r.ideal_segments, r.issued_segments) << r.name;
+    EXPECT_EQ(r.issued_segments, r.smem_cache_hits + r.l2_hit_transactions +
+                                     r.dram_transactions)
+        << r.name;
+    if (r.issued_segments > 0) {
+      EXPECT_GT(r.coalescing_efficiency(), 0.0) << r.name;
+      EXPECT_LE(r.coalescing_efficiency(), 1.0) << r.name;
+    }
+    if (!r.fields.empty()) {
+      double ft = 0, fl2 = 0, fdram = 0, fbytes = 0, fsmem = 0, fstall = 0;
+      for (const FieldTraffic& f : r.fields) {
+        ft += f.transactions;
+        fl2 += f.l2_hit;
+        fdram += f.dram;
+        fbytes += f.dram_bytes;
+        fsmem += f.smem_cache_hits;
+        fstall += f.mem_stall_cycles;
+      }
+      EXPECT_EQ(ft, static_cast<double>(r.issued_segments)) << r.name;
+      EXPECT_EQ(fl2, static_cast<double>(r.l2_hit_transactions)) << r.name;
+      EXPECT_EQ(fdram, static_cast<double>(r.dram_transactions)) << r.name;
+      EXPECT_EQ(fbytes, static_cast<double>(r.dram_bytes)) << r.name;
+      EXPECT_EQ(fsmem, static_cast<double>(r.smem_cache_hits)) << r.name;
+      EXPECT_EQ(fstall, r.mem_stall_cycles) << r.name;
+    }
+  }
+  EXPECT_EQ(groups, st.load_instructions);
+  EXPECT_EQ(l2hit, st.l2_hit_transactions);
+  EXPECT_EQ(dram, st.dram_transactions);
+  EXPECT_EQ(bytes, st.dram_bytes);
+  EXPECT_EQ(shits, st.smem_cache_hits);
+  EXPECT_EQ(smiss, st.smem_cache_misses);
+  EXPECT_EQ(stall,
+            st.cycle_buckets[static_cast<std::size_t>(CycleBucket::kMemStall)]);
+}
+
 // The attribution invariant, exact for every variant: the CycleBucket
 // split reconstructs instr_cycles with ==, and the profiler's per-depth
 // histogram accounts for every warp step and active lane.
@@ -55,6 +110,7 @@ void check_attribution(const GpuRun<K>& g) {
   double raw = 0;
   for (double b : g.stats.cycle_buckets) raw += b;
   EXPECT_EQ(raw, g.stats.instr_cycles);
+  check_memory_attribution(g.stats);
 }
 
 // Deterministic parameter fuzzer (xorshift64) -- varies input size, shape,
@@ -140,6 +196,7 @@ void check_all_variants(const K& k, GpuAddressSpace& space) {
     off.smem_node_cache = false;
     auto g_off = run_gpu_sim(k, space, cfg, off);
     EXPECT_EQ(g_off.stats.smem_cache_hits + g_off.stats.smem_cache_misses, 0u);
+    check_memory_attribution(g_off.stats);
     EXPECT_EQ(0,
               std::memcmp(g_off.results.data(), base.results.data(),
                           sizeof(typename K::Result) * base.results.size()));
@@ -218,6 +275,34 @@ void check_sharded_axis(const K& k, GpuAddressSpace& space) {
       EXPECT_EQ(points, r.merged.n_points);
       EXPECT_EQ(lane_visits, r.merged.stats.lane_visits);
       EXPECT_EQ(warp_pops, r.merged.stats.warp_pops);
+      // The baseline's attribution table must reconcile, every device's
+      // must reconcile in isolation, and folding the device tables through
+      // the name-keyed MemoryAttribution::merge must preserve every
+      // counter exactly (commutative integer / dyadic sums -- device
+      // count and merge order cannot skew the table). Note the fold is
+      // checked against the summed *device* counters, not the baseline's:
+      // DRAM vs L2-hit splits are cache-state dependent and chunked
+      // per-device launches legitimately see different L2 histories.
+      check_memory_attribution(r.merged.stats);
+      MemoryAttribution folded;
+      std::uint64_t dev_dram = 0, dev_groups = 0, dev_segs = 0;
+      for (const DeviceShard& d : r.devices) {
+        check_memory_attribution(d.stats);
+        folded.merge(d.stats.memory);
+        dev_dram += d.stats.dram_transactions;
+        dev_groups += d.stats.load_instructions;
+        for (const BufferTraffic& row : d.stats.memory.rows())
+          dev_segs += row.issued_segments;
+      }
+      std::uint64_t fold_dram = 0, fold_groups = 0, fold_segs = 0;
+      for (const BufferTraffic& row : folded.rows()) {
+        fold_dram += row.dram_transactions;
+        fold_groups += row.load_groups;
+        fold_segs += row.issued_segments;
+      }
+      EXPECT_EQ(fold_dram, dev_dram);
+      EXPECT_EQ(fold_groups, dev_groups);
+      EXPECT_EQ(fold_segs, dev_segs);
     }
   }
 }

@@ -46,6 +46,76 @@ TEST(AddressSpace, EnsureBufferIsIdempotent) {
   EXPECT_NE(s.ensure_buffer("stack", 4, 100), a);
 }
 
+TEST(AddressSpace, EnsureBufferResolvesToLatestGeneration) {
+  GpuAddressSpace s;
+  BufferId g0 = s.ensure_buffer("stack", 1, 100);
+  BufferId g1 = s.ensure_buffer("stack", 1, 200);  // grows: new generation
+  ASSERT_NE(g0, g1);
+  // A later, smaller request must land on the generation a launch actually
+  // addresses -- the newest one -- not on the abandoned first allocation.
+  // (The old forward scan returned g0 here, which mis-keyed per-buffer
+  // attribution for every relaunch after a growth.)
+  EXPECT_EQ(s.ensure_buffer("stack", 1, 50), g1);
+  EXPECT_EQ(s.ensure_buffer("stack", 1, 200), g1);
+  EXPECT_EQ(s.num_buffers(), 2u);
+}
+
+TEST(AddressSpace, BufferAtMapsLiveBytesAndPadding) {
+  GpuAddressSpace s;
+  BufferId a = s.register_buffer("a", 4, 3);  // live [base, base+12)
+  BufferId b = s.register_buffer("b", 8, 2);
+  const std::uint64_t a0 = s.addr(a, 0), b0 = s.addr(b, 0);
+  EXPECT_EQ(s.buffer_at(a0), a);
+  EXPECT_EQ(s.buffer_at(a0 + 11), a);
+  EXPECT_EQ(s.buffer_at(a0 + 12), -1);  // alignment padding before b
+  EXPECT_EQ(s.buffer_at(b0 - 1), -1);
+  EXPECT_EQ(s.buffer_at(b0), b);
+  EXPECT_EQ(s.buffer_at(b0 + 16), -1);  // past the last live byte
+}
+
+TEST(AddressSpace, FieldValidationThrows) {
+  GpuAddressSpace s;
+  EXPECT_THROW(s.register_buffer("f", 16, 4, {{"empty", 0, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(s.register_buffer("f", 16, 4, {{"oob", 12, 8}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      s.register_buffer("f", 16, 4, {{"a", 0, 8}, {"b", 4, 8}}),
+      std::invalid_argument);
+  // Disjoint non-covering fields are fine (the gap becomes "(other)").
+  BufferId ok = s.register_buffer("f", 16, 4, {{"a", 0, 4}, {"b", 8, 4}});
+  EXPECT_EQ(s.fields(ok).size(), 2u);
+}
+
+TEST(AddressSpace, FieldOverlapAcrossSegmentBoundary) {
+  GpuAddressSpace s;
+  // 48-byte elements: bbox [0,24), payload [24,48). Elements straddle
+  // 128-byte segment boundaries (128 % 48 != 0), which is exactly the case
+  // the per-segment attribution has to split correctly.
+  BufferId b = s.register_buffer("n", 48, 16,
+                                 {{"bbox", 0, 24}, {"payload", 24, 24}});
+  const std::uint64_t base = s.addr(b, 0);
+  // Segment [base, base+128): elements 0,1 whole plus elem 2's head
+  // [0,32) = all 24 bbox bytes + 8 payload bytes.
+  EXPECT_EQ(s.field_overlap(b, 0, base, base + 128), 24u * 2 + 24u);
+  EXPECT_EQ(s.field_overlap(b, 1, base, base + 128), 24u * 2 + 8u);
+  // Next segment [base+128, base+256): elem 2's tail [32,48) = 16 payload,
+  // elems 3,4 whole, elem 5's head [0,16) = 16 bbox.
+  EXPECT_EQ(s.field_overlap(b, 0, base + 128, base + 256), 24u * 2 + 16u);
+  EXPECT_EQ(s.field_overlap(b, 1, base + 128, base + 256),
+            16u + 24u * 2);
+  // The two fields tile every element, so across any range the shares sum
+  // to the range's live bytes.
+  for (std::uint64_t lo = 0; lo < 48 * 16; lo += 37) {
+    const std::uint64_t hi = std::min<std::uint64_t>(lo + 128, 48 * 16);
+    EXPECT_EQ(s.field_overlap(b, 0, base + lo, base + hi) +
+                  s.field_overlap(b, 1, base + lo, base + hi),
+              hi - lo);
+  }
+  // Ranges clamped to the live extent.
+  EXPECT_EQ(s.field_overlap(b, 0, base + 48 * 16, base + 48 * 16 + 128), 0u);
+}
+
 TEST(AddressSpace, NamesAndFootprint) {
   GpuAddressSpace s;
   BufferId a = s.register_buffer("nodes0", 16, 4);

@@ -100,5 +100,95 @@ TEST(WarpMemory, CommitClearsPending) {
   EXPECT_EQ(f.stats.dram_transactions, 1u);
 }
 
+TEST(WarpMemory, AttributionRowsSumToAggregateCounters) {
+  Fixture f;
+  f.cfg.model_l2 = true;
+  L2Cache l2(64 * 1024, 128, 8);
+  WarpMemory mem(f.space, f.cfg, &l2, f.stats);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int l = 0; l < 32; ++l) {
+      mem.lane_load(l, f.buf4, l);
+      mem.lane_load(l, f.buf20, l * 7);  // strided: multiple segments
+    }
+    mem.commit();
+  }
+  std::uint64_t groups = 0, l2hit = 0, dram = 0, bytes = 0;
+  for (const BufferTraffic& r : f.stats.memory.rows()) {
+    groups += r.load_groups;
+    l2hit += r.l2_hit_transactions;
+    dram += r.dram_transactions;
+    bytes += r.dram_bytes;
+    EXPECT_GT(r.coalescing_efficiency(), 0.0);
+    EXPECT_LE(r.coalescing_efficiency(), 1.0);
+    EXPECT_LE(r.ideal_segments, r.issued_segments);
+    EXPECT_EQ(r.issued_segments,
+              r.smem_cache_hits + r.l2_hit_transactions +
+                  r.dram_transactions);
+  }
+  EXPECT_EQ(f.stats.memory.rows().size(), 2u);
+  EXPECT_EQ(groups, f.stats.load_instructions);
+  EXPECT_EQ(l2hit, f.stats.l2_hit_transactions);
+  EXPECT_EQ(dram, f.stats.dram_transactions);
+  EXPECT_EQ(bytes, f.stats.dram_bytes);
+}
+
+TEST(WarpMemory, FieldSharesSumExactlyToTheRow) {
+  Fixture f;
+  // 48-byte node record straddling 128-byte segment boundaries, half
+  // annotated: the implicit "(other)" share must absorb the payload bytes
+  // so the field sums close exactly.
+  BufferId nodes = f.space.register_buffer("nodes", 48, 64,
+                                           {{"bbox", 0, 24}});
+  WarpMemory mem(f.space, f.cfg, nullptr, f.stats);
+  for (int l = 0; l < 32; ++l) mem.lane_load(l, nodes, l * 2);
+  mem.commit();
+  ASSERT_EQ(f.stats.memory.rows().size(), 1u);
+  const BufferTraffic& r = f.stats.memory.rows()[0];
+  ASSERT_EQ(r.fields.size(), 2u);  // bbox + "(other)"
+  EXPECT_EQ(r.fields[0].name, "bbox");
+  EXPECT_EQ(r.fields[1].name, "(other)");
+  double txn = 0, dram = 0, bytes = 0;
+  for (const FieldTraffic& ft : r.fields) {
+    txn += ft.transactions;
+    dram += ft.dram;
+    bytes += ft.dram_bytes;
+  }
+  // Shares are dyadic rationals (k/128): the sums are exact, not approximate.
+  EXPECT_EQ(txn, static_cast<double>(r.issued_segments));
+  EXPECT_EQ(dram, static_cast<double>(r.dram_transactions));
+  EXPECT_EQ(bytes, static_cast<double>(r.dram_bytes));
+}
+
+TEST(WarpMemory, RawAddressesChargeTheUnmappedRow) {
+  Fixture f;
+  WarpMemory mem(f.space, f.cfg, nullptr, f.stats);
+  for (int l = 0; l < 32; ++l)
+    mem.lane_load_raw(l, (1u << 26) + static_cast<std::uint64_t>(l) * 4, 4);
+  mem.commit();
+  ASSERT_EQ(f.stats.memory.rows().size(), 1u);
+  EXPECT_EQ(f.stats.memory.rows()[0].name, "(unmapped)");
+  EXPECT_EQ(f.stats.memory.rows()[0].dram_transactions,
+            f.stats.dram_transactions);
+}
+
+TEST(WarpMemory, MergeFoldsRowsByName) {
+  Fixture f;
+  KernelStats other;
+  {
+    WarpMemory mem(f.space, f.cfg, nullptr, f.stats);
+    for (int l = 0; l < 32; ++l) mem.lane_load(l, f.buf4, l);
+    mem.commit();
+  }
+  {
+    WarpMemory mem(f.space, f.cfg, nullptr, other);
+    for (int l = 0; l < 32; ++l) mem.lane_load(l, f.buf4, 1024 + l);
+    mem.commit();
+  }
+  f.stats.memory.merge(other.memory);
+  ASSERT_EQ(f.stats.memory.rows().size(), 1u);
+  EXPECT_EQ(f.stats.memory.rows()[0].dram_transactions, 2u);
+  EXPECT_EQ(f.stats.memory.rows()[0].load_groups, 2u);
+}
+
 }  // namespace
 }  // namespace tt

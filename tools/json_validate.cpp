@@ -11,16 +11,24 @@
 // kernel's totals, whose overlap can never exceed the copy-in it hides,
 // and whose makespan must be the slowest device's busy time, bounded by
 // the summed per-device time).
-// Validation is version-aware: the current schema (v8) and the two
-// previous ones (v7, v6) are accepted in full validation, with the
-// v7-only stackless variant blocks required only from v7 on -- the
-// committed sharding fixture is a v6 report and must keep validating
-// bit-for-bit -- and the v8 "fusion" block (bench/fusion: fused traversal
+// Validation is version-aware: the current schema (v9) and the two
+// previous ones (v8, v7) are accepted in full validation -- plus v6,
+// which the committed sharding fixture pins and must keep validating
+// bit-for-bit -- with the v7-only stackless variant blocks required only
+// from v7 on, the v8 "fusion" block (bench/fusion: fused traversal
 // kernels vs their sequential baselines) checked for shape plus its
-// defining invariants: every ok row must be byte_identical, the fused
-// walk's visit count can never exceed the constituents' sum (re-derived
-// here from the two stats blocks), and the reported visit cycle savings
-// must be non-negative.
+// defining invariants (every ok row must be byte_identical, the fused
+// walk's visit count can never exceed the constituents' sum, re-derived
+// here from the two stats blocks, and the reported visit cycle savings
+// must be non-negative), and the v9 per-buffer "memory" attribution block
+// re-derived against the holder's own stats: across rows, the L2-hit /
+// DRAM / smem-cache / load-group sums must reconstruct the aggregate
+// KernelStats counters with EXACT equality (every accumulated value is a
+// multiple of 2^-7, see simt/memory_attr.h), each row's issued segments
+// must split exactly into its smem-hit/L2/DRAM outcomes with coalescing
+// efficiency in (0, 1], per-field rows must sum to their buffer's row,
+// and (when profiled) the summed mem-stall cycles must equal the
+// mem_stall cycle bucket.
 // For v7 reports, an ok stackless variant must show zero stack footprint
 // (peak_stack_entries == 0 and, when profiled, an empty stack bucket).
 // Exit 0 on success; nonzero with a diagnostic on stderr otherwise. Used
@@ -33,7 +41,8 @@
 // canonical JsonWriter before byte comparison. That lets a golden fixture
 // captured before auto_select existed (schema v1) keep pinning the legacy
 // variants' behavior while reports grow new sections (the v7 smem_cache_*
-// and v8 shared_loads_elided stats members are likewise pruned).
+// and v8 shared_loads_elided stats members and the v9 per-variant
+// "memory" blocks are likewise pruned).
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -171,13 +180,13 @@ void prune_to_legacy(JsonValue& root) {
       std::erase_if(variants->obj_v, [](const auto& member) {
         return !is_legacy_variant_name(member.first);
       });
-      // v4 added the optional per-variant "profile" block (--profile);
-      // v7 added the smem_cache_* counters and v8 shared_loads_elided to
-      // every stats block.
+      // v4 added the optional per-variant "profile" block (--profile), v9
+      // the optional "memory" attribution block; v7 added the smem_cache_*
+      // counters and v8 shared_loads_elided to every stats block.
       for (auto& [name, vr] : variants->obj_v) {
         if (!vr->is_object()) continue;
         std::erase_if(vr->obj_v, [](const auto& member) {
-          return member.first == "profile";
+          return member.first == "profile" || member.first == "memory";
         });
         if (JsonValue* stats = find_mut(*vr, "stats"))
           std::erase_if(stats->obj_v, [](const auto& member) {
@@ -385,6 +394,142 @@ int check_profile(const std::string& at, const JsonValue& holder) {
   return 0;
 }
 
+// The optional v9 "memory" block of a variant (or batch-kernel) object
+// `holder`: per-buffer traffic attribution, re-derived with EXACT
+// equality -- the transaction size is a power of two, so every per-field
+// share is a dyadic rational and the sums cannot drift (the same
+// discipline as the cycle buckets). Checks, per row: the issued segments
+// split exactly into smem-hit / L2-hit / DRAM outcomes, ideal <= issued
+// with the reported coalescing efficiency == ideal/issued in (0, 1],
+// replays bounded by load groups, and the field rows (including the
+// implicit "(other)" share) summing to the row measure by measure. Across
+// rows: the table must reconstruct the holder's aggregate stats counters,
+// and -- when the holder also carries a profile -- the summed mem-stall
+// cycles must equal the mem_stall cycle bucket.
+int check_memory(const std::string& at, const JsonValue& holder) {
+  const JsonValue* m = holder.find("memory");
+  if (!m) return 0;  // exported only under --profile
+  if (!m->is_object()) return fail(at + ".memory: not an object");
+  const JsonValue* buffers = m->find("buffers");
+  if (!buffers || !buffers->is_array())
+    return fail(at + ".memory: missing \"buffers\" array");
+
+  double sum_groups = 0, sum_l2 = 0, sum_dram = 0, sum_dram_bytes = 0;
+  double sum_smem_hits = 0, sum_smem_misses = 0, sum_stall = 0;
+  std::string prev_name;
+  for (std::size_t i = 0; i < buffers->arr_v.size(); ++i) {
+    const JsonValue& b = *buffers->arr_v[i];
+    const std::string bat =
+        at + ".memory.buffers[" + std::to_string(i) + "]";
+    for (const char* field :
+         {"name", "elem_bytes", "load_groups", "replayed_loads",
+          "issued_segments", "ideal_segments", "coalescing_efficiency",
+          "l2_hit_transactions", "dram_transactions", "dram_bytes",
+          "smem_cache_hits", "smem_cache_misses", "mem_stall_cycles"})
+      if (!b.find(field)) return fail(bat + ": missing \"" + field + "\"");
+    const std::string& name = b.find("name")->as_string();
+    if (i > 0 && !(prev_name < name))
+      return fail(bat + ": buffers not sorted by name");
+    prev_name = name;
+
+    const double groups = b.find("load_groups")->as_number();
+    const double replayed = b.find("replayed_loads")->as_number();
+    const double issued = b.find("issued_segments")->as_number();
+    const double ideal = b.find("ideal_segments")->as_number();
+    const double l2 = b.find("l2_hit_transactions")->as_number();
+    const double dram = b.find("dram_transactions")->as_number();
+    const double dram_bytes = b.find("dram_bytes")->as_number();
+    const double smem_hits = b.find("smem_cache_hits")->as_number();
+    const double smem_misses = b.find("smem_cache_misses")->as_number();
+    const double stall = b.find("mem_stall_cycles")->as_number();
+    if (replayed > groups)
+      return fail(bat + ": replayed_loads exceeds load_groups");
+    if (issued != smem_hits + l2 + dram)
+      return fail(bat + ": issued_segments (" + std::to_string(issued) +
+                  ") do not split into smem-hit + L2-hit + DRAM outcomes");
+    if (ideal > issued)
+      return fail(bat + ": ideal_segments exceeds issued_segments");
+    const double eff = b.find("coalescing_efficiency")->as_number();
+    if (issued > 0) {
+      if (eff != ideal / issued)
+        return fail(bat + ": coalescing_efficiency is not "
+                    "ideal_segments / issued_segments");
+      if (!(eff > 0 && eff <= 1))
+        return fail(bat + ": coalescing_efficiency " + std::to_string(eff) +
+                    " outside (0, 1]");
+    }
+    sum_groups += groups;
+    sum_l2 += l2;
+    sum_dram += dram;
+    sum_dram_bytes += dram_bytes;
+    sum_smem_hits += smem_hits;
+    sum_smem_misses += smem_misses;
+    sum_stall += stall;
+
+    if (const JsonValue* fields = b.find("fields")) {
+      if (!fields->is_array()) return fail(bat + ".fields: not an array");
+      double ft = 0, fl2 = 0, fdram = 0, fbytes = 0, fsmem = 0, fstall = 0;
+      for (std::size_t j = 0; j < fields->arr_v.size(); ++j) {
+        const JsonValue& f = *fields->arr_v[j];
+        const std::string fat = bat + ".fields[" + std::to_string(j) + "]";
+        for (const char* field :
+             {"name", "offset", "bytes", "transactions", "l2_hit", "dram",
+              "dram_bytes", "smem_cache_hits", "mem_stall_cycles"})
+          if (!f.find(field))
+            return fail(fat + ": missing \"" + field + "\"");
+        ft += f.find("transactions")->as_number();
+        fl2 += f.find("l2_hit")->as_number();
+        fdram += f.find("dram")->as_number();
+        fbytes += f.find("dram_bytes")->as_number();
+        fsmem += f.find("smem_cache_hits")->as_number();
+        fstall += f.find("mem_stall_cycles")->as_number();
+      }
+      if (ft != issued)
+        return fail(bat + ": field transactions sum to " +
+                    std::to_string(ft) + " but the row issued " +
+                    std::to_string(issued) + " segments");
+      if (fl2 != l2 || fdram != dram || fbytes != dram_bytes ||
+          fsmem != smem_hits || fstall != stall)
+        return fail(bat + ": field rows do not sum to the buffer row "
+                    "(l2/dram/bytes/smem/stall)");
+    }
+  }
+
+  // The table is a decomposition of the holder's aggregate counters --
+  // exact equality, not tolerance.
+  if (const JsonValue* stats = holder.find("stats")) {
+    auto mismatch = [&](const char* key, double got) -> bool {
+      const JsonValue* v = stats->find(key);
+      return v && v->as_number() != got;
+    };
+    if (mismatch("load_instructions", sum_groups))
+      return fail(at + ".memory: load_groups sum disagrees with "
+                  "stats.load_instructions");
+    if (mismatch("l2_hit_transactions", sum_l2))
+      return fail(at + ".memory: L2-hit sum disagrees with stats");
+    if (mismatch("dram_transactions", sum_dram))
+      return fail(at + ".memory: DRAM transaction sum disagrees with stats");
+    if (mismatch("dram_bytes", sum_dram_bytes))
+      return fail(at + ".memory: DRAM byte sum disagrees with stats");
+    if (mismatch("smem_cache_hits", sum_smem_hits))
+      return fail(at + ".memory: smem-cache hit sum disagrees with stats");
+    if (mismatch("smem_cache_misses", sum_smem_misses))
+      return fail(at + ".memory: smem-cache miss sum disagrees with stats");
+  }
+  if (const JsonValue* p = holder.find("profile")) {
+    if (p->is_object())
+      if (const JsonValue* buckets = p->find("buckets"))
+        if (const JsonValue* ms = buckets->find(
+                tt::cycle_bucket_name(tt::CycleBucket::kMemStall)))
+          if (ms->as_number() != sum_stall)
+            return fail(at + ".memory: mem_stall_cycles sum to " +
+                        std::to_string(sum_stall) +
+                        " but the profile's mem_stall bucket is " +
+                        std::to_string(ms->as_number()));
+  }
+  return 0;
+}
+
 // The optional v3 batch block: schedule accounting, per-kernel rows and
 // the amortized-vs-summed transfer split must all be present and shaped
 // right when the block exists at all.
@@ -408,6 +553,7 @@ int check_batch(const JsonValue& batch) {
     if (!k.find("ok")->as_bool() && !k.find("error"))
       return fail(at + ": failed kernel without \"error\"");
     if (int rc = check_profile(at, k); rc != 0) return rc;
+    if (int rc = check_memory(at, k); rc != 0) return rc;
   }
   const JsonValue* transfer = batch.find("transfer");
   if (!transfer || !transfer->is_object())
@@ -738,16 +884,19 @@ int main(int argc, char** argv) {
     if (!root->is_object()) return fail("root is not an object");
     const JsonValue* schema = root->find("schema");
     if (!schema) return fail("missing \"schema\"");
-    // v7 (pre-fusion) and v6 (pre-stackless) reports stay fully
-    // validatable: the committed sharding fixture is a v6 one.
+    // v8 (pre-memory) and v7 (pre-fusion) reports stay fully validatable,
+    // as does v6 (pre-stackless): the committed sharding fixture is a v6
+    // one and must keep passing.
+    constexpr const char* kV8Schema = "treetrav.run_report/v8";
     constexpr const char* kV7Schema = "treetrav.run_report/v7";
     constexpr const char* kV6Schema = "treetrav.run_report/v6";
     const bool is_v7_plus = schema->as_string() == tt::obs::kRunReportSchema ||
+                            schema->as_string() == kV8Schema ||
                             schema->as_string() == kV7Schema;
     if (!is_v7_plus && schema->as_string() != kV6Schema)
       return fail("schema is \"" + schema->as_string() + "\", expected \"" +
-                  tt::obs::kRunReportSchema + "\" (or \"" + kV7Schema +
-                  "\" / \"" + kV6Schema + "\")");
+                  tt::obs::kRunReportSchema + "\" (or \"" + kV8Schema +
+                  "\" / \"" + kV7Schema + "\" / \"" + kV6Schema + "\")");
     if (!root->find("generator")) return fail("missing \"generator\"");
     if (!root->find("git_sha")) return fail("missing \"git_sha\"");
     const JsonValue* rows = root->find("rows");
@@ -797,6 +946,9 @@ int main(int argc, char** argv) {
                                 " cycles to the stack bucket");
         }
         if (int rc = check_profile(at + "." + tt::variant_name(v), *vr);
+            rc != 0)
+          return rc;
+        if (int rc = check_memory(at + "." + tt::variant_name(v), *vr);
             rc != 0)
           return rc;
       }
